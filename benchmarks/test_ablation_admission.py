@@ -1,0 +1,23 @@
+"""Ablation B: consumer admission strategy (section 3.2's greedy choice).
+
+Expected shape: greedy benefit/cost admission clearly beats FIFO, random
+and proportional fair-share fills — the ordering is where the utility comes
+from, not just the budget accounting.
+"""
+
+from conftest import DEFAULT_LRGP_ITERATIONS, record_result
+
+from repro.experiments.ablations import ablation_admission
+from repro.experiments.reporting import render_table
+
+
+def test_ablation_admission(benchmark):
+    table = benchmark.pedantic(
+        ablation_admission,
+        kwargs={"iterations": DEFAULT_LRGP_ITERATIONS},
+        rounds=1,
+        iterations=1,
+    )
+    record_result("ablation_admission", render_table(table))
+    utilities = [float(row[1].replace(",", "")) for row in table.rows]
+    assert utilities[0] == max(utilities)

@@ -1,0 +1,23 @@
+"""Ablation C: synchronous vs asynchronous LRGP (section 3.5).
+
+Expected shape: the asynchronous deployment reaches essentially the
+synchronous utility even under latency and message loss; price averaging
+(Low & Lapsley) keeps it stable.
+"""
+
+import pytest
+from conftest import record_result
+
+from repro.experiments.ablations import ablation_asynchrony
+from repro.experiments.reporting import render_table
+
+
+def test_ablation_async(benchmark):
+    table = benchmark.pedantic(
+        ablation_asynchrony, kwargs={"duration": 250.0}, rounds=1, iterations=1
+    )
+    record_result("ablation_async", render_table(table))
+    utilities = [float(row[1].replace(",", "")) for row in table.rows]
+    sync = utilities[0]
+    for value in utilities[1:]:
+        assert value == pytest.approx(sync, rel=0.05)

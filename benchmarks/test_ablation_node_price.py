@@ -1,0 +1,23 @@
+"""Ablation A: node price determination (design choices of section 3.3).
+
+Expected shape: the paper's damped benefit/cost price dominates; raw BC
+(gamma=1) oscillates; an overload-only price (no BC coupling) collapses
+utility because rates float to the cap and crowd out consumers.
+"""
+
+from conftest import DEFAULT_LRGP_ITERATIONS, record_result
+
+from repro.experiments.ablations import ablation_node_price
+from repro.experiments.reporting import render_table
+
+
+def test_ablation_node_price(benchmark):
+    table = benchmark.pedantic(
+        ablation_node_price,
+        kwargs={"iterations": DEFAULT_LRGP_ITERATIONS},
+        rounds=1,
+        iterations=1,
+    )
+    record_result("ablation_node_price", render_table(table))
+    utilities = [float(row[1].replace(",", "")) for row in table.rows]
+    assert utilities[0] == max(utilities)

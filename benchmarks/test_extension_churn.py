@@ -1,0 +1,21 @@
+"""Extension E5: LRGP tracking capacity and membership churn.
+
+Expected shape: the utility steps down at each adverse event (capacity
+halved, high-rank flow leaves), re-stabilizes within tens of iterations
+each time (adaptive gamma), and steps back up when capacity is restored.
+"""
+
+from conftest import record_result
+
+from repro.experiments.extensions import extension_capacity_churn
+from repro.experiments.reporting import render_ascii_chart, render_series_rows
+
+
+def test_extension_capacity_churn(benchmark):
+    figure = benchmark.pedantic(extension_capacity_churn, rounds=1, iterations=1)
+    text = render_ascii_chart(figure) + "\n\n" + render_series_rows(figure, every=15)
+    record_result("extension_churn", text)
+    utilities = figure.series[0].ys
+    assert utilities[134] < 0.95 * utilities[78]   # capacity loss hurt
+    assert utilities[194] < 0.6 * utilities[138]   # flow departure hurt
+    assert utilities[299] > utilities[198]         # restoration recovered

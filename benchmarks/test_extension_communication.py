@@ -1,0 +1,19 @@
+"""Extension E7: communication cost of the distributed protocol.
+
+Expected shape: messages per round grow linearly with flow-node
+incidences, at exactly 3 messages per incidence (rate down, price +
+populations back) — constant per-edge overhead regardless of scale.
+"""
+
+import pytest
+from conftest import record_result
+
+from repro.experiments.extensions import extension_communication
+from repro.experiments.reporting import render_table
+
+
+def test_extension_communication(benchmark):
+    table = benchmark.pedantic(extension_communication, rounds=1, iterations=1)
+    record_result("extension_communication", render_table(table))
+    for row in table.rows:
+        assert float(row[4]) == pytest.approx(3.0, abs=0.01), row[0]

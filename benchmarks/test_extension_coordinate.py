@@ -1,0 +1,26 @@
+"""Extension E6: LRGP vs centralized block-coordinate ascent.
+
+Expected shape: alternation seeded with LRGP's solution cannot improve it
+(fixpoint certificate); cold-start and even multistart alternation land in
+worse partial optima on the base workload — the benefit/cost price linkage
+is doing real optimization work, not just coordination.
+"""
+
+import pytest
+from conftest import record_result
+
+from repro.experiments.extensions import extension_coordinate
+from repro.experiments.reporting import render_table
+
+
+def test_extension_coordinate(benchmark):
+    table = benchmark.pedantic(extension_coordinate, rounds=1, iterations=1)
+    record_result("extension_coordinate", render_table(table))
+    for row in table.rows:
+        lrgp = float(row[1].replace(",", ""))
+        cold = float(row[2].replace(",", ""))
+        multi = float(row[3].replace(",", ""))
+        seeded = float(row[4].replace(",", ""))
+        assert lrgp >= 0.99 * cold
+        assert lrgp >= 0.99 * multi
+        assert seeded == pytest.approx(lrgp, rel=0.005)  # fixpoint

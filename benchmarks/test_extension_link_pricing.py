@@ -1,0 +1,24 @@
+"""Extension E1: link pricing on a shared uplink.
+
+The paper's workloads avoid link bottlenecks (§4.1); this extension
+exercises eq. 13 end to end.  Expected: usage pins to the capacity and the
+measured price matches the analytic equilibrium within 1%.
+"""
+
+import pytest
+from conftest import record_result
+
+from repro.experiments.extensions import extension_link_pricing
+from repro.experiments.reporting import render_table
+
+
+def test_extension_link_pricing(benchmark):
+    table = benchmark.pedantic(extension_link_pricing, rounds=1, iterations=1)
+    record_result("extension_link_pricing", render_table(table))
+    for row in table.rows:
+        capacity = float(row[0].replace(",", ""))
+        usage = float(row[2].replace(",", ""))
+        measured = float(row[3].replace(",", ""))
+        analytic = float(row[4].replace(",", ""))
+        assert usage == pytest.approx(capacity, rel=0.01)
+        assert measured == pytest.approx(analytic, rel=0.02)

@@ -1,0 +1,18 @@
+"""Extension E2: multirate delivery (the paper's §5 future work).
+
+Expected: multirate never loses to single-rate, and wins clearly (>2%)
+when node capacities are heterogeneous.
+"""
+
+from conftest import record_result
+
+from repro.experiments.extensions import extension_multirate
+from repro.experiments.reporting import render_table
+
+
+def test_extension_multirate(benchmark):
+    table = benchmark.pedantic(extension_multirate, rounds=1, iterations=1)
+    record_result("extension_multirate", render_table(table))
+    gains = [float(row[3].rstrip("%")) for row in table.rows]
+    assert all(gain > -0.5 for gain in gains)  # never meaningfully worse
+    assert gains[1] > 2.0  # clear win under heterogeneous capacity

@@ -1,0 +1,21 @@
+"""Extension E4: delivery latency vs node utilization.
+
+Expected: latency grows steeply as utilization approaches 1 and diverges
+beyond it — the overload behaviour the node constraint (eq. 5), and hence
+admission control, exists to prevent.
+"""
+
+from conftest import record_result
+
+from repro.experiments.extensions import extension_queueing_latency
+from repro.experiments.reporting import render_table
+
+
+def test_extension_queueing_latency(benchmark):
+    table = benchmark.pedantic(extension_queueing_latency, rounds=1, iterations=1)
+    record_result("extension_queueing", render_table(table))
+    latencies = [float(row[2]) for row in table.rows]
+    # Monotone in utilization, and past-saturation latency dwarfs the
+    # half-load latency.
+    assert latencies == sorted(latencies)
+    assert latencies[-1] > 20 * latencies[0]

@@ -1,0 +1,19 @@
+"""Extension E3: the two-stage approximation's pruning pass (§2.4).
+
+Expected: no pruning (and no loss) on the healthy base workload; on a
+workload with a starved node, stage 2 recovers several percent of utility
+by dropping the flow-node costs of abandoned branches.
+"""
+
+from conftest import record_result
+
+from repro.experiments.extensions import extension_two_stage
+from repro.experiments.reporting import render_table
+
+
+def test_extension_two_stage(benchmark):
+    table = benchmark.pedantic(extension_two_stage, rounds=1, iterations=1)
+    record_result("extension_two_stage", render_table(table))
+    gains = [float(row[4].rstrip("%")) for row in table.rows]
+    assert all(gain > -0.5 for gain in gains)
+    assert gains[1] > 1.0  # starved-node workload benefits from pruning

@@ -1,0 +1,23 @@
+"""Figure 1: the effect of damping (fixed gamma in {1, 0.1, 0.01}).
+
+Expected shape (paper section 4.2): gamma=1 oscillates with large
+amplitude; gamma=0.1 stabilizes within ~10 iterations; gamma=0.01 takes
+~100 iterations.
+"""
+
+from conftest import DEFAULT_LRGP_ITERATIONS, record_result
+
+from repro.experiments.figures import figure1_damping
+from repro.experiments.reporting import render_ascii_chart, render_series_rows
+
+
+def test_figure1_damping(benchmark):
+    figure = benchmark.pedantic(
+        figure1_damping,
+        kwargs={"iterations": DEFAULT_LRGP_ITERATIONS},
+        rounds=1,
+        iterations=1,
+    )
+    text = render_ascii_chart(figure) + "\n\n" + render_series_rows(figure, every=10)
+    record_result("figure1_damping", text)
+    assert len(figure.series) == 3

@@ -1,0 +1,31 @@
+"""Figure 2: adaptive gamma vs fixed gamma.
+
+Expected shape (paper section 4.2): the adaptive schedule converges faster
+than the fixed ones while keeping fluctuations small.
+"""
+
+from conftest import DEFAULT_LRGP_ITERATIONS, record_result
+
+from repro.core.convergence import iterations_until_convergence
+from repro.experiments.figures import figure2_adaptive_gamma
+from repro.experiments.reporting import render_ascii_chart, render_series_rows
+
+
+def test_figure2_adaptive_gamma(benchmark):
+    figure = benchmark.pedantic(
+        figure2_adaptive_gamma,
+        kwargs={"iterations": DEFAULT_LRGP_ITERATIONS},
+        rounds=1,
+        iterations=1,
+    )
+    convergence_note = "\n".join(
+        f"  {series.label}: stable by iteration "
+        f"{iterations_until_convergence(list(series.ys))}"
+        for series in figure.series
+    )
+    text = (
+        render_ascii_chart(figure)
+        + "\n\n" + render_series_rows(figure, every=10)
+        + "\n\nconvergence (0.1% amplitude):\n" + convergence_note
+    )
+    record_result("figure2_adaptive_gamma", text)

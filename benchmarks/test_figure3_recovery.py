@@ -1,0 +1,19 @@
+"""Figure 3: recovery after flow 5 leaves at iteration 150.
+
+Expected shape (paper section 4.2): the utility drops when the
+highest-ranked flow leaves and recovers much quicker under adaptive gamma
+than under a small fixed gamma.
+"""
+
+from conftest import record_result
+
+from repro.experiments.figures import figure3_recovery
+from repro.experiments.reporting import render_ascii_chart, render_series_rows
+
+
+def test_figure3_recovery(benchmark):
+    figure = benchmark.pedantic(figure3_recovery, rounds=1, iterations=1)
+    text = render_ascii_chart(figure) + "\n\n" + render_series_rows(figure, every=5)
+    record_result("figure3_recovery", text)
+    adaptive, fixed = figure.series
+    assert adaptive.ys[-1] > fixed.ys[-1], "adaptive should recover faster"

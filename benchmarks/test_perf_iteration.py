@@ -1,0 +1,66 @@
+"""Micro-benchmarks: the cost of one LRGP iteration as the system grows.
+
+Section 4.3 argues iteration *count* is flat with scale; these benchmarks
+measure the other half of the story — per-iteration compute, which grows
+with the number of flows, classes and nodes (each iteration touches every
+flow source and every consumer node once).
+"""
+
+import pytest
+
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.workloads.scaling import scale_consumer_nodes, scale_flows
+
+SCALES = [
+    ("base (6f/3c)", lambda: scale_flows(1)),
+    ("4x flows (24f/12c)", lambda: scale_flows(4)),
+    ("8x c-nodes (6f/24c)", lambda: scale_consumer_nodes(8)),
+]
+
+
+@pytest.mark.parametrize("label,build", SCALES, ids=[s[0] for s in SCALES])
+def test_perf_lrgp_iteration(benchmark, label, build):
+    optimizer = LRGP(build(), LRGPConfig.adaptive())
+    optimizer.run(30)  # warm past the transient so the workload is typical
+    benchmark(optimizer.step)
+
+
+def test_perf_greedy_consumer_allocation(benchmark):
+    from repro.core.consumer_allocation import allocate_consumers
+    from repro.workloads.base import base_workload
+
+    problem = base_workload()
+    rates = {flow_id: 50.0 for flow_id in problem.flows}
+    benchmark(allocate_consumers, problem, "S0", rates)
+
+
+def test_perf_rate_allocation(benchmark):
+    from repro.core.rate_allocation import allocate_rate
+    from repro.workloads.base import base_workload
+
+    problem = base_workload()
+    populations = {class_id: 100 for class_id in problem.classes}
+    benchmark(allocate_rate, problem, "f0", populations, 0.05)
+
+
+def test_perf_annealing_steps(benchmark):
+    """Throughput of the incremental SA move loop (steps/second matters
+    because the paper's budgets are 10^6-10^8 steps)."""
+    import random
+
+    from repro.baselines.incremental import IncrementalState
+    from repro.baselines.moves import MoveProposer
+    from repro.model.allocation import zero_allocation
+    from repro.workloads.base import base_workload
+
+    problem = base_workload()
+    state = IncrementalState(problem, zero_allocation(problem))
+    proposer = MoveProposer(problem, random.Random(0))
+
+    def thousand_steps():
+        for _ in range(1000):
+            move = proposer.propose(state)
+            if move is not None and move.utility_delta > 0:
+                state.apply(move)
+
+    benchmark(thousand_steps)

@@ -1,0 +1,32 @@
+"""Gamma-sensitivity sweep: the landscape behind figure 1.
+
+Expected shape: convergence accelerates as gamma grows from 0.001, then
+residual oscillation takes over well before gamma = 1 — the tradeoff the
+adaptive heuristic (and its [0.001, 0.1] clamp) navigates.
+"""
+
+import math
+
+from conftest import record_result
+
+from repro.experiments.reporting import render_table
+from repro.experiments.sweeps import gamma_sensitivity
+
+
+def test_sweep_gamma(benchmark):
+    result = benchmark.pedantic(gamma_sensitivity, rounds=1, iterations=1)
+    record_result("sweep_gamma", render_table(result.table(decimals=5)))
+
+    by_gamma = {point.value: point.outcomes for point in result.points}
+    # gamma = 1: oscillates with large amplitude, never converges.
+    assert math.isnan(by_gamma[1.0]["iterations to converge"])
+    assert by_gamma[1.0]["tail amplitude"] > 0.05
+    # The sweet spot (well inside the paper's clamp) converges at the
+    # strict 0.1% criterion...
+    for gamma in (0.05, 0.02, 0.01, 0.005):
+        assert not math.isnan(by_gamma[gamma]["iterations to converge"])
+    # ...larger gammas keep a residual oscillation above it (figure 1's
+    # inset: larger gamma = larger fluctuations)...
+    assert by_gamma[0.1]["tail amplitude"] > by_gamma[0.01]["tail amplitude"]
+    # ...and the smallest gamma is still far from equilibrium at 400 iters.
+    assert math.isnan(by_gamma[0.001]["iterations to converge"])

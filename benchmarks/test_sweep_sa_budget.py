@@ -1,0 +1,58 @@
+"""SA budget sweep: simulated annealing vs its step budget.
+
+Measured finding: with our move kernel at T0=5 the walk saturates at
+~1.147M within ~5e4 steps — extra budget buys nothing because at this
+utility scale (deltas in the thousands vs temperature <= 5) downhill
+acceptance is effectively zero once the reachable basin is exhausted.
+The paper's SA reached 1.248M at 1e8 steps with an unspecified kernel;
+LRGP's 1.329M beats both at every budget, which is the claim that
+matters.
+"""
+
+from conftest import record_result
+
+from repro.baselines.annealing import AnnealingConfig, simulated_annealing
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.experiments.reporting import TableResult, format_number, render_table
+from repro.workloads.base import base_workload
+
+BUDGETS = (50_000, 200_000, 1_000_000)
+
+
+def run_sweep() -> TableResult:
+    problem = base_workload()
+    optimizer = LRGP(problem, LRGPConfig.adaptive())
+    optimizer.run(250)
+    lrgp = optimizer.utilities[-1]
+    rows = []
+    for steps in BUDGETS:
+        result = simulated_annealing(
+            problem,
+            AnnealingConfig(start_temperature=5.0, max_steps=steps, seed=1),
+        )
+        gap = (lrgp - result.best_utility) / result.best_utility
+        rows.append(
+            (
+                f"{steps:.0e}",
+                format_number(result.best_utility),
+                f"{result.runtime_seconds:.1f}",
+                f"{gap * 100.0:.1f}%",
+            )
+        )
+    rows.append(("1e+08 (paper)", "1,248,063", "1380.0", "6.5%"))
+    return TableResult(
+        table_id="SA budget sweep",
+        title="Simulated annealing vs LRGP (1,328,885) as the step budget "
+        "grows (base workload, T0=5)",
+        columns=("SA steps", "SA best utility", "seconds", "LRGP gap"),
+        rows=tuple(rows),
+        notes="final row is the paper's reported SA result for context",
+    )
+
+
+def test_sweep_sa_budget(benchmark):
+    table = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record_result("sweep_sa_budget", render_table(table))
+    gaps = [float(row[3].rstrip("%")) for row in table.rows[:-1]]
+    assert all(gap > 0.0 for gap in gaps)  # LRGP wins at every budget
+    assert gaps[-1] <= gaps[0]  # gap narrows (or holds) with budget

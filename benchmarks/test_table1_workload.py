@@ -1,0 +1,17 @@
+"""Table 1: the base workload specification.
+
+Table 1 is an input, not a result; the benchmark times workload
+construction and prints the specification for comparison with the paper.
+"""
+
+from conftest import record_result
+
+from repro.experiments.reporting import render_table
+from repro.experiments.tables import table1_workload
+from repro.workloads.base import base_workload
+
+
+def test_table1_workload(benchmark):
+    problem = benchmark(base_workload)
+    assert len(problem.classes) == 20
+    record_result("table1_workload", render_table(table1_workload()))

@@ -1,0 +1,45 @@
+"""Table 3: convergence and quality as the class utility shape varies.
+
+Expected shape (paper section 4.5): LRGP beats SA on every shape; the
+number of iterations until convergence grows as the exponent approaches 1;
+LRGP's utilities match the paper's LRGP column within 1%.
+"""
+
+import pytest
+from conftest import DEFAULT_LRGP_ITERATIONS, DEFAULT_SA_STEPS, record_result
+
+from repro.experiments.reporting import render_table
+from repro.experiments.tables import table3_utility_shapes
+
+PAPER_LRGP_UTILITIES = {
+    "rank * log(1+r)": 1_328_821,
+    "rank * r^0.25": 926_185,
+    "rank * r^0.5": 2_003_225,
+    "rank * r^0.75": 4_735_044,
+}
+
+
+def test_table3_utility_shapes(benchmark):
+    table = benchmark.pedantic(
+        table3_utility_shapes,
+        kwargs={
+            "sa_steps": DEFAULT_SA_STEPS,
+            "lrgp_iterations": DEFAULT_LRGP_ITERATIONS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_result("table3_utility_shapes", render_table(table))
+
+    iterations = []
+    for row in table.rows:
+        label = row[0]
+        sa_utility = float(row[4].replace(",", ""))
+        lrgp_utility = float(row[6].replace(",", ""))
+        assert lrgp_utility > sa_utility, label
+        assert lrgp_utility == pytest.approx(
+            PAPER_LRGP_UTILITIES[label], rel=0.01
+        ), label
+        iterations.append(int(row[5]))
+    # Convergence slows as the exponent rises (paper: 23 -> 28 -> 39).
+    assert iterations[1] <= iterations[2] <= iterations[3]

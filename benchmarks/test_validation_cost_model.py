@@ -1,0 +1,45 @@
+"""Validation: the linear cost model (eq. 4-5) against the metered simulator.
+
+The paper validated its constraint equations on the Gryphon system
+(section 2.3); we validate them against the discrete-event broker: enact an
+LRGP allocation, meter per-message resource charges, compare measured rates
+with the model's predictions.  Expected: sub-percent agreement for nodes.
+"""
+
+from conftest import record_result
+
+from repro.core.lrgp import LRGP
+from repro.events.simulator import EventInfrastructure
+from repro.experiments.reporting import TableResult, render_table
+from repro.workloads.base import base_workload
+
+
+def run_validation():
+    problem = base_workload()
+    optimizer = LRGP(problem)
+    optimizer.run(120)
+    infra = EventInfrastructure(problem)
+    infra.enact(optimizer.allocation())
+    comparisons = infra.measure(duration=3.0, settle=0.2)
+    return TableResult(
+        table_id="Validation",
+        title="Measured vs predicted resource rates (eq. 4-5)",
+        columns=("resource", "measured", "predicted", "rel. error"),
+        rows=tuple(
+            (
+                c.resource,
+                f"{c.measured:,.1f}",
+                f"{c.predicted:,.1f}",
+                f"{c.relative_error:.4f}",
+            )
+            for c in comparisons
+        ),
+        notes="deterministic producers, 3s window after 0.2s settle",
+    ), comparisons
+
+
+def test_validation_cost_model(benchmark):
+    table, comparisons = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+    record_result("validation_cost_model", render_table(table))
+    for comparison in comparisons:
+        assert comparison.relative_error < 0.05, comparison

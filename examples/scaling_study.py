@@ -1,0 +1,67 @@
+"""Scalability study (paper section 4.3 / Table 2, LRGP side).
+
+Runs LRGP on the six scaled workloads and shows the paper's two findings:
+
+* iterations-until-convergence stays flat as the system grows;
+* achieved utility grows linearly with the number of consumer nodes.
+
+(The full LRGP-vs-simulated-annealing comparison, which is much slower, is
+in ``benchmarks/test_table2_scalability.py``.)
+
+Run:  python examples/scaling_study.py
+"""
+
+import time
+
+from repro import LRGP, LRGPConfig
+from repro.core.convergence import iterations_until_convergence
+from repro.workloads import TABLE2_WORKLOADS
+
+PAPER_LRGP = {
+    "6 flows, 3 c-nodes": (21, 1_328_821),
+    "12 flows, 6 c-nodes": (21, 2_657_600),
+    "24 flows, 12 c-nodes": (24, 5_313_612),
+    "6 flows, 6 c-nodes": (22, 2_656_706),
+    "6 flows, 12 c-nodes": (22, 5_313_412),
+    "6 flows, 24 c-nodes": (22, 10_626_824),
+}
+
+
+def main() -> None:
+    print(
+        f"{'workload':24} {'iters':>6} {'utility':>12} "
+        f"{'paper iters':>12} {'paper utility':>14} {'secs':>6}"
+    )
+    base_utility = None
+    for label, build in TABLE2_WORKLOADS.items():
+        problem = build()
+        started = time.perf_counter()
+        optimizer = LRGP(problem, LRGPConfig.adaptive())
+        optimizer.run(250)
+        elapsed = time.perf_counter() - started
+        iterations = iterations_until_convergence(optimizer.utilities)
+        utility = optimizer.utilities[-1]
+        if base_utility is None:
+            base_utility = utility
+        paper_iterations, paper_utility = PAPER_LRGP[label]
+        print(
+            f"{label:24} {iterations!s:>6} {utility:12,.0f} "
+            f"{paper_iterations:>12} {paper_utility:>14,} {elapsed:6.2f}"
+        )
+
+    print(
+        "\nLinearity check (utility / base utility vs c-node factor):"
+    )
+    for label, build in TABLE2_WORKLOADS.items():
+        problem = build()
+        optimizer = LRGP(problem, LRGPConfig.adaptive())
+        optimizer.run(120)
+        nodes = len(problem.consumer_nodes())
+        print(
+            f"  {label:24} c-nodes x{nodes // 3}: utility ratio "
+            f"{optimizer.utilities[-1] / base_utility:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

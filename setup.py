@@ -1,0 +1,10 @@
+"""Shim for editable installs in environments without the ``wheel`` package.
+
+All real metadata lives in pyproject.toml; ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or plain ``pip install -e .`` where wheel is
+available) both work.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,96 @@
+"""LRGP — utility optimization for event-driven distributed infrastructures.
+
+A full reproduction of Lumezanu, Bhola & Astley (ICDCS 2006): the LRGP
+distributed optimizer (Lagrangian rate allocation + greedy consumer
+admission linked by benefit/cost node prices), the system model it runs on,
+a message-passing runtime, an event-driven pub/sub simulator used to
+validate the resource model, baselines (simulated annealing among them),
+the paper's workloads and the full experiment harness.
+
+Quickstart::
+
+    from repro import LRGP, base_workload, total_utility
+
+    problem = base_workload()
+    optimizer = LRGP(problem)
+    optimizer.run(250)
+    print(total_utility(problem, optimizer.allocation()))
+"""
+
+from repro.core import (
+    LRGP,
+    AdaptiveGamma,
+    FixedGamma,
+    IterationRecord,
+    LRGPConfig,
+    MultirateLRGP,
+    iterations_until_convergence,
+    two_stage_optimize,
+)
+from repro.model import (
+    Allocation,
+    ConsumerClass,
+    CostModel,
+    CostModelBuilder,
+    Flow,
+    Link,
+    Node,
+    Problem,
+    Route,
+    build_problem,
+    is_feasible,
+    total_utility,
+    violations,
+)
+from repro.utility import (
+    LogUtility,
+    PowerUtility,
+    UtilityFunction,
+    rank_log,
+    rank_power,
+)
+from repro.workloads import (
+    base_workload,
+    generate_workload,
+    link_bottleneck_workload,
+    micro_workload,
+    scale_consumer_nodes,
+    scale_flows,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LRGP",
+    "AdaptiveGamma",
+    "Allocation",
+    "ConsumerClass",
+    "CostModel",
+    "CostModelBuilder",
+    "FixedGamma",
+    "Flow",
+    "IterationRecord",
+    "LRGPConfig",
+    "Link",
+    "LogUtility",
+    "MultirateLRGP",
+    "Node",
+    "PowerUtility",
+    "Problem",
+    "Route",
+    "UtilityFunction",
+    "base_workload",
+    "build_problem",
+    "generate_workload",
+    "is_feasible",
+    "iterations_until_convergence",
+    "link_bottleneck_workload",
+    "micro_workload",
+    "rank_log",
+    "rank_power",
+    "scale_consumer_nodes",
+    "scale_flows",
+    "total_utility",
+    "two_stage_optimize",
+    "violations",
+]

@@ -1,0 +1,73 @@
+"""Baselines and bounds LRGP is evaluated against.
+
+* :func:`simulated_annealing` / :func:`best_of_temperatures` — the paper's
+  comparison algorithm (section 4.4), with its exact cooling schedule.
+* :func:`hill_climb`, :func:`random_search`, :func:`greedy_fixed_rates` —
+  calibration baselines around SA.
+* :func:`exhaustive_search` — ground truth on tiny instances.
+* :func:`utility_upper_bound` and friends — analytic optimality yardsticks.
+"""
+
+from repro.baselines.annealing import (
+    PAPER_START_TEMPERATURES,
+    PAPER_STEP_LIMITS,
+    AnnealingConfig,
+    AnnealingResult,
+    best_of_temperatures,
+    simulated_annealing,
+    temperature_levels,
+)
+from repro.baselines.coordinate import (
+    CoordinateResult,
+    alternating_optimization,
+    multistart_alternating,
+)
+from repro.baselines.bounds import (
+    capacity_density_bound,
+    demand_bound,
+    utility_upper_bound,
+)
+from repro.baselines.exhaustive import ExhaustiveResult, exhaustive_search
+from repro.baselines.incremental import (
+    IncrementalState,
+    InfeasibleMoveError,
+    Move,
+    PopulationMove,
+    RateMove,
+)
+from repro.baselines.local_search import (
+    SearchResult,
+    greedy_fixed_rates,
+    hill_climb,
+    random_search,
+)
+from repro.baselines.moves import MoveConfig, MoveProposer
+
+__all__ = [
+    "PAPER_START_TEMPERATURES",
+    "PAPER_STEP_LIMITS",
+    "AnnealingConfig",
+    "AnnealingResult",
+    "CoordinateResult",
+    "ExhaustiveResult",
+    "alternating_optimization",
+    "multistart_alternating",
+    "IncrementalState",
+    "InfeasibleMoveError",
+    "Move",
+    "MoveConfig",
+    "MoveProposer",
+    "PopulationMove",
+    "RateMove",
+    "SearchResult",
+    "best_of_temperatures",
+    "capacity_density_bound",
+    "demand_bound",
+    "exhaustive_search",
+    "greedy_fixed_rates",
+    "hill_climb",
+    "random_search",
+    "simulated_annealing",
+    "temperature_levels",
+    "utility_upper_bound",
+]

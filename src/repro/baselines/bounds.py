@@ -1,0 +1,95 @@
+"""Analytic upper bounds on the achievable total utility.
+
+The exact problem is nonconvex, but cheap relaxations bound the optimum
+from above, giving tests and experiments an absolute yardstick:
+
+* :func:`demand_bound` — ignore all resource constraints: every consumer
+  admitted at the maximum rate.
+* :func:`capacity_density_bound` — all utility is produced by admitted
+  consumers, and a consumer of class ``j`` run at rate ``r`` produces
+  ``U_j(r)`` utility for ``G_{b,j} * r`` node resource.  One unit of node
+  resource therefore yields at most ``max_r U_j(r) / (G_{b,j} r)`` utility,
+  so node ``b`` contributes at most ``c_b * max_j density_j``, additionally
+  capped by the node's total demand.  Summing over nodes is a valid (often
+  much tighter) upper bound because classes attach to single nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.entities import NodeId
+from repro.model.problem import Problem
+
+#: Grid resolution used to maximize the utility-per-resource density over r.
+_DENSITY_GRID_POINTS = 512
+
+
+def demand_bound(problem: Problem) -> float:
+    """``sum_j n_j^max * U_j(r_i^max)`` — the no-resource-limits ceiling."""
+    total = 0.0
+    for cls in problem.classes.values():
+        flow = problem.flows[cls.flow_id]
+        total += cls.max_consumers * cls.utility.value(flow.rate_max)
+    return total
+
+
+def _max_density(problem: Problem, node_id: NodeId, class_id: str) -> float:
+    """``max_{r in [r_min, r_max]} U_j(r) / (G_{b,j} * r)``, by dense grid.
+
+    The ratio of a concave increasing function to a linear one is unimodal,
+    so a dense grid is accurate; we take the grid max (a slight
+    underestimate) times a one-grid-step safety factor to stay a true upper
+    bound within practical tolerance.
+    """
+    cls = problem.classes[class_id]
+    flow = problem.flows[cls.flow_id]
+    unit = problem.costs.consumer(node_id, class_id)
+    if unit <= 0.0:
+        return float("inf")
+    low = max(flow.rate_min, 1e-9)
+    rates = np.linspace(low, flow.rate_max, _DENSITY_GRID_POINTS)
+    densities = [cls.utility.value(float(r)) / (unit * float(r)) for r in rates]
+    return max(densities)
+
+
+def node_demand(problem: Problem, node_id: NodeId) -> float:
+    """Maximum utility the node's classes could ever produce."""
+    total = 0.0
+    for class_id in problem.classes_at_node(node_id):
+        cls = problem.classes[class_id]
+        flow = problem.flows[cls.flow_id]
+        total += cls.max_consumers * cls.utility.value(flow.rate_max)
+    return total
+
+
+def capacity_density_bound(problem: Problem) -> float:
+    """Per-node capacity-times-best-density bound (see module docstring).
+
+    Nodes hosting a zero-cost class (infinite density) fall back to their
+    demand bound.
+    """
+    total = 0.0
+    for node_id in problem.consumer_nodes():
+        capacity = problem.nodes[node_id].capacity
+        demand = node_demand(problem, node_id)
+        if capacity == float("inf"):
+            total += demand
+            continue
+        best_density = max(
+            (
+                _max_density(problem, node_id, class_id)
+                for class_id in problem.classes_at_node(node_id)
+            ),
+            default=0.0,
+        )
+        if best_density == float("inf"):
+            total += demand
+        else:
+            total += min(demand, capacity * best_density)
+    return total
+
+
+def utility_upper_bound(problem: Problem) -> float:
+    """The tightest of the available analytic bounds."""
+    return min(demand_bound(problem), capacity_density_bound(problem))

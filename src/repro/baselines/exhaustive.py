@@ -1,0 +1,98 @@
+"""Exhaustive grid search — ground truth for tiny problem instances.
+
+Section 4.4 notes the solution-space size forbids exhaustive search on the
+evaluation workloads; on *tiny* instances it is tractable and gives the
+tests a true optimum to compare LRGP and the baselines against.
+
+Rates are discretized on a grid; populations are enumerated exactly (they
+are already integral).  The search prunes by node budgets while recursing
+over classes, so it handles a few hundred thousand candidate combinations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.allocation import (
+    Allocation,
+    is_feasible,
+    total_utility,
+)
+from repro.model.problem import Problem
+
+
+@dataclass(frozen=True)
+class ExhaustiveResult:
+    best_utility: float
+    best_allocation: Allocation
+    evaluated: int
+
+
+def _population_choices(problem: Problem, max_populations: int) -> dict[str, list[int]]:
+    """Candidate population values per class: 0..n^max, subsampled evenly
+    when n^max is large."""
+    choices: dict[str, list[int]] = {}
+    for class_id, cls in problem.classes.items():
+        if cls.max_consumers + 1 <= max_populations:
+            choices[class_id] = list(range(cls.max_consumers + 1))
+        else:
+            values = np.linspace(0, cls.max_consumers, max_populations)
+            choices[class_id] = sorted({int(round(v)) for v in values})
+    return choices
+
+
+def exhaustive_search(
+    problem: Problem,
+    rate_grid_points: int = 5,
+    max_populations: int = 6,
+) -> ExhaustiveResult:
+    """Enumerate a rate grid x population grid; return the feasible optimum.
+
+    Complexity is ``rate_grid_points ** |F| * max_populations ** |C|`` —
+    only use on problems with a handful of flows and classes (tests do).
+    """
+    if rate_grid_points < 2:
+        raise ValueError("rate_grid_points must be at least 2")
+    flow_ids = sorted(problem.flows)
+    class_ids = sorted(problem.classes)
+    rate_grids = [
+        np.linspace(
+            problem.flows[flow_id].rate_min,
+            problem.flows[flow_id].rate_max,
+            rate_grid_points,
+        )
+        for flow_id in flow_ids
+    ]
+    population_choices = _population_choices(problem, max_populations)
+
+    best_utility = float("-inf")
+    best_allocation: Allocation | None = None
+    evaluated = 0
+
+    for rate_tuple in itertools.product(*rate_grids):
+        rates = {flow_id: float(rate) for flow_id, rate in zip(flow_ids, rate_tuple)}
+        for population_tuple in itertools.product(
+            *(population_choices[class_id] for class_id in class_ids)
+        ):
+            evaluated += 1
+            allocation = Allocation(
+                rates=rates,
+                populations=dict(zip(class_ids, population_tuple)),
+            )
+            if not is_feasible(problem, allocation):
+                continue
+            utility = total_utility(problem, allocation)
+            if utility > best_utility:
+                best_utility = utility
+                best_allocation = allocation
+
+    if best_allocation is None:
+        raise RuntimeError("no feasible point on the search grid")
+    return ExhaustiveResult(
+        best_utility=best_utility,
+        best_allocation=best_allocation,
+        evaluated=evaluated,
+    )

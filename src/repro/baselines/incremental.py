@@ -1,0 +1,371 @@
+"""Incremental solution state for local-search baselines.
+
+Simulated annealing and hill climbing evaluate millions of single-variable
+moves; recomputing eq. 1/4/5 from scratch per move would be O(problem size)
+each.  :class:`IncrementalState` maintains the objective and all resource
+usages under two move types — change one flow's rate, change one class's
+population — in O(affected entities) per move, with exact feasibility
+checking before a move is applied.
+
+The key cached quantity is, per (node, flow),
+
+    coeff[b, i] = F_{b,i} + sum_{j in attachMap_i(b)} G_{b,j} n_j
+
+so a rate change of flow ``i`` shifts node ``b``'s usage by
+``coeff[b, i] * (r' - r)``, and a population change of class ``j`` shifts
+both its node's usage and ``coeff`` by ``G_{b,j} * dn`` (times the rate, for
+the usage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.allocation import Allocation
+from repro.model.entities import ClassId, FlowId, LinkId, NodeId
+from repro.model.problem import Problem
+
+#: Relative capacity slack tolerated when accepting a move, matching
+#: :data:`repro.model.allocation.FEASIBILITY_RTOL`.
+_CAPACITY_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class RateMove:
+    """Replace flow ``flow_id``'s rate with ``new_rate``."""
+
+    flow_id: FlowId
+    new_rate: float
+    utility_delta: float
+
+
+@dataclass(frozen=True)
+class PopulationMove:
+    """Replace class ``class_id``'s population with ``new_population``."""
+
+    class_id: ClassId
+    new_population: int
+    utility_delta: float
+
+
+@dataclass(frozen=True)
+class CompositeMove:
+    """A sequence of primitive moves applied atomically.
+
+    Used for proposals that must cross a constraint "valley" in one step —
+    e.g. evict low-value consumers *and* raise a rate, or transfer node
+    budget between two classes.  The embedded primitive deltas are computed
+    sequentially (each against the state left by its predecessors), so
+    ``utility_delta`` is exact.
+    """
+
+    moves: tuple["RateMove | PopulationMove", ...]
+    utility_delta: float
+
+
+Move = RateMove | PopulationMove | CompositeMove
+
+
+class InfeasibleMoveError(ValueError):
+    """Raised when applying a move that violates a constraint."""
+
+
+class IncrementalState:
+    """A mutable feasible solution with O(1)-ish move evaluation."""
+
+    def __init__(self, problem: Problem, allocation: Allocation) -> None:
+        self._problem = problem
+        self.rates: dict[FlowId, float] = {
+            flow_id: allocation.rate(flow_id) for flow_id in problem.flows
+        }
+        self.populations: dict[ClassId, int] = {
+            class_id: allocation.population(class_id) for class_id in problem.classes
+        }
+        self._rebuild_caches()
+
+    def _rebuild_caches(self) -> None:
+        problem = self._problem
+        self.utility = 0.0
+        for class_id, cls in problem.classes.items():
+            population = self.populations[class_id]
+            if population > 0:
+                self.utility += population * cls.utility.value(self.rates[cls.flow_id])
+
+        # coeff[b, i] = F + sum G n   (per node, per flow reaching it)
+        self._coeff: dict[tuple[NodeId, FlowId], float] = {}
+        self.node_used: dict[NodeId, float] = {}
+        for node_id in problem.nodes:
+            used = 0.0
+            for flow_id in problem.flows_at_node(node_id):
+                coefficient = problem.costs.flow_node(node_id, flow_id)
+                for class_id in problem.classes_of_flow_at_node(flow_id, node_id):
+                    coefficient += (
+                        problem.costs.consumer(node_id, class_id)
+                        * self.populations[class_id]
+                    )
+                self._coeff[(node_id, flow_id)] = coefficient
+                used += coefficient * self.rates[flow_id]
+            self.node_used[node_id] = used
+
+        self.link_used: dict[LinkId, float] = {}
+        for link_id in problem.links:
+            self.link_used[link_id] = sum(
+                problem.costs.link(link_id, flow_id) * self.rates[flow_id]
+                for flow_id in problem.flows_on_link(link_id)
+            )
+
+    # -- move evaluation ----------------------------------------------------
+
+    def evaluate_rate_move(self, flow_id: FlowId, new_rate: float) -> RateMove | None:
+        """Return the move if feasible (with its utility delta), else None."""
+        problem = self._problem
+        flow = problem.flows[flow_id]
+        if not flow.rate_min <= new_rate <= flow.rate_max:
+            return None
+        old_rate = self.rates[flow_id]
+        delta_rate = new_rate - old_rate
+
+        route = problem.route(flow_id)
+        if delta_rate > 0.0:  # decreases can never violate resources
+            for node_id in route.nodes:
+                capacity = problem.nodes[node_id].capacity
+                if capacity == float("inf"):
+                    continue
+                new_used = (
+                    self.node_used[node_id]
+                    + self._coeff[(node_id, flow_id)] * delta_rate
+                )
+                if new_used > capacity * (1.0 + _CAPACITY_RTOL):
+                    return None
+            for link_id in route.links:
+                capacity = problem.links[link_id].capacity
+                if capacity == float("inf"):
+                    continue
+                new_used = (
+                    self.link_used[link_id]
+                    + problem.costs.link(link_id, flow_id) * delta_rate
+                )
+                if new_used > capacity * (1.0 + _CAPACITY_RTOL):
+                    return None
+
+        utility_delta = 0.0
+        for class_id in problem.classes_of_flow(flow_id):
+            population = self.populations[class_id]
+            if population > 0:
+                utility = problem.classes[class_id].utility
+                utility_delta += population * (
+                    utility.value(new_rate) - utility.value(old_rate)
+                )
+        return RateMove(flow_id=flow_id, new_rate=new_rate, utility_delta=utility_delta)
+
+    def evaluate_population_move(
+        self, class_id: ClassId, new_population: int
+    ) -> PopulationMove | None:
+        """Return the move if feasible (with its utility delta), else None."""
+        problem = self._problem
+        cls = problem.classes[class_id]
+        if not 0 <= new_population <= cls.max_consumers:
+            return None
+        old_population = self.populations[class_id]
+        delta = new_population - old_population
+        rate = self.rates[cls.flow_id]
+        unit_cost = problem.costs.consumer(cls.node, class_id)
+
+        if delta > 0:
+            capacity = problem.nodes[cls.node].capacity
+            if capacity != float("inf"):
+                new_used = self.node_used[cls.node] + unit_cost * delta * rate
+                if new_used > capacity * (1.0 + _CAPACITY_RTOL):
+                    return None
+
+        utility_delta = delta * cls.utility.value(rate)
+        return PopulationMove(
+            class_id=class_id,
+            new_population=new_population,
+            utility_delta=utility_delta,
+        )
+
+    def evaluate_swap_move(
+        self, class_from: ClassId, class_to: ClassId, evict: int
+    ) -> CompositeMove | None:
+        """Transfer node budget between two classes at the same node.
+
+        Unadmits ``evict`` consumers of ``class_from`` and admits as many
+        consumers of ``class_to`` as the freed (plus any existing) headroom
+        allows.  Returns ``None`` when the classes are not colocated, the
+        eviction is impossible, or nothing would be admitted.
+        """
+        problem = self._problem
+        src = problem.classes[class_from]
+        dst = problem.classes[class_to]
+        if src.node != dst.node or class_from == class_to:
+            return None
+        if evict < 1 or evict > self.populations[class_from]:
+            return None
+        capacity = problem.nodes[src.node].capacity
+        rate_from = self.rates[src.flow_id]
+        rate_to = self.rates[dst.flow_id]
+        unit_from = problem.costs.consumer(src.node, class_from) * rate_from
+        unit_to = problem.costs.consumer(dst.node, class_to) * rate_to
+
+        headroom = (capacity - self.node_used[src.node]) + unit_from * evict
+        if unit_to <= 0.0:
+            admit = dst.max_consumers - self.populations[class_to]
+        else:
+            admit = min(
+                dst.max_consumers - self.populations[class_to],
+                int(headroom / unit_to + _CAPACITY_RTOL) if headroom > 0.0 else 0,
+            )
+        if admit <= 0:
+            return None
+
+        first = PopulationMove(
+            class_id=class_from,
+            new_population=self.populations[class_from] - evict,
+            utility_delta=-evict * src.utility.value(rate_from),
+        )
+        second = PopulationMove(
+            class_id=class_to,
+            new_population=self.populations[class_to] + admit,
+            utility_delta=admit * dst.utility.value(rate_to),
+        )
+        return CompositeMove(
+            moves=(first, second),
+            utility_delta=first.utility_delta + second.utility_delta,
+        )
+
+    def evaluate_rate_move_with_eviction(
+        self, flow_id: FlowId, new_rate: float
+    ) -> Move | None:
+        """A rate change that evicts consumers to stay feasible.
+
+        When raising ``flow_id``'s rate would overload a node on its route,
+        consumers at that node are (virtually) unadmitted in increasing
+        benefit/cost order until the new rate fits; the returned composite
+        applies the evictions and then the rate change.  Falls back to the
+        plain rate move when no eviction is needed; returns ``None`` when a
+        *link* on the route cannot fit the new rate (links have no
+        consumers to evict) or eviction cannot create enough room.
+        """
+        problem = self._problem
+        flow = problem.flows[flow_id]
+        if not flow.rate_min <= new_rate <= flow.rate_max:
+            return None
+        old_rate = self.rates[flow_id]
+        delta_rate = new_rate - old_rate
+        plain = self.evaluate_rate_move(flow_id, new_rate)
+        if plain is not None:
+            return plain
+        route = problem.route(flow_id)
+        for link_id in route.links:
+            capacity = problem.links[link_id].capacity
+            if capacity == float("inf"):
+                continue
+            new_used = (
+                self.link_used[link_id]
+                + problem.costs.link(link_id, flow_id) * delta_rate
+            )
+            if new_used > capacity * (1.0 + _CAPACITY_RTOL):
+                return None  # cannot evict on a link
+
+        # Virtual populations: evictions planned so far, per class.
+        virtual: dict[ClassId, int] = {}
+        evictions: list[PopulationMove] = []
+        for node_id in route.nodes:
+            capacity = problem.nodes[node_id].capacity
+            if capacity == float("inf"):
+                continue
+            coefficient = self._coeff[(node_id, flow_id)]
+            excess = (
+                self.node_used[node_id] + coefficient * delta_rate - capacity
+            )
+            if excess <= capacity * _CAPACITY_RTOL:
+                continue
+            # Evict in increasing benefit/cost order (cheapest value first).
+            candidates = []
+            for cand_id in problem.classes_at_node(node_id):
+                population = virtual.get(cand_id, self.populations[cand_id])
+                if population == 0:
+                    continue
+                cand = problem.classes[cand_id]
+                cand_rate = (
+                    new_rate if cand.flow_id == flow_id else self.rates[cand.flow_id]
+                )
+                unit = problem.costs.consumer(node_id, cand_id) * cand_rate
+                if unit <= 0.0:
+                    continue  # evicting free consumers releases nothing
+                ratio = cand.utility.value(cand_rate) / unit
+                candidates.append((ratio, cand_id, population, unit, cand))
+            candidates.sort(key=lambda item: (item[0], item[1]))
+            for _, cand_id, population, unit, cand in candidates:
+                if excess <= 0.0:
+                    break
+                count = min(population, int(excess / unit) + 1)
+                virtual[cand_id] = population - count
+                # Utility delta of the eviction at the *current* rate; the
+                # rate-move delta below then uses post-eviction populations.
+                evictions.append(
+                    PopulationMove(
+                        class_id=cand_id,
+                        new_population=population - count,
+                        utility_delta=-count
+                        * cand.utility.value(self.rates[cand.flow_id]),
+                    )
+                )
+                excess -= count * unit
+            if excess > 0.0:
+                return None  # even a consumer-free node cannot fit the rate
+
+        utility_delta = 0.0
+        for class_id in problem.classes_of_flow(flow_id):
+            population = virtual.get(class_id, self.populations[class_id])
+            if population > 0:
+                utility = problem.classes[class_id].utility
+                utility_delta += population * (
+                    utility.value(new_rate) - utility.value(old_rate)
+                )
+        rate_move = RateMove(
+            flow_id=flow_id, new_rate=new_rate, utility_delta=utility_delta
+        )
+        total = sum(move.utility_delta for move in evictions) + utility_delta
+        return CompositeMove(
+            moves=(*evictions, rate_move), utility_delta=total
+        )
+
+    # -- move application --------------------------------------------------------
+
+    def apply(self, move: Move) -> None:
+        """Commit a move returned by one of the evaluate methods."""
+        problem = self._problem
+        if isinstance(move, CompositeMove):
+            for part in move.moves:
+                self.apply(part)
+            # Primitive applications already accumulated the utility.
+            return
+        if isinstance(move, RateMove):
+            flow_id = move.flow_id
+            delta_rate = move.new_rate - self.rates[flow_id]
+            route = problem.route(flow_id)
+            for node_id in route.nodes:
+                self.node_used[node_id] += (
+                    self._coeff[(node_id, flow_id)] * delta_rate
+                )
+            for link_id in route.links:
+                self.link_used[link_id] += (
+                    problem.costs.link(link_id, flow_id) * delta_rate
+                )
+            self.rates[flow_id] = move.new_rate
+        elif isinstance(move, PopulationMove):
+            cls = problem.classes[move.class_id]
+            delta = move.new_population - self.populations[move.class_id]
+            unit_cost = problem.costs.consumer(cls.node, move.class_id)
+            rate = self.rates[cls.flow_id]
+            self.node_used[cls.node] += unit_cost * delta * rate
+            self._coeff[(cls.node, cls.flow_id)] += unit_cost * delta
+            self.populations[move.class_id] = move.new_population
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown move type {type(move).__name__}")
+        self.utility += move.utility_delta
+
+    def allocation(self) -> Allocation:
+        return Allocation(rates=dict(self.rates), populations=dict(self.populations))

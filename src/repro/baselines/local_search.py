@@ -1,0 +1,143 @@
+"""Hill climbing and random search baselines.
+
+Not in the paper's evaluation, but useful calibration points around the
+simulated-annealing comparison: hill climbing is SA at temperature zero
+(pure greedy over the same move kernel), random restart sampling bounds how
+much of SA's performance comes from the walk at all.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.baselines.incremental import IncrementalState
+from repro.baselines.moves import MoveConfig, MoveProposer
+from repro.core.consumer_allocation import allocate_all_consumers
+from repro.model.allocation import Allocation, total_utility, zero_allocation
+from repro.model.problem import Problem
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a local/random search run."""
+
+    best_utility: float
+    best_allocation: Allocation
+    steps: int
+    runtime_seconds: float
+
+
+def hill_climb(
+    problem: Problem,
+    max_steps: int = 10**5,
+    seed: int = 0,
+    initial: Allocation | None = None,
+    move_config: MoveConfig | None = None,
+) -> SearchResult:
+    """First-improvement stochastic hill climbing over the SA move kernel.
+
+    Accepts only strictly improving feasible moves; equivalent to annealing
+    at temperature zero.
+    """
+    if max_steps < 1:
+        raise ValueError("max_steps must be at least 1")
+    rng = random.Random(seed)
+    state = IncrementalState(problem, initial or zero_allocation(problem))
+    proposer = MoveProposer(problem, rng, move_config)
+    started = time.perf_counter()
+    for _ in range(max_steps):
+        move = proposer.propose(state)
+        if move is not None and move.utility_delta > 0.0:
+            state.apply(move)
+    return SearchResult(
+        best_utility=state.utility,
+        best_allocation=state.allocation(),
+        steps=max_steps,
+        runtime_seconds=time.perf_counter() - started,
+    )
+
+
+def random_search(
+    problem: Problem,
+    samples: int = 1000,
+    seed: int = 0,
+) -> SearchResult:
+    """Best of ``samples`` random feasible allocations.
+
+    Each sample draws uniform rates inside the bounds and then fills
+    populations with the greedy consumer allocation in a random class order
+    — i.e. it is repair-based sampling: populations are always feasible
+    given the rates.
+    """
+    if samples < 1:
+        raise ValueError("samples must be at least 1")
+    rng = random.Random(seed)
+    best_utility = float("-inf")
+    best_allocation: Allocation | None = None
+    started = time.perf_counter()
+
+    class_ids = sorted(problem.classes)
+    for _ in range(samples):
+        rates = {
+            flow_id: rng.uniform(flow.rate_min, flow.rate_max)
+            for flow_id, flow in problem.flows.items()
+        }
+        # Random-priority greedy fill: like the LRGP node allocation but
+        # with shuffled (not benefit/cost sorted) class order.
+        populations: dict[str, int] = {class_id: 0 for class_id in class_ids}
+        budgets = {
+            node_id: problem.nodes[node_id].capacity
+            - sum(
+                problem.costs.flow_node(node_id, flow_id) * rates[flow_id]
+                for flow_id in problem.flows_at_node(node_id)
+            )
+            for node_id in problem.consumer_nodes()
+        }
+        order = list(class_ids)
+        rng.shuffle(order)
+        for class_id in order:
+            cls = problem.classes[class_id]
+            unit_cost = problem.costs.consumer(cls.node, class_id) * rates[cls.flow_id]
+            if unit_cost <= 0.0:
+                populations[class_id] = cls.max_consumers
+                continue
+            budget = budgets.get(cls.node, 0.0)
+            if budget <= 0.0:
+                continue
+            admitted = min(cls.max_consumers, int(budget / unit_cost))
+            populations[class_id] = admitted
+            budgets[cls.node] = budget - admitted * unit_cost
+
+        allocation = Allocation(rates=rates, populations=populations)
+        utility = total_utility(problem, allocation)
+        if utility > best_utility:
+            best_utility = utility
+            best_allocation = allocation
+
+    assert best_allocation is not None
+    return SearchResult(
+        best_utility=best_utility,
+        best_allocation=best_allocation,
+        steps=samples,
+        runtime_seconds=time.perf_counter() - started,
+    )
+
+
+def greedy_fixed_rates(problem: Problem, rates: dict[str, float]) -> SearchResult:
+    """The pure-greedy baseline: fix rates, run the LRGP consumer allocation
+    once at every node.  Useful to isolate how much LRGP's price loop adds
+    over one-shot greedy admission."""
+    started = time.perf_counter()
+    node_allocations = allocate_all_consumers(problem, rates)
+    populations: dict[str, int] = {class_id: 0 for class_id in problem.classes}
+    for result in node_allocations.values():
+        populations.update(result.populations)
+    allocation = Allocation(rates=dict(rates), populations=populations)
+    return SearchResult(
+        best_utility=total_utility(problem, allocation),
+        best_allocation=allocation,
+        steps=1,
+        runtime_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,148 @@
+"""The randomized move kernel shared by annealing and hill climbing.
+
+One proposal is either a rate move (perturb one flow's rate by a Gaussian
+step) or a population move (shift one class's population by a log-uniform
+signed step).  Moves that would leave the bounds or violate a resource
+constraint evaluate to ``None`` and count as rejected.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.baselines.incremental import IncrementalState, Move
+from repro.model.problem import Problem
+
+
+@dataclass(frozen=True)
+class MoveConfig:
+    """Proposal distribution knobs.
+
+    The four proposal kinds and their weights:
+
+    * ``rate`` — perturb one flow's rate (reject if infeasible);
+    * ``rate_evict`` — perturb one flow's rate, evicting cheapest-value
+      consumers as needed to stay feasible;
+    * ``population`` — shift one class's population;
+    * ``swap`` — transfer node budget from one class to a colocated one.
+
+    The compound kinds let the walk cross constraint valleys (a full node
+    blocks every primitive uphill move) in a single Metropolis step.
+    """
+
+    rate_weight: float = 0.2
+    rate_evict_weight: float = 0.2
+    population_weight: float = 0.3
+    swap_weight: float = 0.3
+    #: Gaussian rate-step scale, relative to the flow's rate span.
+    rate_step_fraction: float = 0.1
+    #: Population steps are drawn log-uniformly in [1, fraction * n^max].
+    population_step_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        weights = (
+            self.rate_weight,
+            self.rate_evict_weight,
+            self.population_weight,
+            self.swap_weight,
+        )
+        if any(w < 0.0 for w in weights) or sum(weights) <= 0.0:
+            raise ValueError("move weights must be non-negative with positive sum")
+        if self.rate_step_fraction <= 0.0:
+            raise ValueError("rate_step_fraction must be positive")
+        if self.population_step_fraction <= 0.0:
+            raise ValueError("population_step_fraction must be positive")
+
+
+class MoveProposer:
+    """Draws random moves against an :class:`IncrementalState`."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        rng: random.Random,
+        config: MoveConfig | None = None,
+    ) -> None:
+        self._problem = problem
+        self._rng = rng
+        self._config = config or MoveConfig()
+        self._flow_ids = sorted(problem.flows)
+        self._class_ids = sorted(problem.classes)
+        self._classes_by_node = {
+            node_id: sorted(problem.classes_at_node(node_id))
+            for node_id in problem.consumer_nodes()
+        }
+        self._swap_nodes = [
+            node_id
+            for node_id, class_ids in self._classes_by_node.items()
+            if len(class_ids) >= 2
+        ]
+        if not self._flow_ids:
+            raise ValueError("problem has no flows")
+        config = self._config
+        self._kinds = ["rate", "rate_evict", "population", "swap"]
+        self._weights = [
+            config.rate_weight,
+            config.rate_evict_weight,
+            config.population_weight if self._class_ids else 0.0,
+            config.swap_weight if self._swap_nodes else 0.0,
+        ]
+        if sum(self._weights) <= 0.0:
+            raise ValueError("no applicable move kinds for this problem")
+
+    def propose(self, state: IncrementalState) -> Move | None:
+        """One random proposal; ``None`` when out of bounds or infeasible."""
+        kind = self._rng.choices(self._kinds, weights=self._weights)[0]
+        if kind == "rate":
+            return self._propose_rate(state, evict=False)
+        if kind == "rate_evict":
+            return self._propose_rate(state, evict=True)
+        if kind == "population":
+            return self._propose_population(state)
+        return self._propose_swap(state)
+
+    def _log_uniform_step(self, max_step: int) -> int:
+        """Log-uniform magnitude: many small corrections, occasional jumps."""
+        magnitude = int(math.exp(self._rng.uniform(0.0, math.log(max_step + 1.0))))
+        return max(1, min(magnitude, max_step))
+
+    def _propose_rate(self, state: IncrementalState, evict: bool) -> Move | None:
+        flow_id = self._rng.choice(self._flow_ids)
+        flow = self._problem.flows[flow_id]
+        span = flow.rate_max - flow.rate_min
+        if span <= 0.0:
+            return None
+        step = self._rng.gauss(0.0, self._config.rate_step_fraction * span)
+        new_rate = flow.clamp(state.rates[flow_id] + step)
+        if new_rate == state.rates[flow_id]:
+            return None
+        if evict:
+            return state.evaluate_rate_move_with_eviction(flow_id, new_rate)
+        return state.evaluate_rate_move(flow_id, new_rate)
+
+    def _propose_population(self, state: IncrementalState) -> Move | None:
+        class_id = self._rng.choice(self._class_ids)
+        cls = self._problem.classes[class_id]
+        if cls.max_consumers == 0:
+            return None
+        max_step = max(
+            1, int(self._config.population_step_fraction * cls.max_consumers)
+        )
+        magnitude = self._log_uniform_step(max_step)
+        sign = 1 if self._rng.random() < 0.5 else -1
+        new_population = state.populations[class_id] + sign * magnitude
+        new_population = max(0, min(new_population, cls.max_consumers))
+        if new_population == state.populations[class_id]:
+            return None
+        return state.evaluate_population_move(class_id, new_population)
+
+    def _propose_swap(self, state: IncrementalState) -> Move | None:
+        node_id = self._rng.choice(self._swap_nodes)
+        class_from, class_to = self._rng.sample(self._classes_by_node[node_id], 2)
+        population = state.populations[class_from]
+        if population == 0:
+            return None
+        evict = self._log_uniform_step(population)
+        return state.evaluate_swap_move(class_from, class_to, evict)

@@ -1,0 +1,296 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``optimize``  — run LRGP on a workload (built-in name or a problem JSON
+  file), print the allocation summary, optionally write the allocation
+  and/or a full iteration trace.
+* ``workload``  — materialize a built-in workload as problem JSON.
+* ``figure``    — regenerate one of the paper's figures (1-4) as an ASCII
+  chart plus data rows.
+* ``table``     — regenerate one of the paper's tables (1-3).
+* ``extension`` — run one of the extension experiments (E1-E3).
+
+Examples::
+
+    python -m repro optimize base --iterations 250
+    python -m repro optimize path/to/problem.json --trace trace.csv
+    python -m repro workload base -o base.json
+    python -m repro figure 1
+    python -m repro table 2 --sa-steps 200000
+    python -m repro extension e2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.convergence import iterations_until_convergence
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.core.trace import write_trace
+from repro.experiments.extensions import (
+    extension_capacity_churn,
+    extension_communication,
+    extension_coordinate,
+    extension_link_pricing,
+    extension_multirate,
+    extension_queueing_latency,
+    extension_two_stage,
+)
+from repro.experiments.figures import (
+    figure1_damping,
+    figure2_adaptive_gamma,
+    figure3_recovery,
+    figure4_power_utility,
+)
+from repro.experiments.reporting import (
+    render_ascii_chart,
+    render_series_rows,
+    render_table,
+)
+from repro.experiments.tables import (
+    table1_workload,
+    table2_scalability,
+    table3_utility_shapes,
+)
+from repro.model.allocation import is_feasible, total_utility
+from repro.model.problem import Problem
+from repro.model.serialization import (
+    allocation_to_json,
+    problem_from_json,
+    problem_to_json,
+)
+from repro.workloads.base import base_workload
+from repro.workloads.bottleneck import link_bottleneck_workload
+from repro.workloads.micro import micro_workload
+from repro.workloads.scaling import scale_consumer_nodes, scale_flows
+from repro.workloads.scenarios import latest_price_scenario, trade_data_scenario
+from repro.workloads.tree import tree_workload
+
+#: Built-in workload names accepted wherever a problem is expected.
+BUILTIN_WORKLOADS = {
+    "base": lambda: base_workload(),
+    "base-pow25": lambda: base_workload("pow25"),
+    "base-pow50": lambda: base_workload("pow50"),
+    "base-pow75": lambda: base_workload("pow75"),
+    "flows-x2": lambda: scale_flows(2),
+    "flows-x4": lambda: scale_flows(4),
+    "cnodes-x2": lambda: scale_consumer_nodes(2),
+    "cnodes-x4": lambda: scale_consumer_nodes(4),
+    "cnodes-x8": lambda: scale_consumer_nodes(8),
+    "trade-data": lambda: trade_data_scenario().problem,
+    "latest-price": lambda: latest_price_scenario().problem,
+    "link-bottleneck": lambda: link_bottleneck_workload(link_capacity=100.0),
+    "tree": lambda: tree_workload(),
+    "micro": lambda: micro_workload(),
+}
+
+
+def load_problem(spec: str) -> Problem:
+    """Resolve a workload spec: a built-in name or a problem JSON path."""
+    if spec in BUILTIN_WORKLOADS:
+        return BUILTIN_WORKLOADS[spec]()
+    path = Path(spec)
+    if path.exists():
+        return problem_from_json(path.read_text())
+    raise SystemExit(
+        f"unknown workload {spec!r}: not a builtin "
+        f"({', '.join(sorted(BUILTIN_WORKLOADS))}) and no such file"
+    )
+
+
+def _optimize_multirate(args: argparse.Namespace, problem: Problem) -> int:
+    from repro.core.multirate import (
+        MultirateLRGP,
+        multirate_total_utility,
+    )
+
+    optimizer = MultirateLRGP(problem)
+    optimizer.run(args.iterations)
+    allocation = optimizer.allocation()
+    print(f"workload:   {problem.describe()} (multirate)")
+    print(f"iterations: {args.iterations} "
+          f"(stable by {iterations_until_convergence(optimizer.utilities)})")
+    print(f"utility:    {multirate_total_utility(problem, allocation):,.2f}")
+    print("source rate caps:")
+    for flow_id in sorted(allocation.source_rates):
+        print(f"  {flow_id}: {allocation.source_rates[flow_id]:.2f}")
+    print("local delivery rates (node, flow):")
+    for (node_id, flow_id), rate in sorted(allocation.local_rates.items()):
+        cap = allocation.source_rates[flow_id]
+        marker = "  (thinned)" if rate < cap - 1e-9 else ""
+        print(f"  {node_id} <- {flow_id}: {rate:.2f}{marker}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    problem = load_problem(args.workload)
+    if args.multirate:
+        return _optimize_multirate(args, problem)
+    config = LRGPConfig(
+        node_gamma=(
+            LRGPConfig.fixed(args.gamma).node_gamma
+            if args.gamma is not None
+            else LRGPConfig.adaptive().node_gamma
+        ),
+        link_gamma=args.link_gamma,
+        record_snapshots=args.trace is not None,
+    )
+    optimizer = LRGP(problem, config)
+    optimizer.run(args.iterations)
+    allocation = optimizer.allocation()
+
+    print(f"workload:   {problem.describe()}")
+    print(f"iterations: {args.iterations} "
+          f"(stable by {iterations_until_convergence(optimizer.utilities)})")
+    print(f"utility:    {total_utility(problem, allocation):,.2f}")
+    print(f"feasible:   {is_feasible(problem, allocation)}")
+    print("rates:")
+    for flow_id in sorted(allocation.rates):
+        print(f"  {flow_id}: {allocation.rates[flow_id]:.2f}")
+    print("populations (admitted/connected):")
+    for class_id in sorted(allocation.populations):
+        admitted = allocation.populations[class_id]
+        connected = problem.classes[class_id].max_consumers
+        if admitted or args.verbose:
+            print(f"  {class_id}: {admitted}/{connected}")
+    print("node prices:")
+    for node_id, price in sorted(optimizer.node_prices().items()):
+        print(f"  {node_id}: {price:.6f}")
+    for link_id, price in sorted(optimizer.link_prices().items()):
+        print(f"  link {link_id}: {price:.6f}")
+
+    if args.output is not None:
+        Path(args.output).write_text(allocation_to_json(allocation))
+        print(f"allocation written to {args.output}")
+    if args.trace is not None:
+        write_trace(optimizer, args.trace)
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    problem = load_problem(args.name)
+    text = problem_to_json(problem)
+    if args.output is not None:
+        Path(args.output).write_text(text)
+        print(f"{problem.describe()} written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    figures = {
+        "1": figure1_damping,
+        "2": figure2_adaptive_gamma,
+        "3": figure3_recovery,
+        "4": figure4_power_utility,
+    }
+    figure = figures[args.number]()
+    print(render_ascii_chart(figure))
+    print()
+    print(render_series_rows(figure, every=args.every))
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    if args.number == "1":
+        print(render_table(table1_workload()))
+    elif args.number == "2":
+        print(render_table(table2_scalability(sa_steps=args.sa_steps)))
+    else:
+        print(render_table(table3_utility_shapes(sa_steps=args.sa_steps)))
+    return 0
+
+
+def cmd_extension(args: argparse.Namespace) -> int:
+    tables = {
+        "e1": extension_link_pricing,
+        "e2": extension_multirate,
+        "e3": extension_two_stage,
+        "e4": extension_queueing_latency,
+        "e6": extension_coordinate,
+        "e7": extension_communication,
+    }
+    if args.name == "e5":
+        figure = extension_capacity_churn()
+        print(render_ascii_chart(figure))
+        print()
+        print(render_series_rows(figure, every=10))
+    else:
+        print(render_table(tables[args.name]()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LRGP: utility optimization for event-driven "
+        "distributed infrastructures (ICDCS 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    optimize = sub.add_parser("optimize", help="run LRGP on a workload")
+    optimize.add_argument("workload", help="builtin name or problem JSON path")
+    optimize.add_argument("--iterations", type=int, default=250)
+    optimize.add_argument(
+        "--gamma", type=float, default=None,
+        help="fixed node-price step size (default: adaptive)",
+    )
+    optimize.add_argument("--link-gamma", type=float, default=1e-4)
+    optimize.add_argument("-o", "--output", help="write allocation JSON here")
+    optimize.add_argument("--trace", help="write per-iteration CSV trace here")
+    optimize.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also list classes with zero admissions",
+    )
+    optimize.add_argument(
+        "--multirate", action="store_true",
+        help="use the multirate extension (per-node flow thinning)",
+    )
+    optimize.set_defaults(func=cmd_optimize)
+
+    workload = sub.add_parser("workload", help="materialize a builtin workload")
+    workload.add_argument("name", choices=sorted(BUILTIN_WORKLOADS))
+    workload.add_argument("-o", "--output", help="write problem JSON here")
+    workload.set_defaults(func=cmd_workload)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", choices=["1", "2", "3", "4"])
+    figure.add_argument("--every", type=int, default=10,
+                        help="row sampling stride for the data dump")
+    figure.set_defaults(func=cmd_figure)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", choices=["1", "2", "3"])
+    table.add_argument("--sa-steps", type=int, default=200_000,
+                       help="simulated-annealing step budget per run")
+    table.set_defaults(func=cmd_table)
+
+    extension = sub.add_parser("extension", help="run an extension experiment")
+    extension.add_argument(
+        "name", choices=["e1", "e2", "e3", "e4", "e5", "e6", "e7"]
+    )
+    extension.set_defaults(func=cmd_extension)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

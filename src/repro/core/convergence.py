@@ -1,0 +1,84 @@
+"""Convergence detection for LRGP trajectories.
+
+The paper's criterion (section 4.3): convergence has occurred when the
+amplitude of the oscillations in utility becomes less than 0.1% of the value
+of the utility.  We implement this as a sliding-window test: over the last
+``window`` iterations, ``max - min <= rel_amplitude * mean``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+#: The paper's 0.1% amplitude threshold.
+DEFAULT_REL_AMPLITUDE = 1e-3
+DEFAULT_WINDOW = 10
+
+
+@dataclass(frozen=True)
+class ConvergenceCriterion:
+    """Sliding-window relative-amplitude test."""
+
+    window: int = DEFAULT_WINDOW
+    rel_amplitude: float = DEFAULT_REL_AMPLITUDE
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError(f"window must be at least 2, got {self.window}")
+        if self.rel_amplitude <= 0.0:
+            raise ValueError(
+                f"rel_amplitude must be positive, got {self.rel_amplitude}"
+            )
+
+    def window_converged(self, values: Sequence[float]) -> bool:
+        """Test the criterion on exactly one window of values."""
+        if len(values) < self.window:
+            return False
+        tail = values[-self.window :]
+        low = min(tail)
+        high = max(tail)
+        mean = sum(tail) / len(tail)
+        if mean == 0.0:
+            return high == low
+        return (high - low) <= self.rel_amplitude * abs(mean)
+
+    def converged_at(self, values: Sequence[float]) -> int | None:
+        """First iteration index (0-based) at which the trailing window
+        satisfies the criterion, or ``None``.
+
+        This is the paper's "iterations until convergence": the returned
+        index is the iteration at which the system is first observed stable.
+        """
+        for end in range(self.window, len(values) + 1):
+            if self.window_converged(values[:end]):
+                return end - 1
+        return None
+
+
+def iterations_until_convergence(
+    utilities: Sequence[float],
+    window: int = DEFAULT_WINDOW,
+    rel_amplitude: float = DEFAULT_REL_AMPLITUDE,
+) -> int | None:
+    """Convenience wrapper: 1-based iteration count until convergence.
+
+    Returns ``None`` when the trajectory never stabilizes.  The count is the
+    number of LRGP iterations executed up to and including the first stable
+    observation, matching how Table 2 reports "iterations until
+    convergence".
+    """
+    index = ConvergenceCriterion(window, rel_amplitude).converged_at(utilities)
+    return None if index is None else index + 1
+
+
+def oscillation_amplitude(values: Sequence[float], window: int = DEFAULT_WINDOW) -> float:
+    """Peak-to-peak amplitude over the trailing window, as a fraction of the
+    window mean.  Used by experiments to report stability."""
+    if not values:
+        raise ValueError("no values")
+    tail = values[-window:]
+    mean = sum(tail) / len(tail)
+    if mean == 0.0:
+        return 0.0
+    return (max(tail) - min(tail)) / abs(mean)

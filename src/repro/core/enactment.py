@@ -1,0 +1,137 @@
+"""Enactment policies: when computed allocations are applied to the system.
+
+Section 2.1: "making very frequent admission control decisions may be
+disruptive to consumers using the system, so the decisions may not be
+enacted until their values are sufficiently different from the previous
+enacted values, or may be enacted periodically (say once every few
+minutes)".  LRGP iterates continuously; an :class:`Enactor` sits between the
+optimizer and the system and decides which computed allocations actually
+take effect, tracking the disruption (consumer churn) each enactment causes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.model.allocation import Allocation
+
+
+class EnactmentPolicy(ABC):
+    """Decides whether a newly computed allocation should be enacted."""
+
+    @abstractmethod
+    def should_enact(
+        self,
+        iteration: int,
+        computed: Allocation,
+        enacted: Allocation | None,
+    ) -> bool:
+        """Return True when ``computed`` should replace ``enacted``."""
+
+
+@dataclass(frozen=True)
+class PeriodicEnactment(EnactmentPolicy):
+    """Enact every ``period`` iterations (the "once every few minutes"
+    option)."""
+
+    period: int = 10
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError(f"period must be at least 1, got {self.period}")
+
+    def should_enact(
+        self, iteration: int, computed: Allocation, enacted: Allocation | None
+    ) -> bool:
+        del computed
+        if enacted is None:
+            return True
+        return iteration % self.period == 0
+
+
+@dataclass(frozen=True)
+class ThresholdEnactment(EnactmentPolicy):
+    """Enact when values are "sufficiently different" from the enacted ones.
+
+    Triggers when any flow rate changed by more than ``rate_rel_change``
+    (relative) or any class population changed by more than
+    ``population_abs_change`` consumers.
+    """
+
+    rate_rel_change: float = 0.05
+    population_abs_change: int = 10
+
+    def __post_init__(self) -> None:
+        if self.rate_rel_change < 0.0:
+            raise ValueError("rate_rel_change must be non-negative")
+        if self.population_abs_change < 0:
+            raise ValueError("population_abs_change must be non-negative")
+
+    def should_enact(
+        self, iteration: int, computed: Allocation, enacted: Allocation | None
+    ) -> bool:
+        del iteration
+        if enacted is None:
+            return True
+        for flow_id, rate in computed.rates.items():
+            old = enacted.rates.get(flow_id, 0.0)
+            scale = max(abs(old), 1e-12)
+            if abs(rate - old) / scale > self.rate_rel_change:
+                return True
+        for class_id, population in computed.populations.items():
+            old = enacted.populations.get(class_id, 0)
+            if abs(population - old) > self.population_abs_change:
+                return True
+        # A flow or class that disappeared entirely is also a change.
+        if set(enacted.rates) - set(computed.rates):
+            return True
+        return bool(set(enacted.populations) - set(computed.populations))
+
+
+def consumer_churn(previous: Allocation | None, current: Allocation) -> int:
+    """Total admissions plus evictions an enactment causes:
+    ``sum_j |n_j - n_j_old|`` (classes absent on one side count in full)."""
+    if previous is None:
+        return sum(current.populations.values())
+    churn = 0
+    class_ids = set(previous.populations) | set(current.populations)
+    for class_id in class_ids:
+        churn += abs(
+            current.populations.get(class_id, 0) - previous.populations.get(class_id, 0)
+        )
+    return churn
+
+
+@dataclass
+class Enactor:
+    """Applies an :class:`EnactmentPolicy` to a stream of computed
+    allocations and keeps disruption statistics.
+
+    Feed it one computed allocation per LRGP iteration via :meth:`offer`;
+    read :attr:`enacted` for the allocation the system is actually running.
+    """
+
+    policy: EnactmentPolicy
+    enacted: Allocation | None = None
+    enactments: int = 0
+    total_churn: int = 0
+    offers: int = 0
+    _history: list[tuple[int, int]] = field(default_factory=list)
+
+    def offer(self, iteration: int, computed: Allocation) -> bool:
+        """Offer a computed allocation; returns True if it was enacted."""
+        self.offers += 1
+        if not self.policy.should_enact(iteration, computed, self.enacted):
+            return False
+        churn = consumer_churn(self.enacted, computed)
+        self.enacted = computed.copy()
+        self.enactments += 1
+        self.total_churn += churn
+        self._history.append((iteration, churn))
+        return True
+
+    @property
+    def history(self) -> list[tuple[int, int]]:
+        """(iteration, churn) for each enactment, in order."""
+        return list(self._history)

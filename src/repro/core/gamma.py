@@ -1,0 +1,118 @@
+"""Step-size (gamma) schedules for the node-price update (eq. 12).
+
+Section 4.2 shows that a fixed step size trades convergence speed against
+oscillation amplitude, and proposes an adaptive heuristic:
+
+1. start from a fixed gamma;
+2. while the price does not fluctuate, grow gamma by ``0.001`` per iteration;
+3. when a fluctuation is detected, halve gamma;
+4. clamp gamma to ``[0.001, 0.1]``.
+
+A *fluctuation* is a sign reversal between consecutive price deltas: the
+price moved up and then down (or vice versa).  Every node carries its own
+schedule instance, observing only its own price trajectory.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+#: Bounds the paper settles on after experimentation (section 4.2).
+GAMMA_LOWER_BOUND = 0.001
+GAMMA_UPPER_BOUND = 0.1
+GAMMA_INCREMENT = 0.001
+GAMMA_BACKOFF = 0.5
+
+
+class GammaSchedule(ABC):
+    """Produces the step size for one price controller and observes the
+    resulting price movement."""
+
+    @abstractmethod
+    def value(self) -> float:
+        """The gamma to use for the next price update."""
+
+    @abstractmethod
+    def observe(self, price_delta: float) -> None:
+        """Record the price change the last update produced."""
+
+    @abstractmethod
+    def clone(self) -> "GammaSchedule":
+        """A fresh schedule with the same configuration (not the same
+        state), for stamping out one schedule per node."""
+
+
+@dataclass
+class FixedGamma(GammaSchedule):
+    """A constant step size (the gamma = 1 / 0.1 / 0.01 runs of figure 1)."""
+
+    gamma: float
+
+    def __post_init__(self) -> None:
+        if self.gamma < 0.0:
+            raise ValueError(f"gamma must be non-negative, got {self.gamma}")
+
+    def value(self) -> float:
+        return self.gamma
+
+    def observe(self, price_delta: float) -> None:
+        del price_delta  # fixed schedules ignore feedback
+
+    def clone(self) -> "FixedGamma":
+        return FixedGamma(self.gamma)
+
+
+class AdaptiveGamma(GammaSchedule):
+    """The paper's adaptive heuristic (section 4.2).
+
+    ``initial`` defaults to the upper clamp: the paper starts large for fast
+    stabilization and lets fluctuations shrink gamma.
+    """
+
+    def __init__(
+        self,
+        initial: float = GAMMA_UPPER_BOUND,
+        increment: float = GAMMA_INCREMENT,
+        backoff: float = GAMMA_BACKOFF,
+        lower: float = GAMMA_LOWER_BOUND,
+        upper: float = GAMMA_UPPER_BOUND,
+    ) -> None:
+        if lower <= 0.0 or upper < lower:
+            raise ValueError(f"invalid gamma bounds [{lower}, {upper}]")
+        if not 0.0 < backoff < 1.0:
+            raise ValueError(f"backoff must be in (0, 1), got {backoff}")
+        if increment < 0.0:
+            raise ValueError(f"increment must be non-negative, got {increment}")
+        self._initial = min(max(initial, lower), upper)
+        self._gamma = self._initial
+        self._increment = increment
+        self._backoff = backoff
+        self._lower = lower
+        self._upper = upper
+        self._last_delta: float | None = None
+
+    def value(self) -> float:
+        return self._gamma
+
+    def observe(self, price_delta: float) -> None:
+        fluctuated = (
+            self._last_delta is not None
+            and price_delta * self._last_delta < 0.0
+        )
+        if fluctuated:
+            self._gamma *= self._backoff
+        else:
+            self._gamma += self._increment
+        self._gamma = min(max(self._gamma, self._lower), self._upper)
+        if price_delta != 0.0:
+            self._last_delta = price_delta
+
+    def clone(self) -> "AdaptiveGamma":
+        return AdaptiveGamma(
+            initial=self._initial,
+            increment=self._increment,
+            backoff=self._backoff,
+            lower=self._lower,
+            upper=self._upper,
+        )

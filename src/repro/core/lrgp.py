@@ -1,0 +1,287 @@
+"""The synchronous LRGP driver (section 3).
+
+One LRGP iteration is:
+
+1. **Rate allocation** (Algorithm 1) at every flow source, using the prices
+   and populations from the previous iteration;
+2. **Consumer allocation** (Algorithm 2, step 2) at every consumer node,
+   using the fresh rates;
+3. **Node price update** (eq. 12) at every consumer node and **link price
+   update** (eq. 13) for every link, closing the loop for the next
+   iteration.
+
+This module is the *reference* implementation: a direct, centralized
+composition of the per-agent algorithms, convenient for experiments.  The
+message-passing deployment of the very same steps lives in
+:mod:`repro.runtime`; in synchronous mode it produces bit-identical
+trajectories (verified by integration tests).
+
+The driver supports runtime reconfiguration (flows leaving/joining,
+capacity changes) to reproduce the recovery experiment of figure 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from collections.abc import Callable, Mapping
+
+from repro.core.consumer_allocation import NodeAllocation, allocate_consumers
+from repro.core.convergence import (
+    DEFAULT_REL_AMPLITUDE,
+    DEFAULT_WINDOW,
+    ConvergenceCriterion,
+    iterations_until_convergence,
+)
+from repro.core.gamma import AdaptiveGamma, FixedGamma, GammaSchedule
+from repro.core.prices import LinkPriceController, NodePriceController
+from repro.core.rate_allocation import aggregate_flow_price, allocate_rate
+from repro.model.allocation import Allocation, link_usage, total_utility
+from repro.model.entities import ClassId, FlowId, LinkId, NodeId
+from repro.model.problem import Problem
+
+
+#: Signature of a consumer-admission strategy: given the problem, a node and
+#: the current rates, produce that node's :class:`NodeAllocation`.  The
+#: default is the paper's greedy benefit/cost fill; the admission ablation
+#: (:mod:`repro.experiments.ablations`) substitutes alternatives.
+AdmissionStrategy = Callable[[Problem, NodeId, Mapping[FlowId, float]], NodeAllocation]
+
+
+@dataclass(frozen=True)
+class LRGPConfig:
+    """Tuning knobs for the driver.
+
+    ``node_gamma`` is a prototype schedule, cloned per node so each node
+    adapts independently (section 4.2).  The default is the paper's adaptive
+    heuristic.  ``link_gamma`` is the gradient-projection step size for link
+    prices (only links with finite capacity maintain prices).
+    """
+
+    node_gamma: GammaSchedule = field(default_factory=AdaptiveGamma)
+    link_gamma: float = 1e-4
+    initial_node_price: float = 0.0
+    initial_link_price: float = 0.0
+    record_snapshots: bool = False
+    admission: AdmissionStrategy = allocate_consumers
+
+    @staticmethod
+    def fixed(gamma: float, **kwargs) -> "LRGPConfig":
+        """Config with a fixed node-price step size (figure 1 runs)."""
+        return LRGPConfig(node_gamma=FixedGamma(gamma), **kwargs)
+
+    @staticmethod
+    def adaptive(**kwargs) -> "LRGPConfig":
+        """Config with the adaptive step size (the paper's default)."""
+        return LRGPConfig(node_gamma=AdaptiveGamma(), **kwargs)
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Observable state at the end of one LRGP iteration."""
+
+    iteration: int
+    utility: float
+    rates: dict[FlowId, float] | None = None
+    populations: dict[ClassId, int] | None = None
+    node_prices: dict[NodeId, float] | None = None
+    link_prices: dict[LinkId, float] | None = None
+
+
+class LRGP:
+    """Synchronous LRGP optimizer over a :class:`Problem`.
+
+    Typical use::
+
+        optimizer = LRGP(problem)
+        history = optimizer.run(250)
+        allocation = optimizer.allocation()
+
+    The optimizer keeps running state (prices, populations, rates) so it can
+    be stepped indefinitely and reconfigured mid-run, as an autonomic
+    deployment would.
+    """
+
+    def __init__(self, problem: Problem, config: LRGPConfig | None = None) -> None:
+        self._config = config or LRGPConfig()
+        self._iteration = 0
+        self._utilities: list[float] = []
+        self._records: list[IterationRecord] = []
+        self._problem: Problem = problem
+        self._rates: dict[FlowId, float] = {}
+        self._populations: dict[ClassId, int] = {}
+        self._node_controllers: dict[NodeId, NodePriceController] = {}
+        self._link_controllers: dict[LinkId, LinkPriceController] = {}
+        self._bind_problem(problem, preserve_state=False)
+
+    # -- state accessors ----------------------------------------------------
+
+    @property
+    def problem(self) -> Problem:
+        return self._problem
+
+    @property
+    def iteration(self) -> int:
+        return self._iteration
+
+    @property
+    def utilities(self) -> list[float]:
+        """Utility after each completed iteration."""
+        return self._utilities
+
+    @property
+    def records(self) -> list[IterationRecord]:
+        return self._records
+
+    def allocation(self) -> Allocation:
+        """The current (rates, populations) solution."""
+        return Allocation(rates=dict(self._rates), populations=dict(self._populations))
+
+    def node_prices(self) -> dict[NodeId, float]:
+        return {n: c.price for n, c in self._node_controllers.items()}
+
+    def link_prices(self) -> dict[LinkId, float]:
+        return {l: c.price for l, c in self._link_controllers.items()}
+
+    # -- reconfiguration ------------------------------------------------------
+
+    def set_problem(self, problem: Problem) -> None:
+        """Swap the problem while the optimizer keeps running.
+
+        Prices and populations for entities that persist across the change
+        are preserved; departed flows/classes/resources are dropped and new
+        ones start from the configured initial state.  This reproduces the
+        "flow source leaves the system" dynamics of figure 3.
+        """
+        self._bind_problem(problem, preserve_state=True)
+
+    def remove_flow(self, flow_id: FlowId) -> None:
+        """Remove one flow (and its consumer classes) from the system."""
+        self.set_problem(self._problem.without_flow(flow_id))
+
+    def _bind_problem(self, problem: Problem, preserve_state: bool) -> None:
+        old_rates = self._rates if preserve_state else {}
+        old_populations = self._populations if preserve_state else {}
+        old_nodes = self._node_controllers if preserve_state else {}
+        old_links = self._link_controllers if preserve_state else {}
+
+        self._problem = problem
+        self._rates = {
+            flow_id: old_rates.get(flow_id, flow.rate_min)
+            for flow_id, flow in problem.flows.items()
+        }
+        self._populations = {
+            class_id: old_populations.get(class_id, 0) for class_id in problem.classes
+        }
+        self._node_controllers = {}
+        for node_id in problem.consumer_nodes():
+            existing = old_nodes.get(node_id)
+            if existing is not None and existing.capacity == problem.nodes[node_id].capacity:
+                self._node_controllers[node_id] = existing
+            else:
+                self._node_controllers[node_id] = NodePriceController(
+                    capacity=problem.nodes[node_id].capacity,
+                    gamma_under=self._config.node_gamma.clone(),
+                    initial_price=self._config.initial_node_price,
+                )
+        self._link_controllers = {}
+        for link_id, link in problem.links.items():
+            if link.capacity == math.inf:
+                continue
+            existing = old_links.get(link_id)
+            if existing is not None and existing.capacity == link.capacity:
+                self._link_controllers[link_id] = existing
+            else:
+                self._link_controllers[link_id] = LinkPriceController(
+                    capacity=link.capacity,
+                    gamma=self._config.link_gamma,
+                    initial_price=self._config.initial_link_price,
+                )
+
+    # -- the algorithm --------------------------------------------------------
+
+    def step(self) -> IterationRecord:
+        """Execute one full LRGP iteration and return its record."""
+        problem = self._problem
+        node_prices = self.node_prices()
+        link_prices = self.link_prices()
+
+        # 1. Rate allocation at each source (Algorithm 1), using last
+        #    iteration's populations and prices.
+        for flow_id in problem.flows:
+            price = aggregate_flow_price(
+                problem, flow_id, self._populations, node_prices, link_prices
+            )
+            self._rates[flow_id] = allocate_rate(
+                problem, flow_id, self._populations, price
+            )
+
+        # 2. Consumer allocation at each node (Algorithm 2, step 2 — greedy
+        #    by default), then 3a. node price update (step 3 / eq. 12).
+        for node_id in problem.consumer_nodes():
+            result = self._config.admission(problem, node_id, self._rates)
+            self._populations.update(result.populations)
+            self._node_controllers[node_id].update(
+                benefit_cost=result.best_unsatisfied_ratio, used=result.used
+            )
+
+        # 3b. Link price update (Algorithm 3 / eq. 13).
+        if self._link_controllers:
+            allocation = self.allocation()
+            for link_id, controller in self._link_controllers.items():
+                controller.update(link_usage(problem, allocation, link_id))
+
+        self._iteration += 1
+        utility = total_utility(problem, self.allocation())
+        self._utilities.append(utility)
+        record = IterationRecord(
+            iteration=self._iteration,
+            utility=utility,
+            rates=dict(self._rates) if self._config.record_snapshots else None,
+            populations=dict(self._populations)
+            if self._config.record_snapshots
+            else None,
+            node_prices=self.node_prices() if self._config.record_snapshots else None,
+            link_prices=self.link_prices() if self._config.record_snapshots else None,
+        )
+        self._records.append(record)
+        return record
+
+    def run(self, iterations: int) -> list[IterationRecord]:
+        """Run a fixed number of iterations, returning their records."""
+        if iterations < 0:
+            raise ValueError(f"iterations must be non-negative, got {iterations}")
+        start = len(self._records)
+        for _ in range(iterations):
+            self.step()
+        return self._records[start:]
+
+    def run_until_converged(
+        self,
+        max_iterations: int = 1000,
+        window: int = DEFAULT_WINDOW,
+        rel_amplitude: float = DEFAULT_REL_AMPLITUDE,
+    ) -> int | None:
+        """Iterate until the paper's stability criterion holds.
+
+        Returns the 1-based iteration count at first convergence, or
+        ``None`` if ``max_iterations`` elapse without stabilizing.  Only the
+        iterations of *this call* are examined, so the method composes with
+        earlier :meth:`run` calls and reconfigurations.
+        """
+        criterion = ConvergenceCriterion(window, rel_amplitude)
+        utilities: list[float] = []
+        for count in range(1, max_iterations + 1):
+            utilities.append(self.step().utility)
+            if count >= window and criterion.window_converged(utilities):
+                return count
+        return None
+
+    def convergence_iteration(
+        self,
+        window: int = DEFAULT_WINDOW,
+        rel_amplitude: float = DEFAULT_REL_AMPLITUDE,
+    ) -> int | None:
+        """Iterations-until-convergence over the whole recorded history."""
+        return iterations_until_convergence(self._utilities, window, rel_amplitude)

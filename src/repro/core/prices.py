@@ -1,0 +1,131 @@
+"""Node and link price controllers (sections 3.3 and 3.4).
+
+Prices are the Lagrange multipliers of the resource constraints, maintained
+by the resource owners and fed back to flow sources:
+
+* **Node price** (eq. 12) — when the node is within capacity the price is
+  damped toward the node's best unsatisfied benefit/cost ratio ``BC(b,t)``
+  (eq. 11), which encodes the value of relaxing the node constraint by one
+  unit; when over capacity the price climbs proportionally to the violation.
+* **Link price** (eq. 13) — gradient projection on the dual (Low & Lapsley):
+  the price moves with the capacity violation and is projected onto the
+  non-negative orthant.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.gamma import FixedGamma, GammaSchedule
+
+
+class NodePriceController:
+    """Maintains ``p_b`` for one node.
+
+    ``gamma_under`` is the schedule for the tracking branch
+    (``used <= c_b``) and ``gamma_over`` for the violation branch; the paper
+    sets them equal (section 4.2), which is the default when ``gamma_over``
+    is omitted — the two branches then share a single schedule so the
+    adaptive heuristic sees the whole price trajectory.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        gamma_under: GammaSchedule,
+        gamma_over: GammaSchedule | None = None,
+        initial_price: float = 0.0,
+    ) -> None:
+        if capacity <= 0.0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if initial_price < 0.0:
+            raise ValueError(f"price must be non-negative, got {initial_price}")
+        self.capacity = capacity
+        self._gamma_under = gamma_under
+        self._gamma_over = gamma_over if gamma_over is not None else gamma_under
+        self._price = initial_price
+
+    @property
+    def price(self) -> float:
+        return self._price
+
+    def update(self, benefit_cost: float, used: float) -> float:
+        """Apply eq. 12 and return the new price.
+
+        ``benefit_cost`` is ``BC(b,t)``: the highest benefit/cost ratio among
+        classes that remain below their ``n^max`` after consumer allocation
+        (0 when every class is fully admitted — the boundary case in
+        section 3.3 where the price only enforces the node constraint and is
+        allowed to decay).  ``used`` is ``used_b(t)``, the node resource
+        consumed at the end of consumer allocation.
+        """
+        if math.isnan(benefit_cost) or benefit_cost < 0.0:
+            raise ValueError(f"benefit_cost must be non-negative, got {benefit_cost}")
+        if math.isnan(used) or used < 0.0:
+            raise ValueError(f"used must be non-negative, got {used}")
+        old_price = self._price
+        if used <= self.capacity:
+            gamma = self._gamma_under.value()
+            new_price = old_price + gamma * (benefit_cost - old_price)
+            observer = self._gamma_under
+        else:
+            gamma = self._gamma_over.value()
+            new_price = old_price + gamma * (used - self.capacity)
+            observer = self._gamma_over
+        new_price = max(new_price, 0.0)
+        observer.observe(new_price - old_price)
+        self._price = new_price
+        return new_price
+
+    def reset(self, price: float = 0.0) -> None:
+        if price < 0.0:
+            raise ValueError(f"price must be non-negative, got {price}")
+        self._price = price
+
+
+class LinkPriceController:
+    """Maintains ``p_l`` for one link via gradient projection (eq. 13).
+
+    Links with infinite capacity can never constrain the system; their
+    controllers report a permanently zero price without updating, which is
+    how the paper's no-link-bottleneck workloads behave.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        gamma: GammaSchedule | float = 1e-4,
+        initial_price: float = 0.0,
+    ) -> None:
+        if capacity <= 0.0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if initial_price < 0.0:
+            raise ValueError(f"price must be non-negative, got {initial_price}")
+        self.capacity = capacity
+        self._gamma = FixedGamma(gamma) if isinstance(gamma, (int, float)) else gamma
+        self._price = initial_price if capacity != math.inf else 0.0
+
+    @property
+    def price(self) -> float:
+        return self._price
+
+    def update(self, usage: float) -> float:
+        """Apply eq. 13 and return the new price.
+
+        ``usage`` is the aggregate link load ``sum_i L_{l,i} r_i``.
+        """
+        if math.isnan(usage) or usage < 0.0:
+            raise ValueError(f"usage must be non-negative, got {usage}")
+        if self.capacity == math.inf:
+            return self._price
+        old_price = self._price
+        gamma = self._gamma.value()
+        new_price = max(old_price + gamma * (usage - self.capacity), 0.0)
+        self._gamma.observe(new_price - old_price)
+        self._price = new_price
+        return new_price
+
+    def reset(self, price: float = 0.0) -> None:
+        if price < 0.0:
+            raise ValueError(f"price must be non-negative, got {price}")
+        self._price = price if self.capacity != math.inf else 0.0

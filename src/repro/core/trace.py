@@ -1,0 +1,78 @@
+"""Trace capture: exporting LRGP trajectories for offline analysis.
+
+A deployment debugging convergence wants the full per-iteration state —
+utility, every rate, every price, every population — as flat CSV it can
+load into any tool.  Run the optimizer with
+``LRGPConfig(record_snapshots=True)`` and hand it to :func:`trace_to_csv`.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.core.lrgp import LRGP, IterationRecord
+
+
+class TraceError(ValueError):
+    """Raised when the optimizer was not recording snapshots."""
+
+
+def _columns(records: Sequence[IterationRecord]) -> tuple[list[str], list[str], list[str], list[str]]:
+    flows: set[str] = set()
+    classes: set[str] = set()
+    nodes: set[str] = set()
+    links: set[str] = set()
+    for record in records:
+        if record.rates is None:
+            raise TraceError(
+                "trace requires LRGPConfig(record_snapshots=True); this run "
+                "recorded utilities only"
+            )
+        flows.update(record.rates)
+        classes.update(record.populations or {})
+        nodes.update(record.node_prices or {})
+        links.update(record.link_prices or {})
+    return sorted(flows), sorted(classes), sorted(nodes), sorted(links)
+
+
+def trace_to_csv(records: Sequence[IterationRecord]) -> str:
+    """Render iteration records as CSV.
+
+    Columns: ``iteration, utility, rate:<flow>..., n:<class>...,
+    node_price:<node>..., link_price:<link>...``.  Entities that appear in
+    some iterations only (e.g. after a flow joins/leaves) render empty
+    cells elsewhere.
+    """
+    if not records:
+        raise TraceError("no iteration records to trace")
+    flows, classes, nodes, links = _columns(records)
+    out = io.StringIO()
+    header = (
+        ["iteration", "utility"]
+        + [f"rate:{f}" for f in flows]
+        + [f"n:{c}" for c in classes]
+        + [f"node_price:{n}" for n in nodes]
+        + [f"link_price:{l}" for l in links]
+    )
+    out.write(",".join(header) + "\n")
+    for record in records:
+        row: list[str] = [str(record.iteration), repr(record.utility)]
+        rates = record.rates or {}
+        populations = record.populations or {}
+        node_prices = record.node_prices or {}
+        link_prices = record.link_prices or {}
+        row += [repr(rates[f]) if f in rates else "" for f in flows]
+        row += [str(populations[c]) if c in populations else "" for c in classes]
+        row += [repr(node_prices[n]) if n in node_prices else "" for n in nodes]
+        row += [repr(link_prices[l]) if l in link_prices else "" for l in links]
+        out.write(",".join(row) + "\n")
+    return out.getvalue()
+
+
+def write_trace(optimizer: LRGP, path: str | Path) -> Path:
+    """Write an optimizer's recorded trajectory to ``path`` as CSV."""
+    path = Path(path)
+    path.write_text(trace_to_csv(optimizer.records))
+    return path

@@ -1,0 +1,55 @@
+"""Event-driven infrastructure simulator (the Gryphon substitute).
+
+A discrete-event pub/sub system materializing a :class:`repro.model.Problem`:
+producers, transforming brokers, consumers, per-message resource metering.
+Used to (a) validate the linear cost model of section 2.3 against measured
+consumption, and (b) close the autonomic loop where LRGP's allocations are
+enacted into a running system.
+"""
+
+from repro.events.autonomic import AutonomicController
+from repro.events.broker import Broker, ClassAttachment, DeliveryService
+from repro.events.reliability import (
+    ReliabilityConfig,
+    ReliabilityStats,
+    ReliableDelivery,
+)
+from repro.events.engine import EventEngine, SimulationClock
+from repro.events.metering import ModelComparison, ResourceMeter, compare_with_model
+from repro.events.pubsub import Consumer, EventMessage, Producer
+from repro.events.simulator import EventInfrastructure
+from repro.events.transforms import (
+    AggregateTransform,
+    ChainTransform,
+    EnrichTransform,
+    FilterTransform,
+    IdentityTransform,
+    ProjectTransform,
+    Transform,
+)
+
+__all__ = [
+    "AggregateTransform",
+    "AutonomicController",
+    "Broker",
+    "ChainTransform",
+    "ClassAttachment",
+    "Consumer",
+    "DeliveryService",
+    "EnrichTransform",
+    "EventEngine",
+    "EventInfrastructure",
+    "EventMessage",
+    "FilterTransform",
+    "IdentityTransform",
+    "ModelComparison",
+    "Producer",
+    "ProjectTransform",
+    "ReliabilityConfig",
+    "ReliabilityStats",
+    "ReliableDelivery",
+    "ResourceMeter",
+    "SimulationClock",
+    "Transform",
+    "compare_with_model",
+]

@@ -1,0 +1,61 @@
+"""The closed autonomic loop: LRGP driving a live infrastructure.
+
+The paper positions LRGP as a self-optimization scheme for an autonomic
+event-driven infrastructure (section 1).  This module closes that loop:
+
+1. the optimizer iterates continuously over the problem model;
+2. an :class:`repro.core.enactment.Enactor` decides when a computed
+   allocation is different enough (or enough time has passed) to be worth
+   disrupting consumers;
+3. enacted allocations are applied to the running
+   :class:`repro.events.simulator.EventInfrastructure` — producer rates are
+   adjusted, consumers admitted or unadmitted.
+
+Used by the ``autonomic_recovery`` example and the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.enactment import Enactor, EnactmentPolicy, ThresholdEnactment
+from repro.core.lrgp import LRGP
+from repro.events.simulator import EventInfrastructure
+
+
+@dataclass
+class AutonomicController:
+    """Couples an LRGP optimizer with a running infrastructure."""
+
+    optimizer: LRGP
+    infrastructure: EventInfrastructure
+    policy: EnactmentPolicy = field(default_factory=ThresholdEnactment)
+    #: Simulated time the infrastructure runs per optimizer iteration
+    #: (the paper equates one iteration with a network round trip).
+    time_per_iteration: float = 1.0
+
+    def __post_init__(self) -> None:
+        self._enactor = Enactor(policy=self.policy)
+
+    @property
+    def enactor(self) -> Enactor:
+        return self._enactor
+
+    def tick(self) -> bool:
+        """One control-loop turn: optimize, maybe enact, advance the system.
+
+        Returns True when this turn enacted a new allocation.
+        """
+        record = self.optimizer.step()
+        enacted = self._enactor.offer(record.iteration, self.optimizer.allocation())
+        if enacted:
+            assert self._enactor.enacted is not None
+            self.infrastructure.enact(self._enactor.enacted)
+        self.infrastructure.run_for(self.time_per_iteration)
+        return enacted
+
+    def run(self, iterations: int) -> int:
+        """Run several turns; returns how many enactments occurred."""
+        if iterations < 0:
+            raise ValueError(f"iterations must be non-negative, got {iterations}")
+        return sum(1 for _ in range(iterations) if self.tick())

@@ -1,0 +1,180 @@
+"""Broker nodes: routing, transformation and consumer delivery.
+
+A :class:`Broker` realizes one overlay node of the paper's infrastructure.
+Per flow it knows its downstream next-hop links (the dissemination tree) and
+the consumer classes attached locally.  Processing one message:
+
+1. charge the flow-node cost ``F_{b,i}`` to the meter (routing and
+   transformation work that is independent of consumer count);
+2. for each locally attached class of the flow, apply the class transform
+   and deliver to every *admitted* consumer, charging ``G_{b,j}`` per
+   consumer (the per-message, per-consumer work: filtering, reliable
+   delivery bookkeeping, ...);
+3. forward the message on each downstream link (link transit charges
+   ``L_{l,i}`` and is handled by the simulator's link hop).
+
+Admission control is actuated through :meth:`Broker.set_admitted`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.events.metering import ResourceMeter
+from repro.events.pubsub import Consumer, EventMessage
+from repro.events.transforms import IdentityTransform, Transform
+from repro.model.entities import ClassId, FlowId, LinkId, NodeId
+from repro.model.problem import Problem
+
+
+class DeliveryService:
+    """How a broker hands a transformed message to one consumer.
+
+    The default is synchronous in-process delivery; the reliable-delivery
+    substrate (:mod:`repro.events.reliability`) substitutes acknowledged,
+    retried delivery for classes that require it (the gold consumers of
+    section 1.1).
+    """
+
+    def deliver(
+        self,
+        consumer: Consumer,
+        message: EventMessage,
+        now: float,
+        node_id: NodeId,
+        class_id: ClassId,
+    ) -> None:
+        del node_id, class_id
+        consumer.deliver(message, now)
+
+
+@dataclass
+class ClassAttachment:
+    """A consumer class attached to a broker."""
+
+    class_id: ClassId
+    flow_id: FlowId
+    transform: Transform = field(default_factory=IdentityTransform)
+    consumers: list[Consumer] = field(default_factory=list)
+    admitted_count: int = 0
+
+    def admitted_consumers(self) -> list[Consumer]:
+        return self.consumers[: self.admitted_count]
+
+
+class Broker:
+    """One overlay node of the event infrastructure."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        node_id: NodeId,
+        meter: ResourceMeter,
+        delivery: DeliveryService | None = None,
+    ) -> None:
+        self._problem = problem
+        self.node_id = node_id
+        self._meter = meter
+        self._delivery = delivery if delivery is not None else DeliveryService()
+        #: flow -> downstream link ids (filled in by the simulator when it
+        #: materializes dissemination trees).
+        self._next_hops: dict[FlowId, list[LinkId]] = {}
+        self._attachments: dict[ClassId, ClassAttachment] = {}
+        self.messages_processed = 0
+        self.deliveries = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def add_next_hop(self, flow_id: FlowId, link_id: LinkId) -> None:
+        hops = self._next_hops.setdefault(flow_id, [])
+        if link_id not in hops:
+            hops.append(link_id)
+
+    def attach_class(
+        self,
+        class_id: ClassId,
+        consumers: list[Consumer],
+        transform: Transform | None = None,
+    ) -> None:
+        cls = self._problem.classes[class_id]
+        if cls.node != self.node_id:
+            raise ValueError(
+                f"class {class_id} attaches to {cls.node}, not {self.node_id}"
+            )
+        if len(consumers) > cls.max_consumers:
+            raise ValueError(
+                f"class {class_id} allows at most {cls.max_consumers} consumers, "
+                f"got {len(consumers)}"
+            )
+        self._attachments[class_id] = ClassAttachment(
+            class_id=class_id,
+            flow_id=cls.flow_id,
+            transform=transform or IdentityTransform(),
+            consumers=list(consumers),
+        )
+
+    def set_admitted(self, class_id: ClassId, count: int) -> None:
+        """Enact an admission-control decision ``n_j = count``.
+
+        Consumers are admitted in attachment order; lowering the count
+        unadmits from the tail (the paper allows unadmitting, section 2.1).
+        """
+        attachment = self._attachments[class_id]
+        if count < 0 or count > len(attachment.consumers):
+            raise ValueError(
+                f"admitted count {count} out of range 0..{len(attachment.consumers)} "
+                f"for class {class_id}"
+            )
+        attachment.admitted_count = count
+
+    def admitted(self, class_id: ClassId) -> int:
+        return self._attachments[class_id].admitted_count
+
+    def attachment(self, class_id: ClassId) -> ClassAttachment:
+        return self._attachments[class_id]
+
+    def message_work(self, flow_id: FlowId) -> float:
+        """Resource units one message of ``flow_id`` costs at this node:
+        ``F_{b,i} + sum_j G_{b,j} * admitted_j`` (the per-message slice of
+        eq. 5).  Used by the queueing model to compute service times."""
+        work = self._problem.costs.flow_node(self.node_id, flow_id)
+        for attachment in self._attachments.values():
+            if attachment.flow_id == flow_id and attachment.admitted_count > 0:
+                work += (
+                    self._problem.costs.consumer(self.node_id, attachment.class_id)
+                    * attachment.admitted_count
+                )
+        return work
+
+    # -- message path -----------------------------------------------------------
+
+    def process(self, message: EventMessage, now: float) -> list[LinkId]:
+        """Handle one incoming message; returns the links to forward it on."""
+        flow_id = message.flow_id
+        self.messages_processed += 1
+        flow_cost = self._problem.costs.flow_node(self.node_id, flow_id)
+        if flow_cost > 0.0:
+            self._meter.charge_node(self.node_id, flow_cost)
+
+        for attachment in self._attachments.values():
+            if attachment.flow_id != flow_id or attachment.admitted_count == 0:
+                continue
+            unit_cost = self._problem.costs.consumer(
+                self.node_id, attachment.class_id
+            )
+            # Per-consumer work is charged for every admitted consumer,
+            # whether or not the transform ultimately drops the message —
+            # evaluating a filter costs CPU either way (section 1.1).
+            self._meter.charge_node(
+                self.node_id, unit_cost * attachment.admitted_count
+            )
+            transformed = attachment.transform.apply(message)
+            if transformed is None:
+                continue
+            for consumer in attachment.admitted_consumers():
+                self._delivery.deliver(
+                    consumer, transformed, now, self.node_id, attachment.class_id
+                )
+                self.deliveries += 1
+
+        return list(self._next_hops.get(flow_id, ()))

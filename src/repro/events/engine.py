@@ -1,0 +1,75 @@
+"""A minimal discrete-event simulation engine.
+
+Shared by the pub/sub infrastructure simulator (:mod:`repro.events.simulator`)
+— a classic time-ordered event queue with stable FIFO ordering for ties.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+
+
+class SimulationClock:
+    """Read-only view of the engine's current time, handed to components so
+    they cannot reschedule arbitrary state."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def _advance(self, to: float) -> None:
+        if to < self._now:
+            raise RuntimeError(f"time went backwards: {self._now} -> {to}")
+        self._now = to
+
+
+class EventEngine:
+    """Time-ordered callback scheduler."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._clock = SimulationClock()
+        self.processed = 0
+
+    @property
+    def clock(self) -> SimulationClock:
+        return self._clock
+
+    @property
+    def now(self) -> float:
+        return self._clock.now
+
+    def schedule(self, at: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when the clock reaches ``at``."""
+        if at < self.now:
+            raise ValueError(f"cannot schedule at {at}, now is {self.now}")
+        heapq.heappush(self._queue, (at, next(self._sequence), callback))
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` time units."""
+        if delay < 0.0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.schedule(self.now + delay, callback)
+
+    def run_until(self, end_time: float) -> int:
+        """Process events up to and including ``end_time``; returns the
+        number of events processed by this call."""
+        if end_time < self.now:
+            raise ValueError(f"end_time {end_time} is before now {self.now}")
+        processed_before = self.processed
+        while self._queue and self._queue[0][0] <= end_time:
+            at, _, callback = heapq.heappop(self._queue)
+            self._clock._advance(at)
+            callback()
+            self.processed += 1
+        self._clock._advance(end_time)
+        return self.processed - processed_before
+
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,122 @@
+"""Publish/subscribe primitives: events, producers, consumers.
+
+The paper's infrastructure (section 1) disseminates *messages* from
+producers through transforming broker nodes to consumers.  These are the
+endpoint objects; brokers live in :mod:`repro.events.broker` and the wiring
+in :mod:`repro.events.simulator`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.model.entities import ClassId, FlowId
+
+
+@dataclass(frozen=True)
+class EventMessage:
+    """One message of a flow.
+
+    ``payload`` is a flat field map (stock symbol, price, ...); transforms
+    may filter on it or rewrite it.  ``sequence`` orders messages within a
+    flow; ``published_at`` enables end-to-end latency measurement.
+    """
+
+    flow_id: FlowId
+    sequence: int
+    published_at: float
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def with_payload(self, payload: Mapping[str, Any]) -> "EventMessage":
+        return EventMessage(
+            flow_id=self.flow_id,
+            sequence=self.sequence,
+            published_at=self.published_at,
+            payload=dict(payload),
+        )
+
+
+PayloadFactory = Callable[[int], Mapping[str, Any]]
+
+
+class Producer:
+    """Publishes messages on one flow at a controlled rate.
+
+    Inter-arrival times are exponential (Poisson arrivals) when ``rng`` is
+    given, deterministic ``1/rate`` otherwise.  The rate can be changed at
+    any time — that is precisely the rate-control knob LRGP actuates.
+    """
+
+    def __init__(
+        self,
+        flow_id: FlowId,
+        rate: float,
+        payload_factory: PayloadFactory | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if rate < 0.0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        self.flow_id = flow_id
+        self._rate = rate
+        self._payload_factory = payload_factory or (lambda sequence: {})
+        self._rng = rng
+        self._sequence = 0
+        self.published = 0
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def set_rate(self, rate: float) -> None:
+        """Enact a new flow rate (Algorithm 1's output, applied)."""
+        if rate < 0.0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        self._rate = rate
+
+    def next_interval(self) -> float | None:
+        """Time until the next publication, or ``None`` when the rate is 0."""
+        if self._rate <= 0.0:
+            return None
+        if self._rng is None:
+            return 1.0 / self._rate
+        return self._rng.expovariate(self._rate)
+
+    def publish(self, now: float) -> EventMessage:
+        message = EventMessage(
+            flow_id=self.flow_id,
+            sequence=self._sequence,
+            published_at=now,
+            payload=self._payload_factory(self._sequence),
+        )
+        self._sequence += 1
+        self.published += 1
+        return message
+
+
+class Consumer:
+    """One consumer of a class: counts deliveries, tracks latency.
+
+    A consumer receives messages only while admitted; LRGP's admission
+    control actuates :attr:`admitted` through the broker's class registry.
+    """
+
+    def __init__(self, consumer_id: str, class_id: ClassId) -> None:
+        self.consumer_id = consumer_id
+        self.class_id = class_id
+        self.received = 0
+        self.total_latency = 0.0
+        self.last_payload: Mapping[str, Any] | None = None
+
+    def deliver(self, message: EventMessage, now: float) -> None:
+        self.received += 1
+        self.total_latency += now - message.published_at
+        self.last_payload = message.payload
+
+    @property
+    def mean_latency(self) -> float:
+        if self.received == 0:
+            return 0.0
+        return self.total_latency / self.received

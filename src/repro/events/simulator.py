@@ -1,0 +1,234 @@
+"""The event-driven infrastructure simulator.
+
+Materializes a :class:`repro.model.Problem` as a running pub/sub system:
+producers publish on flows, messages travel the dissemination trees hop by
+hop over links (with optional latency), brokers transform and deliver to
+admitted consumers, and a :class:`ResourceMeter` records the resource cost
+of everything — the measured counterpart to the constraint equations.
+
+This is the substrate the paper's cost model abstracts (measured there on
+Gryphon); here it closes the loop: LRGP's allocations can be *enacted* into
+the simulator (producer rates, admitted counts) and the resulting resource
+consumption compared with the model's predictions.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+
+from repro.events.broker import Broker
+from repro.events.engine import EventEngine
+from repro.events.metering import ModelComparison, ResourceMeter, compare_with_model
+from repro.events.pubsub import Consumer, EventMessage, PayloadFactory, Producer
+from repro.events.reliability import ReliabilityConfig, ReliableDelivery
+from repro.events.transforms import Transform
+from repro.model.allocation import Allocation
+from repro.model.entities import ClassId, FlowId, LinkId, NodeId
+from repro.model.problem import Problem
+
+
+class EventInfrastructure:
+    """A running instance of the infrastructure described by a problem.
+
+    Parameters
+    ----------
+    problem:
+        The validated system description (topology, routes, costs).
+    link_latency:
+        One-way per-hop latency for messages (0 = instantaneous).
+    poisson:
+        When true, producers use exponential inter-arrival times drawn from
+        ``seed``; otherwise deterministic ``1/rate`` spacing.
+    payload_factories:
+        Optional per-flow payload generators (for scenario content).
+    transforms:
+        Optional per-class delivery transforms.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        link_latency: float = 0.0,
+        poisson: bool = False,
+        seed: int = 0,
+        payload_factories: Mapping[FlowId, PayloadFactory] | None = None,
+        transforms: Mapping[ClassId, Transform] | None = None,
+        queueing: bool = False,
+        reliability: "Mapping[ClassId, ReliabilityConfig] | None" = None,
+    ) -> None:
+        if link_latency < 0.0:
+            raise ValueError(f"link_latency must be non-negative, got {link_latency}")
+        self._problem = problem
+        self._link_latency = link_latency
+        #: With queueing on, each finite-capacity node is a FIFO server
+        #: processing ``message_work`` resource units at ``capacity`` units
+        #: per second — so end-to-end latency surfaces overload (the
+        #: behaviour eq. 5 exists to prevent).
+        self._queueing = queueing
+        self._busy_until: dict[NodeId, float] = {}
+        self._rng = random.Random(seed) if poisson else None
+        self.engine = EventEngine()
+        self.meter = ResourceMeter()
+
+        #: Reliable-delivery service (acks, retransmissions) for classes
+        #: with a :class:`ReliabilityConfig`; None when nothing is reliable.
+        self.reliability: ReliableDelivery | None = None
+        if reliability:
+            self.reliability = ReliableDelivery(
+                engine=self.engine,
+                meter=self.meter,
+                configs=reliability,
+                rng=random.Random(seed + 1),
+            )
+
+        self.brokers: dict[NodeId, Broker] = {
+            node_id: Broker(problem, node_id, self.meter, delivery=self.reliability)
+            for node_id in problem.nodes
+        }
+        # Wire dissemination trees: link tails forward, link heads receive.
+        self._link_heads: dict[LinkId, NodeId] = {}
+        for flow_id in problem.flows:
+            route = problem.route(flow_id)
+            for link_id in route.links:
+                link = problem.links[link_id]
+                self.brokers[link.tail].add_next_hop(flow_id, link_id)
+                self._link_heads[link_id] = link.head
+
+        factories = dict(payload_factories or {})
+        self.producers: dict[FlowId, Producer] = {
+            flow_id: Producer(
+                flow_id,
+                rate=flow.rate_min,
+                payload_factory=factories.get(flow_id),
+                rng=self._rng,
+            )
+            for flow_id, flow in problem.flows.items()
+        }
+
+        # Consumers: the full connected population (n^max) per class; the
+        # admitted prefix is controlled via enact/set_admitted.
+        self.consumers: dict[ClassId, list[Consumer]] = {}
+        transform_map = dict(transforms or {})
+        for class_id, cls in problem.classes.items():
+            population = [
+                Consumer(f"{class_id}#{index}", class_id)
+                for index in range(cls.max_consumers)
+            ]
+            self.consumers[class_id] = population
+            self.brokers[cls.node].attach_class(
+                class_id, population, transform=transform_map.get(class_id)
+            )
+
+        self._producers_started = False
+
+    # -- enactment ---------------------------------------------------------
+
+    def enact(self, allocation: Allocation) -> None:
+        """Apply an optimizer's allocation: producer rates and admissions."""
+        for flow_id, rate in allocation.rates.items():
+            if flow_id in self.producers:
+                self.producers[flow_id].set_rate(rate)
+        for class_id, count in allocation.populations.items():
+            if class_id in self.consumers:
+                node = self._problem.classes[class_id].node
+                self.brokers[node].set_admitted(class_id, count)
+
+    def allocation(self) -> Allocation:
+        """The currently enacted allocation, read back from the system."""
+        return Allocation(
+            rates={f: p.rate for f, p in self.producers.items()},
+            populations={
+                class_id: self.brokers[self._problem.classes[class_id].node].admitted(
+                    class_id
+                )
+                for class_id in self.consumers
+            },
+        )
+
+    # -- message path ---------------------------------------------------------
+
+    def _publish(self, producer: Producer) -> None:
+        message = producer.publish(self.engine.now)
+        self._arrive(message, self._problem.flows[producer.flow_id].source)
+        self._schedule_next_publication(producer)
+
+    def _schedule_next_publication(self, producer: Producer) -> None:
+        interval = producer.next_interval()
+        if interval is None:
+            # Rate is zero: poll again shortly so a later set_rate resumes.
+            self.engine.schedule_in(1.0, lambda: self._schedule_next_publication(producer))
+            return
+        self.engine.schedule_in(interval, lambda: self._publish(producer))
+
+    def _arrive(self, message: EventMessage, node_id: NodeId) -> None:
+        """A message reaches a node: process now, or queue behind the
+        node's FIFO server when queueing is enabled."""
+        capacity = self._problem.nodes[node_id].capacity
+        if not self._queueing or capacity == float("inf"):
+            self._process(message, node_id)
+            return
+        work = self.brokers[node_id].message_work(message.flow_id)
+        start = max(self.engine.now, self._busy_until.get(node_id, 0.0))
+        completion = start + work / capacity
+        self._busy_until[node_id] = completion
+        self.engine.schedule(
+            completion, lambda m=message, n=node_id: self._process(m, n)
+        )
+
+    def _process(self, message: EventMessage, node_id: NodeId) -> None:
+        forward_links = self.brokers[node_id].process(message, self.engine.now)
+        for link_id in forward_links:
+            cost = self._problem.costs.link(link_id, message.flow_id)
+            if cost > 0.0:
+                self.meter.charge_link(link_id, cost)
+            head = self._link_heads[link_id]
+            if self._link_latency > 0.0:
+                self.engine.schedule_in(
+                    self._link_latency,
+                    lambda m=message, h=head: self._arrive(m, h),
+                )
+            else:
+                self._arrive(message, head)
+
+    # -- running ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm every producer (idempotent)."""
+        if self._producers_started:
+            return
+        self._producers_started = True
+        for producer in self.producers.values():
+            self._schedule_next_publication(producer)
+
+    def run_for(self, duration: float) -> None:
+        """Advance simulated time by ``duration``."""
+        self.start()
+        self.engine.run_until(self.engine.now + duration)
+
+    def measure(
+        self, duration: float, settle: float = 0.0
+    ) -> list[ModelComparison]:
+        """Run ``settle`` then a fresh measurement window of ``duration``;
+        return measured-vs-predicted comparisons for every resource."""
+        if settle > 0.0:
+            self.run_for(settle)
+        self.meter.reset(self.engine.now)
+        self.run_for(duration)
+        return compare_with_model(
+            self._problem, self.allocation(), self.meter, self.engine.now
+        )
+
+    # -- stats --------------------------------------------------------------
+
+    def total_deliveries(self) -> int:
+        return sum(broker.deliveries for broker in self.brokers.values())
+
+    def mean_delivery_latency(self) -> float:
+        total = 0.0
+        count = 0
+        for population in self.consumers.values():
+            for consumer in population:
+                total += consumer.total_latency
+                count += consumer.received
+        return total / count if count else 0.0

@@ -1,0 +1,128 @@
+"""Message transformations (section 1: filtering, format changes,
+augmentation, aggregation).
+
+A transform maps a message to a transformed message or drops it (``None``).
+Transforms are attached per consumer class at broker nodes — e.g. the
+trade-data scenario strips gold-only fields before public delivery, and the
+latest-price scenario evaluates a consumer-specified filter per message.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
+
+from repro.events.pubsub import EventMessage
+
+
+class Transform(ABC):
+    """A per-message transformation applied at a broker node."""
+
+    @abstractmethod
+    def apply(self, message: EventMessage) -> EventMessage | None:
+        """Return the transformed message, or ``None`` to drop it."""
+
+
+class IdentityTransform(Transform):
+    """Pass-through (the default for classes with no transformation)."""
+
+    def apply(self, message: EventMessage) -> EventMessage | None:
+        return message
+
+
+class FilterTransform(Transform):
+    """Content filter: deliver only messages whose payload satisfies the
+    predicate (the ``price > 80`` example of section 1.1)."""
+
+    def __init__(self, predicate: Callable[[Mapping[str, Any]], bool]) -> None:
+        self._predicate = predicate
+        self.evaluated = 0
+        self.passed = 0
+
+    def apply(self, message: EventMessage) -> EventMessage | None:
+        self.evaluated += 1
+        if not self._predicate(message.payload):
+            return None
+        self.passed += 1
+        return message
+
+
+class ProjectTransform(Transform):
+    """Field removal: strip fields (the gold-only fields removed before
+    public delivery in the trade-data scenario)."""
+
+    def __init__(self, drop_fields: Sequence[str]) -> None:
+        self._drop = frozenset(drop_fields)
+
+    def apply(self, message: EventMessage) -> EventMessage | None:
+        if not self._drop & set(message.payload):
+            return message
+        return message.with_payload(
+            {k: v for k, v in message.payload.items() if k not in self._drop}
+        )
+
+
+class EnrichTransform(Transform):
+    """Augmentation: add fields computed from the payload (section 1's
+    "augmenting messages with content retrieved from databases")."""
+
+    def __init__(
+        self, enrich: Callable[[Mapping[str, Any]], Mapping[str, Any]]
+    ) -> None:
+        self._enrich = enrich
+
+    def apply(self, message: EventMessage) -> EventMessage | None:
+        extra = self._enrich(message.payload)
+        merged = dict(message.payload)
+        merged.update(extra)
+        return message.with_payload(merged)
+
+
+class AggregateTransform(Transform):
+    """N-to-1 aggregation: buffer ``window`` messages, emit one summary.
+
+    Models "aggregating multiple messages to produce a more concise stream";
+    the emitted message carries the aggregate of the buffered payloads under
+    ``field`` (mean by default).
+    """
+
+    def __init__(
+        self,
+        window: int,
+        field: str,
+        combine: Callable[[Sequence[float]], float] | None = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._window = window
+        self._field = field
+        self._combine = combine or (lambda values: sum(values) / len(values))
+        self._buffer: list[EventMessage] = []
+
+    def apply(self, message: EventMessage) -> EventMessage | None:
+        self._buffer.append(message)
+        if len(self._buffer) < self._window:
+            return None
+        values = [float(m.payload.get(self._field, 0.0)) for m in self._buffer]
+        last = self._buffer[-1]
+        self._buffer = []
+        merged = dict(last.payload)
+        merged[self._field] = self._combine(values)
+        merged["aggregated_count"] = len(values)
+        return last.with_payload(merged)
+
+
+class ChainTransform(Transform):
+    """Sequential composition; drops short-circuit the chain."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        self._transforms = tuple(transforms)
+
+    def apply(self, message: EventMessage) -> EventMessage | None:
+        current: EventMessage | None = message
+        for transform in self._transforms:
+            if current is None:
+                return None
+            current = transform.apply(current)
+        return current

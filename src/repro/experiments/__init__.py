@@ -1,0 +1,87 @@
+"""Experiment harness: the paper's figures and tables, plus ablations.
+
+Every function returns a structured :class:`FigureResult` /
+:class:`TableResult`; render with :func:`render_table`,
+:func:`render_ascii_chart` or :func:`render_series_rows`.  The benchmark
+suite under ``benchmarks/`` wraps these one-to-one.
+"""
+
+from repro.experiments.ablations import (
+    ablation_admission,
+    ablation_asynchrony,
+    ablation_node_price,
+    fifo_admission,
+    make_random_admission,
+    overload_only_admission,
+    proportional_admission,
+)
+from repro.experiments.extensions import (
+    extension_capacity_churn,
+    extension_communication,
+    extension_coordinate,
+    extension_link_pricing,
+    extension_multirate,
+    extension_queueing_latency,
+    extension_two_stage,
+)
+from repro.experiments.sweeps import SweepResult, gamma_sensitivity, sweep
+from repro.experiments.figures import (
+    figure1_damping,
+    figure2_adaptive_gamma,
+    figure3_recovery,
+    figure4_power_utility,
+    run_lrgp_trajectory,
+)
+from repro.experiments.reporting import (
+    FigureResult,
+    Series,
+    TableResult,
+    format_number,
+    render_ascii_chart,
+    render_series_rows,
+    render_table,
+)
+from repro.experiments.tables import (
+    ComparisonRow,
+    compare_lrgp_and_annealing,
+    table1_workload,
+    table2_scalability,
+    table3_utility_shapes,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "FigureResult",
+    "Series",
+    "TableResult",
+    "ablation_admission",
+    "ablation_asynchrony",
+    "ablation_node_price",
+    "SweepResult",
+    "compare_lrgp_and_annealing",
+    "extension_capacity_churn",
+    "extension_communication",
+    "extension_coordinate",
+    "extension_link_pricing",
+    "extension_multirate",
+    "extension_queueing_latency",
+    "extension_two_stage",
+    "gamma_sensitivity",
+    "sweep",
+    "fifo_admission",
+    "figure1_damping",
+    "figure2_adaptive_gamma",
+    "figure3_recovery",
+    "figure4_power_utility",
+    "format_number",
+    "make_random_admission",
+    "overload_only_admission",
+    "proportional_admission",
+    "render_ascii_chart",
+    "render_series_rows",
+    "render_table",
+    "run_lrgp_trajectory",
+    "table1_workload",
+    "table2_scalability",
+    "table3_utility_shapes",
+]

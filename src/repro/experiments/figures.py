@@ -1,0 +1,159 @@
+"""Reproduction of the paper's figures (section 4.2 and 4.5).
+
+Each function runs the relevant LRGP configurations and returns a
+:class:`repro.experiments.reporting.FigureResult` whose series correspond
+one-to-one with the curves in the paper:
+
+* Figure 1 — the effect of damping: fixed gamma in {1, 0.1, 0.01}.
+* Figure 2 — adaptive gamma versus fixed gamma.
+* Figure 3 — recovery when flow 5 (serving the highest-ranked class) leaves
+  at iteration 150; shown for iterations 100-200.
+* Figure 4 — the utility trajectory under the steep ``rank * r^0.75``
+  class utility.
+"""
+
+from __future__ import annotations
+
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.experiments.reporting import FigureResult, Series
+from repro.model.problem import Problem
+from repro.workloads.base import base_workload
+
+#: The fixed step sizes of figure 1.
+FIGURE1_GAMMAS = (1.0, 0.1, 0.01)
+DEFAULT_ITERATIONS = 250
+
+
+def _utility_series(label: str, utilities: list[float], start: int = 1) -> Series:
+    xs = tuple(float(index) for index in range(start, start + len(utilities)))
+    return Series(label=label, xs=xs, ys=tuple(utilities))
+
+
+def run_lrgp_trajectory(
+    problem: Problem, config: LRGPConfig, iterations: int
+) -> list[float]:
+    """Run LRGP for ``iterations`` and return the utility trajectory."""
+    optimizer = LRGP(problem, config)
+    optimizer.run(iterations)
+    return optimizer.utilities
+
+
+def figure1_damping(
+    iterations: int = DEFAULT_ITERATIONS,
+    gammas: tuple[float, ...] = FIGURE1_GAMMAS,
+    shape: str = "log",
+) -> FigureResult:
+    """Figure 1: utility vs. iteration for fixed gamma values.
+
+    Expected shape: gamma=1 oscillates with large amplitude; gamma=0.1
+    stabilizes in ~10 iterations; gamma=0.01 takes ~100 iterations.
+    """
+    problem = base_workload(shape)
+    series = tuple(
+        _utility_series(
+            f"gamma={gamma:g}",
+            run_lrgp_trajectory(problem, LRGPConfig.fixed(gamma), iterations),
+        )
+        for gamma in gammas
+    )
+    return FigureResult(
+        figure_id="Figure 1",
+        title="The effect of damping",
+        x_label="iteration",
+        y_label="total utility",
+        series=series,
+    )
+
+
+def figure2_adaptive_gamma(
+    iterations: int = DEFAULT_ITERATIONS,
+    fixed_gammas: tuple[float, ...] = (0.1, 0.01),
+    shape: str = "log",
+) -> FigureResult:
+    """Figure 2: adaptive gamma converges faster than fixed gamma and keeps
+    fluctuations small."""
+    problem = base_workload(shape)
+    series = [
+        _utility_series(
+            "adaptive gamma",
+            run_lrgp_trajectory(problem, LRGPConfig.adaptive(), iterations),
+        )
+    ]
+    series.extend(
+        _utility_series(
+            f"gamma={gamma:g}",
+            run_lrgp_trajectory(problem, LRGPConfig.fixed(gamma), iterations),
+        )
+        for gamma in fixed_gammas
+    )
+    return FigureResult(
+        figure_id="Figure 2",
+        title="The effect of adaptive gamma",
+        x_label="iteration",
+        y_label="total utility",
+        series=tuple(series),
+    )
+
+
+def figure3_recovery(
+    remove_at: int = 150,
+    window: tuple[int, int] = (100, 200),
+    removed_flow: str = "f5",
+    fixed_gamma: float = 0.01,
+    shape: str = "log",
+) -> FigureResult:
+    """Figure 3: removing flow 5 (whose class has the highest rank) at
+    iteration ``remove_at``; adaptive gamma recovers faster than fixed.
+
+    The returned series cover iterations ``window[0]..window[1]``, matching
+    the paper's plot range.
+    """
+    start, end = window
+    if not 0 < start <= remove_at <= end:
+        raise ValueError(f"need 0 < start <= remove_at <= end, got {window}, {remove_at}")
+
+    def trajectory(config: LRGPConfig) -> list[float]:
+        optimizer = LRGP(base_workload(shape), config)
+        optimizer.run(remove_at)
+        optimizer.remove_flow(removed_flow)
+        optimizer.run(end - remove_at)
+        return optimizer.utilities[start - 1 : end]
+
+    series = (
+        _utility_series("adaptive gamma", trajectory(LRGPConfig.adaptive()), start=start),
+        _utility_series(
+            f"gamma={fixed_gamma:g}",
+            trajectory(LRGPConfig.fixed(fixed_gamma)),
+            start=start,
+        ),
+    )
+    return FigureResult(
+        figure_id="Figure 3",
+        title="The effect of adaptive gamma on recovery from system changes",
+        x_label="iteration",
+        y_label="total utility",
+        series=series,
+        notes=f"flow {removed_flow} removed at iteration {remove_at}",
+    )
+
+
+def figure4_power_utility(
+    iterations: int = DEFAULT_ITERATIONS,
+    exponent_shape: str = "pow75",
+) -> FigureResult:
+    """Figure 4: global utility when the class utility is
+    ``rank * r^0.75`` — the steep shape that converges slowest (table 3)."""
+    problem = base_workload(exponent_shape)
+    series = (
+        _utility_series(
+            "adaptive gamma",
+            run_lrgp_trajectory(problem, LRGPConfig.adaptive(), iterations),
+        ),
+    )
+    return FigureResult(
+        figure_id="Figure 4",
+        title="Global utility with class utility rank * r^0.75",
+        x_label="iteration",
+        y_label="total utility",
+        series=series,
+    )

@@ -1,0 +1,144 @@
+"""Plain-text rendering of experiment results.
+
+Benchmarks and examples print the paper's tables and figure series as
+aligned text so runs are directly comparable with the paper without a
+plotting stack.  Figures are rendered both as a compact ASCII chart and as
+``iteration, value`` rows suitable for external plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled trajectory of a figure."""
+
+    label: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """A reproduced figure: several series over a shared x-axis meaning."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: tuple[Series, ...]
+    notes: str = ""
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """A reproduced table."""
+
+    table_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[str, ...], ...]
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"table {self.table_id}: row {row} does not match "
+                    f"{len(self.columns)} columns"
+                )
+
+
+def format_number(value: float, decimals: int = 0) -> str:
+    """Thousands-separated fixed-point formatting."""
+    return f"{value:,.{decimals}f}"
+
+
+def render_table(table: TableResult) -> str:
+    """Render a :class:`TableResult` as aligned text."""
+    widths = [len(column) for column in table.columns]
+    for row in table.rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [f"{table.table_id}: {table.title}"]
+    header = "  ".join(
+        column.ljust(widths[index]) for index, column in enumerate(table.columns)
+    )
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in table.rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(row))
+        )
+    if table.notes:
+        lines.append(f"note: {table.notes}")
+    return "\n".join(lines)
+
+
+def render_ascii_chart(
+    figure: FigureResult, width: int = 72, height: int = 16
+) -> str:
+    """Render a figure's series as an ASCII chart (one glyph per series)."""
+    glyphs = "*o+x#@%&"
+    all_xs = [x for series in figure.series for x in series.xs]
+    all_ys = [y for series in figure.series for y in series.ys]
+    if not all_xs:
+        return f"{figure.figure_id}: {figure.title} (no data)"
+    x_low, x_high = min(all_xs), max(all_xs)
+    y_low, y_high = min(all_ys), max(all_ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, series in enumerate(figure.series):
+        glyph = glyphs[series_index % len(glyphs)]
+        for x, y in zip(series.xs, series.ys):
+            column = int((x - x_low) / x_span * (width - 1))
+            row = height - 1 - int((y - y_low) / y_span * (height - 1))
+            grid[row][column] = glyph
+
+    lines = [f"{figure.figure_id}: {figure.title}"]
+    lines.append(f"y: {figure.y_label}  [{y_low:,.0f} .. {y_high:,.0f}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {figure.x_label}  [{x_low:,.0f} .. {x_high:,.0f}]")
+    for series_index, series in enumerate(figure.series):
+        lines.append(f"  {glyphs[series_index % len(glyphs)]} = {series.label}")
+    if figure.notes:
+        lines.append(f"note: {figure.notes}")
+    return "\n".join(lines)
+
+
+def render_series_rows(
+    figure: FigureResult, every: int = 10, decimals: int = 0
+) -> str:
+    """Render figure data as aligned numeric rows (one column per series),
+    sampling every ``every`` points."""
+    table_columns = [figure.x_label] + [series.label for series in figure.series]
+    xs = figure.series[0].xs if figure.series else ()
+    rows = []
+    for index in range(0, len(xs), max(1, every)):
+        row = [format_number(xs[index])]
+        for series in figure.series:
+            row.append(
+                format_number(series.ys[index], decimals)
+                if index < len(series.ys)
+                else ""
+            )
+        rows.append(tuple(row))
+    return render_table(
+        TableResult(
+            table_id=figure.figure_id,
+            title=figure.title,
+            columns=tuple(table_columns),
+            rows=tuple(rows),
+        )
+    )

@@ -1,0 +1,115 @@
+"""Generic parameter-sweep harness and the gamma-sensitivity study.
+
+Experiments beyond the paper's fixed grid keep recurring in the same shape:
+vary one knob, run the optimizer, collect scalar outcomes.  The harness
+captures that shape once; :func:`gamma_sensitivity` uses it to map the
+stability/speed landscape the paper's figure 1 samples at three points.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.convergence import (
+    iterations_until_convergence,
+    oscillation_amplitude,
+)
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.experiments.reporting import TableResult, format_number
+from repro.model.problem import Problem
+from repro.workloads.base import base_workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: the knob value and the measured outcomes."""
+
+    value: Any
+    outcomes: dict[str, float]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All points of one sweep, renderable as a table."""
+
+    name: str
+    knob: str
+    points: tuple[SweepPoint, ...]
+
+    def table(self, decimals: int = 2) -> TableResult:
+        if not self.points:
+            raise ValueError("empty sweep")
+        outcome_names = list(self.points[0].outcomes)
+        rows = tuple(
+            (
+                str(point.value),
+                *(
+                    format_number(point.outcomes[name], decimals)
+                    for name in outcome_names
+                ),
+            )
+            for point in self.points
+        )
+        return TableResult(
+            table_id=self.name,
+            title=f"sweep over {self.knob}",
+            columns=(self.knob, *outcome_names),
+            rows=rows,
+        )
+
+
+def sweep(
+    name: str,
+    knob: str,
+    values: Sequence[Any],
+    run: Callable[[Any], dict[str, float]],
+) -> SweepResult:
+    """Run ``run`` once per value and collect the outcome dicts.
+
+    Every outcome dict must expose the same keys (checked) so the result
+    renders as a rectangular table.
+    """
+    points: list[SweepPoint] = []
+    keys: list[str] | None = None
+    for value in values:
+        outcomes = run(value)
+        if keys is None:
+            keys = list(outcomes)
+        elif list(outcomes) != keys:
+            raise ValueError(
+                f"sweep point {value!r} produced keys {list(outcomes)}, "
+                f"expected {keys}"
+            )
+        points.append(SweepPoint(value=value, outcomes=dict(outcomes)))
+    return SweepResult(name=name, knob=knob, points=tuple(points))
+
+
+DEFAULT_GAMMA_GRID = (1.0, 0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.001)
+
+
+def gamma_sensitivity(
+    gammas: Sequence[float] = DEFAULT_GAMMA_GRID,
+    iterations: int = 400,
+    problem: Problem | None = None,
+) -> SweepResult:
+    """Convergence speed and residual oscillation across fixed gamma values.
+
+    Fills in the landscape between figure 1's three samples: convergence
+    iterations fall as gamma grows until oscillation takes over, motivating
+    both the adaptive heuristic and its [0.001, 0.1] clamp.
+    """
+    target = problem if problem is not None else base_workload()
+
+    def run(gamma: float) -> dict[str, float]:
+        optimizer = LRGP(target, LRGPConfig.fixed(gamma))
+        optimizer.run(iterations)
+        converged = iterations_until_convergence(optimizer.utilities)
+        return {
+            "iterations to converge": float(converged) if converged else float("nan"),
+            "final utility": optimizer.utilities[-1],
+            "tail amplitude": oscillation_amplitude(optimizer.utilities, window=50),
+        }
+
+    return sweep("Gamma sensitivity", "gamma", list(gammas), run)

@@ -1,0 +1,95 @@
+"""System model: entities, topology, costs, problem instances, allocations.
+
+This package is the substrate every algorithm operates on.  A
+:class:`Problem` holds the validated, immutable description of an
+event-driven infrastructure (section 2 of the paper); an
+:class:`Allocation` holds a candidate solution; the module-level helpers
+evaluate the objective (eq. 1) and constraints (eq. 2-5).
+"""
+
+from repro.model.allocation import (
+    Allocation,
+    Violation,
+    full_allocation,
+    is_feasible,
+    link_usage,
+    node_flow_usage,
+    node_usage,
+    total_utility,
+    violations,
+    zero_allocation,
+)
+from repro.model.costs import (
+    GRYPHON_CONSUMER_COST,
+    GRYPHON_FLOW_NODE_COST,
+    GRYPHON_NODE_CAPACITY,
+    CostModel,
+    CostModelBuilder,
+)
+from repro.model.entities import (
+    ClassId,
+    ConsumerClass,
+    Flow,
+    FlowId,
+    Link,
+    LinkId,
+    Node,
+    NodeId,
+    Route,
+)
+from repro.model.problem import Problem, ProblemValidationError, build_problem
+from repro.model.serialization import (
+    SerializationError,
+    allocation_from_dict,
+    allocation_from_json,
+    allocation_to_dict,
+    allocation_to_json,
+    problem_from_dict,
+    problem_from_json,
+    problem_to_dict,
+    problem_to_json,
+)
+from repro.model.topology import Overlay, RoutingError, line_overlay, star_overlay
+
+__all__ = [
+    "GRYPHON_CONSUMER_COST",
+    "GRYPHON_FLOW_NODE_COST",
+    "GRYPHON_NODE_CAPACITY",
+    "Allocation",
+    "ClassId",
+    "ConsumerClass",
+    "CostModel",
+    "CostModelBuilder",
+    "Flow",
+    "FlowId",
+    "Link",
+    "LinkId",
+    "Node",
+    "NodeId",
+    "Overlay",
+    "Problem",
+    "ProblemValidationError",
+    "Route",
+    "RoutingError",
+    "SerializationError",
+    "Violation",
+    "allocation_from_dict",
+    "allocation_from_json",
+    "allocation_to_dict",
+    "allocation_to_json",
+    "build_problem",
+    "problem_from_dict",
+    "problem_from_json",
+    "problem_to_dict",
+    "problem_to_json",
+    "full_allocation",
+    "is_feasible",
+    "line_overlay",
+    "link_usage",
+    "node_flow_usage",
+    "node_usage",
+    "star_overlay",
+    "total_utility",
+    "violations",
+    "zero_allocation",
+]

@@ -1,0 +1,150 @@
+"""Allocation state and objective/constraint evaluation.
+
+An :class:`Allocation` is a full assignment of flow rates and class
+populations.  It knows how to compute the paper's objective (eq. 1), the
+per-resource usages (left-hand sides of eq. 4 and 5), and feasibility.
+
+Both LRGP and the baselines manipulate allocations; the evaluation helpers
+here are the single source of truth for "what is the utility of this
+solution", so algorithms cannot disagree about the objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.entities import ClassId, FlowId, LinkId, NodeId
+from repro.model.problem import Problem
+
+#: Relative slack tolerated when checking resource constraints, to absorb
+#: floating-point noise in usages computed incrementally.
+FEASIBILITY_RTOL = 1e-9
+
+
+@dataclass
+class Allocation:
+    """Rates ``r_i`` and populations ``n_j`` for a problem instance."""
+
+    rates: dict[FlowId, float] = field(default_factory=dict)
+    populations: dict[ClassId, int] = field(default_factory=dict)
+
+    def copy(self) -> "Allocation":
+        return Allocation(rates=dict(self.rates), populations=dict(self.populations))
+
+    def rate(self, flow_id: FlowId) -> float:
+        return self.rates.get(flow_id, 0.0)
+
+    def population(self, class_id: ClassId) -> int:
+        return self.populations.get(class_id, 0)
+
+
+def zero_allocation(problem: Problem) -> Allocation:
+    """All rates at their minimum, no consumers admitted — always feasible
+    with respect to node constraints unless minimum rates alone violate
+    them."""
+    return Allocation(
+        rates={f: flow.rate_min for f, flow in problem.flows.items()},
+        populations={c: 0 for c in problem.classes},
+    )
+
+
+def full_allocation(problem: Problem) -> Allocation:
+    """All rates at their maximum, every consumer admitted — usually
+    infeasible; used as an optimistic upper-bound seed."""
+    return Allocation(
+        rates={f: flow.rate_max for f, flow in problem.flows.items()},
+        populations={c: cls.max_consumers for c, cls in problem.classes.items()},
+    )
+
+
+def total_utility(problem: Problem, allocation: Allocation) -> float:
+    """The objective (eq. 1): ``sum_i sum_{j in C_i} n_j U_j(r_i)``."""
+    utility = 0.0
+    for class_id, cls in problem.classes.items():
+        population = allocation.population(class_id)
+        if population > 0:
+            utility += population * cls.utility.value(allocation.rate(cls.flow_id))
+    return utility
+
+
+def link_usage(problem: Problem, allocation: Allocation, link_id: LinkId) -> float:
+    """LHS of the link constraint (eq. 4): ``sum_i L_{l,i} r_i``."""
+    return sum(
+        problem.costs.link(link_id, flow_id) * allocation.rate(flow_id)
+        for flow_id in problem.flows_on_link(link_id)
+    )
+
+
+def node_usage(problem: Problem, allocation: Allocation, node_id: NodeId) -> float:
+    """LHS of the node constraint (eq. 5):
+
+    ``sum_i ( F_{b,i} r_i + sum_{j in attachMap_i(b)} G_{b,j} n_j r_i )``.
+    """
+    usage = 0.0
+    for flow_id in problem.flows_at_node(node_id):
+        rate = allocation.rate(flow_id)
+        usage += problem.costs.flow_node(node_id, flow_id) * rate
+        for class_id in problem.classes_of_flow_at_node(flow_id, node_id):
+            usage += (
+                problem.costs.consumer(node_id, class_id)
+                * allocation.population(class_id)
+                * rate
+            )
+    return usage
+
+
+def node_flow_usage(problem: Problem, allocation: Allocation, node_id: NodeId) -> float:
+    """The consumer-independent part of node usage: ``sum_i F_{b,i} r_i``."""
+    return sum(
+        problem.costs.flow_node(node_id, flow_id) * allocation.rate(flow_id)
+        for flow_id in problem.flows_at_node(node_id)
+    )
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single constraint violation found by :func:`violations`."""
+
+    kind: str  # "rate", "population", "link", "node"
+    subject: str
+    amount: float  # how far past the bound, in the constraint's units
+
+    def __str__(self) -> str:
+        return f"{self.kind} constraint violated at {self.subject} by {self.amount:g}"
+
+
+def violations(
+    problem: Problem, allocation: Allocation, rtol: float = FEASIBILITY_RTOL
+) -> list[Violation]:
+    """Return every violated constraint (eq. 2-5), empty if feasible."""
+    found: list[Violation] = []
+    for flow_id, flow in problem.flows.items():
+        rate = allocation.rate(flow_id)
+        if rate < flow.rate_min - rtol * max(flow.rate_min, 1.0):
+            found.append(Violation("rate", flow_id, flow.rate_min - rate))
+        if rate > flow.rate_max + rtol * max(flow.rate_max, 1.0):
+            found.append(Violation("rate", flow_id, rate - flow.rate_max))
+    for class_id, cls in problem.classes.items():
+        population = allocation.population(class_id)
+        if population < 0:
+            found.append(Violation("population", class_id, float(-population)))
+        if population > cls.max_consumers:
+            found.append(
+                Violation("population", class_id, float(population - cls.max_consumers))
+            )
+    for link_id, link in problem.links.items():
+        usage = link_usage(problem, allocation, link_id)
+        if usage > link.capacity * (1.0 + rtol):
+            found.append(Violation("link", link_id, usage - link.capacity))
+    for node_id, node in problem.nodes.items():
+        usage = node_usage(problem, allocation, node_id)
+        if usage > node.capacity * (1.0 + rtol):
+            found.append(Violation("node", node_id, usage - node.capacity))
+    return found
+
+
+def is_feasible(
+    problem: Problem, allocation: Allocation, rtol: float = FEASIBILITY_RTOL
+) -> bool:
+    """True when the allocation satisfies eq. 2-5 (within ``rtol``)."""
+    return not violations(problem, allocation, rtol)

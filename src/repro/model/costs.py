@@ -1,0 +1,134 @@
+"""The linear resource-cost model (section 2.3).
+
+Three coefficient families translate flow rates into resource consumption:
+
+* ``L[l, i]`` — link cost: resource used on link ``l`` per unit rate of
+  flow ``i`` (0 if the flow does not traverse the link);
+* ``F[b, i]`` — flow-node cost: resource used at node ``b`` per unit rate of
+  flow ``i``, independent of consumers (0 if the flow does not reach ``b``);
+* ``G[b, j]`` — consumer-node cost: resource used at node ``b`` per admitted
+  consumer of class ``j``, per unit rate of the class's flow.
+
+The linearity of this model was validated on the Gryphon pub/sub system
+(paper section 2.3, reference [3]); our event simulator
+(:mod:`repro.events`) re-derives it by metering a discrete-event broker.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.model.entities import ClassId, FlowId, LinkId, NodeId
+
+
+def _check_coefficient(value: float, name: str) -> None:
+    if math.isnan(value) or math.isinf(value) or value < 0.0:
+        raise ValueError(f"{name} must be finite and non-negative, got {value!r}")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Sparse storage of the three coefficient families.
+
+    Missing entries are zero, matching the paper's convention that ``L`` and
+    ``F`` vanish where a flow is absent.  The Gryphon-measured defaults used
+    throughout the evaluation are ``F = 3`` and ``G = 19`` (section 4.1);
+    build those with :func:`uniform_costs`.
+    """
+
+    link_cost: Mapping[tuple[LinkId, FlowId], float] = field(default_factory=dict)
+    flow_node_cost: Mapping[tuple[NodeId, FlowId], float] = field(default_factory=dict)
+    consumer_cost: Mapping[tuple[NodeId, ClassId], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for key, value in self.link_cost.items():
+            _check_coefficient(value, f"link_cost{key}")
+        for key, value in self.flow_node_cost.items():
+            _check_coefficient(value, f"flow_node_cost{key}")
+        for key, value in self.consumer_cost.items():
+            _check_coefficient(value, f"consumer_cost{key}")
+
+    def link(self, link_id: LinkId, flow_id: FlowId) -> float:
+        """``L_{l,i}``."""
+        return self.link_cost.get((link_id, flow_id), 0.0)
+
+    def flow_node(self, node_id: NodeId, flow_id: FlowId) -> float:
+        """``F_{b,i}``."""
+        return self.flow_node_cost.get((node_id, flow_id), 0.0)
+
+    def consumer(self, node_id: NodeId, class_id: ClassId) -> float:
+        """``G_{b,j}``."""
+        return self.consumer_cost.get((node_id, class_id), 0.0)
+
+    def pruned(
+        self,
+        dropped_flow_nodes: set[tuple[NodeId, FlowId]],
+        dropped_flow_links: set[tuple[LinkId, FlowId]],
+    ) -> "CostModel":
+        """Return a copy with the given ``F`` and ``L`` entries zeroed.
+
+        This implements the coefficient surgery of the two-stage
+        approximation (section 2.4, point 2): after a first optimization,
+        branches where no consumer was admitted are pruned by zeroing the
+        corresponding coefficients.
+        """
+        return CostModel(
+            link_cost={
+                key: value
+                for key, value in self.link_cost.items()
+                if key not in dropped_flow_links
+            },
+            flow_node_cost={
+                key: value
+                for key, value in self.flow_node_cost.items()
+                if key not in dropped_flow_nodes
+            },
+            consumer_cost=dict(self.consumer_cost),
+        )
+
+
+#: Gryphon-measured defaults (paper section 4.1).
+GRYPHON_FLOW_NODE_COST = 3.0
+GRYPHON_CONSUMER_COST = 19.0
+GRYPHON_NODE_CAPACITY = 9.0e5
+
+
+class CostModelBuilder:
+    """Incremental builder for :class:`CostModel`.
+
+    Workload generators add coefficients as they route flows; calling
+    :meth:`build` freezes the result.
+    """
+
+    def __init__(self) -> None:
+        self._link: dict[tuple[LinkId, FlowId], float] = {}
+        self._flow_node: dict[tuple[NodeId, FlowId], float] = {}
+        self._consumer: dict[tuple[NodeId, ClassId], float] = {}
+
+    def set_link(self, link_id: LinkId, flow_id: FlowId, cost: float) -> "CostModelBuilder":
+        _check_coefficient(cost, "link cost")
+        self._link[(link_id, flow_id)] = cost
+        return self
+
+    def set_flow_node(
+        self, node_id: NodeId, flow_id: FlowId, cost: float
+    ) -> "CostModelBuilder":
+        _check_coefficient(cost, "flow-node cost")
+        self._flow_node[(node_id, flow_id)] = cost
+        return self
+
+    def set_consumer(
+        self, node_id: NodeId, class_id: ClassId, cost: float
+    ) -> "CostModelBuilder":
+        _check_coefficient(cost, "consumer cost")
+        self._consumer[(node_id, class_id)] = cost
+        return self
+
+    def build(self) -> CostModel:
+        return CostModel(
+            link_cost=dict(self._link),
+            flow_node_cost=dict(self._flow_node),
+            consumer_cost=dict(self._consumer),
+        )

@@ -1,0 +1,138 @@
+"""Core entities of the system model (section 2.1).
+
+An overlay of :class:`Node` objects connected by unidirectional
+:class:`Link` objects carries :class:`Flow` message streams from producers to
+:class:`ConsumerClass` populations.  All entities are immutable value
+objects; mutable optimization state lives in
+:class:`repro.model.allocation.Allocation`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.utility.base import UtilityFunction
+
+NodeId = str
+LinkId = str
+FlowId = str
+ClassId = str
+
+
+def _require_finite_positive(value: float, name: str, *, allow_inf: bool = False) -> None:
+    if math.isnan(value) or value <= 0.0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    if value == math.inf and not allow_inf:
+        raise ValueError(f"{name} must be finite, got infinity")
+
+
+@dataclass(frozen=True)
+class Node:
+    """A broker node with a CPU capacity ``c_b`` (resource units/second).
+
+    Capacity may be ``math.inf`` for nodes that are never a bottleneck
+    (e.g. pure producer-hosting nodes in the paper's workloads, whose
+    resources are not modeled).
+    """
+
+    node_id: NodeId
+    capacity: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ValueError("node_id must be non-empty")
+        _require_finite_positive(self.capacity, "capacity", allow_inf=True)
+
+
+@dataclass(frozen=True)
+class Link:
+    """A unidirectional link with bandwidth capacity ``c_l``."""
+
+    link_id: LinkId
+    tail: NodeId
+    head: NodeId
+    capacity: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not self.link_id:
+            raise ValueError("link_id must be non-empty")
+        if self.tail == self.head:
+            raise ValueError(f"link {self.link_id} is a self-loop at {self.tail}")
+        _require_finite_positive(self.capacity, "capacity", allow_inf=True)
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A message flow injected at ``source`` with rate bounds (eq. 3).
+
+    The rate ``r_i`` refers to the injection rate at the source node; the
+    resource-cost coefficients compensate for in-network rate changes
+    (section 2.4, point 1).
+    """
+
+    flow_id: FlowId
+    source: NodeId
+    rate_min: float = 0.0
+    rate_max: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not self.flow_id:
+            raise ValueError("flow_id must be non-empty")
+        if math.isnan(self.rate_min) or self.rate_min < 0.0:
+            raise ValueError(f"rate_min must be non-negative, got {self.rate_min}")
+        if math.isnan(self.rate_max) or self.rate_max < self.rate_min:
+            raise ValueError(
+                f"rate_max ({self.rate_max}) must be >= rate_min ({self.rate_min})"
+            )
+
+    def clamp(self, rate: float) -> float:
+        """Project a rate onto ``[rate_min, rate_max]``."""
+        return min(max(rate, self.rate_min), self.rate_max)
+
+
+@dataclass(frozen=True)
+class ConsumerClass:
+    """A population of identical consumers of one flow at one node.
+
+    ``max_consumers`` is ``n_j^max`` (eq. 2) — the number of consumers
+    currently connected (admitted or not).  All members share ``utility``;
+    a class spanning several nodes is modeled as one class per node with
+    identical utilities (section 2.2).
+    """
+
+    class_id: ClassId
+    flow_id: FlowId
+    node: NodeId
+    max_consumers: int
+    utility: UtilityFunction
+
+    def __post_init__(self) -> None:
+        if not self.class_id:
+            raise ValueError("class_id must be non-empty")
+        if self.max_consumers < 0:
+            raise ValueError(
+                f"max_consumers must be non-negative, got {self.max_consumers}"
+            )
+
+
+@dataclass(frozen=True)
+class Route:
+    """The dissemination path of a flow: the links it traverses and the
+    nodes it reaches (including the source node first).
+
+    The routing substrate (:mod:`repro.model.topology`) builds routes as
+    trees over the overlay; for the paper's workloads, where links are never
+    bottlenecks, routes may list consumer nodes only.
+    """
+
+    nodes: tuple[NodeId, ...]
+    links: tuple[LinkId, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a route must reach at least one node")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError(f"route visits a node twice: {self.nodes}")
+        if len(set(self.links)) != len(self.links):
+            raise ValueError(f"route uses a link twice: {self.links}")

@@ -1,0 +1,118 @@
+"""Allocation quality metrics beyond raw utility.
+
+The objective (eq. 1) is pure utilitarian welfare; operators also ask
+*who* got served.  These metrics quantify the admission pattern:
+
+* per-class admitted fraction and utility share;
+* Jain's fairness index over admitted fractions (1 = everyone served the
+  same fraction of their demand, 1/n = one class takes everything);
+* service counts by rank band, exposing the greedy allocation's
+  prioritization of high-rank classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.allocation import Allocation, total_utility
+from repro.model.entities import ClassId
+from repro.model.problem import Problem
+
+
+@dataclass(frozen=True)
+class ClassService:
+    """How one consumer class fared under an allocation."""
+
+    class_id: ClassId
+    admitted: int
+    connected: int
+    rate: float
+    utility: float
+
+    @property
+    def admitted_fraction(self) -> float:
+        if self.connected == 0:
+            return 1.0
+        return self.admitted / self.connected
+
+
+def class_service(problem: Problem, allocation: Allocation) -> list[ClassService]:
+    """Per-class service report, sorted by class id."""
+    report = []
+    for class_id in sorted(problem.classes):
+        cls = problem.classes[class_id]
+        admitted = allocation.population(class_id)
+        rate = allocation.rate(cls.flow_id)
+        utility = admitted * cls.utility.value(rate) if admitted > 0 else 0.0
+        report.append(
+            ClassService(
+                class_id=class_id,
+                admitted=admitted,
+                connected=cls.max_consumers,
+                rate=rate,
+                utility=utility,
+            )
+        )
+    return report
+
+
+def jain_index(values: list[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)`` in ``[1/n, 1]``.
+
+    An all-zero vector is conventionally perfectly fair (index 1).
+    """
+    if not values:
+        raise ValueError("no values")
+    if any(value < 0.0 for value in values):
+        raise ValueError("values must be non-negative")
+    total = sum(values)
+    if total == 0.0:
+        return 1.0
+    squares = sum(value * value for value in values)
+    return (total * total) / (len(values) * squares)
+
+
+def admission_fairness(problem: Problem, allocation: Allocation) -> float:
+    """Jain's index over per-class admitted fractions."""
+    report = class_service(problem, allocation)
+    return jain_index([service.admitted_fraction for service in report])
+
+
+def utility_concentration(problem: Problem, allocation: Allocation) -> float:
+    """Fraction of total utility captured by the top 20% of classes
+    (by utility) — a quick concentration read-out."""
+    report = class_service(problem, allocation)
+    utilities = sorted((service.utility for service in report), reverse=True)
+    total = sum(utilities)
+    if total == 0.0:
+        return 0.0
+    top = max(1, len(utilities) // 5)
+    return sum(utilities[:top]) / total
+
+
+@dataclass(frozen=True)
+class AllocationSummary:
+    """One-stop quality summary of an allocation."""
+
+    utility: float
+    admitted: int
+    connected: int
+    fairness: float
+    concentration: float
+
+    @property
+    def admitted_fraction(self) -> float:
+        if self.connected == 0:
+            return 1.0
+        return self.admitted / self.connected
+
+
+def summarize(problem: Problem, allocation: Allocation) -> AllocationSummary:
+    report = class_service(problem, allocation)
+    return AllocationSummary(
+        utility=total_utility(problem, allocation),
+        admitted=sum(service.admitted for service in report),
+        connected=sum(service.connected for service in report),
+        fairness=admission_fairness(problem, allocation),
+        concentration=utility_concentration(problem, allocation),
+    )

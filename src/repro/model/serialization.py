@@ -1,0 +1,252 @@
+"""JSON (de)serialization for problems and allocations.
+
+A deployment needs to ship workload descriptions between tools (workload
+generators, the optimizer, dashboards) and to persist enacted allocations.
+The format is a plain JSON object, versioned, with utilities encoded
+through a small type registry.
+
+Round-trip guarantee: ``problem_from_dict(problem_to_dict(p))`` equals
+``p`` (verified by tests for every entity and cost entry).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.model.allocation import Allocation
+from repro.model.costs import CostModel
+from repro.model.entities import ConsumerClass, Flow, Link, Node, Route
+from repro.model.problem import Problem, build_problem
+from repro.utility.base import UtilityFunction
+from repro.utility.functions import (
+    ExponentialSaturationUtility,
+    LogUtility,
+    PowerUtility,
+    ScaledUtility,
+)
+
+FORMAT_VERSION = 1
+
+#: Sentinel for infinite capacities in JSON (JSON has no Infinity).
+_INF = "inf"
+
+
+class SerializationError(ValueError):
+    """Raised on malformed or unsupported serialized data."""
+
+
+def _encode_capacity(value: float) -> float | str:
+    return _INF if value == math.inf else value
+
+
+def _decode_capacity(value: float | str) -> float:
+    if value == _INF:
+        return math.inf
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise SerializationError(f"bad capacity value {value!r}")
+
+
+# -- utilities ---------------------------------------------------------------
+
+
+def utility_to_dict(utility: UtilityFunction) -> dict[str, Any]:
+    if isinstance(utility, LogUtility):
+        return {"type": "log", "scale": utility.scale, "offset": utility.offset}
+    if isinstance(utility, PowerUtility):
+        return {"type": "power", "scale": utility.scale, "exponent": utility.exponent}
+    if isinstance(utility, ExponentialSaturationUtility):
+        return {"type": "saturation", "scale": utility.scale, "knee": utility.knee}
+    if isinstance(utility, ScaledUtility):
+        return {
+            "type": "scaled",
+            "factor": utility.factor,
+            "base": utility_to_dict(utility.base),
+        }
+    raise SerializationError(
+        f"no serializer for utility type {type(utility).__name__}"
+    )
+
+
+def utility_from_dict(data: dict[str, Any]) -> UtilityFunction:
+    try:
+        kind = data["type"]
+    except (KeyError, TypeError):
+        raise SerializationError(f"bad utility record {data!r}") from None
+    if kind == "log":
+        return LogUtility(scale=data["scale"], offset=data["offset"])
+    if kind == "power":
+        return PowerUtility(scale=data["scale"], exponent=data["exponent"])
+    if kind == "saturation":
+        return ExponentialSaturationUtility(scale=data["scale"], knee=data["knee"])
+    if kind == "scaled":
+        return ScaledUtility(
+            base=utility_from_dict(data["base"]), factor=data["factor"]
+        )
+    raise SerializationError(f"unknown utility type {kind!r}")
+
+
+# -- problems ------------------------------------------------------------------
+
+
+def problem_to_dict(problem: Problem) -> dict[str, Any]:
+    """Encode a problem as a JSON-serializable dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "nodes": [
+            {"id": node.node_id, "capacity": _encode_capacity(node.capacity)}
+            for node in problem.nodes.values()
+        ],
+        "links": [
+            {
+                "id": link.link_id,
+                "tail": link.tail,
+                "head": link.head,
+                "capacity": _encode_capacity(link.capacity),
+            }
+            for link in problem.links.values()
+        ],
+        "flows": [
+            {
+                "id": flow.flow_id,
+                "source": flow.source,
+                "rate_min": flow.rate_min,
+                "rate_max": _encode_capacity(flow.rate_max),
+            }
+            for flow in problem.flows.values()
+        ],
+        "classes": [
+            {
+                "id": cls.class_id,
+                "flow": cls.flow_id,
+                "node": cls.node,
+                "max_consumers": cls.max_consumers,
+                "utility": utility_to_dict(cls.utility),
+            }
+            for cls in problem.classes.values()
+        ],
+        "routes": {
+            flow_id: {"nodes": list(route.nodes), "links": list(route.links)}
+            for flow_id, route in problem.routes.items()
+        },
+        "costs": {
+            "link": [
+                [link_id, flow_id, cost]
+                for (link_id, flow_id), cost in problem.costs.link_cost.items()
+            ],
+            "flow_node": [
+                [node_id, flow_id, cost]
+                for (node_id, flow_id), cost in problem.costs.flow_node_cost.items()
+            ],
+            "consumer": [
+                [node_id, class_id, cost]
+                for (node_id, class_id), cost in problem.costs.consumer_cost.items()
+            ],
+        },
+    }
+
+
+def problem_from_dict(data: dict[str, Any]) -> Problem:
+    """Decode a problem from :func:`problem_to_dict`'s format (validated)."""
+    try:
+        version = data["version"]
+    except (KeyError, TypeError):
+        raise SerializationError("missing format version") from None
+    if version != FORMAT_VERSION:
+        raise SerializationError(f"unsupported format version {version!r}")
+    try:
+        nodes = [
+            Node(rec["id"], capacity=_decode_capacity(rec["capacity"]))
+            for rec in data["nodes"]
+        ]
+        links = [
+            Link(
+                rec["id"],
+                tail=rec["tail"],
+                head=rec["head"],
+                capacity=_decode_capacity(rec["capacity"]),
+            )
+            for rec in data["links"]
+        ]
+        flows = [
+            Flow(
+                rec["id"],
+                source=rec["source"],
+                rate_min=rec["rate_min"],
+                rate_max=_decode_capacity(rec["rate_max"]),
+            )
+            for rec in data["flows"]
+        ]
+        classes = [
+            ConsumerClass(
+                rec["id"],
+                flow_id=rec["flow"],
+                node=rec["node"],
+                max_consumers=rec["max_consumers"],
+                utility=utility_from_dict(rec["utility"]),
+            )
+            for rec in data["classes"]
+        ]
+        routes = {
+            flow_id: Route(nodes=tuple(rec["nodes"]), links=tuple(rec["links"]))
+            for flow_id, rec in data["routes"].items()
+        }
+        costs = CostModel(
+            link_cost={
+                (link_id, flow_id): cost
+                for link_id, flow_id, cost in data["costs"]["link"]
+            },
+            flow_node_cost={
+                (node_id, flow_id): cost
+                for node_id, flow_id, cost in data["costs"]["flow_node"]
+            },
+            consumer_cost={
+                (node_id, class_id): cost
+                for node_id, class_id, cost in data["costs"]["consumer"]
+            },
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed problem record: {exc}") from exc
+    return build_problem(nodes, links, flows, classes, routes, costs)
+
+
+def problem_to_json(problem: Problem, indent: int | None = 2) -> str:
+    return json.dumps(problem_to_dict(problem), indent=indent, sort_keys=True)
+
+
+def problem_from_json(text: str) -> Problem:
+    return problem_from_dict(json.loads(text))
+
+
+# -- allocations --------------------------------------------------------------
+
+
+def allocation_to_dict(allocation: Allocation) -> dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "rates": dict(allocation.rates),
+        "populations": dict(allocation.populations),
+    }
+
+
+def allocation_from_dict(data: dict[str, Any]) -> Allocation:
+    try:
+        if data["version"] != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported format version {data['version']!r}"
+            )
+        rates = {str(k): float(v) for k, v in data["rates"].items()}
+        populations = {str(k): int(v) for k, v in data["populations"].items()}
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed allocation record: {exc}") from exc
+    return Allocation(rates=rates, populations=populations)
+
+
+def allocation_to_json(allocation: Allocation, indent: int | None = 2) -> str:
+    return json.dumps(allocation_to_dict(allocation), indent=indent, sort_keys=True)
+
+
+def allocation_from_json(text: str) -> Allocation:
+    return allocation_from_dict(json.loads(text))

@@ -1,0 +1,139 @@
+"""Overlay topology and routing substrate.
+
+The paper assumes each flow has a given dissemination path (section 5:
+"Our optimization algorithm assumes all the flows have a given path").
+This module builds those paths: it wraps a directed overlay graph
+(:mod:`networkx`) and computes, for each flow, a dissemination *tree* from
+the flow's source to the nodes hosting its consumer classes, recorded as a
+:class:`repro.model.entities.Route`.
+
+For the paper's evaluation workloads links are never bottlenecks
+(section 4.1), so workload builders may use :func:`star_overlay` with
+effectively infinite link capacities; the full routing path is still
+materialized so link-price machinery is exercised end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.model.entities import Link, LinkId, Node, NodeId, Route
+
+
+class RoutingError(ValueError):
+    """Raised when no route exists between a source and a consumer node."""
+
+
+class Overlay:
+    """A directed overlay of nodes and unidirectional capacitated links."""
+
+    def __init__(self, nodes: Iterable[Node], links: Iterable[Link]) -> None:
+        self._nodes = {n.node_id: n for n in nodes}
+        self._links = {l.link_id: l for l in links}
+        self._graph = nx.DiGraph()
+        for node in self._nodes.values():
+            self._graph.add_node(node.node_id)
+        for link in self._links.values():
+            if link.tail not in self._nodes or link.head not in self._nodes:
+                raise RoutingError(
+                    f"link {link.link_id} references nodes outside the overlay"
+                )
+            if self._graph.has_edge(link.tail, link.head):
+                raise RoutingError(
+                    f"parallel link between {link.tail} and {link.head}"
+                )
+            self._graph.add_edge(link.tail, link.head, link_id=link.link_id)
+
+    @property
+    def nodes(self) -> Mapping[NodeId, Node]:
+        return self._nodes
+
+    @property
+    def links(self) -> Mapping[LinkId, Link]:
+        return self._links
+
+    def shortest_path(self, source: NodeId, target: NodeId) -> list[NodeId]:
+        """Hop-count shortest path, raising :class:`RoutingError` when
+        disconnected."""
+        try:
+            return nx.shortest_path(self._graph, source, target)
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise RoutingError(f"no path from {source} to {target}") from exc
+
+    def link_between(self, tail: NodeId, head: NodeId) -> LinkId:
+        data = self._graph.get_edge_data(tail, head)
+        if data is None:
+            raise RoutingError(f"no link from {tail} to {head}")
+        return data["link_id"]
+
+    def dissemination_route(self, source: NodeId, targets: Sequence[NodeId]) -> Route:
+        """Build the dissemination tree of a flow as a :class:`Route`.
+
+        The tree is the union of hop-count shortest paths from ``source`` to
+        each target (a standard shortest-path-tree approximation of the
+        Steiner tree).  Node order is a breadth-first order of the union,
+        starting at the source; each link appears once even when shared by
+        several target paths.
+        """
+        ordered_nodes: list[NodeId] = [source]
+        seen_nodes = {source}
+        ordered_links: list[LinkId] = []
+        seen_links: set[LinkId] = set()
+        for target in targets:
+            path = self.shortest_path(source, target)
+            for tail, head in zip(path, path[1:]):
+                link_id = self.link_between(tail, head)
+                if link_id not in seen_links:
+                    seen_links.add(link_id)
+                    ordered_links.append(link_id)
+                if head not in seen_nodes:
+                    seen_nodes.add(head)
+                    ordered_nodes.append(head)
+        return Route(nodes=tuple(ordered_nodes), links=tuple(ordered_links))
+
+
+def star_overlay(
+    hub_id: NodeId,
+    leaf_ids: Sequence[NodeId],
+    node_capacity: float,
+    link_capacity: float = math.inf,
+    hub_capacity: float = math.inf,
+) -> Overlay:
+    """A hub-and-spoke overlay: one hub with a unidirectional link to each
+    leaf.
+
+    This is the minimal topology matching the paper's workloads: producers
+    attach at the hub, consumer nodes are the leaves, and link capacities
+    default to infinite so only node resources constrain the system.
+    """
+    nodes = [Node(hub_id, capacity=hub_capacity)] + [
+        Node(leaf, capacity=node_capacity) for leaf in leaf_ids
+    ]
+    links = [
+        Link(f"{hub_id}->{leaf}", tail=hub_id, head=leaf, capacity=link_capacity)
+        for leaf in leaf_ids
+    ]
+    return Overlay(nodes, links)
+
+
+def line_overlay(
+    node_ids: Sequence[NodeId],
+    node_capacity: float,
+    link_capacity: float = math.inf,
+) -> Overlay:
+    """A unidirectional chain ``n0 -> n1 -> ... -> nk``.
+
+    Useful for link-bottleneck experiments: every downstream flow shares the
+    upstream links.
+    """
+    if len(node_ids) < 2:
+        raise ValueError("a line overlay needs at least two nodes")
+    nodes = [Node(node_id, capacity=node_capacity) for node_id in node_ids]
+    links = [
+        Link(f"{tail}->{head}", tail=tail, head=head, capacity=link_capacity)
+        for tail, head in zip(node_ids, node_ids[1:])
+    ]
+    return Overlay(nodes, links)

@@ -1,0 +1,57 @@
+"""Distributed runtime: LRGP as message-passing agents.
+
+The reference driver in :mod:`repro.core` composes the per-agent algorithms
+centrally; this package deploys the same algorithms as communicating agents:
+
+* :class:`SynchronousRuntime` — barrier rounds, bit-identical to the
+  reference driver;
+* :class:`AsynchronousRuntime` — discrete-event execution with jittered
+  clocks, message latency/loss and price averaging (section 3.5).
+"""
+
+from repro.runtime.agents import (
+    Agent,
+    LinkAgent,
+    NodeAgent,
+    SourceAgent,
+    link_address,
+    node_address,
+    source_address,
+)
+from repro.runtime.asynchronous import AsyncConfig, AsynchronousRuntime
+from repro.runtime.multirate import (
+    DemandUpdate,
+    MultirateNodeAgent,
+    MultirateSourceAgent,
+    MultirateSynchronousRuntime,
+)
+from repro.runtime.messages import (
+    LinkPriceUpdate,
+    Message,
+    NodePriceUpdate,
+    PopulationUpdate,
+    RateUpdate,
+)
+from repro.runtime.synchronous import SynchronousRuntime
+
+__all__ = [
+    "Agent",
+    "AsyncConfig",
+    "AsynchronousRuntime",
+    "DemandUpdate",
+    "LinkAgent",
+    "LinkPriceUpdate",
+    "Message",
+    "MultirateNodeAgent",
+    "MultirateSourceAgent",
+    "MultirateSynchronousRuntime",
+    "NodeAgent",
+    "NodePriceUpdate",
+    "PopulationUpdate",
+    "RateUpdate",
+    "SourceAgent",
+    "SynchronousRuntime",
+    "link_address",
+    "node_address",
+    "source_address",
+]

@@ -1,0 +1,310 @@
+"""Agents of the distributed LRGP deployment.
+
+Three agent roles, one per algorithm in the paper:
+
+* :class:`SourceAgent` — one per flow, colocated with the flow's source
+  node; runs Algorithm 1 (Lagrangian rate allocation).
+* :class:`NodeAgent` — one per consumer-hosting node; runs Algorithm 2
+  (greedy consumer allocation + node price).
+* :class:`LinkAgent` — one per finite-capacity link, hosted by one of the
+  link's endpoint nodes (footnote 2); runs Algorithm 3 (link price).
+
+An agent holds only local state plus the last values it *received*; each
+activation (:meth:`act`) consumes that state and emits protocol messages.
+The engines in :mod:`repro.runtime.synchronous` and
+:mod:`repro.runtime.asynchronous` decide when agents activate and how
+messages travel.
+
+Sources optionally average the last few received prices per resource, the
+asynchrony-tolerance device of Low & Lapsley the paper cites in section 3.5.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.consumer_allocation import allocate_consumers
+from repro.core.gamma import GammaSchedule
+from repro.core.prices import LinkPriceController, NodePriceController
+from repro.core.rate_allocation import allocate_rate
+from repro.model.entities import ClassId, FlowId, LinkId, NodeId
+from repro.model.problem import Problem
+from repro.runtime.messages import (
+    LinkPriceUpdate,
+    Message,
+    NodePriceUpdate,
+    PopulationUpdate,
+    RateUpdate,
+)
+
+
+def source_address(flow_id: FlowId) -> str:
+    return f"src:{flow_id}"
+
+
+def node_address(node_id: NodeId) -> str:
+    return f"node:{node_id}"
+
+
+def link_address(link_id: LinkId) -> str:
+    return f"link:{link_id}"
+
+
+class Agent:
+    """Common shape: receive messages, activate, emit messages."""
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+
+    def receive(self, message: Message) -> None:
+        raise NotImplementedError
+
+    def act(self, stamp: float) -> list[Message]:
+        """Run this agent's algorithm once; return the messages to send."""
+        raise NotImplementedError
+
+
+class _Averager:
+    """Sliding-window mean of the last ``window`` observations per key."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"averaging window must be >= 1, got {window}")
+        self._window = window
+        self._values: dict[str, deque[float]] = {}
+
+    def observe(self, key: str, value: float) -> None:
+        queue = self._values.setdefault(key, deque(maxlen=self._window))
+        queue.append(value)
+
+    def mean(self, key: str, default: float = 0.0) -> float:
+        queue = self._values.get(key)
+        if not queue:
+            return default
+        return sum(queue) / len(queue)
+
+
+class SourceAgent(Agent):
+    """Algorithm 1 at the source node of one flow.
+
+    State: the latest (or window-averaged) node and link prices received
+    from the flow's route, and the latest consumer allocations for the
+    flow's classes.  Each activation solves the Lagrangian rate subproblem
+    and announces the rate to every node and link agent on the route.
+    """
+
+    def __init__(
+        self, problem: Problem, flow_id: FlowId, averaging_window: int = 1
+    ) -> None:
+        super().__init__(source_address(flow_id))
+        self._problem = problem
+        self._flow_id = flow_id
+        self._node_prices = _Averager(averaging_window)
+        self._link_prices = _Averager(averaging_window)
+        self._populations: dict[ClassId, int] = {
+            class_id: 0 for class_id in problem.classes_of_flow(flow_id)
+        }
+        self.rate = problem.flows[flow_id].rate_min
+
+    @property
+    def flow_id(self) -> FlowId:
+        return self._flow_id
+
+    def receive(self, message: Message) -> None:
+        if isinstance(message, NodePriceUpdate):
+            self._node_prices.observe(message.node_id, message.price)
+        elif isinstance(message, LinkPriceUpdate):
+            self._link_prices.observe(message.link_id, message.price)
+        elif isinstance(message, PopulationUpdate):
+            for class_id, population in message.populations.items():
+                if class_id in self._populations:
+                    self._populations[class_id] = population
+        else:
+            raise TypeError(f"source agent got unexpected {type(message).__name__}")
+
+    def act(self, stamp: float) -> list[Message]:
+        problem = self._problem
+        route = problem.route(self._flow_id)
+        # PL_i + PB_i (eq. 8-9) from received prices.
+        price = 0.0
+        for link_id in route.links:
+            price += problem.costs.link(link_id, self._flow_id) * self._link_prices.mean(
+                link_id
+            )
+        for node_id in route.nodes:
+            node_price = self._node_prices.mean(node_id)
+            if node_price == 0.0:
+                continue
+            coefficient = problem.costs.flow_node(node_id, self._flow_id)
+            for class_id in problem.classes_of_flow_at_node(self._flow_id, node_id):
+                coefficient += (
+                    problem.costs.consumer(node_id, class_id)
+                    * self._populations[class_id]
+                )
+            price += coefficient * node_price
+        self.rate = allocate_rate(problem, self._flow_id, self._populations, price)
+
+        messages: list[Message] = []
+        for node_id in route.nodes:
+            if node_id in problem.consumer_nodes():
+                messages.append(
+                    RateUpdate(
+                        sender=self.address,
+                        recipient=node_address(node_id),
+                        stamp=stamp,
+                        flow_id=self._flow_id,
+                        rate=self.rate,
+                    )
+                )
+        for link_id in route.links:
+            if problem.links[link_id].capacity != float("inf"):
+                messages.append(
+                    RateUpdate(
+                        sender=self.address,
+                        recipient=link_address(link_id),
+                        stamp=stamp,
+                        flow_id=self._flow_id,
+                        rate=self.rate,
+                    )
+                )
+        return messages
+
+
+class NodeAgent(Agent):
+    """Algorithm 2 at one consumer-hosting node.
+
+    State: the latest rate of each flow reaching the node.  Each activation
+    runs the greedy consumer allocation, updates the node price (eq. 12)
+    and announces price + populations to the sources of those flows.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        node_id: NodeId,
+        gamma: GammaSchedule,
+        initial_price: float = 0.0,
+    ) -> None:
+        super().__init__(node_address(node_id))
+        self._problem = problem
+        self._node_id = node_id
+        self._rates: dict[FlowId, float] = {
+            flow_id: problem.flows[flow_id].rate_min
+            for flow_id in problem.flows_at_node(node_id)
+        }
+        self._controller = NodePriceController(
+            capacity=problem.nodes[node_id].capacity,
+            gamma_under=gamma,
+            initial_price=initial_price,
+        )
+        self.populations: dict[ClassId, int] = {
+            class_id: 0 for class_id in problem.classes_at_node(node_id)
+        }
+
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    @property
+    def price(self) -> float:
+        return self._controller.price
+
+    def receive(self, message: Message) -> None:
+        if not isinstance(message, RateUpdate):
+            raise TypeError(f"node agent got unexpected {type(message).__name__}")
+        if message.flow_id in self._rates:
+            self._rates[message.flow_id] = message.rate
+
+    def act(self, stamp: float) -> list[Message]:
+        problem = self._problem
+        result = allocate_consumers(problem, self._node_id, self._rates)
+        self.populations = dict(result.populations)
+        self._controller.update(
+            benefit_cost=result.best_unsatisfied_ratio, used=result.used
+        )
+
+        messages: list[Message] = []
+        for flow_id in problem.flows_at_node(self._node_id):
+            recipient = source_address(flow_id)
+            messages.append(
+                NodePriceUpdate(
+                    sender=self.address,
+                    recipient=recipient,
+                    stamp=stamp,
+                    node_id=self._node_id,
+                    price=self._controller.price,
+                )
+            )
+            class_ids = problem.classes_of_flow_at_node(flow_id, self._node_id)
+            if class_ids:
+                messages.append(
+                    PopulationUpdate(
+                        sender=self.address,
+                        recipient=recipient,
+                        stamp=stamp,
+                        node_id=self._node_id,
+                        flow_id=flow_id,
+                        populations={
+                            class_id: self.populations[class_id]
+                            for class_id in class_ids
+                        },
+                    )
+                )
+        return messages
+
+
+class LinkAgent(Agent):
+    """Algorithm 3 on behalf of one finite-capacity link."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        link_id: LinkId,
+        gamma: float,
+        initial_price: float = 0.0,
+    ) -> None:
+        super().__init__(link_address(link_id))
+        self._problem = problem
+        self._link_id = link_id
+        self._rates: dict[FlowId, float] = {
+            flow_id: problem.flows[flow_id].rate_min
+            for flow_id in problem.flows_on_link(link_id)
+        }
+        self._controller = LinkPriceController(
+            capacity=problem.links[link_id].capacity,
+            gamma=gamma,
+            initial_price=initial_price,
+        )
+
+    @property
+    def link_id(self) -> LinkId:
+        return self._link_id
+
+    @property
+    def price(self) -> float:
+        return self._controller.price
+
+    def receive(self, message: Message) -> None:
+        if not isinstance(message, RateUpdate):
+            raise TypeError(f"link agent got unexpected {type(message).__name__}")
+        if message.flow_id in self._rates:
+            self._rates[message.flow_id] = message.rate
+
+    def act(self, stamp: float) -> list[Message]:
+        problem = self._problem
+        usage = sum(
+            problem.costs.link(self._link_id, flow_id) * rate
+            for flow_id, rate in self._rates.items()
+        )
+        self._controller.update(usage)
+        return [
+            LinkPriceUpdate(
+                sender=self.address,
+                recipient=source_address(flow_id),
+                stamp=stamp,
+                link_id=self._link_id,
+                price=self._controller.price,
+            )
+            for flow_id in problem.flows_on_link(self._link_id)
+        ]

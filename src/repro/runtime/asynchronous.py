@@ -1,0 +1,196 @@
+"""Asynchronous deployment of the LRGP protocol.
+
+Section 3.5: the synchronous formulation can be made asynchronous with known
+techniques — agents act on their own clocks over possibly stale state, and
+sources average over the last few prices from a resource (Low & Lapsley) to
+tolerate missing or delayed updates.
+
+This engine is a discrete-event simulation: every agent activates
+periodically (with jitter), messages travel with random latency and may be
+lost, and sources apply window averaging to received prices.  A global
+observer samples the "deployed" state (rates at the sources, populations at
+the nodes) on a fixed interval, producing a utility-over-time trajectory
+comparable to the synchronous per-iteration one.
+
+All randomness flows from one seeded :class:`random.Random`, so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.gamma import AdaptiveGamma, GammaSchedule
+from repro.model.allocation import Allocation, total_utility
+from repro.model.problem import Problem
+from repro.runtime.agents import Agent, LinkAgent, NodeAgent, SourceAgent
+from repro.runtime.messages import Message
+
+
+@dataclass(frozen=True)
+class AsyncConfig:
+    """Timing, reliability and staleness-tolerance knobs.
+
+    Times are in abstract units; one synchronous iteration corresponds
+    roughly to one ``activation_period`` (the paper equates iteration time
+    with the maximum round-trip time, section 4.3).
+    """
+
+    activation_period: float = 1.0
+    #: Relative jitter on each agent's activation period (uniform +-).
+    period_jitter: float = 0.2
+    #: Mean one-way message latency.
+    latency_mean: float = 0.25
+    #: Relative jitter on latency (uniform +-).
+    latency_jitter: float = 0.5
+    #: Probability that any message is silently dropped.
+    loss_probability: float = 0.0
+    #: Number of recent prices a source averages per resource (1 = latest).
+    averaging_window: int = 3
+    #: Interval at which the observer samples global utility.
+    sample_interval: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.activation_period <= 0.0:
+            raise ValueError("activation_period must be positive")
+        if not 0.0 <= self.period_jitter < 1.0:
+            raise ValueError("period_jitter must be in [0, 1)")
+        if self.latency_mean < 0.0:
+            raise ValueError("latency_mean must be non-negative")
+        if not 0.0 <= self.latency_jitter <= 1.0:
+            raise ValueError("latency_jitter must be in [0, 1]")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if self.averaging_window < 1:
+            raise ValueError("averaging_window must be >= 1")
+        if self.sample_interval <= 0.0:
+            raise ValueError("sample_interval must be positive")
+
+
+class AsynchronousRuntime:
+    """Discrete-event asynchronous execution of the LRGP agents."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: AsyncConfig | None = None,
+        node_gamma: GammaSchedule | None = None,
+        link_gamma: float = 1e-4,
+    ) -> None:
+        self._problem = problem
+        self._config = config or AsyncConfig()
+        self._rng = random.Random(self._config.seed)
+        prototype = node_gamma if node_gamma is not None else AdaptiveGamma()
+
+        self._sources = [
+            SourceAgent(
+                problem, flow_id, averaging_window=self._config.averaging_window
+            )
+            for flow_id in sorted(problem.flows)
+        ]
+        self._nodes = [
+            NodeAgent(problem, node_id, gamma=prototype.clone())
+            for node_id in problem.consumer_nodes()
+        ]
+        self._links = [
+            LinkAgent(problem, link_id, gamma=link_gamma)
+            for link_id in problem.bottleneck_links()
+        ]
+        self._agents: dict[str, Agent] = {
+            agent.address: agent
+            for agent in [*self._sources, *self._nodes, *self._links]
+        }
+
+        self._queue: list[tuple[float, int, str, object]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self.samples: list[tuple[float, float]] = []
+        self.messages_sent = 0
+        self.messages_lost = 0
+
+        # Stagger initial activations uniformly across one period so agents
+        # do not start in lockstep.
+        for agent in self._agents.values():
+            offset = self._rng.uniform(0.0, self._config.activation_period)
+            self._schedule(offset, "activate", agent.address)
+        self._schedule(self._config.sample_interval, "sample", None)
+
+    # -- event plumbing -----------------------------------------------------
+
+    def _schedule(self, at: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._queue, (at, next(self._sequence), kind, payload))
+
+    def _next_period(self) -> float:
+        jitter = self._config.period_jitter
+        return self._config.activation_period * (
+            1.0 + self._rng.uniform(-jitter, jitter)
+        )
+
+    def _latency(self) -> float:
+        jitter = self._config.latency_jitter
+        return self._config.latency_mean * (1.0 + self._rng.uniform(-jitter, jitter))
+
+    def _dispatch(self, messages: list[Message]) -> None:
+        for message in messages:
+            self.messages_sent += 1
+            if self._rng.random() < self._config.loss_probability:
+                self.messages_lost += 1
+                continue
+            self._schedule(self._now + self._latency(), "deliver", message)
+
+    # -- execution ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def run_until(self, end_time: float) -> None:
+        """Process events until the clock passes ``end_time``."""
+        if end_time < self._now:
+            raise ValueError(f"end_time {end_time} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= end_time:
+            at, _, kind, payload = heapq.heappop(self._queue)
+            self._now = at
+            if kind == "activate":
+                agent = self._agents[payload]  # type: ignore[index]
+                self._dispatch(agent.act(self._now))
+                self._schedule(self._now + self._next_period(), "activate", payload)
+            elif kind == "deliver":
+                message = payload  # type: ignore[assignment]
+                assert isinstance(message, Message)
+                self._agents[message.recipient].receive(message)
+            elif kind == "sample":
+                self.samples.append((self._now, self.utility()))
+                self._schedule(
+                    self._now + self._config.sample_interval, "sample", None
+                )
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {kind!r}")
+        self._now = end_time
+
+    def allocation(self) -> Allocation:
+        """Global snapshot of deployed state (may be mutually stale)."""
+        rates = {source.flow_id: source.rate for source in self._sources}
+        populations = {}
+        for node in self._nodes:
+            populations.update(node.populations)
+        return Allocation(rates=rates, populations=populations)
+
+    def utility(self) -> float:
+        return total_utility(self._problem, self.allocation())
+
+    def utilities(self) -> list[float]:
+        """The sampled utility trajectory (one value per sample tick)."""
+        return [value for _, value in self.samples]
+
+    def converged_utility(self, tail: int = 20) -> float:
+        """Mean utility over the trailing ``tail`` samples."""
+        values = self.utilities()[-tail:]
+        if not values:
+            raise RuntimeError("no samples recorded yet; call run_until first")
+        return math.fsum(values) / len(values)

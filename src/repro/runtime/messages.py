@@ -1,0 +1,75 @@
+"""Message vocabulary of the distributed LRGP protocol.
+
+The paper's Algorithms 1-3 exchange exactly four kinds of information:
+
+* a source tells the nodes and links on its flow's path the new rate
+  (:class:`RateUpdate`);
+* a node tells the sources of the flows that reach it its new price
+  (:class:`NodePriceUpdate`) and the consumer allocations for their classes
+  (:class:`PopulationUpdate`);
+* a link (well, the endpoint node computing on its behalf — footnote 2)
+  tells those sources its new price (:class:`LinkPriceUpdate`).
+
+Messages are immutable records addressed to agent names
+(:mod:`repro.runtime.agents` defines the naming scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.model.entities import ClassId, FlowId, LinkId, NodeId
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: routing envelope shared by all protocol messages."""
+
+    sender: str
+    recipient: str
+    #: Iteration (sync) or send-time (async) stamp, for diagnostics and
+    #: staleness-aware averaging.
+    stamp: float
+
+
+@dataclass(frozen=True)
+class RateUpdate(Message):
+    """Algorithm 1, step 3: a source announces its flow's new rate."""
+
+    flow_id: FlowId = ""
+    rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class NodePriceUpdate(Message):
+    """Algorithm 2, step 4 (price part): a node announces ``p_b``."""
+
+    node_id: NodeId = ""
+    price: float = 0.0
+
+
+@dataclass(frozen=True)
+class LinkPriceUpdate(Message):
+    """Algorithm 3, step 3: a link announces ``p_l``."""
+
+    link_id: LinkId = ""
+    price: float = 0.0
+
+
+def _freeze(populations: Mapping[ClassId, int]) -> Mapping[ClassId, int]:
+    return MappingProxyType(dict(populations))
+
+
+@dataclass(frozen=True)
+class PopulationUpdate(Message):
+    """Algorithm 2, step 4 (population part): a node announces the ``n_j``
+    it allocated for the classes of one flow."""
+
+    node_id: NodeId = ""
+    flow_id: FlowId = ""
+    populations: Mapping[ClassId, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "populations", _freeze(self.populations))

@@ -1,0 +1,104 @@
+"""Round-based synchronous deployment of the LRGP protocol.
+
+One round = one LRGP iteration, exactly as in the paper's synchronous
+formulation (section 3.5): all sources activate and their rate messages are
+delivered; then all node and link agents activate and their price/population
+messages are delivered.  With instantaneous per-round delivery this engine
+reproduces the reference driver (:class:`repro.core.LRGP`) step for step —
+an integration test asserts trajectory equality.
+"""
+
+from __future__ import annotations
+
+from repro.core.gamma import AdaptiveGamma, GammaSchedule
+from repro.model.allocation import Allocation, total_utility
+from repro.model.problem import Problem
+from repro.runtime.agents import Agent, LinkAgent, NodeAgent, SourceAgent
+from repro.runtime.messages import Message
+
+
+class SynchronousRuntime:
+    """Executes LRGP as message-passing agents with barrier rounds."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        node_gamma: GammaSchedule | None = None,
+        link_gamma: float = 1e-4,
+    ) -> None:
+        prototype = node_gamma if node_gamma is not None else AdaptiveGamma()
+        self._problem = problem
+        self._sources = [
+            SourceAgent(problem, flow_id) for flow_id in sorted(problem.flows)
+        ]
+        self._nodes = [
+            NodeAgent(problem, node_id, gamma=prototype.clone())
+            for node_id in problem.consumer_nodes()
+        ]
+        self._links = [
+            LinkAgent(problem, link_id, gamma=link_gamma)
+            for link_id in problem.bottleneck_links()
+        ]
+        self._agents: dict[str, Agent] = {
+            agent.address: agent
+            for agent in [*self._sources, *self._nodes, *self._links]
+        }
+        self._round = 0
+        self.utilities: list[float] = []
+        self.messages_sent = 0
+
+    @property
+    def problem(self) -> Problem:
+        return self._problem
+
+    @property
+    def rounds(self) -> int:
+        return self._round
+
+    def _deliver(self, messages: list[Message]) -> None:
+        for message in messages:
+            recipient = self._agents.get(message.recipient)
+            if recipient is None:
+                raise KeyError(f"message addressed to unknown agent {message.recipient}")
+            recipient.receive(message)
+        self.messages_sent += len(messages)
+
+    def step(self) -> float:
+        """Run one round (= one LRGP iteration); returns the round utility."""
+        stamp = float(self._round)
+        rate_messages: list[Message] = []
+        for source in self._sources:
+            rate_messages.extend(source.act(stamp))
+        self._deliver(rate_messages)
+
+        feedback: list[Message] = []
+        for node in self._nodes:
+            feedback.extend(node.act(stamp))
+        for link in self._links:
+            feedback.extend(link.act(stamp))
+        self._deliver(feedback)
+
+        self._round += 1
+        utility = total_utility(self._problem, self.allocation())
+        self.utilities.append(utility)
+        return utility
+
+    def run(self, rounds: int) -> list[float]:
+        """Run several rounds; returns their utilities."""
+        if rounds < 0:
+            raise ValueError(f"rounds must be non-negative, got {rounds}")
+        return [self.step() for _ in range(rounds)]
+
+    def allocation(self) -> Allocation:
+        """Global snapshot assembled from the agents' local states."""
+        rates = {source.flow_id: source.rate for source in self._sources}
+        populations = {}
+        for node in self._nodes:
+            populations.update(node.populations)
+        return Allocation(rates=rates, populations=populations)
+
+    def node_prices(self) -> dict[str, float]:
+        return {node.node_id: node.price for node in self._nodes}
+
+    def link_prices(self) -> dict[str, float]:
+        return {link.link_id: link.price for link in self._links}

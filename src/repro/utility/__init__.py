@@ -1,0 +1,46 @@
+"""Utility-function library: strictly concave class utilities (section 2.2).
+
+Public surface:
+
+* :class:`UtilityFunction` — the protocol every class utility implements.
+* :class:`LogUtility`, :class:`PowerUtility`, :class:`ScaledUtility`,
+  :class:`ExponentialSaturationUtility` — concrete shapes.
+* :func:`rank_log`, :func:`rank_power`, :data:`UTILITY_SHAPES` — the paper's
+  ``rank_j * f(r)`` families (section 4).
+* :func:`solve_rate` — the single-flow Lagrangian maximizer used by
+  Algorithm 1.
+"""
+
+from repro.utility.base import UtilityFunction, validate_rate, validate_slope
+from repro.utility.calculus import (
+    numeric_derivative,
+    solve_rate,
+    weighted_derivative,
+    weighted_value,
+)
+from repro.utility.functions import (
+    UTILITY_SHAPES,
+    ExponentialSaturationUtility,
+    LogUtility,
+    PowerUtility,
+    ScaledUtility,
+    rank_log,
+    rank_power,
+)
+
+__all__ = [
+    "UTILITY_SHAPES",
+    "ExponentialSaturationUtility",
+    "LogUtility",
+    "PowerUtility",
+    "ScaledUtility",
+    "UtilityFunction",
+    "numeric_derivative",
+    "rank_log",
+    "rank_power",
+    "solve_rate",
+    "validate_rate",
+    "validate_slope",
+    "weighted_derivative",
+    "weighted_value",
+]

@@ -1,0 +1,70 @@
+"""Abstract interface for consumer-class utility functions.
+
+The paper (section 2.2) assumes every consumer class ``j`` has a utility
+``U_j(r_i)`` that is increasing, strictly concave and continuously
+differentiable in the rate ``r_i`` of the flow the class consumes, within the
+rate bounds ``[r_min, r_max]``.
+
+Concrete utilities live in :mod:`repro.utility.functions`.  Every utility
+exposes its value and derivative; closed-form inverses of the derivative are
+provided where they exist so the Lagrangian rate subproblem (Algorithm 1) can
+be solved without numeric root finding.  A generic numeric fallback is in
+:mod:`repro.utility.calculus`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class UtilityFunction(ABC):
+    """A strictly concave, increasing, differentiable function of rate.
+
+    Implementations must be immutable and hashable so they can be shared
+    between consumer classes and stored in frozen dataclasses.
+    """
+
+    @abstractmethod
+    def value(self, rate: float) -> float:
+        """Return ``U(rate)``.  ``rate`` must be non-negative."""
+
+    @abstractmethod
+    def derivative(self, rate: float) -> float:
+        """Return ``U'(rate)``.  Strictly positive and strictly decreasing."""
+
+    def inverse_derivative(self, slope: float) -> float:
+        """Return the rate ``r`` such that ``U'(r) == slope``.
+
+        Only available for utilities with a closed-form inverse; others raise
+        :class:`NotImplementedError` and callers fall back to numeric root
+        finding (:func:`repro.utility.calculus.solve_rate`).
+
+        ``slope`` must be strictly positive.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no closed-form inverse derivative"
+        )
+
+    def __call__(self, rate: float) -> float:
+        return self.value(rate)
+
+
+def validate_rate(rate: float) -> float:
+    """Validate that ``rate`` is a finite, non-negative number.
+
+    Returns the rate so the check can be used inline.
+    """
+    if not rate >= 0.0:  # also rejects NaN
+        raise ValueError(f"rate must be non-negative, got {rate!r}")
+    if rate == float("inf"):
+        raise ValueError("rate must be finite")
+    return rate
+
+
+def validate_slope(slope: float) -> float:
+    """Validate that ``slope`` is a finite, strictly positive number."""
+    if not slope > 0.0:  # also rejects NaN
+        raise ValueError(f"slope must be strictly positive, got {slope!r}")
+    if slope == float("inf"):
+        raise ValueError("slope must be finite")
+    return slope

@@ -1,0 +1,163 @@
+"""Concrete utility functions used throughout the paper.
+
+The evaluation (section 4) builds every class utility as ``rank_j * f(r)``
+with ``f`` drawn from ``log(1 + r)`` and ``r**k`` for ``k`` in
+``{0.25, 0.5, 0.75}``.  This module provides those families plus a generic
+affine rescaling wrapper, all hashable and immutable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utility.base import UtilityFunction, validate_rate, validate_slope
+
+
+@dataclass(frozen=True)
+class LogUtility(UtilityFunction):
+    """``U(r) = scale * log(offset + r)``.
+
+    With the defaults this is the paper's ``log(1 + r)``; ``scale`` carries
+    the class rank.  Strictly concave and increasing for ``scale > 0`` and
+    ``offset > 0``.
+    """
+
+    scale: float = 1.0
+    offset: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0.0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.offset <= 0.0:
+            raise ValueError(f"offset must be positive, got {self.offset}")
+
+    def value(self, rate: float) -> float:
+        validate_rate(rate)
+        return self.scale * math.log(self.offset + rate)
+
+    def derivative(self, rate: float) -> float:
+        validate_rate(rate)
+        return self.scale / (self.offset + rate)
+
+    def inverse_derivative(self, slope: float) -> float:
+        validate_slope(slope)
+        return self.scale / slope - self.offset
+
+
+@dataclass(frozen=True)
+class PowerUtility(UtilityFunction):
+    """``U(r) = scale * r ** exponent`` with ``0 < exponent < 1``.
+
+    The paper's ``rank_j * r**k`` family; the exponent controls elasticity
+    (section 4.5: convergence slows as the exponent approaches 1).
+    """
+
+    scale: float = 1.0
+    exponent: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0.0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if not 0.0 < self.exponent < 1.0:
+            raise ValueError(
+                f"exponent must lie strictly in (0, 1) for strict concavity, "
+                f"got {self.exponent}"
+            )
+
+    def value(self, rate: float) -> float:
+        validate_rate(rate)
+        return self.scale * rate**self.exponent
+
+    def derivative(self, rate: float) -> float:
+        validate_rate(rate)
+        if rate == 0.0:
+            return math.inf
+        return self.scale * self.exponent * rate ** (self.exponent - 1.0)
+
+    def inverse_derivative(self, slope: float) -> float:
+        validate_slope(slope)
+        # scale * k * r**(k-1) = slope  =>  r = (slope / (scale*k)) ** (1/(k-1))
+        return (slope / (self.scale * self.exponent)) ** (1.0 / (self.exponent - 1.0))
+
+
+@dataclass(frozen=True)
+class ScaledUtility(UtilityFunction):
+    """``U(r) = factor * base(r)`` for an arbitrary base utility.
+
+    Used to apply a class rank to a shared shape function without
+    re-deriving closed forms: scaling preserves strict concavity and the
+    inverse derivative is ``base.inverse_derivative(slope / factor)``.
+    """
+
+    base: UtilityFunction
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0.0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+
+    def value(self, rate: float) -> float:
+        return self.factor * self.base.value(rate)
+
+    def derivative(self, rate: float) -> float:
+        return self.factor * self.base.derivative(rate)
+
+    def inverse_derivative(self, slope: float) -> float:
+        validate_slope(slope)
+        return self.base.inverse_derivative(slope / self.factor)
+
+
+@dataclass(frozen=True)
+class ExponentialSaturationUtility(UtilityFunction):
+    """``U(r) = scale * (1 - exp(-r / knee))``.
+
+    Not used by the paper's evaluation but a common shape for near-inelastic
+    consumers (utility saturates past the knee); exercised by the trade-data
+    example's gold consumers and by property tests of the generic rate
+    solver, since its inverse derivative is closed-form too.
+    """
+
+    scale: float = 1.0
+    knee: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0.0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.knee <= 0.0:
+            raise ValueError(f"knee must be positive, got {self.knee}")
+
+    def value(self, rate: float) -> float:
+        validate_rate(rate)
+        return self.scale * (1.0 - math.exp(-rate / self.knee))
+
+    def derivative(self, rate: float) -> float:
+        validate_rate(rate)
+        return (self.scale / self.knee) * math.exp(-rate / self.knee)
+
+    def inverse_derivative(self, slope: float) -> float:
+        validate_slope(slope)
+        max_slope = self.scale / self.knee
+        if slope >= max_slope:
+            return 0.0
+        return -self.knee * math.log(slope * self.knee / self.scale)
+
+
+def rank_log(rank: float, offset: float = 1.0) -> LogUtility:
+    """The paper's ``rank * log(1 + r)`` class utility."""
+    return LogUtility(scale=rank, offset=offset)
+
+
+def rank_power(rank: float, exponent: float) -> PowerUtility:
+    """The paper's ``rank * r**k`` class utility (section 4.5)."""
+    return PowerUtility(scale=rank, exponent=exponent)
+
+
+#: Shape names accepted by the workload builders, mapping to factories that
+#: take a rank and return a utility.  Mirrors Table 3's first column.
+UTILITY_SHAPES = {
+    "log": rank_log,
+    "pow25": lambda rank: rank_power(rank, 0.25),
+    "pow50": lambda rank: rank_power(rank, 0.50),
+    "pow75": lambda rank: rank_power(rank, 0.75),
+}

@@ -1,0 +1,59 @@
+"""Workload suite: the paper's evaluation inputs plus generators/scenarios.
+
+* :func:`base_workload` — Table 1 (section 4.1).
+* :func:`scale_consumer_nodes` / :func:`scale_flows`,
+  :data:`TABLE2_WORKLOADS` — the scalability study (section 4.3).
+* :mod:`repro.workloads.generator` — seeded random workloads.
+* :mod:`repro.workloads.scenarios` — the motivating scenarios of section 1.1.
+"""
+
+from repro.workloads.base import (
+    BASE_RATE_MAX,
+    BASE_RATE_MIN,
+    TABLE1_CLASS_SPECS,
+    WorkloadParams,
+    base_workload,
+    build_workload,
+)
+from repro.workloads.bottleneck import link_bottleneck_workload
+from repro.workloads.generator import GeneratorConfig, generate_workload
+from repro.workloads.micro import micro_workload
+from repro.workloads.scaling import (
+    TABLE2_WORKLOADS,
+    scale_consumer_nodes,
+    scale_flows,
+)
+from repro.workloads.dynamics import (
+    DynamicScenario,
+    ScheduledChange,
+    churn_scenario,
+)
+from repro.workloads.tree import tree_workload
+from repro.workloads.scenarios import (
+    Scenario,
+    latest_price_scenario,
+    trade_data_scenario,
+)
+
+__all__ = [
+    "DynamicScenario",
+    "GeneratorConfig",
+    "Scenario",
+    "ScheduledChange",
+    "churn_scenario",
+    "tree_workload",
+    "generate_workload",
+    "latest_price_scenario",
+    "link_bottleneck_workload",
+    "micro_workload",
+    "trade_data_scenario",
+    "BASE_RATE_MAX",
+    "BASE_RATE_MIN",
+    "TABLE1_CLASS_SPECS",
+    "TABLE2_WORKLOADS",
+    "WorkloadParams",
+    "base_workload",
+    "build_workload",
+    "scale_consumer_nodes",
+    "scale_flows",
+]

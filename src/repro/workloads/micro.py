@@ -1,0 +1,65 @@
+"""Micro workload: a 2-flow, 1-node, 3-class instance.
+
+Small enough for exhaustive search (ground truth in tests), analytic enough
+for hand-computed assertions, and the substrate for the queueing-latency
+experiment (its node utilization is a linear function of one rate:
+``usage = F_a r_a + F_b r_b + G n_ca r_a + ... ``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.costs import CostModelBuilder
+from repro.model.entities import ConsumerClass, Flow, Link, Node, Route
+from repro.model.problem import Problem, build_problem
+from repro.utility.functions import LogUtility
+
+
+def micro_workload(
+    capacity: float = 2000.0,
+    rate_min: float = 1.0,
+    rate_max: float = 20.0,
+) -> Problem:
+    """Two flows into one consumer node hosting three contending classes.
+
+    Consumer cost 10 per unit rate: at the max rate (20) one consumer
+    costs 200, so the default node (capacity 2000) fits ~9 consumers —
+    admission is genuinely contended between the three classes (scales
+    10, 2 and 5).
+    """
+    node = Node("S", capacity=capacity)
+    hub = Node("P", capacity=math.inf)
+    link = Link("P->S", tail="P", head="S")
+    flows = [
+        Flow("fa", source="P", rate_min=rate_min, rate_max=rate_max),
+        Flow("fb", source="P", rate_min=rate_min, rate_max=rate_max),
+    ]
+    classes = [
+        ConsumerClass("ca", "fa", "S", max_consumers=5, utility=LogUtility(scale=10.0)),
+        ConsumerClass("cb", "fa", "S", max_consumers=5, utility=LogUtility(scale=2.0)),
+        ConsumerClass("cc", "fb", "S", max_consumers=5, utility=LogUtility(scale=5.0)),
+    ]
+    routes = {
+        "fa": Route(nodes=("P", "S"), links=("P->S",)),
+        "fb": Route(nodes=("P", "S"), links=("P->S",)),
+    }
+    costs = (
+        CostModelBuilder()
+        .set_flow_node("S", "fa", 1.0)
+        .set_flow_node("S", "fb", 1.0)
+        .set_consumer("S", "ca", 10.0)
+        .set_consumer("S", "cb", 10.0)
+        .set_consumer("S", "cc", 10.0)
+        .set_link("P->S", "fa", 1.0)
+        .set_link("P->S", "fb", 1.0)
+        .build()
+    )
+    return build_problem(
+        nodes=[hub, node],
+        links=[link],
+        flows=flows,
+        classes=classes,
+        routes=routes,
+        costs=costs,
+    )

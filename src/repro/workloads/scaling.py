@@ -1,0 +1,42 @@
+"""Scaled workloads for the scalability study (section 4.3, Table 2).
+
+Two scaling dimensions:
+
+* :func:`scale_consumer_nodes` — "the same amount of information propagates
+  to more consumers": the number of consumer nodes grows, the flows stay;
+* :func:`scale_flows` — "the system accommodates new information flows":
+  whole-workload replicas with fresh flows and fresh consumer nodes.
+
+:data:`TABLE2_WORKLOADS` enumerates the six rows of Table 2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.model.problem import Problem
+from repro.workloads.base import UtilityFactory, WorkloadParams, build_workload
+
+
+def scale_consumer_nodes(
+    factor: int, shape: str | UtilityFactory = "log"
+) -> Problem:
+    """Base workload with ``3 * factor`` consumer nodes and 6 flows."""
+    return build_workload(WorkloadParams(shape=shape, node_replicas=factor))
+
+
+def scale_flows(factor: int, shape: str | UtilityFactory = "log") -> Problem:
+    """``factor`` independent replicas: ``6 * factor`` flows and
+    ``3 * factor`` consumer nodes."""
+    return build_workload(WorkloadParams(shape=shape, flow_replicas=factor))
+
+
+#: The six rows of Table 2, in paper order: label -> builder.
+TABLE2_WORKLOADS: dict[str, Callable[[], Problem]] = {
+    "6 flows, 3 c-nodes": lambda: scale_flows(1),
+    "12 flows, 6 c-nodes": lambda: scale_flows(2),
+    "24 flows, 12 c-nodes": lambda: scale_flows(4),
+    "6 flows, 6 c-nodes": lambda: scale_consumer_nodes(2),
+    "6 flows, 12 c-nodes": lambda: scale_consumer_nodes(4),
+    "6 flows, 24 c-nodes": lambda: scale_consumer_nodes(8),
+}

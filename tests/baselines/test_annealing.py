@@ -1,0 +1,123 @@
+"""Tests for the simulated-annealing baseline."""
+
+import math
+
+import pytest
+
+from repro.baselines.annealing import (
+    COOLING_FACTOR,
+    PAPER_START_TEMPERATURES,
+    PAPER_STEP_LIMITS,
+    AnnealingConfig,
+    best_of_temperatures,
+    simulated_annealing,
+    temperature_levels,
+)
+from repro.model.allocation import is_feasible, total_utility
+from tests.conftest import make_tiny_problem
+
+
+class TestCoolingSchedule:
+    def test_paper_constants(self):
+        assert PAPER_START_TEMPERATURES == (5.0, 10.0, 50.0, 100.0)
+        assert PAPER_STEP_LIMITS == (10**6, 10**7, 10**8)
+        assert COOLING_FACTOR == 0.999
+
+    def test_temperature_levels_matches_formula(self):
+        # T * 0.999^k <= 1  ->  k >= log(T)/-log(0.999)
+        for start in (5.0, 10.0, 50.0, 100.0):
+            levels = temperature_levels(start)
+            assert start * COOLING_FACTOR ** levels <= 1.0
+            assert start * COOLING_FACTOR ** (levels - 1) > 1.0
+
+    def test_start_at_or_below_one(self):
+        assert temperature_levels(1.0) == 1
+        assert temperature_levels(0.5) == 1
+
+
+class TestSimulatedAnnealing:
+    def test_result_is_feasible(self, tiny_problem):
+        result = simulated_annealing(
+            tiny_problem, AnnealingConfig(start_temperature=5.0, max_steps=20_000)
+        )
+        assert is_feasible(tiny_problem, result.best_allocation)
+
+    def test_best_utility_matches_allocation(self, tiny_problem):
+        result = simulated_annealing(
+            tiny_problem, AnnealingConfig(start_temperature=5.0, max_steps=20_000)
+        )
+        assert result.best_utility == pytest.approx(
+            total_utility(tiny_problem, result.best_allocation), rel=1e-9
+        )
+
+    def test_improves_over_start(self, tiny_problem):
+        result = simulated_annealing(
+            tiny_problem, AnnealingConfig(start_temperature=5.0, max_steps=20_000)
+        )
+        assert result.best_utility > 0.0
+
+    def test_deterministic_given_seed(self, tiny_problem):
+        config = AnnealingConfig(start_temperature=5.0, max_steps=5_000, seed=9)
+        first = simulated_annealing(tiny_problem, config)
+        second = simulated_annealing(tiny_problem, config)
+        assert first.best_utility == second.best_utility
+        assert first.accepted == second.accepted
+
+    def test_respects_step_budget(self, tiny_problem):
+        result = simulated_annealing(
+            tiny_problem, AnnealingConfig(start_temperature=100.0, max_steps=1_000)
+        )
+        assert result.steps == 1_000
+
+    def test_best_never_below_final(self, tiny_problem):
+        result = simulated_annealing(
+            tiny_problem, AnnealingConfig(start_temperature=50.0, max_steps=10_000)
+        )
+        assert result.best_utility >= result.final_utility - 1e-9
+
+    def test_acceptance_rate_bounded(self, tiny_problem):
+        result = simulated_annealing(
+            tiny_problem, AnnealingConfig(start_temperature=5.0, max_steps=5_000)
+        )
+        assert 0.0 <= result.acceptance_rate <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingConfig(start_temperature=0.0)
+        with pytest.raises(ValueError):
+            AnnealingConfig(max_steps=0)
+
+
+class TestBestOfTemperatures:
+    def test_returns_best_run(self, tiny_problem):
+        best = best_of_temperatures(tiny_problem, max_steps=5_000, seed=2)
+        for index, start in enumerate(PAPER_START_TEMPERATURES):
+            single = simulated_annealing(
+                tiny_problem,
+                AnnealingConfig(
+                    start_temperature=start, max_steps=5_000, seed=2 + index
+                ),
+            )
+            assert best.best_utility >= single.best_utility - 1e-9
+
+
+class TestAgainstLRGP:
+    def test_lrgp_beats_sa_on_base_workload(self, base_problem, converged_lrgp):
+        """The paper's headline comparison (Table 2, row 1): LRGP finds
+        higher utility than budgeted SA."""
+        sa = simulated_annealing(
+            base_problem,
+            AnnealingConfig(start_temperature=5.0, max_steps=100_000, seed=1),
+        )
+        assert converged_lrgp.utilities[-1] > sa.best_utility
+
+    def test_sa_reaches_reasonable_fraction_of_lrgp(
+        self, base_problem, converged_lrgp
+    ):
+        """SA is a credible baseline: with a modest budget it lands within
+        2x of LRGP, not orders of magnitude below."""
+        sa = simulated_annealing(
+            base_problem,
+            AnnealingConfig(start_temperature=5.0, max_steps=100_000, seed=1),
+        )
+        assert sa.best_utility > 0.5 * converged_lrgp.utilities[-1]

@@ -1,0 +1,90 @@
+"""Tests for the centralized block-coordinate baseline."""
+
+import pytest
+
+from repro.baselines.coordinate import (
+    alternating_optimization,
+    multistart_alternating,
+)
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.model.allocation import is_feasible, total_utility
+from repro.workloads.bottleneck import link_bottleneck_workload
+from repro.workloads.micro import micro_workload
+
+
+class TestAlternatingOptimization:
+    def test_result_feasible(self, base_problem):
+        result = alternating_optimization(base_problem)
+        assert is_feasible(base_problem, result.best_allocation)
+        assert result.converged
+
+    def test_utility_matches_allocation(self, tiny_problem):
+        result = alternating_optimization(tiny_problem)
+        assert result.best_utility == pytest.approx(
+            total_utility(tiny_problem, result.best_allocation), rel=1e-9
+        )
+
+    def test_monotone_nonworsening_from_any_start(self, tiny_problem):
+        from repro.model.allocation import Allocation
+
+        start = Allocation(rates={"fa": 10.0, "fb": 3.0}, populations={})
+        result = alternating_optimization(tiny_problem, initial=start)
+        # The first population stage alone gives some baseline; the
+        # alternation can only improve from there.
+        assert result.best_utility > 0.0
+        assert result.converged
+
+    def test_max_stages_validation(self, tiny_problem):
+        with pytest.raises(ValueError):
+            alternating_optimization(tiny_problem, max_stages=0)
+
+
+class TestLRGPCertificate:
+    def test_lrgp_solution_is_a_fixpoint(self, base_problem, converged_lrgp):
+        """Running the exact alternation from LRGP's solution must not
+        improve it (beyond solver noise) — LRGP's output is partially
+        optimal in both blocks."""
+        result = alternating_optimization(
+            base_problem, initial=converged_lrgp.allocation()
+        )
+        assert result.best_utility <= converged_lrgp.utilities[-1] * 1.002
+        assert result.stages <= 2
+
+    def test_lrgp_beats_cold_start_alternation(self, base_problem, converged_lrgp):
+        """The headline finding: without the price linkage, alternation
+        lands in a worse partial optimum."""
+        cold = alternating_optimization(base_problem)
+        assert converged_lrgp.utilities[-1] > 1.05 * cold.best_utility
+
+    def test_lrgp_at_least_matches_multistart(self, base_problem, converged_lrgp):
+        best = multistart_alternating(base_problem, starts=6, seed=0)
+        assert converged_lrgp.utilities[-1] >= 0.99 * best.best_utility
+
+    def test_exact_match_on_link_bottleneck(self):
+        """On the uplink workload (everyone admitted, pure rate problem)
+        alternation and LRGP find the same optimum."""
+        problem = link_bottleneck_workload(link_capacity=100.0)
+        coordinate = alternating_optimization(problem)
+        optimizer = LRGP(problem, LRGPConfig(link_gamma=0.5))
+        optimizer.run(600)
+        assert optimizer.utilities[-1] == pytest.approx(
+            coordinate.best_utility, rel=1e-3
+        )
+
+
+class TestMultistart:
+    def test_multistart_at_least_single_start(self):
+        problem = micro_workload()
+        single = alternating_optimization(problem)
+        multi = multistart_alternating(problem, starts=4, seed=1)
+        assert multi.best_utility >= single.best_utility * 0.999
+
+    def test_deterministic_given_seed(self):
+        problem = micro_workload()
+        a = multistart_alternating(problem, starts=3, seed=5)
+        b = multistart_alternating(problem, starts=3, seed=5)
+        assert a.best_utility == b.best_utility
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multistart_alternating(micro_workload(), starts=0)

@@ -1,0 +1,173 @@
+"""Tests for the incremental solution state.
+
+The critical invariant: after any sequence of moves, the incrementally
+maintained utility and usages equal a from-scratch recomputation.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.incremental import IncrementalState
+from repro.baselines.moves import MoveProposer
+from repro.model.allocation import (
+    link_usage,
+    node_usage,
+    total_utility,
+    violations,
+    zero_allocation,
+)
+from tests.conftest import make_tiny_problem
+
+
+@pytest.fixture()
+def problem():
+    return make_tiny_problem()
+
+
+def assert_consistent(problem, state):
+    """Incremental caches match a full recomputation."""
+    allocation = state.allocation()
+    assert state.utility == pytest.approx(
+        total_utility(problem, allocation), abs=1e-6
+    )
+    for node_id in problem.nodes:
+        assert state.node_used[node_id] == pytest.approx(
+            node_usage(problem, allocation, node_id), abs=1e-6
+        )
+    for link_id in problem.links:
+        assert state.link_used[link_id] == pytest.approx(
+            link_usage(problem, allocation, link_id), abs=1e-6
+        )
+
+
+class TestInitialization:
+    def test_zero_allocation(self, problem):
+        state = IncrementalState(problem, zero_allocation(problem))
+        assert state.utility == 0.0
+        assert_consistent(problem, state)
+
+
+class TestRateMoves:
+    def test_feasible_move_evaluates_and_applies(self, problem):
+        state = IncrementalState(problem, zero_allocation(problem))
+        state.apply(state.evaluate_population_move("ca", 2))
+        move = state.evaluate_rate_move("fa", 10.0)
+        assert move is not None
+        assert move.utility_delta > 0.0
+        state.apply(move)
+        assert_consistent(problem, state)
+
+    def test_out_of_bounds_rejected(self, problem):
+        state = IncrementalState(problem, zero_allocation(problem))
+        assert state.evaluate_rate_move("fa", 0.5) is None
+        assert state.evaluate_rate_move("fa", 25.0) is None
+
+    def test_capacity_violating_increase_rejected(self, problem):
+        state = IncrementalState(problem, zero_allocation(problem))
+        for class_id in ("ca", "cb", "cc"):
+            state.apply(state.evaluate_population_move(class_id, 5))
+        # Nodes nearly full at rate_min; a big rate jump must be rejected.
+        assert state.evaluate_rate_move("fa", 20.0) is None
+
+    def test_decrease_always_feasible(self, problem):
+        state = IncrementalState(problem, zero_allocation(problem))
+        state.apply(state.evaluate_rate_move("fa", 10.0))
+        move = state.evaluate_rate_move("fa", 2.0)
+        assert move is not None
+
+
+class TestPopulationMoves:
+    def test_bounds_enforced(self, problem):
+        state = IncrementalState(problem, zero_allocation(problem))
+        assert state.evaluate_population_move("ca", 6) is None
+        assert state.evaluate_population_move("ca", -1) is None
+
+    def test_capacity_enforced(self, problem):
+        state = IncrementalState(problem, zero_allocation(problem))
+        state.apply(state.evaluate_rate_move("fa", 20.0))
+        # Capacity 2000, fa at 20: ~9 consumer slots; 5 of ca is fine,
+        # but then 5 of cb (another 1000) is not.
+        state.apply(state.evaluate_population_move("ca", 5))
+        assert state.evaluate_population_move("cb", 5) is None
+
+    def test_utility_delta_exact(self, problem):
+        state = IncrementalState(problem, zero_allocation(problem))
+        move = state.evaluate_population_move("ca", 3)
+        before = state.utility
+        state.apply(move)
+        assert state.utility == pytest.approx(before + move.utility_delta)
+        assert_consistent(problem, state)
+
+
+class TestSwapMoves:
+    def test_swap_transfers_budget(self, problem):
+        state = IncrementalState(problem, zero_allocation(problem))
+        state.apply(state.evaluate_rate_move("fa", 20.0))
+        state.apply(state.evaluate_rate_move("fb", 20.0))
+        state.apply(state.evaluate_population_move("cb", 5))
+        move = state.evaluate_swap_move("cb", "ca", evict=3)
+        assert move is not None
+        state.apply(move)
+        assert state.populations["cb"] == 2
+        assert state.populations["ca"] > 0
+        assert_consistent(problem, state)
+
+    def test_swap_requires_colocated_distinct_classes(self, problem):
+        state = IncrementalState(problem, zero_allocation(problem))
+        assert state.evaluate_swap_move("ca", "ca", 1) is None
+
+    def test_swap_requires_evictable_population(self, problem):
+        state = IncrementalState(problem, zero_allocation(problem))
+        assert state.evaluate_swap_move("ca", "cb", 1) is None
+
+
+class TestRateMoveWithEviction:
+    def test_falls_back_to_plain_when_feasible(self, problem):
+        state = IncrementalState(problem, zero_allocation(problem))
+        move = state.evaluate_rate_move_with_eviction("fa", 5.0)
+        assert move is not None
+        assert not hasattr(move, "moves")  # plain RateMove
+
+    def test_evicts_to_fit(self, problem):
+        state = IncrementalState(problem, zero_allocation(problem))
+        for class_id in ("ca", "cb", "cc"):
+            state.apply(state.evaluate_population_move(class_id, 5))
+        # Plain move impossible...
+        assert state.evaluate_rate_move("fa", 20.0) is None
+        # ...but eviction makes room.
+        move = state.evaluate_rate_move_with_eviction("fa", 20.0)
+        assert move is not None
+        state.apply(move)
+        assert state.rates["fa"] == 20.0
+        assert_consistent(problem, state)
+        assert not violations(problem, state.allocation())
+
+    def test_evicts_cheapest_value_first(self, problem):
+        state = IncrementalState(problem, zero_allocation(problem))
+        for class_id in ("ca", "cb", "cc"):
+            state.apply(state.evaluate_population_move(class_id, 5))
+        move = state.evaluate_rate_move_with_eviction("fa", 20.0)
+        state.apply(move)
+        # cb (scale 2) is the worst ratio at S; it should lose members
+        # before ca (scale 10).
+        assert state.populations["cb"] < 5
+        assert state.populations["ca"] == 5
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_random_walk_stays_consistent_and_feasible(seed):
+    """Property: any accepted random-move sequence preserves cache
+    consistency and feasibility."""
+    problem = make_tiny_problem()
+    state = IncrementalState(problem, zero_allocation(problem))
+    proposer = MoveProposer(problem, random.Random(seed))
+    for _ in range(300):
+        move = proposer.propose(state)
+        if move is not None:
+            state.apply(move)
+    assert_consistent(problem, state)
+    assert not violations(problem, state.allocation())

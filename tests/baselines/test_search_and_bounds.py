@@ -1,0 +1,115 @@
+"""Tests for local search, random search, exhaustive search and bounds."""
+
+import pytest
+
+from repro.baselines.bounds import (
+    capacity_density_bound,
+    demand_bound,
+    utility_upper_bound,
+)
+from repro.baselines.exhaustive import exhaustive_search
+from repro.baselines.local_search import (
+    greedy_fixed_rates,
+    hill_climb,
+    random_search,
+)
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.model.allocation import is_feasible
+from tests.conftest import make_tiny_problem
+
+
+@pytest.fixture()
+def problem():
+    return make_tiny_problem()
+
+
+class TestHillClimb:
+    def test_feasible_and_positive(self, problem):
+        result = hill_climb(problem, max_steps=20_000, seed=0)
+        assert is_feasible(problem, result.best_allocation)
+        assert result.best_utility > 0.0
+
+    def test_deterministic(self, problem):
+        a = hill_climb(problem, max_steps=5_000, seed=3)
+        b = hill_climb(problem, max_steps=5_000, seed=3)
+        assert a.best_utility == b.best_utility
+
+    def test_rejects_bad_steps(self, problem):
+        with pytest.raises(ValueError):
+            hill_climb(problem, max_steps=0)
+
+
+class TestRandomSearch:
+    def test_feasible_and_positive(self, problem):
+        result = random_search(problem, samples=200, seed=0)
+        assert is_feasible(problem, result.best_allocation)
+        assert result.best_utility > 0.0
+
+    def test_more_samples_never_worse(self, problem):
+        few = random_search(problem, samples=50, seed=0)
+        many = random_search(problem, samples=500, seed=0)
+        assert many.best_utility >= few.best_utility
+
+    def test_rejects_bad_samples(self, problem):
+        with pytest.raises(ValueError):
+            random_search(problem, samples=0)
+
+
+class TestGreedyFixedRates:
+    def test_matches_lrgp_admission_at_same_rates(self, problem):
+        optimizer = LRGP(problem, LRGPConfig.adaptive())
+        optimizer.run(200)
+        rates = optimizer.allocation().rates
+        greedy = greedy_fixed_rates(problem, rates)
+        # Same rates + same greedy fill = same utility as LRGP's final.
+        assert greedy.best_utility == pytest.approx(
+            optimizer.utilities[-1], rel=1e-9
+        )
+
+
+class TestExhaustive:
+    def test_finds_feasible_optimum(self, problem):
+        result = exhaustive_search(problem, rate_grid_points=4, max_populations=6)
+        assert is_feasible(problem, result.best_allocation)
+        assert result.evaluated > 0
+
+    def test_lrgp_at_least_matches_grid_optimum(self, problem):
+        """LRGP (a heuristic — the paper proves no optimality) should land
+        within half a percent of the exhaustive grid optimum."""
+        grid = exhaustive_search(problem, rate_grid_points=5, max_populations=6)
+        optimizer = LRGP(problem, LRGPConfig.adaptive())
+        optimizer.run(400)
+        assert optimizer.utilities[-1] >= grid.best_utility * 0.995
+
+    def test_rejects_bad_grid(self, problem):
+        with pytest.raises(ValueError):
+            exhaustive_search(problem, rate_grid_points=1)
+
+
+class TestBounds:
+    def test_demand_bound_formula(self, problem):
+        import math
+        expected = (
+            5 * 10.0 * math.log(21.0)
+            + 5 * 2.0 * math.log(21.0)
+            + 5 * 5.0 * math.log(21.0)
+        )
+        assert demand_bound(problem) == pytest.approx(expected)
+
+    def test_capacity_bound_no_larger_than_demand_under_scarcity(self):
+        starved = make_tiny_problem(capacity=50.0)
+        assert capacity_density_bound(starved) < demand_bound(starved)
+
+    def test_bounds_dominate_lrgp(self, problem):
+        optimizer = LRGP(problem, LRGPConfig.adaptive())
+        optimizer.run(300)
+        assert optimizer.utilities[-1] <= utility_upper_bound(problem) * 1.001
+
+    def test_bounds_dominate_lrgp_on_base_workload(
+        self, base_problem, converged_lrgp
+    ):
+        assert converged_lrgp.utilities[-1] <= utility_upper_bound(base_problem)
+
+    def test_bounds_dominate_exhaustive(self, problem):
+        grid = exhaustive_search(problem, rate_grid_points=4, max_populations=5)
+        assert grid.best_utility <= utility_upper_bound(problem) * 1.001

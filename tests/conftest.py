@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.model.problem import Problem
+from repro.workloads.base import base_workload
+from repro.workloads.micro import micro_workload
+
+
+@pytest.fixture(scope="session")
+def base_problem() -> Problem:
+    """The paper's Table 1 workload (log utility)."""
+    return base_workload()
+
+
+@pytest.fixture(scope="session")
+def converged_lrgp(base_problem: Problem) -> LRGP:
+    """LRGP run for 250 iterations on the base workload (read-only!)."""
+    optimizer = LRGP(base_problem, LRGPConfig.adaptive())
+    optimizer.run(250)
+    return optimizer
+
+
+#: The library's micro workload doubles as the suite's tiny instance.
+make_tiny_problem = micro_workload
+
+
+@pytest.fixture()
+def tiny_problem() -> Problem:
+    return make_tiny_problem()

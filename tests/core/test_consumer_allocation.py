@@ -1,0 +1,203 @@
+"""Unit and property tests for the greedy consumer allocation (Algorithm 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consumer_allocation import (
+    allocate_all_consumers,
+    allocate_consumers,
+    benefit_cost_ratio,
+)
+from repro.model.allocation import Allocation, node_usage
+from repro.model.costs import CostModelBuilder
+from repro.model.entities import ConsumerClass, Flow, Link, Node, Route
+from repro.model.problem import build_problem
+from repro.utility.functions import LogUtility
+from tests.conftest import make_tiny_problem
+
+
+def single_node_problem(class_specs, capacity, rate_bounds=(1.0, 100.0)):
+    """One node, one flow per class spec: (scale, max_consumers, G)."""
+    nodes = [Node("P"), Node("S", capacity=capacity)]
+    links = [Link("P->S", tail="P", head="S")]
+    flows, classes, routes = [], [], {}
+    costs = CostModelBuilder()
+    for index, (scale, max_consumers, consumer_cost) in enumerate(class_specs):
+        flow_id = f"f{index}"
+        flows.append(
+            Flow(flow_id, source="P", rate_min=rate_bounds[0], rate_max=rate_bounds[1])
+        )
+        routes[flow_id] = Route(nodes=("P", "S"), links=("P->S",))
+        class_id = f"c{index}"
+        classes.append(
+            ConsumerClass(class_id, flow_id, "S", max_consumers, LogUtility(scale=scale))
+        )
+        costs.set_consumer("S", class_id, consumer_cost)
+        costs.set_link("P->S", flow_id, 1.0)
+    return build_problem(nodes, links, flows, classes, routes, costs.build())
+
+
+class TestBenefitCostRatio:
+    def test_matches_equation_10(self, base_problem):
+        # BC = rank * log(1+r) / (G * r)
+        rate = 100.0
+        ratio = benefit_cost_ratio(base_problem, "S0", "c00", rate)
+        assert ratio == pytest.approx(20.0 * math.log(101.0) / (19.0 * 100.0))
+
+    def test_free_admission_with_benefit_is_infinite(self):
+        problem = single_node_problem([(5.0, 10, 0.0)], capacity=100.0)
+        assert benefit_cost_ratio(problem, "S", "c0", 10.0) == math.inf
+
+    def test_free_admission_without_benefit_is_zero(self):
+        problem = single_node_problem([(5.0, 10, 0.0)], capacity=100.0)
+        # log(1+0) = 0 at rate 0.
+        assert benefit_cost_ratio(problem, "S", "c0", 0.0) == 0.0
+
+
+class TestGreedyAllocation:
+    def test_admits_by_ratio_order(self):
+        # Two classes, same cost: the higher scale admits first.
+        problem = single_node_problem(
+            [(10.0, 5, 10.0), (1.0, 5, 10.0)], capacity=320.0
+        )
+        result = allocate_consumers(problem, "S", {"f0": 4.0, "f1": 4.0})
+        # Budget 320; unit cost 40 -> 8 consumers total; c0 takes its 5 max.
+        assert result.populations["c0"] == 5
+        assert result.populations["c1"] == 3
+
+    def test_respects_max_consumers(self):
+        problem = single_node_problem([(10.0, 2, 1.0)], capacity=1e6)
+        result = allocate_consumers(problem, "S", {"f0": 5.0})
+        assert result.populations["c0"] == 2
+
+    def test_never_violates_capacity(self):
+        problem = single_node_problem(
+            [(10.0, 100, 7.0), (3.0, 100, 13.0)], capacity=500.0
+        )
+        rates = {"f0": 3.0, "f1": 5.0}
+        result = allocate_consumers(problem, "S", rates)
+        allocation = Allocation(rates=dict(rates), populations=result.populations)
+        assert node_usage(problem, allocation, "S") <= 500.0 + 1e-9
+
+    def test_used_matches_node_usage(self):
+        problem = single_node_problem(
+            [(10.0, 10, 7.0), (3.0, 10, 13.0)], capacity=500.0
+        )
+        rates = {"f0": 3.0, "f1": 5.0}
+        result = allocate_consumers(problem, "S", rates)
+        allocation = Allocation(rates=dict(rates), populations=result.populations)
+        assert result.used == pytest.approx(node_usage(problem, allocation, "S"))
+
+    def test_flow_cost_alone_can_exceed_capacity(self):
+        problem = single_node_problem([(10.0, 5, 1.0)], capacity=50.0)
+        # Add an overwhelming flow-node cost by rebuilding with F set.
+        costs = CostModelBuilder()
+        costs.set_flow_node("S", "f0", 100.0)
+        costs.set_consumer("S", "c0", 1.0)
+        costs.set_link("P->S", "f0", 1.0)
+        problem = problem.with_costs(costs.build())
+        result = allocate_consumers(problem, "S", {"f0": 1.0})
+        assert result.populations["c0"] == 0
+        assert result.used == pytest.approx(100.0)  # > capacity: overload signal
+
+    def test_best_unsatisfied_ratio_reported(self):
+        problem = single_node_problem(
+            [(10.0, 5, 10.0), (1.0, 5, 10.0)], capacity=320.0
+        )
+        result = allocate_consumers(problem, "S", {"f0": 4.0, "f1": 4.0})
+        # c0 saturated; c1 partially admitted -> BC(b,t) = BC_{c1}.
+        assert result.best_unsatisfied_ratio == pytest.approx(result.ratios["c1"])
+
+    def test_best_ratio_zero_when_everyone_admitted(self):
+        problem = single_node_problem([(10.0, 2, 1.0)], capacity=1e6)
+        result = allocate_consumers(problem, "S", {"f0": 5.0})
+        assert result.best_unsatisfied_ratio == 0.0
+
+    def test_free_classes_fully_admitted(self):
+        problem = single_node_problem(
+            [(10.0, 7, 0.0), (1.0, 5, 10.0)], capacity=100.0
+        )
+        result = allocate_consumers(problem, "S", {"f0": 4.0, "f1": 4.0})
+        assert result.populations["c0"] == 7
+
+    def test_deterministic_tie_break(self):
+        problem = single_node_problem(
+            [(5.0, 10, 10.0), (5.0, 10, 10.0)], capacity=100.0
+        )
+        first = allocate_consumers(problem, "S", {"f0": 2.0, "f1": 2.0})
+        second = allocate_consumers(problem, "S", {"f0": 2.0, "f1": 2.0})
+        assert first.populations == second.populations
+
+    def test_allocate_all_consumers_covers_nodes(self, base_problem):
+        rates = {flow_id: 100.0 for flow_id in base_problem.flows}
+        results = allocate_all_consumers(base_problem, rates)
+        assert set(results) == {"S0", "S1", "S2"}
+
+
+@settings(max_examples=50)
+@given(
+    specs=st.lists(
+        st.tuples(
+            st.floats(min_value=0.5, max_value=100.0),  # scale (rank)
+            st.integers(min_value=0, max_value=50),     # max consumers
+            st.floats(min_value=0.1, max_value=30.0),   # G
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    capacity=st.floats(min_value=10.0, max_value=5000.0),
+    rate=st.floats(min_value=0.5, max_value=50.0),
+)
+def test_greedy_is_feasible_and_greedy_optimal(specs, capacity, rate):
+    """Property: the greedy fill is feasible, and no single extra consumer of
+    any class fits within the remaining budget (maximality)."""
+    problem = single_node_problem(specs, capacity=capacity)
+    rates = {f"f{i}": rate for i in range(len(specs))}
+    result = allocate_consumers(problem, "S", rates)
+    allocation = Allocation(rates=dict(rates), populations=result.populations)
+    used = node_usage(problem, allocation, "S")
+    assert used <= capacity * (1.0 + 1e-9)
+    remaining = capacity - used
+    for index, (scale, max_consumers, consumer_cost) in enumerate(specs):
+        class_id = f"c{index}"
+        if result.populations[class_id] < max_consumers:
+            unit = consumer_cost * rate
+            # One more consumer of an unsaturated class must not fit.
+            assert unit > remaining - 1e-6
+
+
+@settings(max_examples=30)
+@given(
+    capacity=st.floats(min_value=100.0, max_value=10000.0),
+    rate=st.floats(min_value=0.5, max_value=50.0),
+)
+def test_greedy_beats_reversed_order(capacity, rate):
+    """Property: greedy (by ratio) achieves at least the utility of the
+    anti-greedy fill (worst ratio first)."""
+    specs = [(20.0, 30, 10.0), (5.0, 30, 10.0), (1.0, 30, 10.0)]
+    problem = single_node_problem(specs, capacity=capacity)
+    rates = {f"f{i}": rate for i in range(len(specs))}
+    result = allocate_consumers(problem, "S", rates)
+
+    # Anti-greedy: fill worst-first.
+    order = sorted(result.ratios, key=lambda c: result.ratios[c])
+    budget = capacity
+    anti = {}
+    for class_id in order:
+        cls = problem.classes[class_id]
+        unit = problem.costs.consumer("S", class_id) * rates[cls.flow_id]
+        take = min(cls.max_consumers, int(budget / unit)) if unit > 0 else cls.max_consumers
+        take = max(take, 0)
+        anti[class_id] = take
+        budget -= take * unit
+
+    def utility(populations):
+        return sum(
+            populations[c] * problem.classes[c].utility.value(rates[problem.classes[c].flow_id])
+            for c in populations
+        )
+
+    assert utility(result.populations) >= utility(anti) - 1e-9

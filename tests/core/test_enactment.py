@@ -1,0 +1,115 @@
+"""Unit tests for enactment policies (section 2.1)."""
+
+import pytest
+
+from repro.core.enactment import (
+    Enactor,
+    PeriodicEnactment,
+    ThresholdEnactment,
+    consumer_churn,
+)
+from repro.model.allocation import Allocation
+
+
+def allocation(rates=None, populations=None):
+    return Allocation(rates=dict(rates or {}), populations=dict(populations or {}))
+
+
+class TestPeriodicEnactment:
+    def test_first_offer_always_enacts(self):
+        policy = PeriodicEnactment(period=5)
+        assert policy.should_enact(3, allocation(), None)
+
+    def test_enacts_on_period(self):
+        policy = PeriodicEnactment(period=5)
+        enacted = allocation()
+        assert policy.should_enact(5, allocation(), enacted)
+        assert policy.should_enact(10, allocation(), enacted)
+        assert not policy.should_enact(7, allocation(), enacted)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            PeriodicEnactment(period=0)
+
+
+class TestThresholdEnactment:
+    def test_first_offer_always_enacts(self):
+        policy = ThresholdEnactment()
+        assert policy.should_enact(1, allocation(), None)
+
+    def test_small_changes_suppressed(self):
+        policy = ThresholdEnactment(rate_rel_change=0.1, population_abs_change=10)
+        enacted = allocation({"f": 100.0}, {"c": 50})
+        computed = allocation({"f": 105.0}, {"c": 55})
+        assert not policy.should_enact(2, computed, enacted)
+
+    def test_rate_change_triggers(self):
+        policy = ThresholdEnactment(rate_rel_change=0.1)
+        enacted = allocation({"f": 100.0}, {})
+        computed = allocation({"f": 120.0}, {})
+        assert policy.should_enact(2, computed, enacted)
+
+    def test_population_change_triggers(self):
+        policy = ThresholdEnactment(population_abs_change=10)
+        enacted = allocation({}, {"c": 50})
+        computed = allocation({}, {"c": 61})
+        assert policy.should_enact(2, computed, enacted)
+
+    def test_disappearing_flow_triggers(self):
+        policy = ThresholdEnactment()
+        enacted = allocation({"f": 100.0}, {})
+        computed = allocation({}, {})
+        assert policy.should_enact(2, computed, enacted)
+
+    def test_disappearing_class_triggers(self):
+        policy = ThresholdEnactment()
+        enacted = allocation({}, {"c": 5})
+        computed = allocation({}, {})
+        assert policy.should_enact(2, computed, enacted)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdEnactment(rate_rel_change=-0.1)
+        with pytest.raises(ValueError):
+            ThresholdEnactment(population_abs_change=-1)
+
+
+class TestConsumerChurn:
+    def test_from_none_counts_all_admissions(self):
+        assert consumer_churn(None, allocation({}, {"a": 5, "b": 3})) == 8
+
+    def test_symmetric_difference(self):
+        before = allocation({}, {"a": 5, "b": 3})
+        after = allocation({}, {"a": 2, "c": 4})
+        # |2-5| + |0-3| + |4-0| = 10
+        assert consumer_churn(before, after) == 10
+
+    def test_no_change_zero_churn(self):
+        state = allocation({}, {"a": 5})
+        assert consumer_churn(state, state) == 0
+
+
+class TestEnactor:
+    def test_tracks_enactments_and_churn(self):
+        enactor = Enactor(policy=PeriodicEnactment(period=2))
+        enactor.offer(1, allocation({}, {"c": 10}))   # first: enacted
+        enactor.offer(3, allocation({}, {"c": 20}))   # off-period: skipped
+        enactor.offer(4, allocation({}, {"c": 20}))   # on-period: enacted
+        assert enactor.enactments == 2
+        assert enactor.total_churn == 10 + 10
+        assert enactor.offers == 3
+        assert [iteration for iteration, _ in enactor.history] == [1, 4]
+
+    def test_enacted_allocation_is_a_copy(self):
+        enactor = Enactor(policy=PeriodicEnactment(period=1))
+        computed = allocation({}, {"c": 10})
+        enactor.offer(1, computed)
+        computed.populations["c"] = 99
+        assert enactor.enacted.populations["c"] == 10
+
+    def test_threshold_enactor_suppresses_noise(self):
+        enactor = Enactor(policy=ThresholdEnactment(population_abs_change=5))
+        enactor.offer(1, allocation({}, {"c": 100}))
+        for iteration in range(2, 20):
+            enactor.offer(iteration, allocation({}, {"c": 100 + iteration % 3}))
+        assert enactor.enactments == 1

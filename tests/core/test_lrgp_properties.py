@@ -1,0 +1,92 @@
+"""Property tests of LRGP invariants on randomized workloads.
+
+For any generated instance, regardless of seed or shape, the optimizer must
+preserve the model invariants: feasibility, bound respect, non-negative
+prices, and equivalence between the reference driver and the distributed
+synchronous runtime.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bounds import utility_upper_bound
+from repro.core.gamma import AdaptiveGamma
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.model.allocation import is_feasible
+from repro.runtime.synchronous import SynchronousRuntime
+from repro.workloads.generator import GeneratorConfig, generate_workload
+
+SHAPES = ("log", "pow25", "pow50", "pow75")
+
+
+def random_problem(seed: int):
+    shape = SHAPES[seed % len(SHAPES)]
+    config = GeneratorConfig(
+        flows=2 + seed % 4,
+        consumer_nodes=2 + seed % 3,
+        nodes_per_flow=1 + seed % 2,
+        classes_per_flow_node=1 + seed % 3,
+        consumer_cost_low=5.0,
+        consumer_cost_high=30.0,
+        shape=shape,
+    )
+    return generate_workload(config, seed=seed)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_lrgp_invariants_on_random_workloads(seed):
+    problem = random_problem(seed)
+    optimizer = LRGP(problem, LRGPConfig.adaptive())
+    optimizer.run(80)
+    allocation = optimizer.allocation()
+
+    assert is_feasible(problem, allocation)
+    for flow_id, rate in allocation.rates.items():
+        flow = problem.flows[flow_id]
+        assert flow.rate_min <= rate <= flow.rate_max
+    for class_id, population in allocation.populations.items():
+        assert 0 <= population <= problem.classes[class_id].max_consumers
+    assert all(price >= 0.0 for price in optimizer.node_prices().values())
+    assert optimizer.utilities[-1] <= utility_upper_bound(problem) * (1 + 1e-9)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_runtime_matches_reference_on_random_workloads(seed):
+    problem = random_problem(seed)
+    reference = LRGP(problem, LRGPConfig.adaptive())
+    reference.run(40)
+    runtime = SynchronousRuntime(problem, node_gamma=AdaptiveGamma())
+    runtime.run(40)
+    assert runtime.utilities == pytest.approx(reference.utilities, rel=1e-12)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_every_iteration_is_feasible(seed):
+    """Not just the final state: LRGP's allocation after *every* iteration
+    satisfies the node constraints (the greedy step guarantees it)."""
+    problem = random_problem(seed)
+    optimizer = LRGP(problem, LRGPConfig.adaptive())
+    for _ in range(30):
+        optimizer.step()
+        assert is_feasible(problem, optimizer.allocation())
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_utility_stays_bounded_and_settles(seed):
+    """LRGP has no convergence proof (paper §3.5) and some random
+    heterogeneous-cost instances do settle into small limit cycles (we
+    observed ~6% amplitude at seed 3974, pow50 shape); the invariant we
+    hold it to is boundedness: a tail oscillation well below the utility
+    scale, never divergence."""
+    problem = random_problem(seed)
+    optimizer = LRGP(problem, LRGPConfig.adaptive())
+    optimizer.run(250)
+    tail = optimizer.utilities[-20:]
+    mean = sum(tail) / len(tail)
+    assert mean > 0.0
+    assert (max(tail) - min(tail)) <= 0.20 * mean

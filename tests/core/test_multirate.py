@@ -1,0 +1,110 @@
+"""Tests for the multirate extension (the paper's deferred future work)."""
+
+import pytest
+
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.core.multirate import (
+    MultirateLRGP,
+    multirate_node_usage,
+    multirate_total_utility,
+)
+from repro.workloads.base import base_workload
+from tests.conftest import make_tiny_problem
+
+
+@pytest.fixture(scope="module")
+def base_runs():
+    problem = base_workload()
+    single = LRGP(problem, LRGPConfig.adaptive())
+    single.run(200)
+    multi = MultirateLRGP(problem)
+    multi.run(200)
+    return problem, single, multi
+
+
+class TestDominance:
+    def test_multirate_at_least_single_rate_on_base(self, base_runs):
+        """Every single-rate allocation is multirate-feasible, so the
+        multirate optimizer must not do worse (both are heuristics, allow
+        0.5% slack)."""
+        _, single, multi = base_runs
+        assert multi.utilities[-1] >= single.utilities[-1] * 0.995
+
+    def test_multirate_strictly_better_under_heterogeneous_capacity(self):
+        """When one node is capacity-starved, thinning at that node (rather
+        than slowing the whole flow) must win clearly."""
+        problem = base_workload().with_node_capacity("S1", 9e4)
+        single = LRGP(problem, LRGPConfig.adaptive())
+        single.run(250)
+        multi = MultirateLRGP(problem)
+        multi.run(250)
+        assert multi.utilities[-1] > 1.02 * single.utilities[-1]
+
+
+class TestFeasibility:
+    def test_node_constraints_hold_at_local_rates(self, base_runs):
+        problem, _, multi = base_runs
+        allocation = multi.allocation()
+        for node_id in problem.consumer_nodes():
+            usage = multirate_node_usage(problem, allocation, node_id)
+            assert usage <= problem.nodes[node_id].capacity * (1 + 1e-9)
+
+    def test_local_rates_never_exceed_source_rate(self, base_runs):
+        problem, _, multi = base_runs
+        allocation = multi.allocation()
+        for (node_id, flow_id), local in allocation.local_rates.items():
+            assert local <= allocation.source_rates[flow_id] + 1e-9
+
+    def test_rates_within_flow_bounds(self, base_runs):
+        problem, _, multi = base_runs
+        allocation = multi.allocation()
+        for flow_id, rate in allocation.source_rates.items():
+            flow = problem.flows[flow_id]
+            assert flow.rate_min <= rate <= flow.rate_max
+        for (_, flow_id), rate in allocation.local_rates.items():
+            flow = problem.flows[flow_id]
+            assert flow.rate_min - 1e-9 <= rate <= flow.rate_max + 1e-9
+
+    def test_populations_within_bounds(self, base_runs):
+        problem, _, multi = base_runs
+        allocation = multi.allocation()
+        for class_id, population in allocation.populations.items():
+            assert 0 <= population <= problem.classes[class_id].max_consumers
+
+
+class TestThinning:
+    def test_starved_node_thins_while_others_do_not(self):
+        problem = base_workload().with_node_capacity("S1", 9e4)
+        multi = MultirateLRGP(problem)
+        multi.run(250)
+        allocation = multi.allocation()
+        # f4 reaches S0 (rich) and S1 (starved): S1 should deliver it
+        # slower than S0.
+        assert (
+            allocation.local_rates[("S1", "f4")]
+            < allocation.local_rates[("S0", "f4")]
+        )
+
+    def test_utility_uses_local_rates(self, base_runs):
+        problem, _, multi = base_runs
+        allocation = multi.allocation()
+        recomputed = multirate_total_utility(problem, allocation)
+        assert multi.utilities[-1] == pytest.approx(recomputed)
+
+
+class TestMechanics:
+    def test_converges_on_tiny_problem(self, tiny_problem):
+        multi = MultirateLRGP(tiny_problem)
+        multi.run(300)
+        assert multi.utilities[-1] > 0.0
+        tail = multi.utilities[-10:]
+        assert (max(tail) - min(tail)) / max(tail) < 0.05
+
+    def test_negative_iterations_rejected(self, tiny_problem):
+        with pytest.raises(ValueError):
+            MultirateLRGP(tiny_problem).run(-1)
+
+    def test_to_single_rate_projection(self, base_runs):
+        _, _, multi = base_runs
+        projected = multi.allocation().to_single_rate()
+        assert set(projected.rates) == set(multi.allocation().source_rates)

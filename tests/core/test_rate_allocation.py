@@ -1,0 +1,87 @@
+"""Unit tests for Algorithm 1: Lagrangian rate allocation."""
+
+import pytest
+
+from repro.core.rate_allocation import (
+    aggregate_flow_price,
+    allocate_all_rates,
+    allocate_rate,
+    link_path_price,
+    node_path_price,
+)
+from tests.conftest import make_tiny_problem
+
+
+@pytest.fixture()
+def problem():
+    return make_tiny_problem()
+
+
+class TestPathPrices:
+    def test_link_path_price(self, problem):
+        # PL = L * p_l, with L = 1 on the single link.
+        assert link_path_price(problem, "fa", {"P->S": 0.7}) == pytest.approx(0.7)
+
+    def test_link_path_price_missing_price_is_zero(self, problem):
+        assert link_path_price(problem, "fa", {}) == 0.0
+
+    def test_node_path_price_weights_by_footprint(self, problem):
+        # PB = (F + G*n_ca + G*n_cb) * p_S  for flow fa (classes ca, cb at S).
+        populations = {"ca": 2, "cb": 3, "cc": 5}
+        price = node_path_price(problem, "fa", populations, {"S": 0.1})
+        assert price == pytest.approx((1.0 + 10.0 * 2 + 10.0 * 3) * 0.1)
+
+    def test_node_path_price_ignores_other_flows_classes(self, problem):
+        populations = {"ca": 0, "cb": 0, "cc": 5}
+        price = node_path_price(problem, "fb", populations, {"S": 1.0})
+        assert price == pytest.approx(1.0 + 10.0 * 5)
+
+    def test_zero_price_nodes_skipped(self, problem):
+        assert node_path_price(problem, "fa", {"ca": 2}, {"S": 0.0}) == 0.0
+
+    def test_aggregate_combines_both(self, problem):
+        populations = {"ca": 1, "cb": 0, "cc": 0}
+        total = aggregate_flow_price(
+            problem, "fa", populations, {"S": 0.5}, {"P->S": 0.25}
+        )
+        assert total == pytest.approx((1.0 + 10.0) * 0.5 + 0.25)
+
+
+class TestAllocateRate:
+    def test_zero_price_maxes_rate(self, problem):
+        rate = allocate_rate(problem, "fa", {"ca": 1, "cb": 1}, price=0.0)
+        assert rate == problem.flows["fa"].rate_max
+
+    def test_no_consumers_positive_price_mins_rate(self, problem):
+        rate = allocate_rate(problem, "fa", {"ca": 0, "cb": 0}, price=1.0)
+        assert rate == problem.flows["fa"].rate_min
+
+    def test_interior_stationary_point(self, problem):
+        # d/dr [n*10*log(1+r)] = 10n/(1+r); with n=2 and price=4: r = 20/4-1.
+        rate = allocate_rate(problem, "fa", {"ca": 2, "cb": 0}, price=4.0)
+        assert rate == pytest.approx(4.0)
+
+    def test_aggregates_multiple_classes(self, problem):
+        # ca: scale 10, cb: scale 2; combined slope (10*1 + 2*3)/(1+r).
+        rate = allocate_rate(problem, "fa", {"ca": 1, "cb": 3}, price=1.0)
+        assert rate == pytest.approx(15.0)
+
+    def test_allocate_all_rates_covers_all_flows(self, problem):
+        rates = allocate_all_rates(
+            problem, {"ca": 1, "cb": 0, "cc": 1}, {"S": 0.01}, {}
+        )
+        assert set(rates) == {"fa", "fb"}
+        for flow_id, rate in rates.items():
+            flow = problem.flows[flow_id]
+            assert flow.rate_min <= rate <= flow.rate_max
+
+    def test_higher_price_lower_rate(self, problem):
+        populations = {"ca": 3, "cb": 1, "cc": 0}
+        low = allocate_rate(problem, "fa", populations, price=0.5)
+        high = allocate_rate(problem, "fa", populations, price=5.0)
+        assert high <= low
+
+    def test_more_consumers_higher_rate(self, problem):
+        few = allocate_rate(problem, "fa", {"ca": 1, "cb": 0}, price=5.0)
+        many = allocate_rate(problem, "fa", {"ca": 4, "cb": 0}, price=5.0)
+        assert many >= few

@@ -1,0 +1,69 @@
+"""Tests for trace capture."""
+
+import pytest
+
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.core.trace import TraceError, trace_to_csv, write_trace
+from tests.conftest import make_tiny_problem
+
+
+@pytest.fixture()
+def recorded_optimizer():
+    optimizer = LRGP(make_tiny_problem(), LRGPConfig(record_snapshots=True))
+    optimizer.run(15)
+    return optimizer
+
+
+class TestTraceToCsv:
+    def test_header_and_row_count(self, recorded_optimizer):
+        csv = trace_to_csv(recorded_optimizer.records)
+        lines = csv.splitlines()
+        assert len(lines) == 16
+        header = lines[0].split(",")
+        assert header[:2] == ["iteration", "utility"]
+        assert "rate:fa" in header
+        assert "n:ca" in header
+        assert "node_price:S" in header
+
+    def test_values_match_records(self, recorded_optimizer):
+        csv = trace_to_csv(recorded_optimizer.records)
+        lines = csv.splitlines()
+        header = lines[0].split(",")
+        last = lines[-1].split(",")
+        record = recorded_optimizer.records[-1]
+        assert int(last[0]) == record.iteration
+        assert float(last[1]) == pytest.approx(record.utility)
+        rate_index = header.index("rate:fa")
+        assert float(last[rate_index]) == pytest.approx(record.rates["fa"])
+
+    def test_requires_snapshots(self):
+        optimizer = LRGP(make_tiny_problem())  # snapshots off
+        optimizer.run(3)
+        with pytest.raises(TraceError, match="record_snapshots"):
+            trace_to_csv(optimizer.records)
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(TraceError, match="no iteration records"):
+            trace_to_csv([])
+
+    def test_entities_joining_midway_render_empty_cells(self):
+        """A flow that leaves mid-run leaves empty cells, not errors."""
+        from repro.workloads.base import base_workload
+
+        optimizer = LRGP(base_workload(), LRGPConfig(record_snapshots=True))
+        optimizer.run(5)
+        optimizer.remove_flow("f5")
+        optimizer.run(5)
+        csv = trace_to_csv(optimizer.records)
+        lines = csv.splitlines()
+        header = lines[0].split(",")
+        f5_index = header.index("rate:f5")
+        assert lines[1].split(",")[f5_index] != ""   # present early
+        assert lines[-1].split(",")[f5_index] == ""  # gone later
+
+
+class TestWriteTrace:
+    def test_writes_file(self, recorded_optimizer, tmp_path):
+        path = write_trace(recorded_optimizer, tmp_path / "trace.csv")
+        assert path.exists()
+        assert path.read_text().startswith("iteration,utility")

@@ -1,0 +1,96 @@
+"""Unit tests for the two-stage approximation with path pruning (§2.4)."""
+
+import math
+
+import pytest
+
+from repro.core.two_stage import compute_prune_set, two_stage_optimize
+from repro.model.allocation import Allocation
+from repro.model.costs import CostModelBuilder
+from repro.model.entities import ConsumerClass, Flow, Link, Node, Route
+from repro.model.problem import build_problem
+from repro.utility.functions import LogUtility
+
+
+def chain_problem():
+    """P -> A -> B: a flow relayed through A to a class at B, plus a class
+    at A.  Lets us test leaf pruning and relay protection."""
+    nodes = [Node("P"), Node("A", capacity=1000.0), Node("B", capacity=1000.0)]
+    links = [Link("P->A", tail="P", head="A"), Link("A->B", tail="A", head="B")]
+    flow = Flow("f", source="P", rate_min=1.0, rate_max=10.0)
+    classes = [
+        ConsumerClass("ca", "f", "A", max_consumers=5, utility=LogUtility(scale=10.0)),
+        ConsumerClass("cb", "f", "B", max_consumers=5, utility=LogUtility(scale=1.0)),
+    ]
+    routes = {"f": Route(nodes=("P", "A", "B"), links=("P->A", "A->B"))}
+    costs = (
+        CostModelBuilder()
+        .set_flow_node("A", "f", 2.0)
+        .set_flow_node("B", "f", 2.0)
+        .set_consumer("A", "ca", 5.0)
+        .set_consumer("B", "cb", 5.0)
+        .set_link("P->A", "f", 1.0)
+        .set_link("A->B", "f", 1.0)
+        .build()
+    )
+    return build_problem(nodes, links, [flow], classes, routes, costs)
+
+
+class TestComputePruneSet:
+    def test_nothing_pruned_when_all_admitted(self):
+        problem = chain_problem()
+        allocation = Allocation(rates={"f": 5.0}, populations={"ca": 1, "cb": 1})
+        prune = compute_prune_set(problem, allocation)
+        assert prune.is_empty()
+
+    def test_leaf_with_no_admissions_pruned(self):
+        problem = chain_problem()
+        allocation = Allocation(rates={"f": 5.0}, populations={"ca": 1, "cb": 0})
+        prune = compute_prune_set(problem, allocation)
+        assert ("B", "f") in prune.flow_nodes
+        assert ("A->B", "f") in prune.flow_links
+        # A still has an admitted class: not pruned.
+        assert ("A", "f") not in prune.flow_nodes
+
+    def test_relay_node_pruned_only_with_its_subtree(self):
+        """If nobody is admitted anywhere, the whole chain collapses (but
+        never the source)."""
+        problem = chain_problem()
+        allocation = Allocation(rates={"f": 5.0}, populations={"ca": 0, "cb": 0})
+        prune = compute_prune_set(problem, allocation)
+        assert ("B", "f") in prune.flow_nodes
+        assert ("A", "f") in prune.flow_nodes
+        assert ("P", "f") not in prune.flow_nodes
+        assert {("P->A", "f"), ("A->B", "f")} <= prune.flow_links
+
+    def test_relay_with_downstream_admissions_not_pruned(self):
+        problem = chain_problem()
+        allocation = Allocation(rates={"f": 5.0}, populations={"ca": 0, "cb": 1})
+        prune = compute_prune_set(problem, allocation)
+        # A has no admitted class but still relays to B.
+        assert ("A", "f") not in prune.flow_nodes
+        assert prune.flow_links == frozenset()
+
+
+class TestTwoStageOptimize:
+    def test_no_pruning_returns_stage1(self, tiny_problem):
+        result = two_stage_optimize(tiny_problem, iterations=150)
+        if result.prune_set.is_empty():
+            assert result.stage2_utility == result.stage1_utility
+            assert result.improvement == 0.0
+
+    def test_pruning_releases_capacity(self):
+        """A starved node whose class is never admitted gets its flow-node
+        cost pruned; stage 2 must not be worse than stage 1."""
+        problem = chain_problem()
+        result = two_stage_optimize(problem, iterations=200)
+        assert result.stage2_utility >= result.stage1_utility - 1e-6
+
+    def test_base_workload_improvement_nonnegative(self, base_problem):
+        result = two_stage_optimize(base_problem, iterations=120)
+        assert result.stage2_utility >= result.stage1_utility * 0.999
+
+    def test_pruned_problem_keeps_structure(self, base_problem):
+        result = two_stage_optimize(base_problem, iterations=120)
+        assert set(result.pruned_problem.flows) == set(base_problem.flows)
+        assert set(result.pruned_problem.classes) == set(base_problem.classes)

@@ -1,0 +1,66 @@
+"""Integration tests for the autonomic control loop."""
+
+import pytest
+
+from repro.core.enactment import PeriodicEnactment, ThresholdEnactment
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.events.autonomic import AutonomicController
+from repro.events.simulator import EventInfrastructure
+from repro.model.allocation import total_utility
+from tests.conftest import make_tiny_problem
+
+
+@pytest.fixture()
+def problem():
+    return make_tiny_problem()
+
+
+def make_controller(problem, policy):
+    return AutonomicController(
+        optimizer=LRGP(problem, LRGPConfig.adaptive()),
+        infrastructure=EventInfrastructure(problem),
+        policy=policy,
+    )
+
+
+class TestControlLoop:
+    def test_first_tick_enacts(self, problem):
+        controller = make_controller(problem, ThresholdEnactment())
+        assert controller.tick() is True
+
+    def test_enacted_state_reaches_infrastructure(self, problem):
+        controller = make_controller(problem, PeriodicEnactment(period=1))
+        controller.run(50)
+        live = controller.infrastructure.allocation()
+        computed = controller.optimizer.allocation()
+        assert live.rates == pytest.approx(computed.rates)
+        assert live.populations == computed.populations
+
+    def test_threshold_policy_reduces_enactments(self, problem):
+        eager = make_controller(problem, PeriodicEnactment(period=1))
+        lazy = make_controller(
+            problem,
+            ThresholdEnactment(rate_rel_change=0.2, population_abs_change=2),
+        )
+        eager_count = eager.run(80)
+        lazy_count = lazy.run(80)
+        assert lazy_count < eager_count
+
+    def test_utility_of_enacted_state_approaches_optimizer(self, problem):
+        controller = make_controller(
+            problem, ThresholdEnactment(rate_rel_change=0.05)
+        )
+        controller.run(150)
+        live_utility = total_utility(problem, controller.infrastructure.allocation())
+        computed_utility = controller.optimizer.utilities[-1]
+        assert live_utility == pytest.approx(computed_utility, rel=0.1)
+
+    def test_negative_iterations_rejected(self, problem):
+        controller = make_controller(problem, ThresholdEnactment())
+        with pytest.raises(ValueError):
+            controller.run(-1)
+
+    def test_traffic_flows_during_control(self, problem):
+        controller = make_controller(problem, PeriodicEnactment(period=1))
+        controller.run(30)
+        assert controller.infrastructure.total_deliveries() > 0

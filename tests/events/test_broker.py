@@ -1,0 +1,109 @@
+"""Unit tests for broker nodes."""
+
+import pytest
+
+from repro.events.broker import Broker
+from repro.events.metering import ResourceMeter
+from repro.events.pubsub import Consumer, EventMessage
+from repro.events.transforms import FilterTransform
+from tests.conftest import make_tiny_problem
+
+
+@pytest.fixture()
+def problem():
+    return make_tiny_problem()
+
+
+def make_broker(problem, node_id="S"):
+    return Broker(problem, node_id, ResourceMeter())
+
+
+def msg(flow_id="fa", sequence=0):
+    return EventMessage(flow_id=flow_id, sequence=sequence, published_at=0.0,
+                        payload={"x": 1})
+
+
+class TestAttachment:
+    def test_attach_wrong_node_rejected(self, problem):
+        broker = make_broker(problem, "P")
+        with pytest.raises(ValueError):
+            broker.attach_class("ca", [Consumer("ca#0", "ca")])
+
+    def test_attach_too_many_consumers_rejected(self, problem):
+        broker = make_broker(problem)
+        consumers = [Consumer(f"ca#{i}", "ca") for i in range(6)]  # max is 5
+        with pytest.raises(ValueError):
+            broker.attach_class("ca", consumers)
+
+    def test_set_admitted_bounds(self, problem):
+        broker = make_broker(problem)
+        broker.attach_class("ca", [Consumer("ca#0", "ca")])
+        with pytest.raises(ValueError):
+            broker.set_admitted("ca", 2)
+        with pytest.raises(ValueError):
+            broker.set_admitted("ca", -1)
+
+    def test_admitted_prefix_semantics(self, problem):
+        broker = make_broker(problem)
+        consumers = [Consumer(f"ca#{i}", "ca") for i in range(3)]
+        broker.attach_class("ca", consumers)
+        broker.set_admitted("ca", 2)
+        broker.process(msg(), now=0.0)
+        assert [c.received for c in consumers] == [1, 1, 0]
+        # Unadmit from the tail.
+        broker.set_admitted("ca", 1)
+        broker.process(msg(sequence=1), now=1.0)
+        assert [c.received for c in consumers] == [2, 1, 0]
+
+
+class TestProcessing:
+    def test_charges_flow_cost_per_message(self, problem):
+        meter = ResourceMeter()
+        broker = Broker(problem, "S", meter)
+        meter.reset(0.0)
+        broker.process(msg(), now=0.0)
+        # F = 1.0 for fa at S; no consumers attached.
+        assert meter.node_rate("S", now=1.0) == pytest.approx(1.0)
+
+    def test_charges_per_admitted_consumer(self, problem):
+        meter = ResourceMeter()
+        broker = Broker(problem, "S", meter)
+        broker.attach_class("ca", [Consumer(f"ca#{i}", "ca") for i in range(3)])
+        broker.set_admitted("ca", 2)
+        meter.reset(0.0)
+        broker.process(msg(), now=0.0)
+        # F (1.0) + G (10.0) * 2 admitted.
+        assert meter.node_rate("S", now=1.0) == pytest.approx(21.0)
+
+    def test_filter_cost_charged_even_when_dropped(self, problem):
+        """Evaluating a consumer's filter costs CPU whether or not the
+        message is delivered (section 1.1)."""
+        meter = ResourceMeter()
+        broker = Broker(problem, "S", meter)
+        broker.attach_class(
+            "ca",
+            [Consumer("ca#0", "ca")],
+            transform=FilterTransform(lambda payload: False),
+        )
+        broker.set_admitted("ca", 1)
+        meter.reset(0.0)
+        broker.process(msg(), now=0.0)
+        assert meter.node_rate("S", now=1.0) == pytest.approx(11.0)
+        assert broker.deliveries == 0
+
+    def test_unrelated_flow_classes_not_charged(self, problem):
+        meter = ResourceMeter()
+        broker = Broker(problem, "S", meter)
+        broker.attach_class("cc", [Consumer("cc#0", "cc")])  # consumes fb
+        broker.set_admitted("cc", 1)
+        meter.reset(0.0)
+        broker.process(msg(flow_id="fa"), now=0.0)
+        # Only fa's flow cost; cc consumes fb so no G charge.
+        assert meter.node_rate("S", now=1.0) == pytest.approx(1.0)
+
+    def test_forwarding_follows_next_hops(self, problem):
+        broker = make_broker(problem, "P")
+        broker.add_next_hop("fa", "P->S")
+        broker.add_next_hop("fa", "P->S")  # duplicate ignored
+        assert broker.process(msg(), now=0.0) == ["P->S"]
+        assert broker.process(msg(flow_id="fb"), now=0.0) == []

@@ -1,0 +1,83 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.events.engine import EventEngine
+
+
+class TestScheduling:
+    def test_callbacks_run_in_time_order(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.run_until(5.0)
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_ties(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule(1.0, lambda: order.append("first"))
+        engine.schedule(1.0, lambda: order.append("second"))
+        engine.run_until(1.0)
+        assert order == ["first", "second"]
+
+    def test_run_until_stops_at_boundary(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(2.5, lambda: fired.append(2))
+        engine.run_until(2.0)
+        assert fired == [1]
+        assert engine.now == 2.0
+        engine.run_until(3.0)
+        assert fired == [1, 2]
+
+    def test_schedule_in_is_relative(self):
+        engine = EventEngine()
+        times = []
+        engine.schedule_in(1.0, lambda: times.append(engine.now))
+        engine.run_until(1.0)
+        engine.schedule_in(1.0, lambda: times.append(engine.now))
+        engine.run_until(5.0)
+        assert times == [1.0, 2.0]
+
+    def test_events_can_schedule_events(self):
+        engine = EventEngine()
+        hits = []
+
+        def recurring():
+            hits.append(engine.now)
+            if engine.now < 3.0:
+                engine.schedule_in(1.0, recurring)
+
+        engine.schedule(1.0, recurring)
+        engine.run_until(10.0)
+        assert hits == [1.0, 2.0, 3.0]
+
+    def test_processed_counter(self):
+        engine = EventEngine()
+        for at in (1.0, 2.0, 3.0):
+            engine.schedule(at, lambda: None)
+        assert engine.run_until(2.0) == 2
+        assert engine.processed == 2
+        assert engine.pending() == 1
+
+
+class TestValidation:
+    def test_cannot_schedule_in_past(self):
+        engine = EventEngine()
+        engine.run_until(5.0)
+        with pytest.raises(ValueError):
+            engine.schedule(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventEngine().schedule_in(-1.0, lambda: None)
+
+    def test_run_until_backwards_rejected(self):
+        engine = EventEngine()
+        engine.run_until(5.0)
+        with pytest.raises(ValueError):
+            engine.run_until(1.0)

@@ -1,0 +1,84 @@
+"""Tests for the FIFO queueing model at broker nodes."""
+
+import pytest
+
+from repro.events.simulator import EventInfrastructure
+from repro.model.allocation import Allocation, node_usage
+from repro.workloads.micro import micro_workload
+
+
+def allocation_at_utilization(problem, utilization, capacity=2000.0):
+    """usage = F_a r_a + F_b r_b + G n_ca r_a = 51 r_a + 1 for the micro
+    workload with ca fully admitted and fb idle at rate 1."""
+    rate_a = (utilization * capacity - 1.0) / 51.0
+    return Allocation(
+        rates={"fa": rate_a, "fb": 1.0},
+        populations={"ca": 5, "cb": 0, "cc": 0},
+    )
+
+
+class TestMessageWork:
+    def test_work_matches_cost_model(self):
+        problem = micro_workload()
+        infra = EventInfrastructure(problem)
+        infra.enact(
+            Allocation(rates={"fa": 5.0, "fb": 1.0},
+                       populations={"ca": 3, "cb": 1, "cc": 0})
+        )
+        broker = infra.brokers["S"]
+        # fa: F (1.0) + G (10) * (3 admitted ca + 1 admitted cb).
+        assert broker.message_work("fa") == pytest.approx(1.0 + 10.0 * 4)
+        # fb: F only (cc unadmitted).
+        assert broker.message_work("fb") == pytest.approx(1.0)
+
+
+class TestQueueingLatency:
+    def test_latency_grows_with_utilization(self):
+        problem = micro_workload()
+        latencies = []
+        for utilization in (0.5, 0.95, 1.2):
+            infra = EventInfrastructure(problem, queueing=True, poisson=True, seed=3)
+            infra.enact(allocation_at_utilization(problem, utilization))
+            infra.run_for(30.0)
+            latencies.append(infra.mean_delivery_latency())
+        assert latencies[0] < latencies[1] < latencies[2]
+        assert latencies[2] > 10 * latencies[0]
+
+    def test_underload_latency_near_service_time(self):
+        """At low utilization, latency is close to the bare service time
+        of one message (work / capacity)."""
+        problem = micro_workload()
+        infra = EventInfrastructure(problem, queueing=True, seed=0)
+        allocation = allocation_at_utilization(problem, 0.2)
+        infra.enact(allocation)
+        infra.run_for(30.0)
+        service_time = infra.brokers["S"].message_work("fa") / 2000.0
+        assert infra.mean_delivery_latency() < 4 * service_time
+
+    def test_queueing_off_means_zero_latency(self):
+        problem = micro_workload()
+        infra = EventInfrastructure(problem, queueing=False)
+        infra.enact(allocation_at_utilization(problem, 0.9))
+        infra.run_for(10.0)
+        assert infra.mean_delivery_latency() == 0.0
+
+    def test_infinite_capacity_nodes_never_queue(self):
+        """The producer hub has infinite capacity: messages pass through it
+        with no delay even with queueing enabled."""
+        problem = micro_workload()
+        infra = EventInfrastructure(problem, queueing=True)
+        allocation = allocation_at_utilization(problem, 0.3)
+        infra.enact(allocation)
+        infra.run_for(5.0)
+        assert infra.total_deliveries() > 0
+
+    def test_metering_unaffected_by_queueing(self):
+        """Queueing delays processing but conserves work: measured resource
+        rates still match eq. 5 when the node is stable."""
+        problem = micro_workload()
+        infra = EventInfrastructure(problem, queueing=True)
+        allocation = allocation_at_utilization(problem, 0.7)
+        infra.enact(allocation)
+        comparisons = infra.measure(duration=20.0, settle=2.0)
+        node = next(c for c in comparisons if c.resource == "node:S")
+        assert node.relative_error < 0.05

@@ -1,0 +1,119 @@
+"""Tests for reliable delivery (acks, timeouts, retransmissions)."""
+
+import pytest
+
+from repro.events.reliability import ReliabilityConfig
+from repro.events.simulator import EventInfrastructure
+from repro.model.allocation import Allocation
+from repro.workloads.micro import micro_workload
+
+
+def run_reliable(config, duration=10.0, rate=20.0, seed=0):
+    problem = micro_workload()
+    infra = EventInfrastructure(
+        problem, seed=seed, reliability={"ca": config}
+    )
+    infra.enact(
+        Allocation(rates={"fa": rate, "fb": 1.0},
+                   populations={"ca": 2, "cb": 0, "cc": 0})
+    )
+    infra.run_for(duration)
+    return infra
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ReliabilityConfig(rtt=0.0)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(loss_probability=1.0)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(send_cost=-1.0)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(timeout=0.0)
+
+    def test_default_timeout_is_two_rtt(self):
+        assert ReliabilityConfig(rtt=0.5).effective_timeout == 1.0
+        assert ReliabilityConfig(rtt=0.5, timeout=0.3).effective_timeout == 0.3
+
+
+class TestLosslessChannel:
+    def test_every_message_delivered_and_acked(self):
+        infra = run_reliable(ReliabilityConfig(rtt=0.01))
+        stats = infra.reliability.stats["ca"]
+        published = infra.producers["fa"].published
+        # 2 admitted consumers per message; in-flight tail tolerated.
+        assert stats.delivered >= 2 * (published - 2)
+        assert stats.retransmissions == 0
+        assert stats.abandoned == 0
+        assert stats.acks_processed >= stats.delivered - 4
+
+    def test_delivery_latency_is_half_rtt(self):
+        infra = run_reliable(ReliabilityConfig(rtt=0.2))
+        consumer = infra.consumers["ca"][0]
+        assert consumer.mean_latency == pytest.approx(0.1, rel=0.05)
+
+    def test_unreliable_classes_unaffected(self):
+        problem = micro_workload()
+        infra = EventInfrastructure(
+            problem, reliability={"ca": ReliabilityConfig(rtt=0.5)}
+        )
+        infra.enact(
+            Allocation(rates={"fa": 10.0, "fb": 10.0},
+                       populations={"ca": 1, "cb": 0, "cc": 1})
+        )
+        infra.run_for(5.0)
+        # cc has no reliability config: direct delivery, zero latency.
+        assert infra.consumers["cc"][0].mean_latency == 0.0
+        assert infra.consumers["ca"][0].mean_latency > 0.0
+
+
+class TestLossyChannel:
+    def test_retransmissions_recover_losses(self):
+        config = ReliabilityConfig(rtt=0.01, loss_probability=0.2, max_retries=5)
+        infra = run_reliable(config, duration=20.0)
+        stats = infra.reliability.stats["ca"]
+        published = infra.producers["fa"].published
+        assert stats.retransmissions > 0
+        # Loss 0.2 with 5 retries: essentially everything arrives.
+        assert stats.delivered >= 2 * (published - 2) * 0.99
+
+    def test_duplicates_suppressed(self):
+        # High loss makes ack loss (data delivered, ack dropped) common,
+        # which forces duplicate data transmissions.
+        config = ReliabilityConfig(rtt=0.01, loss_probability=0.4, max_retries=8)
+        infra = run_reliable(config, duration=20.0, seed=7)
+        stats = infra.reliability.stats["ca"]
+        assert stats.duplicates_suppressed > 0
+        # Consumers never see a duplicate: received == unique deliveries.
+        received = sum(c.received for c in infra.consumers["ca"][:2])
+        assert received == stats.delivered
+
+    def test_gives_up_after_max_retries(self):
+        config = ReliabilityConfig(rtt=0.01, loss_probability=0.9, max_retries=1)
+        infra = run_reliable(config, duration=5.0, rate=5.0, seed=3)
+        assert infra.reliability.stats["ca"].abandoned > 0
+
+
+class TestOverheadAccounting:
+    def test_ack_and_send_costs_metered(self):
+        problem = micro_workload()
+        config = ReliabilityConfig(rtt=0.01, send_cost=2.0, ack_cost=3.0)
+        infra = EventInfrastructure(problem, reliability={"ca": config})
+        infra.enact(
+            Allocation(rates={"fa": 10.0, "fb": 1.0},
+                       populations={"ca": 1, "cb": 0, "cc": 0})
+        )
+        infra.meter.reset(0.0)
+        infra.run_for(10.0)
+        stats = infra.reliability.stats["ca"]
+        charged = infra.meter.node_rate("S", infra.engine.now) * 10.0
+        expected_reliability = 2.0 * stats.sends + 3.0 * stats.acks_processed
+        # Total node charge = flow cost + consumer cost + reliability cost.
+        assert charged > expected_reliability
+        base = charged - expected_reliability
+        # The base part matches F*count + G*n*count for processed messages.
+        processed = infra.brokers["S"].messages_processed
+        assert base == pytest.approx(processed * 1.0 + processed * 10.0, rel=0.2)

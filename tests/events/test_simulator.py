@@ -1,0 +1,162 @@
+"""Integration tests for the pub/sub simulator and resource metering.
+
+The crucial one: the *measured* resource consumption of the discrete-event
+broker matches the constraint-equation predictions (eq. 4/5) — this is the
+validation the paper performed on Gryphon.
+"""
+
+import pytest
+
+from repro.core.lrgp import LRGP
+from repro.events.metering import ResourceMeter
+from repro.events.pubsub import Consumer, EventMessage, Producer
+from repro.events.simulator import EventInfrastructure
+from repro.model.allocation import Allocation
+from tests.conftest import make_tiny_problem
+
+
+class TestProducer:
+    def test_deterministic_interval(self):
+        producer = Producer("f", rate=10.0)
+        assert producer.next_interval() == pytest.approx(0.1)
+
+    def test_zero_rate_pauses(self):
+        producer = Producer("f", rate=0.0)
+        assert producer.next_interval() is None
+
+    def test_set_rate_validates(self):
+        producer = Producer("f", rate=1.0)
+        with pytest.raises(ValueError):
+            producer.set_rate(-1.0)
+
+    def test_publish_sequences(self):
+        producer = Producer("f", rate=1.0)
+        first = producer.publish(now=0.0)
+        second = producer.publish(now=1.0)
+        assert (first.sequence, second.sequence) == (0, 1)
+        assert producer.published == 2
+
+
+class TestConsumer:
+    def test_latency_tracking(self):
+        consumer = Consumer("c#0", "c")
+        consumer.deliver(
+            EventMessage(flow_id="f", sequence=0, published_at=1.0), now=1.5
+        )
+        consumer.deliver(
+            EventMessage(flow_id="f", sequence=1, published_at=2.0), now=2.1
+        )
+        assert consumer.received == 2
+        assert consumer.mean_latency == pytest.approx(0.3)
+
+    def test_mean_latency_zero_when_nothing_received(self):
+        assert Consumer("c#0", "c").mean_latency == 0.0
+
+
+class TestMeter:
+    def test_rates_are_charge_over_window(self):
+        meter = ResourceMeter()
+        meter.reset(now=10.0)
+        meter.charge_node("S", 30.0)
+        meter.charge_link("l", 6.0)
+        assert meter.node_rate("S", now=13.0) == pytest.approx(10.0)
+        assert meter.link_rate("l", now=13.0) == pytest.approx(2.0)
+
+    def test_zero_elapsed_window(self):
+        meter = ResourceMeter()
+        meter.charge_node("S", 5.0)
+        assert meter.node_rate("S", now=0.0) == 0.0
+
+    def test_rejects_negative_charge(self):
+        with pytest.raises(ValueError):
+            ResourceMeter().charge_node("S", -1.0)
+
+
+class TestInfrastructure:
+    def test_enact_and_read_back(self, tiny_problem):
+        infra = EventInfrastructure(tiny_problem)
+        allocation = Allocation(
+            rates={"fa": 5.0, "fb": 2.0}, populations={"ca": 3, "cb": 0, "cc": 1}
+        )
+        infra.enact(allocation)
+        read_back = infra.allocation()
+        assert read_back.rates == allocation.rates
+        assert read_back.populations == allocation.populations
+
+    def test_only_admitted_consumers_receive(self, tiny_problem):
+        infra = EventInfrastructure(tiny_problem)
+        infra.enact(
+            Allocation(rates={"fa": 10.0, "fb": 1.0},
+                       populations={"ca": 2, "cb": 0, "cc": 0})
+        )
+        infra.run_for(2.0)
+        admitted = infra.consumers["ca"][:2]
+        unadmitted = infra.consumers["ca"][2:] + infra.consumers["cb"]
+        assert all(consumer.received > 0 for consumer in admitted)
+        assert all(consumer.received == 0 for consumer in unadmitted)
+
+    def test_unadmitting_stops_delivery(self, tiny_problem):
+        infra = EventInfrastructure(tiny_problem)
+        infra.enact(
+            Allocation(rates={"fa": 10.0, "fb": 1.0},
+                       populations={"ca": 1, "cb": 0, "cc": 0})
+        )
+        infra.run_for(1.0)
+        received_before = infra.consumers["ca"][0].received
+        infra.brokers["S"].set_admitted("ca", 0)
+        infra.run_for(1.0)
+        assert infra.consumers["ca"][0].received == received_before
+
+    def test_metering_matches_constraint_equations(self, tiny_problem):
+        """Eq. 4/5 validation: measured rates within 5% of predictions."""
+        infra = EventInfrastructure(tiny_problem)
+        infra.enact(
+            Allocation(rates={"fa": 20.0, "fb": 10.0},
+                       populations={"ca": 3, "cb": 2, "cc": 1})
+        )
+        comparisons = infra.measure(duration=20.0, settle=1.0)
+        assert comparisons, "no resources measured"
+        for comparison in comparisons:
+            assert comparison.relative_error < 0.05, comparison
+
+    def test_metering_matches_with_poisson_arrivals(self, tiny_problem):
+        infra = EventInfrastructure(tiny_problem, poisson=True, seed=5)
+        infra.enact(
+            Allocation(rates={"fa": 50.0, "fb": 20.0},
+                       populations={"ca": 3, "cb": 2, "cc": 1})
+        )
+        comparisons = infra.measure(duration=60.0, settle=1.0)
+        for comparison in comparisons:
+            assert comparison.relative_error < 0.15, comparison
+
+    def test_link_latency_delays_delivery(self, tiny_problem):
+        infra = EventInfrastructure(tiny_problem, link_latency=0.25)
+        infra.enact(
+            Allocation(rates={"fa": 10.0, "fb": 1.0},
+                       populations={"ca": 1, "cb": 0, "cc": 0})
+        )
+        infra.run_for(3.0)
+        assert infra.mean_delivery_latency() == pytest.approx(0.25)
+
+    def test_lrgp_allocation_runs_cleanly(self, base_problem):
+        optimizer = LRGP(base_problem)
+        optimizer.run(60)
+        infra = EventInfrastructure(base_problem)
+        infra.enact(optimizer.allocation())
+        comparisons = infra.measure(duration=1.0, settle=0.1)
+        node_comparisons = [c for c in comparisons if c.resource.startswith("node:")]
+        assert len(node_comparisons) == 3
+        for comparison in node_comparisons:
+            assert comparison.relative_error < 0.05, comparison
+
+    def test_producer_resumes_after_zero_rate(self, tiny_problem):
+        infra = EventInfrastructure(tiny_problem)
+        infra.enact(
+            Allocation(rates={"fa": 0.0, "fb": 1.0},
+                       populations={"ca": 1, "cb": 0, "cc": 0})
+        )
+        infra.run_for(2.0)
+        assert infra.consumers["ca"][0].received == 0
+        infra.producers["fa"].set_rate(10.0)
+        infra.run_for(3.0)
+        assert infra.consumers["ca"][0].received > 0

@@ -1,0 +1,116 @@
+"""Unit tests for message transformations."""
+
+from repro.events.pubsub import EventMessage
+from repro.events.transforms import (
+    AggregateTransform,
+    ChainTransform,
+    EnrichTransform,
+    FilterTransform,
+    IdentityTransform,
+    ProjectTransform,
+)
+
+
+def message(payload, sequence=0):
+    return EventMessage(
+        flow_id="f", sequence=sequence, published_at=0.0, payload=payload
+    )
+
+
+class TestIdentity:
+    def test_passthrough(self):
+        msg = message({"a": 1})
+        assert IdentityTransform().apply(msg) is msg
+
+
+class TestFilter:
+    def test_passes_and_drops(self):
+        transform = FilterTransform(lambda p: p.get("price", 0) > 80)
+        assert transform.apply(message({"price": 90})) is not None
+        assert transform.apply(message({"price": 70})) is None
+
+    def test_counts(self):
+        transform = FilterTransform(lambda p: p["x"] > 0)
+        transform.apply(message({"x": 1}))
+        transform.apply(message({"x": -1}))
+        transform.apply(message({"x": 2}))
+        assert (transform.evaluated, transform.passed) == (3, 2)
+
+
+class TestProject:
+    def test_strips_fields(self):
+        transform = ProjectTransform(["secret", "internal"])
+        result = transform.apply(message({"a": 1, "secret": 2, "internal": 3}))
+        assert dict(result.payload) == {"a": 1}
+
+    def test_no_copy_when_nothing_to_strip(self):
+        transform = ProjectTransform(["secret"])
+        msg = message({"a": 1})
+        assert transform.apply(msg) is msg
+
+    def test_metadata_preserved(self):
+        transform = ProjectTransform(["b"])
+        msg = message({"a": 1, "b": 2}, sequence=42)
+        result = transform.apply(msg)
+        assert result.sequence == 42
+        assert result.flow_id == "f"
+
+
+class TestEnrich:
+    def test_adds_fields(self):
+        transform = EnrichTransform(lambda p: {"double": p["x"] * 2})
+        result = transform.apply(message({"x": 21}))
+        assert dict(result.payload) == {"x": 21, "double": 42}
+
+
+class TestAggregate:
+    def test_emits_every_window(self):
+        transform = AggregateTransform(window=3, field="v")
+        assert transform.apply(message({"v": 1.0})) is None
+        assert transform.apply(message({"v": 2.0})) is None
+        result = transform.apply(message({"v": 6.0}))
+        assert result is not None
+        assert result.payload["v"] == 3.0  # mean
+        assert result.payload["aggregated_count"] == 3
+
+    def test_custom_combiner(self):
+        transform = AggregateTransform(window=2, field="v", combine=max)
+        transform.apply(message({"v": 1.0}))
+        result = transform.apply(message({"v": 9.0}))
+        assert result.payload["v"] == 9.0
+
+    def test_buffer_resets(self):
+        transform = AggregateTransform(window=2, field="v")
+        transform.apply(message({"v": 1.0}))
+        transform.apply(message({"v": 3.0}))
+        assert transform.apply(message({"v": 100.0})) is None
+
+    def test_rejects_bad_window(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            AggregateTransform(window=0, field="v")
+
+
+class TestChain:
+    def test_composes_in_order(self):
+        chain = ChainTransform(
+            [
+                FilterTransform(lambda p: p["x"] > 0),
+                EnrichTransform(lambda p: {"y": p["x"] + 1}),
+                ProjectTransform(["x"]),
+            ]
+        )
+        result = chain.apply(message({"x": 1}))
+        assert dict(result.payload) == {"y": 2}
+
+    def test_drop_short_circuits(self):
+        hits = []
+        chain = ChainTransform(
+            [
+                FilterTransform(lambda p: False),
+                EnrichTransform(lambda p: hits.append(1) or {}),
+            ]
+        )
+        assert chain.apply(message({"x": 1})) is None
+        assert hits == []

@@ -1,0 +1,78 @@
+"""Tests for the extension experiments (reduced budgets).
+
+The benchmark suite runs these at full budget; here we verify structure
+and the headline invariants cheaply so plain ``pytest tests/`` covers the
+experiment code paths.
+"""
+
+import pytest
+
+from repro.experiments.extensions import (
+    extension_capacity_churn,
+    extension_communication,
+    extension_coordinate,
+    extension_link_pricing,
+    extension_multirate,
+    extension_queueing_latency,
+    extension_two_stage,
+)
+
+
+class TestLinkPricing:
+    def test_price_matches_analytic(self):
+        table = extension_link_pricing(capacities=(100.0,), iterations=500)
+        row = table.rows[0]
+        measured = float(row[3].replace(",", ""))
+        analytic = float(row[4].replace(",", ""))
+        assert measured == pytest.approx(analytic, rel=0.03)
+
+
+class TestMultirate:
+    def test_structure_and_dominance(self):
+        table = extension_multirate(iterations=120)
+        assert len(table.rows) == 3
+        for row in table.rows:
+            single = float(row[1].replace(",", ""))
+            multi = float(row[2].replace(",", ""))
+            assert multi >= 0.99 * single
+
+
+class TestTwoStage:
+    def test_structure_and_gains(self):
+        table = extension_two_stage(iterations=120)
+        gains = [float(row[4].rstrip("%")) for row in table.rows]
+        assert gains[0] == pytest.approx(0.0, abs=0.2)  # healthy: no pruning
+        assert gains[1] > 0.5  # starved: pruning pays
+
+
+class TestQueueing:
+    def test_latency_monotone(self):
+        table = extension_queueing_latency(
+            utilizations=(0.5, 1.1), duration=20.0
+        )
+        latencies = [float(row[2]) for row in table.rows]
+        assert latencies[1] > 3 * latencies[0]
+
+
+class TestChurn:
+    def test_figure_has_events(self):
+        figure = extension_capacity_churn(total_iterations=250)
+        assert "S1 capacity halved" in figure.notes
+        assert "flow f5 leaves" in figure.notes
+        assert len(figure.series[0].ys) == 250
+
+
+class TestCoordinate:
+    def test_fixpoint_certificate(self):
+        table = extension_coordinate(iterations=150)
+        base_row = table.rows[0]
+        lrgp = float(base_row[1].replace(",", ""))
+        seeded = float(base_row[4].replace(",", ""))
+        assert seeded == pytest.approx(lrgp, rel=0.005)
+
+
+class TestCommunication:
+    def test_three_messages_per_incidence(self):
+        table = extension_communication(rounds=5)
+        for row in table.rows:
+            assert float(row[4]) == pytest.approx(3.0, abs=0.01)

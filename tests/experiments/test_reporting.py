@@ -1,0 +1,90 @@
+"""Unit tests for result rendering."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    FigureResult,
+    Series,
+    TableResult,
+    format_number,
+    render_ascii_chart,
+    render_series_rows,
+    render_table,
+)
+
+
+def sample_figure():
+    return FigureResult(
+        figure_id="Figure X",
+        title="A test figure",
+        x_label="iteration",
+        y_label="utility",
+        series=(
+            Series("a", xs=(1.0, 2.0, 3.0), ys=(10.0, 20.0, 15.0)),
+            Series("b", xs=(1.0, 2.0, 3.0), ys=(5.0, 5.0, 25.0)),
+        ),
+        notes="hello",
+    )
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("bad", xs=(1.0,), ys=(1.0, 2.0))
+
+
+class TestTableResult:
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TableResult(
+                table_id="T", title="t", columns=("a", "b"), rows=(("1",),)
+            )
+
+
+class TestFormatNumber:
+    def test_thousands_separator(self):
+        assert format_number(1328821.4) == "1,328,821"
+        assert format_number(1328821.44, decimals=1) == "1,328,821.4"
+
+
+class TestRenderTable:
+    def test_contains_all_cells_aligned(self):
+        table = TableResult(
+            table_id="Table 9",
+            title="demo",
+            columns=("name", "value"),
+            rows=(("alpha", "1"), ("b", "22,000")),
+            notes="a note",
+        )
+        text = render_table(table)
+        assert "Table 9: demo" in text
+        assert "alpha" in text and "22,000" in text
+        assert "note: a note" in text
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[1:4]}) == 1  # aligned header
+
+
+class TestRenderAsciiChart:
+    def test_contains_legend_and_ranges(self):
+        text = render_ascii_chart(sample_figure(), width=40, height=8)
+        assert "* = a" in text
+        assert "o = b" in text
+        assert "[5 .. 25]" in text
+        assert "note: hello" in text
+
+    def test_empty_figure(self):
+        figure = FigureResult(
+            figure_id="F", title="empty", x_label="x", y_label="y", series=()
+        )
+        assert "no data" in render_ascii_chart(figure)
+
+
+class TestRenderSeriesRows:
+    def test_samples_every_n(self):
+        figure = sample_figure()
+        text = render_series_rows(figure, every=2)
+        lines = text.splitlines()
+        # Header + separator + rows for x=1 and x=3.
+        assert any(line.strip().startswith("1") for line in lines)
+        assert any(line.strip().startswith("3") for line in lines)
+        assert not any(line.strip().startswith("2") for line in lines[3:])

@@ -1,0 +1,41 @@
+"""Tests for the sweep harness and gamma-sensitivity study."""
+
+import pytest
+
+from repro.experiments.sweeps import SweepResult, gamma_sensitivity, sweep
+from repro.workloads.micro import micro_workload
+
+
+class TestSweepHarness:
+    def test_collects_points_in_order(self):
+        result = sweep("s", "x", [1, 2, 3], lambda x: {"y": float(x * x)})
+        assert [p.value for p in result.points] == [1, 2, 3]
+        assert [p.outcomes["y"] for p in result.points] == [1.0, 4.0, 9.0]
+
+    def test_table_rendering(self):
+        result = sweep("My sweep", "x", [1, 2], lambda x: {"y": float(x)})
+        table = result.table()
+        assert table.columns == ("x", "y")
+        assert len(table.rows) == 2
+
+    def test_mismatched_outcome_keys_rejected(self):
+        def run(x):
+            return {"a": 1.0} if x == 1 else {"b": 2.0}
+
+        with pytest.raises(ValueError, match="expected"):
+            sweep("s", "x", [1, 2], run)
+
+    def test_empty_sweep_table_rejected(self):
+        with pytest.raises(ValueError):
+            SweepResult(name="s", knob="x", points=()).table()
+
+
+class TestGammaSensitivity:
+    def test_on_micro_workload(self):
+        result = gamma_sensitivity(
+            gammas=(0.1, 0.01), iterations=200, problem=micro_workload()
+        )
+        outcomes = {p.value: p.outcomes for p in result.points}
+        assert set(outcomes) == {0.1, 0.01}
+        for values in outcomes.values():
+            assert values["final utility"] > 0.0

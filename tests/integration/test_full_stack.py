@@ -1,0 +1,66 @@
+"""Full-stack integration: optimizer -> runtime -> live infrastructure.
+
+Exercises the complete pipeline a deployment would run: LRGP (distributed,
+via the message-passing runtime) computes an allocation; the allocation is
+enacted into the discrete-event pub/sub system; the metered resource
+consumption matches the model that LRGP optimized against — closing the
+loop between the optimizer's model and the "real" system.
+"""
+
+import pytest
+
+from repro.core.gamma import AdaptiveGamma
+from repro.events.simulator import EventInfrastructure
+from repro.model.allocation import is_feasible, node_usage, total_utility
+from repro.runtime.synchronous import SynchronousRuntime
+from repro.workloads.base import base_workload
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    problem = base_workload()
+    runtime = SynchronousRuntime(problem, node_gamma=AdaptiveGamma())
+    runtime.run(120)
+    allocation = runtime.allocation()
+    infra = EventInfrastructure(problem)
+    infra.enact(allocation)
+    comparisons = infra.measure(duration=2.0, settle=0.2)
+    return problem, runtime, allocation, infra, comparisons
+
+
+class TestPipeline:
+    def test_distributed_allocation_feasible(self, pipeline):
+        problem, _, allocation, _, _ = pipeline
+        assert is_feasible(problem, allocation)
+
+    def test_enacted_system_matches_model_predictions(self, pipeline):
+        _, _, _, _, comparisons = pipeline
+        node_comparisons = [
+            c for c in comparisons if c.resource.startswith("node:")
+        ]
+        assert len(node_comparisons) == 3
+        for comparison in node_comparisons:
+            assert comparison.relative_error < 0.05, comparison
+
+    def test_nodes_run_near_but_below_capacity(self, pipeline):
+        """LRGP fills the nodes: usage lands in (90%, 100%] of c_b."""
+        problem, _, allocation, _, _ = pipeline
+        for node_id in problem.consumer_nodes():
+            usage = node_usage(problem, allocation, node_id)
+            capacity = problem.nodes[node_id].capacity
+            assert 0.9 * capacity < usage <= capacity * (1 + 1e-9)
+
+    def test_admitted_consumers_receive_traffic(self, pipeline):
+        problem, _, allocation, infra, _ = pipeline
+        for class_id, admitted in allocation.populations.items():
+            consumers = infra.consumers[class_id]
+            if admitted > 0:
+                assert consumers[0].received > 0
+            if admitted < len(consumers):
+                assert consumers[-1].received == 0
+
+    def test_delivered_utility_matches_recorded(self, pipeline):
+        problem, runtime, allocation, _, _ = pipeline
+        assert runtime.utilities[-1] == pytest.approx(
+            total_utility(problem, allocation)
+        )

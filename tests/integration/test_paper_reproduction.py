@@ -1,0 +1,91 @@
+"""End-to-end reproduction checks against the paper's published numbers.
+
+These are the headline assertions of the whole repository: LRGP's utility
+column of Table 2 and Table 3 (which does not depend on anyone's compute
+budget) must match the paper within 1%, iteration counts must stay in the
+paper's regime, and every qualitative claim must hold.
+"""
+
+import pytest
+
+from repro.core.convergence import iterations_until_convergence
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.workloads.base import base_workload
+from repro.workloads.scaling import TABLE2_WORKLOADS
+
+#: Table 2's LRGP columns: workload -> (iterations, utility).
+PAPER_TABLE2 = {
+    "6 flows, 3 c-nodes": (21, 1_328_821),
+    "12 flows, 6 c-nodes": (21, 2_657_600),
+    "24 flows, 12 c-nodes": (24, 5_313_612),
+    "6 flows, 6 c-nodes": (22, 2_656_706),
+    "6 flows, 12 c-nodes": (22, 5_313_412),
+    "6 flows, 24 c-nodes": (22, 10_626_824),
+}
+
+#: Table 3's LRGP columns: shape -> (iterations, utility).
+PAPER_TABLE3 = {
+    "log": (21, 1_328_821),
+    "pow25": (23, 926_185),
+    "pow50": (28, 2_003_225),
+    "pow75": (39, 4_735_044),
+}
+
+
+def run(problem, iterations=250):
+    optimizer = LRGP(problem, LRGPConfig.adaptive())
+    optimizer.run(iterations)
+    return optimizer
+
+
+class TestTable2LRGPColumn:
+    @pytest.mark.parametrize("label", list(PAPER_TABLE2))
+    def test_utility_within_one_percent(self, label):
+        optimizer = run(TABLE2_WORKLOADS[label](), iterations=120)
+        _, paper_utility = PAPER_TABLE2[label]
+        assert optimizer.utilities[-1] == pytest.approx(paper_utility, rel=0.01)
+
+    @pytest.mark.parametrize("label", list(PAPER_TABLE2))
+    def test_iterations_same_regime(self, label):
+        optimizer = run(TABLE2_WORKLOADS[label](), iterations=120)
+        iterations = iterations_until_convergence(optimizer.utilities)
+        paper_iterations, _ = PAPER_TABLE2[label]
+        assert iterations is not None
+        # Paper: 21-24.  Allow up to 2x (criterion details differ).
+        assert iterations <= 2 * paper_iterations
+
+
+class TestTable3LRGPColumn:
+    @pytest.mark.parametrize("shape", list(PAPER_TABLE3))
+    def test_utility_within_one_percent(self, shape):
+        optimizer = run(base_workload(shape))
+        _, paper_utility = PAPER_TABLE3[shape]
+        assert optimizer.utilities[-1] == pytest.approx(paper_utility, rel=0.01)
+
+    def test_iterations_increase_with_exponent(self):
+        """Section 4.5's claim: steeper utility -> slower convergence."""
+        counts = {}
+        for shape in ("log", "pow25", "pow50", "pow75"):
+            optimizer = run(base_workload(shape))
+            counts[shape] = iterations_until_convergence(optimizer.utilities)
+        assert counts["pow25"] <= counts["pow50"] <= counts["pow75"]
+
+
+class TestQualitativeClaims:
+    def test_utility_scales_linearly_with_consumer_nodes(self):
+        base = run(TABLE2_WORKLOADS["6 flows, 3 c-nodes"](), 120).utilities[-1]
+        for label, factor in [
+            ("6 flows, 6 c-nodes", 2),
+            ("6 flows, 12 c-nodes", 4),
+            ("6 flows, 24 c-nodes", 8),
+        ]:
+            scaled = run(TABLE2_WORKLOADS[label](), 120).utilities[-1]
+            assert scaled == pytest.approx(factor * base, rel=0.005)
+
+    def test_iteration_time_independent_of_scale(self):
+        """Convergence iterations stay flat from 6 to 24 flows."""
+        small = run(TABLE2_WORKLOADS["6 flows, 3 c-nodes"](), 120)
+        large = run(TABLE2_WORKLOADS["24 flows, 12 c-nodes"](), 120)
+        small_iters = iterations_until_convergence(small.utilities)
+        large_iters = iterations_until_convergence(large.utilities)
+        assert abs(large_iters - small_iters) <= 5

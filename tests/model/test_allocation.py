@@ -1,0 +1,146 @@
+"""Unit tests for allocation evaluation: objective, usages, feasibility."""
+
+import math
+
+import pytest
+
+from repro.model.allocation import (
+    Allocation,
+    full_allocation,
+    is_feasible,
+    link_usage,
+    node_flow_usage,
+    node_usage,
+    total_utility,
+    violations,
+    zero_allocation,
+)
+from tests.conftest import make_tiny_problem
+
+
+@pytest.fixture()
+def problem():
+    return make_tiny_problem(capacity=2000.0)
+
+
+class TestObjective:
+    def test_zero_allocation_zero_utility(self, problem):
+        assert total_utility(problem, zero_allocation(problem)) == 0.0
+
+    def test_matches_hand_computation(self, problem):
+        allocation = Allocation(
+            rates={"fa": 4.0, "fb": 9.0},
+            populations={"ca": 2, "cb": 0, "cc": 3},
+        )
+        expected = 2 * 10.0 * math.log(5.0) + 3 * 5.0 * math.log(10.0)
+        assert total_utility(problem, allocation) == pytest.approx(expected)
+
+    def test_missing_entries_default_to_zero(self, problem):
+        allocation = Allocation(rates={"fa": 4.0}, populations={"ca": 1})
+        assert total_utility(problem, allocation) == pytest.approx(
+            10.0 * math.log(5.0)
+        )
+
+
+class TestUsages:
+    def test_node_usage_formula(self, problem):
+        allocation = Allocation(
+            rates={"fa": 10.0, "fb": 20.0},
+            populations={"ca": 1, "cb": 2, "cc": 3},
+        )
+        # F terms: 1*10 + 1*20; G terms: 10*(1+2)*10 + 10*3*20.
+        expected = 10.0 + 20.0 + 10.0 * 3 * 10.0 + 10.0 * 3 * 20.0
+        assert node_usage(problem, allocation, "S") == pytest.approx(expected)
+
+    def test_node_flow_usage_excludes_consumers(self, problem):
+        allocation = Allocation(
+            rates={"fa": 10.0, "fb": 20.0},
+            populations={"ca": 5, "cb": 5, "cc": 5},
+        )
+        assert node_flow_usage(problem, allocation, "S") == pytest.approx(30.0)
+
+    def test_link_usage_formula(self, problem):
+        allocation = Allocation(rates={"fa": 3.0, "fb": 4.0}, populations={})
+        assert link_usage(problem, allocation, "P->S") == pytest.approx(7.0)
+
+    def test_usage_zero_when_nothing_flows(self, problem):
+        allocation = Allocation()
+        assert node_usage(problem, allocation, "S") == 0.0
+        assert link_usage(problem, allocation, "P->S") == 0.0
+
+
+class TestFeasibility:
+    def test_zero_allocation_feasible(self, problem):
+        assert is_feasible(problem, zero_allocation(problem))
+
+    def test_full_allocation_infeasible(self, problem):
+        assert not is_feasible(problem, full_allocation(problem))
+
+    def test_rate_bound_violations_detected(self, problem):
+        low = Allocation(rates={"fa": 0.1, "fb": 5.0}, populations={})
+        found = violations(problem, low)
+        assert any(v.kind == "rate" and v.subject == "fa" for v in found)
+        high = Allocation(rates={"fa": 5.0, "fb": 100.0}, populations={})
+        found = violations(problem, high)
+        assert any(v.kind == "rate" and v.subject == "fb" for v in found)
+
+    def test_population_violations_detected(self, problem):
+        over = Allocation(
+            rates={"fa": 5.0, "fb": 5.0}, populations={"ca": 6, "cb": 0, "cc": 0}
+        )
+        found = violations(problem, over)
+        assert any(v.kind == "population" and v.subject == "ca" for v in found)
+        negative = Allocation(
+            rates={"fa": 5.0, "fb": 5.0}, populations={"ca": -1, "cb": 0, "cc": 0}
+        )
+        assert any(v.kind == "population" for v in violations(problem, negative))
+
+    def test_node_violation_detected_and_quantified(self, problem):
+        # 5 consumers of each class at max rate blows the 2000 budget.
+        allocation = Allocation(
+            rates={"fa": 20.0, "fb": 20.0},
+            populations={"ca": 5, "cb": 5, "cc": 5},
+        )
+        found = violations(problem, allocation)
+        node_violations = [v for v in found if v.kind == "node"]
+        assert len(node_violations) == 1
+        expected_usage = node_usage(problem, allocation, "S")
+        assert node_violations[0].amount == pytest.approx(expected_usage - 2000.0)
+
+    def test_violation_str_is_informative(self, problem):
+        allocation = full_allocation(problem)
+        message = str(violations(problem, allocation)[0])
+        assert "constraint violated" in message
+
+    def test_tolerance_absorbs_float_noise(self, problem):
+        # Exactly at capacity, plus float noise below rtol, is feasible.
+        allocation = Allocation(
+            rates={"fa": 20.0, "fb": 1.0},
+            populations={"ca": 4, "cb": 0, "cc": 0},
+        )
+        usage = node_usage(problem, allocation, "S")
+        assert usage <= 2000.0
+        assert is_feasible(problem, allocation)
+
+    def test_lrgp_output_feasible(self, base_problem, converged_lrgp):
+        assert is_feasible(base_problem, converged_lrgp.allocation())
+
+
+class TestAllocationHelpers:
+    def test_copy_is_deep_enough(self, problem):
+        original = zero_allocation(problem)
+        clone = original.copy()
+        clone.rates["fa"] = 99.0
+        clone.populations["ca"] = 99
+        assert original.rates["fa"] == 1.0
+        assert original.populations["ca"] == 0
+
+    def test_zero_allocation_uses_rate_min(self, problem):
+        allocation = zero_allocation(problem)
+        assert allocation.rates == {"fa": 1.0, "fb": 1.0}
+        assert set(allocation.populations.values()) == {0}
+
+    def test_full_allocation_uses_maxima(self, problem):
+        allocation = full_allocation(problem)
+        assert allocation.rates == {"fa": 20.0, "fb": 20.0}
+        assert allocation.populations == {"ca": 5, "cb": 5, "cc": 5}

@@ -1,0 +1,84 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.model.costs import (
+    GRYPHON_CONSUMER_COST,
+    GRYPHON_FLOW_NODE_COST,
+    GRYPHON_NODE_CAPACITY,
+    CostModel,
+    CostModelBuilder,
+)
+
+
+class TestCostModel:
+    def test_missing_entries_are_zero(self):
+        costs = CostModel()
+        assert costs.link("l", "f") == 0.0
+        assert costs.flow_node("n", "f") == 0.0
+        assert costs.consumer("n", "c") == 0.0
+
+    def test_lookup(self):
+        costs = CostModel(
+            link_cost={("l", "f"): 1.5},
+            flow_node_cost={("n", "f"): 3.0},
+            consumer_cost={("n", "c"): 19.0},
+        )
+        assert costs.link("l", "f") == 1.5
+        assert costs.flow_node("n", "f") == 3.0
+        assert costs.consumer("n", "c") == 19.0
+
+    def test_rejects_negative_coefficient(self):
+        with pytest.raises(ValueError):
+            CostModel(link_cost={("l", "f"): -1.0})
+        with pytest.raises(ValueError):
+            CostModel(flow_node_cost={("n", "f"): float("nan")})
+        with pytest.raises(ValueError):
+            CostModel(consumer_cost={("n", "c"): float("inf")})
+
+    def test_pruned_drops_requested_entries(self):
+        costs = CostModel(
+            link_cost={("l1", "f"): 1.0, ("l2", "f"): 1.0},
+            flow_node_cost={("n1", "f"): 3.0, ("n2", "f"): 3.0},
+            consumer_cost={("n1", "c"): 19.0},
+        )
+        pruned = costs.pruned(
+            dropped_flow_nodes={("n2", "f")}, dropped_flow_links={("l2", "f")}
+        )
+        assert pruned.flow_node("n2", "f") == 0.0
+        assert pruned.flow_node("n1", "f") == 3.0
+        assert pruned.link("l2", "f") == 0.0
+        assert pruned.link("l1", "f") == 1.0
+        assert pruned.consumer("n1", "c") == 19.0  # consumer costs untouched
+
+    def test_gryphon_constants_match_paper(self):
+        assert GRYPHON_FLOW_NODE_COST == 3.0
+        assert GRYPHON_CONSUMER_COST == 19.0
+        assert GRYPHON_NODE_CAPACITY == 9.0e5
+
+
+class TestCostModelBuilder:
+    def test_builds_and_freezes(self):
+        costs = (
+            CostModelBuilder()
+            .set_link("l", "f", 2.0)
+            .set_flow_node("n", "f", 3.0)
+            .set_consumer("n", "c", 19.0)
+            .build()
+        )
+        assert costs.link("l", "f") == 2.0
+        assert costs.flow_node("n", "f") == 3.0
+        assert costs.consumer("n", "c") == 19.0
+
+    def test_rejects_bad_values_eagerly(self):
+        with pytest.raises(ValueError):
+            CostModelBuilder().set_link("l", "f", -1.0)
+
+    def test_later_set_overrides(self):
+        costs = (
+            CostModelBuilder()
+            .set_consumer("n", "c", 1.0)
+            .set_consumer("n", "c", 2.0)
+            .build()
+        )
+        assert costs.consumer("n", "c") == 2.0

@@ -1,0 +1,93 @@
+"""Unit tests for the entity value objects."""
+
+import math
+
+import pytest
+
+from repro.model.entities import ConsumerClass, Flow, Link, Node, Route
+from repro.utility.functions import LogUtility
+
+
+class TestNode:
+    def test_defaults_to_infinite_capacity(self):
+        assert Node("a").capacity == math.inf
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(ValueError):
+            Node("")
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Node("a", capacity=0.0)
+        with pytest.raises(ValueError):
+            Node("a", capacity=-5.0)
+
+    def test_rejects_nan_capacity(self):
+        with pytest.raises(ValueError):
+            Node("a", capacity=float("nan"))
+
+
+class TestLink:
+    def test_valid_link(self):
+        link = Link("l", tail="a", head="b", capacity=10.0)
+        assert (link.tail, link.head) == ("a", "b")
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Link("l", tail="a", head="a")
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(ValueError):
+            Link("", tail="a", head="b")
+
+
+class TestFlow:
+    def test_clamp(self):
+        flow = Flow("f", source="s", rate_min=10.0, rate_max=100.0)
+        assert flow.clamp(5.0) == 10.0
+        assert flow.clamp(50.0) == 50.0
+        assert flow.clamp(500.0) == 100.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Flow("f", source="s", rate_min=10.0, rate_max=5.0)
+
+    def test_rejects_negative_min(self):
+        with pytest.raises(ValueError):
+            Flow("f", source="s", rate_min=-1.0)
+
+    def test_zero_width_bounds_allowed(self):
+        flow = Flow("f", source="s", rate_min=7.0, rate_max=7.0)
+        assert flow.clamp(100.0) == 7.0
+
+
+class TestConsumerClass:
+    def test_valid(self):
+        cls = ConsumerClass("c", "f", "n", max_consumers=10, utility=LogUtility())
+        assert cls.max_consumers == 10
+
+    def test_rejects_negative_population(self):
+        with pytest.raises(ValueError):
+            ConsumerClass("c", "f", "n", max_consumers=-1, utility=LogUtility())
+
+    def test_zero_population_allowed(self):
+        cls = ConsumerClass("c", "f", "n", max_consumers=0, utility=LogUtility())
+        assert cls.max_consumers == 0
+
+
+class TestRoute:
+    def test_requires_at_least_one_node(self):
+        with pytest.raises(ValueError):
+            Route(nodes=())
+
+    def test_rejects_duplicate_nodes(self):
+        with pytest.raises(ValueError):
+            Route(nodes=("a", "b", "a"))
+
+    def test_rejects_duplicate_links(self):
+        with pytest.raises(ValueError):
+            Route(nodes=("a", "b"), links=("l", "l"))
+
+    def test_single_node_route(self):
+        route = Route(nodes=("a",))
+        assert route.links == ()

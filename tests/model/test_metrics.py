@@ -1,0 +1,112 @@
+"""Tests for allocation quality metrics."""
+
+import pytest
+
+from repro.model.allocation import Allocation
+from repro.model.metrics import (
+    admission_fairness,
+    class_service,
+    jain_index,
+    summarize,
+    utility_concentration,
+)
+from repro.workloads.micro import micro_workload
+
+
+@pytest.fixture()
+def problem():
+    return micro_workload()
+
+
+class TestJainIndex:
+    def test_equal_values_are_perfectly_fair(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_winner_is_one_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_fair_by_convention(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([1.0, -1.0])
+
+    def test_bounds(self):
+        values = [5.0, 1.0, 0.2, 3.3]
+        index = jain_index(values)
+        assert 1.0 / len(values) <= index <= 1.0
+
+
+class TestClassService:
+    def test_report_contents(self, problem):
+        allocation = Allocation(
+            rates={"fa": 4.0, "fb": 2.0}, populations={"ca": 2, "cb": 0, "cc": 5}
+        )
+        report = {s.class_id: s for s in class_service(problem, allocation)}
+        assert report["ca"].admitted == 2
+        assert report["ca"].admitted_fraction == pytest.approx(0.4)
+        assert report["ca"].rate == 4.0
+        assert report["ca"].utility == pytest.approx(
+            2 * problem.classes["ca"].utility.value(4.0)
+        )
+        assert report["cb"].utility == 0.0
+
+    def test_zero_demand_class_counts_as_served(self, problem):
+        # connected == 0 -> fraction 1 by convention (nothing denied).
+        from repro.model.entities import ConsumerClass
+        from repro.model.problem import build_problem
+        from repro.utility.functions import LogUtility
+
+        classes = list(problem.classes.values()) + [
+            ConsumerClass("cz", "fa", "S", max_consumers=0, utility=LogUtility())
+        ]
+        extended = build_problem(
+            nodes=problem.nodes.values(),
+            links=problem.links.values(),
+            flows=problem.flows.values(),
+            classes=classes,
+            routes=problem.routes,
+            costs=problem.costs,
+        )
+        allocation = Allocation(rates={"fa": 2.0, "fb": 2.0}, populations={})
+        report = {s.class_id: s for s in class_service(extended, allocation)}
+        assert report["cz"].admitted_fraction == 1.0
+
+
+class TestAggregateMetrics:
+    def test_fair_allocation_scores_one(self, problem):
+        allocation = Allocation(
+            rates={"fa": 2.0, "fb": 2.0},
+            populations={"ca": 1, "cb": 1, "cc": 1},  # 20% of each class
+        )
+        assert admission_fairness(problem, allocation) == pytest.approx(1.0)
+
+    def test_unfair_allocation_scores_low(self, problem):
+        allocation = Allocation(
+            rates={"fa": 2.0, "fb": 2.0},
+            populations={"ca": 5, "cb": 0, "cc": 0},
+        )
+        assert admission_fairness(problem, allocation) < 0.5
+
+    def test_concentration_range(self, problem):
+        allocation = Allocation(
+            rates={"fa": 2.0, "fb": 2.0},
+            populations={"ca": 5, "cb": 1, "cc": 1},
+        )
+        concentration = utility_concentration(problem, allocation)
+        assert 0.0 < concentration <= 1.0
+
+    def test_summary_is_consistent(self, problem):
+        allocation = Allocation(
+            rates={"fa": 2.0, "fb": 2.0},
+            populations={"ca": 2, "cb": 1, "cc": 3},
+        )
+        summary = summarize(problem, allocation)
+        assert summary.admitted == 6
+        assert summary.connected == 15
+        assert summary.admitted_fraction == pytest.approx(0.4)
+        assert summary.utility > 0.0
+        assert 0.0 < summary.fairness <= 1.0

@@ -1,0 +1,143 @@
+"""Unit tests for problem construction, validation and the index maps."""
+
+import math
+
+import pytest
+
+from repro.model.costs import CostModel, CostModelBuilder
+from repro.model.entities import ConsumerClass, Flow, Link, Node, Route
+from repro.model.problem import ProblemValidationError, build_problem
+from repro.utility.functions import LogUtility
+
+
+def minimal_parts():
+    nodes = [Node("P"), Node("S", capacity=100.0)]
+    links = [Link("P->S", tail="P", head="S")]
+    flows = [Flow("f", source="P", rate_min=1.0, rate_max=10.0)]
+    classes = [ConsumerClass("c", "f", "S", max_consumers=3, utility=LogUtility())]
+    routes = {"f": Route(nodes=("P", "S"), links=("P->S",))}
+    costs = (
+        CostModelBuilder()
+        .set_flow_node("S", "f", 1.0)
+        .set_consumer("S", "c", 2.0)
+        .set_link("P->S", "f", 1.0)
+        .build()
+    )
+    return nodes, links, flows, classes, routes, costs
+
+
+class TestValidation:
+    def test_minimal_problem_builds(self):
+        problem = build_problem(*minimal_parts())
+        assert problem.describe() == "1 flows, 1 c-nodes, 1 classes, 1 links"
+
+    def test_link_with_unknown_node(self):
+        nodes, links, flows, classes, routes, costs = minimal_parts()
+        links = [Link("P->X", tail="P", head="X")]
+        with pytest.raises(ProblemValidationError, match="unknown node"):
+            build_problem(nodes, links, flows, classes, routes, costs)
+
+    def test_flow_with_unknown_source(self):
+        nodes, links, flows, classes, routes, costs = minimal_parts()
+        flows = [Flow("f", source="X")]
+        with pytest.raises(ProblemValidationError, match="unknown source"):
+            build_problem(nodes, links, flows, classes, routes, costs)
+
+    def test_flow_without_route(self):
+        nodes, links, flows, classes, routes, costs = minimal_parts()
+        with pytest.raises(ProblemValidationError, match="no route"):
+            build_problem(nodes, links, flows, classes, {}, CostModel())
+
+    def test_route_for_unknown_flow(self):
+        nodes, links, flows, classes, routes, costs = minimal_parts()
+        routes = dict(routes)
+        routes["ghost"] = Route(nodes=("P",))
+        with pytest.raises(ProblemValidationError, match="unknown flow"):
+            build_problem(nodes, links, flows, classes, routes, costs)
+
+    def test_route_must_start_at_source(self):
+        nodes, links, flows, classes, routes, costs = minimal_parts()
+        routes = {"f": Route(nodes=("S", "P"), links=("P->S",))}
+        with pytest.raises(ProblemValidationError, match="must start at its source"):
+            build_problem(nodes, links, flows, classes, routes, costs)
+
+    def test_class_consuming_unknown_flow(self):
+        nodes, links, flows, classes, routes, costs = minimal_parts()
+        classes = [ConsumerClass("c", "ghost", "S", 3, LogUtility())]
+        with pytest.raises(ProblemValidationError, match="unknown flow"):
+            build_problem(nodes, links, flows, classes, routes, CostModel())
+
+    def test_class_at_unreached_node(self):
+        nodes, links, flows, classes, routes, costs = minimal_parts()
+        nodes.append(Node("T", capacity=5.0))
+        classes = [ConsumerClass("c", "f", "T", 3, LogUtility())]
+        with pytest.raises(ProblemValidationError, match="does not reach"):
+            build_problem(nodes, links, flows, classes, routes, CostModel())
+
+    def test_cost_referencing_unknown_pair(self):
+        nodes, links, flows, classes, routes, _ = minimal_parts()
+        costs = CostModel(consumer_cost={("S", "ghost"): 1.0})
+        with pytest.raises(ProblemValidationError, match="consumer cost"):
+            build_problem(nodes, links, flows, classes, routes, costs)
+
+
+class TestIndexMaps:
+    def test_base_workload_maps(self, base_problem):
+        # flowMap / C_i
+        assert base_problem.flow_of_class("c00") == "f0"
+        assert set(base_problem.classes_of_flow("f0")) == {
+            "c00", "c01", "c02", "c03", "c04", "c05",
+        }
+        # nodeClasses(b): S1 hosts classes of flows f1, f2, f4, f5.
+        s1_classes = base_problem.classes_at_node("S1")
+        assert {base_problem.flow_of_class(c) for c in s1_classes} == {
+            "f1", "f2", "f4", "f5",
+        }
+        # attachMap_i(b)
+        assert base_problem.classes_of_flow_at_node("f0", "S0") == (
+            "c00", "c02", "c04",
+        )
+        assert base_problem.classes_of_flow_at_node("f0", "S1") == ()
+        # nodeMap(b)
+        assert set(base_problem.flows_at_node("S0")) == {"f0", "f1", "f3", "f4"}
+        # linkMap(l): every flow reaching S2 crosses P->S2.
+        assert set(base_problem.flows_on_link("P->S2")) == {"f0", "f2", "f3", "f5"}
+
+    def test_consumer_nodes_sorted(self, base_problem):
+        assert base_problem.consumer_nodes() == ("S0", "S1", "S2")
+
+    def test_route_accessor(self, base_problem):
+        route = base_problem.route("f1")
+        assert route.nodes[0] == "P"
+        assert set(route.nodes[1:]) == {"S0", "S1"}
+
+    def test_bottleneck_links_empty_for_base(self, base_problem):
+        assert base_problem.bottleneck_links() == ()
+
+
+class TestProblemSurgery:
+    def test_without_flow(self, base_problem):
+        reduced = base_problem.without_flow("f5")
+        assert "f5" not in reduced.flows
+        assert "c18" not in reduced.classes
+        assert "c19" not in reduced.classes
+        assert "f5" not in reduced.routes
+        # Cost entries for the removed flow are pruned too.
+        assert all(key[1] != "f5" for key in reduced.costs.flow_node_cost)
+        assert all(
+            key[1] not in ("c18", "c19") for key in reduced.costs.consumer_cost
+        )
+        # Other flows untouched.
+        assert set(reduced.flows) == {"f0", "f1", "f2", "f3", "f4"}
+
+    def test_without_unknown_flow_raises(self, base_problem):
+        with pytest.raises(KeyError):
+            base_problem.without_flow("ghost")
+
+    def test_with_costs_swaps_cost_model(self, base_problem):
+        pruned = base_problem.costs.pruned(
+            dropped_flow_nodes={("S0", "f0")}, dropped_flow_links=set()
+        )
+        swapped = base_problem.with_costs(pruned)
+        assert swapped.costs.flow_node("S0", "f0") == 0.0
+        assert swapped.costs.flow_node("S2", "f0") == 3.0

@@ -1,0 +1,115 @@
+"""Round-trip tests for problem/allocation serialization."""
+
+import math
+
+import pytest
+
+from repro.core.lrgp import LRGP
+from repro.model.serialization import (
+    SerializationError,
+    allocation_from_json,
+    allocation_to_json,
+    problem_from_dict,
+    problem_from_json,
+    problem_to_dict,
+    problem_to_json,
+    utility_from_dict,
+    utility_to_dict,
+)
+from repro.utility.functions import (
+    ExponentialSaturationUtility,
+    LogUtility,
+    PowerUtility,
+    ScaledUtility,
+)
+from repro.workloads.base import base_workload
+from repro.workloads.scenarios import trade_data_scenario
+from tests.conftest import make_tiny_problem
+
+
+def assert_problems_equal(a, b):
+    assert set(a.nodes) == set(b.nodes)
+    for node_id in a.nodes:
+        assert a.nodes[node_id] == b.nodes[node_id]
+    assert a.links == b.links
+    assert a.flows == b.flows
+    assert a.classes == b.classes
+    assert a.routes == b.routes
+    assert dict(a.costs.link_cost) == dict(b.costs.link_cost)
+    assert dict(a.costs.flow_node_cost) == dict(b.costs.flow_node_cost)
+    assert dict(a.costs.consumer_cost) == dict(b.costs.consumer_cost)
+
+
+class TestUtilityRoundTrip:
+    @pytest.mark.parametrize(
+        "utility",
+        [
+            LogUtility(scale=3.0, offset=2.0),
+            PowerUtility(scale=7.0, exponent=0.25),
+            ExponentialSaturationUtility(scale=10.0, knee=50.0),
+            ScaledUtility(base=PowerUtility(scale=1.0, exponent=0.5), factor=4.0),
+        ],
+    )
+    def test_round_trip(self, utility):
+        assert utility_from_dict(utility_to_dict(utility)) == utility
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SerializationError):
+            utility_from_dict({"type": "cubic"})
+        with pytest.raises(SerializationError):
+            utility_from_dict({"no": "type"})
+
+
+class TestProblemRoundTrip:
+    @pytest.mark.parametrize(
+        "build",
+        [make_tiny_problem, base_workload, lambda: trade_data_scenario().problem],
+        ids=["tiny", "base", "trade-data"],
+    )
+    def test_round_trip(self, build):
+        problem = build()
+        assert_problems_equal(problem, problem_from_json(problem_to_json(problem)))
+
+    def test_infinity_capacity_survives(self):
+        problem = base_workload()
+        restored = problem_from_dict(problem_to_dict(problem))
+        assert restored.nodes["P"].capacity == math.inf
+        assert restored.flows["f0"].rate_max == 1000.0
+
+    def test_restored_problem_optimizes_identically(self):
+        problem = base_workload()
+        restored = problem_from_json(problem_to_json(problem))
+        a = LRGP(problem)
+        b = LRGP(restored)
+        a.run(40)
+        b.run(40)
+        assert a.utilities == pytest.approx(b.utilities)
+
+    def test_version_checked(self):
+        data = problem_to_dict(make_tiny_problem())
+        data["version"] = 99
+        with pytest.raises(SerializationError):
+            problem_from_dict(data)
+        with pytest.raises(SerializationError):
+            problem_from_dict({})
+
+    def test_malformed_record_rejected(self):
+        data = problem_to_dict(make_tiny_problem())
+        del data["flows"][0]["source"]
+        with pytest.raises(SerializationError):
+            problem_from_dict(data)
+
+
+class TestAllocationRoundTrip:
+    def test_round_trip(self):
+        problem = base_workload()
+        optimizer = LRGP(problem)
+        optimizer.run(30)
+        allocation = optimizer.allocation()
+        restored = allocation_from_json(allocation_to_json(allocation))
+        assert restored.rates == pytest.approx(allocation.rates)
+        assert restored.populations == allocation.populations
+
+    def test_bad_version(self):
+        with pytest.raises(SerializationError):
+            allocation_from_json('{"version": 9, "rates": {}, "populations": {}}')

@@ -1,0 +1,41 @@
+"""Property tests: serialization round-trips on generated workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lrgp import LRGP
+from repro.model.serialization import problem_from_json, problem_to_json
+from repro.workloads.generator import GeneratorConfig, generate_workload
+
+SHAPES = ("log", "pow25", "pow50", "pow75")
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_generated_workloads_round_trip(seed):
+    config = GeneratorConfig(
+        flows=1 + seed % 5,
+        consumer_nodes=1 + seed % 4,
+        consumer_cost_low=5.0,
+        consumer_cost_high=25.0,
+        shape=SHAPES[seed % len(SHAPES)],
+    )
+    problem = generate_workload(config, seed=seed)
+    restored = problem_from_json(problem_to_json(problem))
+    assert restored.flows == problem.flows
+    assert restored.classes == problem.classes
+    assert restored.routes == problem.routes
+    assert dict(restored.costs.consumer_cost) == dict(problem.costs.consumer_cost)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_restored_workloads_optimize_identically(seed):
+    problem = generate_workload(GeneratorConfig(flows=3), seed=seed)
+    restored = problem_from_json(problem_to_json(problem))
+    a = LRGP(problem)
+    b = LRGP(restored)
+    a.run(25)
+    b.run(25)
+    assert a.utilities == pytest.approx(b.utilities)

@@ -1,0 +1,78 @@
+"""Unit tests for the overlay/routing substrate."""
+
+import math
+
+import pytest
+
+from repro.model.entities import Link, Node
+from repro.model.topology import Overlay, RoutingError, line_overlay, star_overlay
+
+
+class TestOverlay:
+    def test_shortest_path(self):
+        overlay = line_overlay(["a", "b", "c"], node_capacity=10.0)
+        assert overlay.shortest_path("a", "c") == ["a", "b", "c"]
+
+    def test_no_path_raises(self):
+        overlay = line_overlay(["a", "b", "c"], node_capacity=10.0)
+        with pytest.raises(RoutingError):
+            overlay.shortest_path("c", "a")  # links are unidirectional
+
+    def test_unknown_node_raises(self):
+        overlay = line_overlay(["a", "b"], node_capacity=10.0)
+        with pytest.raises(RoutingError):
+            overlay.shortest_path("a", "zzz")
+
+    def test_link_between(self):
+        overlay = line_overlay(["a", "b"], node_capacity=10.0)
+        assert overlay.link_between("a", "b") == "a->b"
+        with pytest.raises(RoutingError):
+            overlay.link_between("b", "a")
+
+    def test_rejects_parallel_links(self):
+        nodes = [Node("a"), Node("b")]
+        links = [
+            Link("l1", tail="a", head="b"),
+            Link("l2", tail="a", head="b"),
+        ]
+        with pytest.raises(RoutingError):
+            Overlay(nodes, links)
+
+    def test_rejects_dangling_link(self):
+        with pytest.raises(RoutingError):
+            Overlay([Node("a")], [Link("l", tail="a", head="ghost")])
+
+
+class TestDisseminationRoute:
+    def test_star_route(self):
+        overlay = star_overlay("hub", ["x", "y", "z"], node_capacity=5.0)
+        route = overlay.dissemination_route("hub", ["x", "z"])
+        assert route.nodes == ("hub", "x", "z")
+        assert set(route.links) == {"hub->x", "hub->z"}
+
+    def test_shared_prefix_links_deduplicated(self):
+        overlay = line_overlay(["a", "b", "c", "d"], node_capacity=5.0)
+        route = overlay.dissemination_route("a", ["c", "d"])
+        # a->b and b->c are shared by both target paths but appear once.
+        assert route.links == ("a->b", "b->c", "c->d")
+        assert route.nodes == ("a", "b", "c", "d")
+
+    def test_source_only_route(self):
+        overlay = star_overlay("hub", ["x"], node_capacity=5.0)
+        route = overlay.dissemination_route("hub", [])
+        assert route.nodes == ("hub",)
+        assert route.links == ()
+
+
+class TestFactories:
+    def test_star_overlay_shape(self):
+        overlay = star_overlay(
+            "hub", ["a", "b"], node_capacity=7.0, link_capacity=3.0,
+        )
+        assert overlay.nodes["hub"].capacity == math.inf
+        assert overlay.nodes["a"].capacity == 7.0
+        assert overlay.links["hub->a"].capacity == 3.0
+
+    def test_line_overlay_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            line_overlay(["only"], node_capacity=1.0)

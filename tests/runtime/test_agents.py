@@ -1,0 +1,172 @@
+"""Unit tests for the protocol agents and messages."""
+
+import pytest
+
+from repro.core.gamma import FixedGamma
+from repro.runtime.agents import (
+    LinkAgent,
+    NodeAgent,
+    SourceAgent,
+    link_address,
+    node_address,
+    source_address,
+)
+from repro.runtime.messages import (
+    LinkPriceUpdate,
+    NodePriceUpdate,
+    PopulationUpdate,
+    RateUpdate,
+)
+from tests.conftest import make_tiny_problem
+
+
+@pytest.fixture()
+def problem():
+    return make_tiny_problem()
+
+
+class TestAddresses:
+    def test_address_scheme(self):
+        assert source_address("f0") == "src:f0"
+        assert node_address("S1") == "node:S1"
+        assert link_address("P->S1") == "link:P->S1"
+
+
+class TestSourceAgent:
+    def test_initial_rate_is_min(self, problem):
+        agent = SourceAgent(problem, "fa")
+        assert agent.rate == problem.flows["fa"].rate_min
+
+    def test_act_with_no_feedback_maxes_rate(self, problem):
+        agent = SourceAgent(problem, "fa")
+        messages = agent.act(stamp=0.0)
+        assert agent.rate == problem.flows["fa"].rate_max
+        # One RateUpdate to the consumer node; the infinite link is skipped.
+        assert len(messages) == 1
+        assert isinstance(messages[0], RateUpdate)
+        assert messages[0].recipient == node_address("S")
+
+    def test_price_feedback_lowers_rate(self, problem):
+        agent = SourceAgent(problem, "fa")
+        agent.receive(
+            PopulationUpdate(
+                sender="node:S", recipient="src:fa", stamp=0.0,
+                node_id="S", flow_id="fa", populations={"ca": 2, "cb": 0},
+            )
+        )
+        agent.receive(
+            NodePriceUpdate(
+                sender="node:S", recipient="src:fa", stamp=0.0,
+                node_id="S", price=5.0,
+            )
+        )
+        agent.act(stamp=1.0)
+        assert agent.rate < problem.flows["fa"].rate_max
+
+    def test_averaging_window_smooths_prices(self, problem):
+        smooth = SourceAgent(problem, "fa", averaging_window=2)
+        sharp = SourceAgent(problem, "fa", averaging_window=1)
+        for agent in (smooth, sharp):
+            agent.receive(
+                PopulationUpdate(
+                    sender="node:S", recipient="src:fa", stamp=0.0,
+                    node_id="S", flow_id="fa", populations={"ca": 2},
+                )
+            )
+            for price in (0.0, 0.2):
+                agent.receive(
+                    NodePriceUpdate(
+                        sender="node:S", recipient="src:fa", stamp=0.0,
+                        node_id="S", price=price,
+                    )
+                )
+            agent.act(stamp=1.0)
+        # The averaged agent sees price 5, the sharp one sees 10.
+        assert smooth.rate > sharp.rate
+
+    def test_rejects_unknown_message(self, problem):
+        agent = SourceAgent(problem, "fa")
+        with pytest.raises(TypeError):
+            agent.receive(
+                RateUpdate(sender="x", recipient="src:fa", stamp=0.0,
+                           flow_id="fa", rate=1.0)
+            )
+
+
+class TestNodeAgent:
+    def test_allocates_and_reports(self, problem):
+        agent = NodeAgent(problem, "S", gamma=FixedGamma(0.1))
+        agent.receive(
+            RateUpdate(sender="src:fa", recipient="node:S", stamp=0.0,
+                       flow_id="fa", rate=5.0)
+        )
+        messages = agent.act(stamp=0.0)
+        assert sum(agent.populations.values()) > 0
+        kinds = {type(message) for message in messages}
+        assert kinds == {NodePriceUpdate, PopulationUpdate}
+        # One price + one population update per flow (fa, fb).
+        assert len(messages) == 4
+
+    def test_price_moves_toward_bc(self, problem):
+        agent = NodeAgent(problem, "S", gamma=FixedGamma(0.5))
+        agent.receive(
+            RateUpdate(sender="src:fa", recipient="node:S", stamp=0.0,
+                       flow_id="fa", rate=20.0)
+        )
+        before = agent.price
+        agent.act(stamp=0.0)
+        assert agent.price != before or agent.price == 0.0
+
+    def test_ignores_rates_for_absent_flows(self, problem):
+        agent = NodeAgent(problem, "S", gamma=FixedGamma(0.1))
+        agent.receive(
+            RateUpdate(sender="src:x", recipient="node:S", stamp=0.0,
+                       flow_id="ghost", rate=99.0)
+        )  # silently ignored
+        agent.act(stamp=0.0)
+
+    def test_rejects_unknown_message(self, problem):
+        agent = NodeAgent(problem, "S", gamma=FixedGamma(0.1))
+        with pytest.raises(TypeError):
+            agent.receive(
+                NodePriceUpdate(sender="x", recipient="node:S", stamp=0.0,
+                                node_id="S", price=1.0)
+            )
+
+
+class TestLinkAgent:
+    def test_tracks_usage_and_prices(self):
+        problem = make_tiny_problem()
+        # Rebuild with a finite link capacity so the agent prices it.
+        from repro.model.entities import Link
+        from repro.model.problem import build_problem
+
+        links = [Link("P->S", tail="P", head="S", capacity=10.0)]
+        problem = build_problem(
+            nodes=problem.nodes.values(),
+            links=links,
+            flows=problem.flows.values(),
+            classes=problem.classes.values(),
+            routes=problem.routes,
+            costs=problem.costs,
+        )
+        agent = LinkAgent(problem, "P->S", gamma=0.1)
+        agent.receive(
+            RateUpdate(sender="src:fa", recipient="link:P->S", stamp=0.0,
+                       flow_id="fa", rate=20.0)
+        )
+        messages = agent.act(stamp=0.0)
+        # Usage 20 (+1 fb at rate_min) > capacity 10 -> price rises.
+        assert agent.price > 0.0
+        assert all(isinstance(m, LinkPriceUpdate) for m in messages)
+        assert len(messages) == 2  # one per flow on the link
+
+
+class TestMessages:
+    def test_population_update_payload_frozen(self):
+        update = PopulationUpdate(
+            sender="a", recipient="b", stamp=0.0,
+            node_id="S", flow_id="f", populations={"c": 3},
+        )
+        with pytest.raises(TypeError):
+            update.populations["c"] = 5

@@ -1,0 +1,98 @@
+"""Tests for the asynchronous (discrete-event) deployment."""
+
+import pytest
+
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.model.allocation import is_feasible
+from repro.runtime.asynchronous import AsyncConfig, AsynchronousRuntime
+from tests.conftest import make_tiny_problem
+
+
+class TestDeterminism:
+    def test_same_seed_same_samples(self, base_problem):
+        a = AsynchronousRuntime(base_problem, AsyncConfig(seed=3))
+        b = AsynchronousRuntime(base_problem, AsyncConfig(seed=3))
+        a.run_until(30.0)
+        b.run_until(30.0)
+        assert a.samples == b.samples
+        assert a.messages_sent == b.messages_sent
+
+    def test_different_seed_different_trajectory(self, base_problem):
+        a = AsynchronousRuntime(base_problem, AsyncConfig(seed=3))
+        b = AsynchronousRuntime(base_problem, AsyncConfig(seed=4))
+        a.run_until(30.0)
+        b.run_until(30.0)
+        assert a.samples != b.samples
+
+
+class TestConvergence:
+    def test_reaches_synchronous_utility(self, base_problem):
+        reference = LRGP(base_problem, LRGPConfig.adaptive())
+        reference.run(200)
+        runtime = AsynchronousRuntime(base_problem, AsyncConfig(seed=42))
+        runtime.run_until(200.0)
+        assert runtime.converged_utility() == pytest.approx(
+            reference.utilities[-1], rel=0.02
+        )
+
+    def test_robust_to_message_loss(self, base_problem):
+        runtime = AsynchronousRuntime(
+            base_problem,
+            AsyncConfig(seed=7, loss_probability=0.2, averaging_window=3),
+        )
+        runtime.run_until(250.0)
+        assert runtime.messages_lost > 0
+        reference = LRGP(base_problem, LRGPConfig.adaptive())
+        reference.run(250)
+        assert runtime.converged_utility() == pytest.approx(
+            reference.utilities[-1], rel=0.05
+        )
+
+    def test_allocation_feasible_at_end(self, tiny_problem):
+        runtime = AsynchronousRuntime(tiny_problem, AsyncConfig(seed=1))
+        runtime.run_until(300.0)
+        assert is_feasible(tiny_problem, runtime.allocation())
+
+
+class TestMechanics:
+    def test_samples_spaced_by_interval(self, tiny_problem):
+        runtime = AsynchronousRuntime(
+            tiny_problem, AsyncConfig(seed=0, sample_interval=2.0)
+        )
+        runtime.run_until(21.0)
+        times = [t for t, _ in runtime.samples]
+        assert times == pytest.approx([2.0 * k for k in range(1, 11)])
+
+    def test_run_until_past_time_rejected(self, tiny_problem):
+        runtime = AsynchronousRuntime(tiny_problem)
+        runtime.run_until(10.0)
+        with pytest.raises(ValueError):
+            runtime.run_until(5.0)
+
+    def test_converged_utility_requires_samples(self, tiny_problem):
+        runtime = AsynchronousRuntime(tiny_problem)
+        with pytest.raises(RuntimeError):
+            runtime.converged_utility()
+
+    def test_clock_monotone(self, tiny_problem):
+        runtime = AsynchronousRuntime(tiny_problem)
+        runtime.run_until(5.0)
+        assert runtime.now == 5.0
+        runtime.run_until(9.0)
+        assert runtime.now == 9.0
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            AsyncConfig(activation_period=0.0)
+        with pytest.raises(ValueError):
+            AsyncConfig(period_jitter=1.0)
+        with pytest.raises(ValueError):
+            AsyncConfig(latency_mean=-0.1)
+        with pytest.raises(ValueError):
+            AsyncConfig(loss_probability=1.0)
+        with pytest.raises(ValueError):
+            AsyncConfig(averaging_window=0)
+        with pytest.raises(ValueError):
+            AsyncConfig(sample_interval=0.0)

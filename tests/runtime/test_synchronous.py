@@ -1,0 +1,75 @@
+"""Tests for the synchronous message-passing deployment.
+
+The headline property: the distributed agents, run in barrier rounds,
+produce exactly the reference driver's trajectory.
+"""
+
+import pytest
+
+from repro.core.gamma import AdaptiveGamma, FixedGamma
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.model.allocation import is_feasible
+from repro.runtime.synchronous import SynchronousRuntime
+from tests.conftest import make_tiny_problem
+
+
+class TestEquivalenceWithReferenceDriver:
+    def test_adaptive_gamma_trajectories_identical(self, base_problem):
+        reference = LRGP(base_problem, LRGPConfig.adaptive())
+        reference.run(80)
+        runtime = SynchronousRuntime(base_problem, node_gamma=AdaptiveGamma())
+        runtime.run(80)
+        assert runtime.utilities == pytest.approx(reference.utilities, rel=1e-12)
+
+    def test_fixed_gamma_trajectories_identical(self, base_problem):
+        reference = LRGP(base_problem, LRGPConfig.fixed(0.05))
+        reference.run(60)
+        runtime = SynchronousRuntime(base_problem, node_gamma=FixedGamma(0.05))
+        runtime.run(60)
+        assert runtime.utilities == pytest.approx(reference.utilities, rel=1e-12)
+
+    def test_allocations_identical(self, base_problem):
+        reference = LRGP(base_problem, LRGPConfig.adaptive())
+        reference.run(50)
+        runtime = SynchronousRuntime(base_problem, node_gamma=AdaptiveGamma())
+        runtime.run(50)
+        assert runtime.allocation().rates == pytest.approx(
+            reference.allocation().rates
+        )
+        assert runtime.allocation().populations == reference.allocation().populations
+
+    def test_prices_identical(self, base_problem):
+        reference = LRGP(base_problem, LRGPConfig.adaptive())
+        reference.run(50)
+        runtime = SynchronousRuntime(base_problem, node_gamma=AdaptiveGamma())
+        runtime.run(50)
+        assert runtime.node_prices() == pytest.approx(reference.node_prices())
+
+
+class TestRuntimeMechanics:
+    def test_counts_messages(self, base_problem):
+        runtime = SynchronousRuntime(base_problem)
+        runtime.run(1)
+        # Per round: each flow sends one RateUpdate per consumer node it
+        # reaches (2 each, 6 flows = 12); each node sends one price update
+        # per flow reaching it plus one population update per flow with
+        # local classes (4+4 per node, 3 nodes = 24).
+        assert runtime.messages_sent == 12 + 24
+
+    def test_rounds_counted(self, tiny_problem):
+        runtime = SynchronousRuntime(tiny_problem)
+        runtime.run(7)
+        assert runtime.rounds == 7
+
+    def test_negative_rounds_rejected(self, tiny_problem):
+        with pytest.raises(ValueError):
+            SynchronousRuntime(tiny_problem).run(-1)
+
+    def test_allocation_feasible_after_convergence(self, tiny_problem):
+        runtime = SynchronousRuntime(tiny_problem)
+        runtime.run(200)
+        assert is_feasible(tiny_problem, runtime.allocation())
+
+    def test_no_link_agents_for_infinite_links(self, base_problem):
+        runtime = SynchronousRuntime(base_problem)
+        assert runtime.link_prices() == {}

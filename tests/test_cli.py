@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import BUILTIN_WORKLOADS, load_problem, main
+from repro.model.serialization import allocation_from_json, problem_from_json
+
+
+class TestLoadProblem:
+    def test_every_builtin_loads(self):
+        for name in BUILTIN_WORKLOADS:
+            problem = load_problem(name)
+            assert problem.flows
+
+    def test_json_path_loads(self, tmp_path):
+        from repro.model.serialization import problem_to_json
+        from tests.conftest import make_tiny_problem
+
+        path = tmp_path / "problem.json"
+        path.write_text(problem_to_json(make_tiny_problem()))
+        problem = load_problem(str(path))
+        assert set(problem.flows) == {"fa", "fb"}
+
+    def test_unknown_spec_exits(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            load_problem("no-such-thing")
+
+
+class TestOptimizeCommand:
+    def test_prints_summary(self, capsys):
+        assert main(["optimize", "base", "--iterations", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "utility:" in out
+        assert "feasible:   True" in out
+        assert "f0:" in out
+
+    def test_multirate_flag(self, capsys):
+        assert main(
+            ["optimize", "micro", "--iterations", "60", "--multirate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(multirate)" in out
+        assert "local delivery rates" in out
+
+    def test_multirate_thins_on_heterogeneous_workload(self, tmp_path, capsys):
+        from repro.model.serialization import problem_to_json
+        from repro.workloads.base import base_workload
+
+        problem = base_workload().with_node_capacity("S1", 9.0e4)
+        path = tmp_path / "hetero.json"
+        path.write_text(problem_to_json(problem))
+        assert main(
+            ["optimize", str(path), "--iterations", "150", "--multirate"]
+        ) == 0
+        assert "(thinned)" in capsys.readouterr().out
+
+    def test_fixed_gamma_flag(self, capsys):
+        assert main(
+            ["optimize", "base", "--iterations", "30", "--gamma", "0.05"]
+        ) == 0
+        assert "stable by" in capsys.readouterr().out
+
+    def test_writes_allocation_and_trace(self, tmp_path, capsys):
+        allocation_path = tmp_path / "alloc.json"
+        trace_path = tmp_path / "trace.csv"
+        assert main(
+            [
+                "optimize", "base",
+                "--iterations", "20",
+                "-o", str(allocation_path),
+                "--trace", str(trace_path),
+            ]
+        ) == 0
+        allocation = allocation_from_json(allocation_path.read_text())
+        assert set(allocation.rates) == {f"f{i}" for i in range(6)}
+        lines = trace_path.read_text().splitlines()
+        assert lines[0].startswith("iteration,utility,rate:f0")
+        assert len(lines) == 21  # header + 20 iterations
+
+
+class TestWorkloadCommand:
+    def test_roundtrip_via_file(self, tmp_path, capsys):
+        path = tmp_path / "base.json"
+        assert main(["workload", "base", "-o", str(path)]) == 0
+        problem = problem_from_json(path.read_text())
+        assert len(problem.classes) == 20
+
+    def test_prints_to_stdout(self, capsys):
+        assert main(["workload", "trade-data"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["version"] == 1
+
+
+class TestExperimentCommands:
+    def test_figure(self, capsys):
+        assert main(["figure", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "Base workload" in capsys.readouterr().out
+
+    def test_extension_e3(self, capsys):
+        assert main(["extension", "e3"]) == 0
+        assert "Extension E3" in capsys.readouterr().out
+
+    def test_extension_e4(self, capsys):
+        assert main(["extension", "e4"]) == 0
+        assert "Extension E4" in capsys.readouterr().out
+
+    def test_extension_e5_renders_figure(self, capsys):
+        assert main(["extension", "e5"]) == 0
+        out = capsys.readouterr().out
+        assert "Extension E5" in out
+        assert "flow f5 leaves" in out
+
+    def test_extension_e7(self, capsys):
+        assert main(["extension", "e7"]) == 0
+        assert "Extension E7" in capsys.readouterr().out
+
+    def test_tree_and_micro_workloads_available(self, capsys):
+        assert main(["workload", "tree"]) == 0
+        capsys.readouterr()
+        assert main(["workload", "micro"]) == 0
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

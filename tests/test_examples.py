@@ -1,0 +1,44 @@
+"""Smoke tests: the example scripts run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+#: The faster examples run in CI on every change; the slower two
+#: (trade_data drives a 125k-delivery simulation, autonomic_recovery runs
+#: a 120-tick closed loop) are marked slow but still exercised.
+FAST = ["quickstart.py", "scaling_study.py", "distributed_deployment.py"]
+SLOW = ["latest_price.py", "trade_data.py", "autonomic_recovery.py"]
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_examples_run(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_examples_run(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_reports_paper_scale_utility():
+    result = run_example("quickstart.py")
+    assert "1,328," in result.stdout  # within the paper's utility regime
+    assert "Feasible:       True" in result.stdout

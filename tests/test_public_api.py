@@ -1,0 +1,68 @@
+"""Tests of the top-level public API surface.
+
+A downstream user should be able to drive everything advertised in the
+README through ``import repro`` — this pins that surface so refactors
+cannot silently break it.
+"""
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_readme_quickstart_surface(self):
+        problem = repro.base_workload()
+        optimizer = repro.LRGP(problem, repro.LRGPConfig.adaptive())
+        optimizer.run(30)
+        allocation = optimizer.allocation()
+        assert repro.is_feasible(problem, allocation)
+        assert repro.total_utility(problem, allocation) > 0.0
+        assert repro.violations(problem, allocation) == []
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_workload_builders_exported(self):
+        assert repro.micro_workload().describe().startswith("2 flows")
+        assert len(repro.scale_flows(2).flows) == 12
+        assert repro.link_bottleneck_workload(50.0).bottleneck_links() == (
+            "uplink",
+        )
+        assert len(repro.generate_workload(seed=1).flows) == 6
+
+    def test_optimizers_exported(self):
+        problem = repro.micro_workload()
+        multi = repro.MultirateLRGP(problem)
+        multi.run(20)
+        assert multi.utilities[-1] > 0.0
+        result = repro.two_stage_optimize(problem, iterations=30)
+        assert result.stage2_utility >= 0.0
+
+    def test_package_ships_type_marker(self):
+        from pathlib import Path
+
+        package_dir = Path(repro.__file__).parent
+        assert (package_dir / "py.typed").exists()
+
+
+class TestSubpackageImports:
+    def test_every_subpackage_imports(self):
+        import repro.baselines
+        import repro.core
+        import repro.events
+        import repro.experiments
+        import repro.model
+        import repro.runtime
+        import repro.utility
+        import repro.workloads
+
+        for module in (
+            repro.baselines, repro.core, repro.events, repro.experiments,
+            repro.model, repro.runtime, repro.utility, repro.workloads,
+        ):
+            assert module.__doc__
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

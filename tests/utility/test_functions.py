@@ -1,0 +1,144 @@
+"""Unit tests for the concrete utility functions."""
+
+import math
+
+import pytest
+
+from repro.utility.functions import (
+    UTILITY_SHAPES,
+    ExponentialSaturationUtility,
+    LogUtility,
+    PowerUtility,
+    ScaledUtility,
+    rank_log,
+    rank_power,
+)
+
+
+class TestLogUtility:
+    def test_value_matches_formula(self):
+        utility = LogUtility(scale=3.0, offset=1.0)
+        assert utility.value(0.0) == 0.0
+        assert utility.value(math.e - 1.0) == pytest.approx(3.0)
+
+    def test_derivative_matches_formula(self):
+        utility = LogUtility(scale=3.0, offset=1.0)
+        assert utility.derivative(0.0) == pytest.approx(3.0)
+        assert utility.derivative(2.0) == pytest.approx(1.0)
+
+    def test_inverse_derivative_roundtrip(self):
+        utility = LogUtility(scale=5.0, offset=2.0)
+        for rate in (0.0, 1.0, 13.7, 900.0):
+            slope = utility.derivative(rate)
+            assert utility.inverse_derivative(slope) == pytest.approx(rate)
+
+    def test_callable_shorthand(self):
+        utility = LogUtility(scale=1.0)
+        assert utility(5.0) == utility.value(5.0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            LogUtility().value(-1.0)
+
+    def test_rejects_nan_rate(self):
+        with pytest.raises(ValueError):
+            LogUtility().value(float("nan"))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LogUtility(scale=0.0)
+        with pytest.raises(ValueError):
+            LogUtility(offset=0.0)
+        with pytest.raises(ValueError):
+            LogUtility(scale=-1.0)
+
+    def test_hashable_and_shareable(self):
+        assert LogUtility(scale=2.0) == LogUtility(scale=2.0)
+        assert hash(LogUtility(scale=2.0)) == hash(LogUtility(scale=2.0))
+
+
+class TestPowerUtility:
+    def test_value_matches_formula(self):
+        utility = PowerUtility(scale=2.0, exponent=0.5)
+        assert utility.value(4.0) == pytest.approx(4.0)
+        assert utility.value(0.0) == 0.0
+
+    def test_derivative_matches_formula(self):
+        utility = PowerUtility(scale=2.0, exponent=0.5)
+        assert utility.derivative(4.0) == pytest.approx(0.5)
+
+    def test_derivative_at_zero_is_infinite(self):
+        assert PowerUtility(exponent=0.25).derivative(0.0) == math.inf
+
+    def test_inverse_derivative_roundtrip(self):
+        utility = PowerUtility(scale=7.0, exponent=0.75)
+        for rate in (0.5, 1.0, 42.0, 1000.0):
+            slope = utility.derivative(rate)
+            assert utility.inverse_derivative(slope) == pytest.approx(rate)
+
+    def test_exponent_bounds_enforced(self):
+        for exponent in (0.0, 1.0, 1.5, -0.2):
+            with pytest.raises(ValueError):
+                PowerUtility(exponent=exponent)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            PowerUtility(scale=0.0)
+
+
+class TestScaledUtility:
+    def test_scales_value_and_derivative(self):
+        base = LogUtility(scale=1.0)
+        scaled = ScaledUtility(base=base, factor=4.0)
+        assert scaled.value(9.0) == pytest.approx(4.0 * base.value(9.0))
+        assert scaled.derivative(9.0) == pytest.approx(4.0 * base.derivative(9.0))
+
+    def test_inverse_derivative_delegates(self):
+        scaled = ScaledUtility(base=LogUtility(scale=2.0), factor=3.0)
+        for rate in (0.0, 5.0, 100.0):
+            assert scaled.inverse_derivative(
+                scaled.derivative(rate)
+            ) == pytest.approx(rate)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            ScaledUtility(base=LogUtility(), factor=0.0)
+
+
+class TestExponentialSaturationUtility:
+    def test_saturates_at_scale(self):
+        utility = ExponentialSaturationUtility(scale=10.0, knee=1.0)
+        assert utility.value(0.0) == 0.0
+        assert utility.value(100.0) == pytest.approx(10.0, rel=1e-6)
+
+    def test_inverse_derivative_roundtrip(self):
+        utility = ExponentialSaturationUtility(scale=10.0, knee=50.0)
+        for rate in (0.0, 10.0, 120.0):
+            assert utility.inverse_derivative(
+                utility.derivative(rate)
+            ) == pytest.approx(rate, abs=1e-9)
+
+    def test_inverse_derivative_clamps_above_max_slope(self):
+        utility = ExponentialSaturationUtility(scale=10.0, knee=50.0)
+        max_slope = utility.derivative(0.0)
+        assert utility.inverse_derivative(2.0 * max_slope) == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ExponentialSaturationUtility(scale=0.0)
+        with pytest.raises(ValueError):
+            ExponentialSaturationUtility(knee=0.0)
+
+
+class TestFactories:
+    def test_rank_log(self):
+        assert rank_log(20.0) == LogUtility(scale=20.0, offset=1.0)
+
+    def test_rank_power(self):
+        assert rank_power(5.0, 0.25) == PowerUtility(scale=5.0, exponent=0.25)
+
+    def test_shape_registry_covers_table3(self):
+        assert set(UTILITY_SHAPES) == {"log", "pow25", "pow50", "pow75"}
+        for factory in UTILITY_SHAPES.values():
+            utility = factory(10.0)
+            assert utility.value(2.0) > utility.value(1.0)

@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) for the utility library.
+
+The paper's assumptions on ``U_j`` — increasing, strictly concave,
+continuously differentiable (section 2.2) — are exactly the invariants the
+rate solver relies on, so we check them on randomized instances of every
+concrete family, plus the optimality of :func:`solve_rate` itself.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utility.calculus import solve_rate, weighted_derivative, weighted_value
+from repro.utility.functions import (
+    ExponentialSaturationUtility,
+    LogUtility,
+    PowerUtility,
+    ScaledUtility,
+)
+
+rates = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+positive_rates = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+scales = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+offsets = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+exponents = st.floats(min_value=0.05, max_value=0.95, allow_nan=False)
+
+
+def any_utility(draw):
+    kind = draw(st.sampled_from(["log", "pow", "sat", "scaled"]))
+    if kind == "log":
+        return LogUtility(scale=draw(scales), offset=draw(offsets))
+    if kind == "pow":
+        return PowerUtility(scale=draw(scales), exponent=draw(exponents))
+    if kind == "sat":
+        return ExponentialSaturationUtility(scale=draw(scales), knee=draw(offsets))
+    return ScaledUtility(base=LogUtility(scale=draw(scales)), factor=draw(scales))
+
+
+utilities = st.composite(lambda draw: any_utility(draw))()
+
+
+@given(utilities, positive_rates, positive_rates)
+def test_utilities_are_increasing(utility, a, b):
+    low, high = sorted((a, b))
+    if low < high:
+        assert utility.value(low) <= utility.value(high) + 1e-12
+
+
+@given(utilities, positive_rates, positive_rates)
+def test_derivative_is_decreasing(utility, a, b):
+    """Strict concavity = strictly decreasing derivative."""
+    low, high = sorted((a, b))
+    if high > low * (1.0 + 1e-9):
+        assert utility.derivative(low) >= utility.derivative(high)
+
+
+def _numerically_saturated(utility, rate: float) -> bool:
+    """True when ``exp(-rate/knee)`` underflows: the saturation utility is
+    mathematically still increasing there but flat in float64."""
+    return isinstance(utility, ExponentialSaturationUtility) and rate > 500.0 * utility.knee
+
+
+@given(utilities, positive_rates)
+def test_derivative_is_positive(utility, rate):
+    if _numerically_saturated(utility, rate):
+        return
+    assert utility.derivative(rate) > 0.0
+
+
+@given(utilities, positive_rates, positive_rates)
+def test_concavity_midpoint(utility, a, b):
+    """U((a+b)/2) >= (U(a)+U(b))/2 for concave U."""
+    mid = (a + b) / 2.0
+    lhs = utility.value(mid)
+    rhs = (utility.value(a) + utility.value(b)) / 2.0
+    assert lhs >= rhs - 1e-9 * max(1.0, abs(rhs))
+
+
+@given(utilities, positive_rates)
+def test_derivative_matches_finite_difference(utility, rate):
+    step = max(rate * 1e-6, 1e-9)
+    numeric = (utility.value(rate + step) - utility.value(max(rate - step, 0.0))) / (
+        rate + step - max(rate - step, 0.0)
+    )
+    analytic = utility.derivative(rate)
+    assert math.isclose(numeric, analytic, rel_tol=1e-3, abs_tol=1e-9)
+
+
+@given(utilities, positive_rates)
+def test_inverse_derivative_roundtrip(utility, rate):
+    if _numerically_saturated(utility, rate):
+        return
+    try:
+        recovered = utility.inverse_derivative(utility.derivative(rate))
+    except NotImplementedError:
+        return
+    assert math.isclose(recovered, rate, rel_tol=1e-6, abs_tol=1e-6)
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=100.0), utilities),
+        min_size=0,
+        max_size=4,
+    ),
+    st.floats(min_value=0.0, max_value=1e3),
+    st.floats(min_value=0.1, max_value=100.0),
+    st.floats(min_value=1.0, max_value=1000.0),
+)
+def test_solve_rate_beats_grid(terms, price, rate_min, span):
+    """The returned rate is at least as good as any grid candidate."""
+    rate_max = rate_min + span
+    rate = solve_rate(terms, price, rate_min, rate_max)
+    assert rate_min <= rate <= rate_max
+    best = weighted_value(terms, rate) - rate * price
+    for fraction in (0.0, 0.1, 0.31, 0.5, 0.77, 1.0):
+        candidate = rate_min + fraction * span
+        objective = weighted_value(terms, candidate) - candidate * price
+        assert best >= objective - 1e-6 * max(1.0, abs(objective))
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0.01, max_value=100.0), utilities),
+        min_size=1,
+        max_size=4,
+    ),
+    st.floats(min_value=1e-3, max_value=1e3),
+)
+def test_solve_rate_interior_stationarity(terms, price):
+    """If the solution is interior, the derivative matches the price."""
+    rate_min, rate_max = 0.01, 1e5
+    rate = solve_rate(terms, price, rate_min, rate_max)
+    if rate_min < rate < rate_max:
+        assert math.isclose(
+            weighted_derivative(terms, rate), price, rel_tol=1e-4, abs_tol=1e-9
+        )

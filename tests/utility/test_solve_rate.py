@@ -1,0 +1,121 @@
+"""Unit tests for the Lagrangian rate subproblem solver."""
+
+import pytest
+
+from repro.utility.calculus import (
+    numeric_derivative,
+    solve_rate,
+    weighted_derivative,
+    weighted_value,
+)
+from repro.utility.functions import (
+    ExponentialSaturationUtility,
+    LogUtility,
+    PowerUtility,
+)
+
+
+class TestWeightedHelpers:
+    def test_weighted_value(self):
+        terms = [(2.0, LogUtility(scale=3.0)), (1.0, LogUtility(scale=1.0))]
+        assert weighted_value(terms, 5.0) == pytest.approx(
+            2.0 * 3.0 * LogUtility().value(5.0) + LogUtility().value(5.0)
+        )
+
+    def test_weighted_derivative_matches_numeric(self):
+        terms = [(4.0, PowerUtility(scale=2.0, exponent=0.5))]
+        rate = 9.0
+        numeric = 4.0 * numeric_derivative(PowerUtility(scale=2.0, exponent=0.5), rate)
+        assert weighted_derivative(terms, rate) == pytest.approx(numeric, rel=1e-5)
+
+
+class TestSolveRateClosedForms:
+    def test_log_interior_solution(self):
+        # n * s / (1 + r) = p  ->  r = n*s/p - 1
+        terms = [(10.0, LogUtility(scale=2.0))]
+        rate = solve_rate(terms, price=0.5, rate_min=0.0, rate_max=1000.0)
+        assert rate == pytest.approx(10.0 * 2.0 / 0.5 - 1.0)
+
+    def test_log_mixed_scales_same_offset(self):
+        terms = [(3.0, LogUtility(scale=2.0)), (5.0, LogUtility(scale=7.0))]
+        rate = solve_rate(terms, price=1.0, rate_min=0.0, rate_max=1000.0)
+        assert rate == pytest.approx(3.0 * 2.0 + 5.0 * 7.0 - 1.0)
+
+    def test_power_interior_solution(self):
+        terms = [(4.0, PowerUtility(scale=1.0, exponent=0.5))]
+        # 4 * 0.5 * r^-0.5 = 1  ->  r = 4
+        rate = solve_rate(terms, price=1.0, rate_min=0.0, rate_max=100.0)
+        assert rate == pytest.approx(4.0)
+
+    def test_clamps_to_bounds(self):
+        terms = [(1.0, LogUtility(scale=1.0))]
+        assert solve_rate(terms, price=1e-9, rate_min=10.0, rate_max=50.0) == 50.0
+        assert solve_rate(terms, price=1e9, rate_min=10.0, rate_max=50.0) == 10.0
+
+
+class TestSolveRateGeneric:
+    def test_mixed_families_uses_root_finding(self):
+        terms = [
+            (2.0, LogUtility(scale=5.0)),
+            (3.0, PowerUtility(scale=1.0, exponent=0.5)),
+        ]
+        price = 0.7
+        rate = solve_rate(terms, price, rate_min=0.1, rate_max=500.0)
+        # At the optimum the derivative equals the price.
+        assert weighted_derivative(terms, rate) == pytest.approx(price, rel=1e-8)
+
+    def test_mixed_offsets_log(self):
+        terms = [
+            (1.0, LogUtility(scale=5.0, offset=1.0)),
+            (1.0, LogUtility(scale=5.0, offset=3.0)),
+        ]
+        rate = solve_rate(terms, price=0.9, rate_min=0.0, rate_max=100.0)
+        assert weighted_derivative(terms, rate) == pytest.approx(0.9, rel=1e-8)
+
+    def test_saturation_single_term_closed_form(self):
+        utility = ExponentialSaturationUtility(scale=10.0, knee=5.0)
+        rate = solve_rate([(2.0, utility)], price=0.4, rate_min=0.0, rate_max=100.0)
+        assert 2.0 * utility.derivative(rate) == pytest.approx(0.4, rel=1e-9)
+
+    def test_result_is_argmax_on_grid(self):
+        terms = [
+            (7.0, LogUtility(scale=3.0)),
+            (2.0, PowerUtility(scale=2.0, exponent=0.25)),
+        ]
+        price = 1.3
+        rate = solve_rate(terms, price, rate_min=1.0, rate_max=200.0)
+        best = weighted_value(terms, rate) - rate * price
+        for candidate in [1.0, 5.0, 20.0, 50.0, 100.0, 200.0]:
+            other = weighted_value(terms, candidate) - candidate * price
+            assert best >= other - 1e-9
+
+
+class TestSolveRateEdgeCases:
+    def test_zero_weights_with_positive_price(self):
+        terms = [(0.0, LogUtility())]
+        assert solve_rate(terms, price=1.0, rate_min=5.0, rate_max=10.0) == 5.0
+
+    def test_zero_weights_with_zero_price(self):
+        assert solve_rate([], price=0.0, rate_min=5.0, rate_max=10.0) == 10.0
+
+    def test_zero_price_goes_to_max(self):
+        terms = [(3.0, LogUtility())]
+        assert solve_rate(terms, price=0.0, rate_min=5.0, rate_max=10.0) == 10.0
+
+    def test_negative_price_goes_to_max(self):
+        terms = [(3.0, LogUtility())]
+        assert solve_rate(terms, price=-1.0, rate_min=5.0, rate_max=10.0) == 10.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            solve_rate([(1.0, LogUtility())], 1.0, rate_min=10.0, rate_max=5.0)
+        with pytest.raises(ValueError):
+            solve_rate([(1.0, LogUtility())], 1.0, rate_min=-1.0, rate_max=5.0)
+
+    def test_nan_price_rejected(self):
+        with pytest.raises(ValueError):
+            solve_rate([(1.0, LogUtility())], float("nan"), 0.0, 1.0)
+
+    def test_degenerate_interval(self):
+        terms = [(1.0, LogUtility())]
+        assert solve_rate(terms, price=0.5, rate_min=7.0, rate_max=7.0) == 7.0

@@ -1,0 +1,90 @@
+"""Tests for link-bottleneck workloads and the link-pricing machinery.
+
+With a single shared uplink and generous node capacity, the equilibrium is
+analytic: all consumers are admitted, so flow i's weight is
+``N_i = ranks_i * max_consumers * consumer_nodes`` and Algorithm 1 gives
+``r_i = N_i / p - 1`` (log utility).  The uplink then pins
+``sum_i r_i = c_l``, i.e. ``p* = (sum_i N_i) / (c_l + flows)``.
+"""
+
+import pytest
+
+from repro.core.convergence import iterations_until_convergence
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.model.allocation import is_feasible, link_usage
+from repro.workloads.bottleneck import link_bottleneck_workload
+
+LINK_GAMMA = 0.5
+
+
+def optimize(problem, iterations=600):
+    optimizer = LRGP(problem, LRGPConfig(link_gamma=LINK_GAMMA))
+    optimizer.run(iterations)
+    return optimizer
+
+
+class TestWorkloadShape:
+    def test_every_flow_crosses_the_uplink(self):
+        problem = link_bottleneck_workload(link_capacity=100.0)
+        assert set(problem.flows_on_link("uplink")) == set(problem.flows)
+        assert problem.bottleneck_links() == ("uplink",)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            link_bottleneck_workload(link_capacity=0.0)
+        with pytest.raises(ValueError):
+            link_bottleneck_workload(link_capacity=10.0, flows=0)
+
+
+class TestLinkPricingEquilibrium:
+    @pytest.mark.parametrize("capacity", [300.0, 100.0, 30.0])
+    def test_usage_pins_to_capacity(self, capacity):
+        problem = link_bottleneck_workload(link_capacity=capacity)
+        optimizer = optimize(problem)
+        usage = link_usage(problem, optimizer.allocation(), "uplink")
+        assert usage == pytest.approx(capacity, rel=0.01)
+        assert is_feasible(problem, optimizer.allocation())
+
+    @pytest.mark.parametrize("capacity", [300.0, 30.0])
+    def test_price_matches_analytic_equilibrium(self, capacity):
+        problem = link_bottleneck_workload(link_capacity=capacity)
+        optimizer = optimize(problem)
+        # N_i = rank_i * 200 consumers * 2 nodes; sum over ranks (50,20,5).
+        total_weight = (50.0 + 20.0 + 5.0) * 200 * 2
+        expected_price = total_weight / (capacity + 3.0)
+        assert optimizer.link_prices()["uplink"] == pytest.approx(
+            expected_price, rel=0.01
+        )
+
+    def test_rates_are_utility_weighted(self):
+        """Higher aggregate-utility flows get proportionally more rate:
+        r_i + 1 proportional to N_i (shadow-price allocation)."""
+        problem = link_bottleneck_workload(link_capacity=300.0)
+        optimizer = optimize(problem)
+        rates = optimizer.allocation().rates
+        shares = [(rates["f0"] + 1) / 50.0, (rates["f1"] + 1) / 20.0,
+                  (rates["f2"] + 1) / 5.0]
+        assert max(shares) == pytest.approx(min(shares), rel=0.02)
+
+    def test_converges(self):
+        problem = link_bottleneck_workload(link_capacity=300.0)
+        optimizer = optimize(problem)
+        assert iterations_until_convergence(optimizer.utilities) is not None
+
+
+class TestMixedContention:
+    def test_node_and_link_both_priced(self):
+        """Squeeze nodes too: both price families engage and the result
+        stays feasible."""
+        problem = link_bottleneck_workload(
+            link_capacity=300.0, node_capacity=2.0e5
+        )
+        optimizer = optimize(problem, iterations=800)
+        allocation = optimizer.allocation()
+        assert is_feasible(problem, allocation)
+        assert optimizer.link_prices()["uplink"] >= 0.0
+        assert any(price > 0.0 for price in optimizer.node_prices().values())
+        # Node contention now forces admission control.
+        admitted = sum(allocation.populations.values())
+        connected = sum(c.max_consumers for c in problem.classes.values())
+        assert admitted < connected

@@ -1,0 +1,73 @@
+"""Tests for dynamic (churn) scenarios."""
+
+import pytest
+
+from repro.core.lrgp import LRGPConfig
+from repro.workloads.base import base_workload
+from repro.workloads.dynamics import (
+    DynamicScenario,
+    ScheduledChange,
+    churn_scenario,
+)
+
+
+class TestValidation:
+    def test_unsorted_changes_rejected(self):
+        problem = base_workload()
+        with pytest.raises(ValueError, match="sorted"):
+            DynamicScenario(
+                initial=problem,
+                changes=[
+                    ScheduledChange(50, "b", lambda p: p),
+                    ScheduledChange(10, "a", lambda p: p),
+                ],
+            )
+
+    def test_change_after_end_rejected(self):
+        problem = base_workload()
+        with pytest.raises(ValueError, match="after the run ends"):
+            DynamicScenario(
+                initial=problem,
+                changes=[ScheduledChange(500, "late", lambda p: p)],
+                total_iterations=100,
+            )
+
+    def test_change_at_iteration_zero_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledChange(0, "too early", lambda p: p)
+
+
+class TestChurnScenario:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return churn_scenario().run(LRGPConfig.adaptive())
+
+    def test_all_events_fire_in_order(self, run):
+        assert [label for _, label in run.events] == [
+            "S1 capacity halved",
+            "flow f5 leaves",
+            "S1 capacity restored",
+        ]
+        assert [iteration for iteration, _ in run.events] == [80, 140, 200]
+
+    def test_capacity_loss_costs_utility(self, run):
+        before = run.utility_before(79)
+        settled = run.utility_before(135)
+        assert settled < 0.95 * before
+
+    def test_flow_departure_costs_utility(self, run):
+        before = run.utility_before(139)
+        settled = run.utility_before(195)
+        assert settled < 0.6 * before
+
+    def test_capacity_restore_recovers_some_utility(self, run):
+        before_restore = run.utility_before(199)
+        end = run.utility_before(300)
+        assert end > before_restore
+
+    def test_stabilizes_after_final_event(self, run):
+        tail = run.utilities[-20:]
+        assert (max(tail) - min(tail)) / max(tail) < 0.01
+
+    def test_trajectory_covers_every_iteration(self, run):
+        assert len(run.utilities) == 300

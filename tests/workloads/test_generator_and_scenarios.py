@@ -1,0 +1,154 @@
+"""Tests for the random workload generator and the section 1.1 scenarios."""
+
+import pytest
+
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.events.simulator import EventInfrastructure
+from repro.model.allocation import is_feasible
+from repro.workloads.generator import GeneratorConfig, generate_workload
+from repro.workloads.scenarios import latest_price_scenario, trade_data_scenario
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = generate_workload(seed=5)
+        b = generate_workload(seed=5)
+        assert set(a.flows) == set(b.flows)
+        assert set(a.classes) == set(b.classes)
+        assert all(
+            a.classes[c].max_consumers == b.classes[c].max_consumers
+            for c in a.classes
+        )
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(seed=1)
+        b = generate_workload(seed=2)
+        assert any(
+            a.classes[c].max_consumers != b.classes[c].max_consumers
+            for c in a.classes
+        )
+
+    def test_respects_config_shape(self):
+        config = GeneratorConfig(
+            flows=4, consumer_nodes=5, nodes_per_flow=3, classes_per_flow_node=2
+        )
+        problem = generate_workload(config, seed=0)
+        assert len(problem.flows) == 4
+        assert len(problem.classes) == 4 * 3 * 2
+        for flow_id in problem.flows:
+            assert len(problem.route(flow_id).nodes) == 4  # hub + 3
+
+    def test_generated_problems_optimize_feasibly(self):
+        for seed in range(3):
+            problem = generate_workload(GeneratorConfig(flows=3), seed=seed)
+            optimizer = LRGP(problem, LRGPConfig.adaptive())
+            optimizer.run(120)
+            assert is_feasible(problem, optimizer.allocation())
+            assert optimizer.utilities[-1] > 0.0
+
+    def test_heterogeneous_consumer_costs(self):
+        config = GeneratorConfig(consumer_cost_low=5.0, consumer_cost_high=30.0)
+        problem = generate_workload(config, seed=0)
+        costs = {
+            problem.costs.consumer(cls.node, class_id)
+            for class_id, cls in problem.classes.items()
+        }
+        assert len(costs) > 1
+        assert all(5.0 <= cost <= 30.0 for cost in costs)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(flows=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(rank_low=0.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(rate_min=10.0, rate_max=5.0)
+
+
+class TestTradeDataScenario:
+    def test_problem_is_valid_and_optimizable(self):
+        scenario = trade_data_scenario()
+        optimizer = LRGP(scenario.problem)
+        optimizer.run(200)
+        assert is_feasible(scenario.problem, optimizer.allocation())
+
+    def test_gold_prioritized_over_public(self):
+        scenario = trade_data_scenario()
+        optimizer = LRGP(scenario.problem)
+        optimizer.run(250)
+        allocation = optimizer.allocation()
+        gold_fraction = allocation.population("gold") / 50
+        public_fraction = allocation.population("public") / 5000
+        assert gold_fraction > 0.9
+        assert public_fraction < 0.5
+
+    def test_public_messages_stripped(self):
+        scenario = trade_data_scenario(gold_consumers=2, public_consumers=5)
+        infra = EventInfrastructure(
+            scenario.problem,
+            payload_factories=scenario.payload_factories,
+            transforms=scenario.transforms,
+        )
+        from repro.model.allocation import Allocation
+
+        infra.enact(
+            Allocation(rates={"trades": 100.0},
+                       populations={"gold": 2, "public": 5})
+        )
+        infra.run_for(1.0)
+        gold_payload = infra.consumers["gold"][0].last_payload
+        public_payload = infra.consumers["public"][0].last_payload
+        assert "counterparty" in gold_payload
+        assert "counterparty" not in public_payload
+        assert public_payload["symbol"] == "IBM"
+
+
+class TestLatestPriceScenario:
+    def test_problem_is_valid_and_optimizable(self):
+        scenario = latest_price_scenario()
+        optimizer = LRGP(scenario.problem)
+        optimizer.run(200)
+        assert is_feasible(scenario.problem, optimizer.allocation())
+
+    def test_elasticity_rate_drops_before_consumers(self):
+        """The elastic flow absorbs a capacity squeeze through rate, not
+        (mostly) through admission."""
+        rich = latest_price_scenario(node_capacity=9e5)
+        poor = latest_price_scenario(node_capacity=9e4)
+        rates, admitted = [], []
+        for scenario in (rich, poor):
+            optimizer = LRGP(scenario.problem)
+            optimizer.run(250)
+            allocation = optimizer.allocation()
+            rates.append(allocation.rates["prices"])
+            admitted.append(sum(allocation.populations.values()))
+        assert rates[1] < rates[0] / 2  # rate collapsed
+        assert admitted[1] > 0.8 * admitted[0]  # population largely kept
+
+    def test_filters_apply_per_class(self):
+        scenario = latest_price_scenario(consumer_nodes=2, consumers_per_class=3)
+        from repro.model.allocation import Allocation
+
+        infra = EventInfrastructure(
+            scenario.problem,
+            payload_factories=scenario.payload_factories,
+            transforms=scenario.transforms,
+        )
+        infra.enact(
+            Allocation(
+                rates={"prices": 50.0},
+                populations={c: 3 for c in scenario.problem.classes},
+            )
+        )
+        infra.run_for(4.0)
+        received = {
+            class_id: infra.consumers[class_id][0].received
+            for class_id in scenario.problem.classes
+        }
+        # pop1's threshold is stricter than pop0's.
+        assert received["watchers-pop1"] <= received["watchers-pop0"]
+        assert received["watchers-pop0"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            latest_price_scenario(consumer_nodes=0)

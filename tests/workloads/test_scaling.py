@@ -1,0 +1,89 @@
+"""Tests for the section 4.3 scaled workloads."""
+
+import pytest
+
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.workloads.scaling import (
+    TABLE2_WORKLOADS,
+    scale_consumer_nodes,
+    scale_flows,
+)
+
+
+class TestShapes:
+    def test_scale_flows_shape(self):
+        problem = scale_flows(2)
+        assert len(problem.flows) == 12
+        assert len(problem.consumer_nodes()) == 6
+        assert len(problem.classes) == 40
+
+    def test_scale_consumer_nodes_shape(self):
+        problem = scale_consumer_nodes(2)
+        assert len(problem.flows) == 6
+        assert len(problem.consumer_nodes()) == 6
+        assert len(problem.classes) == 40
+
+    def test_flow_replicas_are_independent(self):
+        """Flows of one replica must not reach another replica's nodes."""
+        problem = scale_flows(2)
+        for flow_id in problem.flows:
+            suffix = flow_id.split(".")[-1]
+            for node_id in problem.route(flow_id).nodes:
+                if node_id == "P":
+                    continue
+                assert node_id.endswith(suffix)
+
+    def test_node_replicas_share_flows(self):
+        """With node scaling, each flow reaches every replica of its nodes."""
+        problem = scale_consumer_nodes(2)
+        route = problem.route("f1")  # f1 -> S0, S1 in the base workload
+        reached = set(route.nodes) - {"P"}
+        assert reached == {"S0.n0", "S0.n1", "S1.n0", "S1.n1"}
+
+    def test_table2_covers_paper_rows(self):
+        assert list(TABLE2_WORKLOADS) == [
+            "6 flows, 3 c-nodes",
+            "12 flows, 6 c-nodes",
+            "24 flows, 12 c-nodes",
+            "6 flows, 6 c-nodes",
+            "6 flows, 12 c-nodes",
+            "6 flows, 24 c-nodes",
+        ]
+
+
+class TestLinearity:
+    """Section 4.3: utility grows linearly with consumer nodes and
+    convergence is unaffected by scale."""
+
+    @pytest.fixture(scope="class")
+    def base_utility(self):
+        optimizer = LRGP(scale_flows(1), LRGPConfig.adaptive())
+        optimizer.run(120)
+        return optimizer.utilities[-1]
+
+    @pytest.mark.parametrize("factor", [2, 4])
+    def test_flow_scaling_linear(self, base_utility, factor):
+        optimizer = LRGP(scale_flows(factor), LRGPConfig.adaptive())
+        optimizer.run(120)
+        assert optimizer.utilities[-1] == pytest.approx(
+            factor * base_utility, rel=0.01
+        )
+
+    @pytest.mark.parametrize("factor", [2, 4])
+    def test_node_scaling_linear(self, base_utility, factor):
+        optimizer = LRGP(scale_consumer_nodes(factor), LRGPConfig.adaptive())
+        optimizer.run(120)
+        assert optimizer.utilities[-1] == pytest.approx(
+            factor * base_utility, rel=0.01
+        )
+
+    def test_convergence_iterations_flat_across_scales(self):
+        from repro.core.convergence import iterations_until_convergence
+
+        counts = []
+        for build in TABLE2_WORKLOADS.values():
+            optimizer = LRGP(build(), LRGPConfig.adaptive())
+            optimizer.run(120)
+            counts.append(iterations_until_convergence(optimizer.utilities))
+        assert all(count is not None for count in counts)
+        assert max(counts) - min(counts) <= 10  # paper: 21-24 across scales

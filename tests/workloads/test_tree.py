@@ -1,0 +1,107 @@
+"""Tests for the tree-overlay workloads."""
+
+import math
+
+import pytest
+
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.core.two_stage import compute_prune_set, two_stage_optimize
+from repro.model.allocation import is_feasible
+from repro.workloads.tree import tree_workload
+
+
+class TestStructure:
+    def test_shape(self):
+        problem = tree_workload(depth=3, branching=2, flows=4)
+        # 8 leaves host consumers; 1 root + 2 + 4 relays.
+        assert len(problem.consumer_nodes()) == 8
+        assert len(problem.nodes) == 1 + 2 + 4 + 8
+        assert len(problem.links) == 14
+
+    def test_routes_traverse_relays(self):
+        problem = tree_workload()
+        route = problem.route("f0")
+        assert route.nodes[0] == "root"
+        assert any(node.startswith("relay") for node in route.nodes)
+        assert any(node.startswith("leaf") for node in route.nodes)
+
+    def test_relays_pay_flow_cost_but_host_no_classes(self):
+        problem = tree_workload()
+        route = problem.route("f0")
+        relays = [n for n in route.nodes if n.startswith("relay")]
+        assert relays
+        for relay in relays:
+            assert problem.costs.flow_node(relay, "f0") > 0.0
+            assert problem.classes_at_node(relay) == ()
+
+    def test_flows_share_interior_links(self):
+        """With wrapping leaf blocks, at least one link carries >1 flow."""
+        problem = tree_workload(depth=3, branching=2, flows=4, leaves_per_flow=3)
+        shared = [
+            link_id
+            for link_id in problem.links
+            if len(problem.flows_on_link(link_id)) > 1
+        ]
+        assert shared
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tree_workload(depth=0)
+        with pytest.raises(ValueError):
+            tree_workload(flows=0)
+
+
+class TestOptimization:
+    def test_lrgp_feasible_and_positive(self):
+        problem = tree_workload()
+        optimizer = LRGP(problem, LRGPConfig.adaptive())
+        optimizer.run(200)
+        assert is_feasible(problem, optimizer.allocation())
+        assert optimizer.utilities[-1] > 0.0
+
+    def test_starved_leaf_subtree_prunes(self):
+        """Crushing one leaf's capacity prunes its (leaf, flow) pairs but
+        keeps relays that still serve sibling leaves."""
+        problem = tree_workload().with_node_capacity("leaf0", 50.0)
+        result = two_stage_optimize(problem, iterations=200)
+        pruned_nodes = {node for node, _ in result.prune_set.flow_nodes}
+        assert "leaf0" in pruned_nodes
+        # relay2.0 still relays to leaf1 for f0: must not be pruned.
+        assert "relay2.0" not in pruned_nodes
+        assert result.stage2_utility >= result.stage1_utility
+
+    def test_whole_subtree_collapses_when_both_leaves_starve(self):
+        from repro.model.allocation import Allocation
+
+        problem = tree_workload()
+        # Nobody admitted anywhere on f0: its entire branch is prunable.
+        allocation = Allocation(
+            rates={f: 10.0 for f in problem.flows},
+            populations={c: 0 for c in problem.classes},
+        )
+        prune = compute_prune_set(problem, allocation)
+        f0_pruned = {node for node, flow in prune.flow_nodes if flow == "f0"}
+        route = problem.route("f0")
+        assert f0_pruned == set(route.nodes) - {"root"}
+
+    def test_link_pricing_on_tree(self):
+        """With generous leaves and tight top-level links, the links under
+        the root become the bottleneck: they get priced and the flows
+        sharing each link split its capacity."""
+        problem = tree_workload(link_capacity=100.0, leaf_capacity=5e6)
+        optimizer = LRGP(problem, LRGPConfig(link_gamma=0.5))
+        optimizer.run(800)
+        allocation = optimizer.allocation()
+        assert is_feasible(problem, allocation)
+        prices = optimizer.link_prices()
+        assert prices["root->relay1.0"] > 0.0
+        assert prices["root->relay1.1"] > 0.0
+        # Two flows share each top link: each settles at half its capacity.
+        for flow_id, rate in allocation.rates.items():
+            assert rate == pytest.approx(50.0, rel=0.02), flow_id
+
+    def test_power_shape_supported(self):
+        problem = tree_workload(shape="pow50")
+        optimizer = LRGP(problem)
+        optimizer.run(150)
+        assert is_feasible(problem, optimizer.allocation())
