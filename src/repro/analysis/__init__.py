@@ -1,0 +1,43 @@
+"""Domain-aware static analysis for the LRGP reproduction.
+
+Usage::
+
+    from repro.analysis import analyze_paths, render_human
+    findings = analyze_paths(["src"])
+    print(render_human(findings))
+
+or from the command line: ``python -m repro lint --strict src``.
+See ``docs/analysis.md`` for the rule catalogue and suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.engine import (
+    Finding,
+    ModuleContext,
+    Rule,
+    Severity,
+    analyze_file,
+    analyze_paths,
+    render_human,
+    render_json,
+)
+from repro.analysis.rules import RULES, all_rules, rules_for
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "RULES",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "apply_baseline",
+    "load_baseline",
+    "render_human",
+    "render_json",
+    "rules_for",
+    "write_baseline",
+]

@@ -1,0 +1,57 @@
+"""Findings baselines: ratchet rule severity without a flag day.
+
+``repro lint --write-baseline FILE`` snapshots the current findings;
+``repro lint --baseline FILE`` subtracts that snapshot from later runs so
+only *new* violations fail the build.  Fingerprints deliberately exclude
+line numbers (see :meth:`repro.analysis.engine.Finding.fingerprint`), so
+edits elsewhere in a file do not resurrect baselined findings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.analysis.engine import Finding
+
+_VERSION = 1
+
+
+def write_baseline(findings: Iterable[Finding], path: Path) -> int:
+    """Snapshot fingerprint counts to ``path``; returns the finding count."""
+    counts = Counter(finding.fingerprint() for finding in findings)
+    payload = {
+        "version": _VERSION,
+        "fingerprints": dict(sorted(counts.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return sum(counts.values())
+
+
+def load_baseline(path: Path) -> Counter[str]:
+    """Load a snapshot; raises ``ValueError`` on an unknown schema."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ValueError(f"unsupported baseline format in {path}")
+    fingerprints = payload.get("fingerprints", {})
+    counts: Counter[str] = Counter()
+    for fingerprint, count in fingerprints.items():
+        counts[str(fingerprint)] = int(count)
+    return counts
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Counter[str]
+) -> list[Finding]:
+    """Drop findings covered by the baseline (counted per fingerprint)."""
+    remaining = Counter(baseline)
+    kept: list[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if remaining[fingerprint] > 0:
+            remaining[fingerprint] -= 1
+        else:
+            kept.append(finding)
+    return kept

@@ -1,0 +1,324 @@
+"""Domain-aware static analysis engine for the LRGP reproduction.
+
+The LRGP decomposition is only correct when a handful of silent invariants
+hold — prices stay in the non-negative orthant (eq. 12-13), the adaptive
+step size stays clamped (section 4.2), agents exchange state only through
+protocol messages, and the optimizer treats the :class:`~repro.model.problem.Problem`
+as frozen.  None of those invariants is visible to a general-purpose linter,
+so this module provides a small AST-based rule engine that encodes them as
+machine-checked rules (see :mod:`repro.analysis.rules`).
+
+The engine is deliberately tiny: a findings model, a per-module context
+handed to every rule, inline-suppression parsing, a file walker, and the two
+reporters (human and JSON) used by ``python -m repro lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import json
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Inline suppression, e.g. ``x == 0.0  # repro-lint: disable=R2`` or
+#: ``# repro-lint: disable-file=R6,R7`` anywhere in the file.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?P<scope>-file)?=(?P<ids>[A-Za-z0-9_,\s]+)"
+)
+
+#: Equation tags as they appear in docstrings and in DESIGN.md: ``eq. 12``,
+#: ``eqs. 4-5``, ``equations 6-9`` (hyphen or en-dash ranges).
+EQUATION_TAG_RE = re.compile(
+    r"\beq(?:s|uations?)?\.?\s*(?P<first>\d+)(?:\s*[-–]\s*(?P<last>\d+))?",
+    re.IGNORECASE,
+)
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ``--strict`` treats both as fatal."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+
+    def fingerprint(self) -> str:
+        """Location-insensitive identity used by the baseline machinery.
+
+        The line number is deliberately excluded so that unrelated edits
+        above a baselined finding do not un-baseline it.
+        """
+        return f"{self.rule_id}::{self.path}::{self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+def _sort_key(finding: Finding) -> tuple[str, int, str, str]:
+    return (finding.path, finding.line, finding.rule_id, finding.message)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one analyzed module."""
+
+    path: Path
+    display_path: str
+    module: str
+    source: str
+    tree: ast.Module
+    #: Equation numbers defined by DESIGN.md, or ``None`` when no DESIGN.md
+    #: was found (equation-tag checks are then skipped).
+    known_equations: frozenset[int] | None = None
+    _line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    _file_suppressions: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        for lineno, raw in enumerate(self.source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(raw)
+            if match is None:
+                continue
+            ids = {part.strip().upper() for part in match.group("ids").split(",")}
+            ids.discard("")
+            if match.group("scope"):
+                self._file_suppressions |= ids
+            else:
+                self._line_suppressions.setdefault(lineno, set()).update(ids)
+
+    def suppressed(self, finding: Finding) -> bool:
+        for ids in (
+            self._file_suppressions,
+            self._line_suppressions.get(finding.line, set()),
+        ):
+            if "ALL" in ids or finding.rule_id.upper() in ids:
+                return True
+        return False
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`, which
+    yields findings for one module.  Rules must be stateless across modules
+    (one instance is reused for a whole run).
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    #: One-line justification, referencing the paper invariant it protects.
+    rationale: str = ""
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, context: ModuleContext, line: int, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=context.display_path,
+            line=line,
+            message=message,
+        )
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name, anchored at the last ``repro`` directory.
+
+    ``src/repro/core/prices.py`` maps to ``repro.core.prices``; paths
+    outside a ``repro`` tree map to the empty string, which path-scoped
+    rules treat as out of scope.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return ".".join(parts[index:])
+    return ""
+
+
+def equations_from_text(text: str) -> frozenset[int]:
+    """All equation numbers named in free text, with ranges expanded."""
+    numbers: set[int] = set()
+    for match in EQUATION_TAG_RE.finditer(text):
+        first = int(match.group("first"))
+        last = int(match.group("last") or first)
+        if first <= last and last - first <= 100:
+            numbers.update(range(first, last + 1))
+    return frozenset(numbers)
+
+
+def find_design_equations(start: Path) -> frozenset[int] | None:
+    """Equation numbers from the nearest ``DESIGN.md`` above ``start``."""
+    for directory in [start, *start.parents]:
+        candidate = directory / "DESIGN.md"
+        if candidate.is_file():
+            return equations_from_text(candidate.read_text(encoding="utf-8"))
+    return None
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not any(part.startswith(".") for part in p.parts)
+            )
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                ordered.append(candidate)
+    return ordered
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+_DISCOVER = object()  # sentinel: look known_equations up from DESIGN.md
+
+
+def build_context(
+    path: Path,
+    *,
+    known_equations: object = _DISCOVER,
+) -> ModuleContext | Finding:
+    """Parse one file into a :class:`ModuleContext`.
+
+    Returns a parse-error :class:`Finding` instead when the file does not
+    parse — a file the compiler rejects can satisfy no invariant.
+    """
+    source = path.read_text(encoding="utf-8")
+    display = _display_path(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return Finding(
+            rule_id="E000",
+            severity=Severity.ERROR,
+            path=display,
+            line=error.lineno or 1,
+            message=f"file does not parse: {error.msg}",
+        )
+    if known_equations is _DISCOVER:
+        equations = find_design_equations(path.resolve().parent)
+    else:
+        equations = known_equations  # type: ignore[assignment]
+    return ModuleContext(
+        path=path,
+        display_path=display,
+        module=module_name(path),
+        source=source,
+        tree=tree,
+        known_equations=equations,  # type: ignore[arg-type]
+    )
+
+
+def analyze_file(
+    path: Path,
+    rules: Sequence[Rule],
+    *,
+    known_equations: object = _DISCOVER,
+) -> list[Finding]:
+    """Run ``rules`` over one file, honouring inline suppressions."""
+    context = build_context(path, known_equations=known_equations)
+    if isinstance(context, Finding):
+        return [context]
+    findings = [
+        finding
+        for rule in rules
+        for finding in rule.check(context)
+        if not context.suppressed(finding)
+    ]
+    return sorted(findings, key=_sort_key)
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Run the given rules (default: the full registry) over files/trees."""
+    if rules is None:
+        from repro.analysis.rules import all_rules
+
+        rules = all_rules()
+    equation_cache: dict[Path, frozenset[int] | None] = {}
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        anchor = path.resolve().parent
+        if anchor not in equation_cache:
+            equation_cache[anchor] = find_design_equations(anchor)
+        findings.extend(
+            analyze_file(path, rules, known_equations=equation_cache[anchor])
+        )
+    return sorted(findings, key=_sort_key)
+
+
+# -- reporters ---------------------------------------------------------------
+
+
+def render_human(findings: Iterable[Finding]) -> str:
+    """GCC-style one-line-per-finding report with a trailing summary."""
+    ordered = sorted(findings, key=_sort_key)
+    lines = [
+        f"{f.path}:{f.line}: {f.rule_id} {f.severity}: {f.message}" for f in ordered
+    ]
+    errors = sum(1 for f in ordered if f.severity is Severity.ERROR)
+    warnings = len(ordered) - errors
+    if ordered:
+        files = len({f.path for f in ordered})
+        lines.append(
+            f"{len(ordered)} finding{'s' if len(ordered) != 1 else ''} "
+            f"({errors} error{'s' if errors != 1 else ''}, "
+            f"{warnings} warning{'s' if warnings != 1 else ''}) "
+            f"in {files} file{'s' if files != 1 else ''}"
+        )
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable report (stable schema, see docs/analysis.md)."""
+    ordered = sorted(findings, key=_sort_key)
+    payload = {
+        "version": 1,
+        "count": len(ordered),
+        "errors": sum(1 for f in ordered if f.severity is Severity.ERROR),
+        "warnings": sum(1 for f in ordered if f.severity is Severity.WARNING),
+        "findings": [f.to_dict() for f in ordered],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,67 @@
+"""Rule registry for the LRGP domain linter.
+
+Every concrete rule is registered in :data:`RULES`;
+``tests/analysis/test_rules.py`` is parametrized over this mapping, so a
+newly registered rule fails the suite until it ships with a violating and
+a clean fixture.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.agent_isolation import AgentIsolationRule
+from repro.analysis.rules.annotations import PublicAnnotationRule
+from repro.analysis.rules.equation_tags import EquationTagRule
+from repro.analysis.rules.exceptions import ExceptionHygieneRule
+from repro.analysis.rules.float_equality import FloatEqualityRule
+from repro.analysis.rules.frozen_model import FrozenModelRule
+from repro.analysis.rules.projection import UnprojectedUpdateRule
+from repro.analysis.rules.randomness import UnseededRandomnessRule
+
+#: Rule id -> rule class, ordered by id.
+RULES: dict[str, type[Rule]] = {
+    rule.rule_id: rule
+    for rule in (
+        UnseededRandomnessRule,
+        FloatEqualityRule,
+        UnprojectedUpdateRule,
+        AgentIsolationRule,
+        FrozenModelRule,
+        PublicAnnotationRule,
+        ExceptionHygieneRule,
+        EquationTagRule,
+    )
+}
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in id order."""
+    return [RULES[rule_id]() for rule_id in sorted(RULES)]
+
+
+def rules_for(ids: list[str] | None) -> list[Rule]:
+    """Instances for a ``--rules R2,R5`` style selection (None = all)."""
+    if ids is None:
+        return all_rules()
+    unknown = [rule_id for rule_id in ids if rule_id not in RULES]
+    if unknown:
+        raise KeyError(
+            f"unknown rule id(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(RULES))}"
+        )
+    return [RULES[rule_id]() for rule_id in sorted(set(ids))]
+
+
+__all__ = [
+    "RULES",
+    "all_rules",
+    "rules_for",
+    "AgentIsolationRule",
+    "EquationTagRule",
+    "ExceptionHygieneRule",
+    "FloatEqualityRule",
+    "FrozenModelRule",
+    "PublicAnnotationRule",
+    "UnprojectedUpdateRule",
+    "UnseededRandomnessRule",
+]

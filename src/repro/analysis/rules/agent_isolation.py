@@ -1,0 +1,106 @@
+"""R4 — runtime agents share nothing but protocol messages.
+
+The whole point of the LRGP deployment (section 3.5) is that sources,
+nodes and links exchange *only* price/rate/population messages; the
+sync-vs-async equivalence and the staleness-tolerance argument both
+collapse if one agent can peek at (or mutate) another agent's state
+between rounds.  Inside ``repro.runtime`` agent classes this rule flags:
+
+* reads of ``_``-private attributes on anything other than ``self``;
+* writes to attributes of non-``self`` objects;
+* parameters or attributes that smuggle a whole agent instance into
+  another agent's state.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule, Severity
+
+_SCOPED_PREFIX = "repro.runtime"
+
+
+def _is_agent_class(node: ast.ClassDef) -> bool:
+    if node.name.endswith("Agent"):
+        return True
+    for base in node.bases:
+        if isinstance(base, ast.Name) and base.id.endswith("Agent"):
+            return True
+        if isinstance(base, ast.Attribute) and base.attr.endswith("Agent"):
+            return True
+    return False
+
+
+def _is_self(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _is_private(attr: str) -> bool:
+    return attr.startswith("_") and not attr.startswith("__")
+
+
+class AgentIsolationRule(Rule):
+    rule_id = "R4"
+    title = "agents must not reach into other agents' state"
+    severity = Severity.ERROR
+    rationale = (
+        "section 3.5: the distributed protocol exchanges only messages; "
+        "cross-agent state sharing voids the sync/async equivalence"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.module.startswith(_SCOPED_PREFIX):
+            return
+        for class_node in ast.walk(context.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            if not _is_agent_class(class_node):
+                continue
+            yield from self._check_class(context, class_node)
+
+    def _check_class(
+        self, context: ModuleContext, class_node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(class_node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for arg in (
+                    *node.args.posonlyargs,
+                    *node.args.args,
+                    *node.args.kwonlyargs,
+                ):
+                    annotation = arg.annotation
+                    if annotation is not None and "Agent" in ast.unparse(annotation):
+                        yield self.finding(
+                            context,
+                            arg.lineno,
+                            f"{class_node.name}.{node.name}() takes another "
+                            f"agent instance ({arg.arg}); agents may only "
+                            "exchange protocol messages",
+                        )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute) and not _is_self(
+                        target.value
+                    ):
+                        if isinstance(target.value, ast.Attribute) and _is_self(
+                            target.value.value
+                        ):
+                            continue  # self._x.y = ... mutates own state
+                        yield self.finding(
+                            context,
+                            target.lineno,
+                            f"{class_node.name} writes attribute "
+                            f"{target.attr!r} of a non-self object; send a "
+                            "message instead",
+                        )
+            elif isinstance(node, ast.Attribute):
+                if _is_private(node.attr) and not _is_self(node.value):
+                    yield self.finding(
+                        context,
+                        node.lineno,
+                        f"{class_node.name} reads private attribute "
+                        f"{node.attr!r} of a non-self object; agents may only "
+                        "exchange protocol messages",
+                    )

@@ -1,0 +1,90 @@
+"""R6 — public functions in the core and model packages are fully typed.
+
+``repro`` ships ``py.typed``: downstream users type-check against these
+signatures, and the strict-mypy CI lane only works if every public entry
+point in ``repro.core`` and ``repro.model`` annotates all parameters
+(including ``*args``/``**kwargs``) and the return type.  Private helpers
+(leading underscore, excluding dunders) and nested functions are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule, Severity
+
+_SCOPED_PREFIXES = ("repro.core", "repro.model")
+
+
+def _is_public(name: str) -> bool:
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return not name.startswith("_")
+
+
+def _missing_annotations(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, *, is_method: bool
+) -> list[str]:
+    missing: list[str] = []
+    positional = [*node.args.posonlyargs, *node.args.args]
+    skip_first = is_method and not any(
+        isinstance(decorator, ast.Name) and decorator.id == "staticmethod"
+        for decorator in node.decorator_list
+    )
+    for index, arg in enumerate(positional):
+        if index == 0 and skip_first:
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in node.args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if node.args.vararg is not None and node.args.vararg.annotation is None:
+        missing.append(f"*{node.args.vararg.arg}")
+    if node.args.kwarg is not None and node.args.kwarg.annotation is None:
+        missing.append(f"**{node.args.kwarg.arg}")
+    if node.returns is None:
+        missing.append("return")
+    return missing
+
+
+class PublicAnnotationRule(Rule):
+    rule_id = "R6"
+    title = "public core/model functions must be fully type-annotated"
+    severity = Severity.WARNING
+    rationale = (
+        "the package ships py.typed and CI runs mypy --strict on "
+        "repro.core/repro.model; unannotated publics poison inference"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.module.startswith(_SCOPED_PREFIXES):
+            return
+        for owner, function in self._public_functions(context.tree):
+            missing = _missing_annotations(function, is_method=owner is not None)
+            if missing:
+                qualified = (
+                    f"{owner}.{function.name}" if owner else function.name
+                )
+                yield self.finding(
+                    context,
+                    function.lineno,
+                    f"public function {qualified}() is missing annotations "
+                    f"for: {', '.join(missing)}",
+                )
+
+    @staticmethod
+    def _public_functions(
+        tree: ast.Module,
+    ) -> Iterator[tuple[str | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_public(node.name):
+                    yield None, node
+            elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+                for member in node.body:
+                    if isinstance(
+                        member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and _is_public(member.name):
+                        yield node.name, member

@@ -1,0 +1,89 @@
+"""R8 — docstring equation tags in the core must exist in DESIGN.md.
+
+The core docstrings cite the paper's equations (``eq. 12``) as their
+specification; DESIGN.md's equation index is the single source of truth
+for which equations the reproduction implements.  A tag that references
+an equation absent from DESIGN.md is either a typo or a drifted docstring
+— both corrode the paper-to-code mapping this repo exists to preserve.
+
+When no DESIGN.md is found above the analyzed file the rule is silent
+(there is nothing to validate against).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import (
+    EQUATION_TAG_RE,
+    Finding,
+    ModuleContext,
+    Rule,
+    Severity,
+)
+
+_SCOPED_PREFIX = "repro.core"
+
+
+def _docstring_nodes(tree: ast.Module) -> Iterator[ast.Constant]:
+    """The string-constant node of every module/class/function docstring."""
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        body = node.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            yield body[0].value
+
+
+class EquationTagRule(Rule):
+    rule_id = "R8"
+    title = "core docstring equation tags must exist in DESIGN.md"
+    severity = Severity.ERROR
+    rationale = (
+        "docstrings cite equations as their spec; a tag missing from "
+        "DESIGN.md's equation index is a typo or drifted documentation"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.module.startswith(_SCOPED_PREFIX):
+            return
+        known = context.known_equations
+        if known is None:
+            return
+        for node in _docstring_nodes(context.tree):
+            text = node.value
+            # The docstring constant's lineno is its *last* line on
+            # Python < 3.8 semantics; modern ast gives the first line, so
+            # offsets from the raw text locate each tag.
+            for match in EQUATION_TAG_RE.finditer(text):
+                first = int(match.group("first"))
+                last = int(match.group("last") or first)
+                unknown = sorted(
+                    n for n in range(first, min(last, first + 100) + 1)
+                    if n not in known
+                )
+                if not unknown:
+                    continue
+                line = node.lineno + text.count("\n", 0, match.start())
+                tags = ", ".join(f"eq. {n}" for n in unknown)
+                yield self.finding(
+                    context,
+                    line,
+                    f"docstring references {tags}, not defined in DESIGN.md "
+                    f"(known equations: {self._known_summary(known)})",
+                )
+
+    @staticmethod
+    def _known_summary(known: frozenset[int]) -> str:
+        if not known:
+            return "none"
+        ordered = sorted(known)
+        return f"{ordered[0]}-{ordered[-1]}" if len(ordered) > 1 else str(ordered[0])

@@ -1,0 +1,60 @@
+"""R7 — no bare or swallowed exceptions in the runtime and event engines.
+
+The runtime and event engines are the layers that *enact* allocations;
+an exception silently swallowed there leaves agents with stale prices or
+brokers with dropped messages while the optimizer believes the iterate
+landed — precisely the staleness failure mode section 3.5 is careful
+about.  Bare ``except:`` (which also catches ``KeyboardInterrupt`` and
+``SystemExit``) is flagged everywhere; ``except ...: pass`` handlers are
+flagged inside ``repro.runtime`` and ``repro.events``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule, Severity
+
+_ENGINE_PREFIXES = ("repro.runtime", "repro.events")
+
+
+def _catches_base_exception(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    return isinstance(handler.type, ast.Name) and handler.type.id == "BaseException"
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    return all(isinstance(statement, ast.Pass) for statement in handler.body)
+
+
+class ExceptionHygieneRule(Rule):
+    rule_id = "R7"
+    title = "no bare except / swallowed exceptions in runtime+events"
+    severity = Severity.ERROR
+    rationale = (
+        "a swallowed failure in the enactment path leaves agents on stale "
+        "prices while the optimizer believes the update landed (section 3.5)"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        in_engine = context.module.startswith(_ENGINE_PREFIXES)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _catches_base_exception(node):
+                caught = "bare 'except:'" if node.type is None else "'except BaseException:'"
+                yield self.finding(
+                    context,
+                    node.lineno,
+                    f"{caught} also catches KeyboardInterrupt/SystemExit; "
+                    "catch a specific exception type",
+                )
+            elif in_engine and _swallows(node):
+                yield self.finding(
+                    context,
+                    node.lineno,
+                    "exception handler swallows the error with 'pass'; "
+                    "engines must surface or explicitly record failures",
+                )

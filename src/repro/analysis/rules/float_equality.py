@@ -1,0 +1,108 @@
+"""R2 — no float ``==``/``!=`` on rates, prices, utilities or step sizes.
+
+Rates, prices and utilities are the iterates of a fixed-point computation
+(eq. 7, 12-13); comparing them with raw ``==`` either encodes a hidden
+"exactly clamped to 0.0" assumption or is a straight bug.  Both cases must
+go through :mod:`repro.utility.tolerance` (``is_zero``, ``close_enough``)
+or the explicit predicates ``math.isinf``/``math.isnan``/``math.isclose``,
+which name the intent and centralize the tolerances.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule, Severity
+
+#: The tolerance helpers themselves implement the raw comparisons, once.
+_EXEMPT_MODULES = {"repro.utility.tolerance"}
+
+#: Identifier fragments that mark a quantity as one of the paper's
+#: continuous iterates (flow rates, resource prices, utilities, step sizes).
+_FLOAT_HINT = re.compile(r"rate|price|gamma|util|capacit", re.IGNORECASE)
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _is_inf_expression(node: ast.expr) -> bool:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "math"
+        and node.attr in {"inf", "nan"}
+    ):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+        and node.args[0].value.lower().lstrip("+-") in {"inf", "infinity", "nan"}
+    )
+
+
+def _hinted_identifier(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name) and _FLOAT_HINT.search(node.id):
+        return node.id
+    if isinstance(node, ast.Attribute) and _FLOAT_HINT.search(node.attr):
+        return node.attr
+    return None
+
+
+def _describe(node: ast.expr) -> str:
+    if _is_float_literal(node):
+        return "a float literal"
+    if _is_inf_expression(node):
+        return "an infinity/NaN constant"
+    name = _hinted_identifier(node)
+    return f"'{name}'" if name else "a float expression"
+
+
+class FloatEqualityRule(Rule):
+    rule_id = "R2"
+    title = "no float ==/!= on rates, prices, utilities or step sizes"
+    severity = Severity.ERROR
+    rationale = (
+        "rates/prices/utilities are fixed-point iterates (eq. 7, 12-13); raw "
+        "equality hides clamp assumptions — use repro.utility.tolerance"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if context.module in _EXEMPT_MODULES:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                pair = (operands[index], operands[index + 1])
+                suspect = next(
+                    (
+                        operand
+                        for operand in pair
+                        if _is_float_literal(operand)
+                        or _is_inf_expression(operand)
+                        or _hinted_identifier(operand)
+                    ),
+                    None,
+                )
+                if suspect is None:
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.finding(
+                    context,
+                    node.lineno,
+                    f"float {symbol} comparison involving {_describe(suspect)}; "
+                    "use repro.utility.tolerance (is_zero/close_enough) or "
+                    "math.isinf/math.isnan",
+                )

@@ -1,0 +1,109 @@
+"""R5 — the optimizer core never mutates the Problem or its topology.
+
+LRGP treats the problem instance — flows, classes, nodes, links, cost
+maps, routes — as frozen input: reconfiguration goes through
+``Problem.without_flow``-style copy-on-write constructors (the figure 3
+recovery path), never in-place mutation.  In-place edits desynchronize
+the agents (each holds a reference to the same object) and invalidate
+cached routes.  This rule flags, inside ``repro.core``, any assignment,
+deletion or known mutating method call whose receiver chain is rooted at
+a ``problem``/``topology`` object.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule, Severity
+
+_SCOPED_PREFIX = "repro.core"
+_ROOT_NAME = re.compile(r"(^|_)(problem|topology)$", re.IGNORECASE)
+_MUTATORS = {
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "clear",
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "discard",
+    "add",
+    "sort",
+    "reverse",
+}
+
+
+def _root_is_model(node: ast.expr) -> bool:
+    """True when an attribute/subscript chain is rooted at a model object."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute) and _ROOT_NAME.search(node.attr):
+            return True
+        node = node.value
+    return isinstance(node, ast.Name) and bool(_ROOT_NAME.search(node.id))
+
+
+def _mutated_target(target: ast.expr) -> bool:
+    """A write like ``problem.x = ...`` or ``problem.flows[k] = ...``.
+
+    Plain rebinding (``self._problem = problem``, ``problem = ...``) is
+    fine: the flagged case is a write *through* the model object, i.e. the
+    target is an attribute/subscript whose base chain reaches a model root.
+    """
+    if not isinstance(target, (ast.Attribute, ast.Subscript)):
+        return False
+    return _root_is_model(target.value)
+
+
+class FrozenModelRule(Rule):
+    rule_id = "R5"
+    title = "repro.core must not mutate Problem/topology objects"
+    severity = Severity.ERROR
+    rationale = (
+        "agents share one Problem reference; in-place edits desynchronize "
+        "them — reconfiguration must build a new Problem (figure 3 path)"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.module.startswith(_SCOPED_PREFIX):
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATORS
+                    and _root_is_model(func.value)
+                ):
+                    yield self.finding(
+                        context,
+                        node.lineno,
+                        f"call to mutating method .{func.attr}() on a "
+                        "Problem/topology object; build a new Problem instead",
+                    )
+                continue
+            else:
+                continue
+            for target in targets:
+                elements = (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for element in elements:
+                    if _mutated_target(element):
+                        yield self.finding(
+                            context,
+                            element.lineno,
+                            "write through a Problem/topology object; the "
+                            "optimizer must treat the model as frozen",
+                        )

@@ -1,0 +1,117 @@
+"""R3 — price and gamma writes must be projected or validated.
+
+Eq. 12-13 define the price iterates as *projections* onto the non-negative
+orthant, and section 4.2 clamps the adaptive step size to [0.001, 0.1].
+A price or gamma assignment that reaches the instance attribute without a
+``max``/``min``/``clamp`` projection (or a raising validation guard for
+externally supplied values) silently breaks dual feasibility — the classic
+distributed-Lagrangian sign bug.
+
+The check is per-function: any function in the price/gamma modules that
+writes a ``price``- or ``gamma``-named target must contain either a
+projection call (``max``/``min``/``clamp``/``clip``) or a ``raise``-based
+validation guard.  Module-level constants (the clamp bounds themselves)
+are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule, Severity
+
+_SCOPED_MODULES = {"repro.core.prices", "repro.core.gamma"}
+_TARGET_NAME = re.compile(r"price|gamma", re.IGNORECASE)
+_PROJECTION_FUNCTIONS = {"max", "min", "clamp", "clip"}
+
+
+def _target_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _written_targets(statement: ast.stmt) -> list[tuple[str, int]]:
+    """(name, line) for every price/gamma-like assignment target."""
+    targets: list[ast.expr] = []
+    if isinstance(statement, ast.Assign):
+        targets = list(statement.targets)
+    elif isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
+        targets = [statement.target]
+    written: list[tuple[str, int]] = []
+    for target in targets:
+        elements = target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+        for element in elements:
+            name = _target_name(element)
+            if name is not None and _TARGET_NAME.search(name):
+                written.append((name, element.lineno))
+    return written
+
+
+def _has_projection(function: ast.AST) -> bool:
+    for node in ast.walk(function):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _PROJECTION_FUNCTIONS:
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _PROJECTION_FUNCTIONS:
+                return True
+    return False
+
+
+_VALIDATOR_NAME = re.compile(r"validate|check|require", re.IGNORECASE)
+
+
+def _has_validation_guard(function: ast.AST) -> bool:
+    """A raising guard, inline or delegated to a ``validate_*`` helper."""
+    for node in ast.walk(function):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            if name is not None and _VALIDATOR_NAME.search(name):
+                return True
+    return False
+
+
+class UnprojectedUpdateRule(Rule):
+    rule_id = "R3"
+    title = "price/gamma writes must flow through a projection or guard"
+    severity = Severity.ERROR
+    rationale = (
+        "eq. 12-13 project prices onto the non-negative orthant and section "
+        "4.2 clamps gamma to [0.001, 0.1]; an unprojected write breaks dual "
+        "feasibility"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if context.module not in _SCOPED_MODULES:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            writes = [
+                written
+                for statement in ast.walk(node)
+                if isinstance(statement, ast.stmt)
+                for written in _written_targets(statement)
+            ]
+            if not writes:
+                continue
+            if _has_projection(node) or _has_validation_guard(node):
+                continue
+            for name, line in writes:
+                yield self.finding(
+                    context,
+                    line,
+                    f"assignment to {name!r} in {node.name}() has no "
+                    "max/min/clamp projection and no raising validation guard",
+                )

@@ -1,0 +1,97 @@
+"""R1 — no unseeded randomness outside the workload generator.
+
+Every experiment in the reproduction must be replayable: figures, tables
+and the sync/async runtime comparisons all assume that a seed pins the
+whole trajectory.  The process-global RNG (``random.random()`` and
+friends, or ``numpy.random.*``) is shared mutable state that any import
+can perturb, so all randomness must flow through an explicitly seeded
+``random.Random`` (or ``numpy.random.default_rng``) instance.  Only
+:mod:`repro.workloads.generator` — whose whole job is generating seeded
+workloads — may own that discipline locally.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule, Severity
+
+#: Constructors of explicitly-seeded generators; everything else on the
+#: ``random`` / ``numpy.random`` modules touches global state.
+_ALLOWED_RANDOM = {"Random", "SystemRandom"}
+_ALLOWED_NUMPY = {"default_rng", "Generator", "SeedSequence", "RandomState"}
+_EXEMPT_MODULES = {"repro.workloads.generator"}
+
+
+def _is_numpy_random(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in {"numpy", "np"}
+    )
+
+
+class UnseededRandomnessRule(Rule):
+    rule_id = "R1"
+    title = "no unseeded global randomness outside workloads.generator"
+    severity = Severity.ERROR
+    rationale = (
+        "replayability: every trajectory (figures 1-4, sync/async equivalence) "
+        "must be pinned by an explicit seed"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if context.module in _EXEMPT_MODULES:
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name not in _ALLOWED_RANDOM
+                ]
+                if bad:
+                    yield self.finding(
+                        context,
+                        node.lineno,
+                        "importing global-state functions from 'random' "
+                        f"({', '.join(bad)}); construct a seeded random.Random "
+                        "instead",
+                    )
+            elif isinstance(node, ast.Attribute):
+                if (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == "random"
+                    and node.attr not in _ALLOWED_RANDOM
+                ):
+                    yield self.finding(
+                        context,
+                        node.lineno,
+                        f"'random.{node.attr}' uses the process-global RNG; "
+                        "use a seeded random.Random instance",
+                    )
+                elif _is_numpy_random(node.value) and node.attr not in _ALLOWED_NUMPY:
+                    yield self.finding(
+                        context,
+                        node.lineno,
+                        f"'numpy.random.{node.attr}' uses the global numpy RNG; "
+                        "use numpy.random.default_rng(seed)",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "Random"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield self.finding(
+                        context,
+                        node.lineno,
+                        "'random.Random()' without a seed is entropy-seeded; "
+                        "pass an explicit seed",
+                    )

@@ -16,6 +16,8 @@ from above, giving tests and experiments an absolute yardstick:
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.model.entities import NodeId
@@ -73,7 +75,7 @@ def capacity_density_bound(problem: Problem) -> float:
     for node_id in problem.consumer_nodes():
         capacity = problem.nodes[node_id].capacity
         demand = node_demand(problem, node_id)
-        if capacity == float("inf"):
+        if math.isinf(capacity):
             total += demand
             continue
         best_density = max(
@@ -83,7 +85,7 @@ def capacity_density_bound(problem: Problem) -> float:
             ),
             default=0.0,
         )
-        if best_density == float("inf"):
+        if math.isinf(best_density):
             total += demand
         else:
             total += min(demand, capacity * best_density)

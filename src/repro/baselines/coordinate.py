@@ -28,6 +28,7 @@ the paper's workloads (``benchmarks/test_extension_coordinate.py``):
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 
@@ -85,7 +86,7 @@ def _solve_rate_stage(problem: Problem, allocation: Allocation) -> dict[str, flo
     rows = []
     bounds_rhs = []
     for node_id, node in problem.nodes.items():
-        if node.capacity == float("inf"):
+        if math.isinf(node.capacity):
             continue
         row = np.zeros(len(flow_ids))
         for flow_id in problem.flows_at_node(node_id):
@@ -98,7 +99,7 @@ def _solve_rate_stage(problem: Problem, allocation: Allocation) -> dict[str, flo
         rows.append(row)
         bounds_rhs.append(node.capacity)
     for link_id, link in problem.links.items():
-        if link.capacity == float("inf"):
+        if math.isinf(link.capacity):
             continue
         row = np.zeros(len(flow_ids))
         for flow_id in problem.flows_on_link(link_id):
@@ -153,7 +154,7 @@ def _project_rates(problem: Problem, rates: dict[str, float]) -> dict[str, float
     }
     scale = 1.0
     for link_id, link in problem.links.items():
-        if link.capacity == float("inf"):
+        if math.isinf(link.capacity):
             continue
         usage = sum(
             problem.costs.link(link_id, flow_id) * projected[flow_id]
@@ -162,7 +163,7 @@ def _project_rates(problem: Problem, rates: dict[str, float]) -> dict[str, float
         if usage > link.capacity:
             scale = min(scale, link.capacity / usage)
     for node_id, node in problem.nodes.items():
-        if node.capacity == float("inf"):
+        if math.isinf(node.capacity):
             continue
         usage = sum(
             problem.costs.flow_node(node_id, flow_id) * projected[flow_id]

@@ -19,6 +19,7 @@ the usage).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.model.allocation import Allocation
@@ -129,7 +130,7 @@ class IncrementalState:
         if delta_rate > 0.0:  # decreases can never violate resources
             for node_id in route.nodes:
                 capacity = problem.nodes[node_id].capacity
-                if capacity == float("inf"):
+                if math.isinf(capacity):
                     continue
                 new_used = (
                     self.node_used[node_id]
@@ -139,7 +140,7 @@ class IncrementalState:
                     return None
             for link_id in route.links:
                 capacity = problem.links[link_id].capacity
-                if capacity == float("inf"):
+                if math.isinf(capacity):
                     continue
                 new_used = (
                     self.link_used[link_id]
@@ -173,7 +174,7 @@ class IncrementalState:
 
         if delta > 0:
             capacity = problem.nodes[cls.node].capacity
-            if capacity != float("inf"):
+            if not math.isinf(capacity):
                 new_used = self.node_used[cls.node] + unit_cost * delta * rate
                 if new_used > capacity * (1.0 + _CAPACITY_RTOL):
                     return None
@@ -259,7 +260,7 @@ class IncrementalState:
         route = problem.route(flow_id)
         for link_id in route.links:
             capacity = problem.links[link_id].capacity
-            if capacity == float("inf"):
+            if math.isinf(capacity):
                 continue
             new_used = (
                 self.link_used[link_id]
@@ -273,7 +274,7 @@ class IncrementalState:
         evictions: list[PopulationMove] = []
         for node_id in route.nodes:
             capacity = problem.nodes[node_id].capacity
-            if capacity == float("inf"):
+            if math.isinf(capacity):
                 continue
             coefficient = self._coeff[(node_id, flow_id)]
             excess = (

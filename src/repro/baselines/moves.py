@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.baselines.incremental import IncrementalState, Move
 from repro.model.problem import Problem
+from repro.utility.tolerance import is_zero
 
 
 @dataclass(frozen=True)
@@ -116,7 +117,7 @@ class MoveProposer:
             return None
         step = self._rng.gauss(0.0, self._config.rate_step_fraction * span)
         new_rate = flow.clamp(state.rates[flow_id] + step)
-        if new_rate == state.rates[flow_id]:
+        if is_zero(new_rate - state.rates[flow_id]):
             return None
         if evict:
             return state.evaluate_rate_move_with_eviction(flow_id, new_rate)

@@ -10,6 +10,8 @@ Commands:
   chart plus data rows.
 * ``table``     — regenerate one of the paper's tables (1-3).
 * ``extension`` — run one of the extension experiments (E1-E3).
+* ``lint``      — run the domain-aware static analyzer (docs/analysis.md)
+  over source trees, with JSON output, baselines and strict exit codes.
 
 Examples::
 
@@ -19,6 +21,8 @@ Examples::
     python -m repro figure 1
     python -m repro table 2 --sa-steps 200000
     python -m repro extension e2
+    python -m repro lint --strict src
+    python -m repro lint --format json --rules R2,R5 src
 """
 
 from __future__ import annotations
@@ -225,6 +229,59 @@ def cmd_extension(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the analyzer is pure stdlib but irrelevant to the
+    # optimization commands, and keeping it out of module import keeps
+    # `python -m repro optimize` startup unchanged.
+    from repro.analysis import (
+        Severity,
+        analyze_paths,
+        apply_baseline,
+        load_baseline,
+        render_human,
+        render_json,
+        rules_for,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule in rules_for(None):
+            print(f"{rule.rule_id}  {rule.severity}  {rule.title}")
+        return 0
+
+    if args.rules:
+        requested = [part.strip().upper() for part in args.rules.split(",") if part.strip()]
+        if not requested:
+            raise SystemExit(f"--rules got no rule ids: {args.rules!r}")
+    else:
+        requested = None
+    try:
+        rules = rules_for(requested)
+    except KeyError as error:
+        raise SystemExit(str(error.args[0])) from error
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        raise SystemExit(f"no such file or directory: {', '.join(missing)}")
+    findings = analyze_paths(paths, rules)
+
+    if args.write_baseline is not None:
+        count = write_baseline(findings, Path(args.write_baseline))
+        print(f"baseline with {count} finding(s) written to {args.write_baseline}")
+        return 0
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            raise SystemExit(f"baseline file not found: {args.baseline}")
+        findings = apply_baseline(findings, load_baseline(baseline_path))
+
+    print(render_json(findings) if args.format == "json" else render_human(findings))
+    if args.strict:
+        return 1 if findings else 0
+    return 1 if any(f.severity is Severity.ERROR for f in findings) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -275,6 +332,39 @@ def build_parser() -> argparse.ArgumentParser:
         "name", choices=["e1", "e2", "e3", "e4", "e5", "e6", "e7"]
     )
     extension.set_defaults(func=cmd_extension)
+
+    lint = sub.add_parser(
+        "lint", help="run the domain-aware static analyzer (docs/analysis.md)"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: src/ if present)",
+    )
+    lint.add_argument(
+        "--format", choices=["human", "json"], default="human",
+        help="report format (default: human)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on any finding, warnings included",
+    )
+    lint.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="subtract a findings snapshot; only new findings are reported",
+    )
+    lint.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="snapshot current findings to FILE and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

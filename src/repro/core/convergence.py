@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.utility.tolerance import is_zero
+
 #: The paper's 0.1% amplitude threshold.
 DEFAULT_REL_AMPLITUDE = 1e-3
 DEFAULT_WINDOW = 10
@@ -39,8 +41,8 @@ class ConvergenceCriterion:
         low = min(tail)
         high = max(tail)
         mean = sum(tail) / len(tail)
-        if mean == 0.0:
-            return high == low
+        if is_zero(mean):
+            return is_zero(high - low)
         return (high - low) <= self.rel_amplitude * abs(mean)
 
     def converged_at(self, values: Sequence[float]) -> int | None:
@@ -79,6 +81,6 @@ def oscillation_amplitude(values: Sequence[float], window: int = DEFAULT_WINDOW)
         raise ValueError("no values")
     tail = values[-window:]
     mean = sum(tail) / len(tail)
-    if mean == 0.0:
+    if is_zero(mean):
         return 0.0
     return (max(tail) - min(tail)) / abs(mean)

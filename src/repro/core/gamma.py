@@ -15,8 +15,11 @@ schedule instance, observing only its own price trajectory.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+
+from repro.utility.tolerance import is_zero
 
 #: Bounds the paper settles on after experimentation (section 4.2).
 GAMMA_LOWER_BOUND = 0.001
@@ -50,8 +53,12 @@ class FixedGamma(GammaSchedule):
     gamma: float
 
     def __post_init__(self) -> None:
-        if self.gamma < 0.0:
-            raise ValueError(f"gamma must be non-negative, got {self.gamma}")
+        # NaN compares false against everything, so a plain sign check would
+        # let a NaN step size through and poison every price update.
+        if math.isnan(self.gamma) or math.isinf(self.gamma) or self.gamma < 0.0:
+            raise ValueError(
+                f"gamma must be finite and non-negative, got {self.gamma}"
+            )
 
     def value(self) -> float:
         return self.gamma
@@ -78,8 +85,10 @@ class AdaptiveGamma(GammaSchedule):
         lower: float = GAMMA_LOWER_BOUND,
         upper: float = GAMMA_UPPER_BOUND,
     ) -> None:
-        if lower <= 0.0 or upper < lower:
+        if math.isnan(lower) or math.isnan(upper) or lower <= 0.0 or upper < lower:
             raise ValueError(f"invalid gamma bounds [{lower}, {upper}]")
+        if math.isnan(initial):
+            raise ValueError("initial gamma must not be NaN")
         if not 0.0 < backoff < 1.0:
             raise ValueError(f"backoff must be in (0, 1), got {backoff}")
         if increment < 0.0:
@@ -105,7 +114,7 @@ class AdaptiveGamma(GammaSchedule):
         else:
             self._gamma += self._increment
         self._gamma = min(max(self._gamma, self._lower), self._upper)
-        if price_delta != 0.0:
+        if not is_zero(price_delta):
             self._last_delta = price_delta
 
     def clone(self) -> "AdaptiveGamma":

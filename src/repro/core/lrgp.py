@@ -23,9 +23,9 @@ capacity changes) to reproduce the recovery experiment of figure 3.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-
 from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.consumer_allocation import NodeAllocation, allocate_consumers
 from repro.core.convergence import (
@@ -40,6 +40,7 @@ from repro.core.rate_allocation import aggregate_flow_price, allocate_rate
 from repro.model.allocation import Allocation, link_usage, total_utility
 from repro.model.entities import ClassId, FlowId, LinkId, NodeId
 from repro.model.problem import Problem
+from repro.utility.tolerance import close_enough
 
 
 #: Signature of a consumer-admission strategy: given the problem, a node and
@@ -67,12 +68,12 @@ class LRGPConfig:
     admission: AdmissionStrategy = allocate_consumers
 
     @staticmethod
-    def fixed(gamma: float, **kwargs) -> "LRGPConfig":
+    def fixed(gamma: float, **kwargs: Any) -> "LRGPConfig":
         """Config with a fixed node-price step size (figure 1 runs)."""
         return LRGPConfig(node_gamma=FixedGamma(gamma), **kwargs)
 
     @staticmethod
-    def adaptive(**kwargs) -> "LRGPConfig":
+    def adaptive(**kwargs: Any) -> "LRGPConfig":
         """Config with the adaptive step size (the paper's default)."""
         return LRGPConfig(node_gamma=AdaptiveGamma(), **kwargs)
 
@@ -142,7 +143,7 @@ class LRGP:
         return {n: c.price for n, c in self._node_controllers.items()}
 
     def link_prices(self) -> dict[LinkId, float]:
-        return {l: c.price for l, c in self._link_controllers.items()}
+        return {link_id: c.price for link_id, c in self._link_controllers.items()}
 
     # -- reconfiguration ------------------------------------------------------
 
@@ -177,7 +178,9 @@ class LRGP:
         self._node_controllers = {}
         for node_id in problem.consumer_nodes():
             existing = old_nodes.get(node_id)
-            if existing is not None and existing.capacity == problem.nodes[node_id].capacity:
+            if existing is not None and close_enough(
+                existing.capacity, problem.nodes[node_id].capacity
+            ):
                 self._node_controllers[node_id] = existing
             else:
                 self._node_controllers[node_id] = NodePriceController(
@@ -187,10 +190,10 @@ class LRGP:
                 )
         self._link_controllers = {}
         for link_id, link in problem.links.items():
-            if link.capacity == math.inf:
+            if math.isinf(link.capacity):
                 continue
             existing = old_links.get(link_id)
-            if existing is not None and existing.capacity == link.capacity:
+            if existing is not None and close_enough(existing.capacity, link.capacity):
                 self._link_controllers[link_id] = existing
             else:
                 self._link_controllers[link_id] = LinkPriceController(

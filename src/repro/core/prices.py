@@ -19,6 +19,26 @@ import math
 from repro.core.gamma import FixedGamma, GammaSchedule
 
 
+def _validate_capacity(capacity: float) -> float:
+    """Capacities must be positive and not NaN (``math.inf`` is allowed).
+
+    ``NaN <= 0.0`` is False, so without the explicit ``isnan`` check a NaN
+    capacity would slip through the sign guard and silently poison every
+    subsequent price update (NaN compares false against everything, so the
+    controller would be stuck on the violation branch forever).
+    """
+    if math.isnan(capacity) or capacity <= 0.0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    return capacity
+
+
+def _validate_price(price: float) -> float:
+    """Prices live in the non-negative orthant (eq. 12-13) and are finite."""
+    if math.isnan(price) or math.isinf(price) or price < 0.0:
+        raise ValueError(f"price must be finite and non-negative, got {price}")
+    return price
+
+
 class NodePriceController:
     """Maintains ``p_b`` for one node.
 
@@ -36,14 +56,10 @@ class NodePriceController:
         gamma_over: GammaSchedule | None = None,
         initial_price: float = 0.0,
     ) -> None:
-        if capacity <= 0.0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
-        if initial_price < 0.0:
-            raise ValueError(f"price must be non-negative, got {initial_price}")
-        self.capacity = capacity
+        self.capacity = _validate_capacity(capacity)
         self._gamma_under = gamma_under
         self._gamma_over = gamma_over if gamma_over is not None else gamma_under
-        self._price = initial_price
+        self._price = _validate_price(initial_price)
 
     @property
     def price(self) -> float:
@@ -59,10 +75,12 @@ class NodePriceController:
         allowed to decay).  ``used`` is ``used_b(t)``, the node resource
         consumed at the end of consumer allocation.
         """
-        if math.isnan(benefit_cost) or benefit_cost < 0.0:
-            raise ValueError(f"benefit_cost must be non-negative, got {benefit_cost}")
-        if math.isnan(used) or used < 0.0:
-            raise ValueError(f"used must be non-negative, got {used}")
+        if not math.isfinite(benefit_cost) or benefit_cost < 0.0:
+            raise ValueError(
+                f"benefit_cost must be finite and non-negative, got {benefit_cost}"
+            )
+        if not math.isfinite(used) or used < 0.0:
+            raise ValueError(f"used must be finite and non-negative, got {used}")
         old_price = self._price
         if used <= self.capacity:
             gamma = self._gamma_under.value()
@@ -78,9 +96,7 @@ class NodePriceController:
         return new_price
 
     def reset(self, price: float = 0.0) -> None:
-        if price < 0.0:
-            raise ValueError(f"price must be non-negative, got {price}")
-        self._price = price
+        self._price = _validate_price(price)
 
 
 class LinkPriceController:
@@ -97,13 +113,10 @@ class LinkPriceController:
         gamma: GammaSchedule | float = 1e-4,
         initial_price: float = 0.0,
     ) -> None:
-        if capacity <= 0.0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
-        if initial_price < 0.0:
-            raise ValueError(f"price must be non-negative, got {initial_price}")
-        self.capacity = capacity
+        self.capacity = _validate_capacity(capacity)
         self._gamma = FixedGamma(gamma) if isinstance(gamma, (int, float)) else gamma
-        self._price = initial_price if capacity != math.inf else 0.0
+        _validate_price(initial_price)
+        self._price = 0.0 if math.isinf(capacity) else initial_price
 
     @property
     def price(self) -> float:
@@ -114,9 +127,9 @@ class LinkPriceController:
 
         ``usage`` is the aggregate link load ``sum_i L_{l,i} r_i``.
         """
-        if math.isnan(usage) or usage < 0.0:
-            raise ValueError(f"usage must be non-negative, got {usage}")
-        if self.capacity == math.inf:
+        if not math.isfinite(usage) or usage < 0.0:
+            raise ValueError(f"usage must be finite and non-negative, got {usage}")
+        if math.isinf(self.capacity):
             return self._price
         old_price = self._price
         gamma = self._gamma.value()
@@ -126,6 +139,5 @@ class LinkPriceController:
         return new_price
 
     def reset(self, price: float = 0.0) -> None:
-        if price < 0.0:
-            raise ValueError(f"price must be non-negative, got {price}")
-        self._price = price if self.capacity != math.inf else 0.0
+        _validate_price(price)
+        self._price = 0.0 if math.isinf(self.capacity) else price

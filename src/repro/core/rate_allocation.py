@@ -22,6 +22,7 @@ from collections.abc import Mapping
 from repro.model.entities import ClassId, FlowId, LinkId, NodeId
 from repro.model.problem import Problem
 from repro.utility.calculus import solve_rate
+from repro.utility.tolerance import is_zero
 
 
 def link_path_price(
@@ -54,7 +55,7 @@ def node_path_price(
     total = 0.0
     for node_id in route.nodes:
         price = node_prices.get(node_id, 0.0)
-        if price == 0.0:
+        if is_zero(price):
             continue
         coefficient = problem.costs.flow_node(node_id, flow_id)
         for class_id in problem.classes_of_flow_at_node(flow_id, node_id):

@@ -19,7 +19,9 @@ class TraceError(ValueError):
     """Raised when the optimizer was not recording snapshots."""
 
 
-def _columns(records: Sequence[IterationRecord]) -> tuple[list[str], list[str], list[str], list[str]]:
+def _columns(
+    records: Sequence[IterationRecord],
+) -> tuple[list[str], list[str], list[str], list[str]]:
     flows: set[str] = set()
     classes: set[str] = set()
     nodes: set[str] = set()

@@ -23,6 +23,7 @@ from repro.core.lrgp import LRGP, LRGPConfig
 from repro.model.allocation import Allocation
 from repro.model.entities import FlowId, LinkId, NodeId
 from repro.model.problem import Problem
+from repro.utility.tolerance import is_zero
 
 
 @dataclass(frozen=True)
@@ -96,7 +97,7 @@ class TwoStageResult:
     @property
     def improvement(self) -> float:
         """Relative utility gain of stage 2 over stage 1."""
-        if self.stage1_utility == 0.0:
+        if is_zero(self.stage1_utility):
             return 0.0
         return (self.stage2_utility - self.stage1_utility) / self.stage1_utility
 

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.utility.tolerance import is_zero
+
 from repro.model.allocation import Allocation, link_usage, node_usage
 from repro.model.entities import LinkId, NodeId
 from repro.model.problem import Problem
@@ -78,8 +80,8 @@ class ModelComparison:
 
     @property
     def relative_error(self) -> float:
-        if self.predicted == 0.0:
-            return 0.0 if self.measured == 0.0 else float("inf")
+        if is_zero(self.predicted):
+            return 0.0 if is_zero(self.measured) else float("inf")
         return abs(self.measured - self.predicted) / self.predicted
 
 

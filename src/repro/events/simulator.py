@@ -14,6 +14,7 @@ consumption compared with the model's predictions.
 
 from __future__ import annotations
 
+import math
 import random
 from collections.abc import Mapping
 
@@ -165,7 +166,7 @@ class EventInfrastructure:
         """A message reaches a node: process now, or queue behind the
         node's FIFO server when queueing is enabled."""
         capacity = self._problem.nodes[node_id].capacity
-        if not self._queueing or capacity == float("inf"):
+        if not self._queueing or math.isinf(capacity):
             self._process(message, node_id)
             return
         work = self.brokers[node_id].message_work(message.flow_id)

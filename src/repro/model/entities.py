@@ -23,7 +23,7 @@ ClassId = str
 def _require_finite_positive(value: float, name: str, *, allow_inf: bool = False) -> None:
     if math.isnan(value) or value <= 0.0:
         raise ValueError(f"{name} must be positive, got {value!r}")
-    if value == math.inf and not allow_inf:
+    if math.isinf(value) and not allow_inf:
         raise ValueError(f"{name} must be finite, got infinity")
 
 

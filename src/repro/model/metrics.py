@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from repro.model.allocation import Allocation, total_utility
 from repro.model.entities import ClassId
 from repro.model.problem import Problem
+from repro.utility.tolerance import is_zero
 
 
 @dataclass(frozen=True)
@@ -66,7 +67,7 @@ def jain_index(values: list[float]) -> float:
     if any(value < 0.0 for value in values):
         raise ValueError("values must be non-negative")
     total = sum(values)
-    if total == 0.0:
+    if is_zero(total):
         return 1.0
     squares = sum(value * value for value in values)
     return (total * total) / (len(values) * squares)
@@ -84,7 +85,7 @@ def utility_concentration(problem: Problem, allocation: Allocation) -> float:
     report = class_service(problem, allocation)
     utilities = sorted((service.utility for service in report), reverse=True)
     total = sum(utilities)
-    if total == 0.0:
+    if is_zero(total):
         return 0.0
     top = max(1, len(utilities) // 5)
     return sum(utilities[:top]) / total

@@ -17,6 +17,7 @@ code never walks raw entity lists.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
@@ -104,7 +105,11 @@ class Problem:
     def bottleneck_links(self) -> tuple[LinkId, ...]:
         """Links with finite capacity, in sorted order."""
         return tuple(
-            sorted(l for l, link in self.links.items() if link.capacity != float("inf"))
+            sorted(
+                link_id
+                for link_id, link in self.links.items()
+                if not math.isinf(link.capacity)
+            )
         )
 
     def without_flow(self, flow_id: FlowId) -> "Problem":

@@ -38,7 +38,7 @@ class SerializationError(ValueError):
 
 
 def _encode_capacity(value: float) -> float | str:
-    return _INF if value == math.inf else value
+    return _INF if math.isinf(value) else value
 
 
 def _decode_capacity(value: float | str) -> float:

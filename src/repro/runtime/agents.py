@@ -21,8 +21,8 @@ asynchrony-tolerance device of Low & Lapsley the paper cites in section 3.5.
 
 from __future__ import annotations
 
+import math
 from collections import deque
-from dataclasses import dataclass
 
 from repro.core.consumer_allocation import allocate_consumers
 from repro.core.gamma import GammaSchedule
@@ -30,6 +30,7 @@ from repro.core.prices import LinkPriceController, NodePriceController
 from repro.core.rate_allocation import allocate_rate
 from repro.model.entities import ClassId, FlowId, LinkId, NodeId
 from repro.model.problem import Problem
+from repro.utility.tolerance import is_zero
 from repro.runtime.messages import (
     LinkPriceUpdate,
     Message,
@@ -134,7 +135,7 @@ class SourceAgent(Agent):
             )
         for node_id in route.nodes:
             node_price = self._node_prices.mean(node_id)
-            if node_price == 0.0:
+            if is_zero(node_price):
                 continue
             coefficient = problem.costs.flow_node(node_id, self._flow_id)
             for class_id in problem.classes_of_flow_at_node(self._flow_id, node_id):
@@ -158,7 +159,7 @@ class SourceAgent(Agent):
                     )
                 )
         for link_id in route.links:
-            if problem.links[link_id].capacity != float("inf"):
+            if not math.isinf(problem.links[link_id].capacity):
                 messages.append(
                     RateUpdate(
                         sender=self.address,

@@ -17,6 +17,7 @@ integration tests), mirroring the relationship between
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.gamma import AdaptiveGamma, GammaSchedule
@@ -119,7 +120,7 @@ class MultirateSourceAgent(Agent):
                     )
                 )
         for link_id in route.links:
-            if problem.links[link_id].capacity != float("inf"):
+            if not math.isinf(problem.links[link_id].capacity):
                 messages.append(
                     RateUpdate(
                         sender=self.address,

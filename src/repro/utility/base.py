@@ -14,6 +14,7 @@ be solved without numeric root finding.  A generic numeric fallback is in
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 
 
@@ -56,7 +57,7 @@ def validate_rate(rate: float) -> float:
     """
     if not rate >= 0.0:  # also rejects NaN
         raise ValueError(f"rate must be non-negative, got {rate!r}")
-    if rate == float("inf"):
+    if math.isinf(rate):
         raise ValueError("rate must be finite")
     return rate
 
@@ -65,6 +66,6 @@ def validate_slope(slope: float) -> float:
     """Validate that ``slope`` is a finite, strictly positive number."""
     if not slope > 0.0:  # also rejects NaN
         raise ValueError(f"slope must be strictly positive, got {slope!r}")
-    if slope == float("inf"):
+    if math.isinf(slope):
         raise ValueError("slope must be finite")
     return slope

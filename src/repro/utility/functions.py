@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass
 
 from repro.utility.base import UtilityFunction, validate_rate, validate_slope
+from repro.utility.tolerance import is_zero
 
 
 @dataclass(frozen=True)
@@ -71,7 +72,7 @@ class PowerUtility(UtilityFunction):
 
     def derivative(self, rate: float) -> float:
         validate_rate(rate)
-        if rate == 0.0:
+        if is_zero(rate):
             return math.inf
         return self.scale * self.exponent * rate ** (self.exponent - 1.0)
 

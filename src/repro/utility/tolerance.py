@@ -1,0 +1,43 @@
+"""Float comparison helpers (the tolerance discipline behind lint rule R2).
+
+Rates, prices and utilities are fixed-point iterates; comparing them with
+a naked ``==`` either hides an "exactly clamped" assumption or is a bug.
+These helpers centralize the raw comparisons so intent is explicit at the
+call site and the tolerances live in one place:
+
+* :func:`is_zero` — sentinel test for quantities that are *projected to
+  exactly 0.0* by ``max(x, 0.0)`` clamps (node/link prices, eq. 12-13) or
+  initialized to literal zero.  The default tolerance is therefore exact.
+* :func:`close_enough` — approximate equality for quantities that are
+  *computed* (utilities, rates, capacities read back from configs).
+
+This module is the single place allowed to spell the raw comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Absolute slack used by :func:`close_enough` so magnitudes near zero
+#: still compare equal (plain ``math.isclose`` has ``abs_tol=0``).
+ABS_TOL = 1e-12
+
+
+def is_zero(value: float, tol: float = 0.0) -> bool:
+    """True when ``value`` is within ``tol`` of zero.
+
+    With the default ``tol=0.0`` this is an *exact* sentinel test: prices
+    are projected onto the non-negative orthant with ``max(x, 0.0)``, so
+    "this resource is unconstrained" is represented by exactly ``0.0``.
+    NaN is never zero.
+    """
+    if tol < 0.0:
+        raise ValueError(f"tol must be non-negative, got {tol}")
+    return abs(value) <= tol
+
+
+def close_enough(
+    a: float, b: float, rel_tol: float = 1e-9, abs_tol: float = ABS_TOL
+) -> bool:
+    """Approximate float equality with a non-zero absolute floor."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)

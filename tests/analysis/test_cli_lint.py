@@ -1,0 +1,96 @@
+"""CLI integration for ``python -m repro lint``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+VIOLATION = "def stalled(price: float) -> bool:\n    return price == 0.0\n"
+#: Missing annotations in repro.model -> R6, which is warning severity.
+WARNING_ONLY = "def solve(problem):\n    return problem\n"
+
+
+def _write(tmp_path: Path, relpath: str, code: str) -> Path:
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(code, encoding="utf-8")
+    return target
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    _write(tmp_path, "src/repro/core/x.py", "VALUE = 1\n")
+    assert main(["lint", str(tmp_path / "src")]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_error_finding_exits_nonzero(tmp_path, capsys):
+    target = _write(tmp_path, "src/repro/core/x.py", VIOLATION)
+    assert main(["lint", str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "R2 error" in out
+
+
+def test_warnings_fail_only_under_strict(tmp_path, capsys):
+    target = _write(tmp_path, "src/repro/model/api.py", WARNING_ONLY)
+    assert main(["lint", str(target)]) == 0
+    assert main(["lint", "--strict", str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "R6 warning" in out
+
+
+def test_json_format(tmp_path, capsys):
+    target = _write(tmp_path, "src/repro/core/x.py", VIOLATION)
+    assert main(["lint", "--format", "json", str(target)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "R2"
+
+
+def test_rule_selection(tmp_path, capsys):
+    target = _write(tmp_path, "src/repro/core/x.py", VIOLATION)
+    assert main(["lint", "--rules", "R5", str(target)]) == 0
+    assert main(["lint", "--rules", "r2", str(target)]) == 1
+    capsys.readouterr()
+
+
+def test_unknown_rule_id_is_a_usage_error(tmp_path):
+    target = _write(tmp_path, "src/repro/core/x.py", "VALUE = 1\n")
+    with pytest.raises(SystemExit):
+        main(["lint", "--rules", "R999", str(target)])
+
+
+def test_baseline_roundtrip(tmp_path, capsys):
+    target = _write(tmp_path, "src/repro/core/x.py", VIOLATION)
+    baseline = tmp_path / "lint-baseline.json"
+
+    assert main(["lint", "--write-baseline", str(baseline), str(target)]) == 0
+    assert baseline.is_file()
+    capsys.readouterr()
+
+    # Baselined findings no longer fail, even under --strict.
+    assert main(["lint", "--strict", "--baseline", str(baseline), str(target)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+    # ... but a fresh violation does.
+    target.write_text(
+        VIOLATION + "\ndef drained(rate: float) -> bool:\n    return rate == 0.0\n",
+        encoding="utf-8",
+    )
+    assert main(["lint", "--strict", "--baseline", str(baseline), str(target)]) == 1
+
+
+def test_missing_baseline_is_a_usage_error(tmp_path):
+    target = _write(tmp_path, "src/repro/core/x.py", "VALUE = 1\n")
+    with pytest.raises(SystemExit):
+        main(["lint", "--baseline", str(tmp_path / "nope.json"), str(target)])
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"):
+        assert rule_id in out

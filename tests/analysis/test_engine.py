@@ -1,0 +1,169 @@
+"""Engine mechanics: suppressions, module mapping, reporters, baselines."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    analyze_file,
+    analyze_paths,
+    apply_baseline,
+    load_baseline,
+    render_human,
+    render_json,
+    rules_for,
+    write_baseline,
+)
+from repro.analysis.engine import equations_from_text, module_name
+from repro.analysis.rules import RULES
+
+VIOLATION = "def stalled(price: float) -> bool:\n    return price == 0.0\n"
+
+
+def _write(tmp_path: Path, relpath: str, code: str) -> Path:
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(code, encoding="utf-8")
+    return target
+
+
+class TestModuleName:
+    def test_maps_src_layout(self) -> None:
+        assert module_name(Path("src/repro/core/prices.py")) == "repro.core.prices"
+
+    def test_init_maps_to_package(self) -> None:
+        assert module_name(Path("src/repro/core/__init__.py")) == "repro.core"
+
+    def test_outside_repro_is_unscoped(self) -> None:
+        assert module_name(Path("somewhere/else.py")) == ""
+
+
+class TestSuppression:
+    def test_inline_disable_silences_finding(self, tmp_path: Path) -> None:
+        code = (
+            "def stalled(price: float) -> bool:\n"
+            "    return price == 0.0  # repro-lint: disable=R2\n"
+        )
+        target = _write(tmp_path, "src/repro/core/x.py", code)
+        assert analyze_file(target, [RULES["R2"]()], known_equations=None) == []
+
+    def test_inline_disable_all(self, tmp_path: Path) -> None:
+        code = (
+            "def stalled(price: float) -> bool:\n"
+            "    return price == 0.0  # repro-lint: disable=all\n"
+        )
+        target = _write(tmp_path, "src/repro/core/x.py", code)
+        assert analyze_file(target, [RULES["R2"]()], known_equations=None) == []
+
+    def test_file_level_disable(self, tmp_path: Path) -> None:
+        code = "# repro-lint: disable-file=R2\n" + VIOLATION
+        target = _write(tmp_path, "src/repro/core/x.py", code)
+        assert analyze_file(target, [RULES["R2"]()], known_equations=None) == []
+
+    def test_other_rule_ids_do_not_suppress(self, tmp_path: Path) -> None:
+        code = (
+            "def stalled(price: float) -> bool:\n"
+            "    return price == 0.0  # repro-lint: disable=R5\n"
+        )
+        target = _write(tmp_path, "src/repro/core/x.py", code)
+        assert len(analyze_file(target, [RULES["R2"]()], known_equations=None)) == 1
+
+
+class TestEngine:
+    def test_syntax_error_becomes_finding(self, tmp_path: Path) -> None:
+        target = _write(tmp_path, "src/repro/core/broken.py", "def broken(:\n")
+        findings = analyze_file(target, rules_for(None))
+        assert len(findings) == 1
+        assert findings[0].rule_id == "E000"
+
+    def test_analyze_paths_walks_directories(self, tmp_path: Path) -> None:
+        _write(tmp_path, "src/repro/core/a.py", VIOLATION)
+        _write(tmp_path, "src/repro/core/b.py", VIOLATION)
+        findings = analyze_paths([tmp_path / "src"], [RULES["R2"]()])
+        assert len(findings) == 2
+        assert [f.path for f in findings] == sorted(f.path for f in findings)
+
+    def test_equation_ranges_expand(self) -> None:
+        assert equations_from_text("covers eq. 4-5 and eq. 12") == frozenset(
+            {4, 5, 12}
+        )
+        # en-dash ranges, as written in DESIGN.md
+        assert equations_from_text("eq. 6–13") == frozenset(range(6, 14))
+
+    def test_render_human_summarizes(self, tmp_path: Path) -> None:
+        target = _write(tmp_path, "src/repro/core/x.py", VIOLATION)
+        findings = analyze_file(target, [RULES["R2"]()], known_equations=None)
+        report = render_human(findings)
+        assert "1 finding (1 error, 0 warnings) in 1 file" in report
+        assert render_human([]) == "no findings"
+
+    def test_render_json_schema(self, tmp_path: Path) -> None:
+        target = _write(tmp_path, "src/repro/core/x.py", VIOLATION)
+        findings = analyze_file(target, [RULES["R2"]()], known_equations=None)
+        payload = json.loads(render_json(findings))
+        assert payload["version"] == 1
+        assert payload["count"] == 1
+        assert payload["errors"] == 1
+        assert payload["warnings"] == 0
+        assert set(payload["findings"][0]) == {
+            "rule",
+            "severity",
+            "path",
+            "line",
+            "message",
+        }
+
+    def test_rules_for_rejects_unknown_ids(self) -> None:
+        with pytest.raises(KeyError):
+            rules_for(["R999"])
+
+
+class TestBaseline:
+    def test_roundtrip_subtracts_known_findings(self, tmp_path: Path) -> None:
+        target = _write(tmp_path, "src/repro/core/x.py", VIOLATION)
+        rule = RULES["R2"]()
+        findings = analyze_file(target, [rule], known_equations=None)
+        baseline_path = tmp_path / "baseline.json"
+        assert write_baseline(findings, baseline_path) == 1
+
+        baseline = load_baseline(baseline_path)
+        assert apply_baseline(findings, baseline) == []
+
+    def test_new_findings_survive_baseline(self, tmp_path: Path) -> None:
+        target = _write(tmp_path, "src/repro/core/x.py", VIOLATION)
+        rule = RULES["R2"]()
+        findings = analyze_file(target, [rule], known_equations=None)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_path)
+
+        # A second, different violation appears in another function.
+        target.write_text(
+            VIOLATION + "\ndef drained(rate: float) -> bool:\n    return rate == 0.0\n",
+            encoding="utf-8",
+        )
+        fresh = analyze_file(target, [rule], known_equations=None)
+        remaining = apply_baseline(fresh, load_baseline(baseline_path))
+        assert len(remaining) == 1
+        assert "rate" in remaining[0].message
+
+    def test_baseline_is_line_insensitive(self, tmp_path: Path) -> None:
+        target = _write(tmp_path, "src/repro/core/x.py", VIOLATION)
+        rule = RULES["R2"]()
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(
+            analyze_file(target, [rule], known_equations=None), baseline_path
+        )
+
+        # Unrelated lines added above shift the finding's line number.
+        target.write_text("import math\n\n\n" + VIOLATION, encoding="utf-8")
+        shifted = analyze_file(target, [rule], known_equations=None)
+        assert apply_baseline(shifted, load_baseline(baseline_path)) == []
+
+    def test_rejects_unknown_schema(self, tmp_path: Path) -> None:
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"version": 99}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(bogus)

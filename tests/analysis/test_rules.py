@@ -1,0 +1,196 @@
+"""Per-rule fixtures: every registered rule must fire on a violating
+snippet and stay quiet on a clean one.
+
+The tests are parametrized over :data:`repro.analysis.rules.RULES`, so
+registering a new rule without adding fixtures here fails the suite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, Severity, analyze_file, render_human, render_json
+from repro.analysis.engine import equations_from_text
+
+
+@dataclass(frozen=True)
+class RuleFixture:
+    """A violating and a clean snippet for one rule, at a scoped path."""
+
+    relpath: str
+    violating: str
+    clean: str
+    design: str | None = None
+
+
+FIXTURES: dict[str, RuleFixture] = {
+    "R1": RuleFixture(
+        relpath="src/repro/events/sampler.py",
+        violating=(
+            "import random\n"
+            "\n"
+            "def jitter() -> float:\n"
+            "    return random.random()\n"
+        ),
+        clean=(
+            "import random\n"
+            "\n"
+            "def jitter(seed: int) -> float:\n"
+            "    return random.Random(seed).random()\n"
+        ),
+    ),
+    "R2": RuleFixture(
+        relpath="src/repro/core/helpers.py",
+        violating=(
+            "def stalled(price: float) -> bool:\n"
+            "    return price == 0.0\n"
+        ),
+        clean=(
+            "from repro.utility.tolerance import is_zero\n"
+            "\n"
+            "def stalled(price: float) -> bool:\n"
+            "    return is_zero(price)\n"
+        ),
+    ),
+    "R3": RuleFixture(
+        relpath="src/repro/core/prices.py",
+        violating=(
+            "class Controller:\n"
+            "    def update(self, gradient: float) -> float:\n"
+            "        self._price = self._price + gradient\n"
+            "        return self._price\n"
+        ),
+        clean=(
+            "class Controller:\n"
+            "    def __init__(self, initial: float) -> None:\n"
+            "        if initial < 0.0:\n"
+            "            raise ValueError('negative price')\n"
+            "        self._price = initial\n"
+            "\n"
+            "    def update(self, gradient: float) -> float:\n"
+            "        self._price = max(self._price + gradient, 0.0)\n"
+            "        return self._price\n"
+        ),
+    ),
+    "R4": RuleFixture(
+        relpath="src/repro/runtime/peers.py",
+        violating=(
+            "class NosyAgent:\n"
+            "    def act(self, peer: object) -> float:\n"
+            "        return peer._price\n"
+        ),
+        clean=(
+            "class PoliteAgent:\n"
+            "    def __init__(self) -> None:\n"
+            "        self._price = 0.0\n"
+            "\n"
+            "    def receive(self, message: object) -> None:\n"
+            "        self._price = getattr(message, 'price', 0.0)\n"
+        ),
+    ),
+    "R5": RuleFixture(
+        relpath="src/repro/core/mutator.py",
+        violating=(
+            "def rescale(problem: object) -> None:\n"
+            "    problem.flows['f1'] = None\n"
+        ),
+        clean=(
+            "def snapshot(problem: object) -> dict:\n"
+            "    return dict(problem.flows)\n"
+        ),
+    ),
+    "R6": RuleFixture(
+        relpath="src/repro/model/api.py",
+        violating=(
+            "def solve(problem):\n"
+            "    return problem\n"
+        ),
+        clean=(
+            "def solve(problem: object) -> object:\n"
+            "    return problem\n"
+        ),
+    ),
+    "R7": RuleFixture(
+        relpath="src/repro/runtime/failures.py",
+        violating=(
+            "def deliver(send: object) -> None:\n"
+            "    try:\n"
+            "        send()\n"
+            "    except:\n"
+            "        pass\n"
+        ),
+        clean=(
+            "def deliver(send: object, record: object) -> None:\n"
+            "    try:\n"
+            "        send()\n"
+            "    except ValueError as error:\n"
+            "        record(error)\n"
+        ),
+    ),
+    "R8": RuleFixture(
+        relpath="src/repro/core/doc.py",
+        violating='"""Implements the projection of eq. 99."""\n',
+        clean='"""Implements the projection of eq. 12."""\n',
+        design="The design covers eq. 12 and eq. 13 only.",
+    ),
+}
+
+
+def _run_rule(tmp_path: Path, rule_id: str, code: str) -> list:
+    fixture = FIXTURES[rule_id]
+    target = tmp_path / fixture.relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(code, encoding="utf-8")
+    known = (
+        equations_from_text(fixture.design) if fixture.design is not None else None
+    )
+    return analyze_file(target, [RULES[rule_id]()], known_equations=known)
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULES))
+def test_every_rule_ships_fixtures(rule_id: str) -> None:
+    assert rule_id in FIXTURES, (
+        f"rule {rule_id} is registered but has no fixtures; add a violating "
+        "and a clean snippet to tests/analysis/test_rules.py"
+    )
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULES))
+def test_violating_fixture_fires(rule_id: str, tmp_path: Path) -> None:
+    findings = _run_rule(tmp_path, rule_id, FIXTURES[rule_id].violating)
+    assert findings, f"rule {rule_id} did not fire on its violating fixture"
+    assert all(f.rule_id == rule_id for f in findings)
+    for finding in findings:
+        assert finding.path.endswith(FIXTURES[rule_id].relpath.rsplit("/", 1)[-1])
+        assert finding.line >= 1
+        assert isinstance(finding.severity, Severity)
+        assert finding.message
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULES))
+def test_clean_fixture_is_quiet(rule_id: str, tmp_path: Path) -> None:
+    findings = _run_rule(tmp_path, rule_id, FIXTURES[rule_id].clean)
+    assert findings == [], (
+        f"rule {rule_id} fired on its clean fixture:\n{render_human(findings)}"
+    )
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULES))
+def test_reports_carry_rule_file_line_severity(rule_id: str, tmp_path: Path) -> None:
+    """Both reporters surface rule id, file, line and severity."""
+    findings = _run_rule(tmp_path, rule_id, FIXTURES[rule_id].violating)
+    finding = findings[0]
+
+    human = render_human(findings)
+    assert f"{finding.path}:{finding.line}: {rule_id} {finding.severity}" in human
+
+    payload = json.loads(render_json(findings))
+    entry = payload["findings"][0]
+    assert entry["rule"] == rule_id
+    assert entry["path"] == finding.path
+    assert entry["line"] == finding.line
+    assert entry["severity"] in {"error", "warning"}

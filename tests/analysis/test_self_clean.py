@@ -1,0 +1,21 @@
+"""The codebase is self-enforcing: the analyzer must pass on ``src/``.
+
+This is the pytest twin of the CI gate ``python -m repro lint --strict src``:
+any rule violation introduced anywhere in the package fails the suite with
+the full human-readable report.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths, render_human
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_source_tree_has_zero_findings() -> None:
+    src = REPO_ROOT / "src"
+    assert src.is_dir(), f"expected source tree at {src}"
+    findings = analyze_paths([src])
+    assert not findings, "\n" + render_human(findings)

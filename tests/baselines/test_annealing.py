@@ -1,6 +1,5 @@
 """Tests for the simulated-annealing baseline."""
 
-import math
 
 import pytest
 
@@ -14,7 +13,6 @@ from repro.baselines.annealing import (
     temperature_levels,
 )
 from repro.model.allocation import is_feasible, total_utility
-from tests.conftest import make_tiny_problem
 
 
 class TestCoolingSchedule:

@@ -16,7 +16,6 @@ from repro.model.costs import CostModelBuilder
 from repro.model.entities import ConsumerClass, Flow, Link, Node, Route
 from repro.model.problem import build_problem
 from repro.utility.functions import LogUtility
-from tests.conftest import make_tiny_problem
 
 
 def single_node_problem(class_specs, capacity, rate_bounds=(1.0, 100.0)):

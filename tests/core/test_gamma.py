@@ -1,5 +1,7 @@
 """Unit tests for gamma schedules (section 4.2 heuristic)."""
 
+import math
+
 import pytest
 
 from repro.core.gamma import (
@@ -89,3 +91,31 @@ class TestAdaptiveGamma:
     def test_paper_bounds_are_defaults(self):
         assert GAMMA_LOWER_BOUND == 0.001
         assert GAMMA_UPPER_BOUND == 0.1
+
+
+class TestNonFiniteGammaHardening:
+    """A NaN step size slips past plain sign checks (``nan < 0`` is False)
+    and would poison every subsequent price update."""
+
+    def test_fixed_gamma_rejects_nan_and_inf(self):
+        for bad in (math.nan, math.inf):
+            with pytest.raises(ValueError):
+                FixedGamma(bad)
+
+    def test_fixed_gamma_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedGamma(-0.01)
+
+    def test_adaptive_gamma_rejects_nan_initial(self):
+        with pytest.raises(ValueError):
+            AdaptiveGamma(initial=math.nan)
+
+    def test_adaptive_gamma_rejects_nan_bounds(self):
+        with pytest.raises(ValueError):
+            AdaptiveGamma(lower=math.nan)
+        with pytest.raises(ValueError):
+            AdaptiveGamma(upper=math.nan)
+
+    def test_infinite_initial_clamps_to_upper_bound(self):
+        # inf is not NaN: min/max clamping handles it deterministically.
+        assert AdaptiveGamma(initial=math.inf).value() == GAMMA_UPPER_BOUND

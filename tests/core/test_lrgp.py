@@ -3,10 +3,8 @@
 import pytest
 
 from repro.core.convergence import iterations_until_convergence
-from repro.core.gamma import AdaptiveGamma
 from repro.core.lrgp import LRGP, LRGPConfig
 from repro.model.allocation import is_feasible, total_utility
-from tests.conftest import make_tiny_problem
 
 #: The paper's Table 2 value for the base workload.
 PAPER_BASE_UTILITY = 1_328_821.0

@@ -9,7 +9,6 @@ from repro.core.multirate import (
     multirate_total_utility,
 )
 from repro.workloads.base import base_workload
-from tests.conftest import make_tiny_problem
 
 
 @pytest.fixture(scope="module")

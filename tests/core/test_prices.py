@@ -123,3 +123,55 @@ class TestLinkPriceController:
             LinkPriceController(0.0)
         with pytest.raises(ValueError):
             LinkPriceController(10.0, initial_price=-0.5)
+
+
+class TestNonFiniteInputHardening:
+    """NaN compares false against everything, so it slips past plain sign
+    guards (``nan < 0`` is False); these inputs must raise instead of
+    silently poisoning the price trajectory."""
+
+    def test_nan_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            NodePriceController(math.nan, FixedGamma(0.1))
+        with pytest.raises(ValueError):
+            LinkPriceController(math.nan)
+
+    def test_nan_and_inf_initial_price_rejected(self):
+        for bad in (math.nan, math.inf):
+            with pytest.raises(ValueError):
+                NodePriceController(100.0, FixedGamma(0.1), initial_price=bad)
+            with pytest.raises(ValueError):
+                LinkPriceController(100.0, initial_price=bad)
+
+    def test_infinite_capacity_link_still_validates_initial_price(self):
+        # Even though the stored price is forced to zero, a bogus initial
+        # price is a caller error and must not be masked by inf capacity.
+        with pytest.raises(ValueError):
+            LinkPriceController(math.inf, initial_price=-0.5)
+        with pytest.raises(ValueError):
+            LinkPriceController(math.inf, initial_price=math.nan)
+
+    def test_node_update_rejects_nonfinite_inputs(self):
+        controller = NodePriceController(100.0, FixedGamma(0.1))
+        for bad in (math.nan, math.inf):
+            with pytest.raises(ValueError):
+                controller.update(benefit_cost=bad, used=10.0)
+            with pytest.raises(ValueError):
+                controller.update(benefit_cost=1.0, used=bad)
+        assert controller.price == 0.0  # rejected inputs leave state intact
+
+    def test_link_update_rejects_nonfinite_usage(self):
+        controller = LinkPriceController(100.0)
+        for bad in (math.nan, math.inf):
+            with pytest.raises(ValueError):
+                controller.update(bad)
+        assert controller.price == 0.0
+
+    def test_reset_validates_price(self):
+        node = NodePriceController(100.0, FixedGamma(0.1))
+        link = LinkPriceController(100.0)
+        for controller in (node, link):
+            with pytest.raises(ValueError):
+                controller.reset(math.nan)
+            with pytest.raises(ValueError):
+                controller.reset(-1.0)

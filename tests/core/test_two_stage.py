@@ -1,8 +1,6 @@
 """Unit tests for the two-stage approximation with path pruning (§2.4)."""
 
-import math
 
-import pytest
 
 from repro.core.two_stage import compute_prune_set, two_stage_optimize
 from repro.model.allocation import Allocation

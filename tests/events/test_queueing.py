@@ -3,7 +3,7 @@
 import pytest
 
 from repro.events.simulator import EventInfrastructure
-from repro.model.allocation import Allocation, node_usage
+from repro.model.allocation import Allocation
 from repro.workloads.micro import micro_workload
 
 

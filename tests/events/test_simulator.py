@@ -12,7 +12,6 @@ from repro.events.metering import ResourceMeter
 from repro.events.pubsub import Consumer, EventMessage, Producer
 from repro.events.simulator import EventInfrastructure
 from repro.model.allocation import Allocation
-from tests.conftest import make_tiny_problem
 
 
 class TestProducer:

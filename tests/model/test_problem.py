@@ -1,6 +1,5 @@
 """Unit tests for problem construction, validation and the index maps."""
 
-import math
 
 import pytest
 

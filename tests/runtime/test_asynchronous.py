@@ -5,7 +5,6 @@ import pytest
 from repro.core.lrgp import LRGP, LRGPConfig
 from repro.model.allocation import is_feasible
 from repro.runtime.asynchronous import AsyncConfig, AsynchronousRuntime
-from tests.conftest import make_tiny_problem
 
 
 class TestDeterminism:

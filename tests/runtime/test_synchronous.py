@@ -10,7 +10,6 @@ from repro.core.gamma import AdaptiveGamma, FixedGamma
 from repro.core.lrgp import LRGP, LRGPConfig
 from repro.model.allocation import is_feasible
 from repro.runtime.synchronous import SynchronousRuntime
-from tests.conftest import make_tiny_problem
 
 
 class TestEquivalenceWithReferenceDriver:

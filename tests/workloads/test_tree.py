@@ -1,6 +1,5 @@
 """Tests for the tree-overlay workloads."""
 
-import math
 
 import pytest
 
