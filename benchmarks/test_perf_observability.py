@@ -1,0 +1,116 @@
+"""Perf guard: the telemetry no-op path costs <5% of an LRGP iteration.
+
+The observability layer promises that leaving ``LRGPConfig.telemetry`` at
+its default (:data:`~repro.obs.NULL_TELEMETRY`) is effectively free.  The
+uninstrumented seed code no longer exists to A/B against, so the guard
+measures the proxy directly: one iteration's worth of null-telemetry
+operations (the exact timers, guards, counter and gauge touches
+``LRGP.step`` executes when telemetry is off) timed in isolation, divided
+by the median measured iteration time.  That ratio must stay under 5%.
+
+The run also archives ``results/BENCH_observability.json`` with the raw
+numbers, including the cost of *enabled* telemetry (MemorySink) for
+context — enabled mode is allowed to cost more; only the default path is
+guarded.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+from conftest import RESULTS_DIR
+
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.obs import NULL_TELEMETRY, MemorySink, Telemetry
+from repro.workloads.base import base_workload
+
+#: The ISSUE's acceptance threshold for the default (no-op) path.
+MAX_NOOP_OVERHEAD = 0.05
+
+WARMUP_ITERATIONS = 30
+TIMED_ITERATIONS = 200
+BUNDLE_REPEATS = 2000
+
+
+def median_step_ns(telemetry: Telemetry) -> float:
+    """Median wall time of one warm LRGP iteration under ``telemetry``."""
+    optimizer = LRGP(base_workload(), LRGPConfig.adaptive(telemetry=telemetry))
+    optimizer.run(WARMUP_ITERATIONS)
+    samples = []
+    sink = telemetry.sink
+    for _ in range(TIMED_ITERATIONS):
+        if isinstance(sink, MemorySink):
+            sink.clear()  # keep the buffer from growing across samples
+        start = time.perf_counter_ns()
+        optimizer.step()
+        samples.append(time.perf_counter_ns() - start)
+    return statistics.median(samples)
+
+
+def noop_bundle_ns() -> float:
+    """Time one iteration's worth of null-telemetry operations.
+
+    Mirrors exactly what ``LRGP.step`` adds per iteration when telemetry
+    is disabled on the base workload: four null timers, one counter
+    increment, one gauge set, the per-node ``telemetry.enabled`` guards
+    (3 consumer nodes) and the per-controller/per-schedule
+    ``probe is not None`` guards (3 node controllers + 3 gamma schedules).
+    """
+    telemetry = NULL_TELEMETRY
+    registry = telemetry.registry
+    probe = None
+    start = time.perf_counter_ns()
+    for _ in range(BUNDLE_REPEATS):
+        touched = 0
+        with registry.timer("lrgp.iteration"):
+            with registry.timer("lrgp.rate_allocation"):
+                pass
+            with registry.timer("lrgp.consumer_allocation"):
+                for _node in range(3):
+                    if telemetry.enabled:  # pragma: no cover - never taken
+                        touched += 1
+                    if probe is not None:  # controller guard
+                        touched += 1
+                    if probe is not None:  # gamma-schedule guard
+                        touched += 1
+            with registry.timer("lrgp.link_prices"):
+                pass
+        registry.counter("lrgp.iterations").inc()
+        registry.gauge("lrgp.utility").set(float(touched))
+        if telemetry.enabled:  # pragma: no cover - never taken
+            touched += 1
+    return (time.perf_counter_ns() - start) / BUNDLE_REPEATS
+
+
+def test_noop_telemetry_overhead_under_threshold():
+    iteration_ns = median_step_ns(NULL_TELEMETRY)
+    bundle_ns = noop_bundle_ns()
+    enabled_ns = median_step_ns(Telemetry(sink=MemorySink()))
+    noop_ratio = bundle_ns / iteration_ns
+    payload = {
+        "version": 1,
+        "workload": "base",
+        "timed_iterations": TIMED_ITERATIONS,
+        "iteration_median_ns": iteration_ns,
+        "noop_bundle_ns": bundle_ns,
+        "noop_overhead_ratio": noop_ratio,
+        "enabled_iteration_median_ns": enabled_ns,
+        "enabled_overhead_ratio": enabled_ns / iteration_ns - 1.0,
+        "threshold": MAX_NOOP_OVERHEAD,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_observability.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print()
+    print(
+        f"iteration {iteration_ns:.0f}ns, null-telemetry bundle "
+        f"{bundle_ns:.0f}ns ({100 * noop_ratio:.2f}% of an iteration), "
+        f"enabled telemetry {enabled_ns:.0f}ns"
+    )
+    assert noop_ratio < MAX_NOOP_OVERHEAD, (
+        f"null telemetry costs {100 * noop_ratio:.2f}% of an LRGP iteration "
+        f"(budget {100 * MAX_NOOP_OVERHEAD:.0f}%)"
+    )

@@ -42,6 +42,18 @@ from repro.model import (
     total_utility,
     violations,
 )
+from repro.obs import (
+    NULL_TELEMETRY,
+    ConvergenceDiagnostics,
+    CsvSink,
+    DiagnosticsReport,
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    Telemetry,
+    render_diagnostics,
+    to_prometheus_text,
+)
 from repro.utility import (
     LogUtility,
     PowerUtility,
@@ -62,22 +74,30 @@ __version__ = "1.0.0"
 
 __all__ = [
     "LRGP",
+    "NULL_TELEMETRY",
     "AdaptiveGamma",
     "Allocation",
     "ConsumerClass",
+    "ConvergenceDiagnostics",
     "CostModel",
     "CostModelBuilder",
+    "CsvSink",
+    "DiagnosticsReport",
     "FixedGamma",
     "Flow",
     "IterationRecord",
+    "JsonlSink",
     "LRGPConfig",
     "Link",
     "LogUtility",
+    "MemorySink",
+    "MetricsRegistry",
     "MultirateLRGP",
     "Node",
     "PowerUtility",
     "Problem",
     "Route",
+    "Telemetry",
     "UtilityFunction",
     "base_workload",
     "build_problem",
@@ -88,8 +108,10 @@ __all__ = [
     "micro_workload",
     "rank_log",
     "rank_power",
+    "render_diagnostics",
     "scale_consumer_nodes",
     "scale_flows",
+    "to_prometheus_text",
     "total_utility",
     "two_stage_optimize",
     "violations",

@@ -16,8 +16,11 @@ from collections.abc import Iterator
 
 from repro.analysis.engine import Finding, ModuleContext, Rule, Severity
 
-#: The tolerance helpers themselves implement the raw comparisons, once.
-_EXEMPT_MODULES = {"repro.utility.tolerance"}
+#: Modules allowed to compare floats exactly: the tolerance helpers
+#: implement the raw comparisons once, and the convergence diagnostics
+#: intentionally test recorded samples bit-for-bit (an oscillation count
+#: over *observed* prices must not smooth over tiny reversals).
+_EXEMPT_MODULES = {"repro.utility.tolerance", "repro.obs.diagnostics"}
 
 #: Identifier fragments that mark a quantity as one of the paper's
 #: continuous iterates (flow rates, resource prices, utilities, step sizes).

@@ -10,6 +10,10 @@ Commands:
   chart plus data rows.
 * ``table``     — regenerate one of the paper's tables (1-3).
 * ``extension`` — run one of the extension experiments (E1-E3).
+* ``stats``     — run a workload with full telemetry and print the metrics
+  snapshot (human/Prometheus/JSON) plus convergence diagnostics.
+* ``trace``     — capture the structured event stream of a run as JSONL
+  (lossless, ``event_from_dict`` round-trips it) or flat CSV.
 * ``lint``      — run the domain-aware static analyzer (docs/analysis.md)
   over source trees, with JSON output, baselines and strict exit codes.
 
@@ -21,6 +25,9 @@ Examples::
     python -m repro figure 1
     python -m repro table 2 --sa-steps 200000
     python -m repro extension e2
+    python -m repro stats micro --iterations 100
+    python -m repro stats base --format prometheus -o metrics.prom
+    python -m repro trace micro --format jsonl -o trace.jsonl
     python -m repro lint --strict src
     python -m repro lint --format json --rules R2,R5 src
 """
@@ -30,6 +37,10 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs import Telemetry
 
 from repro.core.convergence import iterations_until_convergence
 from repro.core.lrgp import LRGP, LRGPConfig
@@ -229,6 +240,123 @@ def cmd_extension(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_run(args: argparse.Namespace, problem: Problem) -> "Telemetry":
+    """Run the selected engine with an in-memory telemetry capture."""
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry()
+    if args.engine == "sync":
+        from repro.runtime.synchronous import SynchronousRuntime
+
+        SynchronousRuntime(problem, telemetry=telemetry).run(args.iterations)
+    elif args.engine == "async":
+        from repro.runtime.asynchronous import AsynchronousRuntime
+
+        AsynchronousRuntime(problem, telemetry=telemetry).run_until(
+            float(args.iterations)
+        )
+    else:
+        config = LRGPConfig(
+            record_snapshots=args.snapshots, telemetry=telemetry
+        )
+        LRGP(problem, config).run(args.iterations)
+    return telemetry
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.baselines.bounds import utility_upper_bound
+    from repro.obs import (
+        ConvergenceDiagnostics,
+        MemorySink,
+        diagnostics_to_dict,
+        render_diagnostics,
+        render_metrics,
+        snapshot_to_dict,
+        to_json,
+        to_prometheus_text,
+    )
+
+    problem = load_problem(args.workload)
+    args.snapshots = False  # stats never needs per-iteration state
+    telemetry = _telemetry_run(args, problem)
+    snapshot = telemetry.registry.snapshot()
+    sink = telemetry.sink
+    assert isinstance(sink, MemorySink)
+    report = ConvergenceDiagnostics(
+        utility_bound=utility_upper_bound(problem)
+    ).analyze(sink.events)
+
+    if args.format == "json":
+        import json as _json
+
+        rendered = _json.dumps(
+            {
+                "workload": args.workload,
+                "description": problem.describe(),
+                "engine": args.engine,
+                "metrics": snapshot_to_dict(snapshot),
+                "diagnostics": diagnostics_to_dict(report),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    elif args.format == "prometheus":
+        rendered = to_prometheus_text(snapshot).rstrip("\n")
+    else:
+        rendered = (
+            f"workload:   {problem.describe()}\n"
+            f"engine:     {args.engine}\n"
+            + render_metrics(snapshot)
+            + "\n"
+            + render_diagnostics(report)
+        )
+    print(rendered)
+    if args.output is not None:
+        # json / prometheus files mirror stdout; human runs get the JSON
+        # snapshot so there is always a machine-readable artifact.
+        if args.format == "human":
+            payload = to_json(snapshot)
+        else:
+            payload = rendered + "\n"
+        Path(args.output).write_text(payload)
+        print(f"metrics snapshot written to {args.output}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import EVENT_TYPES, CsvSink, JsonlSink, MemorySink
+
+    if args.events is not None:
+        kinds = {part.strip() for part in args.events.split(",") if part.strip()}
+        unknown = kinds - set(EVENT_TYPES)
+        if unknown:
+            raise SystemExit(
+                f"unknown event kind(s) {', '.join(sorted(unknown))}; "
+                f"choose from {', '.join(sorted(EVENT_TYPES))}"
+            )
+    else:
+        kinds = None
+
+    problem = load_problem(args.workload)
+    telemetry = _telemetry_run(args, problem)
+    sink = telemetry.sink
+    assert isinstance(sink, MemorySink)
+    events = [
+        event
+        for event in sink.events
+        if kinds is None or event.kind in kinds
+    ]
+
+    target = args.output if args.output is not None else sys.stdout
+    out = JsonlSink(target) if args.format == "jsonl" else CsvSink(target)
+    for event in events:
+        out.emit(event)
+    out.close()
+    if args.output is not None:
+        print(f"{len(events)} event(s) written to {args.output}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     # Imported lazily: the analyzer is pure stdlib but irrelevant to the
     # optimization commands, and keeping it out of module import keeps
@@ -332,6 +460,55 @@ def build_parser() -> argparse.ArgumentParser:
         "name", choices=["e1", "e2", "e3", "e4", "e5", "e6", "e7"]
     )
     extension.set_defaults(func=cmd_extension)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a workload with telemetry; print metrics + diagnostics",
+    )
+    stats.add_argument("workload", help="builtin name or problem JSON path")
+    stats.add_argument("--iterations", type=int, default=250,
+                       help="iterations (reference/sync) or time units (async)")
+    stats.add_argument(
+        "--engine", choices=["reference", "sync", "async"], default="reference",
+        help="which engine to instrument (default: reference driver)",
+    )
+    stats.add_argument(
+        "--format", choices=["human", "prometheus", "json"], default="human",
+        help="snapshot format (default: human)",
+    )
+    stats.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="also write the metrics snapshot here "
+        "(Prometheus text, or JSON with --format json)",
+    )
+    stats.set_defaults(func=cmd_stats)
+
+    trace = sub.add_parser(
+        "trace", help="capture the structured event stream of a run"
+    )
+    trace.add_argument("workload", help="builtin name or problem JSON path")
+    trace.add_argument("--iterations", type=int, default=100,
+                       help="iterations (reference/sync) or time units (async)")
+    trace.add_argument(
+        "--engine", choices=["reference", "sync", "async"], default="reference",
+        help="which engine to instrument (default: reference driver)",
+    )
+    trace.add_argument(
+        "--format", choices=["jsonl", "csv"], default="jsonl",
+        help="jsonl is lossless; csv flattens to columns (default: jsonl)",
+    )
+    trace.add_argument(
+        "--events", metavar="KINDS", default=None,
+        help="comma-separated event kinds to keep (default: all)",
+    )
+    trace.add_argument(
+        "--snapshots", action="store_true",
+        help="include full per-iteration state in iteration events "
+        "(reference engine only)",
+    )
+    trace.add_argument("-o", "--output", metavar="FILE",
+                       help="write here instead of stdout")
+    trace.set_defaults(func=cmd_trace)
 
     lint = sub.add_parser(
         "lint", help="run the domain-aware static analyzer (docs/analysis.md)"

@@ -18,8 +18,12 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.utility.tolerance import is_zero
+
+if TYPE_CHECKING:  # telemetry probes are optional; obs never imports core
+    from repro.obs.telemetry import PriceProbe
 
 #: Bounds the paper settles on after experimentation (section 4.2).
 GAMMA_LOWER_BOUND = 0.001
@@ -31,6 +35,12 @@ GAMMA_BACKOFF = 0.5
 class GammaSchedule(ABC):
     """Produces the step size for one price controller and observes the
     resulting price movement."""
+
+    #: Optional telemetry probe (set via ``PriceController.attach_probe``);
+    #: adaptive schedules report their step-size changes through it.  A
+    #: plain class attribute (not a dataclass field): subclasses decorated
+    #: with ``@dataclass`` must not grow a ``probe`` constructor argument.
+    probe: "PriceProbe | None" = None
 
     @abstractmethod
     def value(self) -> float:
@@ -109,6 +119,7 @@ class AdaptiveGamma(GammaSchedule):
             self._last_delta is not None
             and price_delta * self._last_delta < 0.0
         )
+        old_gamma = self._gamma
         if fluctuated:
             self._gamma *= self._backoff
         else:
@@ -116,6 +127,8 @@ class AdaptiveGamma(GammaSchedule):
         self._gamma = min(max(self._gamma, self._lower), self._upper)
         if not is_zero(price_delta):
             self._last_delta = price_delta
+        if self.probe is not None and not is_zero(self._gamma - old_gamma):
+            self.probe.gamma_step(old_gamma, self._gamma, fluctuated)
 
     def clone(self) -> "AdaptiveGamma":
         return AdaptiveGamma(

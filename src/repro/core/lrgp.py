@@ -40,6 +40,8 @@ from repro.core.rate_allocation import aggregate_flow_price, allocate_rate
 from repro.model.allocation import Allocation, link_usage, total_utility
 from repro.model.entities import ClassId, FlowId, LinkId, NodeId
 from repro.model.problem import Problem
+from repro.obs.events import AdmissionEvent, IterationEvent, now_ns
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.utility.tolerance import close_enough
 
 
@@ -58,6 +60,12 @@ class LRGPConfig:
     adapts independently (section 4.2).  The default is the paper's adaptive
     heuristic.  ``link_gamma`` is the gradient-projection step size for link
     prices (only links with finite capacity maintain prices).
+
+    ``telemetry`` wires the driver into the observability layer
+    (:mod:`repro.obs`): phase timers and counters go to its registry,
+    ``iteration`` / ``admission`` / ``price_update`` / ``gamma_step``
+    events to its sink.  The default :data:`~repro.obs.NULL_TELEMETRY`
+    keeps the hot path allocation-free.
     """
 
     node_gamma: GammaSchedule = field(default_factory=AdaptiveGamma)
@@ -66,6 +74,7 @@ class LRGPConfig:
     initial_link_price: float = 0.0
     record_snapshots: bool = False
     admission: AdmissionStrategy = allocate_consumers
+    telemetry: Telemetry = NULL_TELEMETRY
 
     @staticmethod
     def fixed(gamma: float, **kwargs: Any) -> "LRGPConfig":
@@ -80,7 +89,14 @@ class LRGPConfig:
 
 @dataclass(frozen=True)
 class IterationRecord:
-    """Observable state at the end of one LRGP iteration."""
+    """Observable state at the end of one LRGP iteration.
+
+    ``node_gammas`` holds the adaptive step size each node would apply on
+    its next tracking update; ``slack`` maps ``node:<id>`` / ``link:<id>``
+    to remaining constraint headroom (eq. 4/5 capacity minus usage,
+    negative when violated).  Both are populated only when snapshots are
+    recorded, like the other mappings.
+    """
 
     iteration: int
     utility: float
@@ -88,6 +104,8 @@ class IterationRecord:
     populations: dict[ClassId, int] | None = None
     node_prices: dict[NodeId, float] | None = None
     link_prices: dict[LinkId, float] | None = None
+    node_gammas: dict[NodeId, float] | None = None
+    slack: dict[str, float] | None = None
 
 
 class LRGP:
@@ -144,6 +162,10 @@ class LRGP:
 
     def link_prices(self) -> dict[LinkId, float]:
         return {link_id: c.price for link_id, c in self._link_controllers.items()}
+
+    def node_gammas(self) -> dict[NodeId, float]:
+        """The step size each node's next tracking update would apply."""
+        return {n: c.gamma for n, c in self._node_controllers.items()}
 
     # -- reconfiguration ------------------------------------------------------
 
@@ -202,53 +224,108 @@ class LRGP:
                     initial_price=self._config.initial_link_price,
                 )
 
+        telemetry = self._config.telemetry
+        if telemetry.enabled:
+            for node_id, node_controller in self._node_controllers.items():
+                probe = telemetry.probe("node", node_id)
+                if probe is not None:
+                    node_controller.attach_probe(probe)
+            for link_id, link_controller in self._link_controllers.items():
+                probe = telemetry.probe("link", link_id)
+                if probe is not None:
+                    link_controller.attach_probe(probe)
+
     # -- the algorithm --------------------------------------------------------
 
     def step(self) -> IterationRecord:
         """Execute one full LRGP iteration and return its record."""
         problem = self._problem
+        telemetry = self._config.telemetry
+        registry = telemetry.registry
+        snapshots = self._config.record_snapshots
         node_prices = self.node_prices()
         link_prices = self.link_prices()
+        slack: dict[str, float] = {}
 
-        # 1. Rate allocation at each source (Algorithm 1), using last
-        #    iteration's populations and prices.
-        for flow_id in problem.flows:
-            price = aggregate_flow_price(
-                problem, flow_id, self._populations, node_prices, link_prices
-            )
-            self._rates[flow_id] = allocate_rate(
-                problem, flow_id, self._populations, price
-            )
+        with registry.timer("lrgp.iteration"):
+            # 1. Rate allocation at each source (Algorithm 1), using last
+            #    iteration's populations and prices.
+            with registry.timer("lrgp.rate_allocation"):
+                for flow_id in problem.flows:
+                    price = aggregate_flow_price(
+                        problem, flow_id, self._populations, node_prices, link_prices
+                    )
+                    self._rates[flow_id] = allocate_rate(
+                        problem, flow_id, self._populations, price
+                    )
 
-        # 2. Consumer allocation at each node (Algorithm 2, step 2 — greedy
-        #    by default), then 3a. node price update (step 3 / eq. 12).
-        for node_id in problem.consumer_nodes():
-            result = self._config.admission(problem, node_id, self._rates)
-            self._populations.update(result.populations)
-            self._node_controllers[node_id].update(
-                benefit_cost=result.best_unsatisfied_ratio, used=result.used
-            )
+            # 2. Consumer allocation at each node (Algorithm 2, step 2 —
+            #    greedy by default), then 3a. node price update (eq. 12).
+            with registry.timer("lrgp.consumer_allocation"):
+                for node_id in problem.consumer_nodes():
+                    result = self._config.admission(problem, node_id, self._rates)
+                    self._populations.update(result.populations)
+                    controller = self._node_controllers[node_id]
+                    controller.update(
+                        benefit_cost=result.best_unsatisfied_ratio, used=result.used
+                    )
+                    if snapshots:
+                        slack[f"node:{node_id}"] = controller.capacity - result.used
+                    if telemetry.enabled:
+                        telemetry.emit(
+                            AdmissionEvent(
+                                node=node_id,
+                                admitted=dict(result.populations),
+                                used=result.used,
+                                capacity=controller.capacity,
+                                best_ratio=result.best_unsatisfied_ratio,
+                                t_ns=now_ns(),
+                            )
+                        )
 
-        # 3b. Link price update (Algorithm 3 / eq. 13).
-        if self._link_controllers:
-            allocation = self.allocation()
-            for link_id, controller in self._link_controllers.items():
-                controller.update(link_usage(problem, allocation, link_id))
+            # 3b. Link price update (Algorithm 3 / eq. 13).
+            with registry.timer("lrgp.link_prices"):
+                if self._link_controllers:
+                    allocation = self.allocation()
+                    for link_id, link_controller in self._link_controllers.items():
+                        usage = link_usage(problem, allocation, link_id)
+                        link_controller.update(usage)
+                        if snapshots:
+                            slack[f"link:{link_id}"] = (
+                                link_controller.capacity - usage
+                            )
 
-        self._iteration += 1
-        utility = total_utility(problem, self.allocation())
+            self._iteration += 1
+            utility = total_utility(problem, self.allocation())
+
+        registry.counter("lrgp.iterations").inc()
+        registry.gauge("lrgp.utility").set(utility)
         self._utilities.append(utility)
         record = IterationRecord(
             iteration=self._iteration,
             utility=utility,
-            rates=dict(self._rates) if self._config.record_snapshots else None,
-            populations=dict(self._populations)
-            if self._config.record_snapshots
-            else None,
-            node_prices=self.node_prices() if self._config.record_snapshots else None,
-            link_prices=self.link_prices() if self._config.record_snapshots else None,
+            rates=dict(self._rates) if snapshots else None,
+            populations=dict(self._populations) if snapshots else None,
+            node_prices=self.node_prices() if snapshots else None,
+            link_prices=self.link_prices() if snapshots else None,
+            node_gammas=self.node_gammas() if snapshots else None,
+            slack=slack if snapshots else None,
         )
         self._records.append(record)
+        if telemetry.enabled:
+            telemetry.emit(
+                IterationEvent(
+                    iteration=record.iteration,
+                    utility=record.utility,
+                    t_ns=now_ns(),
+                    rates=record.rates,
+                    populations=record.populations,
+                    node_prices=record.node_prices,
+                    link_prices=record.link_prices,
+                    gammas=record.node_gammas,
+                    slack=record.slack,
+                )
+            )
         return record
 
     def run(self, iterations: int) -> list[IterationRecord]:

@@ -15,8 +15,12 @@ by the resource owners and fed back to flow sources:
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 from repro.core.gamma import FixedGamma, GammaSchedule
+
+if TYPE_CHECKING:  # telemetry probes are optional; obs never imports core
+    from repro.obs.telemetry import PriceProbe
 
 
 def _validate_capacity(capacity: float) -> float:
@@ -60,10 +64,24 @@ class NodePriceController:
         self._gamma_under = gamma_under
         self._gamma_over = gamma_over if gamma_over is not None else gamma_under
         self._price = _validate_price(initial_price)
+        #: Optional telemetry probe; ``None`` keeps the update allocation-free.
+        self.probe: PriceProbe | None = None
 
     @property
     def price(self) -> float:
         return self._price
+
+    @property
+    def gamma(self) -> float:
+        """The step size the *next* tracking-branch update would apply."""
+        return self._gamma_under.value()
+
+    def attach_probe(self, probe: "PriceProbe") -> None:
+        """Wire a telemetry probe into this controller and its schedules."""
+        self.probe = probe
+        self._gamma_under.probe = probe
+        if self._gamma_over is not self._gamma_under:
+            self._gamma_over.probe = probe
 
     def update(self, benefit_cost: float, used: float) -> float:
         """Apply eq. 12 and return the new price.
@@ -86,13 +104,20 @@ class NodePriceController:
             gamma = self._gamma_under.value()
             new_price = old_price + gamma * (benefit_cost - old_price)
             observer = self._gamma_under
+            branch = "track"
         else:
             gamma = self._gamma_over.value()
             new_price = old_price + gamma * (used - self.capacity)
             observer = self._gamma_over
+            branch = "violation"
         new_price = max(new_price, 0.0)
         observer.observe(new_price - old_price)
         self._price = new_price
+        if self.probe is not None:
+            self.probe.price_update(
+                old_price, new_price, gamma, branch,
+                usage=used, capacity=self.capacity,
+            )
         return new_price
 
     def reset(self, price: float = 0.0) -> None:
@@ -117,10 +142,22 @@ class LinkPriceController:
         self._gamma = FixedGamma(gamma) if isinstance(gamma, (int, float)) else gamma
         _validate_price(initial_price)
         self._price = 0.0 if math.isinf(capacity) else initial_price
+        #: Optional telemetry probe; ``None`` keeps the update allocation-free.
+        self.probe: PriceProbe | None = None
 
     @property
     def price(self) -> float:
         return self._price
+
+    @property
+    def gamma(self) -> float:
+        """The gradient-projection step size the next update would apply."""
+        return self._gamma.value()
+
+    def attach_probe(self, probe: "PriceProbe") -> None:
+        """Wire a telemetry probe into this controller and its schedule."""
+        self.probe = probe
+        self._gamma.probe = probe
 
     def update(self, usage: float) -> float:
         """Apply eq. 13 and return the new price.
@@ -136,6 +173,11 @@ class LinkPriceController:
         new_price = max(old_price + gamma * (usage - self.capacity), 0.0)
         self._gamma.observe(new_price - old_price)
         self._price = new_price
+        if self.probe is not None:
+            self.probe.price_update(
+                old_price, new_price, gamma, "gradient",
+                usage=usage, capacity=self.capacity,
+            )
         return new_price
 
     def reset(self, price: float = 0.0) -> None:

@@ -4,6 +4,17 @@ A deployment debugging convergence wants the full per-iteration state —
 utility, every rate, every price, every population — as flat CSV it can
 load into any tool.  Run the optimizer with
 ``LRGPConfig(record_snapshots=True)`` and hand it to :func:`trace_to_csv`.
+
+This module is a thin adapter over the :mod:`repro.obs` sinks: records
+become :class:`~repro.obs.IterationEvent` payloads and a pinned-column
+:class:`~repro.obs.CsvSink` renders them, so CSV and JSONL traces share
+one flattening and one formatting rule (floats ``repr``, ints ``str``,
+absent values as empty cells — see ``repro.obs.sinks.format_cell``).
+
+Documented column order: ``iteration, utility, rate:<flow>...,
+n:<class>..., node_price:<node>..., link_price:<link>...,
+gamma:<node>..., slack:<node:id|link:id>...`` — each group sorted by id,
+new groups only ever appended at the end.
 """
 
 from __future__ import annotations
@@ -13,19 +24,52 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from repro.core.lrgp import LRGP, IterationRecord
+from repro.obs.events import IterationEvent
+from repro.obs.sinks import CsvSink
 
 
 class TraceError(ValueError):
     """Raised when the optimizer was not recording snapshots."""
 
 
-def _columns(
-    records: Sequence[IterationRecord],
-) -> tuple[list[str], list[str], list[str], list[str]]:
+def record_to_event(record: IterationRecord, t_ns: int = 0) -> IterationEvent:
+    """Convert one optimizer record into its typed trace event.
+
+    The record carries no capture timestamp, so ``t_ns`` defaults to 0;
+    live emitters (``LRGPConfig(telemetry=...)``) stamp real monotonic
+    times instead.
+    """
+    if record.rates is None:
+        raise TraceError(
+            "trace requires LRGPConfig(record_snapshots=True); this run "
+            "recorded utilities only"
+        )
+    return IterationEvent(
+        iteration=record.iteration,
+        utility=record.utility,
+        t_ns=t_ns,
+        rates=record.rates,
+        populations=record.populations,
+        node_prices=record.node_prices,
+        link_prices=record.link_prices,
+        gammas=record.node_gammas,
+        slack=record.slack,
+    )
+
+
+def trace_columns(records: Sequence[IterationRecord]) -> list[str]:
+    """The pinned header for a record sequence (documented order above).
+
+    Entities that appear in some iterations only (e.g. after a flow
+    joins/leaves) still get a column; their absent iterations render
+    empty cells.
+    """
     flows: set[str] = set()
     classes: set[str] = set()
     nodes: set[str] = set()
     links: set[str] = set()
+    gamma_nodes: set[str] = set()
+    slack_keys: set[str] = set()
     for record in records:
         if record.rates is None:
             raise TraceError(
@@ -36,41 +80,29 @@ def _columns(
         classes.update(record.populations or {})
         nodes.update(record.node_prices or {})
         links.update(record.link_prices or {})
-    return sorted(flows), sorted(classes), sorted(nodes), sorted(links)
+        gamma_nodes.update(record.node_gammas or {})
+        slack_keys.update(record.slack or {})
+    return (
+        ["iteration", "utility"]
+        + [f"rate:{f}" for f in sorted(flows)]
+        + [f"n:{c}" for c in sorted(classes)]
+        + [f"node_price:{n}" for n in sorted(nodes)]
+        + [f"link_price:{l}" for l in sorted(links)]
+        + [f"gamma:{n}" for n in sorted(gamma_nodes)]
+        + [f"slack:{s}" for s in sorted(slack_keys)]
+    )
 
 
 def trace_to_csv(records: Sequence[IterationRecord]) -> str:
-    """Render iteration records as CSV.
-
-    Columns: ``iteration, utility, rate:<flow>..., n:<class>...,
-    node_price:<node>..., link_price:<link>...``.  Entities that appear in
-    some iterations only (e.g. after a flow joins/leaves) render empty
-    cells elsewhere.
-    """
+    """Render iteration records as CSV (documented column order above)."""
     if not records:
         raise TraceError("no iteration records to trace")
-    flows, classes, nodes, links = _columns(records)
-    out = io.StringIO()
-    header = (
-        ["iteration", "utility"]
-        + [f"rate:{f}" for f in flows]
-        + [f"n:{c}" for c in classes]
-        + [f"node_price:{n}" for n in nodes]
-        + [f"link_price:{l}" for l in links]
-    )
-    out.write(",".join(header) + "\n")
+    buffer = io.StringIO()
+    sink = CsvSink(buffer, fieldnames=trace_columns(records), drop=("type", "t_ns"))
     for record in records:
-        row: list[str] = [str(record.iteration), repr(record.utility)]
-        rates = record.rates or {}
-        populations = record.populations or {}
-        node_prices = record.node_prices or {}
-        link_prices = record.link_prices or {}
-        row += [repr(rates[f]) if f in rates else "" for f in flows]
-        row += [str(populations[c]) if c in populations else "" for c in classes]
-        row += [repr(node_prices[n]) if n in node_prices else "" for n in nodes]
-        row += [repr(link_prices[l]) if l in link_prices else "" for l in links]
-        out.write(",".join(row) + "\n")
-    return out.getvalue()
+        sink.emit(record_to_event(record))
+    sink.close()
+    return buffer.getvalue()
 
 
 def write_trace(optimizer: LRGP, path: str | Path) -> Path:

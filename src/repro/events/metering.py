@@ -18,6 +18,7 @@ the eq. 4/5 left-hand sides.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.utility.tolerance import is_zero
 
@@ -25,24 +26,40 @@ from repro.model.allocation import Allocation, link_usage, node_usage
 from repro.model.entities import LinkId, NodeId
 from repro.model.problem import Problem
 
+if TYPE_CHECKING:  # optional telemetry; obs never imports events
+    from repro.obs.registry import MetricsRegistry
+
 
 class ResourceMeter:
-    """Accumulates per-node and per-link resource charges over time."""
+    """Accumulates per-node and per-link resource charges over time.
 
-    def __init__(self) -> None:
+    Pass a :class:`~repro.obs.MetricsRegistry` to mirror every charge into
+    cumulative counters (``sim.charge.node.<id>`` /
+    ``sim.charge.link.<id>``) so a metrics snapshot shows measured
+    consumption alongside the optimizer's own figures.  Unlike the
+    windowed rates, the mirrored counters are never reset — counters only
+    go up.
+    """
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
         self._node_charge: dict[NodeId, float] = {}
         self._link_charge: dict[LinkId, float] = {}
         self._window_start = 0.0
+        self._registry = registry
 
     def charge_node(self, node_id: NodeId, amount: float) -> None:
         if amount < 0.0:
             raise ValueError(f"charge must be non-negative, got {amount}")
         self._node_charge[node_id] = self._node_charge.get(node_id, 0.0) + amount
+        if self._registry is not None:
+            self._registry.counter(f"sim.charge.node.{node_id}").inc(amount)
 
     def charge_link(self, link_id: LinkId, amount: float) -> None:
         if amount < 0.0:
             raise ValueError(f"charge must be non-negative, got {amount}")
         self._link_charge[link_id] = self._link_charge.get(link_id, 0.0) + amount
+        if self._registry is not None:
+            self._registry.counter(f"sim.charge.link.{link_id}").inc(amount)
 
     def reset(self, now: float) -> None:
         """Start a fresh measurement window at time ``now``."""

@@ -27,6 +27,8 @@ from repro.events.transforms import Transform
 from repro.model.allocation import Allocation
 from repro.model.entities import ClassId, FlowId, LinkId, NodeId
 from repro.model.problem import Problem
+from repro.obs.events import MessageEvent, now_ns
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 
 
 class EventInfrastructure:
@@ -45,6 +47,10 @@ class EventInfrastructure:
         Optional per-flow payload generators (for scenario content).
     transforms:
         Optional per-class delivery transforms.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`; the meter mirrors charges
+        into its registry and node-level message processing emits
+        ``message`` events (latency in simulated time since publication).
     """
 
     def __init__(
@@ -57,6 +63,7 @@ class EventInfrastructure:
         transforms: Mapping[ClassId, Transform] | None = None,
         queueing: bool = False,
         reliability: "Mapping[ClassId, ReliabilityConfig] | None" = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         if link_latency < 0.0:
             raise ValueError(f"link_latency must be non-negative, got {link_latency}")
@@ -69,8 +76,11 @@ class EventInfrastructure:
         self._queueing = queueing
         self._busy_until: dict[NodeId, float] = {}
         self._rng = random.Random(seed) if poisson else None
+        self.telemetry = telemetry
         self.engine = EventEngine()
-        self.meter = ResourceMeter()
+        self.meter = ResourceMeter(
+            registry=telemetry.registry if telemetry.enabled else None
+        )
 
         #: Reliable-delivery service (acks, retransmissions) for classes
         #: with a :class:`ReliabilityConfig`; None when nothing is reliable.
@@ -151,6 +161,7 @@ class EventInfrastructure:
 
     def _publish(self, producer: Producer) -> None:
         message = producer.publish(self.engine.now)
+        self.telemetry.registry.counter("sim.publications").inc()
         self._arrive(message, self._problem.flows[producer.flow_id].source)
         self._schedule_next_publication(producer)
 
@@ -178,6 +189,18 @@ class EventInfrastructure:
         )
 
     def _process(self, message: EventMessage, node_id: NodeId) -> None:
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                MessageEvent(
+                    sender=f"flow:{message.flow_id}",
+                    recipient=f"node:{node_id}",
+                    payload=f"seq={message.sequence}",
+                    t_ns=now_ns(),
+                    latency=self.engine.now - message.published_at,
+                )
+            )
+            telemetry.registry.counter("sim.messages_processed").inc()
         forward_links = self.brokers[node_id].process(message, self.engine.now)
         for link_id in forward_links:
             cost = self._problem.costs.link(link_id, message.flow_id)

@@ -1,0 +1,124 @@
+"""``repro.obs`` — the unified telemetry layer.
+
+Pure-stdlib observability substrate shared by the LRGP core, both
+runtimes and the event simulator (see docs/observability.md):
+
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms
+  and ``timer()`` profiling hooks;
+* typed trace events + sinks (:class:`MemorySink`, :class:`JsonlSink`,
+  :class:`CsvSink`) behind the :class:`TraceSink` protocol;
+* :class:`Telemetry` — the registry+sink bundle instrumented code takes
+  as one optional dependency, defaulting to the allocation-free
+  :data:`NULL_TELEMETRY`;
+* :class:`ConvergenceDiagnostics` — oscillation counts, constraint
+  residuals, utility-gap-to-bound and time-to-tolerance from a captured
+  event stream;
+* Prometheus-text and JSON snapshot exporters.
+
+This package imports nothing from ``repro.core`` / ``repro.runtime`` /
+``repro.events`` — it is the layer those packages sit on.
+"""
+
+from repro.obs.diagnostics import (
+    ConvergenceDiagnostics,
+    DiagnosticsReport,
+    ResourceDiagnostics,
+    count_oscillations,
+    diagnostics_to_dict,
+    render_diagnostics,
+)
+from repro.obs.events import (
+    EVENT_TYPES,
+    AdmissionEvent,
+    AgentExchangeEvent,
+    GammaStepEvent,
+    IterationEvent,
+    MessageEvent,
+    PriceUpdateEvent,
+    TraceEvent,
+    TraceEventError,
+    event_from_dict,
+    now_ns,
+)
+from repro.obs.export import (
+    render_metrics,
+    sanitize_metric_name,
+    snapshot_to_dict,
+    to_json,
+    to_prometheus_text,
+)
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    DEFAULT_VALUE_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsError,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    Timer,
+)
+from repro.obs.sinks import (
+    NULL_SINK,
+    CsvSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TraceSink,
+    format_cell,
+    read_jsonl,
+    render_csv,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, PriceProbe, Telemetry
+
+__all__ = [
+    "EVENT_TYPES",
+    "NULL_REGISTRY",
+    "NULL_SINK",
+    "NULL_TELEMETRY",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_VALUE_BUCKETS",
+    "AdmissionEvent",
+    "AgentExchangeEvent",
+    "ConvergenceDiagnostics",
+    "Counter",
+    "CsvSink",
+    "DiagnosticsReport",
+    "Gauge",
+    "GammaStepEvent",
+    "Histogram",
+    "HistogramSnapshot",
+    "IterationEvent",
+    "JsonlSink",
+    "MemorySink",
+    "MessageEvent",
+    "MetricsError",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRegistry",
+    "NullSink",
+    "PriceProbe",
+    "PriceUpdateEvent",
+    "ResourceDiagnostics",
+    "Telemetry",
+    "Timer",
+    "TraceEvent",
+    "TraceEventError",
+    "TraceSink",
+    "count_oscillations",
+    "diagnostics_to_dict",
+    "event_from_dict",
+    "format_cell",
+    "now_ns",
+    "read_jsonl",
+    "render_csv",
+    "render_diagnostics",
+    "render_metrics",
+    "sanitize_metric_name",
+    "snapshot_to_dict",
+    "to_json",
+    "to_prometheus_text",
+]

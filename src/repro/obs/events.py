@@ -1,0 +1,232 @@
+"""Typed trace events: the structured counterpart of the CSV dump.
+
+Every interesting internal transition of the optimizer, the runtimes and
+the event simulator maps to exactly one event type:
+
+===============  ============================================================
+``iteration``    one completed LRGP iteration / runtime round / async sample
+``price_update`` one application of eq. 12 (node) or eq. 13 (link)
+``gamma_step``   one adaptive step-size adjustment (section 4.2)
+``admission``    one greedy consumer allocation at one node (Algorithm 2)
+``message``      one protocol or pub/sub message handled by an engine
+``agent_exchange`` one agent activation (messages emitted per ``act()``)
+===============  ============================================================
+
+Events are frozen dataclasses with a ``kind`` tag and a monotonic
+timestamp (``t_ns``, from :func:`time.monotonic_ns`) so downstream tools
+can order and interval-time them without trusting wall clocks.  They
+serialize losslessly through ``to_dict`` / :func:`event_from_dict` (the
+JSONL sink round-trips every type bit-for-bit) and flatten to stable
+column names for the CSV sink via ``flatten``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, fields
+from typing import Any, ClassVar, Union
+
+
+def now_ns() -> int:
+    """Monotonic timestamp for event stamping (ns, unrelated to wall time)."""
+    return time.monotonic_ns()
+
+
+class TraceEventError(ValueError):
+    """Raised when deserializing a malformed or unknown event payload."""
+
+
+@dataclass(frozen=True)
+class _Event:
+    """Shared machinery: serialization, flattening, the kind tag."""
+
+    kind: ClassVar[str] = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable payload; ``type`` carries the kind tag."""
+        payload: dict[str, Any] = {"type": self.kind}
+        payload.update(asdict(self))
+        return payload
+
+    def flatten(self) -> dict[str, Any]:
+        """Flat scalar mapping for CSV export.
+
+        Nested mappings become ``field:key`` columns; subclasses override
+        to pin documented column names (see :class:`IterationEvent`).
+        """
+        flat: dict[str, Any] = {"type": self.kind}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, dict):
+                for key, item in value.items():
+                    flat[f"{spec.name}:{key}"] = item
+            else:
+                flat[spec.name] = value
+        return flat
+
+
+@dataclass(frozen=True)
+class IterationEvent(_Event):
+    """End of one optimizer iteration (or runtime round / async sample).
+
+    The snapshot mappings are ``None`` unless the emitter runs with
+    snapshot recording on (``LRGPConfig(record_snapshots=True)`` or the
+    ``repro trace`` CLI); the light event is just (iteration, utility).
+    """
+
+    kind: ClassVar[str] = "iteration"
+
+    iteration: int
+    utility: float
+    t_ns: int
+    rates: dict[str, float] | None = None
+    populations: dict[str, int] | None = None
+    node_prices: dict[str, float] | None = None
+    link_prices: dict[str, float] | None = None
+    gammas: dict[str, float] | None = None
+    slack: dict[str, float] | None = None
+
+    #: CSV column prefixes, matching the documented ``core.trace`` order.
+    _PREFIXES: ClassVar[tuple[tuple[str, str], ...]] = (
+        ("rates", "rate"),
+        ("populations", "n"),
+        ("node_prices", "node_price"),
+        ("link_prices", "link_price"),
+        ("gammas", "gamma"),
+        ("slack", "slack"),
+    )
+
+    def flatten(self) -> dict[str, Any]:
+        flat: dict[str, Any] = {
+            "type": self.kind,
+            "iteration": self.iteration,
+            "utility": self.utility,
+            "t_ns": self.t_ns,
+        }
+        for field_name, prefix in self._PREFIXES:
+            mapping = getattr(self, field_name)
+            for key, value in (mapping or {}).items():
+                flat[f"{prefix}:{key}"] = value
+        return flat
+
+
+@dataclass(frozen=True)
+class PriceUpdateEvent(_Event):
+    """One price-controller update (eq. 12 for nodes, eq. 13 for links).
+
+    ``branch`` names the path taken: ``track`` (damped BC tracking),
+    ``violation`` (capacity-violation ascent) or ``gradient`` (link
+    gradient projection).  ``usage``/``capacity`` expose the constraint
+    operand so diagnostics can compute eq. 4/5 slack without re-deriving
+    it from the model.
+    """
+
+    kind: ClassVar[str] = "price_update"
+
+    resource_kind: str  # "node" | "link"
+    resource: str
+    old_price: float
+    new_price: float
+    step: float  # the gamma actually applied
+    branch: str  # "track" | "violation" | "gradient"
+    t_ns: int
+    usage: float | None = None
+    capacity: float | None = None
+
+
+@dataclass(frozen=True)
+class GammaStepEvent(_Event):
+    """One adaptive step-size change (section 4.2 heuristic)."""
+
+    kind: ClassVar[str] = "gamma_step"
+
+    resource: str
+    old_gamma: float
+    new_gamma: float
+    fluctuated: bool
+    t_ns: int
+
+
+@dataclass(frozen=True)
+class AdmissionEvent(_Event):
+    """One greedy consumer allocation at one node (Algorithm 2, step 2)."""
+
+    kind: ClassVar[str] = "admission"
+
+    node: str
+    admitted: dict[str, int]
+    used: float
+    capacity: float
+    best_ratio: float
+    t_ns: int
+
+
+@dataclass(frozen=True)
+class MessageEvent(_Event):
+    """One protocol/pub-sub message handled by an engine.
+
+    ``latency`` is in the emitting engine's time base: simulated time for
+    the asynchronous runtime and the event simulator, ``None`` for the
+    synchronous runtime's instantaneous barrier delivery.
+    """
+
+    kind: ClassVar[str] = "message"
+
+    sender: str
+    recipient: str
+    payload: str
+    t_ns: int
+    latency: float | None = None
+
+
+@dataclass(frozen=True)
+class AgentExchangeEvent(_Event):
+    """One agent activation: who acted, in which role, how much it sent."""
+
+    kind: ClassVar[str] = "agent_exchange"
+
+    agent: str
+    role: str  # "source" | "node" | "link"
+    sent: int
+    stamp: float
+    t_ns: int
+
+
+TraceEvent = Union[
+    IterationEvent,
+    PriceUpdateEvent,
+    GammaStepEvent,
+    AdmissionEvent,
+    MessageEvent,
+    AgentExchangeEvent,
+]
+
+#: kind tag -> event class, the dispatch table for deserialization.
+EVENT_TYPES: dict[str, type[_Event]] = {
+    cls.kind: cls
+    for cls in (
+        IterationEvent,
+        PriceUpdateEvent,
+        GammaStepEvent,
+        AdmissionEvent,
+        MessageEvent,
+        AgentExchangeEvent,
+    )
+}
+
+
+def event_from_dict(payload: dict[str, Any]) -> TraceEvent:
+    """Inverse of ``to_dict``: rebuild the typed event from a payload.
+
+    Raises :class:`TraceEventError` on unknown kinds or field mismatches
+    so a corrupted JSONL line fails loudly, not as a half-parsed event.
+    """
+    data = dict(payload)
+    tag = data.pop("type", None)
+    cls = EVENT_TYPES.get(tag) if isinstance(tag, str) else None
+    if cls is None:
+        raise TraceEventError(f"unknown event type {tag!r}")
+    try:
+        return cls(**data)  # type: ignore[return-value]
+    except TypeError as error:
+        raise TraceEventError(f"malformed {tag!r} event: {error}") from error

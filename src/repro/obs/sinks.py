@@ -1,0 +1,193 @@
+"""Trace sinks: where typed events go.
+
+A sink is anything with ``emit(event)`` and ``close()``
+(:class:`TraceSink`).  Four implementations cover the repo's needs:
+
+* :class:`NullSink` — the default; discards everything, costs nothing.
+* :class:`MemorySink` — buffers events in a list for tests, diagnostics
+  and the ``repro stats`` command.
+* :class:`JsonlSink` — one JSON object per line, the lossless archival
+  format (``event_from_dict`` round-trips every type).
+* :class:`CsvSink` — flat tabular export; events are flattened via their
+  ``flatten()`` mapping and the column set is the union of observed keys
+  (or a caller-pinned ordered list, which is how ``repro.core.trace``
+  keeps its documented column order stable).
+
+Formatting discipline (the old ``core.trace`` inconsistency, fixed):
+floats render with ``repr`` (lossless round-trip), ints with ``str``,
+``None`` as the empty cell — one rule for every column.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import IO, Any, Iterator, Protocol, runtime_checkable
+
+from repro.obs.events import TraceEvent, event_from_dict
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything that accepts a stream of trace events."""
+
+    def emit(self, event: TraceEvent) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class NullSink:
+    """Discards every event; the allocation-free default."""
+
+    __slots__ = ()
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_SINK = NullSink()
+
+
+class MemorySink:
+    """Buffers events in memory (tests, diagnostics, ``repro stats``)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All buffered events with the given ``kind`` tag, in order."""
+        return [event for event in self.events if event.kind == kind]
+
+
+class _StreamSink:
+    """Shared open/close plumbing for file- or stream-backed sinks."""
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self._closed = False
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._finalize()
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def _finalize(self) -> None:
+        """Hook for subclasses that buffer until close."""
+
+
+class JsonlSink(_StreamSink):
+    """One JSON object per event per line — the archival format."""
+
+    def emit(self, event: TraceEvent) -> None:
+        self._stream.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._stream.write("\n")
+
+
+def read_jsonl(source: str | Path | IO[str]) -> Iterator[TraceEvent]:
+    """Parse a JSONL trace back into typed events (blank lines skipped)."""
+    if isinstance(source, (str, Path)):
+        with open(source, encoding="utf-8") as stream:
+            yield from read_jsonl(stream)
+        return
+    for line in source:
+        text = line.strip()
+        if text:
+            yield event_from_dict(json.loads(text))
+
+
+def format_cell(value: Any) -> str:
+    """The one CSV formatting rule: floats ``repr``, ints ``str``,
+    ``None`` empty, everything else ``str``."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):  # bool before int: it IS an int
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+class CsvSink(_StreamSink):
+    """Tabular export of flattened events.
+
+    Events are buffered and written on :meth:`close`, because the full
+    column set (the union of every event's flattened keys) is only known
+    once the stream ends.  Pass ``fieldnames`` to pin an explicit column
+    order instead — unknown keys then raise, so a schema drift cannot
+    silently reshuffle a documented format.  ``drop`` removes flattened
+    keys before the unknown-key check (``repro.core.trace`` drops the
+    ``type``/``t_ns`` envelope to keep its historical column set).
+    """
+
+    def __init__(
+        self,
+        target: str | Path | IO[str],
+        fieldnames: list[str] | None = None,
+        drop: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(target)
+        self._fieldnames = list(fieldnames) if fieldnames is not None else None
+        self._drop = frozenset(drop)
+        self._rows: list[dict[str, Any]] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        row = event.flatten()
+        for key in self._drop:
+            row.pop(key, None)
+        self._rows.append(row)
+
+    def _finalize(self) -> None:
+        if self._fieldnames is not None:
+            header = self._fieldnames
+            for row in self._rows:
+                unknown = set(row) - set(header)
+                if unknown:
+                    raise ValueError(
+                        f"event keys {sorted(unknown)} not in pinned CSV "
+                        f"columns; extend fieldnames explicitly"
+                    )
+        else:
+            seen: dict[str, None] = {}  # insertion-ordered set
+            for row in self._rows:
+                for key in row:
+                    seen.setdefault(key)
+            header = sorted(seen, key=lambda k: (k != "type", k))
+        writer = csv.writer(self._stream, lineterminator="\n")
+        writer.writerow(header)
+        for row in self._rows:
+            writer.writerow([format_cell(row.get(key)) for key in header])
+
+
+def render_csv(events: Iterator[TraceEvent] | list[TraceEvent]) -> str:
+    """Render an event stream as a CSV string (auto column union)."""
+    buffer = io.StringIO()
+    sink = CsvSink(buffer)
+    for event in events:
+        sink.emit(event)
+    sink.close()
+    return buffer.getvalue()

@@ -30,6 +30,8 @@ from repro.core.prices import LinkPriceController, NodePriceController
 from repro.core.rate_allocation import allocate_rate
 from repro.model.entities import ClassId, FlowId, LinkId, NodeId
 from repro.model.problem import Problem
+from repro.obs.events import AgentExchangeEvent, now_ns
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.utility.tolerance import is_zero
 from repro.runtime.messages import (
     LinkPriceUpdate,
@@ -55,8 +57,12 @@ def link_address(link_id: LinkId) -> str:
 class Agent:
     """Common shape: receive messages, activate, emit messages."""
 
-    def __init__(self, address: str) -> None:
+    #: The role tag used in telemetry events and metric names.
+    role = "agent"
+
+    def __init__(self, address: str, telemetry: Telemetry = NULL_TELEMETRY) -> None:
         self.address = address
+        self.telemetry = telemetry
 
     def receive(self, message: Message) -> None:
         raise NotImplementedError
@@ -64,6 +70,22 @@ class Agent:
     def act(self, stamp: float) -> list[Message]:
         """Run this agent's algorithm once; return the messages to send."""
         raise NotImplementedError
+
+    def _record_activation(self, sent: int, stamp: float) -> None:
+        """Emit one ``agent_exchange`` event (no-op when disabled)."""
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                AgentExchangeEvent(
+                    agent=self.address,
+                    role=self.role,
+                    sent=sent,
+                    stamp=stamp,
+                    t_ns=now_ns(),
+                )
+            )
+            telemetry.registry.counter(f"agents.activations.{self.role}").inc()
+            telemetry.registry.counter("agents.messages_sent").inc(sent)
 
 
 class _Averager:
@@ -95,10 +117,16 @@ class SourceAgent(Agent):
     and announces the rate to every node and link agent on the route.
     """
 
+    role = "source"
+
     def __init__(
-        self, problem: Problem, flow_id: FlowId, averaging_window: int = 1
+        self,
+        problem: Problem,
+        flow_id: FlowId,
+        averaging_window: int = 1,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
-        super().__init__(source_address(flow_id))
+        super().__init__(source_address(flow_id), telemetry=telemetry)
         self._problem = problem
         self._flow_id = flow_id
         self._node_prices = _Averager(averaging_window)
@@ -169,6 +197,7 @@ class SourceAgent(Agent):
                         rate=self.rate,
                     )
                 )
+        self._record_activation(len(messages), stamp)
         return messages
 
 
@@ -180,14 +209,17 @@ class NodeAgent(Agent):
     and announces price + populations to the sources of those flows.
     """
 
+    role = "node"
+
     def __init__(
         self,
         problem: Problem,
         node_id: NodeId,
         gamma: GammaSchedule,
         initial_price: float = 0.0,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
-        super().__init__(node_address(node_id))
+        super().__init__(node_address(node_id), telemetry=telemetry)
         self._problem = problem
         self._node_id = node_id
         self._rates: dict[FlowId, float] = {
@@ -199,6 +231,9 @@ class NodeAgent(Agent):
             gamma_under=gamma,
             initial_price=initial_price,
         )
+        probe = telemetry.probe("node", node_id)
+        if probe is not None:
+            self._controller.attach_probe(probe)
         self.populations: dict[ClassId, int] = {
             class_id: 0 for class_id in problem.classes_at_node(node_id)
         }
@@ -252,11 +287,14 @@ class NodeAgent(Agent):
                         },
                     )
                 )
+        self._record_activation(len(messages), stamp)
         return messages
 
 
 class LinkAgent(Agent):
     """Algorithm 3 on behalf of one finite-capacity link."""
+
+    role = "link"
 
     def __init__(
         self,
@@ -264,8 +302,9 @@ class LinkAgent(Agent):
         link_id: LinkId,
         gamma: float,
         initial_price: float = 0.0,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
-        super().__init__(link_address(link_id))
+        super().__init__(link_address(link_id), telemetry=telemetry)
         self._problem = problem
         self._link_id = link_id
         self._rates: dict[FlowId, float] = {
@@ -277,6 +316,9 @@ class LinkAgent(Agent):
             gamma=gamma,
             initial_price=initial_price,
         )
+        probe = telemetry.probe("link", link_id)
+        if probe is not None:
+            self._controller.attach_probe(probe)
 
     @property
     def link_id(self) -> LinkId:
@@ -299,7 +341,7 @@ class LinkAgent(Agent):
             for flow_id, rate in self._rates.items()
         )
         self._controller.update(usage)
-        return [
+        messages: list[Message] = [
             LinkPriceUpdate(
                 sender=self.address,
                 recipient=source_address(flow_id),
@@ -309,3 +351,5 @@ class LinkAgent(Agent):
             )
             for flow_id in problem.flows_on_link(self._link_id)
         ]
+        self._record_activation(len(messages), stamp)
+        return messages

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from repro.core.gamma import AdaptiveGamma, GammaSchedule
 from repro.model.allocation import Allocation, total_utility
 from repro.model.problem import Problem
+from repro.obs.events import IterationEvent, MessageEvent, now_ns
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.runtime.agents import Agent, LinkAgent, NodeAgent, SourceAgent
 from repro.runtime.messages import Message
 
@@ -81,24 +83,29 @@ class AsynchronousRuntime:
         config: AsyncConfig | None = None,
         node_gamma: GammaSchedule | None = None,
         link_gamma: float = 1e-4,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         self._problem = problem
         self._config = config or AsyncConfig()
         self._rng = random.Random(self._config.seed)
+        self._telemetry = telemetry
         prototype = node_gamma if node_gamma is not None else AdaptiveGamma()
 
         self._sources = [
             SourceAgent(
-                problem, flow_id, averaging_window=self._config.averaging_window
+                problem,
+                flow_id,
+                averaging_window=self._config.averaging_window,
+                telemetry=telemetry,
             )
             for flow_id in sorted(problem.flows)
         ]
         self._nodes = [
-            NodeAgent(problem, node_id, gamma=prototype.clone())
+            NodeAgent(problem, node_id, gamma=prototype.clone(), telemetry=telemetry)
             for node_id in problem.consumer_nodes()
         ]
         self._links = [
-            LinkAgent(problem, link_id, gamma=link_gamma)
+            LinkAgent(problem, link_id, gamma=link_gamma, telemetry=telemetry)
             for link_id in problem.bottleneck_links()
         ]
         self._agents: dict[str, Agent] = {
@@ -136,10 +143,13 @@ class AsynchronousRuntime:
         return self._config.latency_mean * (1.0 + self._rng.uniform(-jitter, jitter))
 
     def _dispatch(self, messages: list[Message]) -> None:
+        registry = self._telemetry.registry
         for message in messages:
             self.messages_sent += 1
+            registry.counter("runtime.async.messages_sent").inc()
             if self._rng.random() < self._config.loss_probability:
                 self.messages_lost += 1
+                registry.counter("runtime.async.messages_lost").inc()
                 continue
             self._schedule(self._now + self._latency(), "deliver", message)
 
@@ -164,8 +174,34 @@ class AsynchronousRuntime:
                 message = payload  # type: ignore[assignment]
                 assert isinstance(message, Message)
                 self._agents[message.recipient].receive(message)
+                telemetry = self._telemetry
+                if telemetry.enabled:
+                    latency = self._now - message.stamp
+                    telemetry.emit(
+                        MessageEvent(
+                            sender=message.sender,
+                            recipient=message.recipient,
+                            payload=type(message).__name__,
+                            t_ns=now_ns(),
+                            latency=latency,
+                        )
+                    )
+                    telemetry.registry.histogram(
+                        "runtime.async.latency"
+                    ).observe(latency)
             elif kind == "sample":
-                self.samples.append((self._now, self.utility()))
+                utility = self.utility()
+                self.samples.append((self._now, utility))
+                telemetry = self._telemetry
+                telemetry.registry.gauge("runtime.async.utility").set(utility)
+                if telemetry.enabled:
+                    telemetry.emit(
+                        IterationEvent(
+                            iteration=len(self.samples),
+                            utility=utility,
+                            t_ns=now_ns(),
+                        )
+                    )
                 self._schedule(
                     self._now + self._config.sample_interval, "sample", None
                 )

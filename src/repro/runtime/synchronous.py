@@ -13,30 +13,41 @@ from __future__ import annotations
 from repro.core.gamma import AdaptiveGamma, GammaSchedule
 from repro.model.allocation import Allocation, total_utility
 from repro.model.problem import Problem
+from repro.obs.events import IterationEvent, MessageEvent, now_ns
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.runtime.agents import Agent, LinkAgent, NodeAgent, SourceAgent
 from repro.runtime.messages import Message
 
 
 class SynchronousRuntime:
-    """Executes LRGP as message-passing agents with barrier rounds."""
+    """Executes LRGP as message-passing agents with barrier rounds.
+
+    ``telemetry`` (default: the no-op :data:`~repro.obs.NULL_TELEMETRY`)
+    threads through to every agent: rounds emit ``iteration`` events,
+    deliveries ``message`` events (``latency=None`` — barrier delivery is
+    instantaneous), agents their ``agent_exchange`` / price events.
+    """
 
     def __init__(
         self,
         problem: Problem,
         node_gamma: GammaSchedule | None = None,
         link_gamma: float = 1e-4,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         prototype = node_gamma if node_gamma is not None else AdaptiveGamma()
         self._problem = problem
+        self._telemetry = telemetry
         self._sources = [
-            SourceAgent(problem, flow_id) for flow_id in sorted(problem.flows)
+            SourceAgent(problem, flow_id, telemetry=telemetry)
+            for flow_id in sorted(problem.flows)
         ]
         self._nodes = [
-            NodeAgent(problem, node_id, gamma=prototype.clone())
+            NodeAgent(problem, node_id, gamma=prototype.clone(), telemetry=telemetry)
             for node_id in problem.consumer_nodes()
         ]
         self._links = [
-            LinkAgent(problem, link_id, gamma=link_gamma)
+            LinkAgent(problem, link_id, gamma=link_gamma, telemetry=telemetry)
             for link_id in problem.bottleneck_links()
         ]
         self._agents: dict[str, Agent] = {
@@ -56,31 +67,53 @@ class SynchronousRuntime:
         return self._round
 
     def _deliver(self, messages: list[Message]) -> None:
+        telemetry = self._telemetry
         for message in messages:
             recipient = self._agents.get(message.recipient)
             if recipient is None:
                 raise KeyError(f"message addressed to unknown agent {message.recipient}")
             recipient.receive(message)
+            if telemetry.enabled:
+                telemetry.emit(
+                    MessageEvent(
+                        sender=message.sender,
+                        recipient=message.recipient,
+                        payload=type(message).__name__,
+                        t_ns=now_ns(),
+                        latency=None,
+                    )
+                )
         self.messages_sent += len(messages)
+        telemetry.registry.counter("runtime.sync.messages").inc(len(messages))
 
     def step(self) -> float:
         """Run one round (= one LRGP iteration); returns the round utility."""
-        stamp = float(self._round)
-        rate_messages: list[Message] = []
-        for source in self._sources:
-            rate_messages.extend(source.act(stamp))
-        self._deliver(rate_messages)
+        telemetry = self._telemetry
+        with telemetry.registry.timer("runtime.sync.round"):
+            stamp = float(self._round)
+            rate_messages: list[Message] = []
+            for source in self._sources:
+                rate_messages.extend(source.act(stamp))
+            self._deliver(rate_messages)
 
-        feedback: list[Message] = []
-        for node in self._nodes:
-            feedback.extend(node.act(stamp))
-        for link in self._links:
-            feedback.extend(link.act(stamp))
-        self._deliver(feedback)
+            feedback: list[Message] = []
+            for node in self._nodes:
+                feedback.extend(node.act(stamp))
+            for link in self._links:
+                feedback.extend(link.act(stamp))
+            self._deliver(feedback)
 
-        self._round += 1
-        utility = total_utility(self._problem, self.allocation())
+            self._round += 1
+            utility = total_utility(self._problem, self.allocation())
         self.utilities.append(utility)
+        telemetry.registry.counter("runtime.sync.rounds").inc()
+        telemetry.registry.gauge("runtime.sync.utility").set(utility)
+        if telemetry.enabled:
+            telemetry.emit(
+                IterationEvent(
+                    iteration=self._round, utility=utility, t_ns=now_ns()
+                )
+            )
         return utility
 
     def run(self, rounds: int) -> list[float]:

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.core.lrgp import LRGP, LRGPConfig
-from repro.core.trace import TraceError, trace_to_csv, write_trace
+from repro.core.trace import (
+    TraceError,
+    record_to_event,
+    trace_columns,
+    trace_to_csv,
+    write_trace,
+)
 from tests.conftest import make_tiny_problem
 
 
@@ -36,6 +42,40 @@ class TestTraceToCsv:
         rate_index = header.index("rate:fa")
         assert float(last[rate_index]) == pytest.approx(record.rates["fa"])
 
+    def test_documented_column_group_order(self, recorded_optimizer):
+        """Columns follow the documented grouping, each group sorted."""
+        header = trace_columns(recorded_optimizer.records)
+        prefixes = ["iteration", "utility", "rate:", "n:", "node_price:", "gamma:", "slack:"]
+        positions = []
+        for prefix in prefixes:
+            matching = [i for i, col in enumerate(header) if col.startswith(prefix)]
+            assert matching, f"no column for group {prefix!r}"
+            assert matching == sorted(matching)
+            positions.append(matching[0])
+        assert positions == sorted(positions)  # groups appear in order
+
+    def test_gamma_and_slack_columns_carry_values(self, recorded_optimizer):
+        csv = trace_to_csv(recorded_optimizer.records)
+        lines = csv.splitlines()
+        header = lines[0].split(",")
+        last = lines[-1].split(",")
+        record = recorded_optimizer.records[-1]
+        gamma_index = header.index("gamma:S")
+        assert float(last[gamma_index]) == pytest.approx(record.node_gammas["S"])
+        slack_index = header.index("slack:node:S")
+        assert float(last[slack_index]) == pytest.approx(record.slack["node:S"])
+
+    def test_unified_cell_formatting(self, recorded_optimizer):
+        """Floats render as repr, ints bare — the obs format_cell rule."""
+        from repro.obs.sinks import format_cell
+
+        csv = trace_to_csv(recorded_optimizer.records)
+        lines = csv.splitlines()
+        record = recorded_optimizer.records[0]
+        first = lines[1].split(",")
+        assert first[0] == format_cell(record.iteration)
+        assert first[1] == format_cell(record.utility)
+
     def test_requires_snapshots(self):
         optimizer = LRGP(make_tiny_problem())  # snapshots off
         optimizer.run(3)
@@ -60,6 +100,25 @@ class TestTraceToCsv:
         f5_index = header.index("rate:f5")
         assert lines[1].split(",")[f5_index] != ""   # present early
         assert lines[-1].split(",")[f5_index] == ""  # gone later
+
+
+class TestRecordToEvent:
+    def test_snapshot_record_maps_onto_iteration_event(self, recorded_optimizer):
+        record = recorded_optimizer.records[-1]
+        event = record_to_event(record, t_ns=42)
+        assert event.kind == "iteration"
+        assert event.iteration == record.iteration
+        assert event.utility == record.utility
+        assert event.t_ns == 42
+        assert event.rates == record.rates
+        assert event.gammas == record.node_gammas
+        assert event.slack == record.slack
+
+    def test_light_record_rejected(self):
+        optimizer = LRGP(make_tiny_problem())  # snapshots off
+        optimizer.run(1)
+        with pytest.raises(TraceError, match="record_snapshots"):
+            record_to_event(optimizer.records[0])
 
 
 class TestWriteTrace:

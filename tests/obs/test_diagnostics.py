@@ -1,0 +1,130 @@
+"""Tests for convergence diagnostics."""
+
+import pytest
+
+from repro.obs.diagnostics import (
+    ConvergenceDiagnostics,
+    count_oscillations,
+    diagnostics_to_dict,
+    render_diagnostics,
+)
+from repro.obs.events import IterationEvent, PriceUpdateEvent
+
+
+def price_update(resource, old, new, *, t_ns=0, usage=None, capacity=None):
+    return PriceUpdateEvent(
+        resource_kind="node",
+        resource=resource,
+        old_price=old,
+        new_price=new,
+        step=0.1,
+        branch="track",
+        t_ns=t_ns,
+        usage=usage,
+        capacity=capacity,
+    )
+
+
+class TestCountOscillations:
+    @pytest.mark.parametrize(
+        ("series", "expected"),
+        [
+            ([], 0),
+            ([1.0], 0),
+            ([1.0, 2.0, 3.0], 0),  # monotone: no reversal
+            ([1.0, 2.0, 1.0], 1),  # up then down
+            ([1.0, 2.0, 1.0, 2.0, 1.0], 3),  # full zig-zag
+            ([1.0, 2.0, 2.0, 1.0], 1),  # plateau doesn't reset direction
+            ([1.0, 1.0, 1.0], 0),  # flat: nothing to reverse
+        ],
+    )
+    def test_sign_reversals(self, series, expected):
+        assert count_oscillations(series) == expected
+
+
+class TestAnalyze:
+    def test_convergence_on_constant_utilities(self):
+        events = [
+            IterationEvent(iteration=i, utility=100.0, t_ns=i * 10)
+            for i in range(1, 16)
+        ]
+        report = ConvergenceDiagnostics(window=10).analyze(events)
+        assert report.iterations == 15
+        assert report.converged
+        assert report.iterations_to_tolerance == 10  # first full window
+        assert report.time_to_tolerance_ns == 90  # stamps[9] - stamps[0]
+        assert report.final_utility == 100.0
+
+    def test_no_convergence_when_oscillating(self):
+        events = [
+            IterationEvent(iteration=i, utility=100.0 + 10 * (-1) ** i, t_ns=i)
+            for i in range(1, 31)
+        ]
+        report = ConvergenceDiagnostics(window=10).analyze(events)
+        assert not report.converged
+        assert report.iterations_to_tolerance is None
+        assert report.trailing_amplitude == pytest.approx(20.0 / 100.0)
+
+    def test_price_series_oscillations_and_slack(self):
+        events = [
+            price_update("S", 0.0, 1.0),
+            price_update("S", 1.0, 0.5),
+            price_update("S", 0.5, 0.8, usage=190.0, capacity=200.0),
+        ]
+        report = ConvergenceDiagnostics().analyze(events)
+        resource = report.resources["node:S"]
+        assert resource.updates == 3
+        assert resource.oscillations == 2
+        assert resource.final_price == 0.8
+        assert resource.slack == pytest.approx(10.0)
+        assert resource.residual == 0.0
+        assert report.violated_resources == []
+
+    def test_violation_reported_as_residual(self):
+        events = [price_update("S", 0.0, 1.0, usage=250.0, capacity=200.0)]
+        report = ConvergenceDiagnostics().analyze(events)
+        resource = report.resources["node:S"]
+        assert resource.residual == pytest.approx(50.0)
+        assert resource.slack == 0.0
+        assert report.violated_resources == ["node:S"]
+
+    def test_utility_gap_to_bound(self):
+        events = [IterationEvent(iteration=1, utility=90.0, t_ns=0)]
+        report = ConvergenceDiagnostics(utility_bound=100.0).analyze(events)
+        assert report.utility_gap == pytest.approx(10.0)
+        assert report.relative_gap == pytest.approx(0.1)
+
+    def test_empty_stream(self):
+        report = ConvergenceDiagnostics().analyze([])
+        assert report.iterations == 0
+        assert report.final_utility is None
+        assert not report.converged
+        assert report.resources == {}
+
+    @pytest.mark.parametrize(
+        ("window", "rel"), [(1, 1e-3), (0, 1e-3), (10, 0.0), (10, -1.0)]
+    )
+    def test_invalid_parameters_rejected(self, window, rel):
+        with pytest.raises(ValueError):
+            ConvergenceDiagnostics(window=window, rel_amplitude=rel)
+
+
+class TestRendering:
+    def test_render_mentions_key_figures(self):
+        events = [
+            IterationEvent(iteration=i, utility=100.0, t_ns=i) for i in range(1, 12)
+        ] + [price_update("S", 0.0, 1.0, usage=250.0, capacity=200.0)]
+        text = render_diagnostics(ConvergenceDiagnostics().analyze(events))
+        assert "stable by iteration" in text
+        assert "VIOLATED" in text
+        assert "node:S" in text
+
+    def test_dict_export_adds_derived_fields(self):
+        events = [
+            IterationEvent(iteration=i, utility=100.0, t_ns=i) for i in range(1, 12)
+        ]
+        payload = diagnostics_to_dict(ConvergenceDiagnostics().analyze(events))
+        assert payload["converged"] is True
+        assert payload["total_oscillations"] == 0
+        assert payload["violated_resources"] == []
+        assert payload["iterations"] == 11

@@ -1,0 +1,137 @@
+"""Tests for typed trace events: serialization and flattening."""
+
+import io
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    AdmissionEvent,
+    AgentExchangeEvent,
+    GammaStepEvent,
+    IterationEvent,
+    MessageEvent,
+    PriceUpdateEvent,
+    TraceEventError,
+    event_from_dict,
+    now_ns,
+)
+from repro.obs.sinks import JsonlSink, read_jsonl
+
+
+def sample_events():
+    """One instance of every event type, optional fields exercised."""
+    return [
+        IterationEvent(
+            iteration=3,
+            utility=227.5,
+            t_ns=100,
+            rates={"fa": 20.0},
+            populations={"ca": 5},
+            node_prices={"S": 0.03},
+            link_prices={"l1": 0.0},
+            gammas={"S": 0.1},
+            slack={"node:S": 9.8},
+        ),
+        IterationEvent(iteration=4, utility=228.0, t_ns=200),  # light form
+        PriceUpdateEvent(
+            resource_kind="node",
+            resource="S",
+            old_price=0.1,
+            new_price=0.2,
+            step=0.05,
+            branch="violation",
+            t_ns=300,
+            usage=210.0,
+            capacity=200.0,
+        ),
+        GammaStepEvent(
+            resource="S", old_gamma=0.1, new_gamma=0.05, fluctuated=True, t_ns=400
+        ),
+        AdmissionEvent(
+            node="S",
+            admitted={"ca": 5, "cb": 0},
+            used=190.2,
+            capacity=200.0,
+            best_ratio=1.5,
+            t_ns=500,
+        ),
+        MessageEvent(
+            sender="src:fa",
+            recipient="node:S",
+            payload="RateUpdate",
+            t_ns=600,
+            latency=0.25,
+        ),
+        AgentExchangeEvent(agent="src:fa", role="source", sent=3, stamp=1.0, t_ns=700),
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("event", sample_events(), ids=lambda e: e.kind)
+    def test_dict_round_trip_is_lossless(self, event):
+        assert event_from_dict(event.to_dict()) == event
+
+    def test_every_registered_type_is_covered(self):
+        covered = {event.kind for event in sample_events()}
+        assert covered == set(EVENT_TYPES)
+
+    def test_jsonl_round_trip_all_types(self):
+        events = sample_events()
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        assert list(read_jsonl(io.StringIO(buffer.getvalue()))) == events
+
+    def test_jsonl_file_round_trip(self, tmp_path):
+        events = sample_events()
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        assert list(read_jsonl(path)) == events
+
+
+class TestErrors:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(TraceEventError, match="unknown event type"):
+            event_from_dict({"type": "bogus"})
+
+    def test_missing_type_raises(self):
+        with pytest.raises(TraceEventError, match="unknown event type"):
+            event_from_dict({"iteration": 1})
+
+    def test_malformed_fields_raise(self):
+        with pytest.raises(TraceEventError, match="malformed"):
+            event_from_dict({"type": "gamma_step", "nonsense": 1})
+
+
+class TestFlatten:
+    def test_iteration_flatten_uses_documented_prefixes(self):
+        flat = sample_events()[0].flatten()
+        assert flat["type"] == "iteration"
+        assert flat["rate:fa"] == 20.0
+        assert flat["n:ca"] == 5
+        assert flat["node_price:S"] == 0.03
+        assert flat["link_price:l1"] == 0.0
+        assert flat["gamma:S"] == 0.1
+        assert flat["slack:node:S"] == 9.8
+
+    def test_light_iteration_flatten_has_no_snapshot_columns(self):
+        flat = IterationEvent(iteration=1, utility=2.0, t_ns=3).flatten()
+        assert set(flat) == {"type", "iteration", "utility", "t_ns"}
+
+    def test_generic_flatten_expands_dicts(self):
+        flat = sample_events()[4].flatten()  # admission
+        assert flat["admitted:ca"] == 5
+        assert flat["admitted:cb"] == 0
+        assert flat["node"] == "S"
+
+
+def test_now_ns_is_monotonic():
+    first = now_ns()
+    second = now_ns()
+    assert second >= first

@@ -1,0 +1,94 @@
+"""Tests for the Prometheus-text and JSON exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    render_metrics,
+    sanitize_metric_name,
+    snapshot_to_dict,
+    to_json,
+    to_prometheus_text,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("lrgp.iterations").inc(5)
+    registry.gauge("lrgp.utility").set(227.5)
+    histogram = registry.histogram("lrgp.step", (0.01, 0.1))
+    histogram.observe(0.005)
+    histogram.observe(0.05)
+    histogram.observe(5.0)
+    return registry
+
+
+class TestSanitize:
+    @pytest.mark.parametrize(
+        ("raw", "expected"),
+        [
+            ("lrgp.iteration", "repro_lrgp_iteration"),
+            ("a-b c", "repro_a_b_c"),
+            ("9lives", "repro__9lives"),
+            ("", "repro__"),
+        ],
+    )
+    def test_prometheus_charset(self, raw, expected):
+        assert sanitize_metric_name(raw) == expected
+
+
+class TestPrometheusText:
+    def test_counter_gets_total_suffix(self, registry):
+        text = to_prometheus_text(registry.snapshot())
+        assert "# TYPE repro_lrgp_iterations_total counter" in text
+        assert "repro_lrgp_iterations_total 5" in text
+
+    def test_gauge_line(self, registry):
+        text = to_prometheus_text(registry.snapshot())
+        assert "# TYPE repro_lrgp_utility gauge" in text
+        assert "repro_lrgp_utility 227.5" in text
+
+    def test_histogram_triple_with_cumulative_buckets(self, registry):
+        lines = to_prometheus_text(registry.snapshot()).splitlines()
+        assert 'repro_lrgp_step_bucket{le="0.01"} 1' in lines
+        assert 'repro_lrgp_step_bucket{le="0.1"} 2' in lines
+        assert 'repro_lrgp_step_bucket{le="+Inf"} 3' in lines
+        assert "repro_lrgp_step_count 3" in lines
+        assert any(line.startswith("repro_lrgp_step_sum ") for line in lines)
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus_text(MetricsRegistry().snapshot()) == ""
+
+    def test_ends_with_newline(self, registry):
+        assert to_prometheus_text(registry.snapshot()).endswith("\n")
+
+
+class TestJson:
+    def test_versioned_schema(self, registry):
+        payload = snapshot_to_dict(registry.snapshot())
+        assert payload["version"] == 1
+        assert payload["counters"] == {"lrgp.iterations": 5.0}
+        assert payload["gauges"] == {"lrgp.utility": 227.5}
+        histogram = payload["histograms"]["lrgp.step"]
+        assert histogram["count"] == 3
+        assert histogram["buckets"] == [[0.01, 1], [0.1, 2]]
+        assert histogram["min"] == 0.005
+        assert histogram["max"] == 5.0
+
+    def test_to_json_parses_back(self, registry):
+        parsed = json.loads(to_json(registry.snapshot()))
+        assert parsed == snapshot_to_dict(registry.snapshot())
+
+
+class TestRenderMetrics:
+    def test_human_block_lists_every_metric(self, registry):
+        text = render_metrics(registry.snapshot())
+        assert "lrgp.iterations: 5" in text
+        assert "lrgp.utility: 227.5" in text
+        assert "lrgp.step: n=3" in text
+
+    def test_empty_snapshot_message(self):
+        assert "none recorded" in render_metrics(MetricsRegistry().snapshot())

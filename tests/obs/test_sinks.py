@@ -1,0 +1,130 @@
+"""Tests for trace sinks and the shared CSV formatting rule."""
+
+import io
+
+import pytest
+
+from repro.obs.events import GammaStepEvent, IterationEvent, MessageEvent
+from repro.obs.sinks import (
+    NULL_SINK,
+    CsvSink,
+    MemorySink,
+    NullSink,
+    TraceSink,
+    format_cell,
+    render_csv,
+)
+
+
+def iteration(i, utility=1.0, **extra):
+    return IterationEvent(iteration=i, utility=utility, t_ns=i, **extra)
+
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        "sink", [NullSink(), MemorySink(), CsvSink(io.StringIO())]
+    )
+    def test_implementations_satisfy_protocol(self, sink):
+        assert isinstance(sink, TraceSink)
+
+
+class TestMemorySink:
+    def test_buffers_in_order_and_filters_by_kind(self):
+        sink = MemorySink()
+        events = [
+            iteration(1),
+            GammaStepEvent("S", 0.1, 0.05, True, t_ns=2),
+            iteration(2),
+        ]
+        for event in events:
+            sink.emit(event)
+        assert sink.events == events
+        assert sink.of_kind("iteration") == [events[0], events[2]]
+        sink.clear()
+        assert sink.events == []
+
+    def test_null_sink_discards(self):
+        NULL_SINK.emit(iteration(1))
+        NULL_SINK.close()
+
+
+class TestFormatCell:
+    @pytest.mark.parametrize(
+        ("value", "expected"),
+        [
+            (None, ""),
+            (0.1, "0.1"),
+            (1.0, "1.0"),  # floats keep their repr, even integral ones
+            (7, "7"),
+            (True, "True"),  # bool is an int but must not render as one
+            ("S", "S"),
+        ],
+    )
+    def test_one_rule_for_every_column(self, value, expected):
+        assert format_cell(value) == expected
+
+    def test_float_repr_round_trips(self):
+        value = 0.1 + 0.2  # classic non-representable sum
+        assert float(format_cell(value)) == value
+
+
+class TestCsvSink:
+    def test_auto_union_puts_type_first_then_sorted(self):
+        text = render_csv(
+            [
+                iteration(1),
+                MessageEvent("a", "b", "RateUpdate", t_ns=2, latency=None),
+            ]
+        )
+        header = text.splitlines()[0].split(",")
+        assert header[0] == "type"
+        assert header[1:] == sorted(header[1:])
+
+    def test_absent_keys_render_empty_cells(self):
+        text = render_csv(
+            [iteration(1, rates={"fa": 2.0}), iteration(2)]
+        )
+        lines = text.splitlines()
+        header = lines[0].split(",")
+        index = header.index("rate:fa")
+        assert lines[1].split(",")[index] == "2.0"
+        assert lines[2].split(",")[index] == ""
+
+    def test_pinned_fieldnames_keep_order(self):
+        buffer = io.StringIO()
+        sink = CsvSink(
+            buffer,
+            fieldnames=["utility", "iteration"],
+            drop=("type", "t_ns"),
+        )
+        sink.emit(iteration(1, utility=3.5))
+        sink.close()
+        assert buffer.getvalue().splitlines() == ["utility,iteration", "3.5,1"]
+
+    def test_pinned_fieldnames_reject_unknown_keys(self):
+        sink = CsvSink(io.StringIO(), fieldnames=["iteration"])
+        sink.emit(iteration(1))  # flatten has type/utility/t_ns too
+        with pytest.raises(ValueError, match="not in pinned CSV columns"):
+            sink.close()
+
+    def test_drop_removes_envelope_keys(self):
+        buffer = io.StringIO()
+        sink = CsvSink(buffer, drop=("type", "t_ns"))
+        sink.emit(iteration(1))
+        sink.close()
+        assert buffer.getvalue().splitlines()[0] == "iteration,utility"
+
+    def test_writes_file_and_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        sink = CsvSink(path)
+        sink.emit(iteration(1))
+        sink.close()
+        sink.close()  # second close is a no-op
+        assert path.read_text().startswith("type,")
+
+    def test_borrowed_stream_stays_open(self):
+        buffer = io.StringIO()
+        sink = CsvSink(buffer)
+        sink.emit(iteration(1))
+        sink.close()
+        assert not buffer.closed  # caller owns it

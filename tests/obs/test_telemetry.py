@@ -1,0 +1,50 @@
+"""Tests for the Telemetry bundle and PriceProbe."""
+
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.sinks import MemorySink, NullSink
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+
+
+class TestTelemetry:
+    def test_defaults_collect_in_memory(self):
+        telemetry = Telemetry()
+        assert telemetry.enabled
+        assert isinstance(telemetry.registry, MetricsRegistry)
+        assert isinstance(telemetry.sink, MemorySink)
+
+    def test_null_telemetry_is_disabled_and_shared(self):
+        assert not NULL_TELEMETRY.enabled
+        assert NULL_TELEMETRY.registry is NULL_REGISTRY
+        assert isinstance(NULL_TELEMETRY.sink, NullSink)
+        assert NULL_TELEMETRY.probe("node", "S") is None
+
+    def test_close_closes_the_sink(self, tmp_path):
+        from repro.obs.sinks import JsonlSink
+
+        path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry(sink=JsonlSink(path))
+        telemetry.close()
+        assert path.exists()
+
+
+class TestPriceProbe:
+    def test_price_update_emits_event_and_counter(self):
+        telemetry = Telemetry()
+        probe = telemetry.probe("node", "S")
+        probe.price_update(0.1, 0.2, 0.05, "track", usage=10.0, capacity=20.0)
+        [event] = telemetry.sink.events
+        assert event.kind == "price_update"
+        assert event.resource == "S"
+        assert event.branch == "track"
+        assert event.usage == 10.0
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot.counters["prices.updates.node"] == 1.0
+
+    def test_gamma_step_counts_fluctuations_only(self):
+        telemetry = Telemetry()
+        probe = telemetry.probe("node", "S")
+        probe.gamma_step(0.1, 0.101, fluctuated=False)
+        probe.gamma_step(0.101, 0.05, fluctuated=True)
+        assert len(telemetry.sink.of_kind("gamma_step")) == 2
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot.counters["gamma.fluctuations"] == 1.0

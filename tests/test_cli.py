@@ -129,3 +129,100 @@ class TestExperimentCommands:
     def test_unknown_subcommand_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestStatsCommand:
+    def test_human_output_has_metrics_and_diagnostics(self, capsys):
+        assert main(["stats", "micro", "--iterations", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "lrgp.iterations: 80" in out
+        assert "convergence diagnostics" in out
+        assert "stable by iteration" in out
+
+    def test_json_output_is_parseable(self, capsys):
+        assert main(
+            ["stats", "micro", "--iterations", "60", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "micro"
+        assert payload["metrics"]["counters"]["lrgp.iterations"] == 60
+        assert "converged" in payload["diagnostics"]
+
+    def test_prometheus_output(self, capsys):
+        assert main(
+            ["stats", "micro", "--iterations", "30", "--format", "prometheus"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_lrgp_iterations_total counter" in out
+        assert "repro_lrgp_iterations_total 30" in out
+
+    def test_sync_engine(self, capsys):
+        assert main(
+            ["stats", "micro", "--iterations", "30", "--engine", "sync"]
+        ) == 0
+        assert "runtime.sync.rounds: 30" in capsys.readouterr().out
+
+    def test_output_file(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["stats", "micro", "--iterations", "20", "--format", "json",
+             "-o", str(path)]
+        ) == 0
+        payload = json.loads(path.read_text())
+        assert payload["metrics"]["counters"]["lrgp.iterations"] == 20
+
+
+class TestTraceCommand:
+    def test_jsonl_stream_is_schema_valid(self, capsys):
+        from repro.obs.events import IterationEvent, event_from_dict
+
+        assert main(
+            ["trace", "micro", "--iterations", "25", "--events", "iteration"]
+        ) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 25
+        events = [event_from_dict(json.loads(line)) for line in lines]
+        assert all(isinstance(event, IterationEvent) for event in events)
+        assert [event.iteration for event in events] == list(range(1, 26))
+
+    def test_snapshots_flag_adds_state_columns(self, capsys):
+        assert main(
+            ["trace", "micro", "--iterations", "10", "--events", "iteration",
+             "--snapshots"]
+        ) == 0
+        first = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert "rates" in first
+        assert "gammas" in first
+        assert "slack" in first
+
+    def test_csv_format(self, capsys):
+        assert main(
+            ["trace", "micro", "--iterations", "10", "--events", "iteration",
+             "--format", "csv"]
+        ) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("type,")
+        assert len(lines) == 11
+
+    def test_output_file_reports_count(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["trace", "micro", "--iterations", "15", "--events", "iteration",
+             "-o", str(path)]
+        ) == 0
+        assert "15 event(s) written" in capsys.readouterr().out
+        assert len(path.read_text().splitlines()) == 15
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(SystemExit, match="unknown event"):
+            main(["trace", "micro", "--events", "bogus"])
+
+    def test_async_engine_emits_messages(self, capsys):
+        assert main(
+            ["trace", "micro", "--iterations", "20", "--engine", "async",
+             "--events", "message"]
+        ) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines
+        assert all(json.loads(line)["type"] == "message" for line in lines)

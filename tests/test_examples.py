@@ -11,7 +11,12 @@ EXAMPLES = Path(__file__).parent.parent / "examples"
 #: The faster examples run in CI on every change; the slower two
 #: (trade_data drives a 125k-delivery simulation, autonomic_recovery runs
 #: a 120-tick closed loop) are marked slow but still exercised.
-FAST = ["quickstart.py", "scaling_study.py", "distributed_deployment.py"]
+FAST = [
+    "quickstart.py",
+    "scaling_study.py",
+    "distributed_deployment.py",
+    "telemetry_dashboard.py",
+]
 SLOW = ["latest_price.py", "trade_data.py", "autonomic_recovery.py"]
 
 
