@@ -1,0 +1,115 @@
+"""Perf guard: the vectorized LRGP engine beats the reference dict engine.
+
+The compiled engine (:mod:`repro.core.compiled`) exists to make large
+workloads cheap, so the guard measures median per-iteration wall time of
+both registered engines across the flow-scaling ladder and requires the
+vectorized engine to be at least :data:`SPEEDUP_THRESHOLD` times faster
+on the 24-flow workload (``flows-x4``, the paper's Table 2 scale point).
+
+Small workloads are measured for context only: below ~6 flows the numpy
+dispatch overhead dominates and the reference engine can win — that
+crossover is expected and documented in ``docs/engines.md``, not guarded.
+
+Every run archives ``results/BENCH_engines.json`` with the raw numbers.
+The guard itself is marked ``perf`` so it can be selected alone with
+``-m perf``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from collections.abc import Callable
+
+import pytest
+from conftest import RESULTS_DIR
+
+from repro.core.lrgp import LRGP, LRGPConfig
+from repro.model.problem import Problem
+from repro.workloads.base import base_workload
+from repro.workloads.micro import micro_workload
+from repro.workloads.scaling import scale_flows
+
+#: The ISSUE's acceptance bar: vectorized >= 3x reference at 24 flows.
+SPEEDUP_THRESHOLD = 3.0
+#: The workload the guard is enforced on (24 flows).
+GUARD_WORKLOAD = "flows-x4"
+
+WARMUP_ITERATIONS = 30
+TIMED_ITERATIONS = 200
+
+WORKLOADS: tuple[tuple[str, Callable[[], Problem]], ...] = (
+    ("micro", micro_workload),
+    ("base", base_workload),
+    ("flows-x2", lambda: scale_flows(2)),
+    ("flows-x4", lambda: scale_flows(4)),
+    ("flows-x8", lambda: scale_flows(8)),
+)
+
+
+def median_step_ns(problem: Problem, engine: str) -> float:
+    """Median wall time of one warm LRGP iteration under ``engine``."""
+    optimizer = LRGP(problem, LRGPConfig.adaptive(), engine=engine)
+    optimizer.run(WARMUP_ITERATIONS)
+    samples = []
+    for _ in range(TIMED_ITERATIONS):
+        start = time.perf_counter_ns()
+        optimizer.step()
+        samples.append(time.perf_counter_ns() - start)
+    return statistics.median(samples)
+
+
+@pytest.fixture(scope="module")
+def engine_rows() -> list[dict[str, float | int | str]]:
+    """Measure both engines on every workload (shared by both tests)."""
+    rows: list[dict[str, float | int | str]] = []
+    for name, factory in WORKLOADS:
+        problem = factory()
+        reference_ns = median_step_ns(problem, "reference")
+        vectorized_ns = median_step_ns(problem, "vectorized")
+        rows.append(
+            {
+                "name": name,
+                "flows": len(problem.flows),
+                "reference_ns": reference_ns,
+                "vectorized_ns": vectorized_ns,
+                "speedup": reference_ns / vectorized_ns,
+            }
+        )
+    return rows
+
+
+def test_benchmark_engines_archives_results(engine_rows):
+    payload = {
+        "version": 1,
+        "timed_iterations": TIMED_ITERATIONS,
+        "warmup_iterations": WARMUP_ITERATIONS,
+        "guard_workload": GUARD_WORKLOAD,
+        "threshold": SPEEDUP_THRESHOLD,
+        "workloads": engine_rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_engines.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print()
+    for row in engine_rows:
+        print(
+            f"{row['name']:>9} ({row['flows']:>2} flows): reference "
+            f"{row['reference_ns']:>9.0f}ns, vectorized "
+            f"{row['vectorized_ns']:>9.0f}ns, speedup {row['speedup']:.2f}x"
+        )
+    for row in engine_rows:
+        assert row["reference_ns"] > 0.0
+        assert row["vectorized_ns"] > 0.0
+
+
+@pytest.mark.perf
+def test_vectorized_speedup_at_24_flows(engine_rows):
+    row = next(r for r in engine_rows if r["name"] == GUARD_WORKLOAD)
+    assert row["flows"] == 24
+    assert row["speedup"] >= SPEEDUP_THRESHOLD, (
+        f"vectorized engine is only {row['speedup']:.2f}x the reference "
+        f"engine at {row['flows']} flows (bar: {SPEEDUP_THRESHOLD:.0f}x)"
+    )

@@ -1,31 +1,26 @@
-"""Quickstart: optimize the paper's base workload with LRGP.
+"""Quickstart: optimize the paper's base workload through ``repro.solve``.
 
 Builds the Table 1 workload (6 flows, 3 consumer nodes, 20 consumer
-classes), runs 250 LRGP iterations and prints the resulting allocation —
-flow rates, admitted populations, node prices — plus the utility trajectory
-summary.
+classes), solves it with 250 LRGP iterations via the unified front door
+and prints the resulting allocation — flow rates, admitted populations,
+node prices — plus the utility trajectory summary.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import LRGP, LRGPConfig, base_workload, is_feasible, total_utility
-from repro.core.convergence import iterations_until_convergence
+import repro
 
 
 def main() -> None:
-    problem = base_workload()
+    problem = repro.base_workload()
     print(f"Workload: {problem.describe()}")
 
-    optimizer = LRGP(problem, LRGPConfig.adaptive())
-    optimizer.run(250)
+    result = repro.solve(problem, method="lrgp", iterations=250)
+    allocation = result.allocation
 
-    allocation = optimizer.allocation()
-    utility = total_utility(problem, allocation)
-    converged = iterations_until_convergence(optimizer.utilities)
-
-    print(f"Total utility:  {utility:,.0f}   (paper reports 1,328,821)")
-    print(f"Converged after {converged} iterations (paper reports 21)")
-    print(f"Feasible:       {is_feasible(problem, allocation)}")
+    print(f"Total utility:  {result.utility:,.0f}   (paper reports 1,328,821)")
+    print(f"Converged after {result.converged_at} iterations (paper reports 21)")
+    print(f"Feasible:       {repro.is_feasible(problem, allocation)}")
 
     print("\nFlow rates (r in [10, 1000]):")
     for flow_id in sorted(allocation.rates):
@@ -42,7 +37,7 @@ def main() -> None:
             )
 
     print("\nNode prices (the marginal value of node capacity):")
-    for node_id, price in sorted(optimizer.node_prices().items()):
+    for node_id, price in sorted(result.metadata["node_prices"].items()):
         print(f"  {node_id}: {price:.6f}")
 
 

@@ -9,12 +9,15 @@ the paper's workloads and the full experiment harness.
 
 Quickstart::
 
-    from repro import LRGP, base_workload, total_utility
+    import repro
 
-    problem = base_workload()
-    optimizer = LRGP(problem)
-    optimizer.run(250)
-    print(total_utility(problem, optimizer.allocation()))
+    result = repro.solve(repro.base_workload(), method="lrgp")
+    print(result.utility, result.converged_at)
+
+``repro.solve`` is the unified front door over every optimizer family
+(LRGP reference/vectorized engines, multirate, two-stage pruning, and the
+baselines); the driver classes (``LRGP``, ``MultirateLRGP``, ...) remain
+available for stepwise control and mid-run reconfiguration.
 """
 
 from repro.core import (
@@ -54,6 +57,7 @@ from repro.obs import (
     render_diagnostics,
     to_prometheus_text,
 )
+from repro.solve import SolveResult, available_methods, solve
 from repro.utility import (
     LogUtility,
     PowerUtility,
@@ -97,8 +101,10 @@ __all__ = [
     "PowerUtility",
     "Problem",
     "Route",
+    "SolveResult",
     "Telemetry",
     "UtilityFunction",
+    "available_methods",
     "base_workload",
     "build_problem",
     "generate_workload",
@@ -111,6 +117,7 @@ __all__ = [
     "render_diagnostics",
     "scale_consumer_nodes",
     "scale_flows",
+    "solve",
     "to_prometheus_text",
     "total_utility",
     "two_stage_optimize",

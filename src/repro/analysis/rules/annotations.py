@@ -1,10 +1,11 @@
-"""R6 — public functions in the core and model packages are fully typed.
+"""R6 — public functions in the strictly-typed modules are fully typed.
 
 ``repro`` ships ``py.typed``: downstream users type-check against these
 signatures, and the strict-mypy CI lane only works if every public entry
-point in ``repro.core`` and ``repro.model`` annotates all parameters
-(including ``*args``/``**kwargs``) and the return type.  Private helpers
-(leading underscore, excluding dunders) and nested functions are exempt.
+point in ``repro.core``, ``repro.model`` and ``repro.solve`` annotates
+all parameters (including ``*args``/``**kwargs``) and the return type.
+Private helpers (leading underscore, excluding dunders) and nested
+functions are exempt.
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ from collections.abc import Iterator
 
 from repro.analysis.engine import Finding, ModuleContext, Rule, Severity
 
-_SCOPED_PREFIXES = ("repro.core", "repro.model")
+_SCOPED_PREFIXES = ("repro.core", "repro.model", "repro.solve")
 
 
 def _is_public(name: str) -> bool:
@@ -51,11 +52,12 @@ def _missing_annotations(
 
 class PublicAnnotationRule(Rule):
     rule_id = "R6"
-    title = "public core/model functions must be fully type-annotated"
+    title = "public core/model/solve functions must be fully type-annotated"
     severity = Severity.WARNING
     rationale = (
         "the package ships py.typed and CI runs mypy --strict on "
-        "repro.core/repro.model; unannotated publics poison inference"
+        "repro.core/repro.model/repro.solve; unannotated publics "
+        "poison inference"
     )
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:

@@ -2,9 +2,11 @@
 
 Commands:
 
-* ``optimize``  — run LRGP on a workload (built-in name or a problem JSON
-  file), print the allocation summary, optionally write the allocation
-  and/or a full iteration trace.
+* ``optimize``  — run an optimizer (``repro.solve``) on a workload
+  (built-in name or a problem JSON file), print the allocation summary —
+  or the full SolveResult as JSON — and optionally write the allocation
+  and/or a full iteration trace.  ``--method`` picks the algorithm
+  family, ``--engine`` the LRGP execution strategy.
 * ``workload``  — materialize a built-in workload as problem JSON.
 * ``figure``    — regenerate one of the paper's figures (1-4) as an ASCII
   chart plus data rows.
@@ -20,6 +22,8 @@ Commands:
 Examples::
 
     python -m repro optimize base --iterations 250
+    python -m repro optimize flows-x4 --engine vectorized --json
+    python -m repro optimize base --method two_stage
     python -m repro optimize path/to/problem.json --trace trace.csv
     python -m repro workload base -o base.json
     python -m repro figure 1
@@ -42,9 +46,8 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:
     from repro.obs import Telemetry
 
-from repro.core.convergence import iterations_until_convergence
+from repro.core.engines import available_engines
 from repro.core.lrgp import LRGP, LRGPConfig
-from repro.core.trace import write_trace
 from repro.experiments.extensions import (
     extension_capacity_churn,
     extension_communication,
@@ -70,13 +73,14 @@ from repro.experiments.tables import (
     table2_scalability,
     table3_utility_shapes,
 )
-from repro.model.allocation import is_feasible, total_utility
+from repro.model.allocation import is_feasible
 from repro.model.problem import Problem
 from repro.model.serialization import (
     allocation_to_json,
     problem_from_json,
     problem_to_json,
 )
+from repro.solve import SolveResult, available_methods, solve
 from repro.workloads.base import base_workload
 from repro.workloads.bottleneck import link_bottleneck_workload
 from repro.workloads.micro import micro_workload
@@ -116,19 +120,11 @@ def load_problem(spec: str) -> Problem:
     )
 
 
-def _optimize_multirate(args: argparse.Namespace, problem: Problem) -> int:
-    from repro.core.multirate import (
-        MultirateLRGP,
-        multirate_total_utility,
-    )
-
-    optimizer = MultirateLRGP(problem)
-    optimizer.run(args.iterations)
-    allocation = optimizer.allocation()
+def _print_multirate_summary(problem: Problem, result: SolveResult) -> None:
+    allocation = result.allocation
     print(f"workload:   {problem.describe()} (multirate)")
-    print(f"iterations: {args.iterations} "
-          f"(stable by {iterations_until_convergence(optimizer.utilities)})")
-    print(f"utility:    {multirate_total_utility(problem, allocation):,.2f}")
+    print(f"iterations: {result.iterations} (stable by {result.converged_at})")
+    print(f"utility:    {result.utility:,.2f}")
     print("source rate caps:")
     for flow_id in sorted(allocation.source_rates):
         print(f"  {flow_id}: {allocation.source_rates[flow_id]:.2f}")
@@ -137,30 +133,16 @@ def _optimize_multirate(args: argparse.Namespace, problem: Problem) -> int:
         cap = allocation.source_rates[flow_id]
         marker = "  (thinned)" if rate < cap - 1e-9 else ""
         print(f"  {node_id} <- {flow_id}: {rate:.2f}{marker}")
-    return 0
 
 
-def cmd_optimize(args: argparse.Namespace) -> int:
-    problem = load_problem(args.workload)
-    if args.multirate:
-        return _optimize_multirate(args, problem)
-    config = LRGPConfig(
-        node_gamma=(
-            LRGPConfig.fixed(args.gamma).node_gamma
-            if args.gamma is not None
-            else LRGPConfig.adaptive().node_gamma
-        ),
-        link_gamma=args.link_gamma,
-        record_snapshots=args.trace is not None,
-    )
-    optimizer = LRGP(problem, config)
-    optimizer.run(args.iterations)
-    allocation = optimizer.allocation()
-
-    print(f"workload:   {problem.describe()}")
-    print(f"iterations: {args.iterations} "
-          f"(stable by {iterations_until_convergence(optimizer.utilities)})")
-    print(f"utility:    {total_utility(problem, allocation):,.2f}")
+def _print_summary(
+    problem: Problem, result: SolveResult, verbose: bool
+) -> None:
+    allocation = result.allocation
+    method_tag = "" if result.method == "lrgp" else f" ({result.method})"
+    print(f"workload:   {problem.describe()}{method_tag}")
+    print(f"iterations: {result.iterations} (stable by {result.converged_at})")
+    print(f"utility:    {result.utility:,.2f}")
     print(f"feasible:   {is_feasible(problem, allocation)}")
     print("rates:")
     for flow_id in sorted(allocation.rates):
@@ -169,19 +151,68 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     for class_id in sorted(allocation.populations):
         admitted = allocation.populations[class_id]
         connected = problem.classes[class_id].max_consumers
-        if admitted or args.verbose:
+        if admitted or verbose:
             print(f"  {class_id}: {admitted}/{connected}")
-    print("node prices:")
-    for node_id, price in sorted(optimizer.node_prices().items()):
-        print(f"  {node_id}: {price:.6f}")
-    for link_id, price in sorted(optimizer.link_prices().items()):
-        print(f"  link {link_id}: {price:.6f}")
+    node_prices = result.metadata.get("node_prices")
+    link_prices = result.metadata.get("link_prices")
+    if node_prices is not None or link_prices is not None:
+        print("node prices:")
+        for node_id, price in sorted((node_prices or {}).items()):
+            print(f"  {node_id}: {price:.6f}")
+        for link_id, price in sorted((link_prices or {}).items()):
+            print(f"  link {link_id}: {price:.6f}")
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    problem = load_problem(args.workload)
+    method = "multirate" if args.multirate else args.method
+    if args.trace is not None and method != "lrgp":
+        raise SystemExit(
+            "--trace needs per-iteration records; only --method lrgp has them"
+        )
+    options: dict[str, object] = {}
+    if method in ("lrgp", "two_stage"):
+        options["config"] = LRGPConfig(
+            node_gamma=(
+                LRGPConfig.fixed(args.gamma).node_gamma
+                if args.gamma is not None
+                else LRGPConfig.adaptive().node_gamma
+            ),
+            link_gamma=args.link_gamma,
+            record_snapshots=args.trace is not None,
+        )
+    try:
+        result = solve(
+            problem,
+            method,
+            engine=args.engine,
+            iterations=args.iterations,
+            **options,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    elif method == "multirate":
+        _print_multirate_summary(problem, result)
+    else:
+        _print_summary(problem, result, args.verbose)
 
     if args.output is not None:
-        Path(args.output).write_text(allocation_to_json(allocation))
+        if method == "multirate":
+            raise SystemExit(
+                "--output writes single-rate allocation JSON; "
+                "not supported with --method multirate"
+            )
+        Path(args.output).write_text(allocation_to_json(result.allocation))
         print(f"allocation written to {args.output}")
     if args.trace is not None:
-        write_trace(optimizer, args.trace)
+        from repro.core.trace import trace_to_csv
+
+        Path(args.trace).write_text(trace_to_csv(result.metadata["records"]))
         print(f"trace written to {args.trace}")
     return 0
 
@@ -418,9 +449,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    optimize = sub.add_parser("optimize", help="run LRGP on a workload")
+    optimize = sub.add_parser("optimize", help="run an optimizer on a workload")
     optimize.add_argument("workload", help="builtin name or problem JSON path")
     optimize.add_argument("--iterations", type=int, default=250)
+    optimize.add_argument(
+        "--method", choices=available_methods(), default="lrgp",
+        help="optimizer family (default: lrgp); see repro.solve",
+    )
+    optimize.add_argument(
+        "--engine", choices=available_engines(), default=None,
+        help="LRGP iteration engine (lrgp/two_stage methods only; "
+        "default: reference)",
+    )
+    optimize.add_argument(
+        "--json", action="store_true",
+        help="print the SolveResult as JSON instead of the summary",
+    )
     optimize.add_argument(
         "--gamma", type=float, default=None,
         help="fixed node-price step size (default: adaptive)",
@@ -434,7 +478,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     optimize.add_argument(
         "--multirate", action="store_true",
-        help="use the multirate extension (per-node flow thinning)",
+        help="alias for --method multirate (per-node flow thinning)",
     )
     optimize.set_defaults(func=cmd_optimize)
 

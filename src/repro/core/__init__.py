@@ -6,6 +6,8 @@
 * :mod:`repro.core.prices` — node (eq. 12) and link (eq. 13) price updates.
 * :mod:`repro.core.gamma` — fixed and adaptive step-size schedules.
 * :mod:`repro.core.convergence` — the 0.1%-amplitude stability criterion.
+* :mod:`repro.core.engines` — the engine registry (reference / vectorized).
+* :mod:`repro.core.compiled` — problem lowering + the numpy fast path.
 """
 
 from repro.core.consumer_allocation import (
@@ -25,6 +27,14 @@ from repro.core.enactment import (
     PeriodicEnactment,
     ThresholdEnactment,
     consumer_churn,
+)
+from repro.core.engines import (
+    LRGPEngine,
+    ReferenceEngine,
+    StepOutcome,
+    available_engines,
+    create_engine,
+    register_engine,
 )
 from repro.core.gamma import AdaptiveGamma, FixedGamma, GammaSchedule
 from repro.core.lrgp import LRGP, AdmissionStrategy, IterationRecord, LRGPConfig
@@ -52,6 +62,12 @@ from repro.core.rate_allocation import (
 
 __all__ = [
     "LRGP",
+    "LRGPEngine",
+    "ReferenceEngine",
+    "StepOutcome",
+    "available_engines",
+    "create_engine",
+    "register_engine",
     "AdaptiveGamma",
     "AdmissionStrategy",
     "Enactor",

@@ -1,0 +1,908 @@
+"""Problem lowering and the vectorized LRGP engine.
+
+The reference engine walks Python dicts per flow/node/link; at Table 2
+scale that is thousands of interpreter round trips per iteration.  This
+module lowers a frozen :class:`~repro.model.problem.Problem` into dense
+numpy arrays once (:func:`compile_problem`) and then runs every LRGP
+iteration as batched array ops (:class:`VectorizedEngine`):
+
+* **Rate allocation** (Algorithm 1, eq. 7-9) — aggregate path prices as
+  matrix products over the link/flow and node/flow incidence structure,
+  then a batched closed-form argmax per utility family: all-log flows via
+  ``sum(n*scale)/price - offset``, all-power flows via the collapsed
+  inverse derivative.  Flows whose classes mix shapes (or use a shape with
+  no closed form) fall back to a bracketed numeric bisection — the
+  *fallback column* — which matches the reference root finder within its
+  tolerance.
+* **Consumer allocation** (Algorithm 2, eq. 10-11) — benefit/cost ratios
+  for all classes at once and a single global stable argsort, then a
+  per-node greedy fill in decreasing-ratio order (ties by class id,
+  exactly the reference order) over plain Python floats so admission
+  counts match the reference bit for bit.
+* **Price updates** (eq. 12-13) — scalar updates mirroring the reference
+  controllers exactly, including the adaptive-gamma heuristic.  The node
+  and link axes are small (one entry per consumer node / bottleneck
+  link), so plain Python beats numpy's per-op overhead there; the flow and
+  class axes — where Table 2 scales — are the vectorized ones.
+
+The engine is registered as ``engine="vectorized"`` and is validated
+against the reference trajectory within
+:data:`repro.utility.tolerance.ENGINE_EQUIVALENCE_RTOL` at every iteration
+(``tests/core/test_engines.py``); the speedup is tracked in
+``benchmarks/test_perf_engines.py``.
+
+Scope notes: the node axis of the lowered arrays covers *consumer* nodes
+(the only nodes carrying prices) and the link axis covers *finite-capacity*
+links (the only links carrying prices), mirroring which controllers the
+reference driver instantiates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.consumer_allocation import (
+    _FLOOR_SLACK,  # shared admission flooring slack; same constant by design
+    allocate_consumers,
+)
+from repro.core.engines import LRGPEngine, StepOutcome
+from repro.core.gamma import AdaptiveGamma, FixedGamma
+from repro.model.entities import ClassId, FlowId, LinkId, NodeId
+from repro.model.problem import Problem
+from repro.obs.events import AdmissionEvent, now_ns
+from repro.utility.base import UtilityFunction
+from repro.utility.functions import LogUtility, PowerUtility, ScaledUtility
+from repro.utility.tolerance import close_enough, is_zero
+
+if TYPE_CHECKING:
+    from repro.core.lrgp import LRGPConfig
+    from repro.obs.telemetry import PriceProbe
+
+FloatArray = NDArray[np.float64]
+IntArray = NDArray[np.int64]
+
+#: Utility-family codes used by the batched rate solver.
+FAMILY_LOG = 0
+FAMILY_POW = 1
+FAMILY_GENERIC = 2
+
+#: Bisection tolerances for the fallback column, matching the reference
+#: root finder (``repro.utility.calculus``).
+_BISECT_XTOL = 1e-10
+_BISECT_RTOL = 1e-12
+_BISECT_MAX_ITER = 200
+
+
+def _classify(
+    utility: UtilityFunction, factor: float = 1.0
+) -> tuple[int, float, float, float]:
+    """Map a utility onto ``(family, effective_scale, offset, exponent)``.
+
+    :class:`~repro.utility.functions.ScaledUtility` wrappers are unwrapped
+    recursively, folding their factor into the effective scale; anything
+    that is not (a rescaling of) the log or power family is generic and
+    handled by the fallback column.
+    """
+    if isinstance(utility, ScaledUtility):
+        return _classify(utility.base, factor * utility.factor)
+    if isinstance(utility, LogUtility):
+        return FAMILY_LOG, factor * utility.scale, utility.offset, 0.0
+    if isinstance(utility, PowerUtility):
+        return FAMILY_POW, factor * utility.scale, 0.0, utility.exponent
+    return FAMILY_GENERIC, 0.0, 0.0, 0.0
+
+
+@dataclass(frozen=True)
+class CompiledProblem:
+    """A :class:`Problem` lowered to dense index and incidence arrays.
+
+    Index vocabularies are sorted tuples of ids; every array is positioned
+    on them.  ``link_cost`` is the paper's ``L`` restricted to bottleneck
+    links, ``flow_node_cost`` is ``F`` restricted to consumer nodes, and
+    ``consumer_cost`` holds ``G`` for each class at its hosting node.
+    ``class_cell`` flattens ``(node, flow)`` pairs for one-pass scatter-add
+    of population-dependent node coefficients (eq. 9); the
+    ``*_class_positions`` arrays pre-split the class axis by utility family
+    so the batched evaluators touch only the columns they understand.
+    """
+
+    problem: Problem
+    flow_ids: tuple[FlowId, ...]
+    node_ids: tuple[NodeId, ...]
+    link_ids: tuple[LinkId, ...]
+    class_ids: tuple[ClassId, ...]
+    rate_min: FloatArray
+    rate_max: FloatArray
+    node_capacity: FloatArray
+    link_capacity: FloatArray
+    link_cost: FloatArray
+    flow_node_cost: FloatArray
+    consumer_cost: FloatArray
+    class_flow: IntArray
+    class_node: IntArray
+    class_cell: IntArray
+    max_consumers: IntArray
+    utilities: tuple[UtilityFunction, ...]
+    class_family: IntArray
+    class_scale: FloatArray
+    class_offset: FloatArray
+    class_exponent: FloatArray
+    flow_family: IntArray
+    flow_offset: FloatArray
+    flow_exponent: FloatArray
+    node_class_positions: tuple[IntArray, ...]
+    log_class_positions: IntArray
+    pow_class_positions: IntArray
+    generic_class_positions: IntArray
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.flow_ids)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def n_links(self) -> int:
+        return len(self.link_ids)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_ids)
+
+    # -- dict <-> vector converters ---------------------------------------
+
+    def rates_vector(self, rates: dict[FlowId, float] | None = None) -> FloatArray:
+        """Per-flow rate vector; missing entries default to ``rate_min``."""
+        if rates is None:
+            return self.rate_min.copy()
+        return np.array(
+            [
+                float(rates.get(fid, self.problem.flows[fid].rate_min))
+                for fid in self.flow_ids
+            ],
+            dtype=np.float64,
+        )
+
+    def populations_vector(
+        self, populations: dict[ClassId, int] | None = None
+    ) -> IntArray:
+        """Per-class population vector; missing entries default to 0."""
+        if populations is None:
+            return np.zeros(self.n_classes, dtype=np.int64)
+        return np.array(
+            [int(populations.get(cid, 0)) for cid in self.class_ids], dtype=np.int64
+        )
+
+    def node_prices_vector(self, prices: dict[NodeId, float]) -> FloatArray:
+        return np.array(
+            [float(prices.get(nid, 0.0)) for nid in self.node_ids], dtype=np.float64
+        )
+
+    def link_prices_vector(self, prices: dict[LinkId, float]) -> FloatArray:
+        return np.array(
+            [float(prices.get(lid, 0.0)) for lid in self.link_ids], dtype=np.float64
+        )
+
+    def rates_dict(self, rates: FloatArray) -> dict[FlowId, float]:
+        return {fid: float(rates[i]) for i, fid in enumerate(self.flow_ids)}
+
+    def populations_dict(self, populations: IntArray) -> dict[ClassId, int]:
+        return {cid: int(populations[j]) for j, cid in enumerate(self.class_ids)}
+
+    # -- lowered accounting (the round-trip surface) -----------------------
+
+    def consumer_coefficients(self, populations: FloatArray) -> FloatArray:
+        """Per ``(node, flow)`` marginal footprint ``F + sum_j G_j n_j``.
+
+        The population-dependent part of the eq. 9 coefficient and of the
+        node usage (eq. 5), scatter-added over ``class_cell``.
+        """
+        cell = np.bincount(
+            self.class_cell,
+            weights=self.consumer_cost * populations,
+            minlength=self.n_nodes * self.n_flows,
+        ).reshape(self.n_nodes, self.n_flows)
+        return np.asarray(self.flow_node_cost + cell, dtype=np.float64)
+
+    def flow_prices(
+        self,
+        populations: FloatArray,
+        node_prices: FloatArray,
+        link_prices: FloatArray,
+    ) -> FloatArray:
+        """``PL_i + PB_i`` for every flow at once (eq. 8-9)."""
+        pl = link_prices @ self.link_cost
+        pb = node_prices @ self.consumer_coefficients(populations)
+        return np.asarray(pl + pb, dtype=np.float64)
+
+    def link_usages(self, rates: FloatArray) -> FloatArray:
+        """LHS of eq. 4 for every bottleneck link: ``L @ r``."""
+        return np.asarray(self.link_cost @ rates, dtype=np.float64)
+
+    def node_usages(self, rates: FloatArray, populations: FloatArray) -> FloatArray:
+        """LHS of eq. 5 for every consumer node."""
+        return np.asarray(
+            self.consumer_coefficients(populations) @ rates, dtype=np.float64
+        )
+
+    def class_values(self, rates: FloatArray) -> FloatArray:
+        """``U_j(r_{flowMap(j)})`` for every class (batched by family)."""
+        class_rate = rates[self.class_flow]
+        n = self.n_classes
+        if self.log_class_positions.size == n:
+            return np.asarray(
+                self.class_scale * np.log(self.class_offset + class_rate),
+                dtype=np.float64,
+            )
+        if self.pow_class_positions.size == n:
+            return np.asarray(
+                self.class_scale * class_rate**self.class_exponent, dtype=np.float64
+            )
+        out = np.empty(n, dtype=np.float64)
+        idx = self.log_class_positions
+        if idx.size:
+            out[idx] = self.class_scale[idx] * np.log(
+                self.class_offset[idx] + class_rate[idx]
+            )
+        idx = self.pow_class_positions
+        if idx.size:
+            out[idx] = self.class_scale[idx] * class_rate[idx] ** self.class_exponent[idx]
+        for pos in self.generic_class_positions:
+            out[pos] = self.utilities[int(pos)].value(float(class_rate[pos]))
+        return out
+
+    def total_utility(self, rates: FloatArray, populations: IntArray) -> float:
+        """The objective (eq. 6) on lowered state.
+
+        Zero-population classes contribute exactly ``0 * U_j = 0``, so the
+        plain dot product equals the reference's skip-if-empty sum.
+        """
+        values = self.class_values(rates)
+        return float(np.dot(populations.astype(np.float64), values))
+
+
+def compile_problem(problem: Problem) -> CompiledProblem:
+    """Lower ``problem`` into a :class:`CompiledProblem`.
+
+    Pure indexing and coefficient gathering — no optimizer state.  The
+    result is immutable and reusable across engines bound to the same
+    problem.
+    """
+    flow_ids = tuple(sorted(problem.flows))
+    node_ids = problem.consumer_nodes()
+    link_ids = problem.bottleneck_links()
+    class_ids = tuple(sorted(problem.classes))
+    flow_pos = {fid: i for i, fid in enumerate(flow_ids)}
+    node_pos = {nid: b for b, nid in enumerate(node_ids)}
+    link_pos = {lid: l for l, lid in enumerate(link_ids)}
+
+    n_flows, n_nodes, n_links, n_classes = (
+        len(flow_ids),
+        len(node_ids),
+        len(link_ids),
+        len(class_ids),
+    )
+
+    rate_min = np.array([problem.flows[f].rate_min for f in flow_ids], dtype=np.float64)
+    rate_max = np.array([problem.flows[f].rate_max for f in flow_ids], dtype=np.float64)
+    node_capacity = np.array(
+        [problem.nodes[n].capacity for n in node_ids], dtype=np.float64
+    )
+    link_capacity = np.array(
+        [problem.links[l].capacity for l in link_ids], dtype=np.float64
+    )
+
+    link_cost = np.zeros((n_links, n_flows), dtype=np.float64)
+    for lid in link_ids:
+        for fid in problem.flows_on_link(lid):
+            link_cost[link_pos[lid], flow_pos[fid]] = problem.costs.link(lid, fid)
+    flow_node_cost = np.zeros((n_nodes, n_flows), dtype=np.float64)
+    for nid in node_ids:
+        for fid in problem.flows_at_node(nid):
+            flow_node_cost[node_pos[nid], flow_pos[fid]] = problem.costs.flow_node(
+                nid, fid
+            )
+
+    class_flow = np.empty(n_classes, dtype=np.int64)
+    class_node = np.empty(n_classes, dtype=np.int64)
+    max_consumers = np.empty(n_classes, dtype=np.int64)
+    consumer_cost = np.empty(n_classes, dtype=np.float64)
+    class_family = np.empty(n_classes, dtype=np.int64)
+    class_scale = np.zeros(n_classes, dtype=np.float64)
+    class_offset = np.zeros(n_classes, dtype=np.float64)
+    class_exponent = np.zeros(n_classes, dtype=np.float64)
+    utilities: list[UtilityFunction] = []
+    for j, cid in enumerate(class_ids):
+        cls = problem.classes[cid]
+        class_flow[j] = flow_pos[cls.flow_id]
+        class_node[j] = node_pos[cls.node]
+        max_consumers[j] = cls.max_consumers
+        consumer_cost[j] = problem.costs.consumer(cls.node, cid)
+        family, scale, offset, exponent = _classify(cls.utility)
+        class_family[j] = family
+        class_scale[j] = scale
+        class_offset[j] = offset
+        class_exponent[j] = exponent
+        utilities.append(cls.utility)
+
+    flow_family = np.full(n_flows, FAMILY_GENERIC, dtype=np.int64)
+    flow_offset = np.zeros(n_flows, dtype=np.float64)
+    flow_exponent = np.zeros(n_flows, dtype=np.float64)
+    for i in range(n_flows):
+        members = np.nonzero(class_flow == i)[0]
+        if members.size == 0:
+            # No consumers ever: the rate solver only hits boundary cases,
+            # so the family is irrelevant; log keeps it off the fallback.
+            flow_family[i] = FAMILY_LOG
+            continue
+        families = class_family[members]
+        if np.all(families == FAMILY_LOG):
+            offsets = class_offset[members]
+            # Exact equality on purpose: it mirrors the reference solver's
+            # grouping test (same-offset log terms collapse in closed form).
+            if np.all(offsets == offsets[0]):
+                flow_family[i] = FAMILY_LOG
+                flow_offset[i] = offsets[0]
+        elif np.all(families == FAMILY_POW):
+            exponents = class_exponent[members]
+            if np.all(exponents == exponents[0]):
+                flow_family[i] = FAMILY_POW
+                flow_exponent[i] = exponents[0]
+
+    node_class_positions = tuple(
+        np.nonzero(class_node == b)[0].astype(np.int64) for b in range(n_nodes)
+    )
+
+    return CompiledProblem(
+        problem=problem,
+        flow_ids=flow_ids,
+        node_ids=node_ids,
+        link_ids=link_ids,
+        class_ids=class_ids,
+        rate_min=rate_min,
+        rate_max=rate_max,
+        node_capacity=node_capacity,
+        link_capacity=link_capacity,
+        link_cost=link_cost,
+        flow_node_cost=flow_node_cost,
+        consumer_cost=consumer_cost,
+        class_flow=class_flow,
+        class_node=class_node,
+        class_cell=class_node * n_flows + class_flow,
+        max_consumers=max_consumers,
+        utilities=tuple(utilities),
+        class_family=class_family,
+        class_scale=class_scale,
+        class_offset=class_offset,
+        class_exponent=class_exponent,
+        flow_family=flow_family,
+        flow_offset=flow_offset,
+        flow_exponent=flow_exponent,
+        node_class_positions=node_class_positions,
+        log_class_positions=np.nonzero(class_family == FAMILY_LOG)[0].astype(np.int64),
+        pow_class_positions=np.nonzero(class_family == FAMILY_POW)[0].astype(np.int64),
+        generic_class_positions=np.nonzero(class_family == FAMILY_GENERIC)[0].astype(
+            np.int64
+        ),
+    )
+
+
+def _validate_initial_price(price: float, what: str) -> float:
+    if math.isnan(price) or math.isinf(price) or price < 0.0:
+        raise ValueError(f"{what} must be finite and non-negative, got {price}")
+    return price
+
+
+@dataclass
+class _NodeState:
+    """Preserved per-node controller state across a rebind (figure 3)."""
+
+    capacity: float
+    price: float
+    gamma: float
+    last_delta: float
+    has_last: bool
+
+
+class VectorizedEngine(LRGPEngine):
+    """Runs the full LRGP iteration as numpy array ops on lowered state.
+
+    Supports the stock greedy admission and the fixed/adaptive gamma
+    schedules; configs carrying a custom admission strategy or gamma
+    subclass must use the reference engine (the constructor fails loudly
+    rather than silently diverging from the configured behavior).
+    """
+
+    name = "vectorized"
+
+    def __init__(self, problem: Problem, config: "LRGPConfig") -> None:
+        if config.admission is not allocate_consumers:
+            raise ValueError(
+                "the vectorized engine implements the paper's greedy admission "
+                "only; use engine='reference' for custom admission strategies"
+            )
+        proto = config.node_gamma
+        if type(proto) is FixedGamma:
+            self._adaptive = False
+            self._gamma_initial = proto.gamma
+            self._gamma_increment = 0.0
+            self._gamma_backoff = 1.0
+            self._gamma_lower = 0.0
+            self._gamma_upper = math.inf
+        elif type(proto) is AdaptiveGamma:
+            self._adaptive = True
+            self._gamma_initial = proto.initial
+            self._gamma_increment = proto.increment
+            self._gamma_backoff = proto.backoff
+            self._gamma_lower = proto.lower
+            self._gamma_upper = proto.upper
+        else:
+            raise ValueError(
+                "the vectorized engine supports FixedGamma and AdaptiveGamma "
+                "schedules only; use engine='reference' for "
+                f"{type(proto).__name__}"
+            )
+        # Reuse the schedule's own validation for the link step size.
+        self._link_gamma = FixedGamma(config.link_gamma).gamma
+        _validate_initial_price(config.initial_node_price, "initial node price")
+        _validate_initial_price(config.initial_link_price, "initial link price")
+        self._config = config
+        self._compiled: CompiledProblem | None = None
+        self._node_probes: list["PriceProbe | None"] = []
+        self._link_probes: list["PriceProbe | None"] = []
+        self.bind(problem, preserve_state=False)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def problem(self) -> Problem:
+        return self.compiled.problem
+
+    @property
+    def compiled(self) -> CompiledProblem:
+        """The lowered problem the engine is currently bound to."""
+        if self._compiled is None:  # pragma: no cover - bind() runs in __init__
+            raise RuntimeError("engine is not bound to a problem")
+        return self._compiled
+
+    def rates(self) -> dict[FlowId, float]:
+        return self.compiled.rates_dict(self._rates)
+
+    def populations(self) -> dict[ClassId, int]:
+        return {
+            cid: self._populations[j]
+            for j, cid in enumerate(self.compiled.class_ids)
+        }
+
+    def node_prices(self) -> dict[NodeId, float]:
+        return dict(zip(self.compiled.node_ids, self._node_price))
+
+    def link_prices(self) -> dict[LinkId, float]:
+        return dict(zip(self.compiled.link_ids, self._link_price))
+
+    def node_gammas(self) -> dict[NodeId, float]:
+        return dict(zip(self.compiled.node_ids, self._gamma))
+
+    # -- binding ------------------------------------------------------------
+
+    def bind(self, problem: Problem, preserve_state: bool) -> None:
+        old_rates: dict[FlowId, float] = {}
+        old_populations: dict[ClassId, int] = {}
+        old_nodes: dict[NodeId, _NodeState] = {}
+        old_links: dict[LinkId, tuple[float, float]] = {}
+        if preserve_state and self._compiled is not None:
+            previous = self.compiled
+            old_rates = self.rates()
+            old_populations = self.populations()
+            for b, nid in enumerate(previous.node_ids):
+                old_nodes[nid] = _NodeState(
+                    capacity=float(previous.node_capacity[b]),
+                    price=self._node_price[b],
+                    gamma=self._gamma[b],
+                    last_delta=self._last_delta[b],
+                    has_last=self._has_last[b],
+                )
+            for l, lid in enumerate(previous.link_ids):
+                old_links[lid] = (
+                    float(previous.link_capacity[l]),
+                    self._link_price[l],
+                )
+
+        compiled = compile_problem(problem)
+        self._compiled = compiled
+        self._rates = compiled.rates_vector(old_rates or None)
+        self._populations: list[int] = [
+            int(n) for n in compiled.populations_vector(old_populations or None)
+        ]
+
+        config = self._config
+        n_nodes, n_links = compiled.n_nodes, compiled.n_links
+        # Node/link controller state lives in plain Python lists: the axes
+        # are short and the scalar update loops mirror the reference
+        # controllers' float arithmetic exactly.
+        initial_node_price = float(config.initial_node_price)
+        self._node_price: list[float] = [initial_node_price] * n_nodes
+        self._gamma: list[float] = [self._gamma_initial] * n_nodes
+        self._last_delta: list[float] = [0.0] * n_nodes
+        self._has_last: list[bool] = [False] * n_nodes
+        for b, nid in enumerate(compiled.node_ids):
+            state = old_nodes.get(nid)
+            if state is not None and close_enough(
+                state.capacity, float(compiled.node_capacity[b])
+            ):
+                self._node_price[b] = state.price
+                self._gamma[b] = state.gamma
+                self._last_delta[b] = state.last_delta
+                self._has_last[b] = state.has_last
+        initial_link_price = float(config.initial_link_price)
+        self._link_price: list[float] = [initial_link_price] * n_links
+        for l, lid in enumerate(compiled.link_ids):
+            entry = old_links.get(lid)
+            if entry is not None and close_enough(
+                entry[0], float(compiled.link_capacity[l])
+            ):
+                self._link_price[l] = entry[1]
+
+        # Static per-bind precomputation: which utility families are present
+        # (to skip dead closed-form columns), the power-family exponent
+        # transforms, and plain-Python views of the admission inputs — the
+        # greedy fill is scalar work, where lists beat numpy indexing.
+        pow_flows = compiled.flow_family == FAMILY_POW
+        self._has_log_flows = bool(np.any(compiled.flow_family == FAMILY_LOG))
+        self._has_pow_flows = bool(np.any(pow_flows))
+        self._log_flow_mask = compiled.flow_family == FAMILY_LOG
+        self._pow_safe_exponent = np.where(pow_flows, compiled.flow_exponent, 1.0)
+        self._pow_inverse_exponent = np.where(
+            pow_flows, 1.0 / (compiled.flow_exponent - 1.0), 0.0
+        )
+        self._generic_flow_positions = [
+            int(i) for i in np.nonzero(compiled.flow_family == FAMILY_GENERIC)[0]
+        ]
+        self._class_node_list = [int(b) for b in compiled.class_node]
+        self._node_class_lists = [
+            [int(j) for j in members] for members in compiled.node_class_positions
+        ]
+        self._max_consumers_list = [int(m) for m in compiled.max_consumers]
+        self._node_capacity_list = [float(c) for c in compiled.node_capacity]
+        self._link_capacity_list = [float(c) for c in compiled.link_capacity]
+
+        telemetry = config.telemetry
+        if telemetry.enabled:
+            self._node_probes = [
+                telemetry.probe("node", nid) for nid in compiled.node_ids
+            ]
+            self._link_probes = [
+                telemetry.probe("link", lid) for lid in compiled.link_ids
+            ]
+        else:
+            self._node_probes = []
+            self._link_probes = []
+
+    # -- one iteration -------------------------------------------------------
+
+    def step(self) -> StepOutcome:
+        compiled = self.compiled
+        telemetry = self._config.telemetry
+        registry = telemetry.registry
+        snapshots = self._config.record_snapshots
+        slack: dict[str, float] = {}
+
+        with registry.timer("lrgp.iteration"):
+            # 1. Rate allocation (Algorithm 1): prices from last iteration's
+            #    populations, then the batched argmax of eq. 7.
+            with registry.timer("lrgp.rate_allocation"):
+                populations = np.array(self._populations, dtype=np.float64)
+                prices = compiled.flow_prices(
+                    populations,
+                    np.array(self._node_price, dtype=np.float64),
+                    np.array(self._link_price, dtype=np.float64),
+                )
+                self._rates = self._solve_rates(prices, populations)
+
+            # 2. Consumer allocation (Algorithm 2) and node prices (eq. 12).
+            with registry.timer("lrgp.consumer_allocation"):
+                values = compiled.class_values(self._rates)
+                new_populations, used, best = self._admit(values)
+                self._populations = new_populations
+                self._update_node_prices(best, used)
+                if snapshots:
+                    for b, nid in enumerate(compiled.node_ids):
+                        slack[f"node:{nid}"] = self._node_capacity_list[b] - used[b]
+                if telemetry.enabled:
+                    for b, nid in enumerate(compiled.node_ids):
+                        telemetry.emit(
+                            AdmissionEvent(
+                                node=nid,
+                                admitted={
+                                    compiled.class_ids[j]: new_populations[j]
+                                    for j in self._node_class_lists[b]
+                                },
+                                used=used[b],
+                                capacity=self._node_capacity_list[b],
+                                best_ratio=best[b],
+                                t_ns=now_ns(),
+                            )
+                        )
+
+            # 3. Link prices (eq. 13).
+            with registry.timer("lrgp.link_prices"):
+                if compiled.n_links:
+                    usage = compiled.link_usages(self._rates).tolist()
+                    self._update_link_prices(usage)
+                    if snapshots:
+                        for l, lid in enumerate(compiled.link_ids):
+                            slack[f"link:{lid}"] = (
+                                self._link_capacity_list[l] - usage[l]
+                            )
+
+            # Zero populations contribute exactly 0, so the dot product
+            # equals the reference's skip-if-empty objective sum (eq. 6).
+            utility = float(
+                np.dot(np.array(new_populations, dtype=np.float64), values)
+            )
+
+        return StepOutcome(utility=utility, slack=slack)
+
+    # -- rate allocation ------------------------------------------------------
+
+    def _solve_rates(self, prices: FloatArray, populations: FloatArray) -> FloatArray:
+        """Batched argmax of eq. 7 for every flow.
+
+        Boundary cases first (no active consumers, non-positive price), then
+        the closed forms per family clamped to the rate bounds — equivalent
+        to the reference's explicit boundary-derivative checks because the
+        objective's derivative is strictly decreasing.  Flows marked generic
+        go through the bisection fallback.
+        """
+        compiled = self.compiled
+        n_flows = len(compiled.flow_ids)
+        # Sum of populations per flow: > 0 iff any class is active.
+        active = (
+            np.bincount(compiled.class_flow, weights=populations, minlength=n_flows)
+            > 0.0
+        )
+        positive = prices > 0.0
+        boundary = np.where(positive, compiled.rate_min, compiled.rate_max)
+        interior = active & positive
+
+        total_scale = np.bincount(
+            compiled.class_flow,
+            weights=populations * compiled.class_scale,
+            minlength=n_flows,
+        )
+        # Whole-array closed forms; junk lanes (price 0, inactive, generic)
+        # produce inf/nan that the interior mask filters out below.
+        closed: FloatArray | None = None
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            if self._has_log_flows:
+                closed = total_scale / prices - compiled.flow_offset
+            if self._has_pow_flows:
+                pow_closed = (
+                    prices / (total_scale * self._pow_safe_exponent)
+                ) ** self._pow_inverse_exponent
+                closed = (
+                    pow_closed
+                    if closed is None
+                    else np.where(self._log_flow_mask, closed, pow_closed)
+                )
+        if closed is not None:
+            clamped = np.minimum(
+                np.maximum(closed, compiled.rate_min), compiled.rate_max
+            )
+            rates = np.where(interior, clamped, boundary)
+        else:
+            rates = boundary
+
+        for i in self._generic_flow_positions:
+            if interior[i]:
+                rates[i] = self._solve_generic(i, float(prices[i]), populations)
+        return np.asarray(rates, dtype=np.float64)
+
+    def _solve_generic(
+        self, flow_pos: int, price: float, populations: FloatArray
+    ) -> float:
+        """The fallback column: bracketed bisection on the eq. 7 derivative.
+
+        Triggered for flows whose classes mix utility shapes (or use a shape
+        outside the log/power families).  Matches the reference solver's
+        bracketing semantics: boundary optima are resolved before bisecting.
+        """
+        compiled = self.compiled
+        lo = float(compiled.rate_min[flow_pos])
+        hi = float(compiled.rate_max[flow_pos])
+        terms = [
+            (float(populations[j]), compiled.utilities[int(j)])
+            for j in np.nonzero(compiled.class_flow == flow_pos)[0]
+            if populations[j] > 0.0
+        ]
+
+        def derivative(rate: float) -> float:
+            return sum(weight * utility.derivative(rate) for weight, utility in terms)
+
+        if derivative(hi) >= price:
+            return hi
+        if derivative(lo) <= price:
+            return lo
+        for _ in range(_BISECT_MAX_ITER):
+            mid = 0.5 * (lo + hi)
+            if mid <= lo or mid >= hi:
+                break
+            if derivative(mid) > price:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= _BISECT_XTOL + _BISECT_RTOL * abs(mid):
+                break
+        return 0.5 * (lo + hi)
+
+    # -- consumer allocation ---------------------------------------------------
+
+    def _admit(
+        self, values: FloatArray
+    ) -> tuple[list[int], list[float], list[float]]:
+        """Greedy admission (Algorithm 2) for every node.
+
+        Ratios (eq. 10) are computed for all classes at once and sorted with
+        one global stable argsort (descending ratio, ties by class id — the
+        reference order within each node); the per-node fill then runs over
+        plain Python floats so admission counts match the reference bit for
+        bit.  Returns ``(populations, used, best_unsatisfied_ratio)``.
+        """
+        compiled = self.compiled
+        class_rate = self._rates[compiled.class_flow]
+        unit_cost = compiled.consumer_cost * class_rate
+        ratios = np.zeros(compiled.n_classes, dtype=np.float64)
+        chargeable = unit_cost > 0.0
+        np.divide(values, unit_cost, out=ratios, where=chargeable)
+        free_and_useful = ~chargeable & (values > 0.0)
+        if free_and_useful.any():
+            ratios[free_and_useful] = np.inf
+
+        flow_cost = (compiled.flow_node_cost @ self._rates).tolist()
+        # Stable argsort on -ratio == (descending ratio, ties by position),
+        # bucketed per node: each bucket comes out in the reference order.
+        order = np.argsort(-ratios, kind="stable").tolist()
+        class_node = self._class_node_list
+        buckets: list[list[int]] = [[] for _ in range(compiled.n_nodes)]
+        for j in order:
+            buckets[class_node[j]].append(j)
+
+        cost_list = unit_cost.tolist()
+        ratio_list = ratios.tolist()
+        max_list = self._max_consumers_list
+        populations = [0] * compiled.n_classes
+        used: list[float] = []
+        best: list[float] = []
+        isfinite = math.isfinite
+        for b, capacity in enumerate(self._node_capacity_list):
+            node_flow_cost = flow_cost[b]
+            budget = capacity - node_flow_cost
+            consumer_total = 0.0
+            for j in buckets[b]:
+                cost_per_consumer = cost_list[j]
+                if cost_per_consumer <= 0.0:
+                    populations[j] = max_list[j]
+                    continue
+                if budget <= 0.0:
+                    continue
+                admitted = int(budget / cost_per_consumer + _FLOOR_SLACK)
+                cap = max_list[j]
+                if admitted > cap:
+                    admitted = cap
+                populations[j] = admitted
+                spent = admitted * cost_per_consumer
+                budget -= spent
+                consumer_total += spent
+            # BC(b,t) (eq. 11): best ratio among still-unsatisfied classes,
+            # 0 when there are none (max(..., default=0.0) in the reference).
+            best_ratio: float | None = None
+            for j in buckets[b]:
+                ratio = ratio_list[j]
+                if (
+                    populations[j] < max_list[j]
+                    and (best_ratio is None or ratio > best_ratio)
+                    and isfinite(ratio)
+                ):
+                    best_ratio = ratio
+            used.append(node_flow_cost + consumer_total)
+            best.append(0.0 if best_ratio is None else best_ratio)
+        return populations, used, best
+
+    # -- price updates ----------------------------------------------------------
+
+    def _update_node_prices(self, best: list[float], used: list[float]) -> None:
+        """Eq. 12 per node, mirroring :class:`NodePriceController` exactly,
+        including the adaptive-gamma observation (section 4.2)."""
+        prices = self._node_price
+        gammas = self._gamma
+        probes = self._node_probes
+        adaptive = self._adaptive
+        isfinite = math.isfinite
+        for b, capacity in enumerate(self._node_capacity_list):
+            benefit_cost = best[b]
+            used_b = used[b]
+            if not isfinite(benefit_cost) or benefit_cost < 0.0:
+                raise ValueError(
+                    "benefit_cost must be finite and non-negative, "
+                    f"got {benefit_cost}"
+                )
+            if not isfinite(used_b) or used_b < 0.0:
+                raise ValueError(
+                    f"used must be finite and non-negative, got {used_b}"
+                )
+            old_price = prices[b]
+            gamma = gammas[b]
+            if used_b <= capacity:
+                new_price = old_price + gamma * (benefit_cost - old_price)
+                branch = "track"
+            else:
+                new_price = old_price + gamma * (used_b - capacity)
+                branch = "violation"
+            new_price = max(new_price, 0.0)
+            prices[b] = new_price
+            delta = new_price - old_price
+
+            if adaptive:
+                fluctuated = self._has_last[b] and delta * self._last_delta[b] < 0.0
+                if fluctuated:
+                    adjusted = gamma * self._gamma_backoff
+                else:
+                    adjusted = gamma + self._gamma_increment
+                new_gamma = min(max(adjusted, self._gamma_lower), self._gamma_upper)
+                gammas[b] = new_gamma
+                if not is_zero(delta):
+                    self._last_delta[b] = delta
+                    self._has_last[b] = True
+            else:
+                fluctuated = False
+                new_gamma = gamma
+
+            if probes:
+                probe = probes[b]
+                if probe is None:
+                    continue
+                if adaptive and not is_zero(new_gamma - gamma):
+                    probe.gamma_step(gamma, new_gamma, fluctuated)
+                probe.price_update(
+                    old_price,
+                    new_price,
+                    gamma,
+                    branch,
+                    usage=used_b,
+                    capacity=capacity,
+                )
+
+    def _update_link_prices(self, usage: list[float]) -> None:
+        """Eq. 13 (gradient projection) per bottleneck link, mirroring
+        :class:`LinkPriceController` exactly."""
+        prices = self._link_price
+        probes = self._link_probes
+        gamma = self._link_gamma
+        isfinite = math.isfinite
+        for l, capacity in enumerate(self._link_capacity_list):
+            usage_l = usage[l]
+            if not isfinite(usage_l) or usage_l < 0.0:
+                raise ValueError(
+                    f"usage must be finite and non-negative, got {usage_l}"
+                )
+            old_price = prices[l]
+            new_price = max(old_price + gamma * (usage_l - capacity), 0.0)
+            prices[l] = new_price
+            if probes:
+                probe = probes[l]
+                if probe is not None:
+                    probe.price_update(
+                        old_price,
+                        new_price,
+                        gamma,
+                        "gradient",
+                        usage=usage_l,
+                        capacity=capacity,
+                    )

@@ -11,11 +11,16 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.utility.stability import (
+    CONVERGENCE_REL_AMPLITUDE,
+    CONVERGENCE_WINDOW,
+)
 from repro.utility.tolerance import is_zero
 
-#: The paper's 0.1% amplitude threshold.
-DEFAULT_REL_AMPLITUDE = 1e-3
-DEFAULT_WINDOW = 10
+#: The paper's 0.1% amplitude threshold, shared with the event-stream
+#: diagnostics via :mod:`repro.utility.stability`.
+DEFAULT_REL_AMPLITUDE = CONVERGENCE_REL_AMPLITUDE
+DEFAULT_WINDOW = CONVERGENCE_WINDOW
 
 
 @dataclass(frozen=True)

@@ -111,6 +111,31 @@ class AdaptiveGamma(GammaSchedule):
         self._upper = upper
         self._last_delta: float | None = None
 
+    @property
+    def initial(self) -> float:
+        """The (clamped) starting step size handed to fresh clones."""
+        return self._initial
+
+    @property
+    def increment(self) -> float:
+        """Additive growth applied while the price is quiet."""
+        return self._increment
+
+    @property
+    def backoff(self) -> float:
+        """Multiplicative shrink applied on a detected fluctuation."""
+        return self._backoff
+
+    @property
+    def lower(self) -> float:
+        """Lower clamp of the step size."""
+        return self._lower
+
+    @property
+    def upper(self) -> float:
+        """Upper clamp of the step size."""
+        return self._upper
+
     def value(self) -> float:
         return self._gamma
 

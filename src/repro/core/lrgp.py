@@ -10,11 +10,18 @@ One LRGP iteration is:
    update** (eq. 13) for every link, closing the loop for the next
    iteration.
 
-This module is the *reference* implementation: a direct, centralized
-composition of the per-agent algorithms, convenient for experiments.  The
-message-passing deployment of the very same steps lives in
+Since PR 3 the driver is a facade over a pluggable *engine*
+(:mod:`repro.core.engines`): the engine owns the iteration state and
+executes the three phases, the facade owns iteration counting, the utility
+trajectory, records/events, and convergence.  ``engine="reference"`` (the
+default) is the original dict-based composition of the per-agent
+algorithms; ``engine="vectorized"`` runs the same iteration as numpy array
+ops over a lowered problem (:mod:`repro.core.compiled`) with a trajectory
+equivalent within :data:`repro.utility.tolerance.ENGINE_EQUIVALENCE_RTOL`.
+
+The message-passing deployment of the very same steps lives in
 :mod:`repro.runtime`; in synchronous mode it produces bit-identical
-trajectories (verified by integration tests).
+trajectories to the reference engine (verified by integration tests).
 
 The driver supports runtime reconfiguration (flows leaving/joining,
 capacity changes) to reproduce the recovery experiment of figure 3.
@@ -22,7 +29,6 @@ capacity changes) to reproduce the recovery experiment of figure 3.
 
 from __future__ import annotations
 
-import math
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from typing import Any
@@ -34,15 +40,13 @@ from repro.core.convergence import (
     ConvergenceCriterion,
     iterations_until_convergence,
 )
+from repro.core.engines import LRGPEngine, create_engine
 from repro.core.gamma import AdaptiveGamma, FixedGamma, GammaSchedule
-from repro.core.prices import LinkPriceController, NodePriceController
-from repro.core.rate_allocation import aggregate_flow_price, allocate_rate
-from repro.model.allocation import Allocation, link_usage, total_utility
+from repro.model.allocation import Allocation
 from repro.model.entities import ClassId, FlowId, LinkId, NodeId
 from repro.model.problem import Problem
-from repro.obs.events import AdmissionEvent, IterationEvent, now_ns
+from repro.obs.events import IterationEvent, now_ns
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
-from repro.utility.tolerance import close_enough
 
 
 #: Signature of a consumer-admission strategy: given the problem, a node and
@@ -61,6 +65,10 @@ class LRGPConfig:
     heuristic.  ``link_gamma`` is the gradient-projection step size for link
     prices (only links with finite capacity maintain prices).
 
+    ``engine`` selects the iteration-execution strategy by registry name
+    (:mod:`repro.core.engines`): ``"reference"`` for the dict-based ground
+    truth, ``"vectorized"`` for the numpy-compiled fast path.
+
     ``telemetry`` wires the driver into the observability layer
     (:mod:`repro.obs`): phase timers and counters go to its registry,
     ``iteration`` / ``admission`` / ``price_update`` / ``gamma_step``
@@ -75,6 +83,7 @@ class LRGPConfig:
     record_snapshots: bool = False
     admission: AdmissionStrategy = allocate_consumers
     telemetry: Telemetry = NULL_TELEMETRY
+    engine: str = "reference"
 
     @staticmethod
     def fixed(gamma: float, **kwargs: Any) -> "LRGPConfig":
@@ -119,26 +128,42 @@ class LRGP:
 
     The optimizer keeps running state (prices, populations, rates) so it can
     be stepped indefinitely and reconfigured mid-run, as an autonomic
-    deployment would.
+    deployment would.  ``engine`` overrides the config's engine name; the
+    prepackaged :func:`repro.solve` entry point is usually more convenient
+    for one-shot optimization.
     """
 
-    def __init__(self, problem: Problem, config: LRGPConfig | None = None) -> None:
+    def __init__(
+        self,
+        problem: Problem,
+        config: LRGPConfig | None = None,
+        engine: str | None = None,
+    ) -> None:
         self._config = config or LRGPConfig()
         self._iteration = 0
         self._utilities: list[float] = []
         self._records: list[IterationRecord] = []
-        self._problem: Problem = problem
-        self._rates: dict[FlowId, float] = {}
-        self._populations: dict[ClassId, int] = {}
-        self._node_controllers: dict[NodeId, NodePriceController] = {}
-        self._link_controllers: dict[LinkId, LinkPriceController] = {}
-        self._bind_problem(problem, preserve_state=False)
+        engine_name = engine if engine is not None else self._config.engine
+        self._engine: LRGPEngine = create_engine(engine_name, problem, self._config)
 
     # -- state accessors ----------------------------------------------------
 
     @property
     def problem(self) -> Problem:
-        return self._problem
+        return self._engine.problem
+
+    @property
+    def config(self) -> LRGPConfig:
+        return self._config
+
+    @property
+    def engine(self) -> LRGPEngine:
+        """The engine executing the iterations (reference, vectorized, ...)."""
+        return self._engine
+
+    @property
+    def engine_name(self) -> str:
+        return self._engine.name
 
     @property
     def iteration(self) -> int:
@@ -155,17 +180,17 @@ class LRGP:
 
     def allocation(self) -> Allocation:
         """The current (rates, populations) solution."""
-        return Allocation(rates=dict(self._rates), populations=dict(self._populations))
+        return self._engine.allocation()
 
     def node_prices(self) -> dict[NodeId, float]:
-        return {n: c.price for n, c in self._node_controllers.items()}
+        return self._engine.node_prices()
 
     def link_prices(self) -> dict[LinkId, float]:
-        return {link_id: c.price for link_id, c in self._link_controllers.items()}
+        return self._engine.link_prices()
 
     def node_gammas(self) -> dict[NodeId, float]:
         """The step size each node's next tracking update would apply."""
-        return {n: c.gamma for n, c in self._node_controllers.items()}
+        return self._engine.node_gammas()
 
     # -- reconfiguration ------------------------------------------------------
 
@@ -177,126 +202,23 @@ class LRGP:
         ones start from the configured initial state.  This reproduces the
         "flow source leaves the system" dynamics of figure 3.
         """
-        self._bind_problem(problem, preserve_state=True)
+        self._engine.bind(problem, preserve_state=True)
 
     def remove_flow(self, flow_id: FlowId) -> None:
         """Remove one flow (and its consumer classes) from the system."""
-        self.set_problem(self._problem.without_flow(flow_id))
-
-    def _bind_problem(self, problem: Problem, preserve_state: bool) -> None:
-        old_rates = self._rates if preserve_state else {}
-        old_populations = self._populations if preserve_state else {}
-        old_nodes = self._node_controllers if preserve_state else {}
-        old_links = self._link_controllers if preserve_state else {}
-
-        self._problem = problem
-        self._rates = {
-            flow_id: old_rates.get(flow_id, flow.rate_min)
-            for flow_id, flow in problem.flows.items()
-        }
-        self._populations = {
-            class_id: old_populations.get(class_id, 0) for class_id in problem.classes
-        }
-        self._node_controllers = {}
-        for node_id in problem.consumer_nodes():
-            existing = old_nodes.get(node_id)
-            if existing is not None and close_enough(
-                existing.capacity, problem.nodes[node_id].capacity
-            ):
-                self._node_controllers[node_id] = existing
-            else:
-                self._node_controllers[node_id] = NodePriceController(
-                    capacity=problem.nodes[node_id].capacity,
-                    gamma_under=self._config.node_gamma.clone(),
-                    initial_price=self._config.initial_node_price,
-                )
-        self._link_controllers = {}
-        for link_id, link in problem.links.items():
-            if math.isinf(link.capacity):
-                continue
-            existing = old_links.get(link_id)
-            if existing is not None and close_enough(existing.capacity, link.capacity):
-                self._link_controllers[link_id] = existing
-            else:
-                self._link_controllers[link_id] = LinkPriceController(
-                    capacity=link.capacity,
-                    gamma=self._config.link_gamma,
-                    initial_price=self._config.initial_link_price,
-                )
-
-        telemetry = self._config.telemetry
-        if telemetry.enabled:
-            for node_id, node_controller in self._node_controllers.items():
-                probe = telemetry.probe("node", node_id)
-                if probe is not None:
-                    node_controller.attach_probe(probe)
-            for link_id, link_controller in self._link_controllers.items():
-                probe = telemetry.probe("link", link_id)
-                if probe is not None:
-                    link_controller.attach_probe(probe)
+        self.set_problem(self.problem.without_flow(flow_id))
 
     # -- the algorithm --------------------------------------------------------
 
     def step(self) -> IterationRecord:
         """Execute one full LRGP iteration and return its record."""
-        problem = self._problem
         telemetry = self._config.telemetry
         registry = telemetry.registry
         snapshots = self._config.record_snapshots
-        node_prices = self.node_prices()
-        link_prices = self.link_prices()
-        slack: dict[str, float] = {}
 
-        with registry.timer("lrgp.iteration"):
-            # 1. Rate allocation at each source (Algorithm 1), using last
-            #    iteration's populations and prices.
-            with registry.timer("lrgp.rate_allocation"):
-                for flow_id in problem.flows:
-                    price = aggregate_flow_price(
-                        problem, flow_id, self._populations, node_prices, link_prices
-                    )
-                    self._rates[flow_id] = allocate_rate(
-                        problem, flow_id, self._populations, price
-                    )
-
-            # 2. Consumer allocation at each node (Algorithm 2, step 2 —
-            #    greedy by default), then 3a. node price update (eq. 12).
-            with registry.timer("lrgp.consumer_allocation"):
-                for node_id in problem.consumer_nodes():
-                    result = self._config.admission(problem, node_id, self._rates)
-                    self._populations.update(result.populations)
-                    controller = self._node_controllers[node_id]
-                    controller.update(
-                        benefit_cost=result.best_unsatisfied_ratio, used=result.used
-                    )
-                    if snapshots:
-                        slack[f"node:{node_id}"] = controller.capacity - result.used
-                    if telemetry.enabled:
-                        telemetry.emit(
-                            AdmissionEvent(
-                                node=node_id,
-                                admitted=dict(result.populations),
-                                used=result.used,
-                                capacity=controller.capacity,
-                                best_ratio=result.best_unsatisfied_ratio,
-                                t_ns=now_ns(),
-                            )
-                        )
-
-            # 3b. Link price update (Algorithm 3 / eq. 13).
-            with registry.timer("lrgp.link_prices"):
-                if self._link_controllers:
-                    allocation = self.allocation()
-                    for link_id, link_controller in self._link_controllers.items():
-                        usage = link_usage(problem, allocation, link_id)
-                        link_controller.update(usage)
-                        if snapshots:
-                            slack[f"link:{link_id}"] = (
-                                link_controller.capacity - usage
-                            )
-
-            self._iteration += 1
-            utility = total_utility(problem, self.allocation())
+        outcome = self._engine.step()
+        self._iteration += 1
+        utility = outcome.utility
 
         registry.counter("lrgp.iterations").inc()
         registry.gauge("lrgp.utility").set(utility)
@@ -304,12 +226,12 @@ class LRGP:
         record = IterationRecord(
             iteration=self._iteration,
             utility=utility,
-            rates=dict(self._rates) if snapshots else None,
-            populations=dict(self._populations) if snapshots else None,
-            node_prices=self.node_prices() if snapshots else None,
-            link_prices=self.link_prices() if snapshots else None,
-            node_gammas=self.node_gammas() if snapshots else None,
-            slack=slack if snapshots else None,
+            rates=self._engine.rates() if snapshots else None,
+            populations=self._engine.populations() if snapshots else None,
+            node_prices=self._engine.node_prices() if snapshots else None,
+            link_prices=self._engine.link_prices() if snapshots else None,
+            node_gammas=self._engine.node_gammas() if snapshots else None,
+            slack=outcome.slack if snapshots else None,
         )
         self._records.append(record)
         if telemetry.enabled:

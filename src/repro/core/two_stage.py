@@ -93,6 +93,11 @@ class TwoStageResult:
     stage1_allocation: Allocation
     stage2_allocation: Allocation
     pruned_problem: Problem
+    #: Per-iteration utility trajectories of the underlying LRGP runs.
+    #: When nothing was prunable, stage 2 is not re-run and its trajectory
+    #: repeats stage 1's.
+    stage1_utilities: tuple[float, ...] = ()
+    stage2_utilities: tuple[float, ...] = ()
 
     @property
     def improvement(self) -> float:
@@ -106,17 +111,20 @@ def two_stage_optimize(
     problem: Problem,
     config: LRGPConfig | None = None,
     iterations: int = 250,
+    engine: str | None = None,
 ) -> TwoStageResult:
     """Run LRGP, prune abandoned branches, run LRGP again.
 
     Both stages run ``iterations`` LRGP iterations from a fresh optimizer
     (stage 2 on the pruned problem).  If nothing is prunable, stage 2 equals
-    stage 1 and is not re-run.
+    stage 1 and is not re-run.  ``engine`` overrides the config's LRGP
+    engine selection for both stages (:mod:`repro.core.engines`).
     """
-    stage1 = LRGP(problem, config)
+    stage1 = LRGP(problem, config, engine=engine)
     stage1.run(iterations)
     allocation1 = stage1.allocation()
     utility1 = stage1.utilities[-1]
+    utilities1 = tuple(stage1.utilities)
 
     prune_set = compute_prune_set(problem, allocation1)
     if prune_set.is_empty():
@@ -127,6 +135,8 @@ def two_stage_optimize(
             stage1_allocation=allocation1,
             stage2_allocation=allocation1,
             pruned_problem=problem,
+            stage1_utilities=utilities1,
+            stage2_utilities=utilities1,
         )
 
     pruned_costs = problem.costs.pruned(
@@ -134,7 +144,7 @@ def two_stage_optimize(
         dropped_flow_links=set(prune_set.flow_links),
     )
     pruned_problem = problem.with_costs(pruned_costs)
-    stage2 = LRGP(pruned_problem, config)
+    stage2 = LRGP(pruned_problem, config, engine=engine)
     stage2.run(iterations)
 
     return TwoStageResult(
@@ -144,4 +154,6 @@ def two_stage_optimize(
         stage1_allocation=allocation1,
         stage2_allocation=stage2.allocation(),
         pruned_problem=pruned_problem,
+        stage1_utilities=utilities1,
+        stage2_utilities=tuple(stage2.utilities),
     )

@@ -29,11 +29,17 @@ from dataclasses import asdict, dataclass
 from typing import Any, Iterable
 
 from repro.obs.events import IterationEvent, PriceUpdateEvent, TraceEvent
+from repro.utility.stability import (
+    CONVERGENCE_REL_AMPLITUDE,
+    CONVERGENCE_WINDOW,
+)
 
 #: The paper's convergence criterion (section 4.3): amplitude of the
 #: utility oscillation over the trailing window below 0.1% of its mean.
-DEFAULT_WINDOW = 10
-DEFAULT_REL_AMPLITUDE = 1e-3
+#: Shared with the optimizer-side detector via
+#: :mod:`repro.utility.stability` so the two can never drift apart.
+DEFAULT_WINDOW = CONVERGENCE_WINDOW
+DEFAULT_REL_AMPLITUDE = CONVERGENCE_REL_AMPLITUDE
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,18 @@
+"""Shared constants for the paper's stability criterion (section 4.3).
+
+Convergence is declared when the peak-to-peak amplitude of the utility
+over a trailing window drops below 0.1% of the window mean.  Both the
+optimizer-side detector (:mod:`repro.core.convergence`) and the
+event-stream diagnostics (:mod:`repro.obs.diagnostics`) implement that
+rule; they must agree on its parameters, so the numbers live here — in
+:mod:`repro.utility`, the one layer both are allowed to import (the obs
+layer deliberately never imports ``repro.core``).
+"""
+
+from __future__ import annotations
+
+#: Trailing-window length (iterations) for the amplitude test.
+CONVERGENCE_WINDOW = 10
+
+#: The paper's 0.1% relative-amplitude threshold.
+CONVERGENCE_REL_AMPLITUDE = 1e-3

@@ -15,12 +15,37 @@ class TestTopLevelExports:
 
     def test_readme_quickstart_surface(self):
         problem = repro.base_workload()
+        result = repro.solve(problem, method="lrgp", iterations=30)
+        assert isinstance(result, repro.SolveResult)
+        assert result.utility > 0.0
+        assert repro.is_feasible(problem, result.allocation)
+        assert repro.violations(problem, result.allocation) == []
+
+    def test_stepwise_driver_surface(self):
+        problem = repro.base_workload()
         optimizer = repro.LRGP(problem, repro.LRGPConfig.adaptive())
         optimizer.run(30)
         allocation = optimizer.allocation()
         assert repro.is_feasible(problem, allocation)
         assert repro.total_utility(problem, allocation) > 0.0
-        assert repro.violations(problem, allocation) == []
+
+    def test_solve_surface(self):
+        problem = repro.micro_workload()
+        assert set(repro.available_methods()) >= {
+            "lrgp",
+            "multirate",
+            "two_stage",
+            "annealing",
+            "hill_climb",
+            "random_search",
+            "coordinate",
+        }
+        result = repro.solve(
+            problem, method="lrgp", engine="vectorized", iterations=40
+        )
+        assert result.engine == "vectorized"
+        assert result.converged_at is None or result.converged_at <= 40
+        assert result.to_dict()["method"] == "lrgp"
 
     def test_version(self):
         assert repro.__version__ == "1.0.0"

@@ -1,0 +1,169 @@
+"""Tests for the unified ``repro.solve`` entry point."""
+
+import json
+
+import pytest
+
+import repro
+from repro.core.lrgp import LRGPConfig
+from repro.solve import ENGINE_METHODS, SolveResult, available_methods, solve
+from repro.utility.tolerance import ENGINE_EQUIVALENCE_RTOL
+from repro.workloads.bottleneck import link_bottleneck_workload
+from repro.workloads.micro import micro_workload
+
+ALL_METHODS = (
+    "annealing",
+    "coordinate",
+    "hill_climb",
+    "lrgp",
+    "multirate",
+    "random_search",
+    "two_stage",
+)
+
+#: Small effort budgets so the whole matrix stays fast.
+BUDGETS = {
+    "lrgp": 60,
+    "multirate": 60,
+    "two_stage": 40,
+    "annealing": 2_000,
+    "hill_climb": 1_000,
+    "random_search": 100,
+    "coordinate": 6,
+}
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return micro_workload()
+
+
+class TestMethodMatrix:
+    def test_available_methods(self):
+        assert available_methods() == ALL_METHODS
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_every_method_returns_a_solve_result(self, problem, method):
+        result = solve(problem, method, iterations=BUDGETS[method])
+        assert isinstance(result, SolveResult)
+        assert result.method == method
+        assert result.utility > 0.0
+        assert result.utilities
+        assert result.iterations > 0
+        assert result.wall_time_seconds >= 0.0
+        if method in ENGINE_METHODS:
+            assert result.engine == "reference"
+        else:
+            assert result.engine is None
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_every_result_is_json_ready(self, problem, method):
+        result = solve(problem, method, iterations=BUDGETS[method])
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["method"] == method
+        assert payload["utility"] == pytest.approx(result.utility)
+        assert "populations" in payload["allocation"]
+
+
+class TestLRGPFamily:
+    def test_vectorized_engine_matches_reference(self, problem):
+        reference = solve(problem, "lrgp", iterations=80)
+        vectorized = solve(problem, "lrgp", engine="vectorized", iterations=80)
+        assert vectorized.engine == "vectorized"
+        assert len(vectorized.utilities) == len(reference.utilities)
+        for expected, actual in zip(reference.utilities, vectorized.utilities):
+            assert actual == pytest.approx(
+                expected, rel=ENGINE_EQUIVALENCE_RTOL, abs=1e-9
+            )
+        assert vectorized.converged_at == reference.converged_at
+
+    def test_lrgp_metadata_carries_prices(self, problem):
+        result = solve(problem, "lrgp", iterations=30)
+        assert "S" in result.metadata["node_prices"]
+        # Only bottleneck (finite-capacity) links maintain prices.
+        bottleneck = solve(link_bottleneck_workload(100.0), iterations=30)
+        assert "uplink" in bottleneck.metadata["link_prices"]
+
+    def test_snapshot_config_exposes_records(self, problem):
+        config = LRGPConfig(record_snapshots=True)
+        result = solve(problem, "lrgp", iterations=20, config=config)
+        records = result.metadata["records"]
+        assert len(records) == 20
+        assert records[0].rates is not None
+        # Records are not JSON-representable and must not leak into JSON.
+        assert "records" not in result.to_dict()["metadata"]
+
+    def test_two_stage_trajectories(self, problem):
+        result = solve(problem, "two_stage", iterations=40)
+        assert result.iterations == len(result.utilities)
+        assert result.metadata["stage2_utility"] == pytest.approx(
+            result.utility
+        )
+
+    def test_two_stage_vectorized_engine(self, problem):
+        reference = solve(problem, "two_stage", iterations=40)
+        vectorized = solve(
+            problem, "two_stage", engine="vectorized", iterations=40
+        )
+        assert vectorized.utility == pytest.approx(
+            reference.utility, rel=ENGINE_EQUIVALENCE_RTOL, abs=1e-9
+        )
+
+    def test_multirate_weakly_dominates_single_rate(self, problem):
+        single = solve(problem, "lrgp", iterations=100)
+        multi = solve(problem, "multirate", iterations=100)
+        assert multi.utility >= single.utility - 1e-6
+        assert multi.allocation.to_single_rate().rates
+
+
+class TestValidation:
+    def test_unknown_method(self, problem):
+        with pytest.raises(ValueError, match="unknown method"):
+            solve(problem, "genetic")
+
+    @pytest.mark.parametrize(
+        "method", [m for m in ALL_METHODS if m not in ENGINE_METHODS]
+    )
+    def test_engine_rejected_for_non_lrgp_methods(self, problem, method):
+        with pytest.raises(ValueError, match="engine"):
+            solve(problem, method, engine="vectorized")
+
+    def test_negative_iterations(self, problem):
+        with pytest.raises(ValueError, match="non-negative"):
+            solve(problem, iterations=-1)
+
+    def test_unknown_option_rejected(self, problem):
+        with pytest.raises(TypeError, match="unexpected options"):
+            solve(problem, "lrgp", iterations=5, temperature=10.0)
+
+    def test_unknown_engine_rejected(self, problem):
+        with pytest.raises(ValueError, match="unknown engine"):
+            solve(problem, "lrgp", engine="turbo", iterations=5)
+
+
+class TestLegacyAliases:
+    def test_deprecated_attributes_resolve_with_warning(self, problem):
+        result = solve(problem, "annealing", iterations=500)
+        with pytest.warns(DeprecationWarning):
+            assert result.best_utility == result.utility
+        with pytest.warns(DeprecationWarning):
+            assert result.final_utility == result.utility
+        with pytest.warns(DeprecationWarning):
+            assert result.best_allocation is result.allocation
+
+    def test_metadata_keys_resolve_with_warning(self, problem):
+        result = solve(problem, "annealing", iterations=500)
+        with pytest.warns(DeprecationWarning):
+            assert result.accepted == result.metadata["accepted"]
+
+    def test_unknown_attribute_raises(self, problem):
+        result = solve(problem, "lrgp", iterations=5)
+        with pytest.raises(AttributeError):
+            result.no_such_attribute
+
+
+class TestTopLevelExport:
+    def test_solve_is_the_package_front_door(self, problem):
+        result = repro.solve(problem, iterations=30)
+        assert isinstance(result, repro.SolveResult)
+        assert "lrgp" in repro.available_methods()
