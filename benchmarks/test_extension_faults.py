@@ -1,0 +1,65 @@
+"""Extension E8: recovery under agent crashes (Figure 3, taken to the
+distributed runtime).
+
+Figure 3 shows LRGP recovering from a *workload* change; this benchmark
+crashes an agent of the asynchronous deployment mid-run and measures the
+recovery.  Two claims are asserted:
+
+* the restarted node agent recovers to >= 99% of the pre-fault utility;
+* checkpoint restore settles in measurably fewer post-restart samples
+  than a cold restart of the same agent (which resets the node price to
+  zero, transiently over-admits, and oscillates before settling).
+
+The run archives ``results/extension_faults.txt`` (the rendered E8 table,
+quoted in EXPERIMENTS.md) and ``results/BENCH_faults.json`` with the raw
+recovery measurements.
+"""
+
+from __future__ import annotations
+
+import json
+
+from conftest import RESULTS_DIR, record_result
+
+from repro.experiments.extensions import (
+    extension_fault_recovery,
+    fault_recovery_detail,
+)
+from repro.experiments.reporting import render_table
+
+#: Acceptance floor: post-recovery utility vs the pre-fault level.
+MIN_RETENTION = 0.99
+
+
+def test_extension_fault_recovery(benchmark):
+    table = benchmark.pedantic(extension_fault_recovery, rounds=1, iterations=1)
+    record_result("extension_faults", render_table(table))
+
+    checkpoint = fault_recovery_detail(cold=False)
+    cold = fault_recovery_detail(cold=True)
+    payload = {
+        "single_crash": {detail["mode"]: detail for detail in (checkpoint, cold)},
+        "table": {
+            "columns": list(table.columns),
+            "rows": [list(row) for row in table.rows],
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_faults.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    for detail in (checkpoint, cold):
+        assert detail["retention"] >= MIN_RETENTION, (
+            f"{detail['mode']} restart retained only "
+            f"{detail['retention']:.4f} of the pre-fault utility"
+        )
+        assert detail["samples_to_plateau"] is not None, (
+            f"{detail['mode']} restart never settled back onto the "
+            "pre-fault plateau"
+        )
+    assert checkpoint["samples_to_plateau"] < cold["samples_to_plateau"], (
+        "checkpoint restore should settle in fewer post-restart samples "
+        f"than a cold restart, got {checkpoint['samples_to_plateau']} vs "
+        f"{cold['samples_to_plateau']}"
+    )

@@ -16,6 +16,9 @@ Commands:
   snapshot (human/Prometheus/JSON) plus convergence diagnostics.
 * ``trace``     — capture the structured event stream of a run as JSONL
   (lossless, ``event_from_dict`` round-trips it) or flat CSV.
+* ``chaos``     — run the asynchronous deployment under a seeded fault plan
+  (crashes + checkpoint restarts, partitions, delay storms) and report
+  recovery times and utility retention vs the fault-free run.
 * ``lint``      — run the domain-aware static analyzer (docs/analysis.md)
   over source trees, with JSON output, baselines and strict exit codes.
 
@@ -32,6 +35,8 @@ Examples::
     python -m repro stats micro --iterations 100
     python -m repro stats base --format prometheus -o metrics.prom
     python -m repro trace micro --format jsonl -o trace.jsonl
+    python -m repro chaos base --horizon 400 --crash-rate 0.02
+    python -m repro chaos micro --no-checkpoint --json
     python -m repro lint --strict src
     python -m repro lint --format json --rules R2,R5 src
 """
@@ -52,6 +57,7 @@ from repro.experiments.extensions import (
     extension_capacity_churn,
     extension_communication,
     extension_coordinate,
+    extension_fault_recovery,
     extension_link_pricing,
     extension_multirate,
     extension_queueing_latency,
@@ -260,6 +266,7 @@ def cmd_extension(args: argparse.Namespace) -> int:
         "e4": extension_queueing_latency,
         "e6": extension_coordinate,
         "e7": extension_communication,
+        "e8": extension_fault_recovery,
     }
     if args.name == "e5":
         figure = extension_capacity_churn()
@@ -388,6 +395,113 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.events.reliability import RetryPolicy
+    from repro.runtime.asynchronous import AsyncConfig, AsynchronousRuntime
+    from repro.runtime.faults import FaultPlan
+
+    problem = load_problem(args.workload)
+    checkpoint_interval = None if args.no_checkpoint else args.checkpoint_interval
+    plan = FaultPlan.random(
+        problem,
+        seed=args.seed,
+        horizon=args.horizon,
+        crash_rate=args.crash_rate,
+        mean_downtime=args.mean_downtime,
+        cold_probability=args.cold_probability,
+        partition_rate=args.partition_rate,
+        storm_rate=args.storm_rate,
+        warmup=args.warmup,
+        checkpoint_interval=checkpoint_interval,
+    )
+    runtime = AsynchronousRuntime(
+        problem,
+        AsyncConfig(seed=args.seed),
+        fault_plan=plan,
+        retry=RetryPolicy(),
+    )
+    runtime.run_until(args.horizon)
+    baseline = AsynchronousRuntime(problem, AsyncConfig(seed=args.seed))
+    baseline.run_until(args.horizon)
+    utility = runtime.converged_utility()
+    reference = baseline.converged_utility()
+    retention = utility / reference if reference else float("nan")
+
+    if args.json:
+        import json as _json
+
+        payload = {
+            "workload": args.workload,
+            "horizon": args.horizon,
+            "seed": args.seed,
+            "plan": {
+                "crashes": len(plan.crashes),
+                "partitions": len(plan.partitions),
+                "storms": len(plan.storms),
+                "checkpoint_interval": plan.checkpoint_interval,
+            },
+            "utility": utility,
+            "baseline_utility": reference,
+            "retention": retention,
+            "counters": {
+                "messages_sent": runtime.messages_sent,
+                "messages_lost": runtime.messages_lost,
+                "messages_stale": runtime.messages_stale,
+                "messages_to_down": runtime.messages_to_down,
+                "messages_partitioned": runtime.messages_partitioned,
+                "retransmissions": runtime.retransmissions,
+                "retries_abandoned": runtime.retries_abandoned,
+            },
+            "recoveries": [
+                {
+                    "address": record.address,
+                    "crashed_at": record.crashed_at,
+                    "downtime": record.downtime,
+                    "recovery_time": record.recovery_time,
+                    "from_checkpoint": record.from_checkpoint,
+                }
+                for record in runtime.recoveries
+            ],
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(f"workload:   {problem.describe()}")
+    print(
+        f"fault plan: {len(plan.crashes)} crash(es), "
+        f"{len(plan.partitions)} partition(s), {len(plan.storms)} storm(s) "
+        f"over horizon {args.horizon:g} (seed {args.seed})"
+    )
+    checkpointing = (
+        f"every {plan.checkpoint_interval:g}"
+        if plan.checkpoint_interval is not None
+        else "disabled (cold restarts)"
+    )
+    print(f"checkpoints: {checkpointing}")
+    print(
+        "messages:   "
+        f"{runtime.messages_sent} sent, {runtime.messages_lost} lost, "
+        f"{runtime.messages_stale} stale-rejected, "
+        f"{runtime.messages_to_down} to-down, "
+        f"{runtime.messages_partitioned} partitioned, "
+        f"{runtime.retransmissions} retransmitted"
+    )
+    print(f"utility:    {utility:,.2f} ({retention:.2%} of fault-free run)")
+    if runtime.recoveries:
+        print("recoveries:")
+        for record in runtime.recoveries:
+            kind = "checkpoint" if record.from_checkpoint else "cold"
+            print(
+                f"  {record.address}: crashed t={record.crashed_at:.1f}, "
+                f"down {record.downtime:.1f}, recovered in "
+                f"{record.recovery_time:.1f} ({kind})"
+            )
+    unresolved = runtime.down_agents
+    if unresolved:
+        print(f"still down: {', '.join(sorted(unresolved))}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     # Imported lazily: the analyzer is pure stdlib but irrelevant to the
     # optimization commands, and keeping it out of module import keeps
@@ -501,7 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     extension = sub.add_parser("extension", help="run an extension experiment")
     extension.add_argument(
-        "name", choices=["e1", "e2", "e3", "e4", "e5", "e6", "e7"]
+        "name", choices=["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"]
     )
     extension.set_defaults(func=cmd_extension)
 
@@ -553,6 +667,35 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("-o", "--output", metavar="FILE",
                        help="write here instead of stdout")
     trace.set_defaults(func=cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the async deployment under a seeded fault plan",
+    )
+    chaos.add_argument("workload", help="builtin name or problem JSON path")
+    chaos.add_argument("--horizon", type=float, default=400.0,
+                       help="simulated time to run (default: 400)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed for both the fault plan and the runtime")
+    chaos.add_argument("--crash-rate", type=float, default=0.02,
+                       help="expected agent crashes per time unit")
+    chaos.add_argument("--mean-downtime", type=float, default=5.0,
+                       help="mean downtime before restart")
+    chaos.add_argument("--cold-probability", type=float, default=0.0,
+                       help="fraction of restarts forced cold (no checkpoint)")
+    chaos.add_argument("--partition-rate", type=float, default=0.0,
+                       help="expected partitions per time unit")
+    chaos.add_argument("--storm-rate", type=float, default=0.0,
+                       help="expected delay storms per time unit")
+    chaos.add_argument("--warmup", type=float, default=60.0,
+                       help="fault-free convergence window before injection")
+    chaos.add_argument("--checkpoint-interval", type=float, default=5.0,
+                       help="agent checkpoint period (default: 5)")
+    chaos.add_argument("--no-checkpoint", action="store_true",
+                       help="disable checkpointing; every restart is cold")
+    chaos.add_argument("--json", action="store_true",
+                       help="print a machine-readable report")
+    chaos.set_defaults(func=cmd_chaos)
 
     lint = sub.add_parser(
         "lint", help="run the domain-aware static analyzer (docs/analysis.md)"

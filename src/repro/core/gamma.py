@@ -55,6 +55,19 @@ class GammaSchedule(ABC):
         """A fresh schedule with the same configuration (not the same
         state), for stamping out one schedule per node."""
 
+    def state_dict(self) -> dict[str, float]:
+        """JSON-ready snapshot of the *mutable* state (checkpointing).
+
+        Stateless schedules have nothing to save; adaptive schedules
+        override.  Configuration is deliberately excluded — a restore
+        target is always built with the same configuration.
+        """
+        return {}
+
+    def load_state(self, state: dict[str, float]) -> None:
+        """Inverse of :meth:`state_dict`; no-op for stateless schedules."""
+        del state
+
 
 @dataclass
 class FixedGamma(GammaSchedule):
@@ -154,6 +167,19 @@ class AdaptiveGamma(GammaSchedule):
             self._last_delta = price_delta
         if self.probe is not None and not is_zero(self._gamma - old_gamma):
             self.probe.gamma_step(old_gamma, self._gamma, fluctuated)
+
+    def state_dict(self) -> dict[str, float]:
+        state = {"gamma": self._gamma}
+        if self._last_delta is not None:
+            state["last_delta"] = self._last_delta
+        return state
+
+    def load_state(self, state: dict[str, float]) -> None:
+        gamma = state["gamma"]
+        if math.isnan(gamma):
+            raise ValueError("checkpointed gamma must not be NaN")
+        self._gamma = min(max(gamma, self._lower), self._upper)
+        self._last_delta = state.get("last_delta")
 
     def clone(self) -> "AdaptiveGamma":
         return AdaptiveGamma(

@@ -123,6 +123,29 @@ class NodePriceController:
     def reset(self, price: float = 0.0) -> None:
         self._price = _validate_price(price)
 
+    def state_dict(self) -> dict[str, object]:
+        """Checkpoint of price + step-size state (for agent recovery)."""
+        state: dict[str, object] = {
+            "price": self._price,
+            "gamma_under": self._gamma_under.state_dict(),
+        }
+        if self._gamma_over is not self._gamma_under:
+            state["gamma_over"] = self._gamma_over.state_dict()
+        return state
+
+    def load_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`state_dict` (validates the restored price)."""
+        price = state["price"]
+        assert isinstance(price, float)
+        self._price = _validate_price(price)
+        gamma_under = state["gamma_under"]
+        assert isinstance(gamma_under, dict)
+        self._gamma_under.load_state(gamma_under)
+        gamma_over = state.get("gamma_over")
+        if gamma_over is not None and self._gamma_over is not self._gamma_under:
+            assert isinstance(gamma_over, dict)
+            self._gamma_over.load_state(gamma_over)
+
 
 class LinkPriceController:
     """Maintains ``p_l`` for one link via gradient projection (eq. 13).
@@ -183,3 +206,17 @@ class LinkPriceController:
     def reset(self, price: float = 0.0) -> None:
         _validate_price(price)
         self._price = 0.0 if math.isinf(self.capacity) else price
+
+    def state_dict(self) -> dict[str, object]:
+        """Checkpoint of price + step-size state (for agent recovery)."""
+        return {"price": self._price, "gamma": self._gamma.state_dict()}
+
+    def load_state(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`state_dict` (validates the restored price)."""
+        price = state["price"]
+        assert isinstance(price, float)
+        _validate_price(price)
+        self._price = 0.0 if math.isinf(self.capacity) else price
+        gamma = state["gamma"]
+        assert isinstance(gamma, dict)
+        self._gamma.load_state(gamma)

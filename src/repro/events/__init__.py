@@ -13,6 +13,7 @@ from repro.events.reliability import (
     ReliabilityConfig,
     ReliabilityStats,
     ReliableDelivery,
+    RetryPolicy,
 )
 from repro.events.engine import EventEngine, SimulationClock
 from repro.events.metering import ModelComparison, ResourceMeter, compare_with_model
@@ -48,6 +49,7 @@ __all__ = [
     "ReliabilityConfig",
     "ReliabilityStats",
     "ReliableDelivery",
+    "RetryPolicy",
     "ResourceMeter",
     "SimulationClock",
     "Transform",

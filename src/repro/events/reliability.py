@@ -30,6 +30,29 @@ from repro.model.entities import ClassId, NodeId
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retransmission: wait ``timeout`` for an acknowledgement,
+    retransmit up to ``max_retries`` times, then abandon.
+
+    The ack/timeout/retransmit pattern of this module's reliable pub/sub
+    channel, factored out so the asynchronous LRGP runtime can apply the
+    same machinery to unacknowledged rate announcements
+    (:mod:`repro.runtime.asynchronous`).
+    """
+
+    timeout: float = 2.0
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0.0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+
+
+@dataclass(frozen=True)
 class ReliabilityConfig:
     """Reliable-channel parameters for one consumer class."""
 
@@ -58,6 +81,13 @@ class ReliabilityConfig:
     @property
     def effective_timeout(self) -> float:
         return self.timeout if self.timeout is not None else 2.0 * self.rtt
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """This channel's retransmission behaviour as a :class:`RetryPolicy`."""
+        return RetryPolicy(
+            timeout=self.effective_timeout, max_retries=self.max_retries
+        )
 
 
 @dataclass

@@ -31,6 +31,8 @@ from repro.obs.events import (
     EVENT_TYPES,
     AdmissionEvent,
     AgentExchangeEvent,
+    AgentRestartedEvent,
+    FaultInjectedEvent,
     GammaStepEvent,
     IterationEvent,
     MessageEvent,
@@ -83,10 +85,12 @@ __all__ = [
     "DEFAULT_VALUE_BUCKETS",
     "AdmissionEvent",
     "AgentExchangeEvent",
+    "AgentRestartedEvent",
     "ConvergenceDiagnostics",
     "Counter",
     "CsvSink",
     "DiagnosticsReport",
+    "FaultInjectedEvent",
     "Gauge",
     "GammaStepEvent",
     "Histogram",

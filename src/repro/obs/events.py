@@ -10,6 +10,8 @@ the event simulator maps to exactly one event type:
 ``admission``    one greedy consumer allocation at one node (Algorithm 2)
 ``message``      one protocol or pub/sub message handled by an engine
 ``agent_exchange`` one agent activation (messages emitted per ``act()``)
+``fault_injected`` one scheduled fault taking effect (crash/partition/storm)
+``agent_restarted`` one crashed agent rejoining (checkpoint or cold state)
 ===============  ============================================================
 
 Events are frozen dataclasses with a ``kind`` tag and a monotonic
@@ -192,6 +194,41 @@ class AgentExchangeEvent(_Event):
     t_ns: int
 
 
+@dataclass(frozen=True)
+class FaultInjectedEvent(_Event):
+    """One scheduled fault taking effect in a fault-injecting runtime.
+
+    ``fault`` names the kind: ``crash``, ``partition``, ``partition_heal``,
+    ``delay_storm`` or ``delay_storm_end``.  ``target`` is the affected
+    agent address (crashes) or a ``+``-joined address group (partitions);
+    ``at`` is the simulated time the fault fired.
+    """
+
+    kind: ClassVar[str] = "fault_injected"
+
+    fault: str
+    target: str
+    at: float
+    t_ns: int
+
+
+@dataclass(frozen=True)
+class AgentRestartedEvent(_Event):
+    """One crashed agent rejoining the protocol.
+
+    ``downtime`` is simulated time spent down; ``from_checkpoint`` tells
+    whether the agent resumed from its last checkpoint or from cold state.
+    """
+
+    kind: ClassVar[str] = "agent_restarted"
+
+    agent: str
+    at: float
+    downtime: float
+    from_checkpoint: bool
+    t_ns: int
+
+
 TraceEvent = Union[
     IterationEvent,
     PriceUpdateEvent,
@@ -199,6 +236,8 @@ TraceEvent = Union[
     AdmissionEvent,
     MessageEvent,
     AgentExchangeEvent,
+    FaultInjectedEvent,
+    AgentRestartedEvent,
 ]
 
 #: kind tag -> event class, the dispatch table for deserialization.
@@ -211,6 +250,8 @@ EVENT_TYPES: dict[str, type[_Event]] = {
         AdmissionEvent,
         MessageEvent,
         AgentExchangeEvent,
+        FaultInjectedEvent,
+        AgentRestartedEvent,
     )
 }
 

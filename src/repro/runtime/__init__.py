@@ -6,19 +6,34 @@ centrally; this package deploys the same algorithms as communicating agents:
 * :class:`SynchronousRuntime` — barrier rounds, bit-identical to the
   reference driver;
 * :class:`AsynchronousRuntime` — discrete-event execution with jittered
-  clocks, message latency/loss and price averaging (section 3.5).
+  clocks, message latency/loss and price averaging (section 3.5), plus
+  sequence-numbered exchanges, acknowledged rate announcements and
+  checkpoint/restart fault tolerance;
+* :mod:`repro.runtime.faults` — deterministic failure injection
+  (:class:`FaultPlan`: crashes, partitions, delay storms) and the
+  recovery-time bookkeeping (:class:`RecoveryRecord`).
 """
 
 from repro.runtime.agents import (
     Agent,
     LinkAgent,
     NodeAgent,
+    PopulationCollisionError,
     SourceAgent,
     link_address,
+    merge_populations,
     node_address,
     source_address,
 )
 from repro.runtime.asynchronous import AsyncConfig, AsynchronousRuntime
+from repro.runtime.faults import (
+    CrashFault,
+    DelayStorm,
+    FaultPlan,
+    PartitionFault,
+    RecoveryRecord,
+    agent_addresses,
+)
 from repro.runtime.multirate import (
     DemandUpdate,
     MultirateNodeAgent,
@@ -38,7 +53,10 @@ __all__ = [
     "Agent",
     "AsyncConfig",
     "AsynchronousRuntime",
+    "CrashFault",
+    "DelayStorm",
     "DemandUpdate",
+    "FaultPlan",
     "LinkAgent",
     "LinkPriceUpdate",
     "Message",
@@ -47,11 +65,16 @@ __all__ = [
     "MultirateSynchronousRuntime",
     "NodeAgent",
     "NodePriceUpdate",
+    "PartitionFault",
+    "PopulationCollisionError",
     "PopulationUpdate",
     "RateUpdate",
+    "RecoveryRecord",
     "SourceAgent",
     "SynchronousRuntime",
+    "agent_addresses",
     "link_address",
+    "merge_populations",
     "node_address",
     "source_address",
 ]

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
+from collections.abc import Iterable
 
 from repro.core.consumer_allocation import allocate_consumers
 from repro.core.gamma import GammaSchedule
@@ -71,6 +72,20 @@ class Agent:
         """Run this agent's algorithm once; return the messages to send."""
         raise NotImplementedError
 
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready checkpoint of the agent's mutable protocol state.
+
+        Fault-tolerant runtimes checkpoint agents periodically and hand the
+        snapshot back via :meth:`restore` after a crash, so a restarted
+        agent resumes from its last checkpoint instead of cold state.
+        """
+        raise NotImplementedError
+
+    def restore(self, state: dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot` (on an agent built with the same
+        problem and configuration)."""
+        raise NotImplementedError
+
     def _record_activation(self, sent: int, stamp: float) -> None:
         """Emit one ``agent_exchange`` event (no-op when disabled)."""
         telemetry = self.telemetry
@@ -107,6 +122,25 @@ class _Averager:
             return default
         return sum(queue) / len(queue)
 
+    @property
+    def observed(self) -> bool:
+        """Whether *any* observation was ever recorded.
+
+        Distinguishes "no price received yet" from "price is genuinely
+        zero" — the distinction behind the cold-start hold in
+        :meth:`SourceAgent.act`.
+        """
+        return any(self._values.values())
+
+    def state_dict(self) -> dict[str, list[float]]:
+        return {key: list(queue) for key, queue in self._values.items()}
+
+    def load_state(self, state: dict[str, list[float]]) -> None:
+        self._values = {
+            key: deque(values, maxlen=self._window)
+            for key, values in state.items()
+        }
+
 
 class SourceAgent(Agent):
     """Algorithm 1 at the source node of one flow.
@@ -115,6 +149,19 @@ class SourceAgent(Agent):
     from the flow's route, and the latest consumer allocations for the
     flow's classes.  Each activation solves the Lagrangian rate subproblem
     and announces the rate to every node and link agent on the route.
+
+    ``assume_zero_prices`` controls the cold-start semantics.  In the
+    synchronous protocol the zero initial prices are *shared knowledge*
+    (every agent starts the same round-zero state), so treating a missing
+    price as 0.0 is exact — that is the default, and it keeps the
+    synchronous runtime bit-identical to the reference driver.  In an
+    asynchronous deployment a cold-started (or restarted) source has
+    simply *not heard* the prices yet — they are whatever the running
+    system converged to, not zero — so defaulting them to 0.0 makes the
+    path look free and spikes the rate to ``r_max``.  With
+    ``assume_zero_prices=False`` the source holds its current rate
+    (``r_min`` at cold start, the last deployed rate after a checkpoint
+    restore) until the first price update from the route arrives.
     """
 
     role = "source"
@@ -125,10 +172,12 @@ class SourceAgent(Agent):
         flow_id: FlowId,
         averaging_window: int = 1,
         telemetry: Telemetry = NULL_TELEMETRY,
+        assume_zero_prices: bool = True,
     ) -> None:
         super().__init__(source_address(flow_id), telemetry=telemetry)
         self._problem = problem
         self._flow_id = flow_id
+        self._assume_zero_prices = assume_zero_prices
         self._node_prices = _Averager(averaging_window)
         self._link_prices = _Averager(averaging_window)
         self._populations: dict[ClassId, int] = {
@@ -152,9 +201,34 @@ class SourceAgent(Agent):
         else:
             raise TypeError(f"source agent got unexpected {type(message).__name__}")
 
+    def _awaiting_first_price(self) -> bool:
+        """True while holding for a first price in async cold start.
+
+        Only holds when the route actually contains price-announcing
+        agents (consumer nodes / finite links); a route without priced
+        resources has structurally zero prices and never waits.
+        """
+        if self._assume_zero_prices:
+            return False
+        if self._node_prices.observed or self._link_prices.observed:
+            return False
+        problem = self._problem
+        route = problem.route(self._flow_id)
+        consumer_nodes = problem.consumer_nodes()
+        return any(node_id in consumer_nodes for node_id in route.nodes) or any(
+            not math.isinf(problem.links[link_id].capacity)
+            for link_id in route.links
+        )
+
     def act(self, stamp: float) -> list[Message]:
         problem = self._problem
         route = problem.route(self._flow_id)
+        if self._awaiting_first_price():
+            # Cold start in a running system: the path is NOT free, we
+            # just have not heard its price yet.  Hold the current rate
+            # (r_min, or the checkpointed rate) instead of spiking to
+            # r_max, and keep announcing it so resource agents see us.
+            return self._announcements(stamp)
         # PL_i + PB_i (eq. 8-9) from received prices.
         price = 0.0
         for link_id in route.links:
@@ -173,7 +247,12 @@ class SourceAgent(Agent):
                 )
             price += coefficient * node_price
         self.rate = allocate_rate(problem, self._flow_id, self._populations, price)
+        return self._announcements(stamp)
 
+    def _announcements(self, stamp: float) -> list[Message]:
+        """Rate announcements to every priced resource on the route."""
+        problem = self._problem
+        route = problem.route(self._flow_id)
         messages: list[Message] = []
         for node_id in route.nodes:
             if node_id in problem.consumer_nodes():
@@ -199,6 +278,30 @@ class SourceAgent(Agent):
                 )
         self._record_activation(len(messages), stamp)
         return messages
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "rate": self.rate,
+            "node_prices": self._node_prices.state_dict(),
+            "link_prices": self._link_prices.state_dict(),
+            "populations": dict(self._populations),
+        }
+
+    def restore(self, state: dict[str, object]) -> None:
+        rate = state["rate"]
+        assert isinstance(rate, float)
+        self.rate = rate
+        node_prices = state["node_prices"]
+        assert isinstance(node_prices, dict)
+        self._node_prices.load_state(node_prices)
+        link_prices = state["link_prices"]
+        assert isinstance(link_prices, dict)
+        self._link_prices.load_state(link_prices)
+        populations = state["populations"]
+        assert isinstance(populations, dict)
+        for class_id, population in populations.items():
+            if class_id in self._populations:
+                self._populations[class_id] = population
 
 
 class NodeAgent(Agent):
@@ -290,6 +393,29 @@ class NodeAgent(Agent):
         self._record_activation(len(messages), stamp)
         return messages
 
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "rates": dict(self._rates),
+            "populations": dict(self.populations),
+            "controller": self._controller.state_dict(),
+        }
+
+    def restore(self, state: dict[str, object]) -> None:
+        rates = state["rates"]
+        assert isinstance(rates, dict)
+        for flow_id, rate in rates.items():
+            if flow_id in self._rates:
+                self._rates[flow_id] = rate
+        populations = state["populations"]
+        assert isinstance(populations, dict)
+        self.populations = {
+            class_id: populations.get(class_id, 0)
+            for class_id in self.populations
+        }
+        controller = state["controller"]
+        assert isinstance(controller, dict)
+        self._controller.load_state(controller)
+
 
 class LinkAgent(Agent):
     """Algorithm 3 on behalf of one finite-capacity link."""
@@ -353,3 +479,55 @@ class LinkAgent(Agent):
         ]
         self._record_activation(len(messages), stamp)
         return messages
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "rates": dict(self._rates),
+            "controller": self._controller.state_dict(),
+        }
+
+    def restore(self, state: dict[str, object]) -> None:
+        rates = state["rates"]
+        assert isinstance(rates, dict)
+        for flow_id, rate in rates.items():
+            if flow_id in self._rates:
+                self._rates[flow_id] = rate
+        controller = state["controller"]
+        assert isinstance(controller, dict)
+        self._controller.load_state(controller)
+
+
+class PopulationCollisionError(RuntimeError):
+    """Two node agents reported consumer populations for the same class.
+
+    Every consumer class lives at exactly one node (section 2.2), so a
+    collision means the deployment is malformed — e.g. two agents were
+    built for the same node, or a problem mutation re-homed a class while
+    stale agents were still reporting.  Merging with ``dict.update`` would
+    silently keep whichever agent iterated last; fail loudly instead.
+    """
+
+
+def merge_populations(nodes: Iterable[object]) -> dict[ClassId, int]:
+    """Merge per-node population reports into one global mapping.
+
+    ``nodes`` is any iterable of agents exposing ``address`` and
+    ``populations`` (:class:`NodeAgent`, :class:`MultirateNodeAgent`).
+    Raises :class:`PopulationCollisionError` when two distinct agents
+    report the same class.
+    """
+    merged: dict[ClassId, int] = {}
+    owners: dict[ClassId, str] = {}
+    for node in nodes:
+        address = getattr(node, "address", "<unknown>")
+        populations = getattr(node, "populations")
+        for class_id, population in populations.items():
+            previous = owners.get(class_id)
+            if previous is not None and previous != address:
+                raise PopulationCollisionError(
+                    f"class {class_id!r} reported by both {previous} and "
+                    f"{address}; every class has exactly one hosting node"
+                )
+            owners[class_id] = address
+            merged[class_id] = population
+    return merged

@@ -12,8 +12,23 @@ observer samples the "deployed" state (rates at the sources, populations at
 the nodes) on a fixed interval, producing a utility-over-time trajectory
 comparable to the synchronous per-iteration one.
 
+Three protocol-hardening layers sit on top of the basic simulation:
+
+* **sequence numbers** — every dispatched message carries a per-sender
+  sequence number; a delivery whose sequence is not newer than the last
+  one seen on the same (sender, recipient, type) channel is rejected as
+  stale, so reordered or retransmitted updates cannot roll state backwards;
+* **bounded retry** — with a :class:`~repro.events.reliability.RetryPolicy`,
+  rate announcements are acknowledged at delivery and retransmitted (same
+  sequence number) after ``timeout`` up to ``max_retries`` times, the same
+  machinery :mod:`repro.events.reliability` applies to consumer delivery;
+* **failure injection** — a :class:`~repro.runtime.faults.FaultPlan`
+  schedules agent crashes/restarts, network partitions and delay storms;
+  the runtime checkpoints live agents periodically so a restarted agent
+  resumes from its last checkpoint (see :mod:`repro.runtime.faults`).
+
 All randomness flows from one seeded :class:`random.Random`, so runs are
-reproducible.
+reproducible — including faulty ones.
 """
 
 from __future__ import annotations
@@ -22,15 +37,30 @@ import heapq
 import itertools
 import math
 import random
-from dataclasses import dataclass
+from collections.abc import Callable
+from dataclasses import dataclass, replace
 
 from repro.core.gamma import AdaptiveGamma, GammaSchedule
+from repro.events.reliability import RetryPolicy
 from repro.model.allocation import Allocation, total_utility
 from repro.model.problem import Problem
-from repro.obs.events import IterationEvent, MessageEvent, now_ns
+from repro.obs.events import (
+    AgentRestartedEvent,
+    FaultInjectedEvent,
+    IterationEvent,
+    MessageEvent,
+    now_ns,
+)
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
-from repro.runtime.agents import Agent, LinkAgent, NodeAgent, SourceAgent
-from repro.runtime.messages import Message
+from repro.runtime.agents import (
+    Agent,
+    LinkAgent,
+    NodeAgent,
+    SourceAgent,
+    merge_populations,
+)
+from repro.runtime.faults import CrashFault, FaultPlan, RecoveryRecord
+from repro.runtime.messages import Message, RateUpdate
 
 
 @dataclass(frozen=True)
@@ -74,8 +104,32 @@ class AsyncConfig:
             raise ValueError("sample_interval must be positive")
 
 
+class _Recovering:
+    """Book-keeping for one crash awaiting utility recovery."""
+
+    __slots__ = ("crashed_at", "pre_utility", "restarted_at", "from_checkpoint")
+
+    def __init__(self, crashed_at: float, pre_utility: float) -> None:
+        self.crashed_at = crashed_at
+        self.pre_utility = pre_utility
+        self.restarted_at: float | None = None
+        self.from_checkpoint = False
+
+
 class AsynchronousRuntime:
-    """Discrete-event asynchronous execution of the LRGP agents."""
+    """Discrete-event asynchronous execution of the LRGP agents.
+
+    ``fault_plan`` injects the scheduled crashes/partitions/storms (see
+    :mod:`repro.runtime.faults`); ``retry`` enables acknowledged delivery
+    with bounded retransmission for rate announcements.  Both default to
+    off, leaving the plain lossy-asynchronous behaviour.
+
+    Sources here run with ``assume_zero_prices=False``: a source that has
+    not yet heard a price holds its current rate instead of treating the
+    route as free and spiking to ``r_max`` (the synchronous runtime keeps
+    the exact zero-initial-price semantics; see
+    :class:`~repro.runtime.agents.SourceAgent`).
+    """
 
     def __init__(
         self,
@@ -84,30 +138,61 @@ class AsynchronousRuntime:
         node_gamma: GammaSchedule | None = None,
         link_gamma: float = 1e-4,
         telemetry: Telemetry = NULL_TELEMETRY,
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self._problem = problem
         self._config = config or AsyncConfig()
         self._rng = random.Random(self._config.seed)
         self._telemetry = telemetry
+        self._plan = fault_plan
+        self._retry = retry
         prototype = node_gamma if node_gamma is not None else AdaptiveGamma()
 
-        self._sources = [
-            SourceAgent(
+        # Factories rebuild an agent with cold state after a crash; a
+        # checkpoint (if any) is then layered on via Agent.restore().
+        self._factories: dict[str, Callable[[], Agent]] = {}
+
+        def source_factory(flow_id: str) -> Callable[[], Agent]:
+            return lambda: SourceAgent(
                 problem,
                 flow_id,
                 averaging_window=self._config.averaging_window,
                 telemetry=telemetry,
+                assume_zero_prices=False,
             )
-            for flow_id in sorted(problem.flows)
-        ]
-        self._nodes = [
-            NodeAgent(problem, node_id, gamma=prototype.clone(), telemetry=telemetry)
-            for node_id in problem.consumer_nodes()
-        ]
-        self._links = [
-            LinkAgent(problem, link_id, gamma=link_gamma, telemetry=telemetry)
-            for link_id in problem.bottleneck_links()
-        ]
+
+        def node_factory(node_id: str) -> Callable[[], Agent]:
+            return lambda: NodeAgent(
+                problem, node_id, gamma=prototype.clone(), telemetry=telemetry
+            )
+
+        def link_factory(link_id: str) -> Callable[[], Agent]:
+            return lambda: LinkAgent(
+                problem, link_id, gamma=link_gamma, telemetry=telemetry
+            )
+
+        self._sources: list[SourceAgent] = []
+        for flow_id in sorted(problem.flows):
+            factory = source_factory(flow_id)
+            agent = factory()
+            assert isinstance(agent, SourceAgent)
+            self._factories[agent.address] = factory
+            self._sources.append(agent)
+        self._nodes: list[NodeAgent] = []
+        for node_id in problem.consumer_nodes():
+            factory = node_factory(node_id)
+            agent = factory()
+            assert isinstance(agent, NodeAgent)
+            self._factories[agent.address] = factory
+            self._nodes.append(agent)
+        self._links: list[LinkAgent] = []
+        for link_id in problem.bottleneck_links():
+            factory = link_factory(link_id)
+            agent = factory()
+            assert isinstance(agent, LinkAgent)
+            self._factories[agent.address] = factory
+            self._links.append(agent)
         self._agents: dict[str, Agent] = {
             agent.address: agent
             for agent in [*self._sources, *self._nodes, *self._links]
@@ -119,13 +204,65 @@ class AsynchronousRuntime:
         self.samples: list[tuple[float, float]] = []
         self.messages_sent = 0
         self.messages_lost = 0
+        #: Sequenced deliveries rejected because a newer update from the
+        #: same sender had already been seen on that channel.
+        self.messages_stale = 0
+        #: Deliveries dropped because the recipient was crashed.
+        self.messages_to_down = 0
+        #: Deliveries dropped because they crossed an active partition cut.
+        self.messages_partitioned = 0
+        self.retransmissions = 0
+        self.retries_abandoned = 0
+        #: Completed crash -> restart -> utility-recovered cycles.
+        self.recoveries: list[RecoveryRecord] = []
+
+        #: Per-sender send counters; each dispatched message gets the next.
+        self._send_seq: dict[str, int] = {}
+        #: Newest sequence seen per (sender, recipient, message type).
+        self._last_seen: dict[tuple[str, str, str], int] = {}
+        #: Unacknowledged rate announcements, keyed (sender, seq).
+        self._pending_acks: dict[tuple[str, int], Message] = {}
+
+        self._down: set[str] = set()
+        self._partitions: list[frozenset[str]] = []
+        self._storm_factors: list[float] = []
+        self._checkpoints: dict[str, dict[str, object]] = {}
+        self._recovering: dict[str, _Recovering] = {}
 
         # Stagger initial activations uniformly across one period so agents
         # do not start in lockstep.
         for agent in self._agents.values():
             offset = self._rng.uniform(0.0, self._config.activation_period)
             self._schedule(offset, "activate", agent.address)
-        self._schedule(self._config.sample_interval, "sample", None)
+        # Samples live on the absolute grid k * sample_interval.  Scheduling
+        # them by repeated ``now + interval`` accumulates float error, so a
+        # sample nominally at the end of a run_until() window could land
+        # just past it and silently slip into the next call.
+        self._schedule(self._config.sample_interval, "sample", 1)
+
+        if fault_plan is not None:
+            unknown = fault_plan.addresses() - set(self._agents)
+            if unknown:
+                raise ValueError(
+                    "fault plan names unknown agents: "
+                    + ", ".join(sorted(unknown))
+                )
+            for crash in fault_plan.crashes:
+                self._schedule(crash.at, "fault_crash", crash)
+                if crash.restart_after is not None:
+                    self._schedule(
+                        crash.at + crash.restart_after, "fault_restart", crash
+                    )
+            for partition in fault_plan.partitions:
+                self._schedule(partition.at, "fault_partition", partition)
+                self._schedule(
+                    partition.at + partition.duration, "fault_heal", partition
+                )
+            for storm in fault_plan.storms:
+                self._schedule(storm.at, "fault_storm", storm)
+                self._schedule(storm.at + storm.duration, "fault_storm_end", storm)
+            if fault_plan.checkpoint_interval is not None:
+                self._schedule(fault_plan.checkpoint_interval, "checkpoint", 1)
 
     # -- event plumbing -----------------------------------------------------
 
@@ -140,18 +277,227 @@ class AsynchronousRuntime:
 
     def _latency(self) -> float:
         jitter = self._config.latency_jitter
-        return self._config.latency_mean * (1.0 + self._rng.uniform(-jitter, jitter))
+        latency = self._config.latency_mean * (
+            1.0 + self._rng.uniform(-jitter, jitter)
+        )
+        return latency * math.prod(self._storm_factors)
 
     def _dispatch(self, messages: list[Message]) -> None:
-        registry = self._telemetry.registry
+        retry = self._retry
         for message in messages:
-            self.messages_sent += 1
-            registry.counter("runtime.async.messages_sent").inc()
-            if self._rng.random() < self._config.loss_probability:
-                self.messages_lost += 1
-                registry.counter("runtime.async.messages_lost").inc()
+            seq = self._send_seq.get(message.sender, 0)
+            self._send_seq[message.sender] = seq + 1
+            message = replace(message, seq=seq)
+            if retry is not None and isinstance(message, RateUpdate):
+                self._pending_acks[(message.sender, seq)] = message
+                self._schedule(
+                    self._now + retry.timeout, "ack_check", (message, 0)
+                )
+            self._send(message)
+
+    def _send(self, message: Message) -> None:
+        """One transmission attempt (first send or retransmission)."""
+        registry = self._telemetry.registry
+        self.messages_sent += 1
+        registry.counter("runtime.async.messages_sent").inc()
+        if self._rng.random() < self._config.loss_probability:
+            self.messages_lost += 1
+            registry.counter("runtime.async.messages_lost").inc()
+            return
+        self._schedule(self._now + self._latency(), "deliver", message)
+
+    def _partitioned(self, sender: str, recipient: str) -> bool:
+        return any(
+            (sender in isolated) != (recipient in isolated)
+            for isolated in self._partitions
+        )
+
+    def _replace_agent(self, agent: Agent) -> None:
+        address = agent.address
+        self._agents[address] = agent
+        if isinstance(agent, SourceAgent):
+            self._sources = [
+                agent if existing.address == address else existing
+                for existing in self._sources
+            ]
+        elif isinstance(agent, NodeAgent):
+            self._nodes = [
+                agent if existing.address == address else existing
+                for existing in self._nodes
+            ]
+        elif isinstance(agent, LinkAgent):
+            self._links = [
+                agent if existing.address == address else existing
+                for existing in self._links
+            ]
+
+    def _emit_fault(self, fault: str, target: str) -> None:
+        telemetry = self._telemetry
+        telemetry.registry.counter("runtime.async.faults").inc()
+        if telemetry.enabled:
+            telemetry.emit(
+                FaultInjectedEvent(
+                    fault=fault, target=target, at=self._now, t_ns=now_ns()
+                )
+            )
+
+    # -- event handlers -----------------------------------------------------
+
+    def _handle_activate(self, address: str) -> None:
+        if address in self._down:
+            # Crashed: swallow the activation and do not reschedule; the
+            # restart event seeds a fresh activation chain.
+            return
+        agent = self._agents[address]
+        self._dispatch(agent.act(self._now))
+        self._schedule(self._now + self._next_period(), "activate", address)
+
+    def _handle_deliver(self, message: Message) -> None:
+        telemetry = self._telemetry
+        if message.recipient in self._down:
+            self.messages_to_down += 1
+            telemetry.registry.counter("runtime.async.messages_to_down").inc()
+            return
+        if self._partitioned(message.sender, message.recipient):
+            self.messages_partitioned += 1
+            telemetry.registry.counter(
+                "runtime.async.messages_partitioned"
+            ).inc()
+            return
+        # The recipient's transport acks a rate announcement on receipt,
+        # duplicate or not; the ack itself may be lost.
+        if (
+            self._retry is not None
+            and isinstance(message, RateUpdate)
+            and (message.sender, message.seq) in self._pending_acks
+            and not self._rng.random() < self._config.loss_probability
+        ):
+            del self._pending_acks[(message.sender, message.seq)]
+        if message.seq >= 0:
+            channel = (message.sender, message.recipient, type(message).__name__)
+            if message.seq <= self._last_seen.get(channel, -1):
+                self.messages_stale += 1
+                telemetry.registry.counter("runtime.async.messages_stale").inc()
+                return
+            self._last_seen[channel] = message.seq
+        self._agents[message.recipient].receive(message)
+        if telemetry.enabled:
+            latency = self._now - message.stamp
+            telemetry.emit(
+                MessageEvent(
+                    sender=message.sender,
+                    recipient=message.recipient,
+                    payload=type(message).__name__,
+                    t_ns=now_ns(),
+                    latency=latency,
+                )
+            )
+            telemetry.registry.histogram("runtime.async.latency").observe(latency)
+
+    def _handle_ack_check(self, message: Message, attempt: int) -> None:
+        retry = self._retry
+        assert retry is not None
+        key = (message.sender, message.seq)
+        if key not in self._pending_acks:
+            return  # acknowledged
+        if attempt >= retry.max_retries or message.sender in self._down:
+            del self._pending_acks[key]
+            self.retries_abandoned += 1
+            self._telemetry.registry.counter(
+                "runtime.async.retries_abandoned"
+            ).inc()
+            return
+        self.retransmissions += 1
+        self._telemetry.registry.counter("runtime.async.retransmissions").inc()
+        self._send(message)
+        self._schedule(self._now + retry.timeout, "ack_check", (message, attempt + 1))
+
+    def _handle_sample(self, index: int) -> None:
+        utility = self.utility()
+        self.samples.append((self._now, utility))
+        telemetry = self._telemetry
+        telemetry.registry.gauge("runtime.async.utility").set(utility)
+        if telemetry.enabled:
+            telemetry.emit(
+                IterationEvent(
+                    iteration=len(self.samples), utility=utility, t_ns=now_ns()
+                )
+            )
+        self._resolve_recoveries(utility)
+        self._schedule(
+            (index + 1) * self._config.sample_interval, "sample", index + 1
+        )
+
+    def _resolve_recoveries(self, utility: float) -> None:
+        if self._plan is None or not self._recovering:
+            return
+        threshold = self._plan.recovery_threshold
+        for address in list(self._recovering):
+            info = self._recovering[address]
+            if info.restarted_at is None:
                 continue
-            self._schedule(self._now + self._latency(), "deliver", message)
+            if utility >= threshold * info.pre_utility:
+                record = RecoveryRecord(
+                    address=address,
+                    crashed_at=info.crashed_at,
+                    restarted_at=info.restarted_at,
+                    recovered_at=self._now,
+                    from_checkpoint=info.from_checkpoint,
+                )
+                self.recoveries.append(record)
+                self._telemetry.registry.histogram(
+                    "runtime.async.recovery_time"
+                ).observe(record.recovery_time)
+                del self._recovering[address]
+
+    def _handle_crash(self, crash: CrashFault) -> None:
+        if crash.address in self._down:
+            return
+        # Utility just before the failure: the recovery baseline.
+        pre_utility = self.utility()
+        self._down.add(crash.address)
+        self._recovering[crash.address] = _Recovering(
+            crashed_at=self._now, pre_utility=pre_utility
+        )
+        self._emit_fault("crash", crash.address)
+
+    def _handle_restart(self, crash: CrashFault) -> None:
+        address = crash.address
+        if address not in self._down:
+            return
+        self._down.discard(address)
+        checkpoint = None if crash.cold else self._checkpoints.get(address)
+        agent = self._factories[address]()
+        if checkpoint is not None:
+            agent.restore(checkpoint)
+        self._replace_agent(agent)
+        info = self._recovering.get(address)
+        if info is not None:
+            info.restarted_at = self._now
+            info.from_checkpoint = checkpoint is not None
+        telemetry = self._telemetry
+        telemetry.registry.counter("runtime.async.restarts").inc()
+        if telemetry.enabled:
+            telemetry.emit(
+                AgentRestartedEvent(
+                    agent=address,
+                    at=self._now,
+                    downtime=self._now - crash.at,
+                    from_checkpoint=checkpoint is not None,
+                    t_ns=now_ns(),
+                )
+            )
+        self._schedule(self._now, "activate", address)
+
+    def _handle_checkpoint(self, index: int) -> None:
+        assert self._plan is not None and self._plan.checkpoint_interval is not None
+        for address, agent in self._agents.items():
+            if address not in self._down:
+                self._checkpoints[address] = agent.snapshot()
+        self._telemetry.registry.counter("runtime.async.checkpoints").inc()
+        self._schedule(
+            (index + 1) * self._plan.checkpoint_interval, "checkpoint", index + 1
+        )
 
     # -- execution ------------------------------------------------------------
 
@@ -159,62 +505,77 @@ class AsynchronousRuntime:
     def now(self) -> float:
         return self._now
 
+    @property
+    def down_agents(self) -> frozenset[str]:
+        """Addresses currently crashed."""
+        return frozenset(self._down)
+
     def run_until(self, end_time: float) -> None:
-        """Process events until the clock passes ``end_time``."""
+        """Process events until the clock passes ``end_time``.
+
+        Events scheduled exactly at ``end_time`` fire in this call (and,
+        having been consumed, never again in a later call) — the window is
+        half-open on the left: ``(previous end, end_time]``.
+        """
         if end_time < self._now:
             raise ValueError(f"end_time {end_time} is in the past (now={self._now})")
         while self._queue and self._queue[0][0] <= end_time:
             at, _, kind, payload = heapq.heappop(self._queue)
             self._now = at
             if kind == "activate":
-                agent = self._agents[payload]  # type: ignore[index]
-                self._dispatch(agent.act(self._now))
-                self._schedule(self._now + self._next_period(), "activate", payload)
+                assert isinstance(payload, str)
+                self._handle_activate(payload)
             elif kind == "deliver":
-                message = payload  # type: ignore[assignment]
-                assert isinstance(message, Message)
-                self._agents[message.recipient].receive(message)
-                telemetry = self._telemetry
-                if telemetry.enabled:
-                    latency = self._now - message.stamp
-                    telemetry.emit(
-                        MessageEvent(
-                            sender=message.sender,
-                            recipient=message.recipient,
-                            payload=type(message).__name__,
-                            t_ns=now_ns(),
-                            latency=latency,
-                        )
-                    )
-                    telemetry.registry.histogram(
-                        "runtime.async.latency"
-                    ).observe(latency)
+                assert isinstance(payload, Message)
+                self._handle_deliver(payload)
+            elif kind == "ack_check":
+                assert isinstance(payload, tuple)
+                message, attempt = payload
+                self._handle_ack_check(message, attempt)
             elif kind == "sample":
-                utility = self.utility()
-                self.samples.append((self._now, utility))
-                telemetry = self._telemetry
-                telemetry.registry.gauge("runtime.async.utility").set(utility)
-                if telemetry.enabled:
-                    telemetry.emit(
-                        IterationEvent(
-                            iteration=len(self.samples),
-                            utility=utility,
-                            t_ns=now_ns(),
-                        )
-                    )
-                self._schedule(
-                    self._now + self._config.sample_interval, "sample", None
-                )
+                assert isinstance(payload, int)
+                self._handle_sample(payload)
+            elif kind == "fault_crash":
+                assert isinstance(payload, CrashFault)
+                self._handle_crash(payload)
+            elif kind == "fault_restart":
+                assert isinstance(payload, CrashFault)
+                self._handle_restart(payload)
+            elif kind == "fault_partition":
+                self._partitions.append(payload.isolated)  # type: ignore[attr-defined]
+                self._emit_fault("partition", payload.target)  # type: ignore[attr-defined]
+            elif kind == "fault_heal":
+                self._partitions.remove(payload.isolated)  # type: ignore[attr-defined]
+                self._emit_fault("partition_heal", payload.target)  # type: ignore[attr-defined]
+            elif kind == "fault_storm":
+                self._storm_factors.append(payload.factor)  # type: ignore[attr-defined]
+                self._emit_fault("delay_storm", "*")
+            elif kind == "fault_storm_end":
+                self._storm_factors.remove(payload.factor)  # type: ignore[attr-defined]
+                self._emit_fault("delay_storm_end", "*")
+            elif kind == "checkpoint":
+                assert isinstance(payload, int)
+                self._handle_checkpoint(payload)
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event kind {kind!r}")
         self._now = end_time
 
     def allocation(self) -> Allocation:
-        """Global snapshot of deployed state (may be mutually stale)."""
+        """Global snapshot of deployed state (may be mutually stale).
+
+        Crashed node agents contribute zero populations — their consumers
+        are disconnected while the agent is down.  Crashed sources keep
+        their last deployed rate: the data plane keeps forwarding at the
+        last configured rate even though the control agent is dead.
+        """
         rates = {source.flow_id: source.rate for source in self._sources}
-        populations = {}
+        populations = merge_populations(
+            node for node in self._nodes if node.address not in self._down
+        )
         for node in self._nodes:
-            populations.update(node.populations)
+            if node.address in self._down:
+                for class_id in node.populations:
+                    populations.setdefault(class_id, 0)
         return Allocation(rates=rates, populations=populations)
 
     def utility(self) -> float:

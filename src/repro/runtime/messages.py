@@ -32,6 +32,14 @@ class Message:
     #: Iteration (sync) or send-time (async) stamp, for diagnostics and
     #: staleness-aware averaging.
     stamp: float
+    #: Per-sender send sequence, assigned by engines that can reorder or
+    #: retransmit (the asynchronous runtime).  ``-1`` marks an unsequenced
+    #: message (synchronous barrier delivery, unit tests): receivers must
+    #: accept it unconditionally.  Retransmissions reuse the original
+    #: sequence, so a receiver that tracks the last sequence seen per
+    #: (sender, message type) can reject both duplicates and stale
+    #: reordered updates with one comparison.
+    seq: int = -1
 
 
 @dataclass(frozen=True)

@@ -35,6 +35,7 @@ from repro.runtime.agents import (
     Agent,
     LinkAgent,
     link_address,
+    merge_populations,
     node_address,
     source_address,
 )
@@ -131,6 +132,34 @@ class MultirateSourceAgent(Agent):
                     )
                 )
         return messages
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "rate": self.rate,
+            "demands": dict(self._demands),
+            "node_prices": dict(self._node_prices),
+            "link_prices": dict(self._link_prices),
+            "populations": dict(self._populations),
+        }
+
+    def restore(self, state: dict[str, object]) -> None:
+        rate = state["rate"]
+        assert isinstance(rate, float)
+        self.rate = rate
+        demands = state["demands"]
+        assert isinstance(demands, dict)
+        self._demands = dict(demands)
+        node_prices = state["node_prices"]
+        assert isinstance(node_prices, dict)
+        self._node_prices = dict(node_prices)
+        link_prices = state["link_prices"]
+        assert isinstance(link_prices, dict)
+        self._link_prices = dict(link_prices)
+        populations = state["populations"]
+        assert isinstance(populations, dict)
+        for class_id, population in populations.items():
+            if class_id in self._populations:
+                self._populations[class_id] = population
 
 
 class MultirateNodeAgent(Agent):
@@ -250,6 +279,37 @@ class MultirateNodeAgent(Agent):
                 )
         return messages
 
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "caps": dict(self._caps),
+            "populations": dict(self.populations),
+            "advertised": dict(self._advertised),
+            "local_rates": dict(self.local_rates),
+            "controller": self._controller.state_dict(),
+        }
+
+    def restore(self, state: dict[str, object]) -> None:
+        caps = state["caps"]
+        assert isinstance(caps, dict)
+        for flow_id, cap in caps.items():
+            if flow_id in self._caps:
+                self._caps[flow_id] = cap
+        populations = state["populations"]
+        assert isinstance(populations, dict)
+        self.populations = {
+            class_id: populations.get(class_id, 0)
+            for class_id in self.populations
+        }
+        advertised = state["advertised"]
+        assert isinstance(advertised, dict)
+        self._advertised = dict(advertised)
+        local_rates = state["local_rates"]
+        assert isinstance(local_rates, dict)
+        self.local_rates = dict(local_rates)
+        controller = state["controller"]
+        assert isinstance(controller, dict)
+        self._controller.load_state(controller)
+
 
 class MultirateSynchronousRuntime:
     """Barrier-round deployment of the multirate protocol."""
@@ -319,9 +379,8 @@ class MultirateSynchronousRuntime:
     def allocation(self) -> MultirateAllocation:
         source_rates = {source.flow_id: source.rate for source in self._sources}
         local_rates: dict[tuple[NodeId, FlowId], float] = {}
-        populations: dict[ClassId, int] = {}
+        populations: dict[ClassId, int] = merge_populations(self._nodes)
         for node in self._nodes:
-            populations.update(node.populations)
             for flow_id, rate in node.local_rates.items():
                 local_rates[(node.node_id, flow_id)] = rate
         return MultirateAllocation(

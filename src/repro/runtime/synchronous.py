@@ -15,7 +15,13 @@ from repro.model.allocation import Allocation, total_utility
 from repro.model.problem import Problem
 from repro.obs.events import IterationEvent, MessageEvent, now_ns
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
-from repro.runtime.agents import Agent, LinkAgent, NodeAgent, SourceAgent
+from repro.runtime.agents import (
+    Agent,
+    LinkAgent,
+    NodeAgent,
+    SourceAgent,
+    merge_populations,
+)
 from repro.runtime.messages import Message
 
 
@@ -125,10 +131,9 @@ class SynchronousRuntime:
     def allocation(self) -> Allocation:
         """Global snapshot assembled from the agents' local states."""
         rates = {source.flow_id: source.rate for source in self._sources}
-        populations = {}
-        for node in self._nodes:
-            populations.update(node.populations)
-        return Allocation(rates=rates, populations=populations)
+        return Allocation(
+            rates=rates, populations=merge_populations(self._nodes)
+        )
 
     def node_prices(self) -> dict[str, float]:
         return {node.node_id: node.price for node in self._nodes}

@@ -24,9 +24,11 @@ from repro.workloads.scaling import (
     scale_flows,
 )
 from repro.workloads.dynamics import (
+    ChaosScenario,
     DynamicScenario,
     ScheduledChange,
     churn_scenario,
+    fault_churn_scenario,
 )
 from repro.workloads.tree import tree_workload
 from repro.workloads.scenarios import (
@@ -36,11 +38,13 @@ from repro.workloads.scenarios import (
 )
 
 __all__ = [
+    "ChaosScenario",
     "DynamicScenario",
     "GeneratorConfig",
     "Scenario",
     "ScheduledChange",
     "churn_scenario",
+    "fault_churn_scenario",
     "tree_workload",
     "generate_workload",
     "latest_price_scenario",

@@ -194,3 +194,32 @@ def test_reports_carry_rule_file_line_severity(rule_id: str, tmp_path: Path) -> 
     assert entry["path"] == finding.path
     assert entry["line"] == finding.line
     assert entry["severity"] in {"error", "warning"}
+
+
+class TestR1CoversRuntimeFaults:
+    """The fault-injection subsystem is all about randomness — plan
+    generation, loss draws, latency storms — and must obey R1's seeded
+    discipline: unlike :mod:`repro.workloads.generator` it is *not*
+    exempt, and the shipping module must analyze clean."""
+
+    REPO_ROOT = Path(__file__).resolve().parents[2]
+
+    def test_unseeded_fault_plan_generation_fires(self, tmp_path: Path) -> None:
+        target = tmp_path / "src/repro/runtime/faults.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            "import random\n"
+            "\n"
+            "def crash_times(rate: float) -> list[float]:\n"
+            "    return [random.expovariate(rate) for _ in range(3)]\n",
+            encoding="utf-8",
+        )
+        findings = analyze_file(target, [RULES["R1"]()])
+        assert findings, "R1 must cover repro.runtime.faults (no exemption)"
+        assert all(finding.rule_id == "R1" for finding in findings)
+
+    def test_shipping_fault_module_is_clean(self) -> None:
+        module = self.REPO_ROOT / "src" / "repro" / "runtime" / "faults.py"
+        assert module.is_file()
+        findings = analyze_file(module, [RULES["R1"]()])
+        assert findings == [], "\n" + render_human(findings)

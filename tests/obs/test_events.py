@@ -8,6 +8,8 @@ from repro.obs.events import (
     EVENT_TYPES,
     AdmissionEvent,
     AgentExchangeEvent,
+    AgentRestartedEvent,
+    FaultInjectedEvent,
     GammaStepEvent,
     IterationEvent,
     MessageEvent,
@@ -64,6 +66,10 @@ def sample_events():
             latency=0.25,
         ),
         AgentExchangeEvent(agent="src:fa", role="source", sent=3, stamp=1.0, t_ns=700),
+        FaultInjectedEvent(fault="crash", target="node:S", at=120.0, t_ns=800),
+        AgentRestartedEvent(
+            agent="node:S", at=130.0, downtime=10.0, from_checkpoint=True, t_ns=900
+        ),
     ]
 
 

@@ -2,12 +2,14 @@
 
 import pytest
 
-from repro.core.gamma import FixedGamma
+from repro.core.gamma import AdaptiveGamma, FixedGamma
 from repro.runtime.agents import (
     LinkAgent,
     NodeAgent,
+    PopulationCollisionError,
     SourceAgent,
     link_address,
+    merge_populations,
     node_address,
     source_address,
 )
@@ -160,6 +162,144 @@ class TestLinkAgent:
         assert agent.price > 0.0
         assert all(isinstance(m, LinkPriceUpdate) for m in messages)
         assert len(messages) == 2  # one per flow on the link
+
+
+class TestColdStartHold:
+    """Regression: a source that has heard no prices must not assume the
+    route is free.
+
+    With ``assume_zero_prices=True`` (the synchronous default, where zero
+    initial prices are shared knowledge) the first activation spikes to
+    ``r_max``.  Asynchronous deployments pass ``False``: the source holds
+    its current rate until the first price from the route arrives.
+    """
+
+    def test_async_cold_start_holds_rate_min(self, problem):
+        agent = SourceAgent(problem, "fa", assume_zero_prices=False)
+        messages = agent.act(stamp=0.0)
+        assert agent.rate == problem.flows["fa"].rate_min  # no r_max spike
+        # It still announces itself to the route while holding.
+        assert len(messages) == 1
+        assert isinstance(messages[0], RateUpdate)
+        assert messages[0].rate == problem.flows["fa"].rate_min
+
+    def test_first_price_releases_the_hold(self, problem):
+        agent = SourceAgent(problem, "fa", assume_zero_prices=False)
+        agent.act(stamp=0.0)
+        agent.receive(
+            PopulationUpdate(
+                sender="node:S", recipient="src:fa", stamp=0.0,
+                node_id="S", flow_id="fa", populations={"ca": 2, "cb": 0},
+            )
+        )
+        agent.receive(
+            NodePriceUpdate(
+                sender="node:S", recipient="src:fa", stamp=0.0,
+                node_id="S", price=0.01,
+            )
+        )
+        agent.act(stamp=1.0)
+        assert agent.rate > problem.flows["fa"].rate_min
+
+    def test_restored_source_holds_checkpointed_rate(self, problem):
+        # A checkpoint-restarted source resumes at the checkpointed rate,
+        # not r_min and not r_max.
+        warm = SourceAgent(problem, "fa")
+        warm.receive(
+            PopulationUpdate(
+                sender="node:S", recipient="src:fa", stamp=0.0,
+                node_id="S", flow_id="fa", populations={"ca": 2, "cb": 0},
+            )
+        )
+        warm.receive(
+            NodePriceUpdate(
+                sender="node:S", recipient="src:fa", stamp=0.0,
+                node_id="S", price=5.0,
+            )
+        )
+        warm.act(stamp=1.0)
+        restarted = SourceAgent(problem, "fa", assume_zero_prices=False)
+        restarted.restore(warm.snapshot())
+        assert restarted.rate == warm.rate
+        restarted.act(stamp=2.0)  # prices restored too: acts immediately
+        assert restarted.rate == warm.rate
+
+
+class TestSnapshotRestore:
+    def test_source_round_trip(self, problem):
+        agent = SourceAgent(problem, "fa", averaging_window=3)
+        agent.receive(
+            NodePriceUpdate(
+                sender="node:S", recipient="src:fa", stamp=0.0,
+                node_id="S", price=2.5,
+            )
+        )
+        agent.act(stamp=0.0)
+        clone = SourceAgent(problem, "fa", averaging_window=3)
+        clone.restore(agent.snapshot())
+        clone.act(stamp=1.0)
+        agent.act(stamp=1.0)
+        assert clone.rate == agent.rate
+
+    def test_node_round_trip_preserves_price_and_gamma(self, problem):
+        agent = NodeAgent(problem, "S", gamma=AdaptiveGamma())
+        for stamp in range(5):
+            agent.receive(
+                RateUpdate(sender="src:fa", recipient="node:S", stamp=float(stamp),
+                           flow_id="fa", rate=20.0)
+            )
+            agent.act(stamp=float(stamp))
+        clone = NodeAgent(problem, "S", gamma=AdaptiveGamma())
+        clone.restore(agent.snapshot())
+        assert clone.price == agent.price
+        assert clone.populations == agent.populations
+        clone.act(stamp=5.0)
+        agent.act(stamp=5.0)
+        assert clone.price == agent.price  # gamma state restored too
+
+    def test_restore_ignores_foreign_keys(self, problem):
+        agent = NodeAgent(problem, "S", gamma=FixedGamma(0.1))
+        state = agent.snapshot()
+        state["rates"]["ghost-flow"] = 99.0
+        state["populations"]["ghost-class"] = 7
+        agent.restore(state)
+        assert "ghost-flow" not in agent._rates
+        assert "ghost-class" not in agent.populations
+
+    def test_base_agent_snapshot_not_implemented(self):
+        from repro.runtime.agents import Agent
+
+        agent = Agent("x")
+        with pytest.raises(NotImplementedError):
+            agent.snapshot()
+        with pytest.raises(NotImplementedError):
+            agent.restore({})
+
+
+class _StubNode:
+    def __init__(self, address, populations):
+        self.address = address
+        self.populations = populations
+
+
+class TestMergePopulations:
+    def test_merges_disjoint_reports(self):
+        merged = merge_populations(
+            [_StubNode("node:A", {"ca": 1}), _StubNode("node:B", {"cb": 2})]
+        )
+        assert merged == {"ca": 1, "cb": 2}
+
+    def test_same_agent_may_report_twice(self):
+        node = _StubNode("node:A", {"ca": 1})
+        assert merge_populations([node, node]) == {"ca": 1}
+
+    def test_collision_raises_instead_of_silently_overwriting(self):
+        # Regression: dict.update kept whichever node iterated last,
+        # silently double-counting consumers re-homed across agents.
+        with pytest.raises(PopulationCollisionError, match="ca"):
+            merge_populations(
+                [_StubNode("node:A", {"ca": 1}), _StubNode("node:B", {"ca": 3})]
+            )
 
 
 class TestMessages:

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.lrgp import LRGP, LRGPConfig
 from repro.model.allocation import is_feasible
+from repro.obs import MemorySink, Telemetry
 from repro.runtime.asynchronous import AsyncConfig, AsynchronousRuntime
 
 
@@ -79,6 +80,112 @@ class TestMechanics:
         assert runtime.now == 5.0
         runtime.run_until(9.0)
         assert runtime.now == 9.0
+
+
+class TestRunUntilBoundary:
+    """Regression: events scheduled exactly at ``end_time`` fire in that
+    call, exactly once.
+
+    Samples used to be scheduled by repeated ``now + interval``, whose
+    float accumulation drifts off the grid (15 additions of 0.1 give
+    1.5000000000000002 > 1.5), so ``run_until(1.5)`` silently missed the
+    boundary sample and a later call double-delivered the window.
+    """
+
+    def test_boundary_sample_fires_in_the_call_that_reaches_it(
+        self, tiny_problem
+    ):
+        runtime = AsynchronousRuntime(
+            tiny_problem, AsyncConfig(seed=0, sample_interval=0.1)
+        )
+        runtime.run_until(1.5)
+        times = [t for t, _ in runtime.samples]
+        assert times[-1] == 1.5  # exactly on the grid, not 1.5000000000000002
+        assert len(times) == 15
+
+    def test_boundary_event_fires_exactly_once_across_two_calls(
+        self, tiny_problem
+    ):
+        runtime = AsynchronousRuntime(
+            tiny_problem, AsyncConfig(seed=0, sample_interval=0.1)
+        )
+        runtime.run_until(1.5)
+        first_window = list(runtime.samples)
+        runtime.run_until(1.5)  # idempotent: nothing left at or before 1.5
+        assert runtime.samples == first_window
+        runtime.run_until(3.0)
+        times = [t for t, _ in runtime.samples]
+        assert times.count(1.5) == 1
+        assert times == pytest.approx([0.1 * k for k in range(1, 31)])
+
+    def test_samples_stay_on_the_absolute_grid(self, tiny_problem):
+        runtime = AsynchronousRuntime(
+            tiny_problem, AsyncConfig(seed=0, sample_interval=0.1)
+        )
+        runtime.run_until(50.0)
+        times = [t for t, _ in runtime.samples]
+        # Bit-exact grid membership: accumulation drift would fail this.
+        assert times == [k * 0.1 for k in range(1, len(times) + 1)]
+
+
+class TestLossPathAccounting:
+    def test_loss_counters_and_latency_histogram_agree(self, tiny_problem):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink)
+        runtime = AsynchronousRuntime(
+            tiny_problem,
+            AsyncConfig(seed=11, loss_probability=0.3),
+            telemetry=telemetry,
+        )
+        runtime.run_until(60.0)
+        assert runtime.messages_lost > 0
+        registry = telemetry.registry
+        assert (
+            registry.counter("runtime.async.messages_sent").value
+            == runtime.messages_sent
+        )
+        assert (
+            registry.counter("runtime.async.messages_lost").value
+            == runtime.messages_lost
+        )
+        # Every received (non-lost, non-stale) message observes one latency
+        # and emits one MessageEvent.
+        message_events = sink.of_kind("message")
+        histogram = registry.histogram("runtime.async.latency")
+        assert histogram.count == len(message_events)
+        assert (
+            len(message_events)
+            == runtime.messages_sent
+            - runtime.messages_lost
+            - runtime.messages_stale
+        )
+        assert all(event.latency >= 0.0 for event in message_events)
+
+    def test_lossy_runs_are_seed_reproducible(self, tiny_problem):
+        def run():
+            runtime = AsynchronousRuntime(
+                tiny_problem,
+                AsyncConfig(seed=11, loss_probability=0.3),
+            )
+            runtime.run_until(60.0)
+            return (
+                runtime.samples,
+                runtime.messages_sent,
+                runtime.messages_lost,
+                runtime.messages_stale,
+            )
+
+        assert run() == run()
+
+    def test_distinct_seeds_lose_different_messages(self, tiny_problem):
+        def lost(seed):
+            runtime = AsynchronousRuntime(
+                tiny_problem, AsyncConfig(seed=seed, loss_probability=0.3)
+            )
+            runtime.run_until(60.0)
+            return runtime.messages_lost
+
+        assert lost(1) != lost(2)
 
 
 class TestConfigValidation:

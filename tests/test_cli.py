@@ -121,6 +121,12 @@ class TestExperimentCommands:
         assert main(["extension", "e7"]) == 0
         assert "Extension E7" in capsys.readouterr().out
 
+    def test_extension_e8(self, capsys):
+        assert main(["extension", "e8"]) == 0
+        out = capsys.readouterr().out
+        assert "Extension E8" in out
+        assert "checkpoint restart" in out
+
     def test_tree_and_micro_workloads_available(self, capsys):
         assert main(["workload", "tree"]) == 0
         capsys.readouterr()
@@ -171,6 +177,37 @@ class TestStatsCommand:
         ) == 0
         payload = json.loads(path.read_text())
         assert payload["metrics"]["counters"]["lrgp.iterations"] == 20
+
+
+class TestChaosCommand:
+    ARGS = [
+        "chaos", "micro",
+        "--horizon", "120", "--crash-rate", "0.03", "--warmup", "40",
+    ]
+
+    def test_human_report(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "fault plan:" in out
+        assert "utility:" in out
+        assert "recoveries:" in out
+
+    def test_json_report_is_machine_readable(self, capsys):
+        assert main([*self.ARGS, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"]["crashes"] >= 1
+        assert payload["retention"] == pytest.approx(1.0, rel=0.05)
+        assert payload["recoveries"]
+        assert payload["recoveries"][0]["from_checkpoint"] is True
+
+    def test_no_checkpoint_forces_cold_restarts(self, capsys):
+        assert main([*self.ARGS, "--no-checkpoint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"]["checkpoint_interval"] is None
+        assert all(
+            record["from_checkpoint"] is False
+            for record in payload["recoveries"]
+        )
 
 
 class TestTraceCommand:
