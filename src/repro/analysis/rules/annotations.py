@@ -15,7 +15,16 @@ from collections.abc import Iterator
 
 from repro.analysis.engine import Finding, ModuleContext, Rule, Severity
 
-_SCOPED_PREFIXES = ("repro.core", "repro.model", "repro.solve")
+_SCOPED_PREFIXES = (
+    "repro.core",
+    "repro.model",
+    "repro.solve",
+    # The causal-tracing and replay layers entered strict scope in PR 5:
+    # their outputs feed CLI reports and regression tests, so unannotated
+    # publics poison inference the same way core/model ones do.
+    "repro.obs.causal",
+    "repro.obs.replay",
+)
 
 
 def _is_public(name: str) -> bool:

@@ -18,9 +18,14 @@ from repro.analysis.engine import Finding, ModuleContext, Rule, Severity
 
 #: Modules allowed to compare floats exactly: the tolerance helpers
 #: implement the raw comparisons once, and the convergence diagnostics
-#: intentionally test recorded samples bit-for-bit (an oscillation count
-#: over *observed* prices must not smooth over tiny reversals).
-_EXEMPT_MODULES = {"repro.utility.tolerance", "repro.obs.diagnostics"}
+#: and causal blame attribution intentionally test recorded samples
+#: bit-for-bit (an oscillation count over *observed* prices must not
+#: smooth over tiny reversals).
+_EXEMPT_MODULES = {
+    "repro.utility.tolerance",
+    "repro.obs.diagnostics",
+    "repro.obs.causal",
+}
 
 #: Identifier fragments that mark a quantity as one of the paper's
 #: continuous iterates (flow rates, resource prices, utilities, step sizes).

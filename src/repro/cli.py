@@ -14,8 +14,19 @@ Commands:
 * ``extension`` — run one of the extension experiments (E1-E3).
 * ``stats``     — run a workload with full telemetry and print the metrics
   snapshot (human/Prometheus/JSON) plus convergence diagnostics.
-* ``trace``     — capture the structured event stream of a run as JSONL
-  (lossless, ``event_from_dict`` round-trips it) or flat CSV.
+* ``trace run`` — capture the structured event stream of a run as JSONL
+  (lossless, ``event_from_dict`` round-trips it; ``--gzip`` compresses)
+  or flat CSV.  Bare ``repro trace <workload>`` still works (implied
+  ``run``).
+* ``trace show``   — pretty-print a capture with ``--type``/``--since``
+  filters, ``--follow`` tailing and a ``--dashboard`` live summary.
+* ``trace causal`` — reconstruct the causal graph of a capture: critical
+  path to convergence plus per-resource blame attribution.
+* ``replay``    — deterministically re-materialize the deployed state
+  (rates/populations/prices) at any event index of a capture.
+* ``bench``     — consolidate ``BENCH_*.json`` artifacts into a trajectory
+  snapshot (``bench snapshot``) and diff two snapshots flagging >10%
+  regressions (``bench compare``).
 * ``chaos``     — run the asynchronous deployment under a seeded fault plan
   (crashes + checkpoint restarts, partitions, delay storms) and report
   recovery times and utility retention vs the fault-free run.
@@ -35,6 +46,12 @@ Examples::
     python -m repro stats micro --iterations 100
     python -m repro stats base --format prometheus -o metrics.prom
     python -m repro trace micro --format jsonl -o trace.jsonl
+    python -m repro trace run base --engine async --gzip -o run.jsonl.gz
+    python -m repro trace show run.jsonl.gz --type message --since 50
+    python -m repro trace causal run.jsonl.gz
+    python -m repro replay run.jsonl.gz --at 500
+    python -m repro bench snapshot
+    python -m repro bench compare old.json new.json --strict
     python -m repro chaos base --horizon 400 --crash-rate 0.02
     python -m repro chaos micro --no-checkpoint --json
     python -m repro lint --strict src
@@ -49,7 +66,9 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
-    from repro.obs import Telemetry
+    from typing import Iterator
+
+    from repro.obs import Telemetry, TraceEvent
 
 from repro.core.engines import available_engines
 from repro.core.lrgp import LRGP, LRGPConfig
@@ -286,13 +305,15 @@ def _telemetry_run(args: argparse.Namespace, problem: Problem) -> "Telemetry":
     if args.engine == "sync":
         from repro.runtime.synchronous import SynchronousRuntime
 
-        SynchronousRuntime(problem, telemetry=telemetry).run(args.iterations)
+        SynchronousRuntime(
+            problem, telemetry=telemetry, trace_id=f"sync-{args.workload}"
+        ).run(args.iterations)
     elif args.engine == "async":
         from repro.runtime.asynchronous import AsynchronousRuntime
 
-        AsynchronousRuntime(problem, telemetry=telemetry).run_until(
-            float(args.iterations)
-        )
+        AsynchronousRuntime(
+            problem, telemetry=telemetry, trace_id=f"async-{args.workload}"
+        ).run_until(float(args.iterations))
     else:
         config = LRGPConfig(
             record_snapshots=args.snapshots, telemetry=telemetry
@@ -361,19 +382,30 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_trace(args: argparse.Namespace) -> int:
-    from repro.obs import EVENT_TYPES, CsvSink, JsonlSink, MemorySink
+def _parse_kinds(spec: str | None) -> set[str] | None:
+    """Validate a comma-separated event-kind filter against EVENT_TYPES."""
+    if spec is None:
+        return None
+    from repro.obs import EVENT_TYPES
 
-    if args.events is not None:
-        kinds = {part.strip() for part in args.events.split(",") if part.strip()}
-        unknown = kinds - set(EVENT_TYPES)
-        if unknown:
-            raise SystemExit(
-                f"unknown event kind(s) {', '.join(sorted(unknown))}; "
-                f"choose from {', '.join(sorted(EVENT_TYPES))}"
-            )
-    else:
-        kinds = None
+    kinds = {part.strip() for part in spec.split(",") if part.strip()}
+    unknown = kinds - set(EVENT_TYPES)
+    if unknown:
+        raise SystemExit(
+            f"unknown event kind(s) {', '.join(sorted(unknown))}; "
+            f"choose from {', '.join(sorted(EVENT_TYPES))}"
+        )
+    return kinds
+
+
+def cmd_trace_run(args: argparse.Namespace) -> int:
+    from repro.obs import CsvSink, JsonlSink, MemorySink
+
+    kinds = _parse_kinds(args.events)
+    if args.gzip and args.output is None:
+        raise SystemExit("--gzip writes binary output; it requires -o FILE")
+    if args.gzip and args.format != "jsonl":
+        raise SystemExit("--gzip applies to JSONL captures only")
 
     problem = load_problem(args.workload)
     telemetry = _telemetry_run(args, problem)
@@ -385,13 +417,256 @@ def cmd_trace(args: argparse.Namespace) -> int:
         if kinds is None or event.kind in kinds
     ]
 
-    target = args.output if args.output is not None else sys.stdout
-    out = JsonlSink(target) if args.format == "jsonl" else CsvSink(target)
-    for event in events:
-        out.emit(event)
-    out.close()
+    if args.gzip:
+        import gzip as _gzip
+
+        with _gzip.open(args.output, "wt", encoding="utf-8") as stream:
+            out = JsonlSink(stream)
+            for event in events:
+                out.emit(event)
+            out.close()
+    else:
+        target = args.output if args.output is not None else sys.stdout
+        out = JsonlSink(target) if args.format == "jsonl" else CsvSink(target)
+        for event in events:
+            out.emit(event)
+        out.close()
     if args.output is not None:
         print(f"{len(events)} event(s) written to {args.output}")
+    return 0
+
+
+def _event_time(event: object) -> float | None:
+    """Simulated time of an event, if it carries one (v2 captures)."""
+    at = getattr(event, "at", None)
+    if at is not None:
+        return float(at)
+    stamp = getattr(event, "stamp", None)
+    return float(stamp) if stamp is not None else None
+
+
+def _render_event_line(event: object) -> str:
+    """One compact human line per event (the ``trace show`` format)."""
+    kind = getattr(event, "kind", "?")
+    at = _event_time(event)
+    clock = f"{at:10.3f}" if at is not None else " " * 10
+    from repro.obs import (
+        AgentExchangeEvent,
+        AgentRestartedEvent,
+        FaultInjectedEvent,
+        IterationEvent,
+        MessageEvent,
+        PriceUpdateEvent,
+    )
+
+    if isinstance(event, IterationEvent):
+        detail = f"#{event.iteration} utility={event.utility:,.2f}"
+    elif isinstance(event, MessageEvent):
+        detail = f"{event.sender} -> {event.recipient} {event.payload}"
+        if event.latency is not None:
+            detail += f" latency={event.latency:.3f}"
+        if event.span_id is not None:
+            detail += f" span={event.span_id}"
+    elif isinstance(event, AgentExchangeEvent):
+        detail = f"{event.agent} sent={event.sent}"
+        if event.span_id is not None:
+            detail += f" span={event.span_id}"
+    elif isinstance(event, PriceUpdateEvent):
+        detail = (
+            f"{event.resource_kind}:{event.resource} "
+            f"{event.old_price:.6f} -> {event.new_price:.6f} [{event.branch}]"
+        )
+    elif isinstance(event, FaultInjectedEvent):
+        detail = f"{event.fault} {event.target}"
+    elif isinstance(event, AgentRestartedEvent):
+        mode = "checkpoint" if event.from_checkpoint else "cold"
+        detail = f"{event.agent} down={event.downtime:.2f} ({mode})"
+    else:
+        flat = {
+            key: value
+            for key, value in event.flatten().items()  # type: ignore[attr-defined]
+            if key not in ("type", "t_ns")
+        }
+        detail = " ".join(f"{key}={value}" for key, value in flat.items())
+    return f"{clock}  {kind:<15} {detail}"
+
+
+def _follow_lines(path: str, idle_timeout: float) -> "Iterator[str]":
+    """Tail a capture file: yield complete lines as they are appended.
+
+    Stops after ``idle_timeout`` seconds with no new data — a capture
+    that stopped growing is finished, and the CLI should exit rather
+    than hang forever.
+    """
+    import time as _time
+
+    from repro.obs import open_trace
+
+    poll = 0.1
+    with open_trace(path) as stream:
+        buffer = ""
+        idle = 0.0
+        while True:
+            chunk = stream.readline()
+            if chunk:
+                buffer += chunk
+                if buffer.endswith("\n"):
+                    yield buffer
+                    buffer = ""
+                idle = 0.0
+                continue
+            if idle >= idle_timeout:
+                if buffer.strip():
+                    yield buffer
+                return
+            _time.sleep(poll)
+            idle += poll
+
+
+def cmd_trace_show(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import event_from_dict, open_trace
+
+    kinds = _parse_kinds(args.type)
+    if not Path(args.file).is_file():
+        raise SystemExit(f"no such capture: {args.file}")
+
+    def matches(event: object) -> bool:
+        if kinds is not None and getattr(event, "kind", None) not in kinds:
+            return False
+        if args.since is not None:
+            at = _event_time(event)
+            # --since filters on simulated time; untimed events (v1
+            # captures, reference driver) carry none and are dropped.
+            if at is None or at < args.since:
+                return False
+        return True
+
+    if args.follow:
+        lines: "Iterator[str]" = _follow_lines(args.file, args.idle_timeout)
+    else:
+        with open_trace(args.file) as stream:
+            lines = iter(stream.readlines())
+
+    shown = 0
+    dashboard_events: "list[TraceEvent]" = []
+    for line in lines:
+        text = line.strip()
+        if not text:
+            continue
+        event = event_from_dict(_json.loads(text))
+        if not matches(event):
+            continue
+        shown += 1
+        if args.dashboard:
+            dashboard_events.append(event)
+            if shown % args.refresh_every == 0:
+                _render_dashboard_frame(dashboard_events)
+        else:
+            print(_render_event_line(event))
+    if args.dashboard:
+        _render_dashboard_frame(dashboard_events, final=True)
+    elif shown == 0:
+        print("(no matching events)")
+    return 0
+
+
+def _render_dashboard_frame(
+    events: "list[TraceEvent]", final: bool = False
+) -> None:
+    """One frame of the live summary (clears screen on a real TTY)."""
+    from repro.obs import ReplayEngine, render_state
+
+    state = ReplayEngine(events).final()
+    if sys.stdout.isatty():
+        print("\x1b[2J\x1b[H", end="")
+    header = "final" if final else "live"
+    print(f"--- trace dashboard ({header}, {len(events)} event(s)) ---")
+    print(render_state(state, total_events=len(events)))
+    sys.stdout.flush()
+
+
+def cmd_trace_causal(args: argparse.Namespace) -> int:
+    from repro.obs import CausalGraph, read_jsonl, render_causal_report
+
+    if not Path(args.file).is_file():
+        raise SystemExit(f"no such capture: {args.file}")
+    graph = CausalGraph(read_jsonl(args.file))
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(graph.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_causal_report(graph, max_hops=args.max_hops))
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.obs import ReplayEngine, ReplayError, read_jsonl, render_state
+
+    if not Path(args.file).is_file():
+        raise SystemExit(f"no such capture: {args.file}")
+    engine = ReplayEngine(read_jsonl(args.file))
+    try:
+        state = engine.final() if args.at is None else engine.seek(args.at)
+    except ReplayError as error:
+        raise SystemExit(str(error)) from error
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(state.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_state(state, total_events=len(engine)))
+    return 0
+
+
+def cmd_bench_snapshot(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.bench import consolidate
+
+    directory = Path(args.results_dir)
+    if not directory.is_dir():
+        raise SystemExit(f"no such results directory: {args.results_dir}")
+    snapshot = consolidate(directory)
+    output = Path(args.output) if args.output else directory / "BENCH_trajectory.json"
+    output.write_text(_json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(
+        f"trajectory snapshot: {len(snapshot['metrics'])} metric(s) from "
+        f"suite(s) {', '.join(snapshot['suites']) or '(none)'} "
+        f"written to {output}"
+    )
+    if snapshot["skipped"]:
+        print(f"skipped unparseable: {', '.join(snapshot['skipped'])}")
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.bench import compare_snapshots, render_comparison
+
+    payloads = []
+    for path in (args.old, args.new):
+        if not Path(path).is_file():
+            raise SystemExit(f"no such snapshot: {path}")
+        try:
+            payloads.append(_json.loads(Path(path).read_text(encoding="utf-8")))
+        except ValueError as error:
+            raise SystemExit(f"unparseable snapshot {path}: {error}") from error
+    try:
+        comparison = compare_snapshots(
+            payloads[0], payloads[1], threshold=args.threshold
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+    if args.json:
+        print(_json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_comparison(comparison))
+    if args.strict and comparison.regressions:
+        return 1
     return 0
 
 
@@ -642,31 +917,147 @@ def build_parser() -> argparse.ArgumentParser:
     stats.set_defaults(func=cmd_stats)
 
     trace = sub.add_parser(
-        "trace", help="capture the structured event stream of a run"
+        "trace",
+        help="capture, inspect and causally analyze event streams",
     )
-    trace.add_argument("workload", help="builtin name or problem JSON path")
-    trace.add_argument("--iterations", type=int, default=100,
-                       help="iterations (reference/sync) or time units (async)")
-    trace.add_argument(
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_run = trace_sub.add_parser(
+        "run", help="capture the structured event stream of a run"
+    )
+    trace_run.add_argument("workload", help="builtin name or problem JSON path")
+    trace_run.add_argument(
+        "--iterations", type=int, default=100,
+        help="iterations (reference/sync) or time units (async)",
+    )
+    trace_run.add_argument(
         "--engine", choices=["reference", "sync", "async"], default="reference",
         help="which engine to instrument (default: reference driver)",
     )
-    trace.add_argument(
+    trace_run.add_argument(
         "--format", choices=["jsonl", "csv"], default="jsonl",
         help="jsonl is lossless; csv flattens to columns (default: jsonl)",
     )
-    trace.add_argument(
+    trace_run.add_argument(
         "--events", metavar="KINDS", default=None,
         help="comma-separated event kinds to keep (default: all)",
     )
-    trace.add_argument(
+    trace_run.add_argument(
         "--snapshots", action="store_true",
         help="include full per-iteration state in iteration events "
         "(reference engine only)",
     )
-    trace.add_argument("-o", "--output", metavar="FILE",
-                       help="write here instead of stdout")
-    trace.set_defaults(func=cmd_trace)
+    trace_run.add_argument(
+        "--gzip", action="store_true",
+        help="gzip-compress the JSONL capture (requires -o; readers "
+        "detect compression by content, any filename works)",
+    )
+    trace_run.add_argument("-o", "--output", metavar="FILE",
+                           help="write here instead of stdout")
+    trace_run.set_defaults(func=cmd_trace_run)
+
+    trace_show = trace_sub.add_parser(
+        "show", help="pretty-print a JSONL capture (plain or gzipped)"
+    )
+    trace_show.add_argument("file", help="JSONL capture path")
+    trace_show.add_argument(
+        "--type", metavar="KINDS", default=None,
+        help="comma-separated event kinds to show (default: all)",
+    )
+    trace_show.add_argument(
+        "--since", type=float, default=None, metavar="T",
+        help="only events with simulated time >= T (untimed events are "
+        "dropped when set)",
+    )
+    trace_show.add_argument(
+        "--follow", action="store_true",
+        help="keep tailing the file as it grows (exits after "
+        "--idle-timeout seconds without new events)",
+    )
+    trace_show.add_argument(
+        "--idle-timeout", type=float, default=2.0, metavar="SECONDS",
+        help="--follow exit condition (default: 2.0)",
+    )
+    trace_show.add_argument(
+        "--dashboard", action="store_true",
+        help="live-updating replay summary instead of per-event lines",
+    )
+    trace_show.add_argument(
+        "--refresh-every", type=int, default=200, metavar="N",
+        help="dashboard refresh interval in events (default: 200)",
+    )
+    trace_show.set_defaults(func=cmd_trace_show)
+
+    trace_causal = trace_sub.add_parser(
+        "causal",
+        help="causal graph of a capture: critical path + blame attribution",
+    )
+    trace_causal.add_argument("file", help="JSONL capture path")
+    trace_causal.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable causal report",
+    )
+    trace_causal.add_argument(
+        "--max-hops", type=int, default=20, metavar="N",
+        help="critical-path hops to print (default: last 20)",
+    )
+    trace_causal.set_defaults(func=cmd_trace_causal)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-materialize the deployed state at any event index "
+        "of a capture",
+    )
+    replay.add_argument("file", help="JSONL capture path (plain or gzipped)")
+    replay.add_argument(
+        "--at", type=int, default=None, metavar="INDEX",
+        help="stop after the first INDEX events (negative counts from "
+        "the end; default: apply the whole capture)",
+    )
+    replay.add_argument(
+        "--json", action="store_true",
+        help="print the state as JSON",
+    )
+    replay.set_defaults(func=cmd_replay)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark trajectory snapshots and regression diffs"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_snapshot = bench_sub.add_parser(
+        "snapshot",
+        help="consolidate BENCH_*.json artifacts into one trajectory "
+        "snapshot",
+    )
+    bench_snapshot.add_argument(
+        "--results-dir", default="benchmarks/results", metavar="DIR",
+        help="directory holding BENCH_*.json (default: benchmarks/results)",
+    )
+    bench_snapshot.add_argument(
+        "-o", "--output", metavar="FILE", default=None,
+        help="snapshot path (default: DIR/BENCH_trajectory.json)",
+    )
+    bench_snapshot.set_defaults(func=cmd_bench_snapshot)
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="diff two snapshots, flagging metric regressions"
+    )
+    bench_compare.add_argument("old", help="baseline snapshot JSON")
+    bench_compare.add_argument("new", help="candidate snapshot JSON")
+    bench_compare.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRACTION",
+        help="relative movement flagged as a change (default: 0.10)",
+    )
+    bench_compare.add_argument(
+        "--json", action="store_true", help="machine-readable diff"
+    )
+    bench_compare.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any regression is flagged (CI runs without "
+        "this: the watchdog reports, humans decide)",
+    )
+    bench_compare.set_defaults(func=cmd_bench_compare)
 
     chaos = sub.add_parser(
         "chaos",
@@ -733,8 +1124,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: ``trace`` grew subcommands in PR 5; the bare historical form
+#: ``repro trace <workload> ...`` still works via this shim.
+_TRACE_SUBCOMMANDS = frozenset({"run", "show", "causal"})
+
+
+def _normalize_argv(argv: list[str]) -> list[str]:
+    """Insert the implied ``run`` into pre-PR-5 ``trace`` invocations."""
+    if (
+        len(argv) >= 2
+        and argv[0] == "trace"
+        and argv[1] not in _TRACE_SUBCOMMANDS
+        and not argv[1].startswith("-")
+    ):
+        return [argv[0], "run", *argv[1:]]
+    return argv
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    args = build_parser().parse_args(_normalize_argv(list(argv)))
     try:
         return args.func(args)
     except BrokenPipeError:

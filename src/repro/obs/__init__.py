@@ -13,12 +13,35 @@ runtimes and the event simulator (see docs/observability.md):
 * :class:`ConvergenceDiagnostics` — oscillation counts, constraint
   residuals, utility-gap-to-bound and time-to-tolerance from a captured
   event stream;
+* causal tracing (:mod:`repro.obs.causal`) — span context propagated by
+  the runtimes, plus the :class:`CausalGraph` critical-path / blame
+  analysis over any capture;
+* deterministic trace replay (:mod:`repro.obs.replay`) — re-materialize
+  the deployed state at any event index of a schema-v2 JSONL capture;
+* benchmark trajectory + regression watchdog (:mod:`repro.obs.bench`);
 * Prometheus-text and JSON snapshot exporters.
 
 This package imports nothing from ``repro.core`` / ``repro.runtime`` /
 ``repro.events`` — it is the layer those packages sit on.
 """
 
+from repro.obs.bench import (
+    BenchComparison,
+    MetricDelta,
+    compare_snapshots,
+    consolidate,
+    render_comparison,
+)
+from repro.obs.causal import (
+    ActivationSpan,
+    CausalContext,
+    CausalGraph,
+    CriticalHop,
+    CriticalPath,
+    ResourceBlame,
+    Span,
+    render_causal_report,
+)
 from repro.obs.diagnostics import (
     ConvergenceDiagnostics,
     DiagnosticsReport,
@@ -29,6 +52,7 @@ from repro.obs.diagnostics import (
 )
 from repro.obs.events import (
     EVENT_TYPES,
+    TRACE_SCHEMA_VERSION,
     AdmissionEvent,
     AgentExchangeEvent,
     AgentRestartedEvent,
@@ -63,6 +87,7 @@ from repro.obs.registry import (
     NullRegistry,
     Timer,
 )
+from repro.obs.replay import ReplayEngine, ReplayError, ReplayState, render_state
 from repro.obs.sinks import (
     NULL_SINK,
     CsvSink,
@@ -71,6 +96,7 @@ from repro.obs.sinks import (
     NullSink,
     TraceSink,
     format_cell,
+    open_trace,
     read_jsonl,
     render_csv,
 )
@@ -83,11 +109,18 @@ __all__ = [
     "NULL_TELEMETRY",
     "DEFAULT_TIME_BUCKETS",
     "DEFAULT_VALUE_BUCKETS",
+    "TRACE_SCHEMA_VERSION",
+    "ActivationSpan",
     "AdmissionEvent",
     "AgentExchangeEvent",
     "AgentRestartedEvent",
+    "BenchComparison",
+    "CausalContext",
+    "CausalGraph",
     "ConvergenceDiagnostics",
     "Counter",
+    "CriticalHop",
+    "CriticalPath",
     "CsvSink",
     "DiagnosticsReport",
     "FaultInjectedEvent",
@@ -99,6 +132,7 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "MessageEvent",
+    "MetricDelta",
     "MetricsError",
     "MetricsRegistry",
     "MetricsSnapshot",
@@ -106,21 +140,31 @@ __all__ = [
     "NullSink",
     "PriceProbe",
     "PriceUpdateEvent",
+    "ReplayEngine",
+    "ReplayError",
+    "ReplayState",
+    "ResourceBlame",
     "ResourceDiagnostics",
+    "Span",
     "Telemetry",
     "Timer",
     "TraceEvent",
     "TraceEventError",
     "TraceSink",
+    "compare_snapshots",
+    "consolidate",
     "count_oscillations",
     "diagnostics_to_dict",
     "event_from_dict",
     "format_cell",
     "now_ns",
+    "open_trace",
     "read_jsonl",
+    "render_causal_report",
     "render_csv",
     "render_diagnostics",
     "render_metrics",
+    "render_state",
     "sanitize_metric_name",
     "snapshot_to_dict",
     "to_json",

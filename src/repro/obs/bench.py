@@ -1,0 +1,280 @@
+"""``repro.obs.bench`` — benchmark trajectory artifact + regression watchdog.
+
+The perf suites under ``benchmarks/`` each archive a ``BENCH_*.json``
+with their raw numbers (engine speedups, telemetry overhead, fault
+recovery).  This module consolidates those per-suite artifacts into one
+flat *trajectory* snapshot — ``{"metrics": {"engines.workloads.3.speedup":
+3.72, ...}}`` — and diffs two snapshots, flagging metric movements past a
+threshold as regressions or improvements.
+
+Direction is inferred from the metric name: latencies/overheads
+(``*_ns``, ``*overhead*``, ``*time*``...) regress when they go *up*,
+speedups/retention regress when they go *down*, and metrics with no
+recognizable direction are reported as neutral ``changes`` (never
+regressions — a watchdog that cries wolf on renamed counters gets
+deleted from CI within a month).
+
+CLI surface: ``repro bench snapshot`` writes the trajectory artifact,
+``repro bench compare <old> <new>`` reports the diff (CI runs it as a
+non-blocking step; ``--strict`` turns regressions into a failing exit).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.utility.tolerance import is_zero
+
+__all__ = [
+    "BenchComparison",
+    "MetricDelta",
+    "collect_metrics",
+    "compare_snapshots",
+    "consolidate",
+    "metric_direction",
+    "render_comparison",
+]
+
+#: Default movement (relative) past which a metric is flagged.
+DEFAULT_THRESHOLD = 0.10
+
+#: Substrings marking a metric where *up is worse* (latency-like)...
+_LOWER_IS_BETTER = ("_ns", "overhead", "time", "lost", "stale", "downtime")
+#: ...and where *down is worse* (throughput-like).
+_HIGHER_IS_BETTER = ("speedup", "retention", "utility", "throughput")
+
+
+def metric_direction(name: str) -> str:
+    """``"lower"`` | ``"higher"`` (is better) | ``"neutral"``.
+
+    The last path segment decides, so ``faults.single_crash.cold.
+    recovery_time`` is latency-like even though the prefix is not.
+    """
+    leaf = name.rsplit(".", 1)[-1].lower()
+    if any(tag in leaf for tag in _LOWER_IS_BETTER):
+        return "lower"
+    if any(tag in leaf for tag in _HIGHER_IS_BETTER):
+        return "higher"
+    return "neutral"
+
+
+def collect_metrics(payload: Any, prefix: str = "") -> dict[str, float]:
+    """Flatten every finite numeric leaf of a JSON payload.
+
+    Keys join with ``.``; list elements use their index.  Booleans and
+    non-finite floats are skipped — they are flags and sentinels, not
+    performance metrics.
+    """
+    metrics: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            metrics.update(collect_metrics(value, path))
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            path = f"{prefix}.{index}" if prefix else str(index)
+            metrics.update(collect_metrics(value, path))
+    elif isinstance(payload, bool):
+        pass
+    elif isinstance(payload, (int, float)):
+        value = float(payload)
+        if math.isfinite(value):
+            metrics[prefix] = value
+    return metrics
+
+
+def consolidate(results_dir: str | Path) -> dict[str, Any]:
+    """Merge every ``BENCH_*.json`` under ``results_dir`` into one snapshot.
+
+    Metric names are prefixed with the suite name (``BENCH_engines.json``
+    -> ``engines.``).  Unparseable artifacts are reported in ``skipped``
+    instead of aborting the snapshot — one corrupt suite must not cost
+    the trajectory of the others.
+    """
+    directory = Path(results_dir)
+    metrics: dict[str, float] = {}
+    suites: list[str] = []
+    skipped: list[str] = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        suite = path.stem.removeprefix("BENCH_")
+        if suite == "trajectory":
+            continue  # never fold a snapshot into itself
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            skipped.append(path.name)
+            continue
+        suites.append(suite)
+        metrics.update(collect_metrics(payload, suite))
+    return {
+        "version": 1,
+        "suites": suites,
+        "skipped": skipped,
+        "metrics": {name: metrics[name] for name in sorted(metrics)},
+    }
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between two snapshots."""
+
+    name: str
+    old: float
+    new: float
+    #: Relative change ``(new - old) / |old|``; ``inf`` when old == 0.
+    change: float
+    direction: str  # "lower" | "higher" | "neutral"
+
+    @property
+    def is_regression(self) -> bool:
+        if self.direction == "lower":
+            return self.change > 0.0
+        if self.direction == "higher":
+            return self.change < 0.0
+        return False
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Diff of two trajectory snapshots at one threshold."""
+
+    threshold: float
+    regressions: tuple[MetricDelta, ...]
+    improvements: tuple[MetricDelta, ...]
+    changes: tuple[MetricDelta, ...]  # neutral-direction movements
+    stable: int
+    missing: tuple[str, ...]  # in old only
+    added: tuple[str, ...]  # in new only
+
+    def to_dict(self) -> dict[str, Any]:
+        def rows(deltas: tuple[MetricDelta, ...]) -> list[dict[str, Any]]:
+            return [
+                {
+                    "metric": delta.name,
+                    "old": delta.old,
+                    "new": delta.new,
+                    "change": delta.change,
+                    "direction": delta.direction,
+                }
+                for delta in deltas
+            ]
+
+        return {
+            "threshold": self.threshold,
+            "regressions": rows(self.regressions),
+            "improvements": rows(self.improvements),
+            "changes": rows(self.changes),
+            "stable": self.stable,
+            "missing": list(self.missing),
+            "added": list(self.added),
+        }
+
+
+def _metrics_of(snapshot: dict[str, Any]) -> dict[str, float]:
+    metrics = snapshot.get("metrics")
+    if not isinstance(metrics, dict):
+        # A raw BENCH_*.json handed directly to compare: flatten it.
+        return collect_metrics(snapshot)
+    return {
+        str(name): float(value)
+        for name, value in metrics.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
+def compare_snapshots(
+    old: dict[str, Any],
+    new: dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BenchComparison:
+    """Diff two snapshots (trajectory form, or raw ``BENCH_*`` payloads)."""
+    if threshold <= 0.0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    old_metrics = _metrics_of(old)
+    new_metrics = _metrics_of(new)
+    regressions: list[MetricDelta] = []
+    improvements: list[MetricDelta] = []
+    changes: list[MetricDelta] = []
+    stable = 0
+    for name in sorted(set(old_metrics) & set(new_metrics)):
+        before, after = old_metrics[name], new_metrics[name]
+        if before == after:
+            stable += 1
+            continue
+        change = (
+            math.inf if is_zero(before) else (after - before) / abs(before)
+        )
+        if abs(change) <= threshold:
+            stable += 1
+            continue
+        delta = MetricDelta(
+            name=name,
+            old=before,
+            new=after,
+            change=change,
+            direction=metric_direction(name),
+        )
+        if delta.is_regression:
+            regressions.append(delta)
+        elif delta.direction == "neutral":
+            changes.append(delta)
+        else:
+            improvements.append(delta)
+    regressions.sort(key=lambda delta: -abs(delta.change))
+    improvements.sort(key=lambda delta: -abs(delta.change))
+    changes.sort(key=lambda delta: -abs(delta.change))
+    return BenchComparison(
+        threshold=threshold,
+        regressions=tuple(regressions),
+        improvements=tuple(improvements),
+        changes=tuple(changes),
+        stable=stable,
+        missing=tuple(sorted(set(old_metrics) - set(new_metrics))),
+        added=tuple(sorted(set(new_metrics) - set(old_metrics))),
+    )
+
+
+def _format_change(change: float) -> str:
+    return "new-from-zero" if math.isinf(change) else f"{change:+.1%}"
+
+
+def render_comparison(comparison: BenchComparison) -> str:
+    """Human-readable diff (the ``repro bench compare`` output)."""
+    lines = [
+        f"benchmark comparison (threshold {comparison.threshold:.0%}): "
+        f"{len(comparison.regressions)} regression(s), "
+        f"{len(comparison.improvements)} improvement(s), "
+        f"{len(comparison.changes)} neutral change(s), "
+        f"{comparison.stable} stable"
+    ]
+    for title, deltas in (
+        ("regressions", comparison.regressions),
+        ("improvements", comparison.improvements),
+        ("changes", comparison.changes),
+    ):
+        if not deltas:
+            continue
+        lines.append(f"{title}:")
+        for delta in deltas:
+            arrow = "worse" if delta.is_regression else (
+                "better" if delta.direction != "neutral" else "moved"
+            )
+            lines.append(
+                f"  {delta.name}: {delta.old:g} -> {delta.new:g} "
+                f"({_format_change(delta.change)}, {arrow})"
+            )
+    if comparison.missing:
+        lines.append(
+            f"missing in new: {', '.join(comparison.missing[:10])}"
+            + (" ..." if len(comparison.missing) > 10 else "")
+        )
+    if comparison.added:
+        lines.append(
+            f"added in new: {', '.join(comparison.added[:10])}"
+            + (" ..." if len(comparison.added) > 10 else "")
+        )
+    return "\n".join(lines)

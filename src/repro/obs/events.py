@@ -20,6 +20,19 @@ can order and interval-time them without trusting wall clocks.  They
 serialize losslessly through ``to_dict`` / :func:`event_from_dict` (the
 JSONL sink round-trips every type bit-for-bit) and flatten to stable
 column names for the CSV sink via ``flatten``.
+
+Schema versions (:data:`TRACE_SCHEMA_VERSION`):
+
+* **v1** (PR 2/PR 4) — the base event vocabulary above.
+* **v2** (PR 5) — adds *optional* causal-tracing context
+  (``trace_id``/``span_id``/``parent_span_id`` on ``message`` and
+  ``agent_exchange``), simulated-time stamps (``at`` on ``iteration``
+  and ``message``) and the deployed-state payloads the replay engine
+  consumes (``rate``/``price``/``populations`` on ``agent_exchange``
+  and ``agent_restarted``).  Every new field defaults to ``None``, so
+  :func:`event_from_dict` still parses any v1 JSONL capture, and v1
+  readers that ignore unknown keys keep working on the flat CSV form
+  (optional fields are flattened only when present).
 """
 
 from __future__ import annotations
@@ -27,6 +40,11 @@ from __future__ import annotations
 import time
 from dataclasses import asdict, dataclass, fields
 from typing import Any, ClassVar, Union
+
+#: Version of the trace event schema written by :class:`JsonlSink`
+#: captures.  Bumped to 2 by the causal-tracing fields; v1 captures
+#: (without them) parse unchanged — see the module docstring.
+TRACE_SCHEMA_VERSION = 2
 
 
 def now_ns() -> int:
@@ -44,6 +62,10 @@ class _Event:
 
     kind: ClassVar[str] = ""
 
+    #: v2 optional fields: flattened only when present, so pre-causal CSV
+    #: column sets (and the pinned ``core.trace`` header) stay stable.
+    _OPTIONAL: ClassVar[tuple[str, ...]] = ()
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable payload; ``type`` carries the kind tag."""
         payload: dict[str, Any] = {"type": self.kind}
@@ -55,10 +77,13 @@ class _Event:
 
         Nested mappings become ``field:key`` columns; subclasses override
         to pin documented column names (see :class:`IterationEvent`).
+        Fields listed in ``_OPTIONAL`` are omitted while ``None``.
         """
         flat: dict[str, Any] = {"type": self.kind}
         for spec in fields(self):
             value = getattr(self, spec.name)
+            if value is None and spec.name in self._OPTIONAL:
+                continue
             if isinstance(value, dict):
                 for key, item in value.items():
                     flat[f"{spec.name}:{key}"] = item
@@ -87,6 +112,9 @@ class IterationEvent(_Event):
     link_prices: dict[str, float] | None = None
     gammas: dict[str, float] | None = None
     slack: dict[str, float] | None = None
+    #: Simulated/engine time of the sample (async runtime clock, rounds
+    #: for the synchronous runtime); ``None`` for the reference driver.
+    at: float | None = None
 
     #: CSV column prefixes, matching the documented ``core.trace`` order.
     _PREFIXES: ClassVar[tuple[tuple[str, str], ...]] = (
@@ -105,6 +133,8 @@ class IterationEvent(_Event):
             "utility": self.utility,
             "t_ns": self.t_ns,
         }
+        if self.at is not None:
+            flat["at"] = self.at
         for field_name, prefix in self._PREFIXES:
             mapping = getattr(self, field_name)
             for key, value in (mapping or {}).items():
@@ -170,28 +200,73 @@ class MessageEvent(_Event):
     ``latency`` is in the emitting engine's time base: simulated time for
     the asynchronous runtime and the event simulator, ``None`` for the
     synchronous runtime's instantaneous barrier delivery.
+
+    The v2 causal fields mirror the context carried by the message
+    itself (:class:`repro.runtime.messages.Message`): ``span_id`` is the
+    message's own span, ``parent_span_id`` the emitting activation span,
+    and ``at`` the simulated delivery time.  All ``None`` when the
+    emitter runs without causal tracing (v1 captures, event simulator).
     """
 
     kind: ClassVar[str] = "message"
+
+    _OPTIONAL: ClassVar[tuple[str, ...]] = (
+        "at",
+        "trace_id",
+        "span_id",
+        "parent_span_id",
+    )
 
     sender: str
     recipient: str
     payload: str
     t_ns: int
     latency: float | None = None
+    at: float | None = None
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_span_id: str | None = None
 
 
 @dataclass(frozen=True)
 class AgentExchangeEvent(_Event):
-    """One agent activation: who acted, in which role, how much it sent."""
+    """One agent activation: who acted, in which role, how much it sent.
+
+    v2 adds two optional payload groups:
+
+    * **causal context** — ``span_id`` is the activation span allocated
+      by the runtime's :class:`~repro.obs.causal.CausalContext`;
+      ``parent_span_id`` the span of the last message whose delivery fed
+      this agent's state (the recorded causal parent; the graph builder
+      recovers the full join from delivery order).
+    * **deployed state** — the agent-local state *after* this activation
+      (``rate`` for sources, ``price`` for node/link agents,
+      ``populations`` for node agents), which is exactly what the replay
+      engine needs to re-materialize global state at any event index.
+    """
 
     kind: ClassVar[str] = "agent_exchange"
+
+    _OPTIONAL: ClassVar[tuple[str, ...]] = (
+        "trace_id",
+        "span_id",
+        "parent_span_id",
+        "rate",
+        "price",
+        "populations",
+    )
 
     agent: str
     role: str  # "source" | "node" | "link"
     sent: int
     stamp: float
     t_ns: int
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_span_id: str | None = None
+    rate: float | None = None
+    price: float | None = None
+    populations: dict[str, int] | None = None
 
 
 @dataclass(frozen=True)
@@ -218,15 +293,25 @@ class AgentRestartedEvent(_Event):
 
     ``downtime`` is simulated time spent down; ``from_checkpoint`` tells
     whether the agent resumed from its last checkpoint or from cold state.
+
+    v2 adds the restarted agent's *restored* local state (checkpointed or
+    cold), mirroring the ``agent_exchange`` payload: without it a trace
+    replay could not track state across a restart, because the restored
+    values come from a checkpoint that never appears in the event stream.
     """
 
     kind: ClassVar[str] = "agent_restarted"
+
+    _OPTIONAL: ClassVar[tuple[str, ...]] = ("rate", "price", "populations")
 
     agent: str
     at: float
     downtime: float
     from_checkpoint: bool
     t_ns: int
+    rate: float | None = None
+    price: float | None = None
+    populations: dict[str, int] | None = None
 
 
 TraceEvent = Union[

@@ -1,0 +1,279 @@
+"""``repro.obs.replay`` — deterministic trace replay (time-travel debugging).
+
+A v2 JSONL capture carries, event by event, every write into the
+deployed state: ``agent_exchange`` events record the emitting agent's
+post-activation state (rate / price / populations), ``agent_restarted``
+events the state a crashed agent was restored with, ``fault_injected``
+events which agents are down, and ``iteration`` events the sampled
+utility (plus full snapshots for reference-driver traces recorded with
+``--snapshots``).  Replaying is therefore a pure left-fold: apply the
+first *k* events and you hold exactly the global state the live run had
+at that point — bit-identical floats, no re-execution, no model access.
+
+That is the time-travel debugger for chaos runs: capture once with
+``repro trace run --engine async -o run.jsonl``, then seek anywhere with
+``repro replay run.jsonl --at K`` and inspect the rates, populations and
+prices the system was actually deploying the moment a fault landed.
+
+Fidelity contract: :meth:`ReplayEngine.state` mirrors the runtimes'
+``allocation()`` / price views at every event boundary, with one
+documented coarseness — an agent that never activated (or restarted)
+inside the captured window has no recorded state, so it is simply absent
+until its first event.  The integration tests pin bit-identical final
+state against live synchronous *and* fault-injected asynchronous runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.obs.events import (
+    AgentExchangeEvent,
+    AgentRestartedEvent,
+    FaultInjectedEvent,
+    IterationEvent,
+    MessageEvent,
+    TraceEvent,
+)
+
+__all__ = ["ReplayEngine", "ReplayError", "ReplayState", "render_state"]
+
+
+class ReplayError(ValueError):
+    """Raised on out-of-range seeks or unusable captures."""
+
+
+@dataclass(frozen=True)
+class ReplayState:
+    """Reconstructed global state after applying ``index`` events.
+
+    ``populations`` applies the same rule as the live runtimes'
+    ``allocation()``: classes hosted on a currently-crashed node agent
+    report 0 (their consumers are disconnected while the agent is down);
+    crashed sources keep their last deployed rate (the data plane keeps
+    forwarding — only the control agent died).
+    """
+
+    index: int
+    #: Latest simulated time observed (activation stamps, delivery and
+    #: fault times); 0.0 until any timed event appears.
+    time: float
+    utility: float | None
+    rates: dict[str, float]
+    populations: dict[str, int]
+    node_prices: dict[str, float]
+    link_prices: dict[str, float]
+    #: Agent addresses currently crashed.
+    down: frozenset[str]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "time": self.time,
+            "utility": self.utility,
+            "rates": dict(self.rates),
+            "populations": dict(self.populations),
+            "node_prices": dict(self.node_prices),
+            "link_prices": dict(self.link_prices),
+            "down": sorted(self.down),
+        }
+
+
+def _address_id(address: str, prefix: str) -> str | None:
+    """``"src:fa" -> "fa"`` for the matching prefix, else ``None``."""
+    head, _, tail = address.partition(":")
+    if head == prefix and tail:
+        return tail
+    return None
+
+
+class ReplayEngine:
+    """Left-fold over a captured event stream with random seek.
+
+    Events are materialized once; forward seeks apply incrementally,
+    backward seeks replay from the start (the fold is cheap — a few
+    dict writes per event — so a full rewind of even a chaos-length
+    capture is instantaneous next to re-running the simulation).
+    """
+
+    def __init__(self, events: Iterable[TraceEvent]) -> None:
+        self._events: list[TraceEvent] = list(events)
+        self._reset()
+
+    def _reset(self) -> None:
+        self._cursor = 0
+        self._time = 0.0
+        self._utility: float | None = None
+        self._rates: dict[str, float] = {}
+        self._populations: dict[str, int] = {}
+        self._node_prices: dict[str, float] = {}
+        self._link_prices: dict[str, float] = {}
+        self._down: set[str] = set()
+        #: class id -> hosting node agent address (learned from events).
+        self._owners: dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def cursor(self) -> int:
+        """Events applied so far."""
+        return self._cursor
+
+    # -- the fold -----------------------------------------------------------
+
+    def _touch_time(self, at: float | None) -> None:
+        if at is not None and at > self._time:
+            self._time = at
+
+    def _apply(self, event: TraceEvent) -> None:
+        if isinstance(event, AgentExchangeEvent):
+            self._touch_time(event.stamp)
+            self._apply_agent_state(
+                event.agent, event.rate, event.price, event.populations
+            )
+        elif isinstance(event, AgentRestartedEvent):
+            self._touch_time(event.at)
+            self._down.discard(event.agent)
+            self._apply_agent_state(
+                event.agent, event.rate, event.price, event.populations
+            )
+        elif isinstance(event, FaultInjectedEvent):
+            self._touch_time(event.at)
+            if event.fault == "crash":
+                self._down.add(event.target)
+        elif isinstance(event, IterationEvent):
+            self._touch_time(event.at)
+            self._utility = event.utility
+            # Reference-driver traces with --snapshots carry the whole
+            # state per iteration; fold it in wholesale.
+            if event.rates is not None:
+                self._rates.update(event.rates)
+            if event.populations is not None:
+                self._populations.update(event.populations)
+            if event.node_prices is not None:
+                self._node_prices.update(event.node_prices)
+            if event.link_prices is not None:
+                self._link_prices.update(event.link_prices)
+        elif isinstance(event, MessageEvent):
+            self._touch_time(event.at)
+
+    def _apply_agent_state(
+        self,
+        address: str,
+        rate: float | None,
+        price: float | None,
+        populations: dict[str, int] | None,
+    ) -> None:
+        flow_id = _address_id(address, "src")
+        if flow_id is not None and rate is not None:
+            self._rates[flow_id] = rate
+            return
+        node_id = _address_id(address, "node")
+        if node_id is not None:
+            if price is not None:
+                self._node_prices[node_id] = price
+            if populations is not None:
+                self._populations.update(populations)
+                for class_id in populations:
+                    self._owners[class_id] = address
+            return
+        link_id = _address_id(address, "link")
+        if link_id is not None and price is not None:
+            self._link_prices[link_id] = price
+
+    # -- seeking ------------------------------------------------------------
+
+    def step(self) -> ReplayState:
+        """Apply the next event; returns the state after it."""
+        if self._cursor >= len(self._events):
+            raise ReplayError(
+                f"capture exhausted after {len(self._events)} event(s)"
+            )
+        self._apply(self._events[self._cursor])
+        self._cursor += 1
+        return self.state()
+
+    def seek(self, index: int) -> ReplayState:
+        """State after the first ``index`` events (0 = nothing applied).
+
+        Negative indices count from the end, ``len(engine)`` (or ``-0``
+        via :meth:`final`) is the fully-applied capture.
+        """
+        if index < 0:
+            index += len(self._events)
+        if not 0 <= index <= len(self._events):
+            raise ReplayError(
+                f"event index {index} out of range for a capture of "
+                f"{len(self._events)} event(s)"
+            )
+        if index < self._cursor:
+            self._reset()
+        while self._cursor < index:
+            self._apply(self._events[self._cursor])
+            self._cursor += 1
+        return self.state()
+
+    def final(self) -> ReplayState:
+        """State with the whole capture applied."""
+        return self.seek(len(self._events))
+
+    def state(self) -> ReplayState:
+        """Snapshot of the current fold position."""
+        populations = {
+            class_id: (
+                0 if self._owners.get(class_id) in self._down else count
+            )
+            for class_id, count in self._populations.items()
+        }
+        return ReplayState(
+            index=self._cursor,
+            time=self._time,
+            utility=self._utility,
+            rates=dict(self._rates),
+            populations=populations,
+            node_prices=dict(self._node_prices),
+            link_prices=dict(self._link_prices),
+            down=frozenset(self._down),
+        )
+
+
+def render_state(state: ReplayState, total_events: int | None = None) -> str:
+    """Human-readable replay snapshot (the ``repro replay`` output)."""
+    position = (
+        f"{state.index}" if total_events is None
+        else f"{state.index}/{total_events}"
+    )
+    lines = [f"replayed:    {position} event(s), t={state.time:g}"]
+    if state.utility is not None:
+        lines.append(f"utility:     {state.utility:,.2f}")
+    if state.rates:
+        lines.append("rates:")
+        for flow_id in sorted(state.rates):
+            lines.append(f"  {flow_id}: {state.rates[flow_id]:.6f}")
+    if state.populations:
+        admitted = {
+            class_id: count
+            for class_id, count in sorted(state.populations.items())
+            if count
+        }
+        lines.append(
+            "populations: "
+            + (
+                ", ".join(f"{c}={n}" for c, n in admitted.items())
+                if admitted
+                else "(all zero)"
+            )
+        )
+    if state.node_prices:
+        lines.append("node prices:")
+        for node_id in sorted(state.node_prices):
+            lines.append(f"  {node_id}: {state.node_prices[node_id]:.6f}")
+    if state.link_prices:
+        lines.append("link prices:")
+        for link_id in sorted(state.link_prices):
+            lines.append(f"  {link_id}: {state.link_prices[link_id]:.6f}")
+    if state.down:
+        lines.append(f"down agents: {', '.join(sorted(state.down))}")
+    return "\n".join(lines)

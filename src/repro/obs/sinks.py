@@ -21,12 +21,13 @@ floats render with ``repr`` (lossless round-trip), ints with ``str``,
 from __future__ import annotations
 
 import csv
+import gzip
 import io
 import json
 from pathlib import Path
 from typing import IO, Any, Iterator, Protocol, runtime_checkable
 
-from repro.obs.events import TraceEvent, event_from_dict
+from repro.obs.events import TraceEvent, TraceEventError, event_from_dict
 
 
 @runtime_checkable
@@ -101,17 +102,49 @@ class _StreamSink:
 
 
 class JsonlSink(_StreamSink):
-    """One JSON object per event per line — the archival format."""
+    """One JSON object per event per line — the archival format.
+
+    Rejects non-finite floats (``NaN``/``inf``) at emit time: Python's
+    ``json`` would happily write them as bare ``NaN`` tokens, which are
+    not JSON and poison every downstream reader of the capture.  A
+    telemetry value that is not a number is a bug at the emitter — fail
+    there, not three tools later.
+    """
 
     def emit(self, event: TraceEvent) -> None:
-        self._stream.write(json.dumps(event.to_dict(), sort_keys=True))
+        try:
+            line = json.dumps(event.to_dict(), sort_keys=True, allow_nan=False)
+        except ValueError as error:
+            raise TraceEventError(
+                f"non-finite float in {event.kind!r} event; JSONL captures "
+                f"must be valid JSON: {error}"
+            ) from error
+        self._stream.write(line)
         self._stream.write("\n")
 
 
+def open_trace(path: str | Path) -> IO[str]:
+    """Open a JSONL capture for reading, transparently gunzipping.
+
+    Detection is by content, not extension: a gzip member always starts
+    with the magic bytes ``1f 8b``, so compressed captures work whatever
+    they are named (``trace.jsonl.gz``, ``trace.jsonl``, ...).
+    """
+    with open(path, "rb") as probe:
+        magic = probe.read(2)
+    if magic == b"\x1f\x8b":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, encoding="utf-8")
+
+
 def read_jsonl(source: str | Path | IO[str]) -> Iterator[TraceEvent]:
-    """Parse a JSONL trace back into typed events (blank lines skipped)."""
+    """Parse a JSONL trace back into typed events (blank lines skipped).
+
+    Paths may point at plain or gzip-compressed captures (see
+    :func:`open_trace`).
+    """
     if isinstance(source, (str, Path)):
-        with open(source, encoding="utf-8") as stream:
+        with open_trace(source) as stream:
             yield from read_jsonl(stream)
         return
     for line in source:

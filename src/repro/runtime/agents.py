@@ -31,6 +31,7 @@ from repro.core.prices import LinkPriceController, NodePriceController
 from repro.core.rate_allocation import allocate_rate
 from repro.model.entities import ClassId, FlowId, LinkId, NodeId
 from repro.model.problem import Problem
+from repro.obs.causal import ActivationSpan
 from repro.obs.events import AgentExchangeEvent, now_ns
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.utility.tolerance import is_zero
@@ -64,6 +65,10 @@ class Agent:
     def __init__(self, address: str, telemetry: Telemetry = NULL_TELEMETRY) -> None:
         self.address = address
         self.telemetry = telemetry
+        #: Causal span of the *current* activation, set by tracing engines
+        #: just before :meth:`act` (see ``repro.obs.causal``); ``None``
+        #: when the engine runs without causal tracing.
+        self.causal: ActivationSpan | None = None
 
     def receive(self, message: Message) -> None:
         raise NotImplementedError
@@ -86,10 +91,24 @@ class Agent:
         problem and configuration)."""
         raise NotImplementedError
 
-    def _record_activation(self, sent: int, stamp: float) -> None:
-        """Emit one ``agent_exchange`` event (no-op when disabled)."""
+    def _record_activation(
+        self,
+        sent: int,
+        stamp: float,
+        rate: float | None = None,
+        price: float | None = None,
+        populations: dict[ClassId, int] | None = None,
+    ) -> None:
+        """Emit one ``agent_exchange`` event (no-op when disabled).
+
+        ``rate``/``price``/``populations`` are the agent's post-activation
+        deployed state (the schema-v2 replay payload); ``populations`` is
+        passed by reference and copied only on the enabled path, so the
+        disabled path stays allocation-free.
+        """
         telemetry = self.telemetry
         if telemetry.enabled:
+            causal = self.causal
             telemetry.emit(
                 AgentExchangeEvent(
                     agent=self.address,
@@ -97,6 +116,16 @@ class Agent:
                     sent=sent,
                     stamp=stamp,
                     t_ns=now_ns(),
+                    trace_id=causal.trace_id if causal is not None else None,
+                    span_id=causal.span_id if causal is not None else None,
+                    parent_span_id=(
+                        causal.parent_span_id if causal is not None else None
+                    ),
+                    rate=rate,
+                    price=price,
+                    populations=(
+                        dict(populations) if populations is not None else None
+                    ),
                 )
             )
             telemetry.registry.counter(f"agents.activations.{self.role}").inc()
@@ -276,7 +305,7 @@ class SourceAgent(Agent):
                         rate=self.rate,
                     )
                 )
-        self._record_activation(len(messages), stamp)
+        self._record_activation(len(messages), stamp, rate=self.rate)
         return messages
 
     def snapshot(self) -> dict[str, object]:
@@ -390,7 +419,12 @@ class NodeAgent(Agent):
                         },
                     )
                 )
-        self._record_activation(len(messages), stamp)
+        self._record_activation(
+            len(messages),
+            stamp,
+            price=self._controller.price,
+            populations=self.populations,
+        )
         return messages
 
     def snapshot(self) -> dict[str, object]:
@@ -477,7 +511,7 @@ class LinkAgent(Agent):
             )
             for flow_id in problem.flows_on_link(self._link_id)
         ]
-        self._record_activation(len(messages), stamp)
+        self._record_activation(len(messages), stamp, price=self._controller.price)
         return messages
 
     def snapshot(self) -> dict[str, object]:

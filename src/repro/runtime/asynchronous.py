@@ -44,6 +44,7 @@ from repro.core.gamma import AdaptiveGamma, GammaSchedule
 from repro.events.reliability import RetryPolicy
 from repro.model.allocation import Allocation, total_utility
 from repro.model.problem import Problem
+from repro.obs.causal import CausalContext
 from repro.obs.events import (
     AgentRestartedEvent,
     FaultInjectedEvent,
@@ -140,11 +141,20 @@ class AsynchronousRuntime:
         telemetry: Telemetry = NULL_TELEMETRY,
         fault_plan: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
+        trace_id: str | None = None,
     ) -> None:
         self._problem = problem
         self._config = config or AsyncConfig()
         self._rng = random.Random(self._config.seed)
         self._telemetry = telemetry
+        # Causal tracing (schema v2): span ids are allocated sequentially
+        # in event order, which the seeded simulation makes deterministic.
+        # No context object exists at all when telemetry is off.
+        self._tracer = (
+            CausalContext(trace_id or f"async-{self._config.seed}")
+            if telemetry.enabled
+            else None
+        )
         self._plan = fault_plan
         self._retry = retry
         prototype = node_gamma if node_gamma is not None else AdaptiveGamma()
@@ -284,10 +294,21 @@ class AsynchronousRuntime:
 
     def _dispatch(self, messages: list[Message]) -> None:
         retry = self._retry
+        tracer = self._tracer
         for message in messages:
             seq = self._send_seq.get(message.sender, 0)
             self._send_seq[message.sender] = seq + 1
-            message = replace(message, seq=seq)
+            if tracer is not None:
+                span_id, parent = tracer.message_context(message.sender)
+                message = replace(
+                    message,
+                    seq=seq,
+                    trace_id=tracer.trace_id,
+                    span_id=span_id,
+                    parent_span_id=parent,
+                )
+            else:
+                message = replace(message, seq=seq)
             if retry is not None and isinstance(message, RateUpdate):
                 self._pending_acks[(message.sender, seq)] = message
                 self._schedule(
@@ -349,6 +370,8 @@ class AsynchronousRuntime:
             # restart event seeds a fresh activation chain.
             return
         agent = self._agents[address]
+        if self._tracer is not None:
+            agent.causal = self._tracer.begin_activation(address)
         self._dispatch(agent.act(self._now))
         self._schedule(self._now + self._next_period(), "activate", address)
 
@@ -381,6 +404,8 @@ class AsynchronousRuntime:
                 return
             self._last_seen[channel] = message.seq
         self._agents[message.recipient].receive(message)
+        if self._tracer is not None:
+            self._tracer.record_delivery(message.recipient, message.span_id)
         if telemetry.enabled:
             latency = self._now - message.stamp
             telemetry.emit(
@@ -390,6 +415,10 @@ class AsynchronousRuntime:
                     payload=type(message).__name__,
                     t_ns=now_ns(),
                     latency=latency,
+                    at=self._now,
+                    trace_id=message.trace_id,
+                    span_id=message.span_id,
+                    parent_span_id=message.parent_span_id,
                 )
             )
             telemetry.registry.histogram("runtime.async.latency").observe(latency)
@@ -420,7 +449,10 @@ class AsynchronousRuntime:
         if telemetry.enabled:
             telemetry.emit(
                 IterationEvent(
-                    iteration=len(self.samples), utility=utility, t_ns=now_ns()
+                    iteration=len(self.samples),
+                    utility=utility,
+                    t_ns=now_ns(),
+                    at=self._now,
                 )
             )
         self._resolve_recoveries(utility)
@@ -478,6 +510,18 @@ class AsynchronousRuntime:
         telemetry = self._telemetry
         telemetry.registry.counter("runtime.async.restarts").inc()
         if telemetry.enabled:
+            # The restored state comes from a checkpoint (or cold init)
+            # that never appears in the event stream, so the restart event
+            # must carry it — otherwise a trace replay loses track of the
+            # agent's deployed state across the crash.
+            rate = agent.rate if isinstance(agent, SourceAgent) else None
+            price: float | None = None
+            populations: dict[str, int] | None = None
+            if isinstance(agent, NodeAgent):
+                price = agent.price
+                populations = dict(agent.populations)
+            elif isinstance(agent, LinkAgent):
+                price = agent.price
             telemetry.emit(
                 AgentRestartedEvent(
                     agent=address,
@@ -485,6 +529,9 @@ class AsynchronousRuntime:
                     downtime=self._now - crash.at,
                     from_checkpoint=checkpoint is not None,
                     t_ns=now_ns(),
+                    rate=rate,
+                    price=price,
+                    populations=populations,
                 )
             )
         self._schedule(self._now, "activate", address)
@@ -577,6 +624,12 @@ class AsynchronousRuntime:
                 for class_id in node.populations:
                     populations.setdefault(class_id, 0)
         return Allocation(rates=rates, populations=populations)
+
+    def node_prices(self) -> dict[str, float]:
+        return {node.node_id: node.price for node in self._nodes}
+
+    def link_prices(self) -> dict[str, float]:
+        return {link.link_id: link.price for link in self._links}
 
     def utility(self) -> float:
         return total_utility(self._problem, self.allocation())

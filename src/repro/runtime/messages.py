@@ -40,6 +40,14 @@ class Message:
     #: (sender, message type) can reject both duplicates and stale
     #: reordered updates with one comparison.
     seq: int = -1
+    #: Causal-tracing context (schema v2), stamped by engines running with
+    #: telemetry on: the capture-wide trace id, this message's own span,
+    #: and the span of the sender activation that emitted it.  ``None``
+    #: when tracing is off — agents never read these fields, so the
+    #: protocol semantics are identical either way.
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_span_id: str | None = None
 
 
 @dataclass(frozen=True)

@@ -10,9 +10,12 @@ an integration test asserts trajectory equality.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.core.gamma import AdaptiveGamma, GammaSchedule
 from repro.model.allocation import Allocation, total_utility
 from repro.model.problem import Problem
+from repro.obs.causal import CausalContext
 from repro.obs.events import IterationEvent, MessageEvent, now_ns
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.runtime.agents import (
@@ -32,6 +35,12 @@ class SynchronousRuntime:
     threads through to every agent: rounds emit ``iteration`` events,
     deliveries ``message`` events (``latency=None`` — barrier delivery is
     instantaneous), agents their ``agent_exchange`` / price events.
+
+    When telemetry is enabled the runtime also threads a
+    :class:`~repro.obs.causal.CausalContext` through every activation and
+    message (schema v2), so captures support ``repro trace causal`` and
+    ``repro replay``.  ``trace_id`` names the capture; with telemetry off
+    no context object even exists — the no-op path is unchanged.
     """
 
     def __init__(
@@ -40,10 +49,14 @@ class SynchronousRuntime:
         node_gamma: GammaSchedule | None = None,
         link_gamma: float = 1e-4,
         telemetry: Telemetry = NULL_TELEMETRY,
+        trace_id: str | None = None,
     ) -> None:
         prototype = node_gamma if node_gamma is not None else AdaptiveGamma()
         self._problem = problem
         self._telemetry = telemetry
+        self._tracer = (
+            CausalContext(trace_id or "sync") if telemetry.enabled else None
+        )
         self._sources = [
             SourceAgent(problem, flow_id, telemetry=telemetry)
             for flow_id in sorted(problem.flows)
@@ -72,13 +85,36 @@ class SynchronousRuntime:
     def rounds(self) -> int:
         return self._round
 
-    def _deliver(self, messages: list[Message]) -> None:
+    def _activate(self, agent: Agent, stamp: float) -> list[Message]:
+        """Run one activation, stamping causal context when tracing."""
+        tracer = self._tracer
+        if tracer is None:
+            return agent.act(stamp)
+        agent.causal = tracer.begin_activation(agent.address)
+        messages = agent.act(stamp)
+        stamped: list[Message] = []
+        for message in messages:
+            span_id, parent = tracer.message_context(message.sender)
+            stamped.append(
+                replace(
+                    message,
+                    trace_id=tracer.trace_id,
+                    span_id=span_id,
+                    parent_span_id=parent,
+                )
+            )
+        return stamped
+
+    def _deliver(self, messages: list[Message], stamp: float) -> None:
         telemetry = self._telemetry
+        tracer = self._tracer
         for message in messages:
             recipient = self._agents.get(message.recipient)
             if recipient is None:
                 raise KeyError(f"message addressed to unknown agent {message.recipient}")
             recipient.receive(message)
+            if tracer is not None:
+                tracer.record_delivery(message.recipient, message.span_id)
             if telemetry.enabled:
                 telemetry.emit(
                     MessageEvent(
@@ -87,6 +123,10 @@ class SynchronousRuntime:
                         payload=type(message).__name__,
                         t_ns=now_ns(),
                         latency=None,
+                        at=stamp,
+                        trace_id=message.trace_id,
+                        span_id=message.span_id,
+                        parent_span_id=message.parent_span_id,
                     )
                 )
         self.messages_sent += len(messages)
@@ -99,15 +139,15 @@ class SynchronousRuntime:
             stamp = float(self._round)
             rate_messages: list[Message] = []
             for source in self._sources:
-                rate_messages.extend(source.act(stamp))
-            self._deliver(rate_messages)
+                rate_messages.extend(self._activate(source, stamp))
+            self._deliver(rate_messages, stamp)
 
             feedback: list[Message] = []
             for node in self._nodes:
-                feedback.extend(node.act(stamp))
+                feedback.extend(self._activate(node, stamp))
             for link in self._links:
-                feedback.extend(link.act(stamp))
-            self._deliver(feedback)
+                feedback.extend(self._activate(link, stamp))
+            self._deliver(feedback, stamp)
 
             self._round += 1
             utility = total_utility(self._problem, self.allocation())
@@ -117,7 +157,10 @@ class SynchronousRuntime:
         if telemetry.enabled:
             telemetry.emit(
                 IterationEvent(
-                    iteration=self._round, utility=utility, t_ns=now_ns()
+                    iteration=self._round,
+                    utility=utility,
+                    t_ns=now_ns(),
+                    at=float(self._round),
                 )
             )
         return utility

@@ -223,3 +223,54 @@ class TestR1CoversRuntimeFaults:
         assert module.is_file()
         findings = analyze_file(module, [RULES["R1"]()])
         assert findings == [], "\n" + render_human(findings)
+
+
+class TestRulesCoverCausalAndReplay:
+    """PR 5 pulled ``repro.obs.causal``/``repro.obs.replay`` into the
+    strict lane: R1's seeded-randomness discipline applies (span ids must
+    be deterministic — a tracer drawing entropy breaks replay), and R6's
+    full-annotation bar applies because both modules back CLI contracts
+    and run under mypy --strict in CI."""
+
+    REPO_ROOT = Path(__file__).resolve().parents[2]
+    MODULES = ("causal.py", "replay.py")
+
+    def test_unseeded_randomness_in_causal_layer_fires_r1(
+        self, tmp_path: Path
+    ) -> None:
+        target = tmp_path / "src/repro/obs/causal.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            "import random\n"
+            "\n"
+            "def allocate_span() -> str:\n"
+            "    return f's{random.getrandbits(32):08x}'\n",
+            encoding="utf-8",
+        )
+        findings = analyze_file(target, [RULES["R1"]()])
+        assert findings, "R1 must cover repro.obs.causal (no exemption)"
+        assert all(finding.rule_id == "R1" for finding in findings)
+
+    def test_unannotated_public_in_replay_layer_fires_r6(
+        self, tmp_path: Path
+    ) -> None:
+        target = tmp_path / "src/repro/obs/replay.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            "def seek(index):\n"
+            "    return index\n",
+            encoding="utf-8",
+        )
+        findings = analyze_file(target, [RULES["R6"]()])
+        assert findings, "R6 must scope repro.obs.replay"
+        assert all(finding.rule_id == "R6" for finding in findings)
+        assert "seek()" in findings[0].message
+
+    @pytest.mark.parametrize("filename", MODULES)
+    def test_shipping_modules_are_clean_under_r1_and_r6(
+        self, filename: str
+    ) -> None:
+        module = self.REPO_ROOT / "src" / "repro" / "obs" / filename
+        assert module.is_file()
+        findings = analyze_file(module, [RULES["R1"](), RULES["R6"]()])
+        assert findings == [], "\n" + render_human(findings)

@@ -1,0 +1,225 @@
+"""Tests for the benchmark trajectory artifact and regression watchdog."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.bench import (
+    DEFAULT_THRESHOLD,
+    collect_metrics,
+    compare_snapshots,
+    consolidate,
+    metric_direction,
+    render_comparison,
+)
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "observability.overhead_ratio",
+            "faults.single_crash.cold.recovery_time",
+            "engines.solve_ns",
+            "faults.storm.messages_lost",
+            "faults.storm.downtime",
+        ],
+    )
+    def test_latency_like_metrics_regress_upward(self, name):
+        assert metric_direction(name) == "lower"
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "engines.workloads.0.speedup",
+            "faults.chaos.retention",
+            "engines.base.utility",
+            "pipeline.throughput",
+        ],
+    )
+    def test_throughput_like_metrics_regress_downward(self, name):
+        assert metric_direction(name) == "higher"
+
+    def test_unrecognized_leaves_are_neutral(self):
+        assert metric_direction("engines.workloads.count") == "neutral"
+
+    def test_only_the_leaf_segment_decides(self):
+        # "time" in a prefix must not make the leaf latency-like.
+        assert metric_direction("time_series.bucket.count") == "neutral"
+
+
+class TestCollectMetrics:
+    def test_flattens_nested_payloads_with_dotted_paths(self):
+        payload = {"a": {"b": 1.5, "list": [2, {"c": 3}]}, "top": 4}
+        assert collect_metrics(payload) == {
+            "a.b": 1.5,
+            "a.list.0": 2.0,
+            "a.list.1.c": 3.0,
+            "top": 4.0,
+        }
+
+    def test_skips_bools_strings_and_non_finite(self):
+        payload = {"flag": True, "name": "x", "bad": math.inf, "ok": 1.0}
+        assert collect_metrics(payload) == {"ok": 1.0}
+
+
+class TestConsolidate:
+    def test_merges_suites_with_prefixes(self, tmp_path):
+        (tmp_path / "BENCH_engines.json").write_text(
+            json.dumps({"speedup": 3.5}), encoding="utf-8"
+        )
+        (tmp_path / "BENCH_faults.json").write_text(
+            json.dumps({"retention": 0.99}), encoding="utf-8"
+        )
+        snapshot = consolidate(tmp_path)
+        assert snapshot["version"] == 1
+        assert snapshot["suites"] == ["engines", "faults"]
+        assert snapshot["metrics"] == {
+            "engines.speedup": 3.5,
+            "faults.retention": 0.99,
+        }
+
+    def test_corrupt_suite_is_skipped_not_fatal(self, tmp_path):
+        (tmp_path / "BENCH_good.json").write_text("{\"x\": 1}", encoding="utf-8")
+        (tmp_path / "BENCH_bad.json").write_text("{nope", encoding="utf-8")
+        snapshot = consolidate(tmp_path)
+        assert snapshot["suites"] == ["good"]
+        assert snapshot["skipped"] == ["BENCH_bad.json"]
+
+    def test_existing_trajectory_is_never_folded_in(self, tmp_path):
+        (tmp_path / "BENCH_engines.json").write_text("{\"x\": 1}", encoding="utf-8")
+        (tmp_path / "BENCH_trajectory.json").write_text(
+            json.dumps({"metrics": {"stale": 9.0}}), encoding="utf-8"
+        )
+        snapshot = consolidate(tmp_path)
+        assert "trajectory" not in snapshot["suites"]
+        assert "metrics.stale" not in snapshot["metrics"]
+
+    def test_checked_in_trajectory_artifact_is_well_formed(self):
+        # Timings in the committed snapshot drift every time a perf suite
+        # reruns, so assert shape, not values: same schema consolidate()
+        # writes, every metric prefixed by a listed suite, all finite.
+        from pathlib import Path
+
+        results = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+        committed = json.loads(
+            (results / "BENCH_trajectory.json").read_text(encoding="utf-8")
+        )
+        assert committed["version"] == 1
+        assert committed["skipped"] == []
+        suites = committed["suites"]
+        assert set(suites) >= {"engines", "faults", "observability"}
+        metrics = committed["metrics"]
+        assert metrics
+        assert list(metrics) == sorted(metrics)
+        for name, value in metrics.items():
+            assert name.split(".", 1)[0] in suites
+            assert math.isfinite(value)
+
+
+def snapshot(**metrics):
+    return {"version": 1, "metrics": metrics}
+
+
+class TestCompareSnapshots:
+    def test_identical_snapshots_are_all_stable(self):
+        old = snapshot(**{"engines.speedup": 3.0, "faults.retention": 0.99})
+        comparison = compare_snapshots(old, old)
+        assert comparison.threshold == DEFAULT_THRESHOLD
+        assert comparison.regressions == ()
+        assert comparison.improvements == ()
+        assert comparison.stable == 2
+
+    def test_slow_down_past_threshold_is_a_regression(self):
+        old = snapshot(**{"obs.overhead_ratio": 1.0})
+        new = snapshot(**{"obs.overhead_ratio": 1.2})
+        comparison = compare_snapshots(old, new)
+        assert len(comparison.regressions) == 1
+        delta = comparison.regressions[0]
+        assert delta.name == "obs.overhead_ratio"
+        assert delta.change == pytest.approx(0.2)
+        assert delta.is_regression
+
+    def test_speedup_drop_is_a_regression_and_gain_an_improvement(self):
+        old = snapshot(**{"engines.speedup": 4.0})
+        worse = compare_snapshots(old, snapshot(**{"engines.speedup": 3.0}))
+        assert len(worse.regressions) == 1
+        better = compare_snapshots(old, snapshot(**{"engines.speedup": 5.0}))
+        assert better.regressions == ()
+        assert len(better.improvements) == 1
+
+    def test_movement_within_threshold_is_stable(self):
+        old = snapshot(**{"engines.speedup": 4.0})
+        new = snapshot(**{"engines.speedup": 3.8})  # -5%, under 10%
+        comparison = compare_snapshots(old, new)
+        assert comparison.regressions == ()
+        assert comparison.stable == 1
+
+    def test_neutral_metrics_never_regress(self):
+        old = snapshot(**{"engines.workloads.count": 3.0})
+        new = snapshot(**{"engines.workloads.count": 30.0})
+        comparison = compare_snapshots(old, new)
+        assert comparison.regressions == ()
+        assert len(comparison.changes) == 1
+        assert not comparison.changes[0].is_regression
+
+    def test_missing_and_added_metrics_are_reported(self):
+        comparison = compare_snapshots(
+            snapshot(**{"gone.speedup": 1.0, "both.speedup": 1.0}),
+            snapshot(**{"both.speedup": 1.0, "fresh.speedup": 2.0}),
+        )
+        assert comparison.missing == ("gone.speedup",)
+        assert comparison.added == ("fresh.speedup",)
+
+    def test_growth_from_zero_is_infinite_change(self):
+        comparison = compare_snapshots(
+            snapshot(**{"faults.downtime": 0.0}),
+            snapshot(**{"faults.downtime": 5.0}),
+        )
+        assert len(comparison.regressions) == 1
+        assert math.isinf(comparison.regressions[0].change)
+
+    def test_raw_bench_payloads_are_accepted_directly(self):
+        old = {"speedup": 4.0}  # no "metrics" wrapper
+        new = {"speedup": 2.0}
+        comparison = compare_snapshots(old, new)
+        assert len(comparison.regressions) == 1
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_snapshots(snapshot(), snapshot(), threshold=0.0)
+
+    def test_regressions_sort_by_magnitude(self):
+        old = snapshot(**{"a.speedup": 4.0, "b.speedup": 4.0})
+        new = snapshot(**{"a.speedup": 3.0, "b.speedup": 1.0})
+        comparison = compare_snapshots(old, new)
+        assert [d.name for d in comparison.regressions] == ["b.speedup", "a.speedup"]
+
+    def test_to_dict_is_json_ready(self):
+        comparison = compare_snapshots(
+            snapshot(**{"a.speedup": 4.0}), snapshot(**{"a.speedup": 1.0})
+        )
+        payload = comparison.to_dict()
+        assert payload["regressions"][0]["metric"] == "a.speedup"
+        json.dumps(payload)
+
+
+class TestRenderComparison:
+    def test_summary_line_counts_each_bucket(self):
+        comparison = compare_snapshots(
+            snapshot(**{"a.speedup": 4.0, "b.count": 1.0, "c.speedup": 2.0}),
+            snapshot(**{"a.speedup": 1.0, "b.count": 9.0, "c.speedup": 4.0}),
+        )
+        text = render_comparison(comparison)
+        assert "1 regression(s), 1 improvement(s), 1 neutral change(s)" in text
+        assert "a.speedup: 4 -> 1" in text
+        assert "worse" in text and "better" in text and "moved" in text
+
+    def test_missing_and_added_render(self):
+        comparison = compare_snapshots(
+            snapshot(**{"gone.x": 1.0}), snapshot(**{"new.x": 1.0})
+        )
+        text = render_comparison(comparison)
+        assert "missing in new: gone.x" in text
+        assert "added in new: new.x" in text

@@ -1,0 +1,269 @@
+"""Tests for span-based causal tracing and convergence attribution.
+
+Unit coverage for the :class:`CausalContext` allocator and the
+:class:`CausalGraph` reconstruction, plus the PR's acceptance criterion
+as an integration test: on a live run (synchronous and fault-injected
+asynchronous) the critical path is non-empty and its total latency
+accounts for the full measured time-to-stability.
+"""
+
+import pytest
+
+from repro.events.reliability import RetryPolicy
+from repro.obs import MemorySink, Telemetry
+from repro.obs.causal import (
+    CausalContext,
+    CausalGraph,
+    render_causal_report,
+)
+from repro.obs.events import AgentExchangeEvent, IterationEvent, MessageEvent
+from repro.runtime.asynchronous import AsyncConfig, AsynchronousRuntime
+from repro.runtime.faults import FaultPlan
+from repro.runtime.synchronous import SynchronousRuntime
+
+
+class TestCausalContext:
+    def test_span_ids_are_sequential_and_deterministic(self):
+        tracer = CausalContext("t")
+        assert [tracer.allocate() for _ in range(3)] == [
+            "s00000001", "s00000002", "s00000003",
+        ]
+        again = CausalContext("t")
+        assert again.allocate() == "s00000001"  # no entropy, ever
+
+    def test_cold_activation_is_a_root_span(self):
+        tracer = CausalContext("t")
+        span = tracer.begin_activation("src:fa")
+        assert span.trace_id == "t"
+        assert span.span_id == "s00000001"
+        assert span.parent_span_id is None
+
+    def test_activation_parents_on_last_delivered_message(self):
+        tracer = CausalContext("t")
+        sender_span = tracer.begin_activation("src:fa")
+        message_span, message_parent = tracer.message_context("src:fa")
+        assert message_parent == sender_span.span_id
+        tracer.record_delivery("node:S", message_span)
+        activation = tracer.begin_activation("node:S")
+        assert activation.parent_span_id == message_span
+
+    def test_unrecorded_delivery_leaves_recipient_cold(self):
+        tracer = CausalContext("t")
+        tracer.record_delivery("node:S", None)  # untraced message
+        assert tracer.begin_activation("node:S").parent_span_id is None
+
+
+def synthetic_capture():
+    """Three-hop causal chain plus an off-path fast message.
+
+    src activates at t=0 (root), its message reaches the node at t=2, the
+    node activates at t=2, its message reaches a sink at t=5.  A second,
+    faster message (t=1) also lands at the node before it acts — the
+    critical path must pick the *latest*-arriving input (t=2 wins only
+    for the node's second activation; for the first it is the slow one).
+    Utilities stabilize immediately with window 2.
+    """
+    return [
+        AgentExchangeEvent(
+            agent="src:fa", role="source", sent=1, stamp=0.0, t_ns=1,
+            trace_id="t", span_id="s00000001", parent_span_id=None,
+        ),
+        MessageEvent(
+            sender="src:fb", recipient="node:S", payload="RateUpdate",
+            t_ns=2, latency=1.0, at=1.0,
+            trace_id="t", span_id="s00000002", parent_span_id=None,
+        ),
+        MessageEvent(
+            sender="src:fa", recipient="node:S", payload="RateUpdate",
+            t_ns=3, latency=2.0, at=2.0,
+            trace_id="t", span_id="s00000003", parent_span_id="s00000001",
+        ),
+        AgentExchangeEvent(
+            agent="node:S", role="node", sent=1, stamp=2.0, t_ns=4,
+            trace_id="t", span_id="s00000004", parent_span_id="s00000003",
+        ),
+        MessageEvent(
+            sender="node:S", recipient="link:up", payload="PriceUpdate",
+            t_ns=5, latency=3.0, at=5.0,
+            trace_id="t", span_id="s00000005", parent_span_id="s00000004",
+        ),
+        IterationEvent(iteration=1, utility=100.0, t_ns=6, at=5.0),
+        IterationEvent(iteration=2, utility=100.0, t_ns=7, at=6.0),
+    ]
+
+
+class TestCausalGraphUnit:
+    def test_reconstructs_every_span(self):
+        graph = CausalGraph(synthetic_capture())
+        assert set(graph.spans) == {f"s0000000{i}" for i in range(1, 6)}
+        assert graph.events_seen == 7
+        assert graph.iterations == 2
+
+    def test_parent_and_root_queries(self):
+        graph = CausalGraph(synthetic_capture())
+        parents = graph.parents("s00000004")
+        assert {span.span_id for span in parents} >= {"s00000003"}
+        roots = {span.span_id for span in graph.roots()}
+        assert "s00000001" in roots
+
+    def test_span_of_event_maps_capture_positions(self):
+        graph = CausalGraph(synthetic_capture())
+        span = graph.span_of_event(3)
+        assert span is not None
+        assert span.span_id == "s00000004"
+        assert graph.span_of_event(5) is None  # iteration samples have no span
+
+    def test_critical_path_walks_latest_arriving_inputs(self):
+        graph = CausalGraph(synthetic_capture())
+        path = graph.critical_path(window=2, rel_amplitude=0.01)
+        assert path is not None
+        ids = [hop.span.span_id for hop in path.hops]
+        # src activation -> slow message -> node activation -> price message.
+        assert ids == ["s00000001", "s00000003", "s00000004", "s00000005"]
+        assert path.stable_iteration == 2
+        assert path.stable_at == 6.0
+        assert path.start == 0.0
+        # Telescoping waits: total latency IS the time to stability.
+        assert path.total_latency == pytest.approx(path.time_to_stability)
+        assert path.time_to_stability == 6.0
+
+    def test_v1_capture_without_spans_has_no_path(self):
+        events = [
+            IterationEvent(iteration=1, utility=5.0, t_ns=1),
+            IterationEvent(iteration=2, utility=5.0, t_ns=2),
+        ]
+        graph = CausalGraph(events)
+        assert graph.spans == {}
+        assert graph.critical_path(window=2, rel_amplitude=0.01) is None
+
+    def test_unstable_utilities_have_no_path(self):
+        events = synthetic_capture()[:-1] + [
+            IterationEvent(iteration=2, utility=500.0, t_ns=7, at=6.0)
+        ]
+        assert CausalGraph(events).critical_path(window=2, rel_amplitude=0.01) is None
+
+
+class TestBlameUnit:
+    def test_drop_is_attributed_to_the_reversing_resource(self):
+        from repro.obs.events import PriceUpdateEvent
+
+        events = [
+            IterationEvent(iteration=1, utility=100.0, t_ns=1),
+            PriceUpdateEvent("node", "S", 0.1, 0.2, 0.05, "violation", t_ns=2),
+            IterationEvent(iteration=2, utility=110.0, t_ns=3),
+            # Reversal: price steps down after stepping up.
+            PriceUpdateEvent("node", "S", 0.2, 0.15, 0.05, "slack", t_ns=4),
+            IterationEvent(iteration=3, utility=104.0, t_ns=5),
+        ]
+        report, unattributed = CausalGraph(events).blame()
+        assert unattributed == 0.0
+        assert len(report) == 1
+        entry = report[0]
+        assert entry.resource == "node:S"
+        assert entry.oscillations == 1
+        assert entry.updates == 2
+        assert entry.blame == pytest.approx(6.0)
+        assert entry.share == pytest.approx(1.0)
+
+    def test_drop_without_reversal_is_unattributed(self):
+        events = [
+            IterationEvent(iteration=1, utility=100.0, t_ns=1),
+            IterationEvent(iteration=2, utility=90.0, t_ns=2),
+        ]
+        report, unattributed = CausalGraph(events).blame()
+        assert report == []
+        assert unattributed == pytest.approx(10.0)
+
+
+@pytest.fixture(scope="module")
+def sync_capture():
+    from tests.conftest import make_tiny_problem
+
+    problem = make_tiny_problem()
+    sink = MemorySink()
+    runtime = SynchronousRuntime(
+        problem, telemetry=Telemetry(sink=sink), trace_id="sync-test"
+    )
+    runtime.run(120)
+    return sink.events
+
+
+@pytest.fixture(scope="module")
+def chaos_capture():
+    from tests.conftest import make_tiny_problem
+
+    problem = make_tiny_problem()
+    plan = FaultPlan.random(
+        problem, seed=7, horizon=80.0, crash_rate=0.02,
+        storm_rate=0.01, partition_rate=0.01, warmup=5.0,
+    )
+    sink = MemorySink()
+    runtime = AsynchronousRuntime(
+        problem,
+        AsyncConfig(seed=3, loss_probability=0.05),
+        fault_plan=plan,
+        retry=RetryPolicy(timeout=2.0, max_retries=3),
+        telemetry=Telemetry(sink=sink),
+        trace_id="chaos-test",
+    )
+    runtime.run_until(80.0)
+    return sink.events
+
+
+class TestLiveRunAcceptance:
+    """The PR's acceptance criterion, on real runtime captures."""
+
+    def test_sync_critical_path_accounts_for_time_to_stability(self, sync_capture):
+        graph = CausalGraph(sync_capture)
+        assert graph.spans  # runtime actually stamped its messages
+        path = graph.critical_path()
+        assert path is not None
+        assert path.hops  # non-empty critical path
+        assert path.total_latency == pytest.approx(path.time_to_stability)
+        assert path.total_latency >= path.time_to_stability - 1e-9
+
+    def test_chaos_critical_path_accounts_for_time_to_stability(self, chaos_capture):
+        graph = CausalGraph(chaos_capture)
+        path = graph.critical_path()
+        assert path is not None
+        assert path.hops
+        assert path.total_latency == pytest.approx(path.time_to_stability)
+        assert path.total_latency >= path.time_to_stability - 1e-9
+
+    def test_hops_form_a_parent_chain_in_time_order(self, sync_capture):
+        path = CausalGraph(sync_capture).critical_path()
+        assert path is not None
+        times = [hop.span.at for hop in path.hops]
+        assert times == sorted(times)
+        assert all(hop.wait >= 0.0 for hop in path.hops)
+        assert path.closing_wait >= 0.0
+
+    def test_by_agent_decomposes_the_hop_waits(self, sync_capture):
+        path = CausalGraph(sync_capture).critical_path()
+        assert path is not None
+        per_agent = path.by_agent()
+        assert sum(per_agent.values()) == pytest.approx(
+            sum(hop.wait for hop in path.hops)
+        )
+
+    def test_chaos_blame_report_sees_price_activity(self, chaos_capture):
+        report, unattributed = CausalGraph(chaos_capture).blame()
+        assert report  # prices moved during the chaos run
+        assert all(entry.updates >= entry.oscillations for entry in report)
+        shares = sum(entry.share for entry in report)
+        assert shares == pytest.approx(1.0) or shares == 0.0
+        assert unattributed >= 0.0
+
+    def test_to_dict_is_json_ready(self, sync_capture):
+        import json
+
+        payload = CausalGraph(sync_capture).to_dict()
+        assert payload["spans"] > 0
+        assert payload["critical_path"] is not None
+        json.dumps(payload)  # must not raise
+
+    def test_report_renders_path_and_blame(self, chaos_capture):
+        graph = CausalGraph(chaos_capture)
+        text = render_causal_report(graph)
+        assert "critical path" in text
+        assert "time-to-stability" in text

@@ -1,0 +1,240 @@
+"""Property tests: every event type survives every sink, exactly.
+
+Hypothesis generates arbitrary well-formed instances of all registered
+``EVENT_TYPES`` — causal/state fields included — and checks that the
+JSONL sink round-trips them bit-for-bit, the memory sink preserves them
+by identity, and the CSV sink renders every flattened cell through the
+one shared formatting rule.  Non-finite floats must be *rejected* at the
+serialization boundary, not smuggled into a capture as ``NaN`` tokens no
+strict JSON parser will read back.
+"""
+
+import csv
+import io
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    AdmissionEvent,
+    AgentExchangeEvent,
+    AgentRestartedEvent,
+    FaultInjectedEvent,
+    GammaStepEvent,
+    IterationEvent,
+    MessageEvent,
+    PriceUpdateEvent,
+    TraceEventError,
+    event_from_dict,
+)
+from repro.obs.sinks import JsonlSink, MemorySink, format_cell, read_jsonl, render_csv
+
+# -- strategies -------------------------------------------------------------
+
+identifiers = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789:_-.",
+    min_size=1,
+    max_size=12,
+)
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+timestamps = st.integers(min_value=0, max_value=2**62)
+counts = st.integers(min_value=0, max_value=10**6)
+span_ids = st.none() | identifiers
+float_maps = st.none() | st.dictionaries(identifiers, finite, max_size=4)
+int_maps = st.none() | st.dictionaries(identifiers, counts, max_size=4)
+
+iteration_events = st.builds(
+    IterationEvent,
+    iteration=counts,
+    utility=finite,
+    t_ns=timestamps,
+    rates=float_maps,
+    populations=int_maps,
+    node_prices=float_maps,
+    link_prices=float_maps,
+    gammas=float_maps,
+    slack=float_maps,
+    at=st.none() | finite,
+)
+price_events = st.builds(
+    PriceUpdateEvent,
+    resource_kind=st.sampled_from(["node", "link"]),
+    resource=identifiers,
+    old_price=finite,
+    new_price=finite,
+    step=finite,
+    branch=st.sampled_from(["track", "violation", "gradient"]),
+    t_ns=timestamps,
+    usage=st.none() | finite,
+    capacity=st.none() | finite,
+)
+gamma_events = st.builds(
+    GammaStepEvent,
+    resource=identifiers,
+    old_gamma=finite,
+    new_gamma=finite,
+    fluctuated=st.booleans(),
+    t_ns=timestamps,
+)
+admission_events = st.builds(
+    AdmissionEvent,
+    node=identifiers,
+    admitted=st.dictionaries(identifiers, counts, max_size=4),
+    used=finite,
+    capacity=finite,
+    best_ratio=finite,
+    t_ns=timestamps,
+)
+message_events = st.builds(
+    MessageEvent,
+    sender=identifiers,
+    recipient=identifiers,
+    payload=identifiers,
+    t_ns=timestamps,
+    latency=st.none() | finite,
+    at=st.none() | finite,
+    trace_id=span_ids,
+    span_id=span_ids,
+    parent_span_id=span_ids,
+)
+exchange_events = st.builds(
+    AgentExchangeEvent,
+    agent=identifiers,
+    role=st.sampled_from(["source", "node", "link"]),
+    sent=counts,
+    stamp=finite,
+    t_ns=timestamps,
+    trace_id=span_ids,
+    span_id=span_ids,
+    parent_span_id=span_ids,
+    rate=st.none() | finite,
+    price=st.none() | finite,
+    populations=int_maps,
+)
+fault_events = st.builds(
+    FaultInjectedEvent,
+    fault=st.sampled_from(["crash", "partition", "delay_storm"]),
+    target=identifiers,
+    at=finite,
+    t_ns=timestamps,
+)
+restart_events = st.builds(
+    AgentRestartedEvent,
+    agent=identifiers,
+    at=finite,
+    downtime=finite,
+    from_checkpoint=st.booleans(),
+    t_ns=timestamps,
+    rate=st.none() | finite,
+    price=st.none() | finite,
+    populations=int_maps,
+)
+
+BY_KIND = {
+    "iteration": iteration_events,
+    "price_update": price_events,
+    "gamma_step": gamma_events,
+    "admission": admission_events,
+    "message": message_events,
+    "agent_exchange": exchange_events,
+    "fault_injected": fault_events,
+    "agent_restarted": restart_events,
+}
+
+any_event = st.one_of(*BY_KIND.values())
+event_batches = st.lists(any_event, min_size=1, max_size=8)
+
+
+def test_strategies_cover_every_registered_type():
+    assert set(BY_KIND) == set(EVENT_TYPES)
+
+
+# -- round-trip properties --------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(event=any_event)
+def test_dict_round_trip_is_lossless(event):
+    assert event_from_dict(event.to_dict()) == event
+
+
+@settings(max_examples=60, deadline=None)
+@given(events=event_batches)
+def test_jsonl_sink_round_trips_batches(events):
+    buffer = io.StringIO()
+    sink = JsonlSink(buffer)
+    for event in events:
+        sink.emit(event)
+    sink.close()
+    assert list(read_jsonl(io.StringIO(buffer.getvalue()))) == events
+
+
+@settings(max_examples=60, deadline=None)
+@given(events=event_batches)
+def test_jsonl_lines_are_strict_json(events):
+    buffer = io.StringIO()
+    sink = JsonlSink(buffer)
+    for event in events:
+        sink.emit(event)
+    for line in buffer.getvalue().splitlines():
+        payload = json.loads(line)  # strict: would reject NaN tokens
+        assert payload["type"] in EVENT_TYPES
+
+
+@settings(max_examples=60, deadline=None)
+@given(events=event_batches)
+def test_memory_sink_preserves_order_and_identity(events):
+    sink = MemorySink()
+    for event in events:
+        sink.emit(event)
+    assert sink.events == events
+    for kind in {event.kind for event in events}:
+        assert sink.of_kind(kind) == [e for e in events if e.kind == kind]
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=event_batches)
+def test_csv_sink_renders_every_flattened_cell(events):
+    rows = list(csv.DictReader(io.StringIO(render_csv(events))))
+    assert len(rows) == len(events)
+    for event, row in zip(events, rows):
+        flat = event.flatten()
+        for key, value in flat.items():
+            assert row[key] == format_cell(value)
+        # Columns the union schema added for *other* events stay empty.
+        for key in set(row) - set(flat):
+            assert row[key] == ""
+
+
+@settings(max_examples=80, deadline=None)
+@given(value=finite)
+def test_float_cells_round_trip_exactly(value):
+    cell = format_cell(value)
+    assert float(cell) == value or (math.isnan(value) and math.isnan(float(cell)))
+
+
+# -- non-finite rejection ---------------------------------------------------
+
+non_finite = st.sampled_from([math.nan, math.inf, -math.inf])
+
+
+@settings(max_examples=30, deadline=None)
+@given(bad=non_finite, utility=finite)
+def test_jsonl_sink_rejects_non_finite_payloads(bad, utility):
+    event = IterationEvent(iteration=1, utility=utility, t_ns=1, rates={"fa": bad})
+    sink = JsonlSink(io.StringIO())
+    with pytest.raises(TraceEventError, match="non-finite"):
+        sink.emit(event)
+
+
+@settings(max_examples=30, deadline=None)
+@given(bad=non_finite)
+def test_jsonl_sink_rejects_non_finite_causal_stamps(bad):
+    event = MessageEvent("a", "b", "RateUpdate", t_ns=1, latency=bad, at=bad)
+    sink = JsonlSink(io.StringIO())
+    with pytest.raises(TraceEventError, match="non-finite"):
+        sink.emit(event)

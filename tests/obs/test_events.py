@@ -1,11 +1,13 @@
 """Tests for typed trace events: serialization and flattening."""
 
 import io
+from pathlib import Path
 
 import pytest
 
 from repro.obs.events import (
     EVENT_TYPES,
+    TRACE_SCHEMA_VERSION,
     AdmissionEvent,
     AgentExchangeEvent,
     AgentRestartedEvent,
@@ -19,6 +21,8 @@ from repro.obs.events import (
     now_ns,
 )
 from repro.obs.sinks import JsonlSink, read_jsonl
+
+FIXTURES = Path(__file__).parent / "fixtures"
 
 
 def sample_events():
@@ -64,11 +68,33 @@ def sample_events():
             payload="RateUpdate",
             t_ns=600,
             latency=0.25,
+            at=1.25,
+            trace_id="sync-micro",
+            span_id="s00000002",
+            parent_span_id="s00000001",
         ),
-        AgentExchangeEvent(agent="src:fa", role="source", sent=3, stamp=1.0, t_ns=700),
+        AgentExchangeEvent(
+            agent="src:fa",
+            role="source",
+            sent=3,
+            stamp=1.0,
+            t_ns=700,
+            trace_id="sync-micro",
+            span_id="s00000001",
+            parent_span_id=None,
+            rate=20.0,
+            price=None,
+            populations=None,
+        ),
         FaultInjectedEvent(fault="crash", target="node:S", at=120.0, t_ns=800),
         AgentRestartedEvent(
-            agent="node:S", at=130.0, downtime=10.0, from_checkpoint=True, t_ns=900
+            agent="node:S",
+            at=130.0,
+            downtime=10.0,
+            from_checkpoint=True,
+            t_ns=900,
+            price=0.25,
+            populations={"ca": 5},
         ),
     ]
 
@@ -135,6 +161,78 @@ class TestFlatten:
         assert flat["admitted:ca"] == 5
         assert flat["admitted:cb"] == 0
         assert flat["node"] == "S"
+
+    def test_untraced_message_flatten_omits_causal_columns(self):
+        # Optional v2 fields must disappear from flatten() when unset so
+        # pinned CSV columns written against the v1 schema keep working.
+        flat = MessageEvent("a", "b", "RateUpdate", t_ns=1, latency=0.5).flatten()
+        assert set(flat) == {"type", "sender", "recipient", "payload", "t_ns", "latency"}
+
+    def test_traced_message_flatten_carries_causal_columns(self):
+        flat = sample_events()[5].flatten()
+        assert flat["trace_id"] == "sync-micro"
+        assert flat["span_id"] == "s00000002"
+        assert flat["parent_span_id"] == "s00000001"
+        assert flat["at"] == 1.25
+
+    def test_untraced_exchange_flatten_matches_v1_schema(self):
+        flat = AgentExchangeEvent(
+            agent="src:fa", role="source", sent=3, stamp=1.0, t_ns=1
+        ).flatten()
+        assert set(flat) == {"type", "agent", "role", "sent", "stamp", "t_ns"}
+
+
+class TestSchemaVersioning:
+    """v2 captures carry causal/state fields; v1 captures must still parse."""
+
+    V1_FIXTURE = FIXTURES / "trace_v1.jsonl"
+
+    def test_schema_version_is_two(self):
+        assert TRACE_SCHEMA_VERSION == 2
+
+    def test_v1_fixture_parses_into_typed_events(self):
+        events = list(read_jsonl(self.V1_FIXTURE))
+        assert [event.kind for event in events] == [
+            "iteration",
+            "iteration",
+            "price_update",
+            "gamma_step",
+            "admission",
+            "message",
+            "agent_exchange",
+            "fault_injected",
+            "agent_restarted",
+        ]
+
+    def test_v1_events_default_every_v2_field_to_none(self):
+        events = {event.kind: event for event in read_jsonl(self.V1_FIXTURE)}
+        message = events["message"]
+        assert (message.at, message.trace_id, message.span_id) == (None, None, None)
+        assert message.parent_span_id is None
+        exchange = events["agent_exchange"]
+        assert exchange.trace_id is None
+        assert exchange.span_id is None
+        assert exchange.rate is None
+        assert exchange.price is None
+        assert exchange.populations is None
+        restarted = events["agent_restarted"]
+        assert restarted.rate is None
+        assert restarted.price is None
+        assert restarted.populations is None
+        assert events["iteration"].at is None
+
+    def test_v1_events_flatten_without_v2_columns(self):
+        v2_only = {
+            "trace_id", "span_id", "parent_span_id", "rate", "price",
+        }
+        for event in read_jsonl(self.V1_FIXTURE):
+            if event.kind in {"message", "agent_exchange", "agent_restarted"}:
+                assert not (set(event.flatten()) & v2_only), event.kind
+
+    def test_v1_events_round_trip_through_v2_serializer(self):
+        events = list(read_jsonl(self.V1_FIXTURE))
+        for event in events:
+            assert event_from_dict(event.to_dict()) == event
 
 
 def test_now_ns_is_monotonic():

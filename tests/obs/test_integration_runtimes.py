@@ -71,8 +71,11 @@ class TestIterationEventEquivalence:
         for index, event in enumerate(events, start=1):
             assert event.iteration == index
             # Async samples are the light form: same envelope schema as the
-            # synchronous runtime's round events.
-            assert set(event.flatten()) == {"type", "iteration", "utility", "t_ns"}
+            # synchronous runtime's round events (plus the v2 simulated-time
+            # stamp both runtimes now attach).
+            assert set(event.flatten()) == {
+                "type", "iteration", "utility", "t_ns", "at",
+            }
         assert events[-1].utility == runtime.samples[-1][1]
         assert runtime.converged_utility() == pytest.approx(
             reference.utilities[-1], rel=0.02

@@ -1,0 +1,198 @@
+"""Tests for deterministic trace replay.
+
+The contract under test is the PR's acceptance criterion: replaying a v2
+capture re-materializes the run's final rates, populations and prices
+*bit-identically* to the live runtime — including a fault-injected
+asynchronous run with crashed agents — plus the seek/step cursor
+semantics the CLI relies on.
+"""
+
+import pytest
+
+from repro.events.reliability import RetryPolicy
+from repro.obs import MemorySink, Telemetry
+from repro.obs.events import (
+    AgentExchangeEvent,
+    FaultInjectedEvent,
+    IterationEvent,
+)
+from repro.obs.replay import ReplayEngine, ReplayError, render_state
+from repro.obs.sinks import read_jsonl
+from repro.runtime.asynchronous import AsyncConfig, AsynchronousRuntime
+from repro.runtime.faults import FaultPlan
+from repro.runtime.synchronous import SynchronousRuntime
+
+from .test_events import FIXTURES
+
+
+@pytest.fixture(scope="module")
+def sync_run():
+    from tests.conftest import make_tiny_problem
+
+    problem = make_tiny_problem()
+    sink = MemorySink()
+    runtime = SynchronousRuntime(
+        problem, telemetry=Telemetry(sink=sink), trace_id="sync-test"
+    )
+    runtime.run(120)
+    return runtime, sink.events
+
+
+@pytest.fixture(scope="module")
+def chaos_run():
+    from tests.conftest import make_tiny_problem
+
+    problem = make_tiny_problem()
+    plan = FaultPlan.random(
+        problem, seed=7, horizon=80.0, crash_rate=0.02,
+        storm_rate=0.01, partition_rate=0.01, warmup=5.0,
+    )
+    sink = MemorySink()
+    runtime = AsynchronousRuntime(
+        problem,
+        AsyncConfig(seed=3, loss_probability=0.05),
+        fault_plan=plan,
+        retry=RetryPolicy(timeout=2.0, max_retries=3),
+        telemetry=Telemetry(sink=sink),
+        trace_id="chaos-test",
+    )
+    runtime.run_until(80.0)
+    assert runtime.recoveries  # the plan actually crashed something
+    return runtime, sink.events
+
+
+class TestBitIdenticalFinalState:
+    def test_sync_final_state_matches_live_runtime(self, sync_run):
+        runtime, events = sync_run
+        final = ReplayEngine(events).final()
+        allocation = runtime.allocation()
+        assert final.rates == allocation.rates  # bit-identical, no approx
+        assert final.populations == allocation.populations
+        assert final.node_prices == runtime.node_prices()
+        assert final.link_prices == runtime.link_prices()
+        assert final.utility == runtime.utilities[-1]
+        assert final.down == frozenset()
+
+    def test_chaos_final_state_matches_live_runtime(self, chaos_run):
+        runtime, events = chaos_run
+        final = ReplayEngine(events).final()
+        allocation = runtime.allocation()
+        assert final.rates == allocation.rates
+        assert final.populations == allocation.populations
+        assert final.node_prices == runtime.node_prices()
+        assert final.link_prices == runtime.link_prices()
+        assert final.down == runtime.down_agents
+
+
+class TestCursorSemantics:
+    def test_seek_zero_is_the_empty_state(self, sync_run):
+        _, events = sync_run
+        state = ReplayEngine(events).seek(0)
+        assert state.index == 0
+        assert state.rates == {}
+        assert state.utility is None
+
+    def test_step_advances_one_event_at_a_time(self, sync_run):
+        _, events = sync_run
+        engine = ReplayEngine(events)
+        first = engine.step()
+        assert first.index == 1
+        assert engine.cursor == 1
+        second = engine.step()
+        assert second.index == 2
+
+    def test_step_past_the_end_raises(self):
+        engine = ReplayEngine([IterationEvent(iteration=1, utility=1.0, t_ns=1)])
+        engine.step()
+        with pytest.raises(ReplayError, match="exhausted"):
+            engine.step()
+
+    def test_seek_backward_refolds_from_scratch(self, sync_run):
+        _, events = sync_run
+        engine = ReplayEngine(events)
+        halfway = engine.seek(len(events) // 2)
+        engine.final()
+        again = engine.seek(len(events) // 2)
+        assert again == halfway
+
+    def test_negative_index_counts_from_the_end(self, sync_run):
+        _, events = sync_run
+        engine = ReplayEngine(events)
+        assert engine.seek(-1) == engine.seek(len(events) - 1)
+
+    def test_out_of_range_seek_raises(self, sync_run):
+        _, events = sync_run
+        engine = ReplayEngine(events)
+        with pytest.raises(ReplayError, match="out of range"):
+            engine.seek(len(events) + 1)
+        with pytest.raises(ReplayError, match="out of range"):
+            engine.seek(-len(events) - 1)
+
+    def test_intermediate_states_are_a_prefix_fold(self, sync_run):
+        _, events = sync_run
+        prefix = len(events) // 3
+        whole = ReplayEngine(events).seek(prefix)
+        truncated = ReplayEngine(events[:prefix]).final()
+        assert whole.rates == truncated.rates
+        assert whole.utility == truncated.utility
+
+
+class TestFaultSemantics:
+    def test_down_nodes_report_zero_populations(self):
+        events = [
+            AgentExchangeEvent(
+                agent="node:S", role="node", sent=1, stamp=1.0, t_ns=1,
+                price=0.2, populations={"ca": 4},
+            ),
+            FaultInjectedEvent(fault="crash", target="node:S", at=2.0, t_ns=2),
+        ]
+        engine = ReplayEngine(events)
+        assert engine.seek(1).populations == {"ca": 4}
+        crashed = engine.final()
+        assert crashed.down == frozenset({"node:S"})
+        assert crashed.populations == {"ca": 4 - 4}  # reported as 0 while down
+        assert crashed.node_prices == {"S": 0.2}  # price state survives
+
+    def test_chaos_replay_tracks_down_set_over_time(self, chaos_run):
+        runtime, events = chaos_run
+        engine = ReplayEngine(events)
+        saw_down = False
+        for index in range(0, len(events), max(1, len(events) // 50)):
+            if engine.seek(index).down:
+                saw_down = True
+                break
+        assert saw_down  # at least one crash window is visible mid-replay
+
+
+class TestCaptureCompatibility:
+    def test_v1_fixture_replays_without_error(self):
+        events = list(read_jsonl(FIXTURES / "trace_v1.jsonl"))
+        final = ReplayEngine(events).final()
+        assert final.index == len(events)
+        # v1 iteration snapshots still materialize state.
+        assert final.rates == {"fa": 12.5, "fb": 7.25}
+        assert final.utility == 204.5
+
+    def test_snapshot_iterations_fold_into_state(self):
+        events = [
+            IterationEvent(
+                iteration=1, utility=10.0, t_ns=1,
+                rates={"fa": 1.0}, populations={"ca": 2},
+                node_prices={"S": 0.1}, link_prices={"l": 0.0},
+            ),
+            IterationEvent(iteration=2, utility=12.0, t_ns=2),  # light form
+        ]
+        final = ReplayEngine(events).final()
+        assert final.rates == {"fa": 1.0}  # light samples don't erase state
+        assert final.utility == 12.0
+        assert final.node_prices == {"S": 0.1}
+
+
+class TestRenderState:
+    def test_render_includes_position_and_utility(self, sync_run):
+        _, events = sync_run
+        engine = ReplayEngine(events)
+        text = render_state(engine.final(), total_events=len(events))
+        assert f"{len(events)}/{len(events)} event(s)" in text
+        assert "utility:" in text
+        assert "rates:" in text

@@ -1,17 +1,27 @@
 """Tests for trace sinks and the shared CSV formatting rule."""
 
+import gzip
 import io
+import math
 
 import pytest
 
-from repro.obs.events import GammaStepEvent, IterationEvent, MessageEvent
+from repro.obs.events import (
+    GammaStepEvent,
+    IterationEvent,
+    MessageEvent,
+    TraceEventError,
+)
 from repro.obs.sinks import (
     NULL_SINK,
     CsvSink,
+    JsonlSink,
     MemorySink,
     NullSink,
     TraceSink,
     format_cell,
+    open_trace,
+    read_jsonl,
     render_csv,
 )
 
@@ -46,6 +56,58 @@ class TestMemorySink:
     def test_null_sink_discards(self):
         NULL_SINK.emit(iteration(1))
         NULL_SINK.close()
+
+
+class TestJsonlNonFiniteRejection:
+    """NaN/inf must fail at emit time, not poison the capture."""
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_values_raise_trace_event_error(self, bad):
+        sink = JsonlSink(io.StringIO())
+        with pytest.raises(TraceEventError, match="non-finite"):
+            sink.emit(iteration(1, utility=bad))
+
+    def test_rejected_event_writes_nothing(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        with pytest.raises(TraceEventError):
+            sink.emit(iteration(1, rates={"fa": math.nan}))
+        sink.emit(iteration(2))
+        sink.close()
+        assert len(buffer.getvalue().splitlines()) == 1
+
+
+class TestOpenTrace:
+    """Gzip captures are detected by magic bytes, not file extension."""
+
+    def events(self):
+        return [iteration(1), iteration(2, utility=2.5)]
+
+    def write_gzip(self, path):
+        with gzip.open(path, "wt", encoding="utf-8") as stream:
+            sink = JsonlSink(stream)
+            for event in self.events():
+                sink.emit(event)
+        return path
+
+    def test_reads_gzip_capture_regardless_of_suffix(self, tmp_path):
+        path = self.write_gzip(tmp_path / "trace.jsonl")  # no .gz suffix
+        with open_trace(path) as stream:
+            lines = stream.read().splitlines()
+        assert len(lines) == 2
+
+    def test_reads_plain_capture(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        for event in self.events():
+            sink.emit(event)
+        sink.close()
+        with open_trace(path) as stream:
+            assert len(stream.read().splitlines()) == 2
+
+    def test_read_jsonl_round_trips_gzip_paths(self, tmp_path):
+        path = self.write_gzip(tmp_path / "trace.jsonl.gz")
+        assert list(read_jsonl(path)) == self.events()
 
 
 class TestFormatCell:

@@ -263,3 +263,207 @@ class TestTraceCommand:
         lines = capsys.readouterr().out.splitlines()
         assert lines
         assert all(json.loads(line)["type"] == "message" for line in lines)
+
+    def test_explicit_run_subcommand_is_equivalent(self, capsys):
+        # "trace micro" (pre-PR-5 spelling) and "trace run micro" are the
+        # same command; the bare form goes through the argv shim.
+        assert main(
+            ["trace", "run", "micro", "--iterations", "5",
+             "--events", "iteration"]
+        ) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 5
+
+    def test_v2_messages_carry_causal_spans(self, capsys):
+        assert main(
+            ["trace", "micro", "--iterations", "5", "--engine", "sync",
+             "--events", "message"]
+        ) == 0
+        records = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert records
+        assert all(record["trace_id"] == "sync-micro" for record in records)
+        assert all(record["span_id"].startswith("s") for record in records)
+
+    def test_gzip_capture_requires_output_file(self):
+        with pytest.raises(SystemExit, match="requires -o"):
+            main(["trace", "micro", "--gzip"])
+
+    def test_gzip_capture_round_trips(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "trace.jsonl.gz"
+        assert main(
+            ["trace", "micro", "--iterations", "10", "--events", "iteration",
+             "--gzip", "-o", str(path)]
+        ) == 0
+        assert "10 event(s) written" in capsys.readouterr().out
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # actually gzipped
+        events = list(read_jsonl(path))
+        assert [event.iteration for event in events] == list(range(1, 11))
+
+
+@pytest.fixture(scope="module")
+def capture_path(tmp_path_factory):
+    """One shared micro capture for the show/causal/replay commands."""
+    path = tmp_path_factory.mktemp("capture") / "trace.jsonl"
+    assert main(
+        ["trace", "micro", "--iterations", "120", "--engine", "sync",
+         "-o", str(path)]
+    ) == 0
+    return str(path)
+
+
+class TestTraceShowCommand:
+    def test_renders_one_line_per_event(self, capture_path, capsys):
+        assert main(["trace", "show", capture_path]) == 0
+        out = capsys.readouterr().out
+        assert "iteration" in out
+        assert "message" in out
+        assert "->" in out  # message lines show sender -> recipient
+
+    def test_type_filter(self, capture_path, capsys):
+        assert main(["trace", "show", capture_path, "--type", "iteration"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines
+        assert all("iteration" in line for line in lines)
+
+    def test_since_filter_drops_earlier_events(self, capture_path, capsys):
+        assert main(
+            ["trace", "show", capture_path, "--type", "iteration",
+             "--since", "100"]
+        ) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert 0 < len(lines) < 120
+
+    def test_unmatched_filter_reports_empty(self, capture_path, capsys):
+        assert main(
+            ["trace", "show", capture_path, "--since", "1e9"]
+        ) == 0
+        assert "(no matching events)" in capsys.readouterr().out
+
+    def test_missing_capture_exits(self):
+        with pytest.raises(SystemExit, match="no such capture"):
+            main(["trace", "show", "/no/such/file.jsonl"])
+
+    def test_follow_drains_a_finished_capture(self, capture_path, capsys):
+        assert main(
+            ["trace", "show", capture_path, "--type", "iteration",
+             "--follow", "--idle-timeout", "0.2"]
+        ) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 120
+
+    def test_dashboard_renders_replay_summary(self, capture_path, capsys):
+        assert main(
+            ["trace", "show", capture_path, "--dashboard",
+             "--refresh-every", "50"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace dashboard (final" in out
+        assert "utility:" in out
+
+
+class TestTraceCausalCommand:
+    def test_human_report_shows_critical_path(self, capture_path, capsys):
+        assert main(["trace", "causal", capture_path]) == 0
+        out = capsys.readouterr().out
+        assert "causal graph:" in out
+        assert "critical path:" in out
+        assert "time-to-stability" in out
+
+    def test_json_report_satisfies_acceptance_criterion(
+        self, capture_path, capsys
+    ):
+        assert main(["trace", "causal", capture_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        path = payload["critical_path"]
+        assert path is not None
+        assert path["hops"]  # non-empty
+        assert path["total_latency"] >= path["time_to_stability"] - 1e-9
+
+    def test_missing_capture_exits(self):
+        with pytest.raises(SystemExit, match="no such capture"):
+            main(["trace", "causal", "/no/such/file.jsonl"])
+
+
+class TestReplayCommand:
+    def test_full_replay_prints_final_state(self, capture_path, capsys):
+        assert main(["replay", capture_path]) == 0
+        out = capsys.readouterr().out
+        assert "replayed:" in out
+        assert "utility:" in out
+
+    def test_seek_to_index_json(self, capture_path, capsys):
+        assert main(["replay", capture_path, "--at", "50", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["index"] == 50
+
+    def test_negative_index_counts_from_end(self, capture_path, capsys):
+        assert main(["replay", capture_path, "--at", "-1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["index"] > 0
+
+    def test_out_of_range_index_exits(self, capture_path):
+        with pytest.raises(SystemExit, match="out of range"):
+            main(["replay", capture_path, "--at", "10000000"])
+
+    def test_missing_capture_exits(self):
+        with pytest.raises(SystemExit, match="no such capture"):
+            main(["replay", "/no/such/file.jsonl"])
+
+
+class TestBenchCommands:
+    def write_suite(self, directory, name, payload):
+        (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+    def test_snapshot_writes_trajectory(self, tmp_path, capsys):
+        self.write_suite(tmp_path, "engines", {"speedup": 3.0})
+        out_path = tmp_path / "BENCH_trajectory.json"
+        assert main(
+            ["bench", "snapshot", "--results-dir", str(tmp_path)]
+        ) == 0
+        assert "1 metric(s)" in capsys.readouterr().out
+        snapshot = json.loads(out_path.read_text())
+        assert snapshot["metrics"] == {"engines.speedup": 3.0}
+
+    def test_compare_reports_regressions(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps({"metrics": {"engines.speedup": 4.0}}))
+        new.write_text(json.dumps({"metrics": {"engines.speedup": 2.0}}))
+        assert main(["bench", "compare", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "1 regression(s)" in out
+        assert "engines.speedup" in out
+
+    def test_strict_mode_fails_on_regressions(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps({"metrics": {"engines.speedup": 4.0}}))
+        new.write_text(json.dumps({"metrics": {"engines.speedup": 2.0}}))
+        assert main(
+            ["bench", "compare", str(old), str(new), "--strict"]
+        ) == 1
+        assert main(
+            ["bench", "compare", str(old), str(old), "--strict"]
+        ) == 0
+
+    def test_compare_json_output(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps({"metrics": {"engines.speedup": 4.0}}))
+        assert main(
+            ["bench", "compare", str(old), str(old), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stable"] == 1
+        assert payload["regressions"] == []
+
+    def test_missing_snapshot_exits(self, tmp_path):
+        present = tmp_path / "old.json"
+        present.write_text("{}")
+        with pytest.raises(SystemExit, match="no such snapshot"):
+            main(["bench", "compare", str(present), "/no/such.json"])
+
+    def test_missing_results_dir_exits(self):
+        with pytest.raises(SystemExit, match="no such results directory"):
+            main(["bench", "snapshot", "--results-dir", "/no/such/dir"])
