@@ -12,9 +12,16 @@ See ``docs/analysis.md`` for the rule catalogue and suppression syntax.
 
 from __future__ import annotations
 
-from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    prune_baseline,
+    stale_entries,
+    write_baseline,
+)
 from repro.analysis.engine import (
     Finding,
+    FixSpec,
     ModuleContext,
     Rule,
     Severity,
@@ -23,11 +30,16 @@ from repro.analysis.engine import (
     render_human,
     render_json,
 )
+from repro.analysis.fixes import apply_fixes, fixable
+from repro.analysis.project import ProjectContext, build_project
 from repro.analysis.rules import RULES, all_rules, rules_for
+from repro.analysis.sarif import render_sarif
 
 __all__ = [
     "Finding",
+    "FixSpec",
     "ModuleContext",
+    "ProjectContext",
     "RULES",
     "Rule",
     "Severity",
@@ -35,9 +47,15 @@ __all__ = [
     "analyze_file",
     "analyze_paths",
     "apply_baseline",
+    "apply_fixes",
+    "build_project",
+    "fixable",
     "load_baseline",
+    "prune_baseline",
     "render_human",
     "render_json",
+    "render_sarif",
     "rules_for",
+    "stale_entries",
     "write_baseline",
 ]

@@ -55,3 +55,44 @@ def apply_baseline(
         else:
             kept.append(finding)
     return kept
+
+
+def stale_entries(
+    findings: Iterable[Finding], baseline: Counter[str]
+) -> Counter[str]:
+    """Baseline entries no current finding consumes (violations since fixed).
+
+    A baseline is a ratchet: once a violation is gone its entry must go
+    too, or the fingerprint budget silently shelters a regression of the
+    same rule+file+message.  The count is per-fingerprint excess, mirroring
+    :func:`apply_baseline`'s counting.
+    """
+    current = Counter(finding.fingerprint() for finding in findings)
+    stale: Counter[str] = Counter()
+    for fingerprint, count in baseline.items():
+        excess = count - current.get(fingerprint, 0)
+        if excess > 0:
+            stale[fingerprint] = excess
+    return stale
+
+
+def prune_baseline(findings: Iterable[Finding], path: Path) -> int:
+    """Drop stale entries from the baseline at ``path`` in place.
+
+    Returns the number of entries removed.  The file is rewritten only
+    when something was actually pruned, so a clean run leaves mtimes (and
+    diffs) untouched.
+    """
+    baseline = load_baseline(path)
+    stale = stale_entries(findings, baseline)
+    if not stale:
+        return 0
+    pruned = Counter(baseline)
+    pruned.subtract(stale)
+    remaining = Counter({fp: count for fp, count in pruned.items() if count > 0})
+    payload = {
+        "version": _VERSION,
+        "fingerprints": dict(sorted(remaining.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return sum(stale.values())

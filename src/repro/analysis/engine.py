@@ -48,6 +48,22 @@ class Severity(enum.Enum):
 
 
 @dataclass(frozen=True)
+class FixSpec:
+    """A mechanical source edit that resolves one finding.
+
+    Offsets follow the AST convention: lines are 1-based, columns 0-based,
+    and the end column is exclusive.  ``repro lint --fix`` applies these
+    bottom-up per file; ``--fix-dry-run`` fails if any are outstanding.
+    """
+
+    start_line: int
+    start_col: int
+    end_line: int
+    end_col: int
+    replacement: str
+
+
+@dataclass(frozen=True)
 class Finding:
     """One rule violation at one source location."""
 
@@ -56,6 +72,10 @@ class Finding:
     path: str
     line: int
     message: str
+    #: Mechanical fix, when the rule knows one (compare ``ruff --fix``).
+    #: Excluded from :meth:`fingerprint` and :meth:`to_dict` — it is an
+    #: editor hint, not part of the finding's identity.
+    fix: FixSpec | None = None
 
     def fingerprint(self) -> str:
         """Location-insensitive identity used by the baseline machinery.
@@ -91,6 +111,10 @@ class ModuleContext:
     #: Equation numbers defined by DESIGN.md, or ``None`` when no DESIGN.md
     #: was found (equation-tag checks are then skipped).
     known_equations: frozenset[int] | None = None
+    #: Back-reference to the enclosing :class:`repro.analysis.project.ProjectContext`
+    #: when analyzing in project mode; ``None`` in per-file mode.  Typed
+    #: loosely to keep the engine import-free of the project layer.
+    project: object | None = None
     _line_suppressions: dict[int, set[str]] = field(default_factory=dict)
     _file_suppressions: set[str] = field(default_factory=set)
 
@@ -131,15 +155,32 @@ class Rule:
     rationale: str = ""
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
-        raise NotImplementedError
+        """Per-module pass; default is empty so project-only rules may
+        implement :meth:`project_check` alone."""
+        return iter(())
 
-    def finding(self, context: ModuleContext, line: int, message: str) -> Finding:
+    def project_check(self, project: object) -> Iterator[Finding]:
+        """Whole-project pass, called once per run with the
+        :class:`repro.analysis.project.ProjectContext`.  Interprocedural
+        rules (R9–R11) live here; the default is empty so per-module rules
+        need not care."""
+        return iter(())
+
+    def finding(
+        self,
+        context: ModuleContext,
+        line: int,
+        message: str,
+        *,
+        fix: FixSpec | None = None,
+    ) -> Finding:
         return Finding(
             rule_id=self.rule_id,
             severity=self.severity,
             path=context.display_path,
             line=line,
             message=message,
+            fix=fix,
         )
 
 
@@ -247,43 +288,89 @@ def build_context(
     )
 
 
+def _run_rules(
+    contexts: Sequence[ModuleContext],
+    rules: Sequence[Rule],
+    *,
+    project: bool,
+) -> list[Finding]:
+    """Per-module passes plus (optionally) the whole-project passes.
+
+    Inline suppressions apply uniformly: a project-pass finding is matched
+    back to its module by display path, so ``# repro-lint: disable=R9``
+    silences interprocedural findings exactly like local ones.
+    """
+    findings = [
+        finding
+        for context in contexts
+        for rule in rules
+        for finding in rule.check(context)
+        if not context.suppressed(finding)
+    ]
+    if project and contexts:
+        from repro.analysis.project import ProjectContext
+
+        project_context = ProjectContext(contexts)
+        for context in contexts:
+            context.project = project_context
+        by_path = {context.display_path: context for context in contexts}
+        for rule in rules:
+            for finding in rule.project_check(project_context):
+                owner = by_path.get(finding.path)
+                if owner is None or not owner.suppressed(finding):
+                    findings.append(finding)
+    return sorted(findings, key=_sort_key)
+
+
 def analyze_file(
     path: Path,
     rules: Sequence[Rule],
     *,
     known_equations: object = _DISCOVER,
+    project: bool = True,
 ) -> list[Finding]:
-    """Run ``rules`` over one file, honouring inline suppressions."""
+    """Run ``rules`` over one file, honouring inline suppressions.
+
+    Project mode still applies — the file becomes a single-module project —
+    so interprocedural rules fire on self-contained violations.
+    """
     context = build_context(path, known_equations=known_equations)
     if isinstance(context, Finding):
         return [context]
-    findings = [
-        finding
-        for rule in rules
-        for finding in rule.check(context)
-        if not context.suppressed(finding)
-    ]
-    return sorted(findings, key=_sort_key)
+    return _run_rules([context], rules, project=project)
 
 
 def analyze_paths(
     paths: Sequence[Path | str],
     rules: Sequence[Rule] | None = None,
+    *,
+    project: bool = True,
 ) -> list[Finding]:
-    """Run the given rules (default: the full registry) over files/trees."""
+    """Run the given rules (default: the full registry) over files/trees.
+
+    With ``project=True`` (the default, and what ``repro lint --project``
+    uses) every file is parsed once into a shared
+    :class:`repro.analysis.project.ProjectContext` before any rule runs, so
+    interprocedural rules see the whole call graph; ``project=False``
+    restores the PR 1 per-file behaviour (``repro lint --no-project``).
+    """
     if rules is None:
         from repro.analysis.rules import all_rules
 
         rules = all_rules()
     equation_cache: dict[Path, frozenset[int] | None] = {}
+    contexts: list[ModuleContext] = []
     findings: list[Finding] = []
     for path in iter_python_files(paths):
         anchor = path.resolve().parent
         if anchor not in equation_cache:
             equation_cache[anchor] = find_design_equations(anchor)
-        findings.extend(
-            analyze_file(path, rules, known_equations=equation_cache[anchor])
-        )
+        result = build_context(path, known_equations=equation_cache[anchor])
+        if isinstance(result, Finding):
+            findings.append(result)
+        else:
+            contexts.append(result)
+    findings.extend(_run_rules(contexts, rules, project=project))
     return sorted(findings, key=_sort_key)
 
 

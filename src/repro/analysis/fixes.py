@@ -1,0 +1,78 @@
+"""Mechanical fix application for findings that carry a ``FixSpec``.
+
+Some rules know the exact source edit that resolves them (R11's
+``sorted(...)`` wrap); those findings carry a
+:class:`~repro.analysis.engine.FixSpec` and ``repro lint --fix`` applies
+them here.  ``--fix-dry-run`` is the CI variant: exit non-zero when
+mechanically fixable findings exist, so a PR can never merge with a fix
+the tool could have written itself.
+
+Application is per-file and bottom-up (later edits first), so earlier
+offsets stay valid; overlapping fixes are refused rather than guessed at.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.analysis.engine import Finding, FixSpec
+
+
+def fixable(findings: Iterable[Finding]) -> list[Finding]:
+    """The subset of findings carrying a mechanical fix."""
+    return [finding for finding in findings if finding.fix is not None]
+
+
+def _position(line: int, col: int, line_offsets: list[int]) -> int:
+    return line_offsets[line - 1] + col
+
+
+def _line_offsets(source: str) -> list[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _apply_to_source(source: str, fixes: list[FixSpec]) -> str:
+    offsets = _line_offsets(source)
+    spans = sorted(
+        (
+            _position(fix.start_line, fix.start_col, offsets),
+            _position(fix.end_line, fix.end_col, offsets),
+            fix.replacement,
+        )
+        for fix in fixes
+    )
+    previous_end = -1
+    for start, end, _ in spans:
+        if start < previous_end:
+            raise ValueError("overlapping fixes; re-run lint after applying")
+        previous_end = end
+    for start, end, replacement in reversed(spans):
+        source = source[:start] + replacement + source[end:]
+    return source
+
+
+def apply_fixes(findings: Iterable[Finding]) -> dict[str, int]:
+    """Apply every carried fix, grouped per file.
+
+    Returns ``{display_path: fixes_applied}``.  Paths in findings are
+    display paths (cwd-relative or absolute as rendered); files are
+    resolved from the current working directory, matching how the lint
+    CLI invoked the analyzer.
+    """
+    by_path: dict[str, list[FixSpec]] = {}
+    for finding in fixable(findings):
+        assert finding.fix is not None
+        by_path.setdefault(finding.path, []).append(finding.fix)
+    applied: dict[str, int] = {}
+    for display_path in sorted(by_path):
+        target = Path(display_path)
+        source = target.read_text(encoding="utf-8")
+        target.write_text(
+            _apply_to_source(source, by_path[display_path]), encoding="utf-8"
+        )
+        applied[display_path] = len(by_path[display_path])
+    return applied

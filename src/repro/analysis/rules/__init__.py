@@ -11,12 +11,18 @@ from __future__ import annotations
 from repro.analysis.engine import Rule
 from repro.analysis.rules.agent_isolation import AgentIsolationRule
 from repro.analysis.rules.annotations import PublicAnnotationRule
+from repro.analysis.rules.async_hygiene import AsyncHygieneRule
+from repro.analysis.rules.deterministic_iteration import DeterministicIterationRule
 from repro.analysis.rules.equation_tags import EquationTagRule
 from repro.analysis.rules.exceptions import ExceptionHygieneRule
 from repro.analysis.rules.float_equality import FloatEqualityRule
 from repro.analysis.rules.frozen_model import FrozenModelRule
+from repro.analysis.rules.numpy_discipline import NumpyDisciplineRule
 from repro.analysis.rules.projection import UnprojectedUpdateRule
 from repro.analysis.rules.randomness import UnseededRandomnessRule
+from repro.analysis.rules.shared_state import SharedMutableStateRule
+from repro.analysis.rules.telemetry_hotpath import TelemetryHotPathRule
+from repro.analysis.rules.time_purity import SimulatedTimePurityRule
 
 #: Rule id -> rule class, ordered by id.
 RULES: dict[str, type[Rule]] = {
@@ -30,6 +36,12 @@ RULES: dict[str, type[Rule]] = {
         PublicAnnotationRule,
         ExceptionHygieneRule,
         EquationTagRule,
+        SharedMutableStateRule,
+        SimulatedTimePurityRule,
+        DeterministicIterationRule,
+        NumpyDisciplineRule,
+        TelemetryHotPathRule,
+        AsyncHygieneRule,
     )
 }
 
@@ -57,11 +69,17 @@ __all__ = [
     "all_rules",
     "rules_for",
     "AgentIsolationRule",
+    "AsyncHygieneRule",
+    "DeterministicIterationRule",
     "EquationTagRule",
     "ExceptionHygieneRule",
     "FloatEqualityRule",
     "FrozenModelRule",
+    "NumpyDisciplineRule",
     "PublicAnnotationRule",
+    "SharedMutableStateRule",
+    "SimulatedTimePurityRule",
+    "TelemetryHotPathRule",
     "UnprojectedUpdateRule",
     "UnseededRandomnessRule",
 ]

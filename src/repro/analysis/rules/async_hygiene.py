@@ -1,0 +1,132 @@
+"""R14 — unawaited coroutines and blocking calls in async contexts.
+
+Groundwork for ROADMAP item 3 (the always-on asyncio control plane).  Two
+classic asyncio footguns, both invisible at runtime until the event loop
+stalls in production:
+
+* calling an ``async def`` without ``await`` creates a coroutine object
+  and silently drops it — the work never runs (CPython warns only at GC
+  time, and only sometimes);
+* calling a blocking primitive (``time.sleep``, ``subprocess.run``,
+  ``requests.*`` ...) inside a coroutine freezes the *entire* event loop —
+  every agent on it misses its deadline, not just the caller.
+
+Per-module: coroutine-ness of local functions and methods is visible in
+the file, and blocking primitives resolve through the import table.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule, Severity
+from repro.analysis.project import collect_import_aliases, resolve_dotted
+
+#: Blocking primitives banned inside ``async def``.
+_BLOCKING = {
+    "time.sleep": "asyncio.sleep",
+    "subprocess.run": "asyncio.create_subprocess_exec",
+    "subprocess.call": "asyncio.create_subprocess_exec",
+    "subprocess.check_call": "asyncio.create_subprocess_exec",
+    "subprocess.check_output": "asyncio.create_subprocess_exec",
+    "subprocess.Popen": "asyncio.create_subprocess_exec",
+    "urllib.request.urlopen": "an async HTTP client",
+    "requests.get": "an async HTTP client",
+    "requests.post": "an async HTTP client",
+    "requests.request": "an async HTTP client",
+    "socket.create_connection": "asyncio.open_connection",
+}
+
+
+def _async_defs(tree: ast.Module) -> tuple[set[str], dict[str, set[str]]]:
+    """Module-level async function names + per-class async method names."""
+    functions: set[str] = set()
+    methods: dict[str, set[str]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.AsyncFunctionDef):
+            functions.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            methods[node.name] = {
+                child.name
+                for child in node.body
+                if isinstance(child, ast.AsyncFunctionDef)
+            }
+    return functions, methods
+
+
+class AsyncHygieneRule(Rule):
+    rule_id = "R14"
+    title = "no dropped coroutines or blocking calls in async functions"
+    severity = Severity.ERROR
+    rationale = (
+        "ROADMAP item 3: one blocking call or dropped coroutine on the "
+        "asyncio control plane stalls every agent sharing the loop"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.module:
+            return
+        async_functions, async_methods = _async_defs(context.tree)
+        imports = collect_import_aliases(context.tree)
+
+        for class_name, display, function in _async_bodies(context.tree):
+            own_async = async_methods.get(class_name or "", set())
+            for statement in ast.walk(function):
+                if not isinstance(statement, ast.Expr):
+                    continue
+                call = statement.value
+                if not isinstance(call, ast.Call):
+                    continue
+                dropped = self._dropped_coroutine(
+                    call, async_functions, own_async
+                )
+                if dropped is not None:
+                    yield self.finding(
+                        context,
+                        call.lineno,
+                        f"coroutine '{dropped}(...)' is never awaited — the "
+                        "call creates a coroutine object and drops it; add "
+                        "`await` (or schedule it with asyncio.create_task)",
+                    )
+            for call_node in ast.walk(function):
+                if not isinstance(call_node, ast.Call):
+                    continue
+                resolved = resolve_dotted(call_node.func, imports)
+                if resolved in _BLOCKING:
+                    yield self.finding(
+                        context,
+                        call_node.lineno,
+                        f"blocking call '{resolved}' inside async "
+                        f"'{display}'; this stalls the whole event loop — use "
+                        f"{_BLOCKING[resolved]}",
+                    )
+
+    @staticmethod
+    def _dropped_coroutine(
+        call: ast.Call, async_functions: set[str], own_async: set[str]
+    ) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in async_functions:
+            return func.id
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr in own_async
+        ):
+            return f"self.{func.attr}"
+        return None
+
+
+def _async_bodies(
+    tree: ast.Module,
+) -> Iterator[tuple[str | None, str, ast.AsyncFunctionDef]]:
+    """(owning class, display name, node) for every async def in ``tree``."""
+    for node in tree.body:
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield None, node.name, node
+        elif isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if isinstance(child, ast.AsyncFunctionDef):
+                    yield node.name, f"{node.name}.{child.name}", child

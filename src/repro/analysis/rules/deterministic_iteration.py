@@ -1,0 +1,234 @@
+"""R11 — deterministic iteration on paths feeding trace events and replay.
+
+Live-vs-replay bit-identity (PR 5) and the PYTHONHASHSEED-independence CI
+legs both die the moment an unordered collection is iterated on a path
+that feeds the event stream: set iteration order depends on the process
+hash seed, ``os.listdir``/``glob`` order on the filesystem.  Two runs of
+the *same* seeded experiment can then emit events in different orders, and
+the replayed fold diverges from the live one.
+
+Interprocedural: the sinks are the trace/replay surfaces (telemetry
+``emit`` methods, the replay engine, trace rendering, runtime scheduling
+internals); the checked set is every function from which a sink is
+reachable.  Inside those functions the rule flags ``for`` loops and
+comprehensions over set-typed expressions, ``os.listdir``, ``os.scandir``,
+``glob`` and ``Path.iterdir`` — unless already wrapped in ``sorted(...)``.
+
+The fix is mechanical (wrap the iterable in ``sorted(...)``), so findings
+carry a :class:`~repro.analysis.engine.FixSpec` and ``repro lint --fix``
+can apply it.  Plain ``dict`` iteration is deliberately *not* flagged:
+dicts are insertion-ordered, and the insertion sites are where determinism
+is enforced.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, FixSpec, Rule, Severity
+from repro.analysis.project import (
+    FunctionInfo,
+    ProjectContext,
+    resolve_dotted,
+)
+
+#: Calls that return unordered (or order-unstable) iterables.
+_UNORDERED_CALLS = {
+    "set": "set",
+    "frozenset": "frozenset",
+    "os.listdir": "os.listdir()",
+    "os.scandir": "os.scandir()",
+    "glob.glob": "glob.glob()",
+    "glob.iglob": "glob.iglob()",
+}
+
+#: Method names returning unordered iterables regardless of receiver.
+_UNORDERED_METHODS = {"iterdir": "Path.iterdir()"}
+
+#: Annotation heads that type a name as a set.
+_SET_ANNOTATIONS = ("set", "frozenset", "Set", "AbstractSet", "MutableSet", "FrozenSet")
+
+#: Runtime scheduling internals that order the event stream.
+_SINK_METHODS = frozenset({"_dispatch", "_schedule", "_send", "_deliver"})
+
+#: Modules that *are* the trace/replay surface.
+_SINK_MODULE_PREFIXES = ("repro.obs.replay", "repro.core.trace")
+
+
+def _annotation_is_set(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    head = annotation
+    if isinstance(head, ast.Subscript):
+        head = head.value
+    if isinstance(head, ast.Attribute):
+        return head.attr in _SET_ANNOTATIONS
+    return isinstance(head, ast.Name) and head.id in _SET_ANNOTATIONS
+
+
+def _set_typed_params(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    return {
+        arg.arg
+        for arg in (*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs)
+        if _annotation_is_set(arg.annotation)
+    }
+
+
+def _set_typed_attrs(class_node: ast.ClassDef, imports: dict[str, str]) -> set[str]:
+    """Attributes any method assigns (or annotates) as a set."""
+    attrs: set[str] = set()
+    for node in ast.walk(class_node):
+        if isinstance(node, ast.Assign):
+            if _builds_set(node.value, imports):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+        elif isinstance(node, ast.AnnAssign) and _annotation_is_set(node.annotation):
+            target = node.target
+            if isinstance(target, ast.Name):
+                attrs.add(target.id)
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attrs.add(target.attr)
+    return attrs
+
+
+def _builds_set(expr: ast.expr, imports: dict[str, str]) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        resolved = resolve_dotted(expr.func, imports)
+        return resolved in {"set", "frozenset"}
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _builds_set(expr.left, imports) or _builds_set(expr.right, imports)
+    return False
+
+
+def _set_typed_locals(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, imports: dict[str, str]
+) -> set[str]:
+    names: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Assign) and _builds_set(child.value, imports):
+            for target in child.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif (
+            isinstance(child, ast.AnnAssign)
+            and isinstance(child.target, ast.Name)
+            and _annotation_is_set(child.annotation)
+        ):
+            names.add(child.target.id)
+    return names
+
+
+def _is_sink(info: FunctionInfo, project: ProjectContext) -> bool:
+    if info.module.startswith(_SINK_MODULE_PREFIXES):
+        return True
+    if info.name == "emit" and info.module.startswith("repro.obs"):
+        return True
+    return info.module.startswith("repro.runtime") and info.name in _SINK_METHODS
+
+
+class DeterministicIterationRule(Rule):
+    rule_id = "R11"
+    title = "no unordered iteration feeding trace events or replay"
+    severity = Severity.ERROR
+    rationale = (
+        "bit-identical replay: set/listdir/glob iteration order varies with "
+        "PYTHONHASHSEED and the filesystem, so event order would too"
+    )
+
+    def project_check(self, project: object) -> Iterator[Finding]:
+        assert isinstance(project, ProjectContext)
+        sinks = [
+            info.qualname
+            for info in project.functions.values()
+            if _is_sink(info, project)
+        ]
+        feeding = project.reaching(sinks)
+        for qualname in sorted(feeding):
+            info = project.functions[qualname]
+            yield from self._check_function(info, project)
+
+    def _check_function(
+        self, info: FunctionInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        symbols = project.modules[info.module]
+        imports = symbols.imports
+        params = _set_typed_params(info.node)
+        local_sets = _set_typed_locals(info.node, imports)
+        owner = project.class_of(info)
+        attr_sets = (
+            _set_typed_attrs(owner.node, imports) if owner is not None else set()
+        )
+
+        def unordered(expr: ast.expr) -> str | None:
+            """Description when ``expr`` iterates in unstable order."""
+            if isinstance(expr, (ast.Set, ast.SetComp)):
+                return "a set literal"
+            if isinstance(expr, ast.Call):
+                resolved = resolve_dotted(expr.func, imports)
+                if resolved in _UNORDERED_CALLS:
+                    return _UNORDERED_CALLS[resolved]
+                if (
+                    isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr in _UNORDERED_METHODS
+                ):
+                    return _UNORDERED_METHODS[expr.func.attr]
+                return None
+            if isinstance(expr, ast.BinOp) and _builds_set(expr, imports):
+                return "a set expression"
+            if isinstance(expr, ast.Name) and (
+                expr.id in params or expr.id in local_sets
+            ):
+                return f"set-typed '{expr.id}'"
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and expr.attr in attr_sets
+            ):
+                return f"set-typed 'self.{expr.attr}'"
+            return None
+
+        for node in ast.walk(info.node):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters = [generator.iter for generator in node.generators]
+            for expr in iters:
+                description = unordered(expr)
+                if description is None:
+                    continue
+                yield self.finding(
+                    info.context,
+                    expr.lineno,
+                    f"iterating {description} in '{info.qualname}', which "
+                    "feeds trace events/message scheduling/replay; iteration "
+                    "order varies with the hash seed — wrap in sorted(...)",
+                    fix=self._sorted_fix(info, expr),
+                )
+
+    def _sorted_fix(self, info: FunctionInfo, expr: ast.expr) -> FixSpec | None:
+        segment = ast.get_source_segment(info.context.source, expr)
+        if segment is None or expr.end_lineno is None or expr.end_col_offset is None:
+            return None
+        return FixSpec(
+            start_line=expr.lineno,
+            start_col=expr.col_offset,
+            end_line=expr.end_lineno,
+            end_col=expr.end_col_offset,
+            replacement=f"sorted({segment})",
+        )

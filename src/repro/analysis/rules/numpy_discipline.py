@@ -1,0 +1,150 @@
+"""R12 — numpy aliasing and dtype discipline in the compiled core.
+
+The compiled problem representation (:mod:`repro.core.compiled`) is a set
+of float64 arrays shared by every vectorized kernel.  Two silent ways to
+corrupt it:
+
+* **dtype drift** — introducing ``float32`` anywhere in the pipeline makes
+  later mixed-dtype arithmetic silently upcast or, worse, round: the
+  vectorized and reference engines then disagree at the 1e-7 level, which
+  the equivalence tests only catch on some workloads;
+* **view aliasing** — an in-place operator applied to a *view* (a slice,
+  ``.T``, ``reshape``, ``ravel``) writes through to the parent array, so a
+  kernel that thinks it is updating a scratch buffer is mutating the
+  compiled problem under every other kernel's feet.
+
+Scoped to ``repro.core`` (where the compiled arrays live).  Per-module:
+both patterns are visible locally.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule, Severity
+from repro.analysis.project import collect_import_aliases, resolve_dotted
+
+_SCOPED_PREFIX = "repro.core"
+
+#: numpy attributes that introduce a 32-bit float dtype.
+_FLOAT32_ATTRS = {"numpy.float32", "numpy.single", "numpy.half", "numpy.float16"}
+
+#: Method calls returning views of their receiver.
+_VIEW_METHODS = frozenset(
+    {"reshape", "ravel", "view", "transpose", "swapaxes", "diagonal"}
+)
+
+
+def _scoped(module: str) -> bool:
+    return module == _SCOPED_PREFIX or module.startswith(_SCOPED_PREFIX + ".")
+
+
+def _is_view_expr(expr: ast.expr) -> bool:
+    """Expressions that (for ndarrays) alias their source's buffer."""
+    if isinstance(expr, ast.Subscript):
+        sl = expr.slice
+        if isinstance(sl, ast.Slice):
+            return True
+        if isinstance(sl, ast.Tuple) and any(
+            isinstance(element, ast.Slice) for element in sl.elts
+        ):
+            return True
+        return False
+    if isinstance(expr, ast.Attribute):
+        return expr.attr == "T"
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+        return expr.func.attr in _VIEW_METHODS
+    return False
+
+
+class NumpyDisciplineRule(Rule):
+    rule_id = "R12"
+    title = "no float32 drift or in-place ops on array views in repro.core"
+    severity = Severity.ERROR
+    rationale = (
+        "engine equivalence: the compiled core is float64 end to end, and "
+        "in-place writes through views mutate the shared problem arrays"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not _scoped(context.module):
+            return
+        imports = collect_import_aliases(context.tree)
+        if "numpy" not in imports.values() and not any(
+            target.startswith("numpy.") for target in imports.values()
+        ):
+            return
+        yield from self._check_float32(context, imports)
+        yield from self._check_view_aliasing(context)
+
+    def _check_float32(
+        self, context: ModuleContext, imports: dict[str, str]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Attribute):
+                resolved = resolve_dotted(node, imports)
+                if resolved in _FLOAT32_ATTRS:
+                    yield self.finding(
+                        context,
+                        node.lineno,
+                        f"'{resolved}' introduces a 32-bit float into the "
+                        "compiled core; the pipeline is float64 end to end "
+                        "(engine-equivalence tolerance assumes it)",
+                    )
+            elif isinstance(node, ast.keyword) and node.arg == "dtype":
+                value = node.value
+                if isinstance(value, ast.Constant) and value.value in {
+                    "float32",
+                    "single",
+                    "half",
+                    "float16",
+                }:
+                    yield self.finding(
+                        context,
+                        value.lineno,
+                        f"dtype={value.value!r} introduces a 32-bit float "
+                        "into the compiled core; use float64",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+            ):
+                for argument in node.args:
+                    if isinstance(argument, ast.Constant) and argument.value in {
+                        "float32",
+                        "single",
+                        "half",
+                        "float16",
+                    }:
+                        yield self.finding(
+                            context,
+                            argument.lineno,
+                            f"astype({argument.value!r}) narrows to 32-bit "
+                            "float in the compiled core; use float64",
+                        )
+
+    def _check_view_aliasing(self, context: ModuleContext) -> Iterator[Finding]:
+        for function in ast.walk(context.tree):
+            if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            view_locals: dict[str, int] = {}
+            for node in ast.walk(function):
+                if isinstance(node, ast.Assign) and _is_view_expr(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            view_locals[target.id] = node.lineno
+                elif (
+                    isinstance(node, ast.AugAssign)
+                    and isinstance(node.target, ast.Name)
+                    and node.target.id in view_locals
+                ):
+                    name = node.target.id
+                    yield self.finding(
+                        context,
+                        node.lineno,
+                        f"in-place op on '{name}' (bound to a view at line "
+                        f"{view_locals[name]}) writes through to the parent "
+                        "array; operate on a copy or write out-of-place",
+                    )

@@ -1,0 +1,80 @@
+"""R9 — no shared mutable state across agent/runtime callback boundaries.
+
+The LRGP deployment argument (section 3.5) and its staleness-tolerance
+extension both assume agents are *share-nothing*: every observable
+interaction travels as a protocol message.  A module-level list, dict, set
+or ndarray that two different agent or runtime callback classes can reach
+— directly or through any chain of calls — is a race waiting for the
+parallel sweep farm and the asyncio control plane (ROADMAP items 2–3): the
+synchronous runtime hides the hazard, the asynchronous one turns it into
+iteration-order-dependent corruption.
+
+This is the flagship interprocedural rule: it combines the project symbol
+table (module-level mutable globals), per-function global-reference sets,
+and reverse call-graph reachability to ask, for each global, *which
+callback classes can reach code that touches it*.  Two or more distinct
+classes → finding at the global's definition site.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, Rule, Severity
+from repro.analysis.project import FunctionInfo, ProjectContext
+
+#: Class-name suffixes that mark message-driven callback owners.
+_CALLBACK_SUFFIXES = ("Agent", "Runtime")
+
+
+def _entry_class(info: FunctionInfo, project: ProjectContext) -> str | None:
+    """Qualname of the callback class owning ``info``, if it is one."""
+    owner = project.class_of(info)
+    if owner is None:
+        return None
+    names = (owner.name, *owner.bases)
+    if any(name.endswith(_CALLBACK_SUFFIXES) for name in names):
+        return owner.qualname
+    return None
+
+
+class SharedMutableStateRule(Rule):
+    rule_id = "R9"
+    title = "no module-level mutable state shared across agent boundaries"
+    severity = Severity.ERROR
+    rationale = (
+        "section 3.5: agents are share-nothing; a mutable global reachable "
+        "from two callback classes is a data race once execution overlaps"
+    )
+
+    def project_check(self, project: object) -> Iterator[Finding]:
+        assert isinstance(project, ProjectContext)
+        for global_var in project.mutable_globals.values():
+            touching = [
+                info
+                for info in project.functions.values()
+                if global_var.qualname in info.global_refs
+            ]
+            if not touching:
+                continue
+            owners: set[str] = set()
+            for info in touching:
+                for caller in project.reaching([info.qualname]):
+                    entry = _entry_class(project.functions[caller], project)
+                    if entry is not None:
+                        owners.add(entry)
+            if len(owners) < 2:
+                continue
+            context = project.context_for(global_var.module)
+            if context is None:
+                continue
+            listed = ", ".join(sorted(owners))
+            yield self.finding(
+                context,
+                global_var.line,
+                f"module-level mutable {global_var.kind} "
+                f"'{global_var.name}' is reachable from {len(owners)} "
+                f"agent/runtime callback classes ({listed}); shared mutable "
+                "state breaks agent isolation — pass state explicitly or "
+                "freeze it",
+            )

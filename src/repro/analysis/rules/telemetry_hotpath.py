@@ -1,0 +1,164 @@
+"""R13 — no telemetry event construction ahead of the enabled guard.
+
+The telemetry layer's contract (docs/observability.md) is that a disabled
+:class:`~repro.obs.telemetry.Telemetry` — the ``NULL_TELEMETRY`` default —
+costs nothing on the hot path: *no event object is even constructed*.
+That is what keeps instrumented-but-disabled runs within the <5% overhead
+budget the perf suite enforces.  The pattern every call site must follow:
+
+.. code-block:: python
+
+    if telemetry.enabled:
+        telemetry.emit(IterationEvent(...))
+
+This rule flags any ``*Event(...)`` construction (classes imported from
+:mod:`repro.obs.events`) that is not dominated by an ``.enabled`` check —
+either an enclosing ``if ... .enabled`` / ``if ... is not None`` test or
+an early ``if not ... .enabled: return`` ahead of it in the same suite.
+
+Exempt: :mod:`repro.obs` itself (the layer's internals construct events by
+design) and :mod:`repro.core.trace` (offline trace rendering — there is no
+hot path to protect once events are being materialized from disk).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Sequence
+
+from repro.analysis.engine import Finding, ModuleContext, Rule, Severity
+
+_EXEMPT_PREFIXES = ("repro.obs", "repro.core.trace", "repro.analysis")
+
+
+def _event_names(tree: ast.Module) -> set[str]:
+    """Local names bound to event classes from ``repro.obs.events``."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "repro.obs.events":
+            for alias in node.names:
+                if alias.name.endswith("Event"):
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+def _test_guards(test: ast.expr) -> bool:
+    """True when ``test`` checks ``.enabled`` or ``... is not None``."""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == "enabled":
+            return True
+        if isinstance(node, ast.Compare) and any(
+            isinstance(op, ast.IsNot) for op in node.ops
+        ):
+            return True
+    return False
+
+
+def _test_rejects(test: ast.expr) -> bool:
+    """True for ``not ....enabled`` / ``... is None`` early-exit tests."""
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return any(
+            isinstance(node, ast.Attribute) and node.attr == "enabled"
+            for node in ast.walk(test.operand)
+        )
+    if isinstance(test, ast.Compare):
+        return any(isinstance(op, ast.Is) for op in test.ops) and any(
+            isinstance(comparator, ast.Constant) and comparator.value is None
+            for comparator in test.comparators
+        )
+    return False
+
+
+def _exits(body: Sequence[ast.stmt]) -> bool:
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+class TelemetryHotPathRule(Rule):
+    rule_id = "R13"
+    title = "telemetry events must be constructed behind the enabled guard"
+    severity = Severity.ERROR
+    rationale = (
+        "<5% overhead invariant: NULL_TELEMETRY runs must not allocate "
+        "event objects; construction belongs inside `if telemetry.enabled:`"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.module or context.module.startswith(_EXEMPT_PREFIXES):
+            return
+        events = _event_names(context.tree)
+        if not events:
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_suite(context, node.body, events, False)
+
+    def _check_suite(
+        self,
+        context: ModuleContext,
+        body: Sequence[ast.stmt],
+        events: set[str],
+        guarded: bool,
+    ) -> Iterator[Finding]:
+        dominated = guarded
+        for statement in body:
+            if isinstance(statement, ast.If):
+                if _test_guards(statement.test):
+                    yield from self._check_suite(
+                        context, statement.body, events, True
+                    )
+                    yield from self._check_suite(
+                        context, statement.orelse, events, dominated
+                    )
+                else:
+                    yield from self._check_suite(
+                        context, statement.body, events, dominated
+                    )
+                    yield from self._check_suite(
+                        context, statement.orelse, events, dominated
+                    )
+                    # `if not telemetry.enabled: return` guards the rest of
+                    # this suite.
+                    if _test_rejects(statement.test) and _exits(statement.body):
+                        dominated = True
+                continue
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_suite(context, statement.body, events, False)
+                continue
+            nested = [
+                child
+                for attr in ("body", "orelse", "finalbody", "handlers")
+                for child in getattr(statement, attr, [])
+            ]
+            if nested:
+                suites: list[Sequence[ast.stmt]] = []
+                for attr in ("body", "orelse", "finalbody"):
+                    suite = getattr(statement, attr, None)
+                    if suite:
+                        suites.append(suite)
+                for handler in getattr(statement, "handlers", []):
+                    suites.append(handler.body)
+                for suite in suites:
+                    yield from self._check_suite(context, suite, events, dominated)
+                continue
+            if not dominated:
+                yield from self._flag_constructions(context, statement, events)
+
+    def _flag_constructions(
+        self, context: ModuleContext, statement: ast.stmt, events: set[str]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(statement):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in events
+            ):
+                yield self.finding(
+                    context,
+                    node.lineno,
+                    f"'{node.func.id}(...)' constructed outside an "
+                    "`.enabled` guard; event allocation on the hot path "
+                    "violates the <5% telemetry overhead budget — wrap in "
+                    "`if telemetry.enabled:`",
+                )

@@ -1,0 +1,121 @@
+"""R10 — simulated-time purity on runtime delivery and replay paths.
+
+The asynchronous runtime owns a *virtual* clock: latencies are drawn from
+a seeded RNG and the event queue orders deliveries by simulated timestamps.
+The bit-identical replay guarantee (PR 5) holds only if nothing on a
+message-delivery or replay path consults the real world — a
+``time.time()`` read, a ``sleep``, a file or socket touched mid-delivery
+all produce values (or timing) the trace cannot reproduce.
+
+Interprocedural: roots are the runtime/replay entry points, and the rule
+walks the call graph from them, flagging any reachable function that calls
+a wall-clock or I/O primitive.  The telemetry layer is allowlisted —
+``repro.obs.events.now_ns`` stamps events with ``time.monotonic_ns`` for
+latency accounting, and sinks legitimately write trace files; both are
+observability outputs, not inputs to the simulation, so traversal stops at
+the allowlisted modules and their internals are never scanned.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, Rule, Severity
+from repro.analysis.project import FunctionInfo, ProjectContext
+
+#: Wall-clock and blocking primitives banned on simulated-time paths.
+_BANNED = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "time.sleep": "real-time sleep",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "open": "file I/O",
+    "io.open": "file I/O",
+}
+
+#: Dotted prefixes whose calls are banned wholesale (network / process I/O).
+_BANNED_PREFIXES = ("socket.", "urllib.", "requests.", "subprocess.", "http.")
+
+#: Telemetry/observability modules: exempt from scanning and traversal —
+#: their monotonic stamps and trace-file writes are observability outputs,
+#: not simulation inputs.  This is the R10 allowlist from docs/analysis.md.
+ALLOWLIST = (
+    "repro.obs.events",
+    "repro.obs.telemetry",
+    "repro.obs.registry",
+    "repro.obs.sinks",
+    "repro.obs.export",
+)
+
+#: Method names that mark runtime delivery entry points regardless of class.
+_DELIVERY_METHODS = frozenset(
+    {"receive", "step", "run", "run_until", "deliver"}
+)
+
+
+def _is_root(info: FunctionInfo, project: ProjectContext) -> bool:
+    if info.module.startswith("repro.obs.replay"):
+        return True
+    if not info.module.startswith("repro.runtime"):
+        return False
+    owner = project.class_of(info)
+    if owner is None:
+        return False
+    names = (owner.name, *owner.bases)
+    if not any(name.endswith(("Runtime", "Agent")) for name in names):
+        return False
+    return info.name.startswith("_handle_") or info.name in _DELIVERY_METHODS or (
+        info.name.startswith("_") and info.name != "__init__"
+    )
+
+
+def _violation(target: str | None) -> str | None:
+    if target is None:
+        return None
+    if target in _BANNED:
+        return _BANNED[target]
+    if target.startswith(_BANNED_PREFIXES):
+        return "network/process I/O"
+    return None
+
+
+class SimulatedTimePurityRule(Rule):
+    rule_id = "R10"
+    title = "no wall-clock or blocking I/O on simulated-time paths"
+    severity = Severity.ERROR
+    rationale = (
+        "replayability: delivery and replay paths must be functions of the "
+        "trace alone; wall-clock reads and I/O cannot be reproduced"
+    )
+
+    def project_check(self, project: object) -> Iterator[Finding]:
+        assert isinstance(project, ProjectContext)
+        roots = [
+            info.qualname
+            for info in project.functions.values()
+            if _is_root(info, project)
+        ]
+        reachable = project.reachable_from(roots, stop=ALLOWLIST)
+        for qualname in sorted(reachable):
+            info = project.functions[qualname]
+            if info.module.startswith(ALLOWLIST):
+                continue
+            for site in info.calls:
+                kind = _violation(site.target)
+                if kind is None:
+                    continue
+                yield self.finding(
+                    info.context,
+                    site.line,
+                    f"{kind} '{site.target}' inside '{qualname}', which is "
+                    "reachable from a runtime delivery/replay path; "
+                    "simulated time must be pure — use the virtual clock or "
+                    "the telemetry layer's stamps",
+                )

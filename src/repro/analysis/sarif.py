@@ -1,0 +1,84 @@
+"""SARIF 2.1.0 export for ``repro lint`` findings.
+
+The Static Analysis Results Interchange Format is what GitHub
+code-scanning ingests (``github/codeql-action/upload-sarif``), turning
+lint findings into inline PR annotations.  This writer emits the minimal
+valid subset: one run, one tool driver carrying the rule catalog
+(id, title, severity), one result per finding with a physical location.
+
+Deliberately dependency-free and deterministic: rules and results are
+sorted, so the same findings always produce byte-identical SARIF — the CI
+artifact diffs cleanly between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.engine import Finding, Rule, Severity
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: SARIF result levels by finding severity.
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_entry(rule: Rule) -> dict[str, object]:
+    return {
+        "id": rule.rule_id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def _result(finding: Finding) -> dict[str, object]:
+    return {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {"startLine": max(finding.line, 1)},
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint()},
+    }
+
+
+def render_sarif(
+    findings: Iterable[Finding], rules: Sequence[Rule] = ()
+) -> str:
+    """Render findings (and the rule catalog) as a SARIF 2.1.0 document."""
+    ordered = sorted(
+        findings, key=lambda f: (f.path, f.line, f.rule_id, f.message)
+    )
+    catalog = sorted(rules, key=lambda rule: rule.rule_id)
+    document = {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [_rule_entry(rule) for rule in catalog],
+                    }
+                },
+                "results": [_result(finding) for finding in ordered],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

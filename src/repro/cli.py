@@ -791,6 +791,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
         rules_for,
         write_baseline,
     )
+    from repro.analysis.baseline import stale_entries
+    from repro.analysis.fixes import apply_fixes, fixable
+    from repro.analysis.sarif import render_sarif
 
     if args.list_rules:
         for rule in rules_for(None):
@@ -812,7 +815,15 @@ def cmd_lint(args: argparse.Namespace) -> int:
     missing = [path for path in paths if not Path(path).exists()]
     if missing:
         raise SystemExit(f"no such file or directory: {', '.join(missing)}")
-    findings = analyze_paths(paths, rules)
+    findings = analyze_paths(paths, rules, project=args.project)
+
+    if args.fix:
+        applied = apply_fixes(findings)
+        total = sum(applied.values())
+        for path, count in sorted(applied.items()):
+            print(f"fixed {count} finding(s) in {path}")
+        print(f"{total} finding(s) auto-fixed; re-running analysis")
+        findings = analyze_paths(paths, rules, project=args.project)
 
     if args.write_baseline is not None:
         count = write_baseline(findings, Path(args.write_baseline))
@@ -822,9 +833,39 @@ def cmd_lint(args: argparse.Namespace) -> int:
         baseline_path = Path(args.baseline)
         if not baseline_path.is_file():
             raise SystemExit(f"baseline file not found: {args.baseline}")
-        findings = apply_baseline(findings, load_baseline(baseline_path))
+        baseline = load_baseline(baseline_path)
+        stale = stale_entries(findings, baseline)
+        if stale:
+            print(
+                f"note: {sum(stale.values())} stale baseline entr"
+                f"{'y' if sum(stale.values()) == 1 else 'ies'} in "
+                f"{args.baseline} (violations since fixed); prune with "
+                "repro.analysis.baseline.prune_baseline",
+                file=sys.stderr,
+            )
+        findings = apply_baseline(findings, baseline)
 
-    print(render_json(findings) if args.format == "json" else render_human(findings))
+    if args.sarif is not None:
+        Path(args.sarif).write_text(
+            render_sarif(findings, rules) + "\n", encoding="utf-8"
+        )
+
+    if args.format == "json":
+        print(render_json(findings))
+    elif args.format == "sarif":
+        print(render_sarif(findings, rules))
+    else:
+        print(render_human(findings))
+
+    if args.fix_dry_run:
+        outstanding = fixable(findings)
+        if outstanding:
+            print(
+                f"{len(outstanding)} finding(s) are mechanically fixable; "
+                "run `repro lint --fix`",
+                file=sys.stderr,
+            )
+            return 1
     if args.strict:
         return 1 if findings else 0
     return 1 if any(f.severity is Severity.ERROR for f in findings) else 0
@@ -1096,12 +1137,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: src/ if present)",
     )
     lint.add_argument(
-        "--format", choices=["human", "json"], default="human",
+        "--format", choices=["human", "json", "sarif"], default="human",
         help="report format (default: human)",
     )
     lint.add_argument(
         "--strict", action="store_true",
         help="exit non-zero on any finding, warnings included",
+    )
+    lint.add_argument(
+        "--project", dest="project", action="store_true", default=True,
+        help="whole-project analysis: call graph + interprocedural rules "
+        "R9-R11 (default: on)",
+    )
+    lint.add_argument(
+        "--no-project", dest="project", action="store_false",
+        help="per-file analysis only (pre-PR-6 behaviour)",
+    )
+    lint.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="additionally write a SARIF 2.1.0 report to FILE "
+        "(for GitHub code-scanning upload)",
+    )
+    lint.add_argument(
+        "--fix", action="store_true",
+        help="apply mechanical fixes (e.g. R11 sorted() wraps), then "
+        "re-analyze",
+    )
+    lint.add_argument(
+        "--fix-dry-run", action="store_true",
+        help="exit non-zero if mechanically fixable findings are present "
+        "(CI gate; applies nothing)",
     )
     lint.add_argument(
         "--rules", default=None, metavar="IDS",

@@ -75,8 +75,8 @@ def compute_prune_set(problem: Problem, allocation: Allocation) -> PruneSet:
                         pruned_links.add(link.link_id)
                 changed = True
 
-        dropped_nodes.update((node_id, flow_id) for node_id in pruned_nodes)
-        dropped_links.update((link_id, flow_id) for link_id in pruned_links)
+        dropped_nodes.update((node_id, flow_id) for node_id in sorted(pruned_nodes))
+        dropped_links.update((link_id, flow_id) for link_id in sorted(pruned_links))
 
     return PruneSet(
         flow_nodes=frozenset(dropped_nodes), flow_links=frozenset(dropped_links)

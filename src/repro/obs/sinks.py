@@ -185,7 +185,9 @@ class CsvSink(_StreamSink):
     ) -> None:
         super().__init__(target)
         self._fieldnames = list(fieldnames) if fieldnames is not None else None
-        self._drop = frozenset(drop)
+        # Sorted tuple, not a set: emit() iterates this per event, and the
+        # trace path must not depend on hash-seed iteration order (R11).
+        self._drop = tuple(sorted(set(drop)))
         self._rows: list[dict[str, Any]] = []
 
     def emit(self, event: TraceEvent) -> None:

@@ -66,6 +66,41 @@ _LEGACY_ALIASES: dict[str, str] = {
 #: execute LRGP iterations through :mod:`repro.core.engines`.
 ENGINE_METHODS = frozenset({"lrgp", "two_stage"})
 
+#: Smallest flow count at which the vectorized engine pays for itself.
+#: Measured crossover (benchmarks/results/BENCH_engines.json, "dispatch"
+#: section): the micro workload (2 flows) runs at ~0.95x the reference
+#: engine — numpy array setup dominates — while the base workload
+#: (6 flows) reaches ~2.4x.  Below this floor :func:`solve` silently runs
+#: the reference engine and records the substitution in
+#: ``metadata["engine_fallback"]``.  Constructing :class:`LRGP` directly
+#: with ``engine="vectorized"`` bypasses the dispatch: explicit driver
+#: construction means the caller wants that engine, benchmark harnesses
+#: included.
+VECTORIZED_MIN_FLOWS = 4
+
+
+def _dispatch_engine(
+    problem: Problem, engine: str | None
+) -> tuple[str | None, dict[str, Any] | None]:
+    """Resolve the requested engine against the problem size.
+
+    Returns the engine to actually run plus the ``engine_fallback``
+    metadata entry (``None`` when the request is honored as-is).
+    """
+    if engine != "vectorized":
+        return engine, None
+    flows = len(problem.flows)
+    if flows >= VECTORIZED_MIN_FLOWS:
+        return engine, None
+    return "reference", {
+        "requested": "vectorized",
+        "reason": (
+            f"problem has {flows} flow(s), below the vectorized "
+            f"crossover of {VECTORIZED_MIN_FLOWS}; reference engine is "
+            "faster at this size"
+        ),
+    }
+
 
 @dataclass(frozen=True)
 class SolveResult:
@@ -194,6 +229,7 @@ def _solve_lrgp(
 ) -> SolveResult:
     config: LRGPConfig | None = _take_config(options, "lrgp")
     budget = 250 if iterations is None else iterations
+    engine, fallback = _dispatch_engine(problem, engine)
     started = time.perf_counter()
     optimizer = LRGP(problem, config, engine=engine)
     optimizer.run(budget)
@@ -205,6 +241,8 @@ def _solve_lrgp(
         "node_prices": optimizer.node_prices(),
         "link_prices": optimizer.link_prices(),
     }
+    if fallback is not None:
+        metadata["engine_fallback"] = fallback
     if optimizer.records and optimizer.records[0].rates is not None:
         metadata["records"] = tuple(optimizer.records)
     return SolveResult(
@@ -264,6 +302,7 @@ def _solve_two_stage(
 
     config: LRGPConfig | None = _take_config(options, "two_stage")
     budget = 250 if iterations is None else iterations
+    engine, fallback = _dispatch_engine(problem, engine)
     started = time.perf_counter()
     result = two_stage_optimize(problem, config, budget, engine=engine)
     wall = time.perf_counter() - started
@@ -272,6 +311,15 @@ def _solve_two_stage(
         config.engine if config is not None else LRGPConfig().engine
     )
     utilities = result.stage1_utilities + result.stage2_utilities
+    metadata: dict[str, Any] = {
+        "stage1_utility": result.stage1_utility,
+        "stage2_utility": result.stage2_utility,
+        "improvement": result.improvement,
+        "pruned_flow_nodes": len(result.prune_set.flow_nodes),
+        "pruned_flow_links": len(result.prune_set.flow_links),
+    }
+    if fallback is not None:
+        metadata["engine_fallback"] = fallback
     return SolveResult(
         method="two_stage",
         engine=engine_name,
@@ -281,13 +329,7 @@ def _solve_two_stage(
         iterations=len(utilities),
         converged_at=iterations_until_convergence(result.stage2_utilities),
         wall_time_seconds=wall,
-        metadata={
-            "stage1_utility": result.stage1_utility,
-            "stage2_utility": result.stage2_utility,
-            "improvement": result.improvement,
-            "pruned_flow_nodes": len(result.prune_set.flow_nodes),
-            "pruned_flow_links": len(result.prune_set.flow_links),
-        },
+        metadata=metadata,
     )
 
 
@@ -431,7 +473,12 @@ def solve(
 
     ``engine`` selects the LRGP iteration-execution strategy
     (``"reference"`` | ``"vectorized"``) and is only accepted for the
-    LRGP-based methods (:data:`ENGINE_METHODS`).  ``iterations`` maps to
+    LRGP-based methods (:data:`ENGINE_METHODS`).  For problems below the
+    measured vectorized crossover (:data:`VECTORIZED_MIN_FLOWS` flows)
+    ``engine="vectorized"`` transparently runs the reference engine
+    instead — numpy setup costs exceed the per-iteration win there — and
+    notes the substitution in ``metadata["engine_fallback"]``.
+    ``iterations`` maps to
     the method's natural effort knob (LRGP iterations, annealing /
     hill-climb steps, random-search samples, coordinate stages); ``None``
     keeps each method's own default.  Remaining keyword ``options`` are

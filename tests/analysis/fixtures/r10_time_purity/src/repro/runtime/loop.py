@@ -1,0 +1,12 @@
+"""R10 fixture: a runtime delivery path reaching the wall clock two calls away."""
+
+from repro.util.clock import wall_stamp
+
+
+def annotate(message: object) -> tuple:
+    return (message, wall_stamp())
+
+
+class TickRuntime:
+    def _handle_deliver(self, message: object) -> None:
+        self._last = annotate(message)

@@ -1,0 +1,7 @@
+"""R10 fixture: an innocent-looking helper module hiding a wall-clock read."""
+
+import time
+
+
+def wall_stamp() -> float:
+    return time.time()

@@ -1,0 +1,23 @@
+"""R11 fixture: unordered iteration on the message-scheduling path.
+
+``_dispatch`` iterates a set-typed attribute and a ``glob`` listing; both
+orders depend on process state (hash seed, filesystem), so the scheduled
+message order — and therefore the emitted trace — would differ between
+bit-identical runs.
+"""
+
+import glob
+
+
+class FanoutRuntime:
+    def __init__(self, peers: set[str]) -> None:
+        self._peers = set(peers)
+
+    def _dispatch(self, payload: object) -> None:
+        for peer in self._peers:
+            self._send(peer, payload)
+        for capture in glob.glob("captures/*.jsonl"):
+            self._send(capture, payload)
+
+    def _send(self, address: str, payload: object) -> None:
+        self._wire = (address, payload)

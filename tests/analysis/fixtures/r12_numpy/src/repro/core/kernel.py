@@ -1,0 +1,13 @@
+"""R12 fixture: dtype drift and an in-place write through a view."""
+
+import numpy as np
+
+
+def normalize(matrix: np.ndarray) -> np.ndarray:
+    flat = matrix.ravel()
+    flat /= flat.sum()
+    return flat
+
+
+def compact(matrix: np.ndarray) -> np.ndarray:
+    return np.asarray(matrix, dtype=np.float32)

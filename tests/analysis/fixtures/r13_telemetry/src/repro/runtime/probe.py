@@ -1,0 +1,10 @@
+"""R13 fixture: event allocated before the enabled guard."""
+
+from repro.obs.events import IterationEvent
+
+
+class Stepper:
+    def step(self, telemetry: object, utility: float) -> None:
+        event = IterationEvent(iteration=1, utility=utility, t_ns=0, at=0.0)
+        if telemetry.enabled:
+            telemetry.emit(event)

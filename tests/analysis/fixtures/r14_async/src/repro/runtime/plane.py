@@ -1,0 +1,16 @@
+"""R14 fixture: a dropped coroutine and a blocking sleep on the control plane."""
+
+import time
+
+
+async def checkpoint() -> None:
+    return None
+
+
+class ControlPlane:
+    async def tick(self) -> None:
+        await checkpoint()
+
+    async def run(self) -> None:
+        self.tick()
+        time.sleep(0.05)

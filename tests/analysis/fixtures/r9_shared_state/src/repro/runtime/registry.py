@@ -1,0 +1,3 @@
+"""R9 fixture: a module-level mutable registry, defined here ..."""
+
+SHARED_QUEUE: list = []

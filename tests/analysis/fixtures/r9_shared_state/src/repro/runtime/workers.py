@@ -1,0 +1,22 @@
+"""... and touched, cross-module, from two different agent classes.
+
+``ProducerAgent.receive`` writes through a helper; ``DrainAgent.act``
+reads directly.  Neither module alone shows the race — only the project
+call graph connects both callback classes to ``registry.SHARED_QUEUE``.
+"""
+
+from repro.runtime.registry import SHARED_QUEUE
+
+
+def enqueue(item: object) -> None:
+    SHARED_QUEUE.append(item)
+
+
+class ProducerAgent:
+    def receive(self, message: object) -> None:
+        enqueue(message)
+
+
+class DrainAgent:
+    def act(self, stamp: float) -> list:
+        return list(SHARED_QUEUE)

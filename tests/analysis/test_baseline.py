@@ -1,0 +1,157 @@
+"""Tests for the findings-baseline machinery (``repro.analysis.baseline``).
+
+Covers the satellite's three asks: snapshot round-trips, stale-entry
+pruning, and how a baseline composes with ``repro lint --strict`` at the
+CLI boundary.
+"""
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    Severity,
+    apply_baseline,
+    load_baseline,
+    prune_baseline,
+    stale_entries,
+    write_baseline,
+)
+from repro.cli import main
+
+
+def finding(rule="R2", path="src/repro/core/x.py", line=3, message="bad"):
+    return Finding(
+        rule_id=rule,
+        severity=Severity.ERROR,
+        path=path,
+        line=line,
+        message=message,
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_load_recovers_counts(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [finding(), finding(), finding(rule="R3", message="other")]
+        assert write_baseline(findings, path) == 3
+        loaded = load_baseline(path)
+        assert loaded[findings[0].fingerprint()] == 2
+        assert loaded[findings[2].fingerprint()] == 1
+        assert sum(loaded.values()) == 3
+
+    def test_snapshot_is_line_insensitive(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding(line=3)], path)
+        # The same violation moved 40 lines down is still baselined.
+        assert apply_baseline([finding(line=43)], load_baseline(path)) == []
+
+    def test_snapshot_is_deterministic_bytes(self, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        findings = [finding(rule=r) for r in ("R3", "R1", "R2")]
+        write_baseline(findings, first)
+        write_baseline(list(reversed(findings)), second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "fingerprints": {}}))
+        with pytest.raises(ValueError, match="unsupported baseline format"):
+            load_baseline(path)
+
+    def test_apply_counts_per_fingerprint(self):
+        baseline = Counter({finding().fingerprint(): 1})
+        kept = apply_baseline([finding(line=1), finding(line=9)], baseline)
+        # Two identical violations, budget of one: one stays visible.
+        assert len(kept) == 1
+
+
+class TestStalePruning:
+    def test_no_stale_entries_on_exact_match(self):
+        baseline = Counter({finding().fingerprint(): 1})
+        assert stale_entries([finding()], baseline) == Counter()
+
+    def test_fixed_violation_becomes_stale(self):
+        baseline = Counter(
+            {finding().fingerprint(): 2, finding(rule="R3").fingerprint(): 1}
+        )
+        # One of the two R2 instances was fixed; the R3 one remains.
+        stale = stale_entries([finding(), finding(rule="R3")], baseline)
+        assert stale == Counter({finding().fingerprint(): 1})
+
+    def test_prune_rewrites_only_when_stale(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding()], path)
+        before = path.read_bytes()
+        assert prune_baseline([finding()], path) == 0
+        assert path.read_bytes() == before  # untouched on a clean run
+
+    def test_prune_drops_fixed_entries(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding(), finding(), finding(rule="R3")], path)
+        assert prune_baseline([finding()], path) == 2
+        loaded = load_baseline(path)
+        assert loaded == Counter({finding().fingerprint(): 1})
+
+    def test_prune_then_apply_shelters_nothing_extra(self, tmp_path):
+        # The ratchet property: after pruning, a regression of the fixed
+        # violation is reported again instead of consuming stale budget.
+        path = tmp_path / "baseline.json"
+        write_baseline([finding()], path)
+        prune_baseline([], path)  # violation fixed -> entry pruned
+        regressed = [finding(line=77)]
+        assert apply_baseline(regressed, load_baseline(path)) == regressed
+
+
+class TestCliStrictInteraction:
+    @pytest.fixture()
+    def dirty_tree(self, tmp_path):
+        """A file with one R2 violation (float == on a rate)."""
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "knob.py").write_text(
+            '"""Module docstring."""\n\n'
+            "def is_clamped(rate: float) -> bool:\n"
+            '    """Docstring."""\n'
+            "    return rate == 0.0\n"
+        )
+        return tmp_path
+
+    def _lint(self, *argv):
+        try:
+            return main(list(argv))
+        except SystemExit as error:  # argparse or explicit exit paths
+            return int(error.code or 0)
+
+    def test_strict_fails_then_baseline_absorbs(self, dirty_tree, capsys):
+        target = str(dirty_tree / "src")
+        assert self._lint("lint", "--strict", target) == 1
+        baseline = str(dirty_tree / "baseline.json")
+        assert self._lint("lint", target, "--write-baseline", baseline) == 0
+        # Same violation + baseline: strict mode passes again.
+        assert self._lint("lint", "--strict", target, "--baseline", baseline) == 0
+        capsys.readouterr()
+
+    def test_stale_baseline_noted_on_stderr(self, dirty_tree, capsys):
+        target = str(dirty_tree / "src")
+        baseline = str(dirty_tree / "baseline.json")
+        self._lint("lint", target, "--write-baseline", baseline)
+        # Fix the violation out from under the baseline.
+        knob = dirty_tree / "src" / "repro" / "core" / "knob.py"
+        knob.write_text(
+            '"""Module docstring."""\n\n'
+            "from repro.utility.tolerance import is_zero\n\n"
+            "def is_clamped(rate: float) -> bool:\n"
+            '    """Docstring."""\n'
+            "    return is_zero(rate)\n"
+        )
+        assert self._lint("lint", "--strict", target, "--baseline", baseline) == 0
+        captured = capsys.readouterr()
+        assert "stale baseline" in captured.err
+
+    def test_missing_baseline_file_is_an_error(self, dirty_tree):
+        target = str(dirty_tree / "src")
+        with pytest.raises(SystemExit, match="baseline file not found"):
+            main(["lint", target, "--baseline", str(dirty_tree / "nope.json")])

@@ -1,0 +1,320 @@
+"""Project-level engine + R9–R14 rule pack, driven by checked-in fixtures.
+
+The ``tests/analysis/fixtures/rNN_*`` trees are miniature projects, each
+containing a true positive for one rule — cross-module where the rule is
+interprocedural, so a per-file scanner provably cannot find them (asserted
+below by re-running with ``project=False``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, analyze_paths
+from repro.analysis.engine import build_context
+from repro.analysis.project import ProjectContext, build_project
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _findings(tree: str, rule_id: str, *, project: bool = True):
+    root = FIXTURES / tree
+    assert root.is_dir(), f"missing fixture tree {root}"
+    return analyze_paths([root], [RULES[rule_id]()], project=project)
+
+
+class TestRulePackFixtures:
+    """Each checked-in fixture tree yields its rule's true positive."""
+
+    def test_r9_cross_module_shared_state(self) -> None:
+        findings = _findings("r9_shared_state", "R9")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule_id == "R9"
+        assert finding.path.endswith("registry.py")
+        assert "SHARED_QUEUE" in finding.message
+        assert "ProducerAgent" in finding.message
+        assert "DrainAgent" in finding.message
+
+    def test_r9_needs_the_project_pass(self) -> None:
+        """Per-file mode cannot see the cross-module race."""
+        assert _findings("r9_shared_state", "R9", project=False) == []
+
+    def test_r10_wall_clock_two_calls_from_delivery(self) -> None:
+        findings = _findings("r10_time_purity", "R10")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path.endswith("clock.py"), (
+            "the finding must land on the wall-clock call site, not the root"
+        )
+        assert "time.time" in finding.message
+
+    def test_r10_needs_the_project_pass(self) -> None:
+        assert _findings("r10_time_purity", "R10", project=False) == []
+
+    def test_r11_unordered_iteration_on_dispatch_path(self) -> None:
+        findings = _findings("r11_iteration", "R11")
+        messages = [finding.message for finding in findings]
+        assert len(findings) == 2
+        assert any("self._peers" in message for message in messages)
+        assert any("glob.glob" in message for message in messages)
+
+    def test_r11_findings_carry_mechanical_fixes(self) -> None:
+        findings = _findings("r11_iteration", "R11")
+        assert findings
+        for finding in findings:
+            assert finding.fix is not None
+            assert finding.fix.replacement.startswith("sorted(")
+
+    def test_r12_view_aliasing_and_dtype_drift(self) -> None:
+        findings = _findings("r12_numpy", "R12")
+        messages = [finding.message for finding in findings]
+        assert len(findings) == 2
+        assert any("view" in message for message in messages)
+        assert any("float32" in message for message in messages)
+
+    def test_r13_event_allocated_before_guard(self) -> None:
+        findings = _findings("r13_telemetry", "R13")
+        assert len(findings) == 1
+        assert "IterationEvent" in findings[0].message
+
+    def test_r14_dropped_coroutine_and_blocking_sleep(self) -> None:
+        findings = _findings("r14_async", "R14")
+        messages = [finding.message for finding in findings]
+        assert len(findings) == 2
+        assert any("never awaited" in message for message in messages)
+        assert any("time.sleep" in message for message in messages)
+
+    @pytest.mark.parametrize(
+        "tree,rule_id",
+        [
+            ("r9_shared_state", "R9"),
+            ("r10_time_purity", "R10"),
+            ("r11_iteration", "R11"),
+            ("r12_numpy", "R12"),
+            ("r13_telemetry", "R13"),
+            ("r14_async", "R14"),
+        ],
+    )
+    def test_full_rule_set_still_reports_the_rule(
+        self, tree: str, rule_id: str
+    ) -> None:
+        """The pack finding survives a full R1–R14 run over the tree."""
+        findings = analyze_paths([FIXTURES / tree])
+        assert any(finding.rule_id == rule_id for finding in findings)
+
+
+class TestInlineSuppressions:
+    """``# repro-lint: disable=R9`` silences project-pass findings too."""
+
+    def test_project_finding_respects_line_suppression(
+        self, tmp_path: Path
+    ) -> None:
+        module = tmp_path / "src" / "repro" / "runtime" / "shared.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(
+            "CACHE: dict = {}  # repro-lint: disable=R9\n"
+            "\n"
+            "\n"
+            "class ReadAgent:\n"
+            "    def act(self, stamp: float) -> object:\n"
+            "        return CACHE.get('x')\n"
+            "\n"
+            "\n"
+            "class WriteAgent:\n"
+            "    def receive(self, message: object) -> None:\n"
+            "        CACHE['x'] = message\n",
+            encoding="utf-8",
+        )
+        assert analyze_paths([tmp_path], [RULES["R9"]()]) == []
+        without = module.read_text(encoding="utf-8").replace(
+            "  # repro-lint: disable=R9", ""
+        )
+        module.write_text(without, encoding="utf-8")
+        assert len(analyze_paths([tmp_path], [RULES["R9"]()])) == 1
+
+
+class TestProjectContext:
+    """The symbol-table / call-graph substrate itself."""
+
+    def _project(self, tmp_path: Path, files: dict[str, str]) -> ProjectContext:
+        for relpath, source in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source, encoding="utf-8")
+        project, errors = build_project([tmp_path])
+        assert errors == []
+        return project
+
+    def test_alias_aware_import_resolution(self, tmp_path: Path) -> None:
+        project = self._project(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    "import numpy as np\n"
+                    "from time import sleep as nap\n"
+                    "import os.path\n"
+                )
+            },
+        )
+        imports = project.modules["repro.mod"].imports
+        assert imports["np"] == "numpy"
+        assert imports["nap"] == "time.sleep"
+        assert imports["os"] == "os"
+
+    def test_cross_module_call_edge(self, tmp_path: Path) -> None:
+        project = self._project(
+            tmp_path,
+            {
+                "src/repro/a.py": (
+                    "from repro.b import helper\n"
+                    "\n"
+                    "def caller() -> int:\n"
+                    "    return helper()\n"
+                ),
+                "src/repro/b.py": "def helper() -> int:\n    return 1\n",
+            },
+        )
+        assert "repro.b.helper" in project.callees("repro.a.caller")
+        assert "repro.a.caller" in project.callers("repro.b.helper")
+
+    def test_self_method_call_resolves_precisely(self, tmp_path: Path) -> None:
+        project = self._project(
+            tmp_path,
+            {
+                "src/repro/c.py": (
+                    "class Box:\n"
+                    "    def outer(self) -> int:\n"
+                    "        return self.inner()\n"
+                    "\n"
+                    "    def inner(self) -> int:\n"
+                    "        return 2\n"
+                )
+            },
+        )
+        assert project.callees("repro.c.Box.outer") == frozenset(
+            {"repro.c.Box.inner"}
+        )
+
+    def test_method_name_edges_are_conservative(self, tmp_path: Path) -> None:
+        """``obj.deliver()`` on an unknown receiver reaches every project
+        ``deliver`` — over-approximation, never under-approximation."""
+        project = self._project(
+            tmp_path,
+            {
+                "src/repro/d.py": (
+                    "def kick(obj: object) -> None:\n"
+                    "    obj.deliver()\n"
+                    "\n"
+                    "\n"
+                    "class A:\n"
+                    "    def deliver(self) -> None:\n"
+                    "        pass\n"
+                    "\n"
+                    "\n"
+                    "class B:\n"
+                    "    def deliver(self) -> None:\n"
+                    "        pass\n"
+                )
+            },
+        )
+        assert project.callees("repro.d.kick") == frozenset(
+            {"repro.d.A.deliver", "repro.d.B.deliver"}
+        )
+
+    def test_reachability_is_transitive_and_inclusive(
+        self, tmp_path: Path
+    ) -> None:
+        project = self._project(
+            tmp_path,
+            {
+                "src/repro/e.py": (
+                    "def a() -> None:\n    b()\n"
+                    "\n"
+                    "def b() -> None:\n    c()\n"
+                    "\n"
+                    "def c() -> None:\n    pass\n"
+                    "\n"
+                    "def unrelated() -> None:\n    pass\n"
+                )
+            },
+        )
+        reachable = project.reachable_from(["repro.e.a"])
+        assert reachable == {"repro.e.a", "repro.e.b", "repro.e.c"}
+        feeding = project.reaching(["repro.e.c"])
+        assert feeding == {"repro.e.a", "repro.e.b", "repro.e.c"}
+
+    def test_traversal_stops_at_allowlisted_modules(self, tmp_path: Path) -> None:
+        project = self._project(
+            tmp_path,
+            {
+                "src/repro/f.py": (
+                    "from repro.exempt import stamp\n"
+                    "\n"
+                    "def entry() -> object:\n    return stamp()\n"
+                ),
+                "src/repro/exempt.py": (
+                    "def stamp() -> object:\n    return leak()\n"
+                    "\n"
+                    "def leak() -> object:\n    return None\n"
+                ),
+            },
+        )
+        reachable = project.reachable_from(
+            ["repro.f.entry"], stop=("repro.exempt",)
+        )
+        assert "repro.exempt.stamp" in reachable  # reached ...
+        assert "repro.exempt.leak" not in reachable  # ... but not traversed
+
+    def test_mutable_global_detection_kinds(self, tmp_path: Path) -> None:
+        project = self._project(
+            tmp_path,
+            {
+                "src/repro/g.py": (
+                    "import numpy as np\n"
+                    "from collections import deque\n"
+                    "\n"
+                    "ITEMS = []\n"
+                    "TABLE: dict = {}\n"
+                    "SEEN = set()\n"
+                    "RING = deque()\n"
+                    "GRID = np.zeros(4)\n"
+                    "LIMIT = 3\n"
+                    "NAMES = ('a', 'b')\n"
+                )
+            },
+        )
+        kinds = {
+            g.name: g.kind for g in project.mutable_globals.values()
+        }
+        assert kinds == {
+            "ITEMS": "list",
+            "TABLE": "dict",
+            "SEEN": "call:set",
+            "RING": "call:deque",
+            "GRID": "ndarray:zeros",
+        }
+
+    def test_parse_error_is_reported_not_fatal(self, tmp_path: Path) -> None:
+        bad = tmp_path / "src" / "repro" / "broken.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def oops(:\n", encoding="utf-8")
+        project, errors = build_project([tmp_path])
+        assert project.functions == {}
+        assert len(errors) == 1
+        assert errors[0].rule_id == "E000"
+
+    def test_module_context_backref_is_set(self, tmp_path: Path) -> None:
+        module = tmp_path / "src" / "repro" / "h.py"
+        module.parent.mkdir(parents=True)
+        module.write_text("def f() -> None:\n    pass\n", encoding="utf-8")
+        context = build_context(module)
+        project = ProjectContext([context])
+        analyze = analyze_paths([tmp_path])
+        del analyze, project
+        # analyze_paths with project mode attaches the backref lazily; do
+        # the same by hand and assert the invariant build_project keeps.
+        built, _ = build_project([tmp_path])
+        assert all(ctx.project is built for ctx in built.contexts)

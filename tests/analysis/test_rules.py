@@ -137,6 +137,142 @@ FIXTURES: dict[str, RuleFixture] = {
         clean='"""Implements the projection of eq. 12."""\n',
         design="The design covers eq. 12 and eq. 13 only.",
     ),
+    "R9": RuleFixture(
+        relpath="src/repro/runtime/registry.py",
+        violating=(
+            "PENDING: dict = {}\n"
+            "\n"
+            "\n"
+            "class IngressAgent:\n"
+            "    def receive(self, message: object) -> None:\n"
+            "        PENDING[str(message)] = message\n"
+            "\n"
+            "\n"
+            "class EgressAgent:\n"
+            "    def act(self, stamp: float) -> list:\n"
+            "        return list(PENDING)\n"
+        ),
+        clean=(
+            "class IngressAgent:\n"
+            "    def __init__(self) -> None:\n"
+            "        self._pending: dict = {}\n"
+            "\n"
+            "    def receive(self, message: object) -> None:\n"
+            "        self._pending[str(message)] = message\n"
+        ),
+    ),
+    "R10": RuleFixture(
+        relpath="src/repro/runtime/clocked.py",
+        violating=(
+            "import time\n"
+            "\n"
+            "\n"
+            "def stamp() -> float:\n"
+            "    return time.time()\n"
+            "\n"
+            "\n"
+            "class TickRuntime:\n"
+            "    def _handle_deliver(self, message: object) -> None:\n"
+            "        self._last = stamp()\n"
+        ),
+        clean=(
+            "from repro.obs.events import now_ns\n"
+            "\n"
+            "\n"
+            "class TickRuntime:\n"
+            "    def _handle_deliver(self, message: object) -> None:\n"
+            "        self._last = now_ns()\n"
+        ),
+    ),
+    "R11": RuleFixture(
+        relpath="src/repro/runtime/dispatcher.py",
+        violating=(
+            "class QueueRuntime:\n"
+            "    def _dispatch(self, pending: set[str]) -> None:\n"
+            "        for address in pending:\n"
+            "            self._send(address)\n"
+            "\n"
+            "    def _send(self, address: str) -> None:\n"
+            "        self._out = address\n"
+        ),
+        clean=(
+            "class QueueRuntime:\n"
+            "    def _dispatch(self, pending: set[str]) -> None:\n"
+            "        for address in sorted(pending):\n"
+            "            self._send(address)\n"
+            "\n"
+            "    def _send(self, address: str) -> None:\n"
+            "        self._out = address\n"
+        ),
+    ),
+    "R12": RuleFixture(
+        relpath="src/repro/core/kernels.py",
+        violating=(
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def halve(matrix: np.ndarray) -> np.ndarray:\n"
+            "    flat = matrix.ravel()\n"
+            "    flat *= 0.5\n"
+            "    return flat.astype(np.float32)\n"
+        ),
+        clean=(
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def halve(matrix: np.ndarray) -> np.ndarray:\n"
+            "    return np.asarray(matrix * 0.5, dtype=np.float64)\n"
+        ),
+    ),
+    "R13": RuleFixture(
+        relpath="src/repro/runtime/ticker.py",
+        violating=(
+            "from repro.obs.events import IterationEvent\n"
+            "\n"
+            "\n"
+            "class Loop:\n"
+            "    def step(self, telemetry: object) -> None:\n"
+            "        event = IterationEvent(iteration=1, utility=0.0)\n"
+            "        if telemetry.enabled:\n"
+            "            telemetry.emit(event)\n"
+        ),
+        clean=(
+            "from repro.obs.events import IterationEvent\n"
+            "\n"
+            "\n"
+            "class Loop:\n"
+            "    def step(self, telemetry: object) -> None:\n"
+            "        if telemetry.enabled:\n"
+            "            telemetry.emit(IterationEvent(iteration=1, utility=0.0))\n"
+        ),
+    ),
+    "R14": RuleFixture(
+        relpath="src/repro/runtime/service.py",
+        violating=(
+            "import time\n"
+            "\n"
+            "\n"
+            "async def flush() -> None:\n"
+            "    return None\n"
+            "\n"
+            "\n"
+            "async def control_loop() -> None:\n"
+            "    flush()\n"
+            "    time.sleep(0.1)\n"
+        ),
+        clean=(
+            "import asyncio\n"
+            "\n"
+            "\n"
+            "async def flush() -> None:\n"
+            "    return None\n"
+            "\n"
+            "\n"
+            "async def control_loop() -> None:\n"
+            "    await flush()\n"
+            "    await asyncio.sleep(0.1)\n"
+        ),
+    ),
 }
 
 

@@ -69,6 +69,51 @@ class TestComputePruneSet:
         assert ("A", "f") not in prune.flow_nodes
         assert prune.flow_links == frozenset()
 
+    def test_prune_set_is_hash_seed_independent(self):
+        # Regression for an R11 finding: the per-flow pruned_nodes /
+        # pruned_links working sets were iterated unsorted when folded
+        # into the result.  The fold targets are sets too, so no output
+        # difference was observable — but the determinism contract
+        # (docs/analysis.md) demands the fold order be defined anyway, so
+        # any future ordered consumer (trace events, logs) stays
+        # hash-seed-independent.  Prove the whole computation is: run it
+        # in fresh interpreters under two hash seeds and compare.
+        import json
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = (
+            "import json, sys\n"
+            "from tests.core.test_two_stage import chain_problem\n"
+            "from repro.core.two_stage import compute_prune_set\n"
+            "from repro.model.allocation import Allocation\n"
+            "problem = chain_problem()\n"
+            "allocation = Allocation(rates={'f': 5.0},"
+            " populations={'ca': 0, 'cb': 0})\n"
+            "prune = compute_prune_set(problem, allocation)\n"
+            "json.dump({'nodes': sorted(map(list, prune.flow_nodes)),"
+            " 'links': sorted(map(list, prune.flow_links))}, sys.stdout)\n"
+        )
+        repo_root = Path(__file__).resolve().parents[2]
+        outputs = {}
+        for seed in ("0", "1"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = os.pathsep.join(
+                [str(repo_root / "src"), str(repo_root)]
+            )
+            completed = subprocess.run(
+                [sys.executable, "-c", script],
+                env=env, cwd=repo_root, capture_output=True, text=True,
+                timeout=60,
+            )
+            assert completed.returncode == 0, completed.stderr
+            outputs[seed] = completed.stdout
+        assert outputs["0"] == outputs["1"]
+        assert json.loads(outputs["0"])["nodes"]  # something was pruned
+
 
 class TestTwoStageOptimize:
     def test_no_pruning_returns_stage1(self, tiny_problem):

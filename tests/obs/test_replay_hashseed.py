@@ -1,0 +1,116 @@
+"""Live-vs-replay bit-identity must not depend on ``PYTHONHASHSEED``.
+
+The determinism contract (docs/analysis.md) promises that a captured
+trace replays to the exact live state regardless of Python's per-process
+hash randomization.  Hash ordering leaks into behavior through unordered
+``set``/``dict`` iteration feeding message schedules or trace events —
+exactly what lint rule R11 exists to catch statically.  This test is the
+dynamic end of the same guard: it reruns a fault-injected asynchronous
+run + replay in fresh interpreters under two different hash seeds and
+asserts
+
+* live final state == replayed final state *within* each interpreter, and
+* the canonical JSON dump is *byte-identical across* the two seeds.
+
+CI runs the whole suite under ``PYTHONHASHSEED`` 0 and 1 as matrix legs;
+this test additionally proves cross-seed identity inside a single leg, so
+a hash-order dependency fails loudly rather than only when the two legs'
+artifacts are compared by hand.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Runs in a fresh interpreter: chaos run -> replay -> canonical JSON on
+#: stdout.  Any live-vs-replay mismatch raises inside the subprocess.
+_SCRIPT = """
+import json
+import sys
+
+from repro.events.reliability import RetryPolicy
+from repro.obs import MemorySink, Telemetry
+from repro.obs.replay import ReplayEngine
+from repro.runtime.asynchronous import AsyncConfig, AsynchronousRuntime
+from repro.runtime.faults import FaultPlan
+from repro.workloads.micro import micro_workload
+
+problem = micro_workload()
+plan = FaultPlan.random(
+    problem, seed=7, horizon=40.0, crash_rate=0.02,
+    storm_rate=0.01, partition_rate=0.01, warmup=5.0,
+)
+sink = MemorySink()
+runtime = AsynchronousRuntime(
+    problem,
+    AsyncConfig(seed=3, loss_probability=0.05),
+    fault_plan=plan,
+    retry=RetryPolicy(timeout=2.0, max_retries=3),
+    telemetry=Telemetry(sink=sink),
+    trace_id="hashseed-test",
+)
+runtime.run_until(40.0)
+
+final = ReplayEngine(sink.events).final()
+allocation = runtime.allocation()
+assert final.rates == allocation.rates, "replay rates != live rates"
+assert final.populations == allocation.populations, "replay populations != live"
+assert final.node_prices == runtime.node_prices(), "replay node prices != live"
+assert final.link_prices == runtime.link_prices(), "replay link prices != live"
+assert final.down == runtime.down_agents, "replay down-set != live"
+
+payload = {
+    "rates": dict(sorted(final.rates.items())),
+    "populations": dict(sorted(final.populations.items())),
+    "node_prices": dict(sorted(final.node_prices.items())),
+    "link_prices": dict(sorted(final.link_prices.items())),
+    "utility": final.utility,
+    "down": sorted(final.down),
+    "events": len(sink.events),
+}
+json.dump(payload, sys.stdout, sort_keys=True)
+"""
+
+
+def _run_leg(hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    src = str(_REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        env=env,
+        cwd=_REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, (
+        f"PYTHONHASHSEED={hash_seed} leg failed:\n{completed.stderr}"
+    )
+    return completed.stdout
+
+
+class TestHashSeedIndependence:
+    @pytest.fixture(scope="class")
+    def legs(self):
+        return {seed: _run_leg(seed) for seed in ("0", "1")}
+
+    def test_each_leg_produces_a_converged_state(self, legs):
+        for seed, output in legs.items():
+            payload = json.loads(output)
+            assert payload["rates"], f"seed {seed}: empty final rates"
+            assert payload["events"] > 0
+
+    def test_final_state_is_byte_identical_across_hash_seeds(self, legs):
+        assert legs["0"] == legs["1"], (
+            "live+replay final state depends on PYTHONHASHSEED; an "
+            "unordered set/dict iteration is feeding the event stream "
+            "(see lint rule R11)"
+        )

@@ -176,6 +176,24 @@ class TestCsvSink:
         sink.close()
         assert buffer.getvalue().splitlines()[0] == "iteration,utility"
 
+    def test_drop_order_never_affects_output(self):
+        # Regression for an R11 finding: ``drop`` used to be stored as a
+        # frozenset and iterated per event, tying the (future-proofed)
+        # emit path to hash iteration order.  The stored form is now a
+        # sorted tuple, so permuted construction orders are one state.
+        def render(drop):
+            buffer = io.StringIO()
+            sink = CsvSink(buffer, drop=drop)
+            sink.emit(iteration(1))
+            sink.emit(iteration(2, rates={"fa": 1.5}))
+            sink.close()
+            return buffer.getvalue()
+
+        forward = render(("type", "t_ns", "rate:fa"))
+        backward = render(("rate:fa", "t_ns", "type", "t_ns"))  # dupes too
+        assert forward == backward
+        assert CsvSink(io.StringIO(), drop=("b", "a", "b"))._drop == ("a", "b")
+
     def test_writes_file_and_close_is_idempotent(self, tmp_path):
         path = tmp_path / "trace.csv"
         sink = CsvSink(path)

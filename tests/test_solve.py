@@ -6,8 +6,15 @@ import pytest
 
 import repro
 from repro.core.lrgp import LRGPConfig
-from repro.solve import ENGINE_METHODS, SolveResult, available_methods, solve
+from repro.solve import (
+    ENGINE_METHODS,
+    VECTORIZED_MIN_FLOWS,
+    SolveResult,
+    available_methods,
+    solve,
+)
 from repro.utility.tolerance import ENGINE_EQUIVALENCE_RTOL
+from repro.workloads.base import base_workload
 from repro.workloads.bottleneck import link_bottleneck_workload
 from repro.workloads.micro import micro_workload
 
@@ -66,10 +73,14 @@ class TestMethodMatrix:
 
 
 class TestLRGPFamily:
-    def test_vectorized_engine_matches_reference(self, problem):
+    def test_vectorized_engine_matches_reference(self):
+        # base_workload sits above the dispatch crossover, so the
+        # vectorized request is honored as-is.
+        problem = base_workload()
         reference = solve(problem, "lrgp", iterations=80)
         vectorized = solve(problem, "lrgp", engine="vectorized", iterations=80)
         assert vectorized.engine == "vectorized"
+        assert "engine_fallback" not in vectorized.metadata
         assert len(vectorized.utilities) == len(reference.utilities)
         for expected, actual in zip(reference.utilities, vectorized.utilities):
             assert actual == pytest.approx(
@@ -100,11 +111,13 @@ class TestLRGPFamily:
             result.utility
         )
 
-    def test_two_stage_vectorized_engine(self, problem):
+    def test_two_stage_vectorized_engine(self):
+        problem = base_workload()
         reference = solve(problem, "two_stage", iterations=40)
         vectorized = solve(
             problem, "two_stage", engine="vectorized", iterations=40
         )
+        assert vectorized.engine == "vectorized"
         assert vectorized.utility == pytest.approx(
             reference.utility, rel=ENGINE_EQUIVALENCE_RTOL, abs=1e-9
         )
@@ -114,6 +127,54 @@ class TestLRGPFamily:
         multi = solve(problem, "multirate", iterations=100)
         assert multi.utility >= single.utility - 1e-6
         assert multi.allocation.to_single_rate().rates
+
+
+class TestEngineDispatch:
+    """Small-problem fallback: ``engine="vectorized"`` below the measured
+    crossover (BENCH_engines.json, "dispatch" section) runs the reference
+    engine and says so in ``metadata["engine_fallback"]``."""
+
+    def test_micro_workload_is_below_crossover(self, problem):
+        assert len(problem.flows) < VECTORIZED_MIN_FLOWS
+
+    @pytest.mark.parametrize("method", sorted(ENGINE_METHODS))
+    def test_small_problem_falls_back_to_reference(self, problem, method):
+        result = solve(problem, method, engine="vectorized", iterations=30)
+        assert result.engine == "reference"
+        fallback = result.metadata["engine_fallback"]
+        assert fallback["requested"] == "vectorized"
+        assert "crossover" in fallback["reason"]
+
+    def test_fallback_trajectory_is_exactly_reference(self, problem):
+        requested = solve(problem, "lrgp", engine="vectorized", iterations=60)
+        reference = solve(problem, "lrgp", engine="reference", iterations=60)
+        # Bit-identical, not approximately equal: the fallback *is* the
+        # reference engine, not a vectorized run with looser tolerances.
+        assert requested.utilities == reference.utilities
+        assert "engine_fallback" not in reference.metadata
+
+    def test_large_problem_honors_vectorized_request(self):
+        problem = base_workload()
+        assert len(problem.flows) >= VECTORIZED_MIN_FLOWS
+        result = solve(problem, "lrgp", engine="vectorized", iterations=30)
+        assert result.engine == "vectorized"
+        assert "engine_fallback" not in result.metadata
+
+    def test_explicit_reference_request_never_annotated(self, problem):
+        result = solve(problem, "lrgp", engine="reference", iterations=10)
+        assert result.engine == "reference"
+        assert "engine_fallback" not in result.metadata
+
+    def test_direct_driver_construction_bypasses_dispatch(self, problem):
+        # Benchmark harnesses construct LRGP directly and must get the
+        # engine they name, even below the crossover.
+        optimizer = repro.LRGP(problem, engine="vectorized")
+        assert optimizer.engine_name == "vectorized"
+
+    def test_fallback_metadata_is_json_ready(self, problem):
+        result = solve(problem, "lrgp", engine="vectorized", iterations=10)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["metadata"]["engine_fallback"]["requested"] == "vectorized"
 
 
 class TestValidation:
