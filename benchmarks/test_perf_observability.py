@@ -56,32 +56,50 @@ def noop_bundle_ns() -> float:
     is disabled on the base workload: four null timers, one counter
     increment, one gauge set, the per-node ``telemetry.enabled`` guards
     (3 consumer nodes) and the per-controller/per-schedule
-    ``probe is not None`` guards (3 node controllers + 3 gamma schedules).
+    ``probe is not None`` guards (3 node controllers + 3 gamma schedules),
+    plus (since PR 7) the null-profiler spans — ``iteration``, ``argmax``,
+    one ``admission`` and one ``price_update`` per consumer node, one
+    link-price ``price_update``, and the per-run ``solve`` span amortized
+    over the iterations.
     """
     telemetry = NULL_TELEMETRY
     registry = telemetry.registry
+    profiler = telemetry.profiler
     probe = None
     start = time.perf_counter_ns()
     for _ in range(BUNDLE_REPEATS):
         touched = 0
-        with registry.timer("lrgp.iteration"):
-            with registry.timer("lrgp.rate_allocation"):
+        with registry.timer("lrgp.iteration"), profiler.phase("iteration"):
+            with registry.timer("lrgp.rate_allocation"), profiler.phase(
+                "argmax"
+            ):
                 pass
             with registry.timer("lrgp.consumer_allocation"):
                 for _node in range(3):
-                    if telemetry.enabled:  # pragma: no cover - never taken
-                        touched += 1
-                    if probe is not None:  # controller guard
-                        touched += 1
+                    with profiler.phase("admission"):
+                        if telemetry.enabled:  # pragma: no cover - never taken
+                            touched += 1
+                    with profiler.phase("price_update"):
+                        if probe is not None:  # controller guard
+                            touched += 1
                     if probe is not None:  # gamma-schedule guard
                         touched += 1
-            with registry.timer("lrgp.link_prices"):
+            with registry.timer("lrgp.link_prices"), profiler.phase(
+                "price_update"
+            ):
                 pass
         registry.counter("lrgp.iterations").inc()
         registry.gauge("lrgp.utility").set(float(touched))
         if telemetry.enabled:  # pragma: no cover - never taken
             touched += 1
-    return (time.perf_counter_ns() - start) / BUNDLE_REPEATS
+    span_cost_start = time.perf_counter_ns()
+    for _ in range(BUNDLE_REPEATS):
+        with profiler.phase("solve"):  # one per run(); amortize conservatively
+            pass
+    solve_span_ns = (time.perf_counter_ns() - span_cost_start) / BUNDLE_REPEATS
+    return (
+        (span_cost_start - start) / BUNDLE_REPEATS + solve_span_ns
+    )
 
 
 def test_noop_telemetry_overhead_under_threshold():
@@ -113,4 +131,64 @@ def test_noop_telemetry_overhead_under_threshold():
     assert noop_ratio < MAX_NOOP_OVERHEAD, (
         f"null telemetry costs {100 * noop_ratio:.2f}% of an LRGP iteration "
         f"(budget {100 * MAX_NOOP_OVERHEAD:.0f}%)"
+    )
+
+
+PROFILE_ITERATIONS = 150
+
+#: Acceptance bound: phase self-times must account for the measured
+#: solve wall clock to within 2%.
+MAX_ACCOUNTING_GAP = 0.02
+
+
+def test_profiled_run_archives_phase_timings():
+    """Profile flows-x4 and archive ``BENCH_profile.json``.
+
+    The artifact feeds the bench watchdog: ``wall_time_seconds`` carries
+    a latency-like leaf so a genuine slowdown is flagged, and the
+    per-phase ``self_seconds`` entries are what ``repro bench compare``
+    ranks in its regression-blame section.
+    """
+    from repro.obs import NullSink, PhaseProfiler
+    from repro.workloads.scaling import scale_flows
+
+    profiler = PhaseProfiler()
+    telemetry = Telemetry(sink=NullSink(), enabled=False, profiler=profiler)
+    optimizer = LRGP(scale_flows(4), LRGPConfig.adaptive(telemetry=telemetry))
+    start = time.perf_counter_ns()
+    optimizer.run(PROFILE_ITERATIONS)
+    measured_ns = time.perf_counter_ns() - start
+    report = profiler.report()
+
+    assert report.total_self_wall_ns == report.total_wall_ns
+    gap = abs(report.total_wall_ns - measured_ns) / measured_ns
+    assert gap < MAX_ACCOUNTING_GAP, (
+        f"phase self-times account for {100 * (1 - gap):.2f}% of the solve "
+        f"wall clock (need {100 * (1 - MAX_ACCOUNTING_GAP):.0f}%)"
+    )
+
+    payload = {
+        "version": 1,
+        "workload": "flows-x4",
+        "iterations": PROFILE_ITERATIONS,
+        "wall_time_seconds": report.total_wall_ns / 1e9,
+        "accounting_gap": gap,
+        "phases": {
+            stat.dotted: {
+                "calls": stat.calls,
+                "self_seconds": stat.self_wall_ns / 1e9,
+                "total_seconds": stat.wall_ns / 1e9,
+            }
+            for stat in report.stats
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_profile.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print()
+    print(
+        f"profiled flows-x4 x{PROFILE_ITERATIONS}: "
+        f"{report.total_wall_ns / 1e6:.1f}ms across "
+        f"{len(report.stats)} phase(s), accounting gap {100 * gap:.3f}%"
     )

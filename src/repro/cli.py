@@ -14,6 +14,9 @@ Commands:
 * ``extension`` — run one of the extension experiments (E1-E3).
 * ``stats``     — run a workload with full telemetry and print the metrics
   snapshot (human/Prometheus/JSON) plus convergence diagnostics.
+* ``profile``   — run a workload under the hierarchical phase profiler
+  and print the phase tree (wall/CPU/self time per phase), with
+  flamegraph collapsed-stack, speedscope-JSON and report-JSON export.
 * ``trace run`` — capture the structured event stream of a run as JSONL
   (lossless, ``event_from_dict`` round-trips it; ``--gzip`` compresses)
   or flat CSV.  Bare ``repro trace <workload>`` still works (implied
@@ -45,6 +48,8 @@ Examples::
     python -m repro extension e2
     python -m repro stats micro --iterations 100
     python -m repro stats base --format prometheus -o metrics.prom
+    python -m repro profile flows-x4 --engine vectorized --flame flame.txt
+    python -m repro profile base --speedscope profile.speedscope.json
     python -m repro trace micro --format jsonl -o trace.jsonl
     python -m repro trace run base --engine async --gzip -o run.jsonl.gz
     python -m repro trace show run.jsonl.gz --type message --since 50
@@ -297,11 +302,16 @@ def cmd_extension(args: argparse.Namespace) -> int:
     return 0
 
 
-def _telemetry_run(args: argparse.Namespace, problem: Problem) -> "Telemetry":
+def _telemetry_run(
+    args: argparse.Namespace,
+    problem: Problem,
+    telemetry: "Telemetry | None" = None,
+) -> "Telemetry":
     """Run the selected engine with an in-memory telemetry capture."""
     from repro.obs import Telemetry
 
-    telemetry = Telemetry()
+    if telemetry is None:
+        telemetry = Telemetry()
     if args.engine == "sync":
         from repro.runtime.synchronous import SynchronousRuntime
 
@@ -316,7 +326,9 @@ def _telemetry_run(args: argparse.Namespace, problem: Problem) -> "Telemetry":
         ).run_until(float(args.iterations))
     else:
         config = LRGPConfig(
-            record_snapshots=args.snapshots, telemetry=telemetry
+            record_snapshots=args.snapshots,
+            telemetry=telemetry,
+            engine=args.engine if args.engine == "vectorized" else "reference",
         )
         LRGP(problem, config).run(args.iterations)
     return telemetry
@@ -379,6 +391,47 @@ def cmd_stats(args: argparse.Namespace) -> int:
             payload = rendered + "\n"
         Path(args.output).write_text(payload)
         print(f"metrics snapshot written to {args.output}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        PhaseProfiler,
+        Telemetry,
+        register_phase_metrics,
+        render_report,
+        to_collapsed,
+        to_speedscope,
+    )
+
+    problem = load_problem(args.workload)
+    profiler = PhaseProfiler(track_allocations=args.allocations)
+    args.snapshots = False  # profiling never needs per-iteration state
+    telemetry = Telemetry(profiler=profiler)
+    _telemetry_run(args, problem, telemetry=telemetry)
+    report = profiler.report()
+    # Phase gauges/counters join the run's registry so any exporter
+    # (Prometheus text, JSON snapshot) sees them alongside the timers.
+    register_phase_metrics(report, telemetry.registry)
+
+    print(f"workload:   {problem.describe()}")
+    print(f"engine:     {args.engine}")
+    print(render_report(report))
+    if args.flame is not None:
+        Path(args.flame).write_text(to_collapsed(report))
+        print(f"collapsed stacks written to {args.flame}")
+    if args.speedscope is not None:
+        Path(args.speedscope).write_text(
+            to_speedscope(report, name=f"repro profile {args.workload}")
+        )
+        print(f"speedscope profile written to {args.speedscope}")
+    if args.json is not None:
+        import json as _json
+
+        Path(args.json).write_text(
+            _json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"profile JSON written to {args.json}")
     return 0
 
 
@@ -491,6 +544,12 @@ def _render_event_line(event: object) -> str:
     return f"{clock}  {kind:<15} {detail}"
 
 
+def _is_gzip_file(path: str) -> bool:
+    """True when the file starts with the gzip magic bytes."""
+    with open(path, "rb") as stream:
+        return stream.read(2) == b"\x1f\x8b"
+
+
 def _follow_lines(path: str, idle_timeout: float) -> "Iterator[str]":
     """Tail a capture file: yield complete lines as they are appended.
 
@@ -531,6 +590,12 @@ def cmd_trace_show(args: argparse.Namespace) -> int:
     kinds = _parse_kinds(args.type)
     if not Path(args.file).is_file():
         raise SystemExit(f"no such capture: {args.file}")
+    if args.follow and _is_gzip_file(args.file):
+        raise SystemExit(
+            f"cannot --follow gzip capture {args.file}: a gzip stream only "
+            "decodes once the writer closes it; capture without --gzip, or "
+            "decompress first (gunzip) and tail the plain JSONL"
+        )
 
     def matches(event: object) -> bool:
         if kinds is not None and getattr(event, "kind", None) not in kinds:
@@ -550,7 +615,7 @@ def cmd_trace_show(args: argparse.Namespace) -> int:
             lines = iter(stream.readlines())
 
     shown = 0
-    dashboard_events: "list[TraceEvent]" = []
+    dashboard = _DashboardAggregator() if args.dashboard else None
     for line in lines:
         text = line.strip()
         if not text:
@@ -559,31 +624,71 @@ def cmd_trace_show(args: argparse.Namespace) -> int:
         if not matches(event):
             continue
         shown += 1
-        if args.dashboard:
-            dashboard_events.append(event)
+        if dashboard is not None:
+            dashboard.add(event)
             if shown % args.refresh_every == 0:
-                _render_dashboard_frame(dashboard_events)
+                _render_dashboard_frame(dashboard)
         else:
             print(_render_event_line(event))
-    if args.dashboard:
-        _render_dashboard_frame(dashboard_events, final=True)
+    if dashboard is not None:
+        _render_dashboard_frame(dashboard, final=True)
     elif shown == 0:
         print("(no matching events)")
     return 0
 
 
+#: Recent events the dashboard keeps for context; everything older is
+#: already folded into the aggregates and can be dropped.
+_DASHBOARD_WINDOW = 1000
+
+
+class _DashboardAggregator:
+    """Bounded-memory state behind ``trace show --dashboard``.
+
+    Every event is folded exactly once into a streaming
+    :class:`~repro.obs.ReplayEngine` plus per-kind counters; only a
+    rolling window of the most recent events is retained.  Memory stays
+    constant however long a ``--follow`` stream runs (the previous
+    implementation kept the whole event list and re-folded it per
+    frame).
+    """
+
+    def __init__(self, window: int = _DASHBOARD_WINDOW) -> None:
+        from collections import deque
+
+        from repro.obs import ReplayEngine
+
+        self.engine = ReplayEngine()
+        self.total = 0
+        self.kind_counts: dict[str, int] = {}
+        self.recent: "deque[TraceEvent]" = deque(maxlen=window)
+
+    def add(self, event: "TraceEvent") -> None:
+        self.engine.ingest(event)
+        self.total += 1
+        kind = getattr(event, "kind", "?")
+        self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
+        self.recent.append(event)
+
+
 def _render_dashboard_frame(
-    events: "list[TraceEvent]", final: bool = False
+    dashboard: _DashboardAggregator, final: bool = False
 ) -> None:
     """One frame of the live summary (clears screen on a real TTY)."""
-    from repro.obs import ReplayEngine, render_state
+    from repro.obs import render_state
 
-    state = ReplayEngine(events).final()
+    state = dashboard.engine.state()
     if sys.stdout.isatty():
         print("\x1b[2J\x1b[H", end="")
     header = "final" if final else "live"
-    print(f"--- trace dashboard ({header}, {len(events)} event(s)) ---")
-    print(render_state(state, total_events=len(events)))
+    print(f"--- trace dashboard ({header}, {dashboard.total} event(s)) ---")
+    print(render_state(state, total_events=dashboard.total))
+    if dashboard.kind_counts:
+        counts = ", ".join(
+            f"{kind}={dashboard.kind_counts[kind]}"
+            for kind in sorted(dashboard.kind_counts)
+        )
+        print(f"by kind:     {counts}")
     sys.stdout.flush()
 
 
@@ -956,6 +1061,43 @@ def build_parser() -> argparse.ArgumentParser:
         "(Prometheus text, or JSON with --format json)",
     )
     stats.set_defaults(func=cmd_stats)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a workload under the phase profiler; print the phase "
+        "tree and export flamegraph / speedscope artifacts",
+    )
+    profile.add_argument("workload", help="builtin name or problem JSON path")
+    profile.add_argument(
+        "--iterations", type=int, default=250,
+        help="iterations (reference/vectorized/sync) or time units (async)",
+    )
+    profile.add_argument(
+        "--engine",
+        choices=["reference", "vectorized", "sync", "async"],
+        default="reference",
+        help="which engine to profile (default: reference driver)",
+    )
+    profile.add_argument(
+        "--flame", metavar="FILE", default=None,
+        help="write collapsed stacks here (flamegraph.pl / speedscope "
+        "compatible, one 'a;b;c self_wall_ns' line per phase)",
+    )
+    profile.add_argument(
+        "--speedscope", metavar="FILE", default=None,
+        help="write a speedscope JSON profile here (open at "
+        "https://www.speedscope.app)",
+    )
+    profile.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the aggregated phase report as JSON here",
+    )
+    profile.add_argument(
+        "--allocations", action="store_true",
+        help="also record per-phase allocation growth via tracemalloc "
+        "(slows the run; wall/CPU splits stay exact)",
+    )
+    profile.set_defaults(func=cmd_profile)
 
     trace = sub.add_parser(
         "trace",

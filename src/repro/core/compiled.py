@@ -591,13 +591,14 @@ class VectorizedEngine(LRGPEngine):
         compiled = self.compiled
         telemetry = self._config.telemetry
         registry = telemetry.registry
+        profiler = telemetry.profiler
         snapshots = self._config.record_snapshots
         slack: dict[str, float] = {}
 
-        with registry.timer("lrgp.iteration"):
+        with registry.timer("lrgp.iteration"), profiler.phase("iteration"):
             # 1. Rate allocation (Algorithm 1): prices from last iteration's
             #    populations, then the batched argmax of eq. 7.
-            with registry.timer("lrgp.rate_allocation"):
+            with registry.timer("lrgp.rate_allocation"), profiler.phase("argmax"):
                 populations = np.array(self._populations, dtype=np.float64)
                 prices = compiled.flow_prices(
                     populations,
@@ -607,11 +608,16 @@ class VectorizedEngine(LRGPEngine):
                 self._rates = self._solve_rates(prices, populations)
 
             # 2. Consumer allocation (Algorithm 2) and node prices (eq. 12).
+            #    Same phase names as the reference engine, so profiles of
+            #    the two engines diff phase-for-phase; γ observation runs
+            #    inline in _update_node_prices and folds into price_update.
             with registry.timer("lrgp.consumer_allocation"):
-                values = compiled.class_values(self._rates)
-                new_populations, used, best = self._admit(values)
-                self._populations = new_populations
-                self._update_node_prices(best, used)
+                with profiler.phase("admission"):
+                    values = compiled.class_values(self._rates)
+                    new_populations, used, best = self._admit(values)
+                    self._populations = new_populations
+                with profiler.phase("price_update"):
+                    self._update_node_prices(best, used)
                 if snapshots:
                     for b, nid in enumerate(compiled.node_ids):
                         slack[f"node:{nid}"] = self._node_capacity_list[b] - used[b]
@@ -632,7 +638,7 @@ class VectorizedEngine(LRGPEngine):
                         )
 
             # 3. Link prices (eq. 13).
-            with registry.timer("lrgp.link_prices"):
+            with registry.timer("lrgp.link_prices"), profiler.phase("price_update"):
                 if compiled.n_links:
                     usage = compiled.link_usages(self._rates).tolist()
                     self._update_link_prices(usage)

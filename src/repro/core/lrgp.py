@@ -251,12 +251,18 @@ class LRGP:
         return record
 
     def run(self, iterations: int) -> list[IterationRecord]:
-        """Run a fixed number of iterations, returning their records."""
+        """Run a fixed number of iterations, returning their records.
+
+        The whole batch runs under one ``solve`` profiler phase, so the
+        per-iteration phases nest as ``solve -> iteration -> ...`` and
+        the sum of phase self-times accounts for the run's wall clock.
+        """
         if iterations < 0:
             raise ValueError(f"iterations must be non-negative, got {iterations}")
         start = len(self._records)
-        for _ in range(iterations):
-            self.step()
+        with self._config.telemetry.profiler.phase("solve"):
+            for _ in range(iterations):
+                self.step()
         return self._records[start:]
 
     def run_until_converged(

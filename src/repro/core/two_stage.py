@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.core.lrgp import LRGP, LRGPConfig
 from repro.model.allocation import Allocation
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.model.entities import FlowId, LinkId, NodeId
 from repro.model.problem import Problem
 from repro.utility.tolerance import is_zero
@@ -120,13 +121,17 @@ def two_stage_optimize(
     stage 1 and is not re-run.  ``engine`` overrides the config's LRGP
     engine selection for both stages (:mod:`repro.core.engines`).
     """
+    telemetry = config.telemetry if config is not None else NULL_TELEMETRY
+    profiler = telemetry.profiler
     stage1 = LRGP(problem, config, engine=engine)
-    stage1.run(iterations)
+    with profiler.phase("stage1"):
+        stage1.run(iterations)
     allocation1 = stage1.allocation()
     utility1 = stage1.utilities[-1]
     utilities1 = tuple(stage1.utilities)
 
-    prune_set = compute_prune_set(problem, allocation1)
+    with profiler.phase("prune"):
+        prune_set = compute_prune_set(problem, allocation1)
     if prune_set.is_empty():
         return TwoStageResult(
             stage1_utility=utility1,
@@ -145,7 +150,8 @@ def two_stage_optimize(
     )
     pruned_problem = problem.with_costs(pruned_costs)
     stage2 = LRGP(pruned_problem, config, engine=engine)
-    stage2.run(iterations)
+    with profiler.phase("stage2"):
+        stage2.run(iterations)
 
     return TwoStageResult(
         stage1_utility=utility1,

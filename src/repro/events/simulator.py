@@ -160,10 +160,11 @@ class EventInfrastructure:
     # -- message path ---------------------------------------------------------
 
     def _publish(self, producer: Producer) -> None:
-        message = producer.publish(self.engine.now)
-        self.telemetry.registry.counter("sim.publications").inc()
-        self._arrive(message, self._problem.flows[producer.flow_id].source)
-        self._schedule_next_publication(producer)
+        with self.telemetry.profiler.phase("publish"):
+            message = producer.publish(self.engine.now)
+            self.telemetry.registry.counter("sim.publications").inc()
+            self._arrive(message, self._problem.flows[producer.flow_id].source)
+            self._schedule_next_publication(producer)
 
     def _schedule_next_publication(self, producer: Producer) -> None:
         interval = producer.next_interval()
@@ -189,6 +190,10 @@ class EventInfrastructure:
         )
 
     def _process(self, message: EventMessage, node_id: NodeId) -> None:
+        with self.telemetry.profiler.phase("delivery"):
+            self._process_inner(message, node_id)
+
+    def _process_inner(self, message: EventMessage, node_id: NodeId) -> None:
         telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.emit(
@@ -228,7 +233,8 @@ class EventInfrastructure:
     def run_for(self, duration: float) -> None:
         """Advance simulated time by ``duration``."""
         self.start()
-        self.engine.run_until(self.engine.now + duration)
+        with self.telemetry.profiler.phase("simulator"):
+            self.engine.run_until(self.engine.now + duration)
 
     def measure(
         self, duration: float, settle: float = 0.0

@@ -18,7 +18,10 @@ runtimes and the event simulator (see docs/observability.md):
   analysis over any capture;
 * deterministic trace replay (:mod:`repro.obs.replay`) — re-materialize
   the deployed state at any event index of a schema-v2 JSONL capture;
-* benchmark trajectory + regression watchdog (:mod:`repro.obs.bench`);
+* benchmark trajectory + regression watchdog with phase-level blame
+  (:mod:`repro.obs.bench`);
+* hierarchical phase profiling with flamegraph / speedscope export
+  (:mod:`repro.obs.profile`), off by default via :data:`NULL_PROFILER`;
 * Prometheus-text and JSON snapshot exporters.
 
 This package imports nothing from ``repro.core`` / ``repro.runtime`` /
@@ -28,6 +31,7 @@ This package imports nothing from ``repro.core`` / ``repro.runtime`` /
 from repro.obs.bench import (
     BenchComparison,
     MetricDelta,
+    PhaseBlame,
     compare_snapshots,
     consolidate,
     render_comparison,
@@ -73,6 +77,17 @@ from repro.obs.export import (
     to_json,
     to_prometheus_text,
 )
+from repro.obs.profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseProfiler,
+    PhaseStat,
+    ProfileReport,
+    register_phase_metrics,
+    render_report,
+    to_collapsed,
+    to_speedscope,
+)
 from repro.obs.registry import (
     DEFAULT_TIME_BUCKETS,
     DEFAULT_VALUE_BUCKETS,
@@ -104,6 +119,7 @@ from repro.obs.telemetry import NULL_TELEMETRY, PriceProbe, Telemetry
 
 __all__ = [
     "EVENT_TYPES",
+    "NULL_PROFILER",
     "NULL_REGISTRY",
     "NULL_SINK",
     "NULL_TELEMETRY",
@@ -136,10 +152,15 @@ __all__ = [
     "MetricsError",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "NullProfiler",
     "NullRegistry",
     "NullSink",
+    "PhaseBlame",
+    "PhaseProfiler",
+    "PhaseStat",
     "PriceProbe",
     "PriceUpdateEvent",
+    "ProfileReport",
     "ReplayEngine",
     "ReplayError",
     "ReplayState",
@@ -160,13 +181,17 @@ __all__ = [
     "now_ns",
     "open_trace",
     "read_jsonl",
+    "register_phase_metrics",
     "render_causal_report",
     "render_csv",
     "render_diagnostics",
     "render_metrics",
+    "render_report",
     "render_state",
     "sanitize_metric_name",
     "snapshot_to_dict",
+    "to_collapsed",
     "to_json",
     "to_prometheus_text",
+    "to_speedscope",
 ]

@@ -14,6 +14,12 @@ recognizable direction are reported as neutral ``changes`` (never
 regressions — a watchdog that cries wolf on renamed counters gets
 deleted from CI within a month).
 
+When a latency-like metric regresses and both snapshots carry profiler
+phase metrics (``*.self_seconds``, from ``repro profile`` /
+``BENCH_profile.json``), the comparison also ranks the phases whose
+exclusive time grew the most — *regression blame* — so the report names
+the slow phase, not just the slow total.
+
 CLI surface: ``repro bench snapshot`` writes the trajectory artifact,
 ``repro bench compare <old> <new>`` reports the diff (CI runs it as a
 non-blocking step; ``--strict`` turns regressions into a failing exit).
@@ -32,6 +38,7 @@ from repro.utility.tolerance import is_zero
 __all__ = [
     "BenchComparison",
     "MetricDelta",
+    "PhaseBlame",
     "collect_metrics",
     "compare_snapshots",
     "consolidate",
@@ -139,6 +146,23 @@ class MetricDelta:
 
 
 @dataclass(frozen=True)
+class PhaseBlame:
+    """One profiler phase implicated in a wall-clock regression.
+
+    ``metric`` is the full ``*.self_seconds`` metric name, ``phase`` its
+    dotted phase path (``solve.iteration.argmax``), ``delta_seconds`` the
+    absolute self-time growth and ``change`` the relative one.
+    """
+
+    phase: str
+    metric: str
+    old: float
+    new: float
+    delta_seconds: float
+    change: float
+
+
+@dataclass(frozen=True)
 class BenchComparison:
     """Diff of two trajectory snapshots at one threshold."""
 
@@ -149,6 +173,9 @@ class BenchComparison:
     stable: int
     missing: tuple[str, ...]  # in old only
     added: tuple[str, ...]  # in new only
+    #: Phase self-times that grew the most, ranked — populated only when a
+    #: latency-like metric regressed and both snapshots carry phase data.
+    blame: tuple[PhaseBlame, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         def rows(deltas: tuple[MetricDelta, ...]) -> list[dict[str, Any]]:
@@ -171,6 +198,17 @@ class BenchComparison:
             "stable": self.stable,
             "missing": list(self.missing),
             "added": list(self.added),
+            "blame": [
+                {
+                    "phase": entry.phase,
+                    "metric": entry.metric,
+                    "old": entry.old,
+                    "new": entry.new,
+                    "delta_seconds": entry.delta_seconds,
+                    "change": entry.change,
+                }
+                for entry in self.blame
+            ],
         }
 
 
@@ -184,6 +222,51 @@ def _metrics_of(snapshot: dict[str, Any]) -> dict[str, float]:
         for name, value in metrics.items()
         if isinstance(value, (int, float)) and not isinstance(value, bool)
     }
+
+
+#: Metric suffix identifying a profiler phase's exclusive time.
+_PHASE_SELF_SUFFIX = ".self_seconds"
+
+#: How many phases a blame report names, most-moved first.
+_BLAME_LIMIT = 5
+
+
+def _phase_label(metric: str) -> str:
+    """``profile.phases.solve.iteration.argmax.self_seconds`` -> dotted phase."""
+    label = metric.removesuffix(_PHASE_SELF_SUFFIX)
+    if ".phases." in label:
+        label = label.split(".phases.", 1)[1]
+    return label
+
+
+def _blame_phases(
+    old_metrics: dict[str, float], new_metrics: dict[str, float]
+) -> tuple[PhaseBlame, ...]:
+    """Rank the phases whose self-time grew, largest absolute growth first.
+
+    Only phases present in both snapshots participate — a phase that
+    appeared or vanished is a code change, not a slowdown to attribute.
+    """
+    entries: list[PhaseBlame] = []
+    for name in set(old_metrics) & set(new_metrics):
+        if not name.endswith(_PHASE_SELF_SUFFIX):
+            continue
+        before, after = old_metrics[name], new_metrics[name]
+        delta = after - before
+        if delta <= 0.0:
+            continue
+        entries.append(
+            PhaseBlame(
+                phase=_phase_label(name),
+                metric=name,
+                old=before,
+                new=after,
+                delta_seconds=delta,
+                change=math.inf if is_zero(before) else delta / abs(before),
+            )
+        )
+    entries.sort(key=lambda entry: (-entry.delta_seconds, entry.metric))
+    return tuple(entries[:_BLAME_LIMIT])
 
 
 def compare_snapshots(
@@ -227,6 +310,9 @@ def compare_snapshots(
     regressions.sort(key=lambda delta: -abs(delta.change))
     improvements.sort(key=lambda delta: -abs(delta.change))
     changes.sort(key=lambda delta: -abs(delta.change))
+    blame: tuple[PhaseBlame, ...] = ()
+    if any(delta.direction == "lower" for delta in regressions):
+        blame = _blame_phases(old_metrics, new_metrics)
     return BenchComparison(
         threshold=threshold,
         regressions=tuple(regressions),
@@ -235,6 +321,7 @@ def compare_snapshots(
         stable=stable,
         missing=tuple(sorted(set(old_metrics) - set(new_metrics))),
         added=tuple(sorted(set(new_metrics) - set(old_metrics))),
+        blame=blame,
     )
 
 
@@ -266,6 +353,13 @@ def render_comparison(comparison: BenchComparison) -> str:
             lines.append(
                 f"  {delta.name}: {delta.old:g} -> {delta.new:g} "
                 f"({_format_change(delta.change)}, {arrow})"
+            )
+    if comparison.blame:
+        lines.append("regression blame (phase self-time growth):")
+        for entry in comparison.blame:
+            lines.append(
+                f"  {entry.phase}: {entry.old:g}s -> {entry.new:g}s "
+                f"(+{entry.delta_seconds:g}s, {_format_change(entry.change)})"
             )
     if comparison.missing:
         lines.append(

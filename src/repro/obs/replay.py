@@ -95,10 +95,15 @@ class ReplayEngine:
     backward seeks replay from the start (the fold is cheap — a few
     dict writes per event — so a full rewind of even a chaos-length
     capture is instantaneous next to re-running the simulation).
+
+    For endless live streams, :meth:`ingest` folds events in one at a
+    time *without* retaining them — constant memory, at the price of
+    seeking (see its docstring).
     """
 
-    def __init__(self, events: Iterable[TraceEvent]) -> None:
+    def __init__(self, events: Iterable[TraceEvent] = ()) -> None:
         self._events: list[TraceEvent] = list(events)
+        self._streaming = False
         self._reset()
 
     def _reset(self) -> None:
@@ -183,6 +188,21 @@ class ReplayEngine:
         if link_id is not None and price is not None:
             self._link_prices[link_id] = price
 
+    # -- streaming ----------------------------------------------------------
+
+    def ingest(self, event: TraceEvent) -> None:
+        """Fold one live event in without retaining it.
+
+        This is the bounded-memory path for endless streams (``repro
+        trace show --follow``): the fold state stays a handful of dicts
+        no matter how many events pass through.  Ingesting puts the
+        engine in *streaming* mode — discarded events cannot be
+        re-applied, so backward :meth:`seek` raises :class:`ReplayError`.
+        """
+        self._streaming = True
+        self._apply(event)
+        self._cursor += 1
+
     # -- seeking ------------------------------------------------------------
 
     def step(self) -> ReplayState:
@@ -203,6 +223,13 @@ class ReplayEngine:
         """
         if index < 0:
             index += len(self._events)
+        if self._streaming:
+            if index == self._cursor:
+                return self.state()
+            raise ReplayError(
+                "cannot seek a streaming replay: ingested events are "
+                "not retained"
+            )
         if not 0 <= index <= len(self._events):
             raise ReplayError(
                 f"event index {index} out of range for a capture of "

@@ -22,29 +22,35 @@ from repro.obs.events import (
     TraceEvent,
     now_ns,
 )
+from repro.obs.profile import NULL_PROFILER, PhaseProfiler
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.sinks import MemorySink, NullSink, TraceSink
 
 
 class Telemetry:
-    """A registry + sink pair handed through the stack.
+    """A registry + sink (+ optional profiler) bundle handed through the stack.
 
     ``Telemetry()`` is the convenient "collect everything in memory"
     configuration used by tests and the CLI; pass an explicit sink
-    (JSONL, CSV) for archival capture.
+    (JSONL, CSV) for archival capture.  ``profiler`` defaults to the
+    no-op :data:`~repro.obs.profile.NULL_PROFILER`; pass a
+    :class:`~repro.obs.profile.PhaseProfiler` to collect the hierarchical
+    phase breakdown (``repro profile`` does).
     """
 
-    __slots__ = ("registry", "sink", "enabled")
+    __slots__ = ("registry", "sink", "enabled", "profiler")
 
     def __init__(
         self,
         registry: MetricsRegistry | None = None,
         sink: TraceSink | None = None,
         enabled: bool = True,
+        profiler: PhaseProfiler | None = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.sink = sink if sink is not None else MemorySink()
         self.enabled = enabled
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
 
     def emit(self, event: TraceEvent) -> None:
         self.sink.emit(event)
@@ -70,7 +76,12 @@ class _NullTelemetry(Telemetry):
     __slots__ = ()
 
     def __init__(self) -> None:
-        super().__init__(registry=NULL_REGISTRY, sink=NullSink(), enabled=False)
+        super().__init__(
+            registry=NULL_REGISTRY,
+            sink=NullSink(),
+            enabled=False,
+            profiler=NULL_PROFILER,
+        )
 
     def emit(self, event: TraceEvent) -> None:
         pass

@@ -63,6 +63,16 @@ from repro.runtime.agents import (
 from repro.runtime.faults import CrashFault, FaultPlan, RecoveryRecord
 from repro.runtime.messages import Message, RateUpdate
 
+#: Profiler phase for each event kind; the ``fault_*`` family falls through
+#: to the ``"faults"`` default.
+_PHASE_OF_KIND = {
+    "activate": "activation",
+    "deliver": "delivery",
+    "ack_check": "retransmit",
+    "sample": "sample",
+    "checkpoint": "checkpoint",
+}
+
 
 @dataclass(frozen=True)
 class AsyncConfig:
@@ -566,45 +576,48 @@ class AsynchronousRuntime:
         """
         if end_time < self._now:
             raise ValueError(f"end_time {end_time} is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= end_time:
-            at, _, kind, payload = heapq.heappop(self._queue)
-            self._now = at
-            if kind == "activate":
-                assert isinstance(payload, str)
-                self._handle_activate(payload)
-            elif kind == "deliver":
-                assert isinstance(payload, Message)
-                self._handle_deliver(payload)
-            elif kind == "ack_check":
-                assert isinstance(payload, tuple)
-                message, attempt = payload
-                self._handle_ack_check(message, attempt)
-            elif kind == "sample":
-                assert isinstance(payload, int)
-                self._handle_sample(payload)
-            elif kind == "fault_crash":
-                assert isinstance(payload, CrashFault)
-                self._handle_crash(payload)
-            elif kind == "fault_restart":
-                assert isinstance(payload, CrashFault)
-                self._handle_restart(payload)
-            elif kind == "fault_partition":
-                self._partitions.append(payload.isolated)  # type: ignore[attr-defined]
-                self._emit_fault("partition", payload.target)  # type: ignore[attr-defined]
-            elif kind == "fault_heal":
-                self._partitions.remove(payload.isolated)  # type: ignore[attr-defined]
-                self._emit_fault("partition_heal", payload.target)  # type: ignore[attr-defined]
-            elif kind == "fault_storm":
-                self._storm_factors.append(payload.factor)  # type: ignore[attr-defined]
-                self._emit_fault("delay_storm", "*")
-            elif kind == "fault_storm_end":
-                self._storm_factors.remove(payload.factor)  # type: ignore[attr-defined]
-                self._emit_fault("delay_storm_end", "*")
-            elif kind == "checkpoint":
-                assert isinstance(payload, int)
-                self._handle_checkpoint(payload)
-            else:  # pragma: no cover - defensive
-                raise RuntimeError(f"unknown event kind {kind!r}")
+        profiler = self._telemetry.profiler
+        with profiler.phase("runtime"):
+            while self._queue and self._queue[0][0] <= end_time:
+                at, _, kind, payload = heapq.heappop(self._queue)
+                self._now = at
+                with profiler.phase(_PHASE_OF_KIND.get(kind, "faults")):
+                    if kind == "activate":
+                        assert isinstance(payload, str)
+                        self._handle_activate(payload)
+                    elif kind == "deliver":
+                        assert isinstance(payload, Message)
+                        self._handle_deliver(payload)
+                    elif kind == "ack_check":
+                        assert isinstance(payload, tuple)
+                        message, attempt = payload
+                        self._handle_ack_check(message, attempt)
+                    elif kind == "sample":
+                        assert isinstance(payload, int)
+                        self._handle_sample(payload)
+                    elif kind == "fault_crash":
+                        assert isinstance(payload, CrashFault)
+                        self._handle_crash(payload)
+                    elif kind == "fault_restart":
+                        assert isinstance(payload, CrashFault)
+                        self._handle_restart(payload)
+                    elif kind == "fault_partition":
+                        self._partitions.append(payload.isolated)  # type: ignore[attr-defined]
+                        self._emit_fault("partition", payload.target)  # type: ignore[attr-defined]
+                    elif kind == "fault_heal":
+                        self._partitions.remove(payload.isolated)  # type: ignore[attr-defined]
+                        self._emit_fault("partition_heal", payload.target)  # type: ignore[attr-defined]
+                    elif kind == "fault_storm":
+                        self._storm_factors.append(payload.factor)  # type: ignore[attr-defined]
+                        self._emit_fault("delay_storm", "*")
+                    elif kind == "fault_storm_end":
+                        self._storm_factors.remove(payload.factor)  # type: ignore[attr-defined]
+                        self._emit_fault("delay_storm_end", "*")
+                    elif kind == "checkpoint":
+                        assert isinstance(payload, int)
+                        self._handle_checkpoint(payload)
+                    else:  # pragma: no cover - defensive
+                        raise RuntimeError(f"unknown event kind {kind!r}")
         self._now = end_time
 
     def allocation(self) -> Allocation:

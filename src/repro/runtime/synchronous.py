@@ -135,19 +135,26 @@ class SynchronousRuntime:
     def step(self) -> float:
         """Run one round (= one LRGP iteration); returns the round utility."""
         telemetry = self._telemetry
-        with telemetry.registry.timer("runtime.sync.round"):
+        profiler = telemetry.profiler
+        with telemetry.registry.timer("runtime.sync.round"), profiler.phase(
+            "runtime"
+        ):
             stamp = float(self._round)
             rate_messages: list[Message] = []
-            for source in self._sources:
-                rate_messages.extend(self._activate(source, stamp))
-            self._deliver(rate_messages, stamp)
+            with profiler.phase("activation"):
+                for source in self._sources:
+                    rate_messages.extend(self._activate(source, stamp))
+            with profiler.phase("delivery"):
+                self._deliver(rate_messages, stamp)
 
             feedback: list[Message] = []
-            for node in self._nodes:
-                feedback.extend(self._activate(node, stamp))
-            for link in self._links:
-                feedback.extend(self._activate(link, stamp))
-            self._deliver(feedback, stamp)
+            with profiler.phase("activation"):
+                for node in self._nodes:
+                    feedback.extend(self._activate(node, stamp))
+                for link in self._links:
+                    feedback.extend(self._activate(link, stamp))
+            with profiler.phase("delivery"):
+                self._deliver(feedback, stamp)
 
             self._round += 1
             utility = total_utility(self._problem, self.allocation())

@@ -223,3 +223,100 @@ class TestRenderComparison:
         text = render_comparison(comparison)
         assert "missing in new: gone.x" in text
         assert "added in new: new.x" in text
+
+
+class TestRegressionBlame:
+    def _snapshots(self):
+        old = snapshot(**{
+            "profile.wall_time_seconds": 1.0,
+            "profile.phases.solve.iteration.argmax.self_seconds": 0.40,
+            "profile.phases.solve.iteration.admission.self_seconds": 0.30,
+            "profile.phases.solve.iteration.price_update.self_seconds": 0.20,
+        })
+        new = snapshot(**{
+            "profile.wall_time_seconds": 1.5,
+            "profile.phases.solve.iteration.argmax.self_seconds": 0.41,
+            "profile.phases.solve.iteration.admission.self_seconds": 0.78,
+            "profile.phases.solve.iteration.price_update.self_seconds": 0.19,
+        })
+        return old, new
+
+    def test_wall_clock_regression_ranks_grown_phases(self):
+        comparison = compare_snapshots(*self._snapshots())
+        assert [d.name for d in comparison.regressions] == [
+            "profile.wall_time_seconds"
+        ]
+        phases = [entry.phase for entry in comparison.blame]
+        assert phases[0] == "solve.iteration.admission"
+        assert "solve.iteration.price_update" not in phases  # shrank
+        top = comparison.blame[0]
+        assert top.delta_seconds == pytest.approx(0.48)
+        assert top.change == pytest.approx(1.6)
+
+    def test_no_regression_means_no_blame(self):
+        old, _ = self._snapshots()
+        comparison = compare_snapshots(old, old)
+        assert comparison.blame == ()
+
+    def test_self_seconds_leaves_are_not_themselves_watchdogged(self):
+        # Phase timings move with machine load; only the blame ranking
+        # may interpret them, never the generic regression scan.
+        assert (
+            metric_direction(
+                "profile.phases.solve.iteration.argmax.self_seconds"
+            )
+            == "neutral"
+        )
+        old, new = self._snapshots()
+        comparison = compare_snapshots(old, new)
+        assert all(
+            not d.name.endswith(".self_seconds") for d in comparison.regressions
+        )
+
+    def test_throughput_only_regressions_skip_blame(self):
+        old = snapshot(**{
+            "engines.speedup": 4.0,
+            "profile.phases.solve.self_seconds": 0.5,
+        })
+        new = snapshot(**{
+            "engines.speedup": 2.0,
+            "profile.phases.solve.self_seconds": 0.9,
+        })
+        comparison = compare_snapshots(old, new)
+        assert len(comparison.regressions) == 1
+        assert comparison.blame == ()
+
+    def test_phase_present_in_only_one_snapshot_is_not_blamed(self):
+        old = snapshot(**{
+            "profile.wall_time_seconds": 1.0,
+            "profile.phases.old_phase.self_seconds": 0.5,
+        })
+        new = snapshot(**{
+            "profile.wall_time_seconds": 2.0,
+            "profile.phases.new_phase.self_seconds": 1.5,
+        })
+        comparison = compare_snapshots(old, new)
+        assert comparison.regressions
+        assert comparison.blame == ()
+
+    def test_blame_is_capped_at_five_phases(self):
+        metrics_old = {"suite.wall_time_seconds": 1.0}
+        metrics_new = {"suite.wall_time_seconds": 2.0}
+        for index in range(8):
+            name = f"suite.phases.p{index}.self_seconds"
+            metrics_old[name] = 0.1
+            metrics_new[name] = 0.2 + index * 0.01
+        comparison = compare_snapshots(
+            snapshot(**metrics_old), snapshot(**metrics_new)
+        )
+        assert len(comparison.blame) == 5
+        assert comparison.blame[0].phase == "p7"  # largest absolute growth
+
+    def test_blame_renders_and_serializes(self):
+        comparison = compare_snapshots(*self._snapshots())
+        text = render_comparison(comparison)
+        assert "regression blame" in text
+        assert "solve.iteration.admission" in text
+        payload = comparison.to_dict()
+        assert payload["blame"][0]["phase"] == "solve.iteration.admission"
+        json.dumps(payload)

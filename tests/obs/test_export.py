@@ -1,6 +1,7 @@
 """Tests for the Prometheus-text and JSON exporters."""
 
 import json
+import re
 
 import pytest
 
@@ -92,3 +93,67 @@ class TestRenderMetrics:
 
     def test_empty_snapshot_message(self):
         assert "none recorded" in render_metrics(MetricsRegistry().snapshot())
+
+
+class TestPhaseMetricsExport:
+    """Profiler phase metrics riding the existing exporters (PR 7)."""
+
+    def make_snapshot(self):
+        import time
+
+        from repro.obs.profile import PhaseProfiler, register_phase_metrics
+
+        profiler = PhaseProfiler()
+        with profiler.phase("solve"):
+            with profiler.phase("iteration"):
+                with profiler.phase("argmax"):
+                    time.sleep(0.001)
+        registry = MetricsRegistry()
+        register_phase_metrics(profiler.report(), registry)
+        return registry.snapshot()
+
+    def test_phase_counters_and_gauges_render_as_prometheus(self):
+        text = to_prometheus_text(self.make_snapshot())
+        assert "repro_profile_phase_solve_calls_total 1" in text
+        assert (
+            "repro_profile_phase_solve_iteration_argmax_calls_total 1" in text
+        )
+        assert "repro_profile_phase_solve_iteration_self_seconds" in text
+        assert "repro_profile_phase_solve_total_seconds" in text
+        # Dotted phase paths sanitize to valid Prometheus names.
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name = line.split(" ", 1)[0].split("{", 1)[0]
+            assert re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*", name), name
+
+    def test_phase_metrics_appear_in_json_snapshot(self):
+        payload = snapshot_to_dict(self.make_snapshot())
+        assert payload["counters"]["profile.phase.solve.calls"] == 1
+        assert (
+            payload["gauges"]["profile.phase.solve.iteration.self_seconds"]
+            > 0.0
+        )
+
+    @pytest.mark.parametrize(
+        ("raw", "expected"),
+        [
+            (
+                "profile.phase.solve.iteration.argmax.self_seconds",
+                "repro_profile_phase_solve_iteration_argmax_self_seconds",
+            ),
+            ("profile.phase.two-stage.calls", "repro_profile_phase_two_stage_calls"),
+            ("1st_phase.self_seconds", "repro__1st_phase_self_seconds"),
+            ("phase with spaces", "repro_phase_with_spaces"),
+        ],
+    )
+    def test_phase_name_edge_cases_sanitize(self, raw, expected):
+        assert sanitize_metric_name(raw) == expected
+
+    def test_awkward_phase_names_round_trip_through_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.counter("profile.phase.2nd-try.calls").inc(3)
+        registry.gauge("profile.phase.2nd-try.self_seconds").set(0.5)
+        text = to_prometheus_text(registry.snapshot())
+        assert "repro_profile_phase_2nd_try_calls_total 3" in text
+        assert "repro_profile_phase_2nd_try_self_seconds 0.5" in text

@@ -196,3 +196,41 @@ class TestRenderState:
         assert f"{len(events)}/{len(events)} event(s)" in text
         assert "utility:" in text
         assert "rates:" in text
+
+
+class TestStreamingIngest:
+    def test_ingest_matches_materialized_replay(self, sync_run):
+        _, events = sync_run
+        streaming = ReplayEngine()
+        for event in events:
+            streaming.ingest(event)
+        materialized = ReplayEngine(events).final()
+        state = streaming.state()
+        assert state.index == materialized.index
+        assert state.rates == materialized.rates
+        assert state.populations == materialized.populations
+        assert state.node_prices == materialized.node_prices
+        assert state.utility == materialized.utility
+
+    def test_ingested_events_are_not_retained(self, sync_run):
+        _, events = sync_run
+        streaming = ReplayEngine()
+        for event in events:
+            streaming.ingest(event)
+        assert len(streaming) == 0
+        assert streaming.cursor == len(events)
+
+    def test_backward_seek_raises_in_streaming_mode(self, sync_run):
+        _, events = sync_run
+        streaming = ReplayEngine()
+        for event in events[:10]:
+            streaming.ingest(event)
+        with pytest.raises(ReplayError, match="streaming"):
+            streaming.seek(0)
+
+    def test_seek_to_current_cursor_is_allowed(self, sync_run):
+        _, events = sync_run
+        streaming = ReplayEngine()
+        for event in events[:10]:
+            streaming.ingest(event)
+        assert streaming.seek(10).index == 10

@@ -467,3 +467,182 @@ class TestBenchCommands:
     def test_missing_results_dir_exits(self):
         with pytest.raises(SystemExit, match="no such results directory"):
             main(["bench", "snapshot", "--results-dir", "/no/such/dir"])
+
+
+class TestProfileCommand:
+    def test_prints_phase_tree(self, capsys):
+        assert main(["profile", "micro", "--iterations", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:     reference" in out
+        assert "solve" in out
+        assert "  iteration" in out
+        assert "argmax" in out and "admission" in out and "price_update" in out
+        assert "total " in out
+
+    def test_vectorized_engine(self, capsys):
+        assert main(
+            ["profile", "base", "--engine", "vectorized", "--iterations", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "engine:     vectorized" in out
+        assert "argmax" in out
+
+    def test_runtime_engines_profile_runtime_phases(self, capsys):
+        assert main(
+            ["profile", "micro", "--engine", "sync", "--iterations", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "runtime" in out
+        assert "activation" in out and "delivery" in out
+        assert main(
+            ["profile", "micro", "--engine", "async", "--iterations", "10"]
+        ) == 0
+        assert "runtime" in capsys.readouterr().out
+
+    def test_flame_speedscope_and_json_exports(self, tmp_path, capsys):
+        flame = tmp_path / "flame.txt"
+        speedscope = tmp_path / "profile.speedscope.json"
+        report = tmp_path / "profile.json"
+        assert main(
+            ["profile", "micro", "--iterations", "30",
+             "--flame", str(flame), "--speedscope", str(speedscope),
+             "--json", str(report)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "collapsed stacks written" in out
+        assert "speedscope profile written" in out
+        assert "profile JSON written" in out
+        for line in flame.read_text().strip().splitlines():
+            stack, _, value = line.rpartition(" ")
+            assert stack.split(";")[0] == "solve"
+            assert int(value) > 0
+        scope = json.loads(speedscope.read_text())
+        assert scope["profiles"][0]["unit"] == "nanoseconds"
+        payload = json.loads(report.read_text())
+        assert payload["version"] == 1
+        assert "solve.iteration" in payload["phases"]
+
+    def test_allocations_flag_adds_column(self, capsys):
+        assert main(
+            ["profile", "micro", "--iterations", "10", "--allocations"]
+        ) == 0
+        assert "alloc" in capsys.readouterr().out
+
+
+class TestDashboardBoundedMemory:
+    def make_events(self, count):
+        from repro.obs import IterationEvent
+
+        return [
+            IterationEvent(
+                iteration=index + 1, utility=float(index), t_ns=index, at=None
+            )
+            for index in range(count)
+        ]
+
+    def test_aggregator_retains_only_the_rolling_window(self):
+        from repro.cli import _DashboardAggregator
+
+        aggregator = _DashboardAggregator(window=100)
+        for event in self.make_events(100_000):
+            aggregator.add(event)
+        assert aggregator.total == 100_000
+        assert len(aggregator.recent) == 100
+        assert aggregator.kind_counts == {"iteration": 100_000}
+        state = aggregator.engine.state()
+        assert state.index == 100_000
+        assert state.utility == 99_999.0
+
+    def test_streamed_state_matches_full_replay(self):
+        from repro.cli import _DashboardAggregator
+        from repro.obs import ReplayEngine
+
+        events = self.make_events(500)
+        aggregator = _DashboardAggregator(window=10)
+        for event in events:
+            aggregator.add(event)
+        full = ReplayEngine(events).final()
+        streamed = aggregator.engine.state()
+        assert streamed.utility == full.utility
+        assert streamed.index == full.index
+        assert streamed.rates == full.rates
+
+    def test_dashboard_frame_reports_kind_counts(self, capsys):
+        from repro.cli import _DashboardAggregator, _render_dashboard_frame
+
+        aggregator = _DashboardAggregator(window=10)
+        for event in self.make_events(25):
+            aggregator.add(event)
+        _render_dashboard_frame(aggregator, final=True)
+        out = capsys.readouterr().out
+        assert "25 event(s)" in out
+        assert "iteration=25" in out
+
+
+class TestFollowRejectsGzip:
+    def test_follow_on_gzip_capture_exits_with_clear_error(self, tmp_path):
+        path = tmp_path / "capture.jsonl.gz"
+        assert main(
+            ["trace", "micro", "--iterations", "5", "--gzip", "-o", str(path)]
+        ) == 0
+        with pytest.raises(SystemExit, match="cannot --follow gzip"):
+            main(["trace", "show", str(path), "--follow"])
+
+    def test_show_without_follow_still_reads_gzip(self, tmp_path, capsys):
+        path = tmp_path / "capture.jsonl.gz"
+        assert main(
+            ["trace", "micro", "--iterations", "5", "--gzip", "-o", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "show", str(path)]) == 0
+        assert "iteration" in capsys.readouterr().out
+
+
+class TestBenchCompareBlame:
+    def profile_payload(self, admission=None):
+        import time
+
+        from repro.core.lrgp import LRGP, LRGPConfig
+        from repro.obs import PhaseProfiler, Telemetry
+
+        options = {} if admission is None else {"admission": admission}
+        profiler = PhaseProfiler()
+        config = LRGPConfig(
+            telemetry=Telemetry(profiler=profiler), **options
+        )
+        LRGP(load_problem("base"), config).run(30)
+        report = profiler.report()
+        return {
+            "workload": "base",
+            "wall_time_seconds": report.total_wall_ns / 1e9,
+            "phases": {
+                stat.dotted: {
+                    "calls": stat.calls,
+                    "self_seconds": stat.self_wall_ns / 1e9,
+                    "total_seconds": stat.wall_ns / 1e9,
+                }
+                for stat in report.stats
+            },
+        }
+
+    def test_synthetic_phase_slowdown_is_named_in_blame(
+        self, tmp_path, capsys
+    ):
+        import time
+
+        from repro.core.consumer_allocation import allocate_consumers
+
+        def slow_admission(problem, node_id, rates):
+            time.sleep(0.002)
+            return allocate_consumers(problem, node_id, rates)
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(self.profile_payload()))
+        new.write_text(json.dumps(self.profile_payload(slow_admission)))
+        assert main(["bench", "compare", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "regression(s)" in out
+        assert "regression blame" in out
+        blame_section = out.split("regression blame", 1)[1]
+        assert "solve.iteration.admission" in blame_section.splitlines()[1]
