@@ -1,0 +1,128 @@
+"""Perf guard: the sweep farm scales with workers and the cache kills re-runs.
+
+The farm (:mod:`repro.sweep`) exists to make grid experiments cheap two
+ways: a process pool spreads cold cells across cores, and the
+content-addressed cache makes a repeated grid free.  The guard runs the
+same >=24-cell grid three times —
+
+* cold, ``jobs=1``  (the serial baseline),
+* cold, ``jobs=4``  (the parallel contender, its own cache),
+* warm, ``jobs=4``  (the re-run, same cache as the contender),
+
+and requires (a) parallel speedup of at least :data:`SPEEDUP_THRESHOLD`
+when the machine actually has :data:`REQUIRED_CORES` cores to offer —
+containers pinned to one core measure but do not enforce — and (b) a
+100% hit rate with zero executed cells on the warm pass, unconditionally.
+
+Every run archives ``results/BENCH_sweep.json`` so ``repro bench
+snapshot`` folds the farm numbers into the trajectory.  The speedup
+guard is marked ``perf`` so it can be selected alone with ``-m perf``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+from conftest import RESULTS_DIR
+
+from repro.sweep import ResultCache, SweepSpec, run_sweep
+
+#: The ISSUE's acceptance bar: 4 workers >= 2.5x one worker on a cold grid.
+SPEEDUP_THRESHOLD = 2.5
+#: Cores the speedup guard needs before it enforces (measure-only below).
+REQUIRED_CORES = 4
+PARALLEL_JOBS = 4
+
+#: 2 workloads x 3 methods x 2 seeds x 2 repeats = 24 cells.  The cells
+#: are deliberately non-trivial (paper-scale iteration budgets on the
+#: base and 12-flow workloads) so per-cell work, not pool overhead, is
+#: what the speedup measures.
+GRID = SweepSpec(
+    workloads=("base", "flows-x2"),
+    methods=("lrgp", "annealing", "hill_climb"),
+    iterations=(1000,),
+    seeds=(0, 1),
+    repeats=2,
+)
+
+
+def available_cores() -> int:
+    return len(os.sched_getaffinity(0))
+
+
+def timed_pass(spec: SweepSpec, jobs: int, cache: ResultCache):
+    start = time.perf_counter()
+    result = run_sweep(spec, jobs=jobs, cache=cache)
+    return result, time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def farm_rows(tmp_path_factory):
+    """The three timed passes (shared by the archive and guard tests)."""
+    serial_cache = ResultCache(tmp_path_factory.mktemp("serial"))
+    parallel_cache = ResultCache(tmp_path_factory.mktemp("parallel"))
+    serial, serial_seconds = timed_pass(GRID, 1, serial_cache)
+    parallel, parallel_seconds = timed_pass(GRID, PARALLEL_JOBS, parallel_cache)
+    warm, warm_seconds = timed_pass(GRID, PARALLEL_JOBS, parallel_cache)
+    return {
+        "cells_total": len(serial),
+        "cores": available_cores(),
+        "serial": {"jobs": 1, "seconds": serial_seconds,
+                   "executed": serial.executed},
+        "parallel": {"jobs": PARALLEL_JOBS, "seconds": parallel_seconds,
+                     "executed": parallel.executed},
+        "warm": {"jobs": PARALLEL_JOBS, "seconds": warm_seconds,
+                 "hits": warm.hits, "executed": warm.executed,
+                 "hit_rate": warm.hits / len(warm)},
+        "speedup": serial_seconds / parallel_seconds,
+        "rerun_speedup": serial_seconds / warm_seconds,
+    }
+
+
+def test_benchmark_sweep_archives_results(farm_rows):
+    payload = {
+        "version": 1,
+        "threshold": SPEEDUP_THRESHOLD,
+        "required_cores": REQUIRED_CORES,
+        **farm_rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_sweep.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print()
+    print(
+        f"{farm_rows['cells_total']} cells on {farm_rows['cores']} core(s): "
+        f"jobs=1 {farm_rows['serial']['seconds']:.2f}s, "
+        f"jobs={PARALLEL_JOBS} {farm_rows['parallel']['seconds']:.2f}s "
+        f"({farm_rows['speedup']:.2f}x), warm re-run "
+        f"{farm_rows['warm']['seconds']:.3f}s "
+        f"({farm_rows['rerun_speedup']:.0f}x)"
+    )
+    assert farm_rows["cells_total"] >= 24
+    assert farm_rows["serial"]["executed"] == farm_rows["cells_total"]
+    assert farm_rows["parallel"]["executed"] == farm_rows["cells_total"]
+
+
+def test_warm_rerun_is_all_hits(farm_rows):
+    """The cache contract has no core-count excuse: always enforced."""
+    assert farm_rows["warm"]["executed"] == 0
+    assert farm_rows["warm"]["hits"] == farm_rows["cells_total"]
+    assert farm_rows["warm"]["hit_rate"] == 1.0
+
+
+@pytest.mark.perf
+def test_parallel_speedup_on_cold_grid(farm_rows):
+    if farm_rows["cores"] < REQUIRED_CORES:
+        pytest.skip(
+            f"only {farm_rows['cores']} core(s) available; speedup guard "
+            f"needs {REQUIRED_CORES} (numbers still archived)"
+        )
+    assert farm_rows["speedup"] >= SPEEDUP_THRESHOLD, (
+        f"jobs={PARALLEL_JOBS} is only {farm_rows['speedup']:.2f}x jobs=1 "
+        f"on a cold {farm_rows['cells_total']}-cell grid "
+        f"(bar: {SPEEDUP_THRESHOLD}x)"
+    )

@@ -68,10 +68,13 @@ from repro.utility import (
 from repro.workloads import (
     base_workload,
     generate_workload,
+    get_workload,
     link_bottleneck_workload,
+    list_workloads,
     micro_workload,
     scale_consumer_nodes,
     scale_flows,
+    workload_from_spec,
 )
 
 __version__ = "1.0.0"
@@ -108,9 +111,11 @@ __all__ = [
     "base_workload",
     "build_problem",
     "generate_workload",
+    "get_workload",
     "is_feasible",
     "iterations_until_convergence",
     "link_bottleneck_workload",
+    "list_workloads",
     "micro_workload",
     "rank_log",
     "rank_power",
@@ -122,4 +127,5 @@ __all__ = [
     "total_utility",
     "two_stage_optimize",
     "violations",
+    "workload_from_spec",
 ]

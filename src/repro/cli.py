@@ -33,8 +33,18 @@ Commands:
 * ``chaos``     — run the asynchronous deployment under a seeded fault plan
   (crashes + checkpoint restarts, partitions, delay storms) and report
   recovery times and utility retention vs the fault-free run.
+* ``sweep``     — declarative experiment grids (``repro.sweep``): expand
+  workload x method x engine x gamma x fault-plan x iterations x seed
+  axes into cells, execute them over a process-pool farm with a
+  content-addressed result cache (``sweep run``), inspect the cache
+  (``sweep show``) and empty it (``sweep clean``).
 * ``lint``      — run the domain-aware static analyzer (docs/analysis.md)
   over source trees, with JSON output, baselines and strict exit codes.
+
+Workloads are addressed everywhere by *registry spec* —
+``NAME[:k=v,...]`` (``base``, ``tree:depth=4``, ``flows:factor=4``) or a
+problem JSON path — either positionally or via ``--workload``; see
+``repro workload --list``.
 
 Examples::
 
@@ -59,6 +69,14 @@ Examples::
     python -m repro bench compare old.json new.json --strict
     python -m repro chaos base --horizon 400 --crash-rate 0.02
     python -m repro chaos micro --no-checkpoint --json
+    python -m repro optimize --workload tree:depth=4,branching=3
+    python -m repro workload --list
+    python -m repro sweep run --workload micro --workload base \
+        --engine none --engine vectorized --jobs 4 --dry-run
+    python -m repro sweep run --workload base --method lrgp \
+        --gamma adaptive --gamma fixed:0.05 --bench BENCH_sweep.json
+    python -m repro sweep show
+    python -m repro sweep clean
     python -m repro lint --strict src
     python -m repro lint --format json --rules R2,R5 src
 """
@@ -74,6 +92,7 @@ if TYPE_CHECKING:
     from typing import Iterator
 
     from repro.obs import Telemetry, TraceEvent
+    from repro.sweep import SweepSpec
 
 from repro.core.engines import available_engines
 from repro.core.lrgp import LRGP, LRGPConfig
@@ -111,42 +130,53 @@ from repro.model.serialization import (
     problem_to_json,
 )
 from repro.solve import SolveResult, available_methods, solve
-from repro.workloads.base import base_workload
-from repro.workloads.bottleneck import link_bottleneck_workload
-from repro.workloads.micro import micro_workload
-from repro.workloads.scaling import scale_consumer_nodes, scale_flows
-from repro.workloads.scenarios import latest_price_scenario, trade_data_scenario
-from repro.workloads.tree import tree_workload
+from repro.workloads.registry import (
+    list_aliases,
+    list_workloads,
+    workload_from_spec,
+)
 
-#: Built-in workload names accepted wherever a problem is expected.
+#: The historical CLI workload table, kept as a compatibility view onto
+#: the registry (every name here is a registered workload or alias; the
+#: pre-registry spellings warn on use).  New code should call
+#: :func:`repro.workloads.get_workload` / pass registry specs instead.
 BUILTIN_WORKLOADS = {
-    "base": lambda: base_workload(),
-    "base-pow25": lambda: base_workload("pow25"),
-    "base-pow50": lambda: base_workload("pow50"),
-    "base-pow75": lambda: base_workload("pow75"),
-    "flows-x2": lambda: scale_flows(2),
-    "flows-x4": lambda: scale_flows(4),
-    "cnodes-x2": lambda: scale_consumer_nodes(2),
-    "cnodes-x4": lambda: scale_consumer_nodes(4),
-    "cnodes-x8": lambda: scale_consumer_nodes(8),
-    "trade-data": lambda: trade_data_scenario().problem,
-    "latest-price": lambda: latest_price_scenario().problem,
-    "link-bottleneck": lambda: link_bottleneck_workload(link_capacity=100.0),
-    "tree": lambda: tree_workload(),
-    "micro": lambda: micro_workload(),
+    name: (lambda name=name: workload_from_spec(name))
+    for name in (
+        "base",
+        "base-pow25",
+        "base-pow50",
+        "base-pow75",
+        "flows-x2",
+        "flows-x4",
+        "cnodes-x2",
+        "cnodes-x4",
+        "cnodes-x8",
+        "trade-data",
+        "latest-price",
+        "link-bottleneck",
+        "tree",
+        "micro",
+    )
 }
 
 
 def load_problem(spec: str) -> Problem:
-    """Resolve a workload spec: a built-in name or a problem JSON path."""
-    if spec in BUILTIN_WORKLOADS:
-        return BUILTIN_WORKLOADS[spec]()
+    """Resolve a workload spec: ``NAME[:k=v,...]`` (registry name or
+    alias, with factory parameters) or a problem JSON path."""
+    try:
+        return workload_from_spec(spec)
+    except KeyError:
+        pass  # not a registered name: fall through to the path form
+    except (TypeError, ValueError) as error:
+        raise SystemExit(str(error)) from error
     path = Path(spec)
     if path.exists():
         return problem_from_json(path.read_text())
     raise SystemExit(
-        f"unknown workload {spec!r}: not a builtin "
-        f"({', '.join(sorted(BUILTIN_WORKLOADS))}) and no such file"
+        f"unknown workload {spec!r}: not a registered workload "
+        f"({', '.join(list_workloads())}), not an alias "
+        f"({', '.join(sorted(list_aliases()))}), and no such file"
     )
 
 
@@ -248,6 +278,21 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def cmd_workload(args: argparse.Namespace) -> int:
+    if args.list_workloads:
+        from repro.workloads.registry import entry_for
+
+        print("workloads:")
+        for name in list_workloads():
+            entry = entry_for(name)
+            print(f"  {name:<14} {entry.summary}")
+        aliases = list_aliases()
+        if aliases:
+            print("aliases:")
+            for alias in sorted(aliases):
+                print(f"  {alias:<14} -> {aliases[alias]}")
+        return 0
+    if args.name is None:
+        raise SystemExit("a workload name is required (or --list)")
     problem = load_problem(args.name)
     text = problem_to_json(problem)
     if args.output is not None:
@@ -882,6 +927,147 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fault_plan_value(text: str) -> dict[str, float] | None:
+    """One ``--fault-plan`` axis value: ``none`` or ``k=v[,k=v...]``."""
+    if text.strip().lower() == "none":
+        return None
+    plan: dict[str, float] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep or not key.strip():
+            raise SystemExit(
+                f"malformed fault-plan parameter {part!r} in {text!r}; "
+                "expected k=v"
+            )
+        try:
+            plan[key.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"fault-plan parameter {key.strip()!r} has non-numeric "
+                f"value {value!r}"
+            ) from None
+    if not plan:
+        raise SystemExit(f"empty fault plan {text!r}; use 'none' for fault-free")
+    return plan
+
+
+def _sweep_spec_from_args(args: argparse.Namespace) -> "SweepSpec":
+    from repro.sweep import SweepSpec, load_spec
+
+    axis_flags = (
+        args.workloads or args.methods or args.engines or args.gammas
+        or args.fault_plans or args.iterations or args.seeds
+        or args.repeats != 1
+    )
+    if args.spec is not None:
+        if axis_flags:
+            raise SystemExit(
+                "--spec carries the whole grid; combining it with axis "
+                "flags (--workload/--method/...) is ambiguous"
+            )
+        try:
+            return load_spec(args.spec)
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
+    try:
+        return SweepSpec(
+            workloads=tuple(args.workloads or ["base"]),
+            methods=tuple(args.methods or ["lrgp"]),
+            engines=tuple(
+                None if engine == "none" else engine
+                for engine in (args.engines or ["none"])
+            ),
+            gammas=tuple(args.gammas or ["adaptive"]),
+            fault_plans=tuple(
+                _parse_fault_plan_value(value)
+                for value in (args.fault_plans or ["none"])
+            ),
+            iterations=tuple(args.iterations or [250]),
+            seeds=tuple(args.seeds or [0]),
+            repeats=args.repeats,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+
+
+def cmd_sweep_run(args: argparse.Namespace) -> int:
+    from repro.canonical import canonical_json
+    from repro.sweep import (
+        ResultCache,
+        bench_payload,
+        plan_sweep,
+        render_sweep_plan,
+        render_sweep_report,
+        run_sweep,
+        sweep_to_csv,
+        sweep_to_json,
+    )
+
+    spec = _sweep_spec_from_args(args)
+    try:
+        cells = spec.expand()
+    except KeyError as error:
+        raise SystemExit(str(error.args[0])) from error
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+    cache = ResultCache(args.cache_dir)
+    if args.dry_run:
+        print(render_sweep_plan(plan_sweep(cells, cache, force=args.force)))
+        return 0
+    try:
+        result = run_sweep(cells, jobs=args.jobs, cache=cache, force=args.force)
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+    print(render_sweep_report(result))
+    if args.csv is not None:
+        Path(args.csv).write_text(sweep_to_csv(result), encoding="utf-8")
+        print(f"CSV written to {args.csv}")
+    if args.json is not None:
+        Path(args.json).write_text(
+            canonical_json(sweep_to_json(result)) + "\n", encoding="utf-8"
+        )
+        print(f"JSON written to {args.json}")
+    if args.bench is not None:
+        import json as _json
+
+        Path(args.bench).write_text(
+            _json.dumps(bench_payload(result), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"bench payload written to {args.bench}")
+    return 0
+
+
+def cmd_sweep_show(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.sweep import ResultCache, RunConfig
+
+    cache = ResultCache(args.cache_dir)
+    paths = list(cache.entry_paths())
+    print(f"cache: {cache.root} ({len(paths)} entr{'y' if len(paths) == 1 else 'ies'})")
+    for path in paths:
+        try:
+            entry = _json.loads(path.read_text(encoding="utf-8"))
+            label = RunConfig.from_dict(entry["config"]).label()
+        except (OSError, ValueError, KeyError, TypeError):
+            label = "<corrupt entry>"
+        print(f"  {path.stem[:12]}  {label}")
+    return 0
+
+
+def cmd_sweep_clean(args: argparse.Namespace) -> int:
+    from repro.sweep import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    removed = cache.clean()
+    print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} from {cache.root}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     # Imported lazily: the analyzer is pure stdlib but irrelevant to the
     # optimization commands, and keeping it out of module import keeps
@@ -976,6 +1162,37 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if any(f.severity is Severity.ERROR for f in findings) else 0
 
 
+def _add_workload_arg(parser: argparse.ArgumentParser) -> None:
+    """The one workload convention: positional spec (historical) or the
+    ``--workload NAME[:k=v,...]`` flag — both reach the registry."""
+    parser.add_argument(
+        "workload", nargs="?", default=None,
+        help="workload spec NAME[:k=v,...] or problem JSON path",
+    )
+    parser.add_argument(
+        "--workload", dest="workload_opt", default=None,
+        metavar="NAME[:k=v,...]",
+        help="workload spec (flag form of the positional argument)",
+    )
+
+
+def _resolve_workload(args: argparse.Namespace) -> None:
+    """Merge the positional and ``--workload`` spellings into
+    ``args.workload``; exactly one must be given."""
+    if args.workload_opt is not None:
+        if args.workload is not None and args.workload != args.workload_opt:
+            raise SystemExit(
+                f"workload given twice: positionally ({args.workload!r}) "
+                f"and via --workload ({args.workload_opt!r}); pick one"
+            )
+        args.workload = args.workload_opt
+    if args.workload is None:
+        raise SystemExit(
+            "a workload is required: pass it positionally or via "
+            "--workload NAME[:k=v,...]"
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -985,7 +1202,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     optimize = sub.add_parser("optimize", help="run an optimizer on a workload")
-    optimize.add_argument("workload", help="builtin name or problem JSON path")
+    _add_workload_arg(optimize)
     optimize.add_argument("--iterations", type=int, default=250)
     optimize.add_argument(
         "--method", choices=available_methods(), default="lrgp",
@@ -1017,8 +1234,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     optimize.set_defaults(func=cmd_optimize)
 
-    workload = sub.add_parser("workload", help="materialize a builtin workload")
-    workload.add_argument("name", choices=sorted(BUILTIN_WORKLOADS))
+    workload = sub.add_parser(
+        "workload", help="materialize a registered workload as problem JSON"
+    )
+    workload.add_argument(
+        "name", nargs="?", default=None,
+        help="workload spec NAME[:k=v,...] (see --list)",
+    )
+    workload.add_argument(
+        "--list", action="store_true", dest="list_workloads",
+        help="list registered workloads and aliases, then exit",
+    )
     workload.add_argument("-o", "--output", help="write problem JSON here")
     workload.set_defaults(func=cmd_workload)
 
@@ -1044,7 +1270,7 @@ def build_parser() -> argparse.ArgumentParser:
         "stats",
         help="run a workload with telemetry; print metrics + diagnostics",
     )
-    stats.add_argument("workload", help="builtin name or problem JSON path")
+    _add_workload_arg(stats)
     stats.add_argument("--iterations", type=int, default=250,
                        help="iterations (reference/sync) or time units (async)")
     stats.add_argument(
@@ -1067,7 +1293,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a workload under the phase profiler; print the phase "
         "tree and export flamegraph / speedscope artifacts",
     )
-    profile.add_argument("workload", help="builtin name or problem JSON path")
+    _add_workload_arg(profile)
     profile.add_argument(
         "--iterations", type=int, default=250,
         help="iterations (reference/vectorized/sync) or time units (async)",
@@ -1108,7 +1334,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_run = trace_sub.add_parser(
         "run", help="capture the structured event stream of a run"
     )
-    trace_run.add_argument("workload", help="builtin name or problem JSON path")
+    _add_workload_arg(trace_run)
     trace_run.add_argument(
         "--iterations", type=int, default=100,
         help="iterations (reference/sync) or time units (async)",
@@ -1246,7 +1472,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="run the async deployment under a seeded fault plan",
     )
-    chaos.add_argument("workload", help="builtin name or problem JSON path")
+    _add_workload_arg(chaos)
     chaos.add_argument("--horizon", type=float, default=400.0,
                        help="simulated time to run (default: 400)")
     chaos.add_argument("--seed", type=int, default=0,
@@ -1270,6 +1496,107 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", action="store_true",
                        help="print a machine-readable report")
     chaos.set_defaults(func=cmd_chaos)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="declarative experiment grids over a parallel, cached farm",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser(
+        "run", help="expand a grid and execute it, cache-first"
+    )
+    sweep_run.add_argument(
+        "--spec", metavar="FILE", default=None,
+        help="JSON SweepSpec file (replaces the axis flags)",
+    )
+    sweep_run.add_argument(
+        "--workload", dest="workloads", action="append",
+        metavar="NAME[:k=v,...]",
+        help="workload axis value (repeatable; default: base)",
+    )
+    sweep_run.add_argument(
+        "--method", dest="methods", action="append",
+        choices=available_methods(),
+        help="method axis value (repeatable; default: lrgp)",
+    )
+    sweep_run.add_argument(
+        "--engine", dest="engines", action="append",
+        choices=[*available_engines(), "none"],
+        help="engine axis value; 'none' = method default (repeatable)",
+    )
+    sweep_run.add_argument(
+        "--gamma", dest="gammas", action="append", metavar="POLICY",
+        help="gamma-policy axis value: adaptive | fixed:<step> (repeatable)",
+    )
+    sweep_run.add_argument(
+        "--fault-plan", dest="fault_plans", action="append",
+        metavar="k=v[,k=v...]",
+        help="fault-plan axis value; 'none' = fault-free (repeatable)",
+    )
+    sweep_run.add_argument(
+        "--iterations", dest="iterations", action="append", type=int,
+        metavar="N",
+        help="iteration-budget axis value (repeatable; default: 250)",
+    )
+    sweep_run.add_argument(
+        "--seed", dest="seeds", action="append", type=int, metavar="S",
+        help="seed axis value (repeatable; default: 0)",
+    )
+    sweep_run.add_argument(
+        "--repeats", type=int, default=1, metavar="K",
+        help="replicate every cell K times (distinct cache entries)",
+    )
+    sweep_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for cache misses (1 = run inline)",
+    )
+    sweep_run.add_argument(
+        "--dry-run", action="store_true",
+        help="print the grid and its cache hit/miss plan; execute nothing",
+    )
+    sweep_run.add_argument(
+        "--force", action="store_true",
+        help="re-execute cached cells, overwriting their entries",
+    )
+    sweep_run.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/sweep)",
+    )
+    sweep_run.add_argument(
+        "--csv", metavar="FILE", default=None,
+        help="write the per-cell CSV table here",
+    )
+    sweep_run.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the full sweep JSON export here (canonical JSON)",
+    )
+    sweep_run.add_argument(
+        "--bench", metavar="FILE", default=None,
+        help="write the BENCH_sweep payload here (for repro bench snapshot)",
+    )
+    sweep_run.set_defaults(func=cmd_sweep_run)
+
+    sweep_show = sweep_sub.add_parser(
+        "show", help="list cached sweep entries"
+    )
+    sweep_show.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/sweep)",
+    )
+    sweep_show.set_defaults(func=cmd_sweep_show)
+
+    sweep_clean = sweep_sub.add_parser(
+        "clean", help="delete every cached sweep entry"
+    )
+    sweep_clean.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/sweep)",
+    )
+    sweep_clean.set_defaults(func=cmd_sweep_clean)
 
     lint = sub.add_parser(
         "lint", help="run the domain-aware static analyzer (docs/analysis.md)"
@@ -1352,6 +1679,8 @@ def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     args = build_parser().parse_args(_normalize_argv(list(argv)))
+    if hasattr(args, "workload_opt"):
+        _resolve_workload(args)
     try:
         return args.func(args)
     except BrokenPipeError:

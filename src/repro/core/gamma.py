@@ -68,6 +68,17 @@ class GammaSchedule(ABC):
         """Inverse of :meth:`state_dict`; no-op for stateless schedules."""
         del state
 
+    def to_spec(self) -> dict[str, float | str]:
+        """Canonical *configuration* of this schedule (not its state).
+
+        Feeds ``LRGPConfig.to_dict`` / the sweep cache key: two schedules
+        with equal specs run identical trajectories from a fresh start.
+        Subclasses with tuning knobs override; the fallback identifies
+        the schedule by its qualified class name only.
+        """
+        cls = type(self)
+        return {"kind": f"{cls.__module__}.{cls.__qualname__}"}
+
 
 @dataclass
 class FixedGamma(GammaSchedule):
@@ -91,6 +102,9 @@ class FixedGamma(GammaSchedule):
 
     def clone(self) -> "FixedGamma":
         return FixedGamma(self.gamma)
+
+    def to_spec(self) -> dict[str, float | str]:
+        return {"kind": "fixed", "gamma": self.gamma}
 
 
 class AdaptiveGamma(GammaSchedule):
@@ -173,6 +187,16 @@ class AdaptiveGamma(GammaSchedule):
         if self._last_delta is not None:
             state["last_delta"] = self._last_delta
         return state
+
+    def to_spec(self) -> dict[str, float | str]:
+        return {
+            "kind": "adaptive",
+            "initial": self._initial,
+            "increment": self._increment,
+            "backoff": self._backoff,
+            "lower": self._lower,
+            "upper": self._upper,
+        }
 
     def load_state(self, state: dict[str, float]) -> None:
         gamma = state["gamma"]

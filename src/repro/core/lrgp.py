@@ -33,6 +33,7 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.canonical import content_hash
 from repro.core.consumer_allocation import NodeAllocation, allocate_consumers
 from repro.core.convergence import (
     DEFAULT_REL_AMPLITUDE,
@@ -94,6 +95,46 @@ class LRGPConfig:
     def adaptive(**kwargs: Any) -> "LRGPConfig":
         """Config with the adaptive step size (the paper's default)."""
         return LRGPConfig(node_gamma=AdaptiveGamma(), **kwargs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical, JSON-ready form of the *configuration identity*.
+
+        Two configs with equal ``to_dict()`` drive identical trajectories
+        on the same problem, so this is the form the sweep cache hashes
+        (:mod:`repro.sweep.cache`).  ``telemetry`` is deliberately
+        excluded — observability wiring never changes the iterate — and
+        the admission strategy is identified by its qualified name.
+        """
+        # Callables carry no __module__/__qualname__ in the type system;
+        # unnameable strategies (partials, instances) fall back to their
+        # type name — repr would embed a memory address and break the
+        # cross-process stability this encoding exists to provide.
+        admission: object = self.admission
+        module = getattr(admission, "__module__", None)
+        qualname = getattr(admission, "__qualname__", None)
+        admission_name = (
+            f"{module}.{qualname}"
+            if isinstance(module, str) and isinstance(qualname, str)
+            else f"<unnamed:{type(admission).__name__}>"
+        )
+        return {
+            "node_gamma": self.node_gamma.to_spec(),
+            "link_gamma": self.link_gamma,
+            "initial_node_price": self.initial_node_price,
+            "initial_link_price": self.initial_link_price,
+            "record_snapshots": self.record_snapshots,
+            "admission": admission_name,
+            "engine": self.engine,
+        }
+
+    def config_hash(self) -> str:
+        """SHA-256 of the sorted-key canonical JSON of :meth:`to_dict`.
+
+        Stable across processes and ``PYTHONHASHSEED`` values (the
+        canonical encoding sorts every mapping), so it is safe to use as
+        a persistent cache key component.
+        """
+        return content_hash(self.to_dict())
 
 
 @dataclass(frozen=True)

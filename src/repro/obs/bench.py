@@ -50,9 +50,10 @@ __all__ = [
 DEFAULT_THRESHOLD = 0.10
 
 #: Substrings marking a metric where *up is worse* (latency-like)...
-_LOWER_IS_BETTER = ("_ns", "overhead", "time", "lost", "stale", "downtime")
-#: ...and where *down is worse* (throughput-like).
-_HIGHER_IS_BETTER = ("speedup", "retention", "utility", "throughput")
+_LOWER_IS_BETTER = ("_ns", "overhead", "time", "lost", "stale", "downtime", "misses")
+#: ...and where *down is worse* (throughput-like; ``hit_rate``/``hits``
+#: cover the sweep farm's cache effectiveness).
+_HIGHER_IS_BETTER = ("speedup", "retention", "utility", "throughput", "hit_rate", "hits")
 
 
 def metric_direction(name: str) -> str:

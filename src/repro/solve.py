@@ -46,6 +46,7 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.canonical import canonical_json, content_hash
 from repro.core.convergence import iterations_until_convergence
 from repro.core.lrgp import LRGP, LRGPConfig
 from repro.model.allocation import Allocation, total_utility
@@ -173,6 +174,33 @@ class SolveResult:
                 if _json_safe(value)
             },
         }
+
+    def canonical_dict(self) -> dict[str, Any]:
+        """:meth:`to_dict` minus the volatile measurement fields.
+
+        ``wall_time_seconds`` changes run to run even when the trajectory
+        is bit-identical, so the canonical form — the one the sweep cache
+        compares and hashes — excludes it.  Everything the optimizer
+        *computed* (utility trajectory, allocation, prices, convergence)
+        stays in.
+        """
+        payload = self.to_dict()
+        del payload["wall_time_seconds"]
+        return payload
+
+    def canonical_json(self) -> str:
+        """Sorted-key canonical JSON of :meth:`canonical_dict`.
+
+        Deterministic solves (the LRGP family, seeded baselines) produce
+        byte-equal strings across repeated executions, processes and
+        ``PYTHONHASHSEED`` values — the bit-equality contract the sweep
+        cache relies on (``allow_nan=False``, like the trace sinks).
+        """
+        return canonical_json(self.canonical_dict())
+
+    def config_hash(self) -> str:
+        """SHA-256 content hash of :meth:`canonical_json`."""
+        return content_hash(self.canonical_dict())
 
 
 def _json_safe(value: Any) -> bool:

@@ -1,0 +1,61 @@
+"""``repro.sweep`` — the parallel experiment farm with result caching.
+
+ROADMAP item 2: every scaling claim needs hundreds of configuration
+runs, so experiments are declared as a *grid* (:class:`SweepSpec`:
+workload x method x engine x gamma-policy x fault-plan x iterations x
+seed), expanded to a deterministic list of :class:`RunConfig` cells,
+fanned out over a process pool (:func:`run_sweep`) and cached by content
+hash (:class:`ResultCache`) so re-runs are incremental: unchanged cells
+are cache hits, only new or changed cells execute.
+
+>>> from repro.sweep import SweepSpec, run_sweep
+>>> spec = SweepSpec(workloads=("micro", "base"), engines=(None, "vectorized"))
+>>> result = run_sweep(spec, jobs=4)
+>>> result.executed, result.hits
+(4, 0)
+>>> run_sweep(spec, jobs=4).hits        # immediate re-run: all cached
+4
+
+The CLI face is ``repro sweep run|show|clean`` (docs/sweep.md); results
+aggregate into a :class:`SweepResult` table that renders as a report,
+CSV/JSON, and a ``BENCH_sweep.json`` payload feeding
+``repro bench snapshot|compare``.
+"""
+
+from repro.sweep.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    cache_salt,
+    default_cache_dir,
+)
+from repro.sweep.farm import SweepCell, SweepResult, execute_run, plan_sweep, run_sweep
+from repro.sweep.report import (
+    bench_payload,
+    render_sweep_comparison,
+    render_sweep_plan,
+    render_sweep_report,
+    sweep_to_csv,
+    sweep_to_json,
+)
+from repro.sweep.spec import RunConfig, SweepSpec, load_spec
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "RunConfig",
+    "SweepCell",
+    "SweepResult",
+    "SweepSpec",
+    "bench_payload",
+    "cache_salt",
+    "default_cache_dir",
+    "execute_run",
+    "load_spec",
+    "plan_sweep",
+    "render_sweep_comparison",
+    "render_sweep_plan",
+    "render_sweep_report",
+    "run_sweep",
+    "sweep_to_csv",
+    "sweep_to_json",
+]

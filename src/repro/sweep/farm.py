@@ -1,0 +1,306 @@
+"""The experiment farm: execute sweep cells, in-process or fanned out.
+
+:func:`execute_run` is the one cell runner — a module-level function on
+pure-data :class:`RunConfig` input so it pickles into
+:class:`~concurrent.futures.ProcessPoolExecutor` workers unchanged.
+Plain cells go through the :func:`repro.solve.solve` front door; cells
+with a ``fault_plan`` instead drive the asynchronous runtime under a
+seeded :class:`~repro.runtime.faults.FaultPlan` (the ``repro chaos``
+protocol) and report fault-recovery metrics.
+
+The produced payload separates *computed* content (``"result"``,
+``"metrics"`` — bit-equal across re-executions for deterministic
+methods) from *measured* content (``"timing"``), so a cached cell and a
+fresh cell compare equal where equality is meaningful.
+
+:func:`run_sweep` is cache-first: expand the grid, look every cell up in
+the :class:`~repro.sweep.cache.ResultCache`, execute only the misses
+(``jobs<=1`` runs inline — no pool overhead, picklability not required),
+and store fresh results before returning the order-preserving
+:class:`SweepResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.gamma import FixedGamma
+from repro.solve import solve
+from repro.sweep.cache import ResultCache
+from repro.sweep.spec import RunConfig, SweepSpec, parse_gamma_policy
+from repro.workloads.registry import workload_from_spec
+
+__all__ = [
+    "SweepCell",
+    "SweepResult",
+    "execute_run",
+    "plan_sweep",
+    "run_sweep",
+]
+
+#: Methods whose ``seed=`` option reaches a stochastic optimizer; the
+#: deterministic families ignore the seed axis (cells differing only in
+#: seed still cache separately — the config is the identity).
+_SEEDED_METHODS = frozenset({"annealing", "hill_climb", "random_search"})
+
+
+def _solve_options(config: RunConfig) -> dict[str, Any]:
+    """Translate the cell's gamma policy / seed into ``solve`` options."""
+    options: dict[str, Any] = {}
+    kind, step = parse_gamma_policy(config.gamma)
+    if kind == "fixed":
+        assert step is not None
+        if config.method == "multirate":
+            from repro.core.multirate import MultirateConfig
+
+            options["config"] = MultirateConfig(node_gamma=FixedGamma(step))
+        else:
+            from repro.core.lrgp import LRGPConfig
+
+            options["config"] = LRGPConfig(node_gamma=FixedGamma(step))
+    if config.method in _SEEDED_METHODS:
+        options["seed"] = config.seed
+    return options
+
+
+def _solve_payload(config: RunConfig) -> dict[str, Any]:
+    problem = workload_from_spec(config.workload)
+    result = solve(
+        problem,
+        method=config.method,
+        engine=config.engine,
+        iterations=config.iterations,
+        **_solve_options(config),
+    )
+    return {
+        "kind": "solve",
+        "result": result.canonical_dict(),
+        "metrics": {
+            "utility": result.utility,
+            "iterations": result.iterations,
+            "converged_at": result.converged_at,
+            "engine": result.engine,
+        },
+        "timing": {"solve_seconds": result.wall_time_seconds},
+    }
+
+
+def _fault_payload(config: RunConfig) -> dict[str, Any]:
+    """Run the cell under its fault plan (the ``repro chaos`` protocol).
+
+    The faulted run and a fault-free baseline execute with the same seed;
+    *retention* is faulted converged utility over baseline converged
+    utility — the cell's headline fault-recovery metric.
+    """
+    from repro.events.reliability import RetryPolicy
+    from repro.runtime.asynchronous import AsyncConfig, AsynchronousRuntime
+    from repro.runtime.faults import FaultPlan
+
+    assert config.fault_plan is not None
+    plan_params = dict(config.fault_plan)
+    horizon = plan_params.pop("horizon", 400.0)
+    problem = workload_from_spec(config.workload)
+    plan = FaultPlan.random(
+        problem, seed=config.seed, horizon=horizon, **plan_params
+    )
+    runtime = AsynchronousRuntime(
+        problem,
+        AsyncConfig(seed=config.seed),
+        fault_plan=plan,
+        retry=RetryPolicy(),
+    )
+    runtime.run_until(horizon)
+    baseline = AsynchronousRuntime(problem, AsyncConfig(seed=config.seed))
+    baseline.run_until(horizon)
+
+    utility = runtime.converged_utility()
+    reference = baseline.converged_utility()
+    recovery_times = [record.recovery_time for record in runtime.recoveries]
+    return {
+        "kind": "fault",
+        "result": {
+            "horizon": horizon,
+            "utility": utility,
+            "baseline_utility": reference,
+            "plan": {
+                "crashes": len(plan.crashes),
+                "partitions": len(plan.partitions),
+                "storms": len(plan.storms),
+                "checkpoint_interval": plan.checkpoint_interval,
+            },
+            "counters": {
+                "messages_sent": runtime.messages_sent,
+                "messages_lost": runtime.messages_lost,
+                "messages_stale": runtime.messages_stale,
+                "messages_to_down": runtime.messages_to_down,
+                "messages_partitioned": runtime.messages_partitioned,
+                "retransmissions": runtime.retransmissions,
+                "retries_abandoned": runtime.retries_abandoned,
+            },
+        },
+        "metrics": {
+            "utility": utility,
+            "retention": (utility / reference) if reference else None,
+            "recoveries": len(recovery_times),
+            "mean_recovery_time": (
+                sum(recovery_times) / len(recovery_times)
+                if recovery_times
+                else None
+            ),
+        },
+        "timing": {},
+    }
+
+
+def execute_run(config: RunConfig) -> dict[str, Any]:
+    """Execute one cell; return its JSON-ready payload.
+
+    Module-level and pure-data in/out: this is the function worker
+    processes import and run.  Everything under ``"result"`` and
+    ``"metrics"`` is deterministic for the config (given a deterministic
+    method); ``"timing"`` is measured and varies run to run.
+    """
+    started = time.perf_counter()
+    payload = (
+        _fault_payload(config)
+        if config.fault_plan is not None
+        else _solve_payload(config)
+    )
+    payload["label"] = config.label()
+    payload["timing"]["wall_time_seconds"] = time.perf_counter() - started
+    return payload
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell's outcome: its config, cache key, and payload."""
+
+    config: RunConfig
+    key: str
+    cached: bool
+    payload: dict[str, Any]
+
+    @property
+    def label(self) -> str:
+        return self.config.label()
+
+    @property
+    def metrics(self) -> dict[str, Any]:
+        metrics = self.payload.get("metrics")
+        return dict(metrics) if isinstance(metrics, dict) else {}
+
+    @property
+    def utility(self) -> float | None:
+        value = self.metrics.get("utility")
+        return float(value) if isinstance(value, (int, float)) else None
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """An executed sweep: cells in grid order plus farm bookkeeping."""
+
+    cells: tuple[SweepCell, ...]
+    jobs: int
+    wall_time_seconds: float
+    #: Corrupt cache entries encountered (each re-executed and repaired).
+    corrupt_entries: int = 0
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for cell in self.cells if cell.cached)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for cell in self.cells if not cell.cached)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def _as_configs(
+    spec: SweepSpec | Sequence[RunConfig],
+) -> tuple[RunConfig, ...]:
+    if isinstance(spec, SweepSpec):
+        return spec.expand()
+    return tuple(spec)
+
+
+def plan_sweep(
+    spec: SweepSpec | Sequence[RunConfig],
+    cache: ResultCache | None = None,
+    force: bool = False,
+) -> tuple[tuple[RunConfig, str, str], ...]:
+    """The ``--dry-run`` view: (config, key, status) per cell, in grid
+    order, where status is ``"hit"``, ``"miss"`` or ``"forced"`` (cached
+    but ``--force`` will re-execute it)."""
+    cache = cache if cache is not None else ResultCache()
+    plan: list[tuple[RunConfig, str, str]] = []
+    for config in _as_configs(spec):
+        key = cache.key_for(config)
+        entry = cache.get(key)
+        if entry is None:
+            status = "miss"
+        else:
+            status = "forced" if force else "hit"
+        plan.append((config, key, status))
+    return tuple(plan)
+
+
+def run_sweep(
+    spec: SweepSpec | Sequence[RunConfig],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    force: bool = False,
+) -> SweepResult:
+    """Run the grid, cache-first; return cells in grid order.
+
+    ``jobs<=1`` executes misses inline in this process;  ``jobs>1`` fans
+    them out over a :class:`ProcessPoolExecutor` via ``executor.map``,
+    which preserves submission (= grid) order.  ``force`` re-executes
+    every cell, overwriting its cache entry.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    cache = cache if cache is not None else ResultCache()
+    configs = _as_configs(spec)
+    corrupt_before = cache.corrupt_hits
+    started = time.perf_counter()
+
+    cells: list[SweepCell | None] = [None] * len(configs)
+    pending: list[tuple[int, RunConfig, str]] = []
+    for index, config in enumerate(configs):
+        key = cache.key_for(config)
+        entry = None if force else cache.get(key)
+        if entry is not None:
+            cells[index] = SweepCell(
+                config=config, key=key, cached=True, payload=entry["payload"]
+            )
+        else:
+            pending.append((index, config, key))
+
+    if pending:
+        pending_configs = [config for _, config, _ in pending]
+        if jobs == 1 or len(pending) == 1:
+            payloads = [execute_run(config) for config in pending_configs]
+        else:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                payloads = list(pool.map(execute_run, pending_configs))
+        for (index, config, key), payload in zip(pending, payloads):
+            cache.put(key, config, payload)
+            cells[index] = SweepCell(
+                config=config, key=key, cached=False, payload=payload
+            )
+
+    done = [cell for cell in cells if cell is not None]
+    assert len(done) == len(configs)
+    return SweepResult(
+        cells=tuple(done),
+        jobs=jobs,
+        wall_time_seconds=time.perf_counter() - started,
+        corrupt_entries=cache.corrupt_hits - corrupt_before,
+    )

@@ -36,8 +36,28 @@ from repro.workloads.scenarios import (
     latest_price_scenario,
     trade_data_scenario,
 )
+from repro.workloads.registry import (
+    WorkloadEntry,
+    canonical_workload_spec,
+    format_workload_spec,
+    get_workload,
+    list_aliases,
+    list_workloads,
+    parse_workload_spec,
+    register_workload,
+    workload_from_spec,
+)
 
 __all__ = [
+    "WorkloadEntry",
+    "canonical_workload_spec",
+    "format_workload_spec",
+    "get_workload",
+    "list_aliases",
+    "list_workloads",
+    "parse_workload_spec",
+    "register_workload",
+    "workload_from_spec",
     "ChaosScenario",
     "DynamicScenario",
     "GeneratorConfig",

@@ -646,3 +646,134 @@ class TestBenchCompareBlame:
         assert "regression blame" in out
         blame_section = out.split("regression blame", 1)[1]
         assert "solve.iteration.admission" in blame_section.splitlines()[1]
+
+
+class TestWorkloadSpecConvention:
+    """The registry's NAME[:k=v,...] spec is the one CLI convention."""
+
+    def test_flag_and_positional_are_equivalent(self, capsys):
+        assert main(["optimize", "micro", "--iterations", "30"]) == 0
+        positional = capsys.readouterr().out
+        assert main(
+            ["optimize", "--workload", "micro", "--iterations", "30"]
+        ) == 0
+        assert capsys.readouterr().out == positional
+
+    def test_conflicting_workloads_exit(self):
+        with pytest.raises(SystemExit, match="twice"):
+            main(["optimize", "micro", "--workload", "base"])
+
+    def test_missing_workload_exits(self):
+        with pytest.raises(SystemExit, match="workload"):
+            main(["optimize"])
+
+    def test_parameterized_spec_reaches_factory(self, capsys):
+        assert main(["workload", "tree:depth=2,flows=2"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["version"] == 1
+
+    def test_deprecated_spelling_still_reachable(self, capsys):
+        with pytest.warns(DeprecationWarning, match="base:shape=pow50"):
+            assert main(["optimize", "base-pow50", "--iterations", "30"]) == 0
+        assert "utility:" in capsys.readouterr().out
+
+    def test_workload_list_shows_registry_and_aliases(self, capsys):
+        assert main(["workload", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "micro" in out
+        assert "flows-x4" in out
+        assert "flows:factor=4" in out
+
+
+class TestSweepCommand:
+    GRID = [
+        "--workload", "micro",
+        "--method", "lrgp", "--method", "annealing",
+        "--iterations", "20",
+    ]
+
+    def cache_args(self, tmp_path):
+        return ["--cache-dir", str(tmp_path / "cache")]
+
+    def test_dry_run_plans_without_executing(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "run", "--dry-run", *self.GRID,
+             *self.cache_args(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 to execute" in out
+        assert not (tmp_path / "cache").exists() or not any(
+            (tmp_path / "cache").rglob("*.json")
+        )
+
+    def test_run_then_rerun_hits_cache(self, tmp_path, capsys):
+        args = ["sweep", "run", *self.GRID, *self.cache_args(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "0 cached, 2 executed" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "2 cached, 0 executed" in second
+
+    def test_force_re_executes(self, tmp_path, capsys):
+        args = ["sweep", "run", *self.GRID, *self.cache_args(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main([*args, "--force"]) == 0
+        assert "0 cached, 2 executed" in capsys.readouterr().out
+
+    def test_exports_csv_json_bench(self, tmp_path, capsys):
+        import csv
+
+        csv_path = tmp_path / "sweep.csv"
+        json_path = tmp_path / "sweep.json"
+        bench_path = tmp_path / "bench.json"
+        assert main(
+            ["sweep", "run", *self.GRID, *self.cache_args(tmp_path),
+             "--csv", str(csv_path), "--json", str(json_path),
+             "--bench", str(bench_path)]
+        ) == 0
+        rows = list(csv.DictReader(csv_path.open()))
+        assert len(rows) == 2
+        payload = json.loads(json_path.read_text())
+        assert payload["cells_total"] == 2
+        bench = json.loads(bench_path.read_text())
+        assert bench["farm"]["cells_total"] == 2
+
+    def test_spec_file_round_trip(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "workloads": ["micro"],
+            "methods": ["lrgp"],
+            "iterations": [15],
+        }))
+        assert main(
+            ["sweep", "run", "--spec", str(spec_path),
+             *self.cache_args(tmp_path)]
+        ) == 0
+        assert "micro/lrgp/i15" in capsys.readouterr().out
+
+    def test_spec_file_excludes_axis_flags(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"workloads": ["micro"]}))
+        with pytest.raises(SystemExit, match="--spec"):
+            main(["sweep", "run", "--spec", str(spec_path),
+                  "--workload", "base", *self.cache_args(tmp_path)])
+
+    def test_unknown_workload_in_grid_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["sweep", "run", "--workload", "no-such",
+                  *self.cache_args(tmp_path)])
+
+    def test_show_and_clean(self, tmp_path, capsys):
+        cache = self.cache_args(tmp_path)
+        assert main(["sweep", "run", *self.GRID, *cache]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "show", *cache]) == 0
+        out = capsys.readouterr().out
+        assert "micro/lrgp/i20" in out
+        assert "2 entr" in out
+        assert main(["sweep", "clean", *cache]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert main(["sweep", "show", *cache]) == 0
+        assert "0 entries" in capsys.readouterr().out

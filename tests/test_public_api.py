@@ -5,6 +5,10 @@ README through ``import repro`` — this pins that surface so refactors
 cannot silently break it.
 """
 
+import warnings
+
+import pytest
+
 import repro
 
 
@@ -69,11 +73,68 @@ class TestTopLevelExports:
         result = repro.two_stage_optimize(problem, iterations=30)
         assert result.stage2_utility >= 0.0
 
+    def test_workload_registry_is_the_front_door(self):
+        assert set(repro.list_workloads()) >= {
+            "micro",
+            "base",
+            "flows",
+            "cnodes",
+            "tree",
+            "bottleneck",
+            "generated",
+        }
+        by_name = repro.get_workload("tree", depth=2, flows=2)
+        by_spec = repro.workload_from_spec("tree:depth=2,flows=2")
+        assert by_name.describe() == by_spec.describe()
+
     def test_package_ships_type_marker(self):
         from pathlib import Path
 
         package_dir = Path(repro.__file__).parent
         assert (package_dir / "py.typed").exists()
+
+
+class TestDeprecatedWorkloadSpellings:
+    """The pre-registry names keep working, but only under a warning."""
+
+    DEPRECATED = {
+        "base-pow25": "base:shape=pow25",
+        "base-pow50": "base:shape=pow50",
+        "base-pow75": "base:shape=pow75",
+        "link-bottleneck": "bottleneck",
+    }
+
+    @pytest.mark.parametrize(
+        ("old", "replacement"), sorted(DEPRECATED.items())
+    )
+    def test_old_spelling_warns_and_still_builds(self, old, replacement):
+        with pytest.warns(DeprecationWarning, match=replacement):
+            problem = repro.workload_from_spec(old)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            canonical = repro.workload_from_spec(replacement)
+        assert problem.describe() == canonical.describe()
+
+    def test_stable_names_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            repro.workload_from_spec("flows-x2")
+            repro.workload_from_spec("base:shape=pow50")
+
+
+class TestSweepSurface:
+    def test_sweep_package_surface(self, tmp_path):
+        from repro.sweep import ResultCache, SweepSpec, run_sweep
+
+        spec = SweepSpec(workloads=("micro",), iterations=(10,))
+        cache = ResultCache(tmp_path / "cache")
+        first = run_sweep(spec, cache=cache)
+        second = run_sweep(spec, cache=cache)
+        assert first.executed == 1 and second.hits == 1
+        assert (
+            second.cells[0].payload["result"]
+            == first.cells[0].payload["result"]
+        )
 
 
 class TestSubpackageImports:
@@ -84,12 +145,14 @@ class TestSubpackageImports:
         import repro.experiments
         import repro.model
         import repro.runtime
+        import repro.sweep
         import repro.utility
         import repro.workloads
 
         for module in (
             repro.baselines, repro.core, repro.events, repro.experiments,
-            repro.model, repro.runtime, repro.utility, repro.workloads,
+            repro.model, repro.runtime, repro.sweep, repro.utility,
+            repro.workloads,
         ):
             assert module.__doc__
             for name in module.__all__:

@@ -1,0 +1,169 @@
+"""Workload registry: names, specs, aliases, deprecations."""
+
+import pytest
+
+from repro.workloads.registry import (
+    WorkloadEntry,
+    canonical_workload_spec,
+    entry_for,
+    format_workload_spec,
+    get_workload,
+    list_aliases,
+    list_workloads,
+    parse_workload_spec,
+    register_alias,
+    register_workload,
+    workload_from_spec,
+)
+
+#: Every workload name the pre-registry CLI table accepted — each must
+#: stay reachable through the registry (the api_redesign contract).
+OLD_CLI_SPELLINGS = [
+    "base",
+    "base-pow25",
+    "base-pow50",
+    "base-pow75",
+    "flows-x2",
+    "flows-x4",
+    "cnodes-x2",
+    "cnodes-x4",
+    "cnodes-x8",
+    "trade-data",
+    "latest-price",
+    "link-bottleneck",
+    "tree",
+    "micro",
+]
+
+
+class TestRegistryListing:
+    def test_core_names_registered(self):
+        names = list_workloads()
+        for expected in ("micro", "base", "flows", "cnodes", "tree",
+                         "bottleneck", "generated", "fault-churn"):
+            assert expected in names
+
+    def test_listing_is_sorted(self):
+        names = list_workloads()
+        assert list(names) == sorted(names)
+
+    def test_entry_for_unknown_name_lists_registered(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            entry_for("no-such-workload")
+
+    def test_entries_document_defaults(self):
+        entry = entry_for("tree")
+        assert isinstance(entry, WorkloadEntry)
+        assert "depth" in entry.defaults
+
+
+class TestOldSpellings:
+    @pytest.mark.parametrize("name", OLD_CLI_SPELLINGS)
+    def test_every_old_cli_spelling_builds(self, name):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            problem = get_workload(name)
+        assert problem.flows
+
+    def test_deprecated_spellings_warn_with_replacement(self):
+        with pytest.warns(DeprecationWarning, match="base:shape=pow50"):
+            get_workload("base-pow50")
+        with pytest.warns(DeprecationWarning, match="bottleneck"):
+            get_workload("link-bottleneck")
+
+    def test_stable_aliases_do_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            get_workload("flows-x2")
+            get_workload("cnodes-x2")
+
+    def test_alias_resolves_like_explicit_params(self):
+        via_alias = get_workload("flows-x2")
+        explicit = get_workload("flows", factor=2)
+        assert via_alias.describe() == explicit.describe()
+
+    def test_explicit_params_override_alias_implied(self):
+        problem = get_workload("flows-x2", factor=4)
+        assert problem.describe() == get_workload("flows", factor=4).describe()
+
+
+class TestSpecs:
+    def test_parse_name_only(self):
+        assert parse_workload_spec("base") == ("base", {})
+
+    def test_parse_coerces_values(self):
+        name, params = parse_workload_spec(
+            "generated:seed=3,flows=6,link_capacity=1.5e2,strict=true,shape=log"
+        )
+        assert name == "generated"
+        assert params == {
+            "seed": 3,
+            "flows": 6,
+            "link_capacity": 150.0,
+            "strict": True,
+            "shape": "log",
+        }
+
+    def test_parse_rejects_malformed_param(self):
+        with pytest.raises(ValueError, match="expected k=v"):
+            parse_workload_spec("base:shape")
+
+    def test_parse_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="empty workload name"):
+            parse_workload_spec(":k=v")
+
+    def test_format_sorts_keys(self):
+        assert (
+            format_workload_spec("tree", {"flows": 2, "depth": 4})
+            == "tree:depth=4,flows=2"
+        )
+
+    def test_canonical_resolves_aliases_and_sorts(self):
+        assert canonical_workload_spec("flows-x4") == "flows:factor=4"
+        assert (
+            canonical_workload_spec("tree:flows=2,depth=4")
+            == "tree:depth=4,flows=2"
+        )
+
+    def test_canonical_is_idempotent(self):
+        spec = canonical_workload_spec("base-pow50")
+        assert canonical_workload_spec(spec) == spec
+
+    def test_canonical_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            canonical_workload_spec("nope:k=1")
+
+    def test_workload_from_spec_builds_with_params(self):
+        problem = workload_from_spec("tree:depth=2,flows=2")
+        assert problem.flows
+
+    def test_bad_parameter_names_are_reported_with_documented_ones(self):
+        with pytest.raises(TypeError, match="documented parameters"):
+            get_workload("micro", bogus_knob=1)
+
+
+class TestRegistration:
+    def test_register_rejects_spec_syntax_in_name(self):
+        with pytest.raises(ValueError, match="spec syntax"):
+            register_workload("bad:name", lambda: None, "nope")
+
+    def test_alias_cycle_detected(self):
+        register_alias("cycle-a", "cycle-b")
+        register_alias("cycle-b", "cycle-a")
+        try:
+            with pytest.raises(ValueError, match="alias cycle"):
+                canonical_workload_spec("cycle-a")
+        finally:
+            from repro.workloads import registry
+
+            registry._ALIASES.pop("cycle-a", None)
+            registry._ALIASES.pop("cycle-b", None)
+
+    def test_list_aliases_maps_to_canonical_specs(self):
+        aliases = list_aliases()
+        assert aliases["flows-x4"] == "flows:factor=4"
+        assert aliases["base-pow25"] == "base:shape=pow25"
