@@ -2,34 +2,57 @@
 
 The reference engine walks Python dicts per flow/node/link; at Table 2
 scale that is thousands of interpreter round trips per iteration.  This
-module lowers a frozen :class:`~repro.model.problem.Problem` into dense
-numpy arrays once (:func:`compile_problem`) and then runs every LRGP
-iteration as batched array ops (:class:`VectorizedEngine`):
+module lowers a frozen :class:`~repro.model.problem.Problem` into numpy
+arrays once (:func:`compile_problem`) and then runs every LRGP iteration
+as batched array ops (:class:`VectorizedEngine`):
 
-* **Rate allocation** (Algorithm 1, eq. 7-9) — aggregate path prices as
-  matrix products over the link/flow and node/flow incidence structure,
-  then a batched closed-form argmax per utility family: all-log flows via
+* **Rate allocation** (Algorithm 1, eq. 7-9) — aggregate path prices over
+  the link/flow and node/flow incidence structure, then a batched
+  closed-form argmax per utility family: all-log flows via
   ``sum(n*scale)/price - offset``, all-power flows via the collapsed
   inverse derivative.  Flows whose classes mix shapes (or use a shape with
   no closed form) fall back to a bracketed numeric bisection — the
   *fallback column* — which matches the reference root finder within its
   tolerance.
 * **Consumer allocation** (Algorithm 2, eq. 10-11) — benefit/cost ratios
-  for all classes at once and a single global stable argsort, then a
-  per-node greedy fill in decreasing-ratio order (ties by class id,
-  exactly the reference order) over plain Python floats so admission
-  counts match the reference bit for bit.
+  for all classes at once, then a *per-node bucketed partial sort*: nodes
+  whose budget covers every class admit them all without sorting, and
+  contended nodes pop classes off a max-heap (descending ratio, ties by
+  class id — exactly the reference order) only until the budget is spent,
+  so admission work is near-linear in the number of admitted classes.
+  The fill runs over plain Python floats so admission counts match the
+  reference bit for bit.
 * **Price updates** (eq. 12-13) — scalar updates mirroring the reference
   controllers exactly, including the adaptive-gamma heuristic.  The node
-  and link axes are small (one entry per consumer node / bottleneck
-  link), so plain Python beats numpy's per-op overhead there; the flow and
-  class axes — where Table 2 scales — are the vectorized ones.
+  and link axes are small relative to the class axis, so plain Python
+  beats numpy's per-op overhead there; the flow and class axes — where
+  Table 2 scales — are the vectorized ones.
 
-The engine is registered as ``engine="vectorized"`` and is validated
-against the reference trajectory within
+Two lowered *layouts* share one compiled form:
+
+* **dense** — the link/flow and node/flow incidence as dense matrices
+  (``link_cost``, ``flow_node_cost``), prices and usages as matrix
+  products.  Memory and per-iteration cost are ``O(n_links*n_flows +
+  n_nodes*n_flows)`` — fine at paper scale, quadratic death at
+  datacenter scale.
+* **sparse** — the same incidence as COO-style index arrays
+  (``ln_link``/``ln_flow``/``ln_cost`` and ``fn_node``/``fn_flow``/
+  ``fn_cost``), prices and usages as ``np.bincount`` scatter-adds.
+  Memory and per-iteration cost scale with the number of incidence
+  *nonzeros* — a flow touches only the links and nodes on its route —
+  so 1k+ flows over 10k+ links stay cheap.  The dense matrices are
+  materialized lazily only if something asks for them.
+
+:class:`VectorizedEngine` picks the layout per problem (``layout="auto"``
+switches to sparse at :data:`SPARSE_MIN_FLOWS` flows, the measured
+crossover in ``benchmarks/results/BENCH_engines.json``); ``"dense"`` and
+``"sparse"`` force it, and the registry exposes all three as
+``"vectorized"`` / ``"vectorized-dense"`` / ``"vectorized-sparse"``.
+
+The engine is validated against the reference trajectory within
 :data:`repro.utility.tolerance.ENGINE_EQUIVALENCE_RTOL` at every iteration
-(``tests/core/test_engines.py``); the speedup is tracked in
-``benchmarks/test_perf_engines.py``.
+in *both* layouts (``tests/core/test_engines.py``); the speedup and the
+dense/sparse crossover are tracked in ``benchmarks/test_perf_engines.py``.
 
 Scope notes: the node axis of the lowered arrays covers *consumer* nodes
 (the only nodes carrying prices) and the link axis covers *finite-capacity*
@@ -39,8 +62,10 @@ reference driver instantiates.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -71,6 +96,19 @@ FAMILY_LOG = 0
 FAMILY_POW = 1
 FAMILY_GENERIC = 2
 
+#: The lowered layouts :class:`VectorizedEngine` accepts.
+LAYOUTS = ("auto", "dense", "sparse")
+
+#: Smallest flow count at which ``layout="auto"`` picks the sparse layout.
+#: Measured crossover (``benchmarks/results/BENCH_engines.json``,
+#: ``"layout"`` section): below it the incidence matrices are small enough
+#: that one BLAS matmul ties or beats three bincount scatter-adds (ratios
+#: 0.94-1.05x up to ~64 flows); from ~128 flows the dense products touch
+#: mostly-zero cells and the sparse layout wins on time (1.2x at 1k flows
+#: over a 10k-link fabric) and decisively on memory (the 1k-flow leaf-spine
+#: incidence is ~290x smaller sparse than dense).
+SPARSE_MIN_FLOWS = 128
+
 #: Bisection tolerances for the fallback column, matching the reference
 #: root finder (``repro.utility.calculus``).
 _BISECT_XTOL = 1e-10
@@ -99,16 +137,25 @@ def _classify(
 
 @dataclass(frozen=True)
 class CompiledProblem:
-    """A :class:`Problem` lowered to dense index and incidence arrays.
+    """A :class:`Problem` lowered to index and incidence arrays.
 
     Index vocabularies are sorted tuples of ids; every array is positioned
-    on them.  ``link_cost`` is the paper's ``L`` restricted to bottleneck
-    links, ``flow_node_cost`` is ``F`` restricted to consumer nodes, and
-    ``consumer_cost`` holds ``G`` for each class at its hosting node.
-    ``class_cell`` flattens ``(node, flow)`` pairs for one-pass scatter-add
-    of population-dependent node coefficients (eq. 9); the
-    ``*_class_positions`` arrays pre-split the class axis by utility family
-    so the batched evaluators touch only the columns they understand.
+    on them.  The incidence is stored *sparse-first* as parallel COO-style
+    index arrays in row-major order: ``(ln_link, ln_flow, ln_cost)`` holds
+    one entry per (bottleneck link, flow-on-it) pair — the paper's ``L``
+    restricted to its nonzero pattern — and ``(fn_node, fn_flow,
+    fn_cost)`` one entry per (consumer node, flow-at-it) pair (``F``).
+    ``consumer_cost`` holds ``G`` for each class at its hosting node and
+    ``class_fn_index`` points each class at its node/flow cell in the
+    ``fn_*`` arrays (the class's node is always on its flow's route, so
+    the cell always exists) for one-pass scatter-add of the
+    population-dependent eq. 9 coefficients.  The dense matrices
+    (:attr:`link_cost`, :attr:`flow_node_cost`) and the dense flattened
+    cell ids (``class_cell``) are materialized lazily from the sparse
+    entries for the dense layout and the test surface; a sparse-layout
+    run never allocates them.  The ``*_class_positions`` arrays pre-split
+    the class axis by utility family so the batched evaluators touch only
+    the columns they understand.
     """
 
     problem: Problem
@@ -120,12 +167,16 @@ class CompiledProblem:
     rate_max: FloatArray
     node_capacity: FloatArray
     link_capacity: FloatArray
-    link_cost: FloatArray
-    flow_node_cost: FloatArray
+    ln_link: IntArray
+    ln_flow: IntArray
+    ln_cost: FloatArray
+    fn_node: IntArray
+    fn_flow: IntArray
+    fn_cost: FloatArray
     consumer_cost: FloatArray
     class_flow: IntArray
     class_node: IntArray
-    class_cell: IntArray
+    class_fn_index: IntArray
     max_consumers: IntArray
     utilities: tuple[UtilityFunction, ...]
     class_family: IntArray
@@ -155,6 +206,67 @@ class CompiledProblem:
     @property
     def n_classes(self) -> int:
         return len(self.class_ids)
+
+    @property
+    def nnz_link(self) -> int:
+        """Stored (link, flow) incidence entries."""
+        return int(self.ln_cost.size)
+
+    @property
+    def nnz_node(self) -> int:
+        """Stored (node, flow) incidence entries."""
+        return int(self.fn_cost.size)
+
+    # -- lazily materialized dense views -----------------------------------
+
+    @cached_property
+    def link_cost(self) -> FloatArray:
+        """The dense ``L`` matrix (bottleneck links x flows), built on
+        first access from the sparse entries."""
+        dense = np.zeros((self.n_links, self.n_flows), dtype=np.float64)
+        dense[self.ln_link, self.ln_flow] = self.ln_cost
+        return dense
+
+    @cached_property
+    def flow_node_cost(self) -> FloatArray:
+        """The dense ``F`` matrix (consumer nodes x flows), built on first
+        access from the sparse entries."""
+        dense = np.zeros((self.n_nodes, self.n_flows), dtype=np.float64)
+        dense[self.fn_node, self.fn_flow] = self.fn_cost
+        return dense
+
+    @cached_property
+    def class_cell(self) -> IntArray:
+        """Flattened dense ``(node, flow)`` cell id per class (the dense
+        layout's scatter-add target)."""
+        return np.asarray(
+            self.class_node * self.n_flows + self.class_flow, dtype=np.int64
+        )
+
+    def dense_materialized(self) -> bool:
+        """Whether any dense incidence matrix has been built.
+
+        The sparse-scale memory guard asserts this stays ``False`` across
+        a sparse-layout solve — peak compiled-array memory then provably
+        scales with the incidence nonzeros.
+        """
+        return "link_cost" in self.__dict__ or "flow_node_cost" in self.__dict__
+
+    def sparse_nbytes(self) -> int:
+        """Bytes held by the sparse incidence entries (both axes)."""
+        return int(
+            self.ln_link.nbytes
+            + self.ln_flow.nbytes
+            + self.ln_cost.nbytes
+            + self.fn_node.nbytes
+            + self.fn_flow.nbytes
+            + self.fn_cost.nbytes
+            + self.class_fn_index.nbytes
+        )
+
+    def dense_nbytes(self) -> int:
+        """Bytes the dense incidence matrices would occupy."""
+        return 8 * (self.n_links + self.n_nodes) * self.n_flows
 
     # -- dict <-> vector converters ---------------------------------------
 
@@ -196,13 +308,14 @@ class CompiledProblem:
     def populations_dict(self, populations: IntArray) -> dict[ClassId, int]:
         return {cid: int(populations[j]) for j, cid in enumerate(self.class_ids)}
 
-    # -- lowered accounting (the round-trip surface) -----------------------
+    # -- lowered accounting, dense layout ----------------------------------
 
     def consumer_coefficients(self, populations: FloatArray) -> FloatArray:
         """Per ``(node, flow)`` marginal footprint ``F + sum_j G_j n_j``.
 
         The population-dependent part of the eq. 9 coefficient and of the
-        node usage (eq. 5), scatter-added over ``class_cell``.
+        node usage (eq. 5), scatter-added over ``class_cell`` — allocates
+        the full dense node x flow grid per call (dense layout only).
         """
         cell = np.bincount(
             self.class_cell,
@@ -217,20 +330,95 @@ class CompiledProblem:
         node_prices: FloatArray,
         link_prices: FloatArray,
     ) -> FloatArray:
-        """``PL_i + PB_i`` for every flow at once (eq. 8-9)."""
+        """``PL_i + PB_i`` for every flow at once (eq. 8-9), dense layout."""
         pl = link_prices @ self.link_cost
         pb = node_prices @ self.consumer_coefficients(populations)
         return np.asarray(pl + pb, dtype=np.float64)
 
     def link_usages(self, rates: FloatArray) -> FloatArray:
-        """LHS of eq. 4 for every bottleneck link: ``L @ r``."""
+        """LHS of eq. 4 for every bottleneck link: ``L @ r``, dense layout."""
         return np.asarray(self.link_cost @ rates, dtype=np.float64)
 
     def node_usages(self, rates: FloatArray, populations: FloatArray) -> FloatArray:
-        """LHS of eq. 5 for every consumer node."""
+        """LHS of eq. 5 for every consumer node, dense layout."""
         return np.asarray(
             self.consumer_coefficients(populations) @ rates, dtype=np.float64
         )
+
+    # -- lowered accounting, sparse layout ---------------------------------
+
+    def cell_coefficients(self, populations: FloatArray) -> FloatArray:
+        """Eq. 9 coefficients ``F + sum_j G_j n_j`` per *stored* cell.
+
+        The sparse counterpart of :meth:`consumer_coefficients`: one entry
+        per ``fn_*`` incidence pair instead of the full node x flow grid.
+        Every class scatter-adds into its own cell via ``class_fn_index``.
+        """
+        return np.asarray(
+            self.fn_cost
+            + np.bincount(
+                self.class_fn_index,
+                weights=self.consumer_cost * populations,
+                minlength=self.nnz_node,
+            ),
+            dtype=np.float64,
+        )
+
+    def flow_prices_sparse(
+        self,
+        populations: FloatArray,
+        node_prices: FloatArray,
+        link_prices: FloatArray,
+    ) -> FloatArray:
+        """``PL_i + PB_i`` for every flow (eq. 8-9) via scatter-adds."""
+        pl = np.bincount(
+            self.ln_flow,
+            weights=link_prices[self.ln_link] * self.ln_cost,
+            minlength=self.n_flows,
+        )
+        pb = np.bincount(
+            self.fn_flow,
+            weights=node_prices[self.fn_node] * self.cell_coefficients(populations),
+            minlength=self.n_flows,
+        )
+        return np.asarray(pl + pb, dtype=np.float64)
+
+    def link_usages_sparse(self, rates: FloatArray) -> FloatArray:
+        """LHS of eq. 4 for every bottleneck link via scatter-adds."""
+        return np.asarray(
+            np.bincount(
+                self.ln_link,
+                weights=self.ln_cost * rates[self.ln_flow],
+                minlength=self.n_links,
+            ),
+            dtype=np.float64,
+        )
+
+    def node_usages_sparse(
+        self, rates: FloatArray, populations: FloatArray
+    ) -> FloatArray:
+        """LHS of eq. 5 for every consumer node via scatter-adds."""
+        return np.asarray(
+            np.bincount(
+                self.fn_node,
+                weights=self.cell_coefficients(populations) * rates[self.fn_flow],
+                minlength=self.n_nodes,
+            ),
+            dtype=np.float64,
+        )
+
+    def node_flow_costs_sparse(self, rates: FloatArray) -> FloatArray:
+        """Per-node consumer-independent flow cost ``sum_i F_{b,i} r_i``."""
+        return np.asarray(
+            np.bincount(
+                self.fn_node,
+                weights=self.fn_cost * rates[self.fn_flow],
+                minlength=self.n_nodes,
+            ),
+            dtype=np.float64,
+        )
+
+    # -- layout-independent accounting -------------------------------------
 
     def class_values(self, rates: FloatArray) -> FloatArray:
         """``U_j(r_{flowMap(j)})`` for every class (batched by family)."""
@@ -271,9 +459,10 @@ class CompiledProblem:
 def compile_problem(problem: Problem) -> CompiledProblem:
     """Lower ``problem`` into a :class:`CompiledProblem`.
 
-    Pure indexing and coefficient gathering — no optimizer state.  The
-    result is immutable and reusable across engines bound to the same
-    problem.
+    Pure indexing and coefficient gathering — no optimizer state, and no
+    dense incidence allocation (memory here is ``O(nonzeros + classes)``;
+    the dense matrices build lazily only when asked for).  The result is
+    immutable and reusable across engines bound to the same problem.
     """
     flow_ids = tuple(sorted(problem.flows))
     node_ids = problem.consumer_nodes()
@@ -281,14 +470,8 @@ def compile_problem(problem: Problem) -> CompiledProblem:
     class_ids = tuple(sorted(problem.classes))
     flow_pos = {fid: i for i, fid in enumerate(flow_ids)}
     node_pos = {nid: b for b, nid in enumerate(node_ids)}
-    link_pos = {lid: l for l, lid in enumerate(link_ids)}
 
-    n_flows, n_nodes, n_links, n_classes = (
-        len(flow_ids),
-        len(node_ids),
-        len(link_ids),
-        len(class_ids),
-    )
+    n_classes = len(class_ids)
 
     rate_min = np.array([problem.flows[f].rate_min for f in flow_ids], dtype=np.float64)
     rate_max = np.array([problem.flows[f].rate_max for f in flow_ids], dtype=np.float64)
@@ -299,19 +482,31 @@ def compile_problem(problem: Problem) -> CompiledProblem:
         [problem.links[l].capacity for l in link_ids], dtype=np.float64
     )
 
-    link_cost = np.zeros((n_links, n_flows), dtype=np.float64)
-    for lid in link_ids:
-        for fid in problem.flows_on_link(lid):
-            link_cost[link_pos[lid], flow_pos[fid]] = problem.costs.link(lid, fid)
-    flow_node_cost = np.zeros((n_nodes, n_flows), dtype=np.float64)
-    for nid in node_ids:
-        for fid in problem.flows_at_node(nid):
-            flow_node_cost[node_pos[nid], flow_pos[fid]] = problem.costs.flow_node(
-                nid, fid
-            )
+    # Sparse incidence entries in row-major (link- / node-major, then flow)
+    # order: one entry per pair in the problem's incidence maps, zero-cost
+    # pairs included — the *pattern* is what classes scatter into.
+    ln_link_list: list[int] = []
+    ln_flow_list: list[int] = []
+    ln_cost_list: list[float] = []
+    for l, lid in enumerate(link_ids):
+        for i in sorted(flow_pos[fid] for fid in problem.flows_on_link(lid)):
+            ln_link_list.append(l)
+            ln_flow_list.append(i)
+            ln_cost_list.append(problem.costs.link(lid, flow_ids[i]))
+    fn_node_list: list[int] = []
+    fn_flow_list: list[int] = []
+    fn_cost_list: list[float] = []
+    cell_index: dict[tuple[int, int], int] = {}
+    for b, nid in enumerate(node_ids):
+        for i in sorted(flow_pos[fid] for fid in problem.flows_at_node(nid)):
+            cell_index[(b, i)] = len(fn_node_list)
+            fn_node_list.append(b)
+            fn_flow_list.append(i)
+            fn_cost_list.append(problem.costs.flow_node(nid, flow_ids[i]))
 
     class_flow = np.empty(n_classes, dtype=np.int64)
     class_node = np.empty(n_classes, dtype=np.int64)
+    class_fn_index = np.empty(n_classes, dtype=np.int64)
     max_consumers = np.empty(n_classes, dtype=np.int64)
     consumer_cost = np.empty(n_classes, dtype=np.float64)
     class_family = np.empty(n_classes, dtype=np.int64)
@@ -323,6 +518,9 @@ def compile_problem(problem: Problem) -> CompiledProblem:
         cls = problem.classes[cid]
         class_flow[j] = flow_pos[cls.flow_id]
         class_node[j] = node_pos[cls.node]
+        # build_problem guarantees the class node is on the flow's route,
+        # so the (node, flow) cell exists in the stored pattern.
+        class_fn_index[j] = cell_index[(int(class_node[j]), int(class_flow[j]))]
         max_consumers[j] = cls.max_consumers
         consumer_cost[j] = problem.costs.consumer(cls.node, cid)
         family, scale, offset, exponent = _classify(cls.utility)
@@ -332,6 +530,7 @@ def compile_problem(problem: Problem) -> CompiledProblem:
         class_exponent[j] = exponent
         utilities.append(cls.utility)
 
+    n_flows = len(flow_ids)
     flow_family = np.full(n_flows, FAMILY_GENERIC, dtype=np.int64)
     flow_offset = np.zeros(n_flows, dtype=np.float64)
     flow_exponent = np.zeros(n_flows, dtype=np.float64)
@@ -357,7 +556,8 @@ def compile_problem(problem: Problem) -> CompiledProblem:
                 flow_exponent[i] = exponents[0]
 
     node_class_positions = tuple(
-        np.nonzero(class_node == b)[0].astype(np.int64) for b in range(n_nodes)
+        np.nonzero(class_node == b)[0].astype(np.int64)
+        for b in range(len(node_ids))
     )
 
     return CompiledProblem(
@@ -370,12 +570,16 @@ def compile_problem(problem: Problem) -> CompiledProblem:
         rate_max=rate_max,
         node_capacity=node_capacity,
         link_capacity=link_capacity,
-        link_cost=link_cost,
-        flow_node_cost=flow_node_cost,
+        ln_link=np.array(ln_link_list, dtype=np.int64),
+        ln_flow=np.array(ln_flow_list, dtype=np.int64),
+        ln_cost=np.array(ln_cost_list, dtype=np.float64),
+        fn_node=np.array(fn_node_list, dtype=np.int64),
+        fn_flow=np.array(fn_flow_list, dtype=np.int64),
+        fn_cost=np.array(fn_cost_list, dtype=np.float64),
         consumer_cost=consumer_cost,
         class_flow=class_flow,
         class_node=class_node,
-        class_cell=class_node * n_flows + class_flow,
+        class_fn_index=class_fn_index,
         max_consumers=max_consumers,
         utilities=tuple(utilities),
         class_family=class_family,
@@ -418,15 +622,32 @@ class VectorizedEngine(LRGPEngine):
     schedules; configs carrying a custom admission strategy or gamma
     subclass must use the reference engine (the constructor fails loudly
     rather than silently diverging from the configured behavior).
+
+    ``layout`` selects the lowered incidence representation: ``"dense"``
+    (matrix products), ``"sparse"`` (bincount scatter-adds over the COO
+    entries), or ``"auto"`` (sparse from :data:`SPARSE_MIN_FLOWS` flows,
+    the measured crossover).  Both layouts produce trajectories
+    bit-identical to each other and to the reference engine within the
+    pinned tolerance — the layout is a performance choice, never a
+    semantic one.
     """
 
     name = "vectorized"
 
-    def __init__(self, problem: Problem, config: "LRGPConfig") -> None:
+    def __init__(
+        self,
+        problem: Problem,
+        config: "LRGPConfig",
+        layout: str = "auto",
+    ) -> None:
         if config.admission is not allocate_consumers:
             raise ValueError(
                 "the vectorized engine implements the paper's greedy admission "
                 "only; use engine='reference' for custom admission strategies"
+            )
+        if layout not in LAYOUTS:
+            raise ValueError(
+                f"unknown layout {layout!r}; expected one of {', '.join(LAYOUTS)}"
             )
         proto = config.node_gamma
         if type(proto) is FixedGamma:
@@ -454,6 +675,9 @@ class VectorizedEngine(LRGPEngine):
         _validate_initial_price(config.initial_node_price, "initial node price")
         _validate_initial_price(config.initial_link_price, "initial link price")
         self._config = config
+        self._layout = layout
+        if layout != "auto":
+            self.name = f"vectorized-{layout}"
         self._compiled: CompiledProblem | None = None
         self._node_probes: list["PriceProbe | None"] = []
         self._link_probes: list["PriceProbe | None"] = []
@@ -471,6 +695,11 @@ class VectorizedEngine(LRGPEngine):
         if self._compiled is None:  # pragma: no cover - bind() runs in __init__
             raise RuntimeError("engine is not bound to a problem")
         return self._compiled
+
+    @property
+    def sparse(self) -> bool:
+        """Whether the current binding runs the sparse layout."""
+        return self._sparse
 
     def rates(self) -> dict[FlowId, float]:
         return self.compiled.rates_dict(self._rates)
@@ -515,8 +744,15 @@ class VectorizedEngine(LRGPEngine):
                     self._link_price[l],
                 )
 
-        compiled = compile_problem(problem)
+        # Lowering is the one compile-shaped cost of a (re)bind, so it gets
+        # its own profiler phase; the reference engine has no counterpart
+        # (its pinned phase tree is untouched).
+        with self._config.telemetry.profiler.phase("lower"):
+            compiled = compile_problem(problem)
         self._compiled = compiled
+        self._sparse = self._layout == "sparse" or (
+            self._layout == "auto" and compiled.n_flows >= SPARSE_MIN_FLOWS
+        )
         self._rates = compiled.rates_vector(old_rates or None)
         self._populations: list[int] = [
             int(n) for n in compiled.populations_vector(old_populations or None)
@@ -565,11 +801,13 @@ class VectorizedEngine(LRGPEngine):
         self._generic_flow_positions = [
             int(i) for i in np.nonzero(compiled.flow_family == FAMILY_GENERIC)[0]
         ]
-        self._class_node_list = [int(b) for b in compiled.class_node]
         self._node_class_lists = [
             [int(j) for j in members] for members in compiled.node_class_positions
         ]
         self._max_consumers_list = [int(m) for m in compiled.max_consumers]
+        # Budget needed to admit every chargeable class at n^max, assuming
+        # its flow rate (the ratio-independent part); rate joins per step.
+        self._max_consumers_float = compiled.max_consumers.astype(np.float64)
         self._node_capacity_list = [float(c) for c in compiled.node_capacity]
         self._link_capacity_list = [float(c) for c in compiled.link_capacity]
 
@@ -593,6 +831,7 @@ class VectorizedEngine(LRGPEngine):
         registry = telemetry.registry
         profiler = telemetry.profiler
         snapshots = self._config.record_snapshots
+        sparse = self._sparse
         slack: dict[str, float] = {}
 
         with registry.timer("lrgp.iteration"), profiler.phase("iteration"):
@@ -600,7 +839,10 @@ class VectorizedEngine(LRGPEngine):
             #    populations, then the batched argmax of eq. 7.
             with registry.timer("lrgp.rate_allocation"), profiler.phase("argmax"):
                 populations = np.array(self._populations, dtype=np.float64)
-                prices = compiled.flow_prices(
+                flow_prices = (
+                    compiled.flow_prices_sparse if sparse else compiled.flow_prices
+                )
+                prices = flow_prices(
                     populations,
                     np.array(self._node_price, dtype=np.float64),
                     np.array(self._link_price, dtype=np.float64),
@@ -640,7 +882,10 @@ class VectorizedEngine(LRGPEngine):
             # 3. Link prices (eq. 13).
             with registry.timer("lrgp.link_prices"), profiler.phase("price_update"):
                 if compiled.n_links:
-                    usage = compiled.link_usages(self._rates).tolist()
+                    link_usages = (
+                        compiled.link_usages_sparse if sparse else compiled.link_usages
+                    )
+                    usage = link_usages(self._rates).tolist()
                     self._update_link_prices(usage)
                     if snapshots:
                         for l, lid in enumerate(compiled.link_ids):
@@ -753,13 +998,28 @@ class VectorizedEngine(LRGPEngine):
     def _admit(
         self, values: FloatArray
     ) -> tuple[list[int], list[float], list[float]]:
-        """Greedy admission (Algorithm 2) for every node.
+        """Greedy admission (Algorithm 2), bucketed per node.
 
-        Ratios (eq. 10) are computed for all classes at once and sorted with
-        one global stable argsort (descending ratio, ties by class id — the
-        reference order within each node); the per-node fill then runs over
-        plain Python floats so admission counts match the reference bit for
-        bit.  Returns ``(populations, used, best_unsatisfied_ratio)``.
+        Ratios (eq. 10) are computed for all classes at once; each node
+        then fills its budget independently.  Two bucket regimes keep the
+        work near-linear in the *admitted* classes instead of the sorted
+        ones:
+
+        * **uncovered nodes** (budget >= cost of admitting everything, one
+          vectorized per-node reduction): every class saturates at
+          ``n^max`` regardless of order, so no sort happens at all;
+        * **contended nodes**: chargeable classes go on a max-heap keyed
+          ``(-ratio, position)`` — descending ratio, ties by class id,
+          exactly the reference's sort key — and are popped only until
+          the budget is spent.  Classes never popped keep population 0,
+          which is precisely what the reference's post-exhaustion loop
+          assigns them.
+
+        Zero-cost classes admit everyone without touching the budget in
+        the reference, so hoisting them out of the ordering is exact.
+        The fill itself runs over plain Python floats so admission counts
+        match the reference bit for bit.  Returns ``(populations, used,
+        best_unsatisfied_ratio)``.
         """
         compiled = self.compiled
         class_rate = self._rates[compiled.class_flow]
@@ -771,14 +1031,17 @@ class VectorizedEngine(LRGPEngine):
         if free_and_useful.any():
             ratios[free_and_useful] = np.inf
 
-        flow_cost = (compiled.flow_node_cost @ self._rates).tolist()
-        # Stable argsort on -ratio == (descending ratio, ties by position),
-        # bucketed per node: each bucket comes out in the reference order.
-        order = np.argsort(-ratios, kind="stable").tolist()
-        class_node = self._class_node_list
-        buckets: list[list[int]] = [[] for _ in range(compiled.n_nodes)]
-        for j in order:
-            buckets[class_node[j]].append(j)
+        if self._sparse:
+            flow_cost = compiled.node_flow_costs_sparse(self._rates).tolist()
+        else:
+            flow_cost = (compiled.flow_node_cost @ self._rates).tolist()
+        # Budget needed to saturate every chargeable class, per node: when
+        # it fits, the greedy outcome is order-independent (see docstring).
+        need = np.bincount(
+            compiled.class_node,
+            weights=np.where(chargeable, unit_cost * self._max_consumers_float, 0.0),
+            minlength=compiled.n_nodes,
+        ).tolist()
 
         cost_list = unit_cost.tolist()
         ratio_list = ratios.tolist()
@@ -787,29 +1050,41 @@ class VectorizedEngine(LRGPEngine):
         used: list[float] = []
         best: list[float] = []
         isfinite = math.isfinite
+        heappush_all = heapq.heapify
+        heappop = heapq.heappop
         for b, capacity in enumerate(self._node_capacity_list):
             node_flow_cost = flow_cost[b]
             budget = capacity - node_flow_cost
             consumer_total = 0.0
-            for j in buckets[b]:
-                cost_per_consumer = cost_list[j]
-                if cost_per_consumer <= 0.0:
+            members = self._node_class_lists[b]
+            if need[b] <= budget:
+                # Uncovered: everything saturates, in any order.
+                for j in members:
                     populations[j] = max_list[j]
-                    continue
-                if budget <= 0.0:
-                    continue
-                admitted = int(budget / cost_per_consumer + _FLOOR_SLACK)
-                cap = max_list[j]
-                if admitted > cap:
-                    admitted = cap
-                populations[j] = admitted
-                spent = admitted * cost_per_consumer
-                budget -= spent
-                consumer_total += spent
+                consumer_total = need[b]
+            else:
+                heap: list[tuple[float, int]] = []
+                for j in members:
+                    if cost_list[j] <= 0.0:
+                        populations[j] = max_list[j]
+                    else:
+                        heap.append((-ratio_list[j], j))
+                heappush_all(heap)
+                while heap and budget > 0.0:
+                    _, j = heappop(heap)
+                    cost_per_consumer = cost_list[j]
+                    admitted = int(budget / cost_per_consumer + _FLOOR_SLACK)
+                    cap = max_list[j]
+                    if admitted > cap:
+                        admitted = cap
+                    populations[j] = admitted
+                    spent = admitted * cost_per_consumer
+                    budget -= spent
+                    consumer_total += spent
             # BC(b,t) (eq. 11): best ratio among still-unsatisfied classes,
             # 0 when there are none (max(..., default=0.0) in the reference).
             best_ratio: float | None = None
-            for j in buckets[b]:
+            for j in members:
                 ratio = ratio_list[j]
                 if (
                     populations[j] < max_list[j]

@@ -312,5 +312,21 @@ def _make_vectorized(problem: Problem, config: "LRGPConfig") -> LRGPEngine:
     return VectorizedEngine(problem, config)
 
 
+def _make_vectorized_dense(problem: Problem, config: "LRGPConfig") -> LRGPEngine:
+    """Vectorized engine pinned to the dense incidence layout."""
+    from repro.core.compiled import VectorizedEngine
+
+    return VectorizedEngine(problem, config, layout="dense")
+
+
+def _make_vectorized_sparse(problem: Problem, config: "LRGPConfig") -> LRGPEngine:
+    """Vectorized engine pinned to the sparse (COO scatter-add) layout."""
+    from repro.core.compiled import VectorizedEngine
+
+    return VectorizedEngine(problem, config, layout="sparse")
+
+
 register_engine("reference", ReferenceEngine)
 register_engine("vectorized", _make_vectorized)
+register_engine("vectorized-dense", _make_vectorized_dense)
+register_engine("vectorized-sparse", _make_vectorized_sparse)

@@ -119,6 +119,103 @@ def star_overlay(
     return Overlay(nodes, links)
 
 
+def leaf_spine_overlay(
+    spines: int,
+    leaves: int,
+    leaf_capacity: float,
+    link_capacity: float = math.inf,
+    hub_capacity: float = math.inf,
+    spine_capacity: float = math.inf,
+    hub_id: NodeId = "hub",
+) -> Overlay:
+    """A two-tier leaf-spine fabric fed by one producer hub.
+
+    The hub (where producers attach) links to every spine, and every spine
+    links to every leaf — the standard datacenter Clos fabric, downstream
+    direction only (dissemination flows hub → spine → leaf).  Consumer
+    classes live on the leaves; spines and the hub default to infinite
+    capacity so they are pure transit.  Every leaf is reachable through
+    *every* spine, so the fabric is multipath: workload builders pick the
+    spine per flow (ECMP-style) rather than letting BFS tie-breaking
+    collapse all routes onto the first spine.
+
+    Node ids are ``spine{i}`` / ``leaf{j}``; link ids are ``tail->head``.
+    With ``S`` spines and ``L`` leaves the overlay has ``S + S*L`` links —
+    ``spines=100, leaves=100`` gives the 10k+ link fabric the scale bench
+    runs.
+    """
+    if spines < 1 or leaves < 1:
+        raise ValueError("a leaf-spine overlay needs at least one spine and leaf")
+    spine_ids = [f"spine{i}" for i in range(spines)]
+    leaf_ids = [f"leaf{j}" for j in range(leaves)]
+    nodes = (
+        [Node(hub_id, capacity=hub_capacity)]
+        + [Node(sid, capacity=spine_capacity) for sid in spine_ids]
+        + [Node(lid, capacity=leaf_capacity) for lid in leaf_ids]
+    )
+    links = [
+        Link(f"{hub_id}->{sid}", tail=hub_id, head=sid, capacity=link_capacity)
+        for sid in spine_ids
+    ]
+    for sid in spine_ids:
+        for lid in leaf_ids:
+            links.append(
+                Link(f"{sid}->{lid}", tail=sid, head=lid, capacity=link_capacity)
+            )
+    return Overlay(nodes, links)
+
+
+def fat_tree_overlay(
+    k: int,
+    edge_capacity: float,
+    link_capacity: float = math.inf,
+    hub_capacity: float = math.inf,
+    transit_capacity: float = math.inf,
+    hub_id: NodeId = "hub",
+) -> Overlay:
+    """A three-tier k-ary fat tree fed by one producer hub.
+
+    The canonical ``k``-pod fat tree (``k`` even): ``(k/2)^2`` core
+    switches, ``k`` pods of ``k/2`` aggregation and ``k/2`` edge switches
+    each.  Core ``c`` connects to aggregation switch ``c // (k/2)`` of
+    every pod, and aggregation switches connect to every edge switch in
+    their pod — downstream direction only, with the hub linked to every
+    core.  Consumer classes live on the edge switches; everything above
+    defaults to infinite capacity (pure transit).  Like the leaf-spine
+    fabric, the tree is multipath from the hub (one path per core), and
+    workload builders pick the core per flow.
+
+    Node ids are ``core{c}`` / ``agg{p}_{a}`` / ``edge{p}_{e}``.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError("a fat tree needs an even k >= 2")
+    half = k // 2
+    core_ids = [f"core{c}" for c in range(half * half)]
+    nodes = [Node(hub_id, capacity=hub_capacity)] + [
+        Node(cid, capacity=transit_capacity) for cid in core_ids
+    ]
+    links = [
+        Link(f"{hub_id}->{cid}", tail=hub_id, head=cid, capacity=link_capacity)
+        for cid in core_ids
+    ]
+    for pod in range(k):
+        agg_ids = [f"agg{pod}_{a}" for a in range(half)]
+        edge_ids = [f"edge{pod}_{e}" for e in range(half)]
+        nodes.extend(Node(aid, capacity=transit_capacity) for aid in agg_ids)
+        nodes.extend(Node(eid, capacity=edge_capacity) for eid in edge_ids)
+        for c, cid in enumerate(core_ids):
+            aid = agg_ids[c // half]
+            links.append(
+                Link(f"{cid}->{aid}", tail=cid, head=aid, capacity=link_capacity)
+            )
+        for aid in agg_ids:
+            for eid in edge_ids:
+                links.append(
+                    Link(f"{aid}->{eid}", tail=aid, head=eid, capacity=link_capacity)
+                )
+    return Overlay(nodes, links)
+
+
 def line_overlay(
     node_ids: Sequence[NodeId],
     node_capacity: float,

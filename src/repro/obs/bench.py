@@ -49,11 +49,43 @@ __all__ = [
 #: Default movement (relative) past which a metric is flagged.
 DEFAULT_THRESHOLD = 0.10
 
-#: Substrings marking a metric where *up is worse* (latency-like)...
-_LOWER_IS_BETTER = ("_ns", "overhead", "time", "lost", "stale", "downtime", "misses")
+#: Tags marking a metric where *up is worse* (latency/deficit-like;
+#: ``loss``/``drop`` cover deficit metrics such as ``utility_loss`` and
+#: ``retention_drop``)...
+_LOWER_IS_BETTER = (
+    "_ns",
+    "overhead",
+    "time",
+    "lost",
+    "stale",
+    "downtime",
+    "misses",
+    "loss",
+    "drop",
+)
 #: ...and where *down is worse* (throughput-like; ``hit_rate``/``hits``
 #: cover the sweep farm's cache effectiveness).
 _HIGHER_IS_BETTER = ("speedup", "retention", "utility", "throughput", "hit_rate", "hits")
+
+
+def _match_strength(leaf: str, tags: tuple[str, ...]) -> int:
+    """How strongly ``leaf`` matches a tag family.
+
+    3 = exact leaf match, 2 = suffix match (the trailing word), 1 = bare
+    substring, 0 = no match.  Stronger match kinds always outrank weaker
+    ones so the family whose tag *ends* the name wins over one merely
+    mentioned inside it.
+    """
+    best = 0
+    for tag in tags:
+        bare = tag.lstrip("_")
+        if leaf == bare:
+            return 3
+        if leaf.endswith(tag) or leaf.endswith(f"_{bare}"):
+            best = max(best, 2)
+        elif bare in leaf:
+            best = max(best, 1)
+    return best
 
 
 def metric_direction(name: str) -> str:
@@ -61,11 +93,17 @@ def metric_direction(name: str) -> str:
 
     The last path segment decides, so ``faults.single_crash.cold.
     recovery_time`` is latency-like even though the prefix is not.
+    Exact and suffix tag matches take precedence over substring hits —
+    ``utility_loss`` is a deficit (lower is better) even though it
+    mentions ``utility`` — and an unresolvable tie between the families
+    is reported neutral rather than guessed.
     """
     leaf = name.rsplit(".", 1)[-1].lower()
-    if any(tag in leaf for tag in _LOWER_IS_BETTER):
+    lower = _match_strength(leaf, _LOWER_IS_BETTER)
+    higher = _match_strength(leaf, _HIGHER_IS_BETTER)
+    if lower > higher:
         return "lower"
-    if any(tag in leaf for tag in _HIGHER_IS_BETTER):
+    if higher > lower:
         return "higher"
     return "neutral"
 

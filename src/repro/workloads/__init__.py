@@ -16,6 +16,7 @@ from repro.workloads.base import (
     build_workload,
 )
 from repro.workloads.bottleneck import link_bottleneck_workload
+from repro.workloads.datacenter import fat_tree_workload, leaf_spine_workload
 from repro.workloads.generator import GeneratorConfig, generate_workload
 from repro.workloads.micro import micro_workload
 from repro.workloads.scaling import (
@@ -66,6 +67,8 @@ __all__ = [
     "churn_scenario",
     "fault_churn_scenario",
     "tree_workload",
+    "fat_tree_workload",
+    "leaf_spine_workload",
     "generate_workload",
     "latest_price_scenario",
     "link_bottleneck_workload",

@@ -34,6 +34,7 @@ from the old CLI table is reachable by name here — pinned by
 
 from __future__ import annotations
 
+import math
 import warnings
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
@@ -42,6 +43,7 @@ from typing import Any
 from repro.model.problem import Problem
 from repro.workloads.base import base_workload
 from repro.workloads.bottleneck import link_bottleneck_workload
+from repro.workloads.datacenter import fat_tree_workload, leaf_spine_workload
 from repro.workloads.dynamics import fault_churn_scenario
 from repro.workloads.generator import GeneratorConfig, generate_workload
 from repro.workloads.micro import micro_workload
@@ -158,7 +160,17 @@ def get_workload(name: str, **params: Any) -> Problem:
 
 
 def _coerce(text: str) -> Any:
-    """Parse one ``k=v`` value: int, float, bool, then plain string."""
+    """Parse one ``k=v`` value: int, float, bool, then plain string.
+
+    Numeric spellings canonicalize through the parse (``1_0`` and ``10``
+    coerce to the same int, ``1e2`` and ``100.0`` to the same float), so
+    one workload cannot alias to several sweep-cache entries.  Non-finite
+    floats (``nan``/``inf``/``infinity``/``-inf`` and friends) are
+    rejected outright: they would poison ``config_hash`` cache keys and
+    violate the no-non-finite contract of ``canonical_json``/``JsonlSink``
+    downstream.  A factory parameter that genuinely means "unbounded"
+    spells it through the factory's default, not through a spec literal.
+    """
     lowered = text.lower()
     if lowered == "true":
         return True
@@ -169,26 +181,46 @@ def _coerce(text: str) -> Any:
     except ValueError:
         pass
     try:
-        return float(text)
+        value = float(text)
     except ValueError:
-        pass
-    return text
+        return text
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(
+            f"non-finite workload parameter value {text!r}; spec values "
+            "must be finite (non-finite floats poison config hashes and "
+            "cannot be serialized canonically)"
+        )
+    return value
 
 
 def parse_workload_spec(spec: str) -> tuple[str, dict[str, Any]]:
-    """Split ``NAME[:k=v,...]`` into the name and coerced parameters."""
-    name, _, tail = spec.partition(":")
+    """Split ``NAME[:k=v,...]`` into the name and coerced parameters.
+
+    Malformed specs raise: a bare ``k`` without ``=``, an empty part
+    (``base:,,flows=4``), and a dangling colon (``base:``) are all
+    rejected rather than silently dropped — a typo'd spec aliasing to the
+    defaults would otherwise poison sweep grids quietly.
+    """
+    name, sep, tail = spec.partition(":")
     name = name.strip()
     if not name:
         raise ValueError(f"empty workload name in spec {spec!r}")
     params: dict[str, Any] = {}
+    if sep and not tail.strip():
+        raise ValueError(
+            f"dangling {':'!r} in workload spec {spec!r}; expected k=v "
+            "parameters after it"
+        )
     if tail:
         for part in tail.split(","):
             part = part.strip()
             if not part:
-                continue
-            key, sep, value = part.partition("=")
-            if not sep or not key.strip():
+                raise ValueError(
+                    f"empty parameter in workload spec {spec!r}; "
+                    "expected k=v between commas"
+                )
+            key, eq, value = part.partition("=")
+            if not eq or not key.strip():
                 raise ValueError(
                     f"malformed parameter {part!r} in workload spec "
                     f"{spec!r}; expected k=v"
@@ -295,6 +327,18 @@ register_workload(
     tree_workload,
     "branching broker tree with overlapping flow subtrees",
     {"depth": 3, "branching": 2, "flows": 4},
+)
+register_workload(
+    "leafspine",
+    leaf_spine_workload,
+    "two-tier leaf-spine fabric, round-robin spine per flow",
+    {"spines": 4, "leaves": 8, "flows": 16, "leaves_per_flow": 2},
+)
+register_workload(
+    "fattree",
+    fat_tree_workload,
+    "three-tier k-ary fat tree, round-robin core per flow",
+    {"k": 4, "flows": 8, "edges_per_flow": 2},
 )
 register_workload(
     "bottleneck",

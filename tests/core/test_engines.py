@@ -180,6 +180,71 @@ class TestTrajectoryEquivalence:
         assert_trajectories_match(reference, vectorized)
 
 
+class TestLayoutEquivalence:
+    """The sparse lowering is a layout, never a semantics change.
+
+    Both pinned layouts must match the reference trajectory on every
+    equivalence workload within the same 1e-9 bar the auto engine meets,
+    and match *each other's* integer populations exactly.
+    """
+
+    @pytest.mark.parametrize("name", sorted(EQUIVALENCE_WORKLOADS))
+    @pytest.mark.parametrize("engine", ["vectorized-dense", "vectorized-sparse"])
+    def test_layouts_match_reference(self, name, engine):
+        make = EQUIVALENCE_WORKLOADS[name]
+        reference = LRGP(make(), engine="reference")
+        candidate = LRGP(make(), engine=engine)
+        reference.run(250)
+        candidate.run(250)
+        assert_trajectories_match(reference, candidate)
+        assert candidate.allocation().populations == (
+            reference.allocation().populations
+        )
+        for flow_id, rate in reference.allocation().rates.items():
+            assert candidate.allocation().rates[flow_id] == pytest.approx(
+                rate, rel=ENGINE_EQUIVALENCE_RTOL, abs=1e-9
+            )
+
+    def test_layout_engines_registered(self):
+        names = available_engines()
+        assert "vectorized-dense" in names
+        assert "vectorized-sparse" in names
+
+    def test_layout_engines_report_their_name(self):
+        problem = micro_workload()
+        assert (
+            LRGP(problem, engine="vectorized-sparse").engine_name
+            == "vectorized-sparse"
+        )
+        assert (
+            LRGP(problem, engine="vectorized-dense").engine_name
+            == "vectorized-dense"
+        )
+
+    def test_forced_sparse_layout_runs_sparse(self):
+        from repro.core.compiled import VectorizedEngine
+
+        engine = VectorizedEngine(micro_workload(), LRGPConfig(), layout="sparse")
+        assert engine.sparse
+        assert not engine.compiled.dense_materialized()
+        engine.step()
+        assert not engine.compiled.dense_materialized()
+
+    def test_auto_layout_is_dense_below_crossover(self):
+        from repro.core.compiled import SPARSE_MIN_FLOWS, VectorizedEngine
+
+        problem = micro_workload()
+        engine = VectorizedEngine(problem, LRGPConfig())
+        assert len(problem.flows) < SPARSE_MIN_FLOWS
+        assert not engine.sparse
+
+    def test_unknown_layout_rejected(self):
+        from repro.core.compiled import VectorizedEngine
+
+        with pytest.raises(ValueError, match="layout"):
+            VectorizedEngine(micro_workload(), LRGPConfig(), layout="csr")
+
+
 class TestEngineProtocol:
     def test_reference_engine_is_lrgp_engine(self):
         engine = create_engine("reference", micro_workload(), LRGPConfig())

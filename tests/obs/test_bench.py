@@ -48,6 +48,36 @@ class TestMetricDirection:
         # "time" in a prefix must not make the leaf latency-like.
         assert metric_direction("time_series.bucket.count") == "neutral"
 
+    @pytest.mark.parametrize(
+        "name",
+        [
+            # Deficit metrics that *mention* a higher-is-better word: the
+            # trailing loss/drop tag must win.  Pre-fix these classified
+            # "higher", so a growing loss passed the watchdog silently.
+            "engines.scale.utility_loss",
+            "faults.chaos.retention_drop",
+            "sweep.farm.throughput_loss",
+            "runtime.messages.drop",
+            "runtime.packet_loss",
+        ],
+    )
+    def test_loss_and_drop_are_deficits(self, name):
+        assert metric_direction(name) == "lower"
+
+    @pytest.mark.parametrize(
+        ("name", "direction"),
+        [
+            # Suffix tags outrank substring hits in either direction.
+            ("engines.total_utility", "higher"),
+            ("engines.scale.sparse_speedup", "higher"),
+            ("sweep.cache.hits", "higher"),
+            ("sweep.cache.misses", "lower"),
+            ("sweep.farm.wall_time_seconds", "lower"),
+        ],
+    )
+    def test_match_strength_precedence(self, name, direction):
+        assert metric_direction(name) == direction
+
 
 class TestCollectMetrics:
     def test_flattens_nested_payloads_with_dotted_paths(self):

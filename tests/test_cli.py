@@ -765,6 +765,17 @@ class TestSweepCommand:
             main(["sweep", "run", "--workload", "no-such",
                   *self.cache_args(tmp_path)])
 
+    def test_malformed_workload_spec_exits(self, tmp_path):
+        # Empty spec parts must abort the sweep, not silently drop.
+        with pytest.raises(SystemExit, match="empty parameter"):
+            main(["sweep", "run", "--workload", "base:,,flows=4",
+                  *self.cache_args(tmp_path)])
+
+    def test_non_finite_workload_param_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="non-finite"):
+            main(["sweep", "run", "--workload", "base:link_capacity=inf",
+                  *self.cache_args(tmp_path)])
+
     def test_show_and_clean(self, tmp_path, capsys):
         cache = self.cache_args(tmp_path)
         assert main(["sweep", "run", *self.GRID, *cache]) == 0

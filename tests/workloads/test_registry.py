@@ -145,6 +145,45 @@ class TestSpecs:
         with pytest.raises(TypeError, match="documented parameters"):
             get_workload("micro", bogus_knob=1)
 
+    @pytest.mark.parametrize(
+        "value",
+        ["nan", "NaN", "inf", "-inf", "Infinity", "-INFINITY", "+inf"],
+    )
+    def test_parse_rejects_non_finite_values(self, value):
+        # Pre-fix these coerced to non-finite floats, which poison
+        # config_hash cache keys and violate the canonical_json /
+        # JsonlSink no-non-finite contract.
+        with pytest.raises(ValueError, match="non-finite"):
+            parse_workload_spec(f"base:link_capacity={value}")
+
+    def test_parse_canonicalizes_int_spellings(self):
+        # Pre-fix, "1_0" and "10" aliased one workload to two different
+        # sweep cache entries; both must coerce to the same int.
+        _, underscored = parse_workload_spec("flows:factor=1_0")
+        _, plain = parse_workload_spec("flows:factor=10")
+        assert underscored == plain == {"factor": 10}
+        assert (
+            canonical_workload_spec("flows:factor=1_0")
+            == canonical_workload_spec("flows:factor=10")
+            == "flows:factor=10"
+        )
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["base:,,flows=4", "base:flows=4,", "base:,", "tree:,depth=2"],
+    )
+    def test_parse_rejects_empty_parts(self, spec):
+        # Pre-fix, empty parts were silently dropped, so a typo'd spec
+        # quietly aliased to a different grid cell.
+        with pytest.raises(ValueError, match="empty parameter"):
+            parse_workload_spec(spec)
+
+    def test_parse_rejects_dangling_colon(self):
+        with pytest.raises(ValueError, match="dangling"):
+            parse_workload_spec("base:")
+        with pytest.raises(ValueError, match="dangling"):
+            parse_workload_spec("base:  ")
+
 
 class TestRegistration:
     def test_register_rejects_spec_syntax_in_name(self):
