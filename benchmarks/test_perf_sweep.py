@@ -8,11 +8,15 @@ same >=24-cell grid three times —
 * cold, ``jobs=1``  (the serial baseline),
 * cold, ``jobs=4``  (the parallel contender, its own cache),
 * warm, ``jobs=4``  (the re-run, same cache as the contender),
+* cold, ``jobs=4``, ``capture=True``  (telemetry-on, its own cache),
 
 and requires (a) parallel speedup of at least :data:`SPEEDUP_THRESHOLD`
 when the machine actually has :data:`REQUIRED_CORES` cores to offer —
-containers pinned to one core measure but do not enforce — and (b) a
-100% hit rate with zero executed cells on the warm pass, unconditionally.
+containers pinned to one core measure but do not enforce — (b) a
+100% hit rate with zero executed cells on the warm pass, unconditionally,
+and (c) per-cell telemetry capture costing at most
+:data:`CAPTURE_OVERHEAD_THRESHOLD` over the capture-off cold pass (also
+core-gated: on an oversubscribed core, scheduling noise dwarfs capture).
 
 Every run archives ``results/BENCH_sweep.json`` so ``repro bench
 snapshot`` folds the farm numbers into the trajectory.  The speedup
@@ -35,6 +39,8 @@ SPEEDUP_THRESHOLD = 2.5
 #: Cores the speedup guard needs before it enforces (measure-only below).
 REQUIRED_CORES = 4
 PARALLEL_JOBS = 4
+#: Telemetry-on cold pass may cost at most 5% over telemetry-off.
+CAPTURE_OVERHEAD_THRESHOLD = 1.05
 
 #: 2 workloads x 3 methods x 2 seeds x 2 repeats = 24 cells.  The cells
 #: are deliberately non-trivial (paper-scale iteration budgets on the
@@ -53,20 +59,24 @@ def available_cores() -> int:
     return len(os.sched_getaffinity(0))
 
 
-def timed_pass(spec: SweepSpec, jobs: int, cache: ResultCache):
+def timed_pass(spec: SweepSpec, jobs: int, cache: ResultCache, **kwargs):
     start = time.perf_counter()
-    result = run_sweep(spec, jobs=jobs, cache=cache)
+    result = run_sweep(spec, jobs=jobs, cache=cache, **kwargs)
     return result, time.perf_counter() - start
 
 
 @pytest.fixture(scope="module")
 def farm_rows(tmp_path_factory):
-    """The three timed passes (shared by the archive and guard tests)."""
+    """The four timed passes (shared by the archive and guard tests)."""
     serial_cache = ResultCache(tmp_path_factory.mktemp("serial"))
     parallel_cache = ResultCache(tmp_path_factory.mktemp("parallel"))
+    captured_cache = ResultCache(tmp_path_factory.mktemp("captured"))
     serial, serial_seconds = timed_pass(GRID, 1, serial_cache)
     parallel, parallel_seconds = timed_pass(GRID, PARALLEL_JOBS, parallel_cache)
     warm, warm_seconds = timed_pass(GRID, PARALLEL_JOBS, parallel_cache)
+    captured, captured_seconds = timed_pass(
+        GRID, PARALLEL_JOBS, captured_cache, capture=True
+    )
     return {
         "cells_total": len(serial),
         "cores": available_cores(),
@@ -77,6 +87,9 @@ def farm_rows(tmp_path_factory):
         "warm": {"jobs": PARALLEL_JOBS, "seconds": warm_seconds,
                  "hits": warm.hits, "executed": warm.executed,
                  "hit_rate": warm.hits / len(warm)},
+        "capture": {"jobs": PARALLEL_JOBS, "seconds": captured_seconds,
+                    "executed": captured.executed,
+                    "overhead": captured_seconds / parallel_seconds},
         "speedup": serial_seconds / parallel_seconds,
         "rerun_speedup": serial_seconds / warm_seconds,
     }
@@ -86,6 +99,7 @@ def test_benchmark_sweep_archives_results(farm_rows):
     payload = {
         "version": 1,
         "threshold": SPEEDUP_THRESHOLD,
+        "capture_overhead_threshold": CAPTURE_OVERHEAD_THRESHOLD,
         "required_cores": REQUIRED_CORES,
         **farm_rows,
     }
@@ -100,11 +114,14 @@ def test_benchmark_sweep_archives_results(farm_rows):
         f"jobs={PARALLEL_JOBS} {farm_rows['parallel']['seconds']:.2f}s "
         f"({farm_rows['speedup']:.2f}x), warm re-run "
         f"{farm_rows['warm']['seconds']:.3f}s "
-        f"({farm_rows['rerun_speedup']:.0f}x)"
+        f"({farm_rows['rerun_speedup']:.0f}x), capture-on "
+        f"{farm_rows['capture']['seconds']:.2f}s "
+        f"({farm_rows['capture']['overhead']:.3f}x)"
     )
     assert farm_rows["cells_total"] >= 24
     assert farm_rows["serial"]["executed"] == farm_rows["cells_total"]
     assert farm_rows["parallel"]["executed"] == farm_rows["cells_total"]
+    assert farm_rows["capture"]["executed"] == farm_rows["cells_total"]
 
 
 def test_warm_rerun_is_all_hits(farm_rows):
@@ -125,4 +142,19 @@ def test_parallel_speedup_on_cold_grid(farm_rows):
         f"jobs={PARALLEL_JOBS} is only {farm_rows['speedup']:.2f}x jobs=1 "
         f"on a cold {farm_rows['cells_total']}-cell grid "
         f"(bar: {SPEEDUP_THRESHOLD}x)"
+    )
+
+
+@pytest.mark.perf
+def test_capture_overhead_is_bounded(farm_rows):
+    """``--capture`` must be cheap enough to leave on for real sweeps."""
+    if farm_rows["cores"] < REQUIRED_CORES:
+        pytest.skip(
+            f"only {farm_rows['cores']} core(s) available; overhead guard "
+            f"needs {REQUIRED_CORES} (numbers still archived)"
+        )
+    overhead = farm_rows["capture"]["overhead"]
+    assert overhead <= CAPTURE_OVERHEAD_THRESHOLD, (
+        f"capture-on cold pass is {overhead:.3f}x the capture-off pass "
+        f"(bar: {CAPTURE_OVERHEAD_THRESHOLD}x)"
     )

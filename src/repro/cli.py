@@ -36,8 +36,12 @@ Commands:
 * ``sweep``     — declarative experiment grids (``repro.sweep``): expand
   workload x method x engine x gamma x fault-plan x iterations x seed
   axes into cells, execute them over a process-pool farm with a
-  content-addressed result cache (``sweep run``), inspect the cache
-  (``sweep show``) and empty it (``sweep clean``).
+  content-addressed result cache (``sweep run``, with ``--capture``
+  per-cell telemetry, ``--live``/``--events`` progress streaming and
+  ``--flame``/``--speedscope`` farm-wide merged profiles), inspect the
+  cache (``sweep show``), empty it (``sweep clean``), audit past
+  invocations (``sweep ledger``) and diff two cells' phase trees as a
+  differential flamegraph (``sweep diff-flame``).
 * ``lint``      — run the domain-aware static analyzer (docs/analysis.md)
   over source trees, with JSON output, baselines and strict exit codes.
 
@@ -58,6 +62,7 @@ Examples::
     python -m repro extension e2
     python -m repro stats micro --iterations 100
     python -m repro stats base --format prometheus -o metrics.prom
+    python -m repro stats --from-json archived_metrics.json
     python -m repro profile flows-x4 --engine vectorized --flame flame.txt
     python -m repro profile base --speedscope profile.speedscope.json
     python -m repro trace micro --format jsonl -o trace.jsonl
@@ -75,7 +80,11 @@ Examples::
         --engine none --engine vectorized --jobs 4 --dry-run
     python -m repro sweep run --workload base --method lrgp \
         --gamma adaptive --gamma fixed:0.05 --bench BENCH_sweep.json
+    python -m repro sweep run --workload base --seed 0 --seed 1 \
+        --jobs 4 --capture --live --events events.jsonl --flame farm.folded
     python -m repro sweep show
+    python -m repro sweep ledger --limit 5
+    python -m repro sweep diff-flame base/lrgp/s0 base/lrgp/s1 -o diff.folded
     python -m repro sweep clean
     python -m repro lint --strict src
     python -m repro lint --format json --rules R2,R5 src
@@ -84,15 +93,16 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
-    from typing import Iterator
+    from typing import Callable, Iterator
 
-    from repro.obs import Telemetry, TraceEvent
-    from repro.sweep import SweepSpec
+    from repro.obs import ProfileReport, Telemetry, TraceEvent
+    from repro.sweep import ResultCache, SweepSpec
 
 from repro.core.engines import available_engines
 from repro.core.lrgp import LRGP, LRGPConfig
@@ -379,7 +389,73 @@ def _telemetry_run(
     return telemetry
 
 
+def _stats_from_json(args: argparse.Namespace) -> int:
+    """``repro stats --from-json``: re-render an archived snapshot.
+
+    Accepts any artifact carrying a ``snapshot_to_dict`` payload — a raw
+    snapshot object, the ``repro stats --format json`` wrapper (snapshot
+    under ``"metrics"``), or a sweep cell's shipped telemetry section —
+    and pushes it through the same renderers as a live run.
+    """
+    import json as _json
+
+    from repro.obs import (
+        MetricsError,
+        render_metrics,
+        snapshot_from_dict,
+        to_json,
+        to_prometheus_text,
+    )
+
+    try:
+        payload = _json.loads(Path(args.from_json).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise SystemExit(f"cannot read {args.from_json}: {error}") from error
+    except ValueError as error:
+        raise SystemExit(
+            f"{args.from_json} is not valid JSON: {error}"
+        ) from error
+    if isinstance(payload, dict) and isinstance(payload.get("metrics"), dict):
+        # `repro stats --format json` wrapper or a sweep telemetry section.
+        payload = payload["metrics"]
+    if isinstance(payload, dict) and not any(
+        key in payload for key in ("counters", "gauges", "histograms")
+    ):
+        raise SystemExit(
+            f"{args.from_json} does not contain a metrics snapshot "
+            "(no counters/gauges/histograms sections)"
+        )
+    try:
+        snapshot = snapshot_from_dict(payload)
+    except MetricsError as error:
+        raise SystemExit(
+            f"{args.from_json} does not contain a metrics snapshot: {error}"
+        ) from error
+
+    if args.format == "json":
+        rendered = to_json(snapshot)
+    elif args.format == "prometheus":
+        rendered = to_prometheus_text(snapshot).rstrip("\n")
+    else:
+        rendered = f"source:     {args.from_json}\n" + render_metrics(snapshot)
+    print(rendered)
+    if args.output is not None:
+        payload_text = (
+            to_json(snapshot) if args.format == "human" else rendered + "\n"
+        )
+        Path(args.output).write_text(payload_text)
+        print(f"metrics snapshot written to {args.output}")
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
+    if args.from_json is not None:
+        if args.workload is not None:
+            raise SystemExit(
+                "--from-json renders an archived snapshot; combining it "
+                "with a workload is ambiguous"
+            )
+        return _stats_from_json(args)
     from repro.baselines.bounds import utility_upper_bound
     from repro.obs import (
         ConvergenceDiagnostics,
@@ -993,6 +1069,66 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> "SweepSpec":
         raise SystemExit(str(error)) from error
 
 
+def _sweep_monitor(
+    args: argparse.Namespace, stack: "contextlib.ExitStack"
+) -> "Callable[[dict[str, object]], None] | None":
+    """Compose the ``--live`` stderr renderer and ``--events`` JSONL
+    stream into one monitor callable (``None`` when neither is on)."""
+    from repro.sweep import JsonlEventWriter, render_live_event
+
+    sinks: list[Callable[[dict[str, object]], None]] = []
+    if args.events is not None:
+        stream = stack.enter_context(
+            open(args.events, "w", encoding="utf-8")
+        )
+        sinks.append(JsonlEventWriter(stream))
+    if args.live:
+
+        def render(event: dict[str, object]) -> None:
+            line = render_live_event(event)
+            if line is not None:
+                print(line, file=sys.stderr, flush=True)
+
+        sinks.append(render)
+    if not sinks:
+        return None
+    if len(sinks) == 1:
+        return sinks[0]
+
+    def fanout(event: dict[str, object]) -> None:
+        for sink in sinks:
+            sink(event)
+
+    return fanout
+
+
+def _export_farm_telemetry(args: argparse.Namespace, result: object) -> None:
+    """Write the aggregated farm flamegraph/speedscope artifacts."""
+    from repro.obs import to_collapsed, to_speedscope
+    from repro.sweep import aggregate_sweep_telemetry
+
+    farm = aggregate_sweep_telemetry(result)  # type: ignore[arg-type]
+    if farm.empty:
+        raise SystemExit(
+            "--flame/--speedscope need per-cell telemetry and no cell "
+            "carries any; run with --capture (cached entries written by "
+            "a captured run keep their telemetry)"
+        )
+    if farm.cells_with_telemetry < farm.cells_total:
+        print(
+            f"note: {farm.cells_with_telemetry}/{farm.cells_total} cell(s) "
+            "carry telemetry; the farm aggregate covers those only"
+        )
+    if args.flame is not None:
+        Path(args.flame).write_text(to_collapsed(farm.phases))
+        print(f"farm collapsed stacks written to {args.flame}")
+    if args.speedscope is not None:
+        Path(args.speedscope).write_text(
+            to_speedscope(farm.phases, name="repro sweep farm")
+        )
+        print(f"farm speedscope profile written to {args.speedscope}")
+
+
 def cmd_sweep_run(args: argparse.Namespace) -> int:
     from repro.canonical import canonical_json
     from repro.sweep import (
@@ -1017,11 +1153,23 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
     if args.dry_run:
         print(render_sweep_plan(plan_sweep(cells, cache, force=args.force)))
         return 0
-    try:
-        result = run_sweep(cells, jobs=args.jobs, cache=cache, force=args.force)
-    except ValueError as error:
-        raise SystemExit(str(error)) from error
+    with contextlib.ExitStack() as stack:
+        monitor = _sweep_monitor(args, stack)
+        try:
+            result = run_sweep(
+                cells,
+                jobs=args.jobs,
+                cache=cache,
+                force=args.force,
+                capture=args.capture,
+                monitor=monitor,
+                ledger=args.ledger,
+            )
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
     print(render_sweep_report(result))
+    if args.events is not None:
+        print(f"event stream written to {args.events}")
     if args.csv is not None:
         Path(args.csv).write_text(sweep_to_csv(result), encoding="utf-8")
         print(f"CSV written to {args.csv}")
@@ -1038,6 +1186,89 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
             encoding="utf-8",
         )
         print(f"bench payload written to {args.bench}")
+    if args.flame is not None or args.speedscope is not None:
+        _export_farm_telemetry(args, result)
+    # --keep-going semantics are built in (failed cells never abort the
+    # grid); the exit code still reports that something failed.
+    return 1 if result.failed else 0
+
+
+def cmd_sweep_ledger(args: argparse.Namespace) -> int:
+    from repro.sweep import ResultCache, RunLedger, render_ledger
+
+    cache = ResultCache(args.cache_dir)
+    ledger = RunLedger(cache.root)
+    records = ledger.records()
+    if args.json:
+        import json as _json
+
+        shown = records if args.limit is None else records[-args.limit:]
+        print(_json.dumps(shown, indent=2, sort_keys=True))
+    else:
+        print(f"ledger: {ledger.path}")
+        print(render_ledger(records, limit=args.limit))
+    if ledger.corrupt_lines:
+        print(
+            f"({ledger.corrupt_lines} corrupt line(s) skipped)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _resolve_flame_cell(
+    cache: "ResultCache", selector: str
+) -> "ProfileReport":
+    """Find the one cached cell matching ``selector`` (label or key
+    prefix) and return its shipped phase tree."""
+    import json as _json
+
+    from repro.obs import report_from_dict
+    from repro.sweep import RunConfig
+
+    matches: list[tuple[str, str, dict]] = []
+    for path in cache.entry_paths():
+        try:
+            entry = _json.loads(path.read_text(encoding="utf-8"))
+            label = RunConfig.from_dict(entry["config"]).label()
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+        key = entry.get("key", path.stem)
+        if label == selector or key.startswith(selector):
+            matches.append((label, key, entry.get("payload", {})))
+    if not matches:
+        raise SystemExit(
+            f"no cached cell matches {selector!r} (label or key prefix); "
+            "see repro sweep show"
+        )
+    if len(matches) > 1:
+        listed = ", ".join(f"{label} ({key[:12]})" for label, key, _ in matches)
+        raise SystemExit(
+            f"{selector!r} is ambiguous: matches {listed}; use a longer "
+            "key prefix"
+        )
+    label, key, payload = matches[0]
+    telemetry = payload.get("telemetry")
+    if not isinstance(telemetry, dict) or "phases" not in telemetry:
+        raise SystemExit(
+            f"cell {label} ({key[:12]}) has no telemetry; re-run the "
+            "sweep with --capture --force to record its phase tree"
+        )
+    return report_from_dict(telemetry["phases"])
+
+
+def cmd_sweep_diff_flame(args: argparse.Namespace) -> int:
+    from repro.obs import to_collapsed_diff
+    from repro.sweep import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    base = _resolve_flame_cell(cache, args.base)
+    other = _resolve_flame_cell(cache, args.other)
+    diff = to_collapsed_diff(base, other)
+    if args.output is not None:
+        Path(args.output).write_text(diff)
+        print(f"differential folded stacks written to {args.output}")
+    else:
+        print(diff, end="")
     return 0
 
 
@@ -1186,7 +1417,7 @@ def _resolve_workload(args: argparse.Namespace) -> None:
                 f"and via --workload ({args.workload_opt!r}); pick one"
             )
         args.workload = args.workload_opt
-    if args.workload is None:
+    if args.workload is None and getattr(args, "from_json", None) is None:
         raise SystemExit(
             "a workload is required: pass it positionally or via "
             "--workload NAME[:k=v,...]"
@@ -1285,6 +1516,12 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", metavar="FILE",
         help="also write the metrics snapshot here "
         "(Prometheus text, or JSON with --format json)",
+    )
+    stats.add_argument(
+        "--from-json", metavar="FILE", default=None,
+        help="render an archived metrics snapshot (stats --format json "
+        "output, or any dict with a 'metrics' section) instead of "
+        "running a workload",
     )
     stats.set_defaults(func=cmd_stats)
 
@@ -1576,6 +1813,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench", metavar="FILE", default=None,
         help="write the BENCH_sweep payload here (for repro bench snapshot)",
     )
+    sweep_run.add_argument(
+        "--capture", action="store_true",
+        help="run executed cells under a telemetry bundle and ship "
+        "metrics/phases/diagnostics back with each result",
+    )
+    sweep_run.add_argument(
+        "--live", action="store_true",
+        help="print live per-cell progress (done/total, ETA, stragglers) "
+        "to stderr as cells finish",
+    )
+    sweep_run.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="write the live progress event stream here as JSONL",
+    )
+    sweep_run.add_argument(
+        "--flame", metavar="FILE", default=None,
+        help="write the farm-wide merged collapsed-stack flamegraph here "
+        "(needs --capture, or cached telemetry)",
+    )
+    sweep_run.add_argument(
+        "--speedscope", metavar="FILE", default=None,
+        help="write the farm-wide merged speedscope profile here "
+        "(needs --capture, or cached telemetry)",
+    )
+    sweep_run.add_argument(
+        "--no-ledger", dest="ledger", action="store_false", default=True,
+        help="do not append this invocation to the run ledger",
+    )
     sweep_run.set_defaults(func=cmd_sweep_run)
 
     sweep_show = sweep_sub.add_parser(
@@ -1597,6 +1862,48 @@ def build_parser() -> argparse.ArgumentParser:
         "~/.cache/repro/sweep)",
     )
     sweep_clean.set_defaults(func=cmd_sweep_clean)
+
+    sweep_ledger = sweep_sub.add_parser(
+        "ledger", help="show the append-only run ledger for a cache root"
+    )
+    sweep_ledger.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/sweep)",
+    )
+    sweep_ledger.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="show only the newest N runs",
+    )
+    sweep_ledger.add_argument(
+        "--json", action="store_true",
+        help="print the raw ledger records as a JSON array",
+    )
+    sweep_ledger.set_defaults(func=cmd_sweep_ledger)
+
+    sweep_diff = sweep_sub.add_parser(
+        "diff-flame",
+        help="differential collapsed-stack flamegraph between two cached "
+        "cells' phase trees (flamegraph.pl --diff format)",
+    )
+    sweep_diff.add_argument(
+        "base", metavar="CELL",
+        help="baseline cell: a cell label or cache-key prefix",
+    )
+    sweep_diff.add_argument(
+        "other", metavar="CELL",
+        help="comparison cell: a cell label or cache-key prefix",
+    )
+    sweep_diff.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/sweep)",
+    )
+    sweep_diff.add_argument(
+        "-o", "--output", metavar="FILE", default=None,
+        help="write the two-column folded output here (default: stdout)",
+    )
+    sweep_diff.set_defaults(func=cmd_sweep_diff_flame)
 
     lint = sub.add_parser(
         "lint", help="run the domain-aware static analyzer (docs/analysis.md)"

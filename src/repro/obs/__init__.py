@@ -73,6 +73,7 @@ from repro.obs.events import (
 from repro.obs.export import (
     render_metrics,
     sanitize_metric_name,
+    snapshot_from_dict,
     snapshot_to_dict,
     to_json,
     to_prometheus_text,
@@ -83,9 +84,12 @@ from repro.obs.profile import (
     PhaseProfiler,
     PhaseStat,
     ProfileReport,
+    merge_reports,
     register_phase_metrics,
     render_report,
+    report_from_dict,
     to_collapsed,
+    to_collapsed_diff,
     to_speedscope,
 )
 from repro.obs.registry import (
@@ -178,6 +182,7 @@ __all__ = [
     "diagnostics_to_dict",
     "event_from_dict",
     "format_cell",
+    "merge_reports",
     "now_ns",
     "open_trace",
     "read_jsonl",
@@ -188,9 +193,12 @@ __all__ = [
     "render_metrics",
     "render_report",
     "render_state",
+    "report_from_dict",
     "sanitize_metric_name",
+    "snapshot_from_dict",
     "snapshot_to_dict",
     "to_collapsed",
+    "to_collapsed_diff",
     "to_json",
     "to_prometheus_text",
     "to_speedscope",

@@ -17,7 +17,7 @@ import json
 import re
 from typing import Any
 
-from repro.obs.registry import HistogramSnapshot, MetricsSnapshot
+from repro.obs.registry import HistogramSnapshot, MetricsError, MetricsSnapshot
 
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 _PREFIX = "repro_"
@@ -89,6 +89,67 @@ def snapshot_to_dict(snapshot: MetricsSnapshot) -> dict[str, Any]:
             for name, histogram in snapshot.histograms.items()
         },
     }
+
+
+def _histogram_from_dict(name: str, payload: Any) -> HistogramSnapshot:
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("buckets"), list
+    ):
+        raise MetricsError(f"{name}: malformed histogram payload")
+    bounds: list[float] = []
+    buckets: list[int] = []
+    for pair in payload["buckets"]:
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise MetricsError(f"{name}: malformed histogram bucket {pair!r}")
+        bound, cumulative = pair
+        bounds.append(float(bound))
+        buckets.append(int(cumulative))
+    return HistogramSnapshot(
+        name=name,
+        bounds=tuple(bounds),
+        buckets=tuple(buckets),
+        count=int(payload.get("count", 0)),
+        total=float(payload.get("sum", 0.0)),
+        low=None if payload.get("min") is None else float(payload["min"]),
+        high=None if payload.get("max") is None else float(payload["max"]),
+    )
+
+
+def snapshot_from_dict(payload: Any) -> MetricsSnapshot:
+    """Rebuild a :class:`MetricsSnapshot` from :func:`snapshot_to_dict`
+    output (an archived ``repro stats`` / sweep-telemetry artifact).
+
+    The inverse direction exists so farm workers can ship snapshots as
+    plain JSON and the parent can merge them; malformed payloads raise
+    :class:`~repro.obs.registry.MetricsError` rather than producing a
+    half-populated snapshot.
+    """
+    if not isinstance(payload, dict):
+        raise MetricsError(
+            f"metrics snapshot payload must be an object, got "
+            f"{type(payload).__name__}"
+        )
+    counters = payload.get("counters", {})
+    gauges = payload.get("gauges", {})
+    histograms = payload.get("histograms", {})
+    if (
+        not isinstance(counters, dict)
+        or not isinstance(gauges, dict)
+        or not isinstance(histograms, dict)
+    ):
+        raise MetricsError("metrics snapshot payload has malformed sections")
+    return MetricsSnapshot(
+        counters={
+            str(name): float(value) for name, value in sorted(counters.items())
+        },
+        gauges={
+            str(name): float(value) for name, value in sorted(gauges.items())
+        },
+        histograms={
+            str(name): _histogram_from_dict(str(name), value)
+            for name, value in sorted(histograms.items())
+        },
+    )
 
 
 def to_json(snapshot: MetricsSnapshot) -> str:

@@ -56,9 +56,12 @@ __all__ = [
     "PhaseProfiler",
     "PhaseStat",
     "ProfileReport",
+    "merge_reports",
     "register_phase_metrics",
     "render_report",
+    "report_from_dict",
     "to_collapsed",
+    "to_collapsed_diff",
     "to_speedscope",
 ]
 
@@ -305,6 +308,98 @@ class NullProfiler(PhaseProfiler):
 NULL_PROFILER: PhaseProfiler = NullProfiler()
 
 
+# -- aggregation -------------------------------------------------------------
+
+
+def merge_reports(*reports: ProfileReport) -> ProfileReport:
+    """Merge phase trees keyed by name path (farm-wide aggregation).
+
+    Calls, wall, CPU and allocation totals sum per path; sibling order is
+    first-seen across the reports in argument order, so merging a report
+    with itself (or with same-shaped peers — the sweep-farm case) keeps
+    the original tree shape.  Because every child of a merged node was a
+    child in some input, ``self = total - sum(children)`` distributes
+    over the sum: the merged self time of a path is exactly the sum of
+    its per-report self times, and ``total_self_wall_ns`` still equals
+    ``total_wall_ns`` to the nanosecond.
+    """
+    merged = _PhaseNode("")
+    for report in reports:
+        for stat in report.stats:
+            node = merged
+            for name in stat.path:
+                child = node.children.get(name)
+                if child is None:
+                    child = node.children[name] = _PhaseNode(name)
+                node = child
+            node.calls += stat.calls
+            node.wall_ns += stat.wall_ns
+            node.cpu_ns += stat.cpu_ns
+            node.alloc_bytes += stat.alloc_bytes
+
+    stats: list[PhaseStat] = []
+
+    def walk(node: _PhaseNode, path: tuple[str, ...]) -> None:
+        for child in node.children.values():
+            child_path = path + (child.name,)
+            nested_wall = sum(g.wall_ns for g in child.children.values())
+            nested_cpu = sum(g.cpu_ns for g in child.children.values())
+            stats.append(
+                PhaseStat(
+                    path=child_path,
+                    calls=child.calls,
+                    wall_ns=child.wall_ns,
+                    cpu_ns=child.cpu_ns,
+                    self_wall_ns=child.wall_ns - nested_wall,
+                    self_cpu_ns=child.cpu_ns - nested_cpu,
+                    alloc_bytes=child.alloc_bytes,
+                )
+            )
+            walk(child, child_path)
+
+    walk(merged, ())
+    return ProfileReport(
+        stats=tuple(stats),
+        track_allocations=any(r.track_allocations for r in reports),
+    )
+
+
+def report_from_dict(payload: Any) -> ProfileReport:
+    """Rebuild a :class:`ProfileReport` from :meth:`ProfileReport.to_dict`
+    output (an archived ``repro profile --json`` / sweep-telemetry
+    artifact).
+
+    Dotted keys split on ``.`` (phase names never contain dots); entries
+    are ordered by path so parents precede children — a valid pre-order,
+    with siblings lexicographic after a canonical-JSON round trip.
+    """
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("phases"), dict
+    ):
+        raise ValueError("profile payload must be an object with 'phases'")
+    stats = []
+    for dotted, entry in sorted(
+        payload["phases"].items(), key=lambda item: item[0].split(".")
+    ):
+        if not isinstance(entry, dict):
+            raise ValueError(f"profile phase {dotted!r} is malformed")
+        stats.append(
+            PhaseStat(
+                path=tuple(dotted.split(".")),
+                calls=int(entry.get("calls", 0)),
+                wall_ns=int(entry.get("wall_ns", 0)),
+                cpu_ns=int(entry.get("cpu_ns", 0)),
+                self_wall_ns=int(entry.get("self_wall_ns", 0)),
+                self_cpu_ns=int(entry.get("self_cpu_ns", 0)),
+                alloc_bytes=int(entry.get("alloc_bytes", 0)),
+            )
+        )
+    return ProfileReport(
+        stats=tuple(stats),
+        track_allocations=bool(payload.get("track_allocations", False)),
+    )
+
+
 # -- exports -----------------------------------------------------------------
 
 
@@ -320,6 +415,31 @@ def to_collapsed(report: ProfileReport) -> str:
         for stat in report.stats
         if stat.self_wall_ns > 0
     ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_collapsed_diff(base: ProfileReport, other: ProfileReport) -> str:
+    """Differential folded stacks: ``a;b;c <base_self> <other_self>``.
+
+    The two-column folded format ``flamegraph.pl --diff`` (and
+    ``difffolded.pl``) consumes: one line per phase path present in
+    either report, base self-wall first, other second, missing side 0.
+    Paths keep ``base``'s order with ``other``-only paths appended in
+    ``other``'s order, so the diff of a report against itself is its own
+    collapsed output with a duplicated column.
+    """
+    base_self = {stat.path: stat.self_wall_ns for stat in base.stats}
+    other_self = {stat.path: stat.self_wall_ns for stat in other.stats}
+    paths = [stat.path for stat in base.stats]
+    paths.extend(
+        stat.path for stat in other.stats if stat.path not in base_self
+    )
+    lines = []
+    for path in paths:
+        before = base_self.get(path, 0)
+        after = other_self.get(path, 0)
+        if before > 0 or after > 0:
+            lines.append(f"{';'.join(path)} {before} {after}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -117,6 +117,32 @@ class HistogramSnapshot:
     def mean(self) -> float | None:
         return self.total / self.count if self.count else None
 
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Combine two windows of the *same* histogram.
+
+        Counts, totals and cumulative buckets add (the cumulative sum of
+        a union is the sum of the cumulative sums); extremes take the
+        min/max of whichever sides observed anything.  Bucket bounds are
+        the histogram's identity — merging across different bounds would
+        silently misbin, so it raises :class:`MetricsError` instead.
+        """
+        if self.bounds != other.bounds:
+            raise MetricsError(
+                f"{self.name}: cannot merge histograms with different "
+                f"bucket bounds ({self.bounds} vs {other.bounds})"
+            )
+        lows = [v for v in (self.low, other.low) if v is not None]
+        highs = [v for v in (self.high, other.high) if v is not None]
+        return HistogramSnapshot(
+            name=self.name,
+            bounds=self.bounds,
+            buckets=tuple(a + b for a, b in zip(self.buckets, other.buckets)),
+            count=self.count + other.count,
+            total=self.total + other.total,
+            low=min(lows) if lows else None,
+            high=max(highs) if highs else None,
+        )
+
 
 class Histogram:
     """Fixed-bucket histogram of finite observations."""
@@ -225,6 +251,53 @@ class MetricsSnapshot:
     def empty(self) -> bool:
         return not (self.counters or self.gauges or self.histograms)
 
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two snapshots into one farm-wide view.
+
+        Counters *sum* (they count events, and events add across
+        processes); gauges are *last-writer-wins* (``other`` is the later
+        observation — a point-in-time value has no meaningful sum);
+        histograms merge bucket-wise via :meth:`HistogramSnapshot.merge`.
+        A name registered as different kinds on the two sides is the
+        same poisoned state the registry's ``_claim`` guards against and
+        raises :class:`MetricsError`.
+        """
+        for name in self.counters:
+            if name in other.gauges or name in other.histograms:
+                raise MetricsError(
+                    f"metric {name!r} is a counter on one side of the "
+                    "merge and a different kind on the other"
+                )
+        for name in self.gauges:
+            if name in other.counters or name in other.histograms:
+                raise MetricsError(
+                    f"metric {name!r} is a gauge on one side of the "
+                    "merge and a different kind on the other"
+                )
+        for name in self.histograms:
+            if name in other.counters or name in other.gauges:
+                raise MetricsError(
+                    f"metric {name!r} is a histogram on one side of the "
+                    "merge and a different kind on the other"
+                )
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0.0) + value
+        gauges = {**self.gauges, **other.gauges}
+        histograms = dict(self.histograms)
+        for name, snapshot in other.histograms.items():
+            mine = histograms.get(name)
+            histograms[name] = (
+                snapshot if mine is None else mine.merge(snapshot)
+            )
+        return MetricsSnapshot(
+            counters={name: counters[name] for name in sorted(counters)},
+            gauges={name: gauges[name] for name in sorted(gauges)},
+            histograms={
+                name: histograms[name] for name in sorted(histograms)
+            },
+        )
+
 
 class MetricsRegistry:
     """Namespace of counters, gauges and histograms, snapshot-able at any
@@ -285,6 +358,45 @@ class MetricsRegistry:
             },
         )
 
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a snapshot (typically from another process) into this
+        registry's live metrics.
+
+        Counters add, gauges take the snapshot's value (it is the later
+        observation), histograms de-cumulate the snapshot's Prometheus
+        buckets back into per-bucket counts and add them in place.  Kind
+        clashes surface through the usual ``_claim`` check; differing
+        histogram bounds raise :class:`MetricsError` like
+        :meth:`HistogramSnapshot.merge` does.
+        """
+        for name, value in snapshot.counters.items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.gauges.items():
+            self.gauge(name).set(value)
+        for name, incoming in snapshot.histograms.items():
+            histogram = self.histogram(name, incoming.bounds)
+            if histogram.bounds != incoming.bounds:
+                raise MetricsError(
+                    f"{name}: cannot merge histograms with different "
+                    f"bucket bounds ({histogram.bounds} vs "
+                    f"{incoming.bounds})"
+                )
+            previous = 0
+            for index, cumulative in enumerate(incoming.buckets):
+                histogram._counts[index] += cumulative - previous
+                previous = cumulative
+            histogram._counts[-1] += incoming.count - previous
+            histogram._count += incoming.count
+            histogram._total += incoming.total
+            if incoming.low is not None and (
+                histogram._low is None or incoming.low < histogram._low
+            ):
+                histogram._low = incoming.low
+            if incoming.high is not None and (
+                histogram._high is None or incoming.high > histogram._high
+            ):
+                histogram._high = incoming.high
+
 
 class _NullCounter(Counter):
     __slots__ = ()
@@ -343,6 +455,11 @@ class NullRegistry(MetricsRegistry):
 
     def timer(self, name: str) -> Timer:
         return _NULL_TIMER
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        # Merging into the shared no-op singletons would mutate global
+        # state; the disabled registry discards, as everywhere else.
+        pass
 
 
 NULL_REGISTRY = NullRegistry()

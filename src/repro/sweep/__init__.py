@@ -29,6 +29,19 @@ from repro.sweep.cache import (
     default_cache_dir,
 )
 from repro.sweep.farm import SweepCell, SweepResult, execute_run, plan_sweep, run_sweep
+from repro.sweep.ledger import (
+    LEDGER_FILENAME,
+    LEDGER_VERSION,
+    RunLedger,
+    ledger_record,
+    render_ledger,
+)
+from repro.sweep.live import (
+    STRAGGLER_MIN_SAMPLES,
+    JsonlEventWriter,
+    SweepProgress,
+    render_live_event,
+)
 from repro.sweep.report import (
     bench_payload,
     render_sweep_comparison,
@@ -38,24 +51,47 @@ from repro.sweep.report import (
     sweep_to_json,
 )
 from repro.sweep.spec import RunConfig, SweepSpec, load_spec
+from repro.sweep.telemetry import (
+    TELEMETRY_VERSION,
+    FarmTelemetry,
+    aggregate_sweep_telemetry,
+    capture_bundle,
+    cell_phase_report,
+    telemetry_payload,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "LEDGER_FILENAME",
+    "LEDGER_VERSION",
+    "STRAGGLER_MIN_SAMPLES",
+    "TELEMETRY_VERSION",
+    "FarmTelemetry",
+    "JsonlEventWriter",
     "ResultCache",
     "RunConfig",
+    "RunLedger",
     "SweepCell",
+    "SweepProgress",
     "SweepResult",
     "SweepSpec",
+    "aggregate_sweep_telemetry",
     "bench_payload",
     "cache_salt",
+    "capture_bundle",
+    "cell_phase_report",
     "default_cache_dir",
     "execute_run",
+    "ledger_record",
     "load_spec",
     "plan_sweep",
+    "render_ledger",
+    "render_live_event",
     "render_sweep_comparison",
     "render_sweep_plan",
     "render_sweep_report",
     "run_sweep",
     "sweep_to_csv",
     "sweep_to_json",
+    "telemetry_payload",
 ]

@@ -1,0 +1,169 @@
+"""The run ledger: an append-only record of every sweep invocation.
+
+The result cache remembers *cells*; nothing remembered *runs* — how big
+the grid was, how much of it was already cached, how long it took, which
+package version produced it.  The ledger is that memory: one JSON line
+per ``run_sweep`` invocation appended to ``ledger.jsonl`` in the cache
+root, next to the entries it describes (wiping the cache dir wipes its
+history with it, which is the honest scope).
+
+JSONL because appends are atomic enough at one-line granularity and a
+torn final line (crashed process) must not poison the history: the
+reader skips unparseable lines and reports how many it skipped, the
+same corrupt-entry-is-a-miss stance as :class:`~repro.sweep.cache.ResultCache`.
+
+``repro sweep ledger`` renders the tail; ``repro bench snapshot`` folds
+the farm throughput numbers (``cells_per_second``, ``hit_rate``) in via
+the sweep bench payload, not the ledger — the ledger is an audit trail,
+not a metrics store.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import repro
+from repro.canonical import canonical_json, content_hash
+
+if TYPE_CHECKING:
+    from repro.sweep.farm import SweepResult
+    from repro.sweep.spec import RunConfig
+
+__all__ = [
+    "LEDGER_FILENAME",
+    "LEDGER_VERSION",
+    "RunLedger",
+    "ledger_record",
+    "render_ledger",
+]
+
+#: Bump when the record shape changes (readers tolerate both directions:
+#: unknown fields are ignored, missing ones render as ``-``).
+LEDGER_VERSION = 1
+
+LEDGER_FILENAME = "ledger.jsonl"
+
+
+def ledger_record(
+    result: "SweepResult",
+    configs: tuple["RunConfig", ...],
+    capture: bool,
+) -> dict[str, Any]:
+    """One invocation's ledger line, JSON-safe and finite."""
+    cell_seconds: dict[str, float] = {}
+    for cell in result.cells:
+        if cell.cached:
+            continue
+        timing = cell.payload.get("timing")
+        seconds = (
+            timing.get("wall_time_seconds")
+            if isinstance(timing, dict)
+            else None
+        )
+        if isinstance(seconds, (int, float)):
+            cell_seconds[cell.label] = float(seconds)
+    wall = result.wall_time_seconds
+    return {
+        "version": LEDGER_VERSION,
+        "at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "spec_hash": content_hash([config.to_dict() for config in configs]),
+        "package": repro.__version__,
+        "cells_total": len(result.cells),
+        "hits": result.hits,
+        "executed": result.executed,
+        "failed": result.failed,
+        "corrupt_entries": result.corrupt_entries,
+        "jobs": result.jobs,
+        "capture": capture,
+        "wall_time_seconds": wall,
+        "cells_per_second": (
+            len(result.cells) / wall if wall > 0.0 else None
+        ),
+        "cell_seconds": {
+            label: cell_seconds[label] for label in sorted(cell_seconds)
+        },
+    }
+
+
+class RunLedger:
+    """Append-only JSONL history of sweep invocations in a cache root."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.path = Path(root) / LEDGER_FILENAME
+        #: Unparseable lines skipped by the last :meth:`records` call.
+        self.corrupt_lines = 0
+
+    def append(self, record: dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as stream:
+            stream.write(canonical_json(record) + "\n")
+
+    def records(self) -> list[dict[str, Any]]:
+        """Every parseable record, oldest first; corrupt lines skipped
+        (and counted in :attr:`corrupt_lines`), never fatal."""
+        self.corrupt_lines = 0
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return []
+        records: list[dict[str, Any]] = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                self.corrupt_lines += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                self.corrupt_lines += 1
+        return records
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+
+def _fmt(value: Any, spec: str = "") -> str:
+    if value is None:
+        return "-"
+    return format(value, spec)
+
+
+def render_ledger(
+    records: list[dict[str, Any]], limit: int | None = None
+) -> str:
+    """Human-readable ledger tail, one invocation per line.
+
+    Field=value pairs on purpose: the CI two-pass check greps for
+    ``hits=4 executed=0`` and a column layout would turn that contract
+    into whitespace trivia.
+    """
+    if not records:
+        return "ledger: (no runs recorded)"
+    shown = records if limit is None else records[-limit:]
+    lines = []
+    for record in shown:
+        spec_hash = record.get("spec_hash") or ""
+        rate = record.get("cells_per_second")
+        lines.append(
+            f"{_fmt(record.get('at'))}  spec={spec_hash[:12] or '-'}  "
+            f"cells={_fmt(record.get('cells_total'))} "
+            f"hits={_fmt(record.get('hits'))} "
+            f"executed={_fmt(record.get('executed'))} "
+            f"failed={_fmt(record.get('failed'))}  "
+            f"jobs={_fmt(record.get('jobs'))} "
+            f"capture={'on' if record.get('capture') else 'off'}  "
+            f"{_fmt(record.get('wall_time_seconds'), '.2f')}s "
+            f"({_fmt(rate, '.2f')} cells/s)  "
+            f"v{_fmt(record.get('package'))}"
+        )
+    if limit is not None and len(records) > limit:
+        lines.append(
+            f"({len(records) - limit} older run(s) not shown)"
+        )
+    return "\n".join(lines)

@@ -40,6 +40,8 @@ _CSV_FIELDS = (
     "seed",
     "repeat",
     "cached",
+    "status",
+    "error",
     "key",
     "utility",
     "converged_at",
@@ -78,6 +80,12 @@ def _cell_row(cell: SweepCell) -> dict[str, Any]:
         "seed": config.seed,
         "repeat": config.repeat,
         "cached": cell.cached,
+        "status": cell.status,
+        "error": (
+            None
+            if cell.error is None
+            else f"{cell.error.get('type')}: {cell.error.get('message')}"
+        ),
         "key": cell.key,
         "utility": metrics.get("utility"),
         "converged_at": metrics.get("converged_at"),
@@ -89,7 +97,7 @@ def _cell_row(cell: SweepCell) -> dict[str, Any]:
 def render_sweep_report(result: SweepResult) -> str:
     """The ``repro sweep run`` table: one line per cell plus the farm
     summary (hits/executed/jobs/wall time)."""
-    header = ("cell", "utility", "conv", "time", "source")
+    header = ("cell", "utility", "conv", "time", "source", "status")
     rows = [header]
     for cell in result.cells:
         row = _cell_row(cell)
@@ -102,6 +110,7 @@ def render_sweep_report(result: SweepResult) -> str:
                 if row["wall_time_seconds"] is not None
                 else "-",
                 "cache" if cell.cached else "run",
+                cell.status,
             )
         )
     widths = [
@@ -117,9 +126,17 @@ def render_sweep_report(result: SweepResult) -> str:
         f"{result.executed} executed (jobs={result.jobs}, "
         f"{result.wall_time_seconds:.2f}s)"
     )
+    if result.failed:
+        summary += f"; {result.failed} cell(s) FAILED"
     if result.corrupt_entries:
         summary += f"; {result.corrupt_entries} corrupt entr(y/ies) repaired"
     lines.append(summary)
+    for cell in result.cells:
+        if cell.failed and cell.error is not None:
+            lines.append(
+                f"  failed: {cell.label}: {cell.error.get('type')}: "
+                f"{cell.error.get('message')}"
+            )
     return "\n".join(lines)
 
 
@@ -160,6 +177,7 @@ def sweep_to_json(result: SweepResult) -> dict[str, Any]:
         "cells_total": len(result.cells),
         "hits": result.hits,
         "executed": result.executed,
+        "failed": result.failed,
         "corrupt_entries": result.corrupt_entries,
         "cells": [
             {
@@ -191,14 +209,17 @@ def bench_payload(result: SweepResult) -> dict[str, Any]:
                 metrics[name] = float(value)
         cells[cell.label] = metrics
     total = len(result.cells)
+    wall = result.wall_time_seconds
     return {
         "farm": {
             "cells_total": total,
             "hits": result.hits,
             "executed": result.executed,
+            "failed": result.failed,
             "hit_rate": (result.hits / total) if total else 0.0,
             "jobs": result.jobs,
-            "wall_time_seconds": result.wall_time_seconds,
+            "wall_time_seconds": wall,
+            "cells_per_second": (total / wall) if wall > 0.0 else 0.0,
         },
         "cells": {label: cells[label] for label in sorted(cells)},
     }

@@ -1,0 +1,151 @@
+"""Cross-process telemetry for the sweep farm.
+
+A :class:`~concurrent.futures.ProcessPoolExecutor` worker dies with its
+process; anything it measured dies too unless it ships the numbers home
+as plain data.  This module is both ends of that pipe:
+
+* **Worker side** — :func:`capture_bundle` builds the fresh
+  :class:`~repro.obs.telemetry.Telemetry` a cell runs under, and
+  :func:`telemetry_payload` compacts what it collected (metrics
+  snapshot, phase tree, convergence-diagnostics summary) into a
+  JSON-safe dict that rides back with the cell's result payload.  The
+  payload lives *alongside* the volatile ``timing`` section: the
+  bit-stable ``result`` / ``metrics`` sections are untouched, so cache
+  keys, payload equality and the two-pass zero-executed guarantee are
+  exactly what they were without capture.
+* **Parent side** — :func:`aggregate_sweep_telemetry` merges every
+  cell's shipped snapshot/tree into one farm-wide
+  :class:`FarmTelemetry` via :meth:`MetricsSnapshot.merge` and
+  :func:`~repro.obs.profile.merge_reports`, ready for the existing
+  exporters (Prometheus text, collapsed-stack flamegraph, speedscope).
+
+Everything here is finite-by-construction: the diagnostics summary
+drops non-finite values (a zero-mean trailing window reports an
+infinite amplitude) because cached payloads go through canonical JSON,
+which rejects NaN/inf.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.obs import (
+    ConvergenceDiagnostics,
+    MemorySink,
+    MetricsSnapshot,
+    PhaseProfiler,
+    ProfileReport,
+    Telemetry,
+    merge_reports,
+    report_from_dict,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+
+if TYPE_CHECKING:
+    from repro.sweep.farm import SweepCell, SweepResult
+
+__all__ = [
+    "TELEMETRY_VERSION",
+    "FarmTelemetry",
+    "aggregate_sweep_telemetry",
+    "capture_bundle",
+    "cell_phase_report",
+    "telemetry_payload",
+]
+
+#: Bump when the shape of the shipped telemetry payload changes.
+TELEMETRY_VERSION = 1
+
+
+def capture_bundle() -> Telemetry:
+    """A fresh per-cell telemetry bundle: own registry, in-memory event
+    sink, and an enabled phase profiler."""
+    return Telemetry(profiler=PhaseProfiler())
+
+
+def _finite_or_none(value: Any) -> float | None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value) if math.isfinite(value) else None
+
+
+def _diagnostics_summary(telemetry: Telemetry) -> dict[str, Any]:
+    """The compact, always-finite diagnostics digest shipped per cell."""
+    sink = telemetry.sink
+    events = sink.events if isinstance(sink, MemorySink) else []
+    report = ConvergenceDiagnostics().analyze(events)
+    return {
+        "iterations": report.iterations,
+        "converged": report.converged,
+        "iterations_to_tolerance": report.iterations_to_tolerance,
+        "final_utility": _finite_or_none(report.final_utility),
+        "trailing_amplitude": _finite_or_none(report.trailing_amplitude),
+        "total_oscillations": report.total_oscillations,
+        "resources": len(report.resources),
+    }
+
+
+def telemetry_payload(telemetry: Telemetry) -> dict[str, Any]:
+    """Compact a cell's telemetry bundle into its JSON-safe payload."""
+    return {
+        "version": TELEMETRY_VERSION,
+        "metrics": snapshot_to_dict(telemetry.registry.snapshot()),
+        "phases": telemetry.profiler.report().to_dict(),
+        "diagnostics": _diagnostics_summary(telemetry),
+    }
+
+
+def cell_phase_report(cell: "SweepCell") -> ProfileReport | None:
+    """The cell's shipped phase tree, or ``None`` if it ran uncaptured."""
+    shipped = cell.payload.get("telemetry")
+    if not isinstance(shipped, dict) or "phases" not in shipped:
+        return None
+    return report_from_dict(shipped["phases"])
+
+
+@dataclass(frozen=True)
+class FarmTelemetry:
+    """Every captured cell's telemetry merged into one farm-wide view."""
+
+    metrics: MetricsSnapshot
+    phases: ProfileReport
+    #: Cells that shipped a telemetry payload (captured runs and cache
+    #: hits whose entries were written by captured runs).
+    cells_with_telemetry: int
+    cells_total: int
+
+    @property
+    def empty(self) -> bool:
+        return self.cells_with_telemetry == 0
+
+
+def aggregate_sweep_telemetry(result: "SweepResult") -> FarmTelemetry:
+    """Merge the telemetry shipped by a sweep's cells.
+
+    Cells without a telemetry section (uncaptured runs, failed cells,
+    pre-capture cache entries) are skipped, not an error — the counts on
+    the returned :class:`FarmTelemetry` make partial coverage visible.
+    """
+    merged_metrics = MetricsSnapshot(counters={}, gauges={}, histograms={})
+    reports: list[ProfileReport] = []
+    captured = 0
+    for cell in result.cells:
+        shipped = cell.payload.get("telemetry")
+        if not isinstance(shipped, dict):
+            continue
+        captured += 1
+        if "metrics" in shipped:
+            merged_metrics = merged_metrics.merge(
+                snapshot_from_dict(shipped["metrics"])
+            )
+        if "phases" in shipped:
+            reports.append(report_from_dict(shipped["phases"]))
+    return FarmTelemetry(
+        metrics=merged_metrics,
+        phases=merge_reports(*reports),
+        cells_with_telemetry=captured,
+        cells_total=len(result.cells),
+    )

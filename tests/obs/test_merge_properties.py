@@ -1,0 +1,330 @@
+"""Property tests: farm-wide telemetry merge is a lawful aggregation.
+
+Hypothesis generates arbitrary registries (counters / gauges /
+histograms over a small shared name pool, so collisions actually occur)
+and checks the algebra the sweep farm relies on:
+
+* ``MetricsSnapshot.merge`` is associative, and commutative whenever the
+  gauge names are disjoint (gauges are last-writer-wins by design, so
+  shared gauges are the one lawful asymmetry);
+* merging N per-cell snapshots one by one equals observing everything in
+  one combined registry — the farm aggregate is not an approximation;
+* ``MetricsRegistry.merge_snapshot`` folds a snapshot into live metrics
+  exactly (de-cumulating the Prometheus buckets back to raw counts);
+* histograms with different bucket bounds refuse to merge, and a name
+  that is two different kinds on the two sides refuses too;
+* the dict round-trip (``snapshot_to_dict`` / ``snapshot_from_dict``)
+  is lossless, which is what lets worker processes ship snapshots home;
+* phase-tree merges (``merge_reports``) keep the profiler's core
+  invariant — self times sum *integer-exactly* to total wall time — and
+  survive their own dict round-trip.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    PhaseProfiler,
+    merge_reports,
+    report_from_dict,
+    snapshot_from_dict,
+    snapshot_to_dict,
+    to_collapsed_diff,
+)
+from repro.obs.registry import Histogram, MetricsError
+
+# -- strategies -------------------------------------------------------------
+
+#: Small shared pool so independent snapshots collide on names often.
+NAMES = ("alpha", "beta", "gamma.delta", "x_1")
+BOUNDS = (0.1, 1.0, 10.0)
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+non_negative = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+observations = st.lists(
+    st.floats(
+        min_value=-100.0, max_value=100.0,
+        allow_nan=False, allow_infinity=False,
+    ),
+    max_size=8,
+)
+
+cell_contents = st.fixed_dictionaries(
+    {
+        "counters": st.dictionaries(st.sampled_from(NAMES), non_negative, max_size=3),
+        "gauges": st.dictionaries(st.sampled_from(NAMES), finite, max_size=3),
+        "histograms": st.dictionaries(st.sampled_from(NAMES), observations, max_size=3),
+    }
+)
+
+
+def build_snapshot(contents) -> MetricsSnapshot:
+    """Observe one generated cell's activity in a fresh registry.
+
+    Names are prefixed per kind so a generated cell never collides with
+    itself — cross-*cell* collisions (same name, same kind) are the
+    interesting case and still happen constantly.
+    """
+    registry = MetricsRegistry()
+    for name, value in contents["counters"].items():
+        registry.counter(f"c.{name}").inc(value)
+    for name, value in contents["gauges"].items():
+        registry.gauge(f"g.{name}").set(value)
+    for name, values in contents["histograms"].items():
+        histogram = registry.histogram(f"h.{name}", bounds=BOUNDS)
+        for value in values:
+            histogram.observe(value)
+    return registry.snapshot()
+
+
+snapshots = cell_contents.map(build_snapshot)
+
+
+def assert_snapshots_close(left: MetricsSnapshot, right: MetricsSnapshot):
+    """Equality up to float-summation noise (counter/total sums may be
+    grouped differently by the two sides)."""
+    assert set(left.counters) == set(right.counters)
+    for name in left.counters:
+        assert left.counters[name] == pytest.approx(right.counters[name])
+    assert left.gauges == right.gauges
+    assert set(left.histograms) == set(right.histograms)
+    for name in left.histograms:
+        mine, theirs = left.histograms[name], right.histograms[name]
+        assert mine.bounds == theirs.bounds
+        assert mine.buckets == theirs.buckets
+        assert mine.count == theirs.count
+        assert mine.total == pytest.approx(theirs.total)
+        assert mine.low == theirs.low
+        assert mine.high == theirs.high
+
+
+# -- snapshot merge algebra -------------------------------------------------
+
+
+class TestSnapshotMergeAlgebra:
+    @given(a=snapshots, b=snapshots, c=snapshots)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        assert_snapshots_close(a.merge(b).merge(c), a.merge(b.merge(c)))
+
+    @given(a=snapshots, b=snapshots)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutes_when_gauges_are_disjoint(self, a, b):
+        shared = set(a.gauges) & set(b.gauges)
+        b_disjoint = MetricsSnapshot(
+            counters=b.counters,
+            gauges={
+                name: value
+                for name, value in b.gauges.items()
+                if name not in shared
+            },
+            histograms=b.histograms,
+        )
+        assert_snapshots_close(a.merge(b_disjoint), b_disjoint.merge(a))
+
+    @given(a=snapshots, b=snapshots)
+    @settings(max_examples=30, deadline=None)
+    def test_shared_gauges_take_the_later_observation(self, a, b):
+        merged = a.merge(b)
+        for name in set(a.gauges) & set(b.gauges):
+            assert merged.gauges[name] == b.gauges[name]
+
+    @given(cells=st.lists(cell_contents, min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_merging_per_cell_snapshots_equals_one_combined_registry(
+        self, cells
+    ):
+        merged = MetricsSnapshot(counters={}, gauges={}, histograms={})
+        for cell in cells:
+            merged = merged.merge(build_snapshot(cell))
+
+        combined = MetricsRegistry()
+        for cell in cells:
+            for name, value in cell["counters"].items():
+                combined.counter(f"c.{name}").inc(value)
+            for name, value in cell["gauges"].items():
+                combined.gauge(f"g.{name}").set(value)
+            for name, values in cell["histograms"].items():
+                histogram = combined.histogram(f"h.{name}", bounds=BOUNDS)
+                for value in values:
+                    histogram.observe(value)
+        assert_snapshots_close(merged, combined.snapshot())
+
+    @given(cells=st.lists(cell_contents, min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_snapshot_folds_into_a_live_registry_exactly(self, cells):
+        merged = MetricsSnapshot(counters={}, gauges={}, histograms={})
+        registry = MetricsRegistry()
+        for cell in cells:
+            snapshot = build_snapshot(cell)
+            merged = merged.merge(snapshot)
+            registry.merge_snapshot(snapshot)
+        assert_snapshots_close(registry.snapshot(), merged)
+
+    @given(snapshot=snapshots)
+    @settings(max_examples=60, deadline=None)
+    def test_dict_round_trip_is_lossless(self, snapshot):
+        restored = snapshot_from_dict(snapshot_to_dict(snapshot))
+        assert restored.counters == snapshot.counters
+        assert restored.gauges == snapshot.gauges
+        assert set(restored.histograms) == set(snapshot.histograms)
+        for name, original in snapshot.histograms.items():
+            copy = restored.histograms[name]
+            assert copy.bounds == original.bounds
+            assert copy.buckets == original.buckets
+            assert copy.count == original.count
+            assert copy.total == pytest.approx(original.total, abs=1e-9)
+            assert copy.low == original.low
+            assert copy.high == original.high
+
+
+class TestMergeRejections:
+    def _histogram_snapshot(self, bounds, values):
+        histogram = Histogram("h.same", bounds)
+        for value in values:
+            histogram.observe(value)
+        return histogram.snapshot()
+
+    def test_incompatible_histogram_bounds_raise(self):
+        left = self._histogram_snapshot((0.1, 1.0), [0.5])
+        right = self._histogram_snapshot((0.2, 2.0), [0.5])
+        with pytest.raises(MetricsError, match="bucket bounds"):
+            left.merge(right)
+        snap_left = MetricsSnapshot(
+            counters={}, gauges={}, histograms={"h.same": left}
+        )
+        snap_right = MetricsSnapshot(
+            counters={}, gauges={}, histograms={"h.same": right}
+        )
+        with pytest.raises(MetricsError, match="bucket bounds"):
+            snap_left.merge(snap_right)
+
+    def test_incompatible_bounds_refuse_merge_into_registry(self):
+        registry = MetricsRegistry()
+        registry.histogram("h.same", bounds=(0.1, 1.0)).observe(0.5)
+        incoming = MetricsSnapshot(
+            counters={},
+            gauges={},
+            histograms={
+                "h.same": self._histogram_snapshot((0.2, 2.0), [0.5])
+            },
+        )
+        with pytest.raises(MetricsError, match="bucket bounds"):
+            registry.merge_snapshot(incoming)
+
+    @pytest.mark.parametrize(
+        "left_kind,right_kind",
+        [
+            ("counter", "gauge"),
+            ("counter", "histogram"),
+            ("gauge", "histogram"),
+        ],
+    )
+    def test_cross_kind_name_collision_raises(self, left_kind, right_kind):
+        def single(kind):
+            registry = MetricsRegistry()
+            if kind == "counter":
+                registry.counter("metric.name").inc(1.0)
+            elif kind == "gauge":
+                registry.gauge("metric.name").set(1.0)
+            else:
+                registry.histogram("metric.name", bounds=BOUNDS).observe(1.0)
+            return registry.snapshot()
+
+        with pytest.raises(MetricsError, match="metric.name"):
+            single(left_kind).merge(single(right_kind))
+        with pytest.raises(MetricsError, match="metric.name"):
+            single(right_kind).merge(single(left_kind))
+
+
+# -- phase-tree merge -------------------------------------------------------
+
+#: Phase paths as nesting instructions; a small pool keeps overlap high.
+phase_paths = st.lists(
+    st.lists(st.sampled_from(("solve", "iteration", "flush", "io")),
+             min_size=1, max_size=3),
+    min_size=1,
+    max_size=6,
+)
+
+
+def profile_with_paths(paths) -> "object":
+    profiler = PhaseProfiler()
+    for path in paths:
+        stack = [profiler.phase(name) for name in path]
+        for phase in stack:
+            phase.__enter__()
+        for phase in reversed(stack):
+            phase.__exit__(None, None, None)
+    return profiler.report()
+
+
+class TestPhaseTreeMerge:
+    @given(runs=st.lists(phase_paths, min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_merged_self_times_sum_exactly_to_root_wall(self, runs):
+        reports = [profile_with_paths(paths) for paths in runs]
+        merged = merge_reports(*reports)
+        # Integer-exact, not approx: self = wall - sum(children) must
+        # survive the merge without a nanosecond of drift.
+        assert merged.total_self_wall_ns == merged.total_wall_ns
+        assert merged.total_wall_ns == sum(
+            report.total_wall_ns for report in reports
+        )
+
+    @given(runs=st.lists(phase_paths, min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_merged_calls_sum_per_path(self, runs):
+        reports = [profile_with_paths(paths) for paths in runs]
+        merged = merge_reports(*reports)
+        for stat in merged.stats:
+            per_report = [
+                found.calls
+                for report in reports
+                if (found := report.find(stat.dotted)) is not None
+            ]
+            assert stat.calls == sum(per_report)
+
+    @given(paths=phase_paths)
+    @settings(max_examples=30, deadline=None)
+    def test_report_dict_round_trip(self, paths):
+        report = profile_with_paths(paths)
+        assert report_from_dict(report.to_dict()).to_dict() == report.to_dict()
+
+    @given(paths=phase_paths)
+    @settings(max_examples=20, deadline=None)
+    def test_diff_of_report_with_itself_has_equal_columns(self, paths):
+        report = profile_with_paths(paths)
+        for line in to_collapsed_diff(report, report).splitlines():
+            stack, before, after = line.rsplit(" ", 2)
+            assert stack
+            assert int(before) == int(after)
+
+    def test_merge_of_nothing_is_an_empty_report(self):
+        merged = merge_reports()
+        assert merged.total_wall_ns == 0
+        assert merged.empty
+
+
+class TestFiniteness:
+    @given(snapshot=snapshots)
+    @settings(max_examples=30, deadline=None)
+    def test_snapshot_dict_is_canonical_json_safe(self, snapshot):
+        from repro.canonical import canonical_json
+
+        payload = snapshot_to_dict(snapshot)
+        text = canonical_json(payload)
+        assert "NaN" not in text and "Infinity" not in text
+        assert all(
+            math.isfinite(value)
+            for value in snapshot.counters.values()
+        )

@@ -1,0 +1,116 @@
+"""Failed cells are results, not grid aborts.
+
+Regression: a cell raising inside ``run_sweep(jobs>1)`` used to
+propagate out of the executor and abort the whole sweep — 23 finished
+cells thrown away because the 24th had a bogus workload parameter.  Now
+every cell failure becomes a structured failed-cell entry (keep-going
+semantics); the good cells complete, cache, and the failed cell retries
+on the next run because failures are never cached.
+"""
+
+import pytest
+
+from repro.sweep import (
+    ResultCache,
+    RunConfig,
+    SweepSpec,
+    execute_run,
+    run_sweep,
+)
+
+#: Constructs fine, then raises ValueError at workload materialization.
+BAD = RunConfig(workload="base:shape=bogus", iterations=15)
+GOOD = RunConfig(workload="micro", iterations=15)
+GOOD2 = RunConfig(workload="micro", iterations=15, seed=1)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestExecuteRunStillRaises:
+    def test_direct_callers_see_the_original_error(self):
+        # Keep-going is a farm policy, not an execute_run behavior:
+        # library callers running one cell want the exception.
+        with pytest.raises(ValueError, match="bogus"):
+            execute_run(BAD)
+
+
+class TestKeepGoingSemantics:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failing_cell_does_not_abort_the_grid(self, cache, jobs):
+        # The regression: with jobs>1 this raised out of executor.map.
+        result = run_sweep((GOOD, BAD, GOOD2), cache=cache, jobs=jobs)
+        assert len(result.cells) == 3
+        assert result.failed == 1
+        assert result.executed == 3
+        statuses = [cell.status for cell in result.cells]
+        assert statuses == ["ok", "failed", "ok"]
+        good, bad, good2 = result.cells
+        assert good.metrics["utility"] > 0
+        assert good2.metrics["utility"] > 0
+
+    def test_failed_cell_entry_is_structured(self, cache):
+        result = run_sweep((BAD,), cache=cache)
+        cell = result.cells[0]
+        assert cell.failed
+        assert cell.payload["kind"] == "error"
+        assert cell.error["type"] == "ValueError"
+        assert "bogus" in cell.error["message"]
+        assert cell.payload["result"] is None
+        assert cell.payload["metrics"] == {}
+        assert "wall_time_seconds" in cell.payload["timing"]
+
+    def test_failures_are_never_cached_and_retry_next_run(self, cache):
+        first = run_sweep((GOOD, BAD), cache=cache)
+        assert (first.hits, first.executed, first.failed) == (0, 2, 1)
+        second = run_sweep((GOOD, BAD), cache=cache)
+        # Good cell hits; the failure re-executes (and fails again).
+        assert (second.hits, second.executed, second.failed) == (1, 1, 1)
+
+    def test_sweep_result_failed_counts_cells(self, cache):
+        result = run_sweep((BAD,), cache=cache)
+        assert result.failed == 1
+        ok = run_sweep((GOOD,), cache=cache)
+        assert ok.failed == 0
+
+    def test_spec_expansion_errors_still_raise(self, cache):
+        # Keep-going covers per-cell execution, not malformed grids:
+        # an unexpandable spec is a caller error and must surface.
+        spec = SweepSpec(workloads=("micro",), methods=("no-such-method",))
+        with pytest.raises((KeyError, ValueError)):
+            run_sweep(spec, cache=cache)
+
+
+class TestFailureReporting:
+    def test_report_marks_failed_cells(self, cache, capsys):
+        from repro.sweep import render_sweep_report
+
+        result = run_sweep((GOOD, BAD), cache=cache)
+        text = render_sweep_report(result)
+        assert "1 cell(s) FAILED" in text
+        assert "failed: base:shape=bogus/lrgp/i15: ValueError:" in text
+        # The CI grep contract on the summary line is intact.
+        assert "0 cached, 2 executed" in text
+
+    def test_csv_and_json_carry_status_and_error(self, cache):
+        from repro.sweep import sweep_to_csv, sweep_to_json
+
+        result = run_sweep((GOOD, BAD), cache=cache)
+        csv_text = sweep_to_csv(result)
+        header, good_row, bad_row = csv_text.splitlines()
+        assert "status" in header and "error" in header
+        assert ",ok," in good_row
+        assert ',failed,"ValueError:' in bad_row
+        payload = sweep_to_json(result)
+        assert payload["failed"] == 1
+        assert payload["cells"][1]["payload"]["kind"] == "error"
+
+    def test_bench_payload_reports_failures_and_throughput(self, cache):
+        from repro.sweep import bench_payload
+
+        result = run_sweep((GOOD, BAD), cache=cache)
+        farm = bench_payload(result)["farm"]
+        assert farm["failed"] == 1
+        assert farm["cells_per_second"] > 0

@@ -1,0 +1,138 @@
+"""The run ledger: append-only history of sweep invocations."""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    LEDGER_FILENAME,
+    LEDGER_VERSION,
+    ResultCache,
+    RunConfig,
+    RunLedger,
+    render_ledger,
+    run_sweep,
+)
+
+SPEC = (
+    RunConfig(workload="micro", iterations=15),
+    RunConfig(workload="micro", iterations=15, seed=1),
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestRunLedgerStore:
+    def test_append_and_read_round_trip(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append({"version": LEDGER_VERSION, "hits": 1})
+        ledger.append({"version": LEDGER_VERSION, "hits": 2})
+        records = ledger.records()
+        assert [record["hits"] for record in records] == [1, 2]
+        assert len(ledger) == 2
+        assert ledger.path == tmp_path / LEDGER_FILENAME
+
+    def test_missing_file_reads_as_empty(self, tmp_path):
+        ledger = RunLedger(tmp_path / "nowhere")
+        assert ledger.records() == []
+        assert len(ledger) == 0
+
+    def test_corrupt_lines_are_skipped_and_counted(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append({"hits": 1})
+        with ledger.path.open("a", encoding="utf-8") as stream:
+            stream.write("{torn half-line\n")
+            stream.write("[1, 2, 3]\n")  # parseable but not a record
+        ledger.append({"hits": 2})
+        records = ledger.records()
+        assert [record["hits"] for record in records] == [1, 2]
+        assert ledger.corrupt_lines == 2
+
+
+class TestLedgerFromSweeps:
+    def test_every_invocation_appends_one_record(self, cache):
+        run_sweep(SPEC, cache=cache)
+        run_sweep(SPEC, cache=cache)
+        records = RunLedger(cache.root).records()
+        assert len(records) == 2
+        first, second = records
+        assert (first["hits"], first["executed"]) == (0, 2)
+        assert (second["hits"], second["executed"]) == (2, 0)
+        # Same grid -> same spec hash; the ledger makes re-runs traceable.
+        assert first["spec_hash"] == second["spec_hash"]
+        assert first["cells_total"] == 2
+        assert first["capture"] is False
+        assert first["version"] == LEDGER_VERSION
+        assert first["at"].endswith("+00:00")  # UTC, explicit
+
+    def test_cell_seconds_cover_executed_cells_only(self, cache):
+        run_sweep(SPEC, cache=cache)
+        run_sweep(
+            (*SPEC, RunConfig(workload="micro", iterations=15, seed=2)),
+            cache=cache,
+        )
+        records = RunLedger(cache.root).records()
+        assert set(records[0]["cell_seconds"]) == {
+            "micro/lrgp/i15", "micro/lrgp/i15/s1",
+        }
+        # Second run: two hits, only the new cell executed.
+        assert set(records[1]["cell_seconds"]) == {"micro/lrgp/i15/s2"}
+        assert all(
+            seconds > 0 for seconds in records[0]["cell_seconds"].values()
+        )
+
+    def test_capture_flag_is_recorded(self, cache):
+        run_sweep(SPEC, cache=cache, capture=True)
+        assert RunLedger(cache.root).records()[0]["capture"] is True
+
+    def test_ledger_false_appends_nothing(self, cache):
+        run_sweep(SPEC, cache=cache, ledger=False)
+        assert len(RunLedger(cache.root)) == 0
+
+    def test_failed_cells_are_counted(self, cache):
+        spec = (
+            RunConfig(workload="micro", iterations=15),
+            RunConfig(workload="micro:shape=bogus", iterations=15),
+        )
+        run_sweep(spec, cache=cache)
+        record = RunLedger(cache.root).records()[0]
+        assert record["failed"] == 1
+        assert record["executed"] == 2
+
+    def test_records_are_canonical_json_lines(self, cache):
+        run_sweep(SPEC, cache=cache)
+        line = RunLedger(cache.root).path.read_text().splitlines()[0]
+        record = json.loads(line)
+        assert list(record) == sorted(record)  # canonical key order
+
+
+class TestRenderLedger:
+    def test_empty_ledger_renders_placeholder(self):
+        assert "no runs recorded" in render_ledger([])
+
+    def test_greppable_field_value_pairs(self, cache):
+        run_sweep(SPEC, cache=cache)
+        run_sweep(SPEC, cache=cache)
+        text = render_ledger(RunLedger(cache.root).records())
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "hits=0 executed=2" in lines[0]
+        assert "hits=2 executed=0" in lines[1]
+        assert "capture=off" in lines[0]
+        assert "cells/s" in lines[0]
+
+    def test_limit_shows_newest_and_notes_the_rest(self):
+        records = [
+            {"hits": n, "executed": 0, "spec_hash": "abc123"}
+            for n in range(5)
+        ]
+        text = render_ledger(records, limit=2)
+        assert "hits=4" in text
+        assert "hits=0" not in text
+        assert "3 older run(s) not shown" in text
+
+    def test_missing_fields_render_as_dashes(self):
+        assert "hits=-" in render_ledger([{}])

@@ -1,0 +1,228 @@
+"""Live monitoring: the event stream, ETA math, straggler detection.
+
+``SweepProgress`` is deliberately wall-clock free — the farm supplies
+measured durations, the monitor only counts — so every derived quantity
+here is deterministic and testable without sleeping.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.sweep import (
+    STRAGGLER_MIN_SAMPLES,
+    JsonlEventWriter,
+    ResultCache,
+    RunConfig,
+    SweepProgress,
+    render_live_event,
+    run_sweep,
+)
+from repro.sweep.live import _p95
+
+
+@pytest.fixture
+def events():
+    return []
+
+
+@pytest.fixture
+def progress(events):
+    return SweepProgress(total=4, jobs=2, emit=events.append)
+
+
+class TestP95:
+    def test_nearest_rank_small_samples(self):
+        assert _p95([1.0]) == 1.0
+        assert _p95([1.0, 2.0]) == 2.0
+        assert _p95([3.0, 1.0, 2.0]) == 3.0
+
+    def test_nearest_rank_twenty_samples(self):
+        samples = [float(n) for n in range(1, 21)]
+        # ceil(0.95 * 20) = 19 -> the 19th ordered value.
+        assert _p95(samples) == 19.0
+
+
+class TestSweepProgress:
+    def test_started_event_counts_upfront_hits(self, progress, events):
+        progress.sweep_started(pending=3)
+        assert events == [
+            {
+                "event": "sweep_started",
+                "cells_total": 4,
+                "jobs": 2,
+                "pending": 3,
+                "hits": 1,
+            }
+        ]
+
+    def test_cell_finished_tracks_running_totals(self, progress, events):
+        progress.cell_finished(
+            index=0, label="a", key="k0", cached=True, failed=False,
+            seconds=0.0,
+        )
+        progress.cell_finished(
+            index=1, label="b", key="k1", cached=False, failed=False,
+            seconds=2.0,
+        )
+        hit, executed = events
+        assert hit["status"] == "hit"
+        assert hit["hit_rate"] == 1.0
+        assert hit["eta_seconds"] is None  # no executed duration yet
+        assert executed["status"] == "ok"
+        assert executed["done"] == 2
+        assert executed["hit_rate"] == 0.5
+        # 2 remaining cells x 2.0s mean / min(jobs=2, remaining=2)
+        assert executed["eta_seconds"] == pytest.approx(2.0)
+
+    def test_failed_cell_status_and_count(self, progress, events):
+        progress.cell_finished(
+            index=0, label="bad", key="k", cached=False, failed=True,
+            seconds=0.5,
+        )
+        assert events[0]["status"] == "failed"
+        assert events[0]["failed"] == 1
+
+    def test_straggler_needs_min_samples(self, events):
+        progress = SweepProgress(total=20, jobs=1, emit=events.append)
+        for index in range(STRAGGLER_MIN_SAMPLES - 1):
+            progress.cell_finished(
+                index=index, label=f"c{index}", key="k", cached=False,
+                failed=False, seconds=1.0,
+            )
+        # Sample 4 would be an outlier, but the flag is not armed yet.
+        progress.cell_finished(
+            index=98, label="early-slow", key="k", cached=False,
+            failed=False, seconds=100.0,
+        )
+        assert all(not event["straggler"] for event in events)
+
+    def test_straggler_flags_cell_beyond_rolling_p95(self, events):
+        progress = SweepProgress(total=20, jobs=1, emit=events.append)
+        for index in range(STRAGGLER_MIN_SAMPLES):
+            progress.cell_finished(
+                index=index, label=f"c{index}", key="k", cached=False,
+                failed=False, seconds=1.0,
+            )
+        progress.cell_finished(
+            index=99, label="slow", key="k", cached=False, failed=False,
+            seconds=50.0,
+        )
+        progress.cell_finished(
+            index=100, label="normal", key="k", cached=False, failed=False,
+            seconds=1.0,
+        )
+        by_label = {event["label"]: event for event in events}
+        assert by_label["slow"]["straggler"] is True
+        assert by_label["normal"]["straggler"] is False
+
+    def test_cached_cells_never_skew_eta_or_straggler(self, events):
+        progress = SweepProgress(total=10, jobs=1, emit=events.append)
+        for index in range(8):
+            progress.cell_finished(
+                index=index, label=f"h{index}", key="k", cached=True,
+                failed=False, seconds=0.0,
+            )
+        assert events[-1]["eta_seconds"] is None
+        progress.cell_finished(
+            index=8, label="run", key="k", cached=False, failed=False,
+            seconds=3.0,
+        )
+        # 1 remaining cell at 3.0s mean.
+        assert events[-1]["eta_seconds"] == pytest.approx(3.0)
+
+    def test_finished_event_reports_throughput(self, progress, events):
+        progress.cell_finished(
+            index=0, label="a", key="k", cached=False, failed=False,
+            seconds=1.0,
+        )
+        progress.sweep_finished(wall_time_seconds=2.0)
+        final = events[-1]
+        assert final["event"] == "sweep_finished"
+        assert final["executed"] == 1
+        assert final["cells_per_second"] == pytest.approx(0.5)
+
+
+class TestRendering:
+    def test_every_event_kind_renders(self):
+        events = []
+        progress = SweepProgress(total=2, jobs=1, emit=events.append)
+        progress.sweep_started(pending=2)
+        progress.cell_finished(
+            index=0, label="micro/lrgp/i20", key="k", cached=False,
+            failed=False, seconds=1.5,
+        )
+        progress.sweep_finished(wall_time_seconds=2.0)
+        lines = [render_live_event(event) for event in events]
+        assert "2 cell(s), 0 cached, 2 to execute" in lines[0]
+        assert "[1/2] ok     micro/lrgp/i20" in lines[1]
+        assert "sweep finished" in lines[2]
+
+    def test_unknown_event_renders_nothing(self):
+        assert render_live_event({"event": "mystery"}) is None
+
+    def test_straggler_flag_is_visible(self):
+        line = render_live_event(
+            {
+                "event": "cell_finished",
+                "done": 7, "total": 9, "status": "ok", "label": "slow",
+                "seconds": 9.0, "hit_rate": 0.0, "eta_seconds": 4.0,
+                "straggler": True,
+            }
+        )
+        assert "STRAGGLER" in line
+
+    def test_jsonl_writer_emits_parseable_lines(self):
+        stream = io.StringIO()
+        writer = JsonlEventWriter(stream)
+        writer({"event": "sweep_started", "cells_total": 1})
+        writer({"event": "sweep_finished", "eta_seconds": None})
+        lines = stream.getvalue().splitlines()
+        assert [json.loads(line)["event"] for line in lines] == [
+            "sweep_started", "sweep_finished",
+        ]
+
+
+class TestFarmIntegration:
+    def test_run_sweep_emits_the_full_stream(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = (
+            RunConfig(workload="micro", iterations=15),
+            RunConfig(workload="micro", iterations=15, seed=1),
+        )
+        events = []
+        run_sweep(spec, cache=cache, monitor=events.append)
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "sweep_started"
+        assert kinds[-1] == "sweep_finished"
+        assert kinds.count("cell_finished") == 2
+        assert events[-1]["executed"] == 2
+
+    def test_hits_are_reported_upfront(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = (RunConfig(workload="micro", iterations=15),)
+        run_sweep(spec, cache=cache)
+        events = []
+        run_sweep(spec, cache=cache, monitor=events.append)
+        cell_events = [
+            event for event in events if event["event"] == "cell_finished"
+        ]
+        assert [event["status"] for event in cell_events] == ["hit"]
+        assert events[-1]["hits"] == 1
+
+    def test_parallel_sweep_monitors_in_completion_order(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = tuple(
+            RunConfig(workload="micro", iterations=15, seed=seed)
+            for seed in range(4)
+        )
+        events = []
+        result = run_sweep(spec, cache=cache, jobs=2, monitor=events.append)
+        finished = [
+            event for event in events if event["event"] == "cell_finished"
+        ]
+        assert len(finished) == 4
+        assert sorted(event["index"] for event in finished) == [0, 1, 2, 3]
+        # Reassembly restores grid order regardless of completion order.
+        assert [cell.config.seed for cell in result.cells] == [0, 1, 2, 3]

@@ -1,0 +1,194 @@
+"""Worker-side telemetry capture and the farm-wide aggregate.
+
+The load-bearing guarantee: ``--capture`` changes *observability*, never
+*results*.  The bit-stable ``result``/``metrics`` payload sections must
+be identical with capture on and off, cache keys must not move, and the
+two-pass zero-executed property must hold with capture enabled.
+"""
+
+import pytest
+
+from repro.canonical import canonical_json
+from repro.obs import ConvergenceDiagnostics  # noqa: F401 - import guard
+from repro.sweep import (
+    TELEMETRY_VERSION,
+    ResultCache,
+    RunConfig,
+    SweepSpec,
+    aggregate_sweep_telemetry,
+    capture_bundle,
+    cell_phase_report,
+    execute_run,
+    run_sweep,
+    telemetry_payload,
+)
+
+SPEC = SweepSpec(workloads=("micro",), seeds=(0, 1), iterations=(20,))
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestCaptureBundle:
+    def test_fresh_bundle_per_call(self):
+        first, second = capture_bundle(), capture_bundle()
+        assert first.registry is not second.registry
+        assert first.profiler is not second.profiler
+
+    def test_payload_shape(self):
+        telemetry = capture_bundle()
+        telemetry.registry.counter("events").inc(3)
+        with telemetry.profiler.phase("cell"):
+            pass
+        payload = telemetry_payload(telemetry)
+        assert payload["version"] == TELEMETRY_VERSION
+        assert payload["metrics"]["counters"]["events"] == 3
+        assert "cell" in payload["phases"]["phases"]
+        assert set(payload["diagnostics"]) == {
+            "iterations", "converged", "iterations_to_tolerance",
+            "final_utility", "trailing_amplitude", "total_oscillations",
+            "resources",
+        }
+
+    def test_payload_is_canonical_json_safe(self):
+        telemetry = capture_bundle()
+        with telemetry.profiler.phase("cell"):
+            pass
+        canonical_json(telemetry_payload(telemetry))  # must not raise
+
+
+class TestExecuteRunCapture:
+    def test_captured_payload_carries_telemetry(self):
+        payload = execute_run(
+            RunConfig(workload="micro", iterations=15), capture=True
+        )
+        telemetry = payload["telemetry"]
+        assert telemetry["version"] == TELEMETRY_VERSION
+        assert telemetry["metrics"]["counters"]["lrgp.iterations"] == 15
+        assert "cell" in telemetry["phases"]["phases"]
+        assert telemetry["diagnostics"]["iterations"] == 15
+        assert canonical_json(payload)  # cacheable as-is
+
+    def test_capture_does_not_change_results(self):
+        config = RunConfig(workload="micro", iterations=15)
+        plain = execute_run(config)
+        captured = execute_run(config, capture=True)
+        assert "telemetry" not in plain
+        assert captured["result"] == plain["result"]
+        assert captured["metrics"] == plain["metrics"]
+
+    @pytest.mark.parametrize("method", ["annealing", "hill_climb"])
+    def test_search_methods_still_ship_a_phase_tree(self, method):
+        payload = execute_run(
+            RunConfig(workload="micro", method=method, iterations=30),
+            capture=True,
+        )
+        telemetry = payload["telemetry"]
+        # Search methods take no telemetry config, but the cell-level
+        # phase wrapper still measures them.
+        assert "cell" in telemetry["phases"]["phases"]
+
+    def test_fault_cell_captures_the_faulted_run(self):
+        payload = execute_run(
+            RunConfig(
+                workload="micro",
+                iterations=120,
+                fault_plan=(("crash_rate", 0.01),),
+                seed=3,
+            ),
+            capture=True,
+        )
+        plain = execute_run(
+            RunConfig(
+                workload="micro",
+                iterations=120,
+                fault_plan=(("crash_rate", 0.01),),
+                seed=3,
+            )
+        )
+        assert payload["result"] == plain["result"]
+        assert payload["telemetry"]["diagnostics"]["iterations"] > 0
+
+
+class TestSweepCapture:
+    def test_cache_payload_bit_identical_with_and_without_capture(
+        self, tmp_path
+    ):
+        config = RunConfig(workload="micro", iterations=15)
+        plain_cache = ResultCache(tmp_path / "plain")
+        captured_cache = ResultCache(tmp_path / "captured")
+        spec = (config,)
+        plain = run_sweep(spec, cache=plain_cache).cells[0]
+        captured = run_sweep(
+            spec, cache=captured_cache, capture=True
+        ).cells[0]
+        assert captured.key == plain.key
+        assert captured.payload["result"] == plain.payload["result"]
+        assert captured.payload["metrics"] == plain.payload["metrics"]
+        assert canonical_json(
+            captured.payload["result"]
+        ) == canonical_json(plain.payload["result"])
+
+    def test_two_pass_zero_executed_with_capture(self, cache):
+        first = run_sweep(SPEC, cache=cache, capture=True)
+        assert (first.hits, first.executed) == (0, 2)
+        second = run_sweep(SPEC, cache=cache, capture=True)
+        assert (second.hits, second.executed) == (2, 0)
+        # Cache hits keep the telemetry their writer recorded.
+        for cell in second.cells:
+            assert cell.payload["telemetry"]["version"] == TELEMETRY_VERSION
+
+    def test_cell_phase_report_round_trip(self, cache):
+        result = run_sweep(SPEC, cache=cache, capture=True)
+        for cell in result.cells:
+            report = cell_phase_report(cell)
+            assert report is not None
+            assert report.find("cell") is not None
+            assert report.total_self_wall_ns == report.total_wall_ns
+
+    def test_uncaptured_cell_has_no_phase_report(self, cache):
+        result = run_sweep(SPEC, cache=cache)
+        for cell in result.cells:
+            assert "telemetry" not in cell.payload
+            assert cell_phase_report(cell) is None
+
+
+class TestAggregate:
+    def test_farm_aggregate_merges_all_cells(self, cache):
+        result = run_sweep(SPEC, cache=cache, capture=True)
+        farm = aggregate_sweep_telemetry(result)
+        assert not farm.empty
+        assert farm.cells_with_telemetry == farm.cells_total == 2
+        # Counters sum across cells: every cell ran 20 iterations.
+        assert farm.metrics.counters["lrgp.iterations"] == 40
+        # The merged tree keeps the profiler invariant to the nanosecond.
+        assert farm.phases.total_self_wall_ns == farm.phases.total_wall_ns
+        per_cell = [cell_phase_report(cell) for cell in result.cells]
+        assert farm.phases.total_wall_ns == sum(
+            report.total_wall_ns for report in per_cell
+        )
+
+    def test_aggregate_without_capture_is_empty(self, cache):
+        result = run_sweep(SPEC, cache=cache)
+        farm = aggregate_sweep_telemetry(result)
+        assert farm.empty
+        assert farm.cells_with_telemetry == 0
+        assert farm.cells_total == 2
+
+    def test_partial_coverage_counts_only_captured_cells(self, cache):
+        # First cell cached uncaptured, second executed with capture.
+        run_sweep((RunConfig(workload="micro", iterations=20),), cache=cache)
+        mixed = run_sweep(
+            (
+                RunConfig(workload="micro", iterations=20),
+                RunConfig(workload="micro", iterations=20, seed=1),
+            ),
+            cache=cache,
+            capture=True,
+        )
+        assert (mixed.hits, mixed.executed) == (1, 1)
+        farm = aggregate_sweep_telemetry(mixed)
+        assert farm.cells_with_telemetry == 1
+        assert farm.cells_total == 2

@@ -788,3 +788,187 @@ class TestSweepCommand:
         assert "removed 2" in capsys.readouterr().out
         assert main(["sweep", "show", *cache]) == 0
         assert "0 entries" in capsys.readouterr().out
+
+
+class TestStatsFromJson:
+    def archive(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["stats", "micro", "--iterations", "20", "--format", "json",
+             "-o", str(path)]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_renders_archived_snapshot(self, tmp_path, capsys):
+        path = self.archive(tmp_path, capsys)
+        assert main(["stats", "--from-json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"source:     {path}" in out
+        assert "lrgp.iterations: 20" in out
+
+    def test_prometheus_format(self, tmp_path, capsys):
+        path = self.archive(tmp_path, capsys)
+        assert main(
+            ["stats", "--from-json", str(path), "--format", "prometheus"]
+        ) == 0
+        assert "repro_lrgp_iterations_total 20" in capsys.readouterr().out
+
+    def test_json_format_round_trips(self, tmp_path, capsys):
+        path = self.archive(tmp_path, capsys)
+        assert main(
+            ["stats", "--from-json", str(path), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["lrgp.iterations"] == 20
+
+    def test_bare_metrics_snapshot_loads_too(self, tmp_path, capsys):
+        path = self.archive(tmp_path, capsys)
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(json.loads(path.read_text())["metrics"]))
+        assert main(["stats", "--from-json", str(bare)]) == 0
+        assert "lrgp.iterations: 20" in capsys.readouterr().out
+
+    def test_workload_plus_from_json_is_ambiguous(self, tmp_path, capsys):
+        path = self.archive(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="ambiguous"):
+            main(["stats", "micro", "--from-json", str(path)])
+
+    def test_malformed_file_exits(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{\"not\": \"a snapshot\"}")
+        with pytest.raises(SystemExit):
+            main(["stats", "--from-json", str(path)])
+
+
+class TestSweepObservability:
+    GRID = [
+        "--workload", "micro", "--seed", "0", "--seed", "1",
+        "--iterations", "15",
+    ]
+
+    def cache_args(self, tmp_path):
+        return ["--cache-dir", str(tmp_path / "cache")]
+
+    def test_live_progress_goes_to_stderr(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "run", *self.GRID, *self.cache_args(tmp_path),
+             "--live"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "sweep finished" in captured.err
+        assert "[2/2]" in captured.err
+        assert "sweep finished" not in captured.out
+
+    def test_events_stream_is_jsonl(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        assert main(
+            ["sweep", "run", *self.GRID, *self.cache_args(tmp_path),
+             "--events", str(events_path)]
+        ) == 0
+        events = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "sweep_started"
+        assert kinds[-1] == "sweep_finished"
+        assert kinds.count("cell_finished") == 2
+
+    def test_capture_ships_telemetry_and_flame_exports(self, tmp_path, capsys):
+        flame = tmp_path / "farm.folded"
+        speedscope = tmp_path / "farm.speedscope.json"
+        assert main(
+            ["sweep", "run", *self.GRID, *self.cache_args(tmp_path),
+             "--capture", "--flame", str(flame),
+             "--speedscope", str(speedscope)]
+        ) == 0
+        lines = flame.read_text().splitlines()
+        assert lines and all(
+            line.rsplit(" ", 1)[1].isdigit() for line in lines
+        )
+        assert any(line.startswith("cell") for line in lines)
+        profile = json.loads(speedscope.read_text())
+        assert profile["profiles"][0]["name"] == "repro sweep farm"
+
+    def test_flame_without_capture_exits_with_advice(self, tmp_path):
+        with pytest.raises(SystemExit, match="--capture"):
+            main(
+                ["sweep", "run", *self.GRID, *self.cache_args(tmp_path),
+                 "--flame", str(tmp_path / "farm.folded")]
+            )
+
+    def test_failed_cell_exits_nonzero_but_completes(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "run", "--workload", "micro",
+             "--workload", "base:shape=bogus", "--iterations", "15",
+             "--jobs", "2", *self.cache_args(tmp_path)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "1 cell(s) FAILED" in out
+        assert "ValueError" in out
+        # The good cell still cached; rerun hits it.
+        assert main(
+            ["sweep", "run", "--workload", "micro", "--iterations", "15",
+             *self.cache_args(tmp_path)]
+        ) == 0
+        assert "1 cached, 0 executed" in capsys.readouterr().out
+
+    def test_ledger_records_every_invocation(self, tmp_path, capsys):
+        cache = self.cache_args(tmp_path)
+        assert main(["sweep", "run", *self.GRID, *cache]) == 0
+        assert main(["sweep", "run", *self.GRID, *cache]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "ledger", *cache]) == 0
+        out = capsys.readouterr().out
+        assert "ledger.jsonl" in out
+        assert "hits=0 executed=2" in out
+        assert "hits=2 executed=0" in out
+
+    def test_ledger_json_and_limit(self, tmp_path, capsys):
+        cache = self.cache_args(tmp_path)
+        assert main(["sweep", "run", *self.GRID, *cache]) == 0
+        assert main(["sweep", "run", *self.GRID, *cache]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "ledger", *cache, "--json", "--limit", "1"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        assert records[0]["hits"] == 2
+
+    def test_no_ledger_opts_out(self, tmp_path, capsys):
+        cache = self.cache_args(tmp_path)
+        assert main(["sweep", "run", *self.GRID, *cache, "--no-ledger"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "ledger", *cache]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_diff_flame_between_cached_cells(self, tmp_path, capsys):
+        cache = self.cache_args(tmp_path)
+        assert main(["sweep", "run", *self.GRID, *cache, "--capture"]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "diff.folded"
+        assert main(
+            ["sweep", "diff-flame", "micro/lrgp/i15", "micro/lrgp/i15/s1",
+             *cache, "-o", str(out_path)]
+        ) == 0
+        lines = out_path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, before, after = line.rsplit(" ", 2)
+            assert stack
+            int(before), int(after)
+
+    def test_diff_flame_unknown_selector_exits(self, tmp_path):
+        cache = self.cache_args(tmp_path)
+        assert main(["sweep", "run", *self.GRID, *cache, "--capture"]) == 0
+        with pytest.raises(SystemExit, match="no cached cell"):
+            main(["sweep", "diff-flame", "nope", "micro/lrgp/i15", *cache])
+
+    def test_diff_flame_without_telemetry_advises_capture(self, tmp_path):
+        cache = self.cache_args(tmp_path)
+        assert main(["sweep", "run", *self.GRID, *cache]) == 0
+        with pytest.raises(SystemExit, match="--capture"):
+            main(
+                ["sweep", "diff-flame", "micro/lrgp/i15",
+                 "micro/lrgp/i15/s1", *cache]
+            )
